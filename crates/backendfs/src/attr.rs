@@ -1,0 +1,105 @@
+//! File attributes (`struct stat` equivalent).
+
+/// Kind of namespace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+    /// Symbolic link.
+    Symlink,
+}
+
+/// POSIX-style attributes carried by every namespace entry. DUFS forwards
+/// these through its FUSE-like interface unchanged for files (the paper
+/// keeps file attributes with the physical file on the back-end, §IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileAttr {
+    /// Entry kind.
+    pub kind: FileKind,
+    /// Permission bits (lower 12 bits of `st_mode`).
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Size in bytes (0 for directories in this model).
+    pub size: u64,
+    /// Hard link count.
+    pub nlink: u32,
+    /// Last access time, nanoseconds.
+    pub atime_ns: u64,
+    /// Last modification time, nanoseconds.
+    pub mtime_ns: u64,
+    /// Last status change time, nanoseconds.
+    pub ctime_ns: u64,
+}
+
+impl FileAttr {
+    /// A fresh attribute block for a new entry.
+    pub fn new(kind: FileKind, mode: u32, now_ns: u64) -> Self {
+        FileAttr {
+            kind,
+            mode,
+            uid: 0,
+            gid: 0,
+            size: 0,
+            nlink: if kind == FileKind::Dir { 2 } else { 1 },
+            atime_ns: now_ns,
+            mtime_ns: now_ns,
+            ctime_ns: now_ns,
+        }
+    }
+
+    /// Default directory attributes (`0755`).
+    pub fn dir(now_ns: u64) -> Self {
+        Self::new(FileKind::Dir, 0o755, now_ns)
+    }
+
+    /// Default file attributes (`0644`).
+    pub fn file(now_ns: u64) -> Self {
+        Self::new(FileKind::File, 0o644, now_ns)
+    }
+
+    /// Default symlink attributes (`0777`).
+    pub fn symlink(now_ns: u64) -> Self {
+        Self::new(FileKind::Symlink, 0o777, now_ns)
+    }
+
+    /// Whether `mask` access (bitmask of R=4/W=2/X=1) is allowed for the
+    /// owner class. The prototype applies owner-class checks only, like the
+    /// paper's single-user mdtest runs.
+    pub fn allows(&self, mask: u32) -> bool {
+        let owner_bits = (self.mode >> 6) & 0o7;
+        owner_bits & mask == mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_sane_defaults() {
+        let d = FileAttr::dir(5);
+        assert_eq!(d.kind, FileKind::Dir);
+        assert_eq!(d.mode, 0o755);
+        assert_eq!(d.nlink, 2);
+        assert_eq!(d.ctime_ns, 5);
+        let f = FileAttr::file(9);
+        assert_eq!(f.kind, FileKind::File);
+        assert_eq!(f.nlink, 1);
+        assert_eq!(f.size, 0);
+    }
+
+    #[test]
+    fn access_mask_checks_owner_bits() {
+        let f = FileAttr::new(FileKind::File, 0o600, 0);
+        assert!(f.allows(4)); // read
+        assert!(f.allows(2)); // write
+        assert!(!f.allows(1)); // execute
+        assert!(f.allows(6));
+        assert!(!f.allows(7));
+    }
+}

@@ -1,0 +1,71 @@
+//! POSIX-flavoured error codes for the back-end filesystems.
+
+use std::fmt;
+
+/// Result alias for filesystem operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors returned by the back-end filesystems, matching the errno values a
+/// FUSE layer would surface to applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsError {
+    /// `ENOENT` — no such file or directory.
+    NoEnt,
+    /// `EEXIST` — path already exists.
+    Exists,
+    /// `ENOTEMPTY` — directory not empty.
+    NotEmpty,
+    /// `ENOTDIR` — a path component is not a directory.
+    NotDir,
+    /// `EISDIR` — the operation needs a file but found a directory.
+    IsDir,
+    /// `EINVAL` — malformed path or argument.
+    Inval,
+    /// `ESTALE` — the referenced object is gone (e.g. data object deleted
+    /// under an open handle).
+    Stale,
+}
+
+impl FsError {
+    /// The conventional errno number, for mdtest-style reporting.
+    pub fn errno(self) -> i32 {
+        match self {
+            FsError::NoEnt => 2,
+            FsError::Exists => 17,
+            FsError::NotEmpty => 39,
+            FsError::NotDir => 20,
+            FsError::IsDir => 21,
+            FsError::Inval => 22,
+            FsError::Stale => 116,
+        }
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsError::NoEnt => "no such file or directory",
+            FsError::Exists => "file exists",
+            FsError::NotEmpty => "directory not empty",
+            FsError::NotDir => "not a directory",
+            FsError::IsDir => "is a directory",
+            FsError::Inval => "invalid argument",
+            FsError::Stale => "stale file handle",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errnos_are_posix() {
+        assert_eq!(FsError::NoEnt.errno(), 2);
+        assert_eq!(FsError::Exists.errno(), 17);
+        assert_eq!(FsError::NotEmpty.errno(), 39);
+    }
+}

@@ -1,0 +1,228 @@
+//! Property tests for the back-end filesystem substrate: the namespace
+//! against a path-set oracle, and the striped object store against a flat
+//! byte-array shadow.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use dufs_backendfs::{FsError, ObjectStore, ParallelFs};
+
+// ---------------------------------------------------------------------
+// Namespace vs oracle
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum NsOp {
+    Mkdir(usize),
+    Rmdir(usize),
+    Create(usize),
+    Unlink(usize),
+    Rename(usize, usize),
+}
+
+fn pool() -> Vec<String> {
+    vec![
+        "/a".into(),
+        "/b".into(),
+        "/a/x".into(),
+        "/a/y".into(),
+        "/b/z".into(),
+        "/c".into(),
+        "/c/w".into(),
+    ]
+}
+
+#[derive(Default, Clone)]
+struct Oracle {
+    /// path → is_dir
+    nodes: HashMap<String, bool>,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        let mut o = Oracle::default();
+        o.nodes.insert("/".into(), true);
+        o
+    }
+    fn parent(p: &str) -> String {
+        match p.rfind('/') {
+            Some(0) => "/".into(),
+            Some(i) => p[..i].into(),
+            None => unreachable!(),
+        }
+    }
+    fn has_children(&self, p: &str) -> bool {
+        let prefix = if p == "/" { "/".into() } else { format!("{p}/") };
+        self.nodes.keys().any(|k| k != p && k.starts_with(&prefix))
+    }
+    fn mkdir(&mut self, p: &str) -> Result<(), FsError> {
+        if self.nodes.contains_key(p) {
+            return Err(FsError::Exists);
+        }
+        match self.nodes.get(&Self::parent(p)) {
+            Some(true) => {
+                self.nodes.insert(p.into(), true);
+                Ok(())
+            }
+            Some(false) => Err(FsError::NotDir),
+            None => Err(FsError::NoEnt),
+        }
+    }
+    fn create(&mut self, p: &str) -> Result<(), FsError> {
+        if self.nodes.contains_key(p) {
+            return Err(FsError::Exists);
+        }
+        match self.nodes.get(&Self::parent(p)) {
+            Some(true) => {
+                self.nodes.insert(p.into(), false);
+                Ok(())
+            }
+            Some(false) => Err(FsError::NotDir),
+            None => Err(FsError::NoEnt),
+        }
+    }
+    fn rmdir(&mut self, p: &str) -> Result<(), FsError> {
+        match self.nodes.get(p) {
+            None => Err(FsError::NoEnt),
+            Some(false) => Err(FsError::NotDir),
+            Some(true) => {
+                if self.has_children(p) {
+                    Err(FsError::NotEmpty)
+                } else {
+                    self.nodes.remove(p);
+                    Ok(())
+                }
+            }
+        }
+    }
+    fn unlink(&mut self, p: &str) -> Result<(), FsError> {
+        match self.nodes.get(p) {
+            None => Err(FsError::NoEnt),
+            Some(true) => Err(FsError::IsDir),
+            Some(false) => {
+                self.nodes.remove(p);
+                Ok(())
+            }
+        }
+    }
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        if !self.nodes.contains_key(from) {
+            return Err(FsError::NoEnt);
+        }
+        if self.nodes.contains_key(to) {
+            return Err(FsError::Exists);
+        }
+        if to.starts_with(from) && to.as_bytes().get(from.len()) == Some(&b'/') {
+            return Err(FsError::Inval);
+        }
+        match self.nodes.get(&Self::parent(to)) {
+            Some(true) => {}
+            Some(false) => return Err(FsError::NotDir),
+            None => return Err(FsError::NoEnt),
+        }
+        // Move the subtree.
+        let prefix = format!("{from}/");
+        let moved: Vec<String> = self
+            .nodes
+            .keys()
+            .filter(|k| *k == from || k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for old in moved {
+            let v = self.nodes.remove(&old).expect("collected");
+            let new = format!("{to}{}", &old[from.len()..]);
+            self.nodes.insert(new, v);
+        }
+        Ok(())
+    }
+}
+
+fn ns_op_strategy() -> impl Strategy<Value = NsOp> {
+    let idx = 0..pool().len();
+    prop_oneof![
+        idx.clone().prop_map(NsOp::Mkdir),
+        idx.clone().prop_map(NsOp::Rmdir),
+        idx.clone().prop_map(NsOp::Create),
+        idx.clone().prop_map(NsOp::Unlink),
+        (idx.clone(), idx).prop_map(|(a, b)| NsOp::Rename(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn namespace_matches_oracle(ops in proptest::collection::vec(ns_op_strategy(), 1..60)) {
+        let pool = pool();
+        let mut fs = ParallelFs::lustre();
+        let mut oracle = Oracle::new();
+        let mut t = 0u64;
+        for op in &ops {
+            t += 1;
+            match op {
+                NsOp::Mkdir(i) => {
+                    prop_assert_eq!(fs.mkdir(&pool[*i], 0o755, t), oracle.mkdir(&pool[*i]), "mkdir {}", &pool[*i]);
+                }
+                NsOp::Rmdir(i) => {
+                    prop_assert_eq!(fs.rmdir(&pool[*i], t), oracle.rmdir(&pool[*i]), "rmdir {}", &pool[*i]);
+                }
+                NsOp::Create(i) => {
+                    prop_assert_eq!(fs.create(&pool[*i], 0o644, t), oracle.create(&pool[*i]), "create {}", &pool[*i]);
+                }
+                NsOp::Unlink(i) => {
+                    prop_assert_eq!(fs.unlink(&pool[*i], t), oracle.unlink(&pool[*i]), "unlink {}", &pool[*i]);
+                }
+                NsOp::Rename(a, b) => {
+                    prop_assert_eq!(
+                        fs.rename(&pool[*a], &pool[*b], t),
+                        oracle.rename(&pool[*a], &pool[*b]),
+                        "rename {} {}", &pool[*a], &pool[*b]
+                    );
+                }
+            }
+        }
+        // Surviving namespaces agree.
+        prop_assert_eq!(fs.entry_count(), oracle.nodes.len() - 1);
+        for (p, is_dir) in &oracle.nodes {
+            if p == "/" { continue; }
+            let attr = fs.stat(p).expect("oracle node exists");
+            prop_assert_eq!(attr.kind == dufs_backendfs::FileKind::Dir, *is_dir, "{}", p);
+        }
+    }
+
+    /// The striped object store reads back exactly what was written,
+    /// across random offsets/lengths/stripe configurations.
+    #[test]
+    fn object_store_matches_flat_shadow(
+        n_targets in 1usize..6,
+        stripe in 1usize..64,
+        writes in proptest::collection::vec((0u64..2000, 1usize..300), 1..15),
+        truncate_to in proptest::option::of(0u64..2500),
+    ) {
+        let mut store = ObjectStore::new(n_targets, stripe);
+        let id = store.create();
+        let mut shadow: Vec<u8> = Vec::new();
+        for (i, &(off, len)) in writes.iter().enumerate() {
+            let data: Vec<u8> = (0..len).map(|k| ((i * 31 + k) % 251) as u8).collect();
+            store.write(id, off, &data).unwrap();
+            let end = off as usize + len;
+            if shadow.len() < end {
+                shadow.resize(end, 0);
+            }
+            shadow[off as usize..end].copy_from_slice(&data);
+        }
+        if let Some(tr) = truncate_to {
+            store.truncate(id, tr).unwrap();
+            shadow.resize(tr as usize, 0);
+        }
+        prop_assert_eq!(store.size(id), Some(shadow.len() as u64));
+        let got = store.read(id, 0, shadow.len() + 64).unwrap();
+        prop_assert_eq!(&got[..], &shadow[..]);
+        // Random interior range as well.
+        if !shadow.is_empty() {
+            let mid = shadow.len() / 2;
+            let got = store.read(id, mid as u64, shadow.len()).unwrap();
+            prop_assert_eq!(&got[..], &shadow[mid..]);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Criterion microbenchmarks for the core data structures and hot paths:
+//! MD5, the mapping functions, FID sharding, the znode store, the op
+//! planner, and the simulation kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bytes::Bytes;
+
+use dufs_core::fid::{Fid, FidGenerator};
+use dufs_core::hash::md5;
+use dufs_core::mapping::{BackendMapper, ConsistentHashRing, Md5Mapping};
+use dufs_core::plan::{MetaOp, OpExec, PlanStep, StepResponse};
+use dufs_core::services::{LocalBackends, SoloCoord};
+use dufs_core::shard;
+use dufs_core::vfs::Dufs;
+use dufs_simnet::{Ctx, FixedLatency, NodeId, Process, Sim};
+use dufs_zkstore::{CreateMode, DataTree, MultiOp};
+
+fn bench_md5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5");
+    for size in [16usize, 256, 4096] {
+        let data = vec![0xA5u8; size];
+        g.bench_function(format!("{size}B"), |b| b.iter(|| md5(black_box(&data))));
+    }
+    g.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapping");
+    let fids: Vec<Fid> = {
+        let mut gen = FidGenerator::new(7);
+        (0..1024).map(|_| gen.next_fid()).collect()
+    };
+    let md5m = Md5Mapping::new(4);
+    g.bench_function("md5_mod_n", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % fids.len();
+            black_box(md5m.backend_of(fids[i]))
+        })
+    });
+    let ring = ConsistentHashRing::new(4);
+    g.bench_function("consistent_hash", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % fids.len();
+            black_box(ring.backend_of(fids[i]))
+        })
+    });
+    g.bench_function("shard_path", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % fids.len();
+            black_box(shard::physical_rel_path(fids[i]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_zkstore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zkstore");
+    g.bench_function("create", |b| {
+        b.iter_batched(
+            DataTree::new,
+            |mut t| {
+                for i in 0..100u64 {
+                    t.create(&format!("/n{i}"), Bytes::new(), CreateMode::Persistent, 0, i + 1, 0)
+                        .unwrap();
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut tree = DataTree::new();
+    for i in 0..10_000u64 {
+        tree.create(&format!("/n{i}"), Bytes::from_static(b"x"), CreateMode::Persistent, 0, i + 1, 0)
+            .unwrap();
+    }
+    g.bench_function("get_data_10k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(tree.get_data(&format!("/n{i}")).unwrap())
+        })
+    });
+    g.bench_function("multi_rename", |b| {
+        let mut k = 0u64;
+        let mut t = DataTree::new();
+        t.create("/src0", Bytes::from_static(b"f"), CreateMode::Persistent, 0, 1, 0).unwrap();
+        b.iter(|| {
+            let from = format!("/src{k}");
+            let to = format!("/src{}", k + 1);
+            k += 1;
+            t.apply_multi(
+                &[
+                    MultiOp::Create { path: to, data: Bytes::from_static(b"f"), mode: CreateMode::Persistent },
+                    MultiOp::Delete { path: from, version: None },
+                ],
+                0,
+                k + 1,
+                0,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_dufs_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dufs");
+    g.bench_function("mkdir_stat_rmdir", |b| {
+        let mut fs = Dufs::new(1, SoloCoord::new(), LocalBackends::lustre(2));
+        let mut i = 0u64;
+        b.iter(|| {
+            let p = format!("/d{i}");
+            i += 1;
+            fs.mkdir(&p, 0o755).unwrap();
+            black_box(fs.stat(&p).unwrap());
+            fs.rmdir(&p).unwrap();
+        })
+    });
+    g.bench_function("create_unlink", |b| {
+        let mut fs = Dufs::new(2, SoloCoord::new(), LocalBackends::lustre(2));
+        let mut i = 0u64;
+        b.iter(|| {
+            let p = format!("/f{i}");
+            i += 1;
+            fs.create(&p, 0o644).unwrap();
+            fs.unlink(&p).unwrap();
+        })
+    });
+    g.bench_function("plan_steps_stat_dir", |b| {
+        // Pure planner overhead: one op compiled and fed to completion.
+        let mapper = Md5Mapping::new(2);
+        let data = dufs_core::meta::NodeMeta::dir(0o755).encode();
+        b.iter(|| {
+            let (mut ex, step) =
+                OpExec::start(MetaOp::Stat { path: "/d".into() }, || unreachable!(), &mapper);
+            black_box(&step);
+            let done = ex.feed(
+                StepResponse::Zk(dufs_coord::ZkResponse::Data {
+                    data: data.clone(),
+                    stat: dufs_zkstore::Stat::default(),
+                }),
+                &mapper,
+            );
+            assert!(matches!(done, PlanStep::Done(Ok(_))));
+        })
+    });
+    g.finish();
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    struct PingPong {
+        peer: NodeId,
+        left: u64,
+    }
+    impl Process<u32> for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(self.peer, 0);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, _m: u32) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.send(from, 0);
+            }
+        }
+    }
+    c.bench_function("simnet/pingpong_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1, FixedLatency::micros(10));
+            sim.add_node(PingPong { peer: NodeId(1), left: 5_000 });
+            sim.add_node(PingPong { peer: NodeId(0), left: 5_000 });
+            sim.run_until_idle();
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use dufs_core::cache::CachingCoord;
+    let mut g = c.benchmark_group("metadata_cache");
+    // Read-heavy stat workload with and without the watch-invalidated cache.
+    g.bench_function("stat_uncached", |b| {
+        let mut fs = Dufs::new(3, SoloCoord::new(), LocalBackends::lustre(2));
+        fs.mkdir("/d", 0o755).unwrap();
+        b.iter(|| black_box(fs.stat("/d").unwrap()))
+    });
+    g.bench_function("stat_cached", |b| {
+        let mut fs =
+            Dufs::new(3, CachingCoord::new(SoloCoord::new()), LocalBackends::lustre(2));
+        fs.mkdir("/d", 0o755).unwrap();
+        b.iter(|| black_box(fs.stat("/d").unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_readdirplus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("readdir_plus");
+    for n in [8usize, 64] {
+        // A directory of n subdirectories: the naive ls -l pays 1+n
+        // coordination reads; readdir_plus pays one batched read.
+        let build = |n: usize| {
+            let mut fs = Dufs::new(4, SoloCoord::new(), LocalBackends::lustre(2));
+            fs.mkdir("/d", 0o755).unwrap();
+            for i in 0..n {
+                fs.mkdir(&format!("/d/s{i}"), 0o755).unwrap();
+            }
+            fs
+        };
+        let mut fs = build(n);
+        g.bench_function(format!("naive_readdir_stat_{n}"), |b| {
+            b.iter(|| {
+                let names = fs.readdir("/d").unwrap();
+                for name in &names {
+                    black_box(fs.stat(&format!("/d/{name}")).unwrap());
+                }
+            })
+        });
+        let mut fs = build(n);
+        g.bench_function(format!("readdir_plus_{n}"), |b| {
+            b.iter(|| black_box(fs.readdir_plus("/d").unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    use dufs_zkstore::snapshot;
+    let mut tree = DataTree::new();
+    for i in 0..10_000u64 {
+        tree.create(&format!("/n{i}"), Bytes::from_static(b"meta"), CreateMode::Persistent, 0, i + 1, 0)
+            .unwrap();
+    }
+    let mut g = c.benchmark_group("snapshot");
+    g.bench_function("encode_10k", |b| b.iter(|| black_box(snapshot::encode(&tree))));
+    let blob = snapshot::encode(&tree);
+    g.bench_function("decode_10k", |b| b.iter(|| black_box(snapshot::decode(&blob).unwrap())));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_md5,
+    bench_mapping,
+    bench_zkstore,
+    bench_dufs_ops,
+    bench_simnet,
+    bench_cache,
+    bench_readdirplus,
+    bench_snapshot
+);
+criterion_main!(benches);

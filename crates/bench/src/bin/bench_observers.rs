@@ -1,0 +1,63 @@
+//! Extension — **observers**: ZooKeeper's answer to the exact trade-off
+//! Fig 7 exposes (reads scale with servers, writes slow with servers,
+//! §V-B settles on 8 as "a good compromise").
+//!
+//! A non-voting observer replicates the committed stream and serves local
+//! reads, but never joins election/ack quorums — so adding observers buys
+//! read throughput *without* adding propose/ack/commit work at the leader.
+//! This bench holds the voter count at 3 and sweeps observers, against the
+//! paper's approach of growing the voting ensemble.
+
+use dufs_bench::{fmt_ops, full_scale, items_per_proc, Table};
+use dufs_mdtest::scenario::{run_zk_raw, run_zk_raw_observers, RawOp};
+
+fn main() {
+    let procs = if full_scale() { 128 } else { 48 };
+    let items = items_per_proc();
+    println!("Observer ablation ({procs} client processes)\n");
+    println!("growing the VOTING ensemble (the paper's only option):");
+    let mut t = Table::new(vec!["voters", "create ops/s", "get ops/s"]);
+    let mut create3 = 0.0;
+    let mut create8 = 0.0;
+    for n in [3usize, 5, 8] {
+        let create = run_zk_raw(n, procs, RawOp::Create, items, 3);
+        let get = run_zk_raw(n, procs, RawOp::Get, items, 3);
+        if n == 3 {
+            create3 = create;
+        }
+        if n == 8 {
+            create8 = create;
+        }
+        t.row(vec![n.to_string(), fmt_ops(create), fmt_ops(get)]);
+    }
+    t.print();
+
+    println!("\nholding 3 voters and adding OBSERVERS instead:");
+    let mut t = Table::new(vec!["voters+observers", "create ops/s", "get ops/s"]);
+    let mut first_create = 0.0;
+    let mut last = (0.0, 0.0);
+    for o in [0usize, 2, 5] {
+        let create = run_zk_raw_observers(3, o, procs, RawOp::Create, items, 3);
+        let get = run_zk_raw_observers(3, o, procs, RawOp::Get, items, 3);
+        if o == 0 {
+            first_create = create;
+        }
+        last = (create, get);
+        t.row(vec![format!("3+{o}"), fmt_ops(create), fmt_ops(get)]);
+    }
+    t.print();
+
+    let (create_with_obs, get_with_obs) = last;
+    let obs_penalty = (1.0 - create_with_obs / first_create) * 100.0;
+    let voter_penalty = (1.0 - create8 / create3) * 100.0;
+    println!(
+        "\nsame 8 servers either way: 8 voters -> writes -{voter_penalty:.0}%; \
+         3 voters + 5 observers -> writes -{obs_penalty:.0}% and reads {} \
+         (the residual cost is the one INFORM per observer per commit).",
+        fmt_ops(get_with_obs)
+    );
+    println!(
+        "shape check: observers at most half the voting write penalty => {}",
+        if obs_penalty < voter_penalty / 2.0 + 1.0 { "OK" } else { "MISMATCH" }
+    );
+}

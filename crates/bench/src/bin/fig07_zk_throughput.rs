@@ -1,0 +1,63 @@
+//! Fig 7 — raw coordination-service throughput for the four basic
+//! operations (`zoo_create`, `zoo_delete`, `zoo_set`, `zoo_get`), varying
+//! the ensemble size (1/4/8 servers) and the number of closed-loop client
+//! processes spread over 8 client nodes.
+//!
+//! Paper behaviour to reproduce: mutation throughput *drops* as servers are
+//! added (every follower adds propose/ack/commit work at the leader), while
+//! read throughput *scales out* (each server answers reads locally).
+//!
+//! Run with `FULL=1` for the paper-scale sweep.
+
+use dufs_bench::{fmt_ops, full_scale, items_per_proc, process_counts, Table};
+use dufs_mdtest::scenario::{run_zk_raw, RawOp};
+
+fn main() {
+    let servers = [1usize, 4, 8];
+    let procs = process_counts();
+    let items = items_per_proc();
+    println!(
+        "Fig 7: raw coordination throughput (ops/sec), {} scale\n",
+        if full_scale() { "FULL" } else { "quick" }
+    );
+
+    for (op, caption) in [
+        (RawOp::Create, "(a) zoo_create()"),
+        (RawOp::Delete, "(b) zoo_delete()"),
+        (RawOp::Set, "(c) zoo_set()"),
+        (RawOp::Get, "(d) zoo_get()"),
+    ] {
+        println!("{caption}");
+        let mut t = Table::new(
+            std::iter::once("procs".to_string())
+                .chain(servers.iter().map(|s| format!("{s} server(s)")))
+                .collect::<Vec<_>>(),
+        );
+        let mut peak: Vec<f64> = vec![0.0; servers.len()];
+        for &p in &procs {
+            let mut row = vec![p.to_string()];
+            for (i, &s) in servers.iter().enumerate() {
+                let x = run_zk_raw(s, p, op, items, 42);
+                peak[i] = peak[i].max(x);
+                row.push(fmt_ops(x));
+            }
+            t.row(row);
+        }
+        t.print();
+        match op {
+            RawOp::Get => println!(
+                "  shape check: reads scale OUT with servers (paper Fig 7d): 1s={} 8s={} => {}\n",
+                fmt_ops(peak[0]),
+                fmt_ops(peak[2]),
+                if peak[2] > peak[0] * 2.0 { "OK" } else { "MISMATCH" }
+            ),
+            _ => println!(
+                "  shape check: writes slow DOWN with servers (paper Fig 7a-c): 1s={} 8s={} => {}\n",
+                fmt_ops(peak[0]),
+                fmt_ops(peak[2]),
+                if peak[0] > peak[2] * 1.5 { "OK" } else { "MISMATCH" }
+            ),
+        }
+    }
+    println!("paper anchors: 1-server create ~14k ops/s; 8-server create ~6k; 8-server get ~160k");
+}

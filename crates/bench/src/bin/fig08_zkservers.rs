@@ -1,0 +1,101 @@
+//! Fig 8 — mdtest operation throughput through DUFS (2 Lustre back-ends)
+//! while varying the coordination-ensemble size (1/4/8 servers), against
+//! the Basic Lustre baseline; 64/128/256 client processes.
+//!
+//! Paper behaviour to reproduce: stat-style (read) phases improve markedly
+//! with more coordination servers; mutation phases barely move (or dip);
+//! "8 ZooKeeper servers is a good compromise" (§V-B).
+
+use dufs_bench::{fmt_ops, full_scale, items_per_proc, process_counts, Table};
+use dufs_mdtest::scenario::{run_mdtest, MdtestConfig, MdtestSystem};
+use dufs_mdtest::workload::{Phase, WorkloadSpec};
+
+fn spec(processes: usize) -> WorkloadSpec {
+    let items = items_per_proc();
+    WorkloadSpec {
+        processes,
+        fanout: 10,
+        dirs_per_proc: items,
+        files_per_proc: items,
+        phases: Phase::ALL.to_vec(),
+        shared_dir: false,
+    }
+}
+
+fn main() {
+    let procs = process_counts();
+    let systems: Vec<(String, MdtestSystem)> = vec![
+        ("Basic Lustre".into(), MdtestSystem::BasicLustre),
+        ("1 Zookeeper".into(), MdtestSystem::DufsLustre { zk_servers: 1, backends: 2 }),
+        ("4 Zookeeper".into(), MdtestSystem::DufsLustre { zk_servers: 4, backends: 2 }),
+        ("8 Zookeeper".into(), MdtestSystem::DufsLustre { zk_servers: 8, backends: 2 }),
+    ];
+    println!(
+        "Fig 8: DUFS (2 Lustre back-ends) vs ensemble size, {} scale\n",
+        if full_scale() { "FULL" } else { "quick" }
+    );
+
+    // results[system][proc][phase] -> ops/sec
+    let mut results = Vec::new();
+    for (_, sys) in &systems {
+        let mut per_proc = Vec::new();
+        for &p in &procs {
+            let cfg = MdtestConfig { system: *sys, spec: spec(p), seed: 7, crash_coord: None };
+            per_proc.push(run_mdtest(&cfg));
+        }
+        results.push(per_proc);
+    }
+
+    for (pi, phase) in Phase::ALL.iter().enumerate() {
+        println!("({}) {}", (b'a' + pi as u8) as char, phase.label());
+        let mut t = Table::new(
+            std::iter::once("procs".to_string())
+                .chain(systems.iter().map(|(n, _)| n.clone()))
+                .collect::<Vec<_>>(),
+        );
+        for (qi, &p) in procs.iter().enumerate() {
+            let mut row = vec![p.to_string()];
+            for res in &results {
+                let r = res[qi].iter().find(|r| r.phase == *phase).expect("phase present");
+                row.push(fmt_ops(r.ops_per_sec));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+
+    // Shape checks at the largest client count.
+    let last = procs.len() - 1;
+    let get = |sys_idx: usize, phase: Phase| {
+        results[sys_idx][last]
+            .iter()
+            .find(|r| r.phase == phase)
+            .map(|r| r.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    let zk1_stat = get(1, Phase::DirStat);
+    let zk8_stat = get(3, Phase::DirStat);
+    println!(
+        "shape check: dir stat improves with ensemble size (Fig 8c): 1zk={} 8zk={} => {}",
+        fmt_ops(zk1_stat),
+        fmt_ops(zk8_stat),
+        if zk8_stat > zk1_stat * 1.5 { "OK" } else { "MISMATCH" }
+    );
+    let zk1_cre = get(1, Phase::DirCreate);
+    let zk8_cre = get(3, Phase::DirCreate);
+    println!(
+        "shape check: dir create does NOT improve with ensemble size (Fig 8a): 1zk={} 8zk={} => {}",
+        fmt_ops(zk1_cre),
+        fmt_ops(zk8_cre),
+        if zk8_cre < zk1_cre * 1.3 { "OK" } else { "MISMATCH" }
+    );
+    let lustre = get(0, Phase::DirCreate);
+    let dufs8 = get(3, Phase::DirCreate);
+    println!(
+        "shape check: DUFS beats Basic Lustre for dir create at max procs (Fig 8a): lustre={} dufs={} => {}",
+        fmt_ops(lustre),
+        fmt_ops(dufs8),
+        if dufs8 > lustre { "OK" } else { "MISMATCH" }
+    );
+}

@@ -1,0 +1,92 @@
+//! Fig 9 — file-operation throughput for DUFS with 2 vs 4 Lustre
+//! back-ends (8 coordination servers) against Basic Lustre.
+//!
+//! Paper behaviour to reproduce: creation/removal barely improve with more
+//! back-ends (the coordination write pipeline dominates), while file stat
+//! gains substantially — "an improvement of more than 37% with 256 client
+//! processes" (§V-C).
+
+use dufs_bench::{fmt_ops, full_scale, items_per_proc, process_counts, Table};
+use dufs_mdtest::scenario::{run_mdtest, MdtestConfig, MdtestSystem};
+use dufs_mdtest::workload::{Phase, WorkloadSpec};
+
+fn spec(processes: usize) -> WorkloadSpec {
+    let items = items_per_proc();
+    WorkloadSpec {
+        processes,
+        fanout: 10,
+        dirs_per_proc: items,
+        files_per_proc: items,
+        phases: Phase::ALL.to_vec(),
+        shared_dir: false,
+    }
+}
+
+fn main() {
+    let procs = process_counts();
+    let systems: Vec<(String, MdtestSystem)> = vec![
+        ("Basic Lustre".into(), MdtestSystem::BasicLustre),
+        ("DUFS 2 backends".into(), MdtestSystem::DufsLustre { zk_servers: 8, backends: 2 }),
+        ("DUFS 4 backends".into(), MdtestSystem::DufsLustre { zk_servers: 8, backends: 4 }),
+    ];
+    println!(
+        "Fig 9: file operations vs number of back-end storages, {} scale\n",
+        if full_scale() { "FULL" } else { "quick" }
+    );
+
+    let mut results = Vec::new();
+    for (_, sys) in &systems {
+        let mut per_proc = Vec::new();
+        for &p in &procs {
+            let cfg = MdtestConfig { system: *sys, spec: spec(p), seed: 11, crash_coord: None };
+            per_proc.push(run_mdtest(&cfg));
+        }
+        results.push(per_proc);
+    }
+
+    for (tag, phase) in
+        [("(a)", Phase::FileCreate), ("(b)", Phase::FileRemove), ("(c)", Phase::FileStat)]
+    {
+        println!("{tag} {}", phase.label());
+        let mut t = Table::new(
+            std::iter::once("procs".to_string())
+                .chain(systems.iter().map(|(n, _)| n.clone()))
+                .collect::<Vec<_>>(),
+        );
+        for (qi, &p) in procs.iter().enumerate() {
+            let mut row = vec![p.to_string()];
+            for res in &results {
+                let r = res[qi].iter().find(|r| r.phase == phase).expect("phase present");
+                row.push(fmt_ops(r.ops_per_sec));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+
+    let last = procs.len() - 1;
+    let get = |sys_idx: usize, phase: Phase| {
+        results[sys_idx][last]
+            .iter()
+            .find(|r| r.phase == phase)
+            .map(|r| r.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    let stat2 = get(1, Phase::FileStat);
+    let stat4 = get(2, Phase::FileStat);
+    let gain = (stat4 / stat2 - 1.0) * 100.0;
+    println!(
+        "shape check: file stat gains with 4 vs 2 back-ends at max procs (paper: >37%): {:.0}% => {}",
+        gain,
+        if gain > 20.0 { "OK" } else { "MISMATCH" }
+    );
+    let cre2 = get(1, Phase::FileCreate);
+    let cre4 = get(2, Phase::FileCreate);
+    println!(
+        "shape check: file create gains only slightly (paper: 'small improvement'): 2be={} 4be={} => {}",
+        fmt_ops(cre2),
+        fmt_ops(cre4),
+        if cre4 < cre2 * 1.25 { "OK" } else { "MISMATCH" }
+    );
+}

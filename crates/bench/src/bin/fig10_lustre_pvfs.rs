@@ -1,0 +1,108 @@
+//! Fig 10 — the paper's headline comparison: Basic Lustre, DUFS over
+//! 2 Lustre mounts, Basic PVFS2, and DUFS over 2 PVFS2 mounts, across
+//! client-process counts, for all six mdtest operations.
+//!
+//! Paper behaviour to reproduce (§V-D):
+//! * Lustre is strong at few clients and *degrades* as they multiply;
+//! * DUFS is mediocre at small scale but overtakes Lustre at 256 procs on
+//!   all six operations;
+//! * directory operations through DUFS are identical for both back-ends
+//!   (they never touch the back-end);
+//! * Basic PVFS2 mutation throughput is an order of magnitude below
+//!   everything else; DUFS-over-PVFS2 ≫ PVFS2 alone.
+
+use dufs_bench::{fmt_ops, full_scale, items_per_proc, process_counts, Table};
+use dufs_mdtest::scenario::{run_mdtest, MdtestConfig, MdtestSystem, PhaseResult};
+use dufs_mdtest::workload::{Phase, WorkloadSpec};
+
+fn spec(processes: usize) -> WorkloadSpec {
+    let items = items_per_proc();
+    WorkloadSpec {
+        processes,
+        fanout: 10,
+        dirs_per_proc: items,
+        files_per_proc: items,
+        phases: Phase::ALL.to_vec(),
+        shared_dir: false,
+    }
+}
+
+fn main() {
+    let procs = process_counts();
+    let systems: Vec<(String, MdtestSystem)> = vec![
+        ("Basic Lustre".into(), MdtestSystem::BasicLustre),
+        ("DUFS 2xLustre".into(), MdtestSystem::DufsLustre { zk_servers: 8, backends: 2 }),
+        ("Basic PVFS".into(), MdtestSystem::BasicPvfs2),
+        ("DUFS 2xPVFS".into(), MdtestSystem::DufsPvfs2 { zk_servers: 8, backends: 2 }),
+    ];
+    println!(
+        "Fig 10: DUFS vs native Lustre/PVFS2, {} scale\n",
+        if full_scale() { "FULL" } else { "quick" }
+    );
+
+    let mut results: Vec<Vec<Vec<PhaseResult>>> = Vec::new();
+    for (_, sys) in &systems {
+        let mut per_proc = Vec::new();
+        for &p in &procs {
+            let cfg = MdtestConfig { system: *sys, spec: spec(p), seed: 13, crash_coord: None };
+            per_proc.push(run_mdtest(&cfg));
+        }
+        results.push(per_proc);
+    }
+
+    for (pi, phase) in Phase::ALL.iter().enumerate() {
+        println!("({}) {}", (b'a' + pi as u8) as char, phase.label());
+        let mut t = Table::new(
+            std::iter::once("procs".to_string())
+                .chain(systems.iter().map(|(n, _)| n.clone()))
+                .collect::<Vec<_>>(),
+        );
+        for (qi, &p) in procs.iter().enumerate() {
+            let mut row = vec![p.to_string()];
+            for res in &results {
+                let r = res[qi].iter().find(|r| r.phase == *phase).expect("phase present");
+                row.push(fmt_ops(r.ops_per_sec));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+
+    // Shape checks at the largest client count.
+    let last = procs.len() - 1;
+    let get = |sys_idx: usize, phase: Phase| {
+        results[sys_idx][last]
+            .iter()
+            .find(|r| r.phase == phase)
+            .map(|r| r.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    let mut ok = true;
+    for phase in Phase::ALL {
+        let lustre = get(0, phase);
+        let dufs = get(1, phase);
+        let win = dufs > lustre;
+        ok &= win;
+        println!(
+            "  {} at max procs: Basic Lustre={}, DUFS={}  [{}]",
+            phase.label(),
+            fmt_ops(lustre),
+            fmt_ops(dufs),
+            if win { "DUFS wins - matches paper" } else { "MISMATCH" }
+        );
+    }
+    let dir_dufs_lustre = get(1, Phase::DirCreate);
+    let dir_dufs_pvfs = get(3, Phase::DirCreate);
+    let dir_agree = (dir_dufs_lustre - dir_dufs_pvfs).abs() / dir_dufs_lustre < 0.15;
+    println!(
+        "  dir ops identical for both DUFS back-ends (never touch storage): {} vs {} [{}]",
+        fmt_ops(dir_dufs_lustre),
+        fmt_ops(dir_dufs_pvfs),
+        if dir_agree { "OK" } else { "MISMATCH" }
+    );
+    println!(
+        "\noverall: {}",
+        if ok { "DUFS outperforms Lustre for all 6 operations at max procs (paper SVII)" } else { "some shapes mismatched" }
+    );
+}

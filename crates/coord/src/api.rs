@@ -1,0 +1,190 @@
+//! The client-visible request/response API — the synchronous ZooKeeper API
+//! surface the DUFS prototype is built on (`zoo_create`, `zoo_get`,
+//! `zoo_set`, `zoo_delete`, `zoo_get_children`, `zoo_exists`, multi, sync).
+
+use bytes::Bytes;
+
+use dufs_zkstore::{CreateMode, MultiOp, MultiResult, Stat, ZkError};
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkRequest {
+    /// Open a session (replicated, so every server can clean up the
+    /// session's ephemerals if it dies).
+    Connect,
+    /// Close the session, deleting its ephemeral znodes.
+    CloseSession,
+    /// `zoo_create`.
+    Create {
+        /// Znode path.
+        path: String,
+        /// Payload (DUFS: node type byte + FID for files).
+        data: Bytes,
+        /// Create mode.
+        mode: CreateMode,
+    },
+    /// `zoo_delete`.
+    Delete {
+        /// Znode path.
+        path: String,
+        /// Conditional version.
+        version: Option<u32>,
+    },
+    /// `zoo_set`.
+    SetData {
+        /// Znode path.
+        path: String,
+        /// New payload.
+        data: Bytes,
+        /// Conditional version.
+        version: Option<u32>,
+    },
+    /// `zoo_get`, optionally leaving a data watch.
+    GetData {
+        /// Znode path.
+        path: String,
+        /// Register a one-shot data watch.
+        watch: bool,
+    },
+    /// `zoo_exists`, optionally leaving an existence watch.
+    Exists {
+        /// Znode path.
+        path: String,
+        /// Register a one-shot existence watch.
+        watch: bool,
+    },
+    /// `zoo_get_children`, optionally leaving a child watch.
+    GetChildren {
+        /// Znode path.
+        path: String,
+        /// Register a one-shot child watch.
+        watch: bool,
+    },
+    /// Batched listing: the children of a znode together with each child's
+    /// data and stat, in one round trip. ZooKeeper itself lacks this (one
+    /// `zoo_get` per child is a classic `ls -l` pain point); DUFS's
+    /// `readdir_plus` is built on it.
+    GetChildrenData {
+        /// Znode path.
+        path: String,
+    },
+    /// Atomic multi-op transaction.
+    Multi {
+        /// Operations, applied all-or-nothing.
+        ops: Vec<MultiOp>,
+    },
+    /// Flush this server up to the leader's current commit point, so a
+    /// subsequent local read observes everything committed before the sync.
+    Sync,
+    /// Session liveness ping (also returns the server's applied zxid, which
+    /// doubles as a cheap progress probe in tests).
+    Ping,
+}
+
+impl ZkRequest {
+    /// Read-only requests are served locally without touching the leader —
+    /// the property behind ZooKeeper's read scaling (paper Fig 7d).
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            ZkRequest::GetData { .. }
+                | ZkRequest::Exists { .. }
+                | ZkRequest::GetChildren { .. }
+                | ZkRequest::GetChildrenData { .. }
+                | ZkRequest::Ping
+        )
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkResponse {
+    /// Session established.
+    Connected {
+        /// The new session id.
+        session: u64,
+    },
+    /// Session closed.
+    Closed,
+    /// Create succeeded; the actual path (sequential suffix included).
+    Created {
+        /// Actual znode path.
+        path: String,
+    },
+    /// Delete succeeded.
+    Deleted,
+    /// SetData succeeded; the new stat.
+    Stat(Stat),
+    /// GetData result.
+    Data {
+        /// Payload.
+        data: Bytes,
+        /// Current stat.
+        stat: Stat,
+    },
+    /// Exists result (`None` = no node; *not* an error, per ZooKeeper).
+    ExistsResult(Option<Stat>),
+    /// GetChildren result.
+    Children {
+        /// Sorted child names.
+        names: Vec<String>,
+        /// Parent stat.
+        stat: Stat,
+    },
+    /// GetChildrenData result: each child with its payload and stat.
+    ChildrenData {
+        /// Sorted `(name, data, stat)` triples.
+        entries: Vec<(String, Bytes, Stat)>,
+    },
+    /// Multi succeeded.
+    MultiResults(Vec<MultiResult>),
+    /// Sync complete; the zxid this server has applied up to.
+    Synced {
+        /// Applied zxid (raw form).
+        zxid: u64,
+    },
+    /// Ping reply with the server's applied zxid.
+    Pong {
+        /// Applied zxid (raw form).
+        zxid: u64,
+    },
+    /// The request failed.
+    Error(ZkError),
+}
+
+impl ZkResponse {
+    /// Extract the error, if this is one.
+    pub fn err(&self) -> Option<ZkError> {
+        match self {
+            ZkResponse::Error(e) => Some(*e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_classification() {
+        assert!(ZkRequest::GetData { path: "/a".into(), watch: false }.is_read());
+        assert!(ZkRequest::Exists { path: "/a".into(), watch: true }.is_read());
+        assert!(ZkRequest::GetChildren { path: "/a".into(), watch: false }.is_read());
+        assert!(ZkRequest::Ping.is_read());
+        assert!(!ZkRequest::Sync.is_read(), "sync consults the leader");
+        assert!(!ZkRequest::Create {
+            path: "/a".into(),
+            data: Bytes::new(),
+            mode: CreateMode::Persistent
+        }
+        .is_read());
+        assert!(!ZkRequest::Multi { ops: vec![] }.is_read());
+    }
+
+    #[test]
+    fn response_err_extraction() {
+        assert_eq!(ZkResponse::Error(ZkError::NoNode).err(), Some(ZkError::NoNode));
+        assert_eq!(ZkResponse::Deleted.err(), None);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # dufs-coord — the replicated coordination service
+//!
+//! The ZooKeeper-equivalent that DUFS delegates all namespace metadata to
+//! (paper §II-C, §IV-D). A coordination ensemble is a set of
+//! [`server::CoordServer`]s, each combining:
+//!
+//! * a [`dufs_zab::ZabPeer`] for leader election and atomic broadcast,
+//! * a replicated [`dufs_zkstore::DataTree`] applied in commit order,
+//! * server-local sessions and one-shot watches.
+//!
+//! **Consistency model** (exactly ZooKeeper's, which the paper's argument
+//! requires): all mutations are totally ordered by the leader and applied in
+//! the same order on every server; reads are served locally by whichever
+//! server the client is connected to (sequentially consistent, possibly
+//! slightly stale); `sync` flushes a server up to the leader's commit point.
+//! This split is what makes reads scale *with* ensemble size while mutations
+//! slow *down* — Fig 7 of the paper, regenerated in `dufs-bench`.
+//!
+//! Like the protocol crates underneath, the server is a pure state machine
+//! ([`server::CoordServer::handle`]); the crate also ships a ready-to-use
+//! threaded runtime ([`runtime::ThreadCluster`]) that hosts an ensemble on
+//! OS threads with crossbeam channels, giving a synchronous client API
+//! ([`runtime::ZkClient`]) equivalent to the ZooKeeper sync API the paper's
+//! prototype uses.
+
+pub mod api;
+pub mod runtime;
+pub mod server;
+pub mod txn;
+pub mod watch;
+
+pub use api::{ZkRequest, ZkResponse};
+pub use runtime::{ThreadCluster, ZkClient};
+pub use server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
+pub use txn::{Txn, TxnOp};
+pub use watch::{WatchKind, WatchNotification};

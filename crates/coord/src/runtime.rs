@@ -1,0 +1,503 @@
+//! Threaded runtime: hosts a coordination ensemble on OS threads with
+//! channel "networking", and exposes the synchronous client API the DUFS
+//! prototype uses (paper §IV-D: "The synchronous ZooKeeper API were used").
+//!
+//! This is the runtime used by the library examples and the functional
+//! integration tests; the performance figures use the deterministic
+//! simulator in `dufs-mdtest` instead (same [`CoordServer`] state machine,
+//! different driver).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+
+use dufs_zab::{EnsembleConfig, PeerId};
+use dufs_zkstore::{CreateMode, MultiOp, MultiResult, Stat, ZkError};
+
+use crate::api::{ZkRequest, ZkResponse};
+use crate::server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
+use crate::watch::WatchNotification;
+
+/// Events delivered to a client handle.
+#[derive(Debug, Clone)]
+pub enum ClientEvent {
+    /// Response to a request.
+    Resp {
+        /// Echo of the request id.
+        req_id: u64,
+        /// The response.
+        resp: ZkResponse,
+    },
+    /// An asynchronous watch notification.
+    Watch(WatchNotification),
+}
+
+/// Snapshot of one server's state (test/diagnostic probe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStatus {
+    /// Whether this server is the established leader.
+    pub is_leader: bool,
+    /// Raw zxid applied up to.
+    pub last_applied: u64,
+    /// Number of znodes in the local replica.
+    pub node_count: usize,
+    /// Content digest of the local replica.
+    pub digest: u64,
+    /// Whether the simulated process is up.
+    pub alive: bool,
+}
+
+enum Envelope {
+    Client { client: ClientId, req_id: u64, session: u64, req: ZkRequest },
+    Register { client: ClientId, events: Sender<ClientEvent> },
+    Peer { from: PeerId, msg: CoordMsg },
+    Inspect { reply: Sender<ServerStatus> },
+    Crash,
+    Restart,
+    Shutdown,
+}
+
+/// A coordination ensemble running on OS threads.
+pub struct ThreadCluster {
+    senders: Vec<Sender<Envelope>>,
+    handles: Vec<JoinHandle<()>>,
+    next_client: AtomicU64,
+    epoch: Instant,
+}
+
+impl ThreadCluster {
+    /// Start an ensemble of `n` voting servers.
+    pub fn start(n: usize) -> Self {
+        Self::start_with_observers(n, 0)
+    }
+
+    /// Start `voters` voting servers plus `observers` non-voting read
+    /// replicas (ids `voters..voters+observers`).
+    pub fn start_with_observers(voters: usize, observers: usize) -> Self {
+        let n = voters + observers;
+        let config = EnsembleConfig::with_observers(voters, observers);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let epoch = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let peers = senders.clone();
+            let cfg = config.clone();
+            let me = PeerId(i as u32);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("coord-{i}"))
+                    .spawn(move || server_thread(me, cfg, rx, peers, epoch))
+                    .expect("spawn server thread"),
+            );
+        }
+        ThreadCluster { senders, handles, next_client: AtomicU64::new(1), epoch }
+    }
+
+    /// Ensemble size.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Time since cluster start (the clock fed to servers).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Open a session against server `server_idx`. Retries while the
+    /// ensemble elects.
+    pub fn client(&self, server_idx: usize) -> ZkClient {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        let server = self.senders[server_idx].clone();
+        server.send(Envelope::Register { client: id, events: tx }).expect("server alive");
+        let mut c = ZkClient {
+            id,
+            session: 0,
+            server,
+            events: rx,
+            next_req: 1,
+            timeout: Duration::from_secs(5),
+            watches: VecDeque::new(),
+        };
+        // Establish a session; retry through elections (up to ~30 s).
+        for _ in 0..300 {
+            match c.raw_request(ZkRequest::Connect) {
+                ZkResponse::Connected { session } => {
+                    c.session = session;
+                    return c;
+                }
+                _ => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+        panic!("ensemble failed to accept a session");
+    }
+
+    /// Probe one server's status.
+    pub fn status(&self, server_idx: usize) -> ServerStatus {
+        let (tx, rx) = bounded(1);
+        self.senders[server_idx].send(Envelope::Inspect { reply: tx }).expect("server alive");
+        rx.recv_timeout(Duration::from_secs(5)).expect("status reply")
+    }
+
+    /// Index of the established leader, if any.
+    pub fn leader_index(&self) -> Option<usize> {
+        (0..self.len()).find(|&i| self.status(i).is_leader)
+    }
+
+    /// Wait (up to `timeout`) for a leader to be established.
+    pub fn await_leader(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if let Some(l) = self.leader_index() {
+                return Some(l);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        None
+    }
+
+    /// Crash a server (drops its volatile state; the log survives).
+    pub fn crash(&self, server_idx: usize) {
+        let _ = self.senders[server_idx].send(Envelope::Crash);
+    }
+
+    /// Restart a crashed server.
+    pub fn restart(&self, server_idx: usize) {
+        let _ = self.senders[server_idx].send(Envelope::Restart);
+    }
+
+    /// Stop all server threads and join them.
+    pub fn shutdown(self) {
+        for s in &self.senders {
+            let _ = s.send(Envelope::Shutdown);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn server_thread(
+    me: PeerId,
+    config: EnsembleConfig,
+    rx: Receiver<Envelope>,
+    peers: Vec<Sender<Envelope>>,
+    epoch: Instant,
+) {
+    let (mut server, init) = CoordServer::new(me, config);
+    let mut clients: HashMap<ClientId, Sender<ClientEvent>> = HashMap::new();
+    let mut timers: Vec<(Instant, CoordTimer)> = Vec::new();
+    let mut alive = true;
+
+    let now_ns = |epoch: &Instant| epoch.elapsed().as_nanos() as u64;
+
+    let exec = |outs: Vec<ServerOut>,
+                clients: &mut HashMap<ClientId, Sender<ClientEvent>>,
+                timers: &mut Vec<(Instant, CoordTimer)>,
+                peers: &[Sender<Envelope>],
+                me: PeerId| {
+        for o in outs {
+            match o {
+                ServerOut::Client { client, req_id, resp } => {
+                    if let Some(tx) = clients.get(&client) {
+                        let _ = tx.send(ClientEvent::Resp { req_id, resp });
+                    }
+                }
+                ServerOut::Peer { to, msg } => {
+                    if let Some(tx) = peers.get(to.0 as usize) {
+                        let _ = tx.send(Envelope::Peer { from: me, msg });
+                    }
+                }
+                ServerOut::Timer { timer, after_ms } => {
+                    // Dilate protocol timers: the state machines are tuned
+                    // for a quiet network; on a loaded CI machine, thread
+                    // scheduling jitter of hundreds of ms would otherwise
+                    // trip watchdogs and flap elections. Relative timing is
+                    // preserved.
+                    const TIME_DILATION: u64 = 3;
+                    timers.push((
+                        Instant::now() + Duration::from_millis(after_ms * TIME_DILATION),
+                        timer,
+                    ));
+                }
+                ServerOut::Watch { client, note } => {
+                    if let Some(tx) = clients.get(&client) {
+                        let _ = tx.send(ClientEvent::Watch(note));
+                    }
+                }
+            }
+        }
+    };
+
+    exec(init, &mut clients, &mut timers, &peers, me);
+
+    loop {
+        // Fire due timers.
+        if alive {
+            let now = Instant::now();
+            let mut due = Vec::new();
+            timers.retain(|&(at, t)| {
+                if at <= now {
+                    due.push(t);
+                    false
+                } else {
+                    true
+                }
+            });
+            for t in due {
+                let outs = server.handle(now_ns(&epoch), ServerIn::Timer(t));
+                exec(outs, &mut clients, &mut timers, &peers, me);
+            }
+        }
+        // Wait for traffic or the next timer.
+        let next_deadline = timers.iter().map(|&(at, _)| at).min();
+        let wait = next_deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50))
+            .min(Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(Envelope::Shutdown) => return,
+            Ok(Envelope::Register { client, events }) => {
+                clients.insert(client, events);
+            }
+            Ok(Envelope::Crash) => {
+                if alive {
+                    alive = false;
+                    timers.clear();
+                    server.on_crash();
+                }
+            }
+            Ok(Envelope::Restart) => {
+                if !alive {
+                    alive = true;
+                    let outs = server.on_restart(now_ns(&epoch));
+                    exec(outs, &mut clients, &mut timers, &peers, me);
+                }
+            }
+            Ok(Envelope::Inspect { reply }) => {
+                let _ = reply.send(ServerStatus {
+                    is_leader: alive && server.is_leader(),
+                    last_applied: server.last_applied(),
+                    node_count: server.tree().node_count(),
+                    digest: server.tree().digest(),
+                    alive,
+                });
+            }
+            Ok(Envelope::Client { client, req_id, session, req }) => {
+                if alive {
+                    let outs = server
+                        .handle(now_ns(&epoch), ServerIn::Client { client, req_id, session, req });
+                    exec(outs, &mut clients, &mut timers, &peers, me);
+                }
+            }
+            Ok(Envelope::Peer { from, msg }) => {
+                if alive {
+                    let outs = server.handle(now_ns(&epoch), ServerIn::Peer { from, msg });
+                    exec(outs, &mut clients, &mut timers, &peers, me);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Synchronous client handle — the `zoo_*` API surface.
+pub struct ZkClient {
+    id: ClientId,
+    session: u64,
+    server: Sender<Envelope>,
+    events: Receiver<ClientEvent>,
+    next_req: u64,
+    timeout: Duration,
+    watches: VecDeque<WatchNotification>,
+}
+
+impl ZkClient {
+    /// This client's session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Adjust the per-request timeout (default 5 s).
+    pub fn set_timeout(&mut self, t: Duration) {
+        self.timeout = t;
+    }
+
+    fn raw_request(&mut self, req: ZkRequest) -> ZkResponse {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        if self
+            .server
+            .send(Envelope::Client { client: self.id, req_id, session: self.session, req })
+            .is_err()
+        {
+            return ZkResponse::Error(ZkError::ConnectionLoss);
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return ZkResponse::Error(ZkError::ConnectionLoss);
+            }
+            match self.events.recv_timeout(left) {
+                Ok(ClientEvent::Resp { req_id: rid, resp }) if rid == req_id => return resp,
+                Ok(ClientEvent::Resp { .. }) => {} // stale response from a timed-out request
+                Ok(ClientEvent::Watch(n)) => self.watches.push_back(n),
+                Err(_) => return ZkResponse::Error(ZkError::ConnectionLoss),
+            }
+        }
+    }
+
+    /// Issue a request, retrying on `ConnectionLoss` (elections in
+    /// progress). Idempotence caveats are the caller's concern, as with
+    /// real ZooKeeper.
+    pub fn request(&mut self, req: ZkRequest) -> ZkResponse {
+        for attempt in 0..8 {
+            let resp = self.raw_request(req.clone());
+            if resp.err() != Some(ZkError::ConnectionLoss) {
+                return resp;
+            }
+            std::thread::sleep(Duration::from_millis(50 << attempt.min(4)));
+        }
+        ZkResponse::Error(ZkError::ConnectionLoss)
+    }
+
+    /// `zoo_create`: returns the actual created path.
+    pub fn create(&mut self, path: &str, data: Bytes, mode: CreateMode) -> Result<String, ZkError> {
+        match self.request(ZkRequest::Create { path: path.into(), data, mode }) {
+            ZkResponse::Created { path } => Ok(path),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// `zoo_delete`.
+    pub fn delete(&mut self, path: &str, version: Option<u32>) -> Result<(), ZkError> {
+        match self.request(ZkRequest::Delete { path: path.into(), version }) {
+            ZkResponse::Deleted => Ok(()),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// `zoo_set`.
+    pub fn set_data(&mut self, path: &str, data: Bytes, version: Option<u32>) -> Result<Stat, ZkError> {
+        match self.request(ZkRequest::SetData { path: path.into(), data, version }) {
+            ZkResponse::Stat(s) => Ok(s),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// `zoo_get`.
+    pub fn get_data(&mut self, path: &str, watch: bool) -> Result<(Bytes, Stat), ZkError> {
+        match self.request(ZkRequest::GetData { path: path.into(), watch }) {
+            ZkResponse::Data { data, stat } => Ok((data, stat)),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// `zoo_exists`.
+    pub fn exists(&mut self, path: &str, watch: bool) -> Result<Option<Stat>, ZkError> {
+        match self.request(ZkRequest::Exists { path: path.into(), watch }) {
+            ZkResponse::ExistsResult(s) => Ok(s),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// `zoo_get_children`.
+    pub fn get_children(&mut self, path: &str, watch: bool) -> Result<(Vec<String>, Stat), ZkError> {
+        match self.request(ZkRequest::GetChildren { path: path.into(), watch }) {
+            ZkResponse::Children { names, stat } => Ok((names, stat)),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// Batched listing: children plus each child's data and stat in one
+    /// round trip (the primitive behind DUFS `readdir_plus`).
+    pub fn get_children_data(
+        &mut self,
+        path: &str,
+    ) -> Result<Vec<(String, Bytes, Stat)>, ZkError> {
+        match self.request(ZkRequest::GetChildrenData { path: path.into() }) {
+            ZkResponse::ChildrenData { entries } => Ok(entries),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// Atomic multi-op transaction.
+    pub fn multi(&mut self, ops: Vec<MultiOp>) -> Result<Vec<MultiResult>, ZkError> {
+        match self.request(ZkRequest::Multi { ops }) {
+            ZkResponse::MultiResults(r) => Ok(r),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// Flush this client's server up to the leader's commit point.
+    pub fn sync(&mut self) -> Result<u64, ZkError> {
+        match self.request(ZkRequest::Sync) {
+            ZkResponse::Synced { zxid } => Ok(zxid),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// Liveness ping; returns the server's applied zxid.
+    pub fn ping(&mut self) -> Result<u64, ZkError> {
+        match self.request(ZkRequest::Ping) {
+            ZkResponse::Pong { zxid } => Ok(zxid),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// Close the session (deleting its ephemerals).
+    pub fn close(mut self) -> Result<(), ZkError> {
+        match self.request(ZkRequest::CloseSession) {
+            ZkResponse::Closed => Ok(()),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// Pop a pending watch notification, if one arrived.
+    pub fn take_watch(&mut self) -> Option<WatchNotification> {
+        // Drain anything sitting in the channel first.
+        while let Ok(ev) = self.events.try_recv() {
+            match ev {
+                ClientEvent::Watch(n) => self.watches.push_back(n),
+                ClientEvent::Resp { .. } => {}
+            }
+        }
+        self.watches.pop_front()
+    }
+
+    /// Block up to `timeout` for a watch notification.
+    pub fn await_watch(&mut self, timeout: Duration) -> Option<WatchNotification> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(n) = self.take_watch() {
+                return Some(n);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            match self.events.recv_timeout(left) {
+                Ok(ClientEvent::Watch(n)) => return Some(n),
+                Ok(ClientEvent::Resp { .. }) => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}

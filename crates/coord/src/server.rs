@@ -1,0 +1,990 @@
+//! The coordination server: ZAB replication + znode tree + sessions +
+//! watches, as one pure state machine.
+//!
+//! Runtimes (the discrete-event simulator in `dufs-mdtest`, the threaded
+//! cluster in [`crate::runtime`]) feed [`ServerIn`] events in and execute
+//! the returned [`ServerOut`] actions. All clocking comes in through the
+//! `now_ns` argument, so replicas stay deterministic and the same code runs
+//! in virtual or real time.
+
+use std::collections::HashMap;
+
+use dufs_zab::{
+    EnsembleConfig, PeerId, Role, ZabAction, ZabMsg, ZabPeer, ZabTimer, Zxid,
+};
+use dufs_zkstore::{snapshot, DataTree, ZkError};
+
+use crate::api::{ZkRequest, ZkResponse};
+use crate::txn::{Txn, TxnOp};
+use crate::watch::{WatchKind, WatchManager, WatchNotification};
+
+/// Opaque client handle assigned by the hosting runtime.
+pub type ClientId = u64;
+
+/// Session liveness window: a session silent for this long is expired and
+/// its ephemerals deleted.
+pub const SESSION_TIMEOUT_MS: u64 = 30_000;
+/// How often each server sweeps its sessions for expiry.
+pub const SESSION_SWEEP_MS: u64 = 5_000;
+/// Checkpoint the znode tree and compact the replication log every this
+/// many applied transactions (ZooKeeper's periodic fuzzy snapshot; keeps
+/// log memory bounded — the §VII memory concern).
+pub const CHECKPOINT_EVERY: u64 = 1_000;
+
+/// Messages between coordination servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordMsg {
+    /// Replication-protocol traffic.
+    Zab(ZabMsg<Txn>),
+    /// Follower → leader: propose this mutation on my behalf.
+    Forward {
+        /// Session issuing the mutation.
+        session: u64,
+        /// The mutation.
+        op: TxnOp,
+        /// The server that owns the client connection.
+        origin: PeerId,
+        /// Origin-local pending-request tag.
+        tag: u64,
+    },
+    /// Follower → leader: what is your commit watermark? (`sync`)
+    SyncRequest {
+        /// Requester-local tag.
+        tag: u64,
+    },
+    /// Leader → follower: commit watermark reply.
+    SyncReply {
+        /// Echoed tag.
+        tag: u64,
+        /// The leader's committed zxid (raw).
+        zxid: u64,
+    },
+    /// Forward bounced: the receiver is not the leader and knows no better
+    /// target. The origin fails the pending request so its client retries.
+    ForwardReject {
+        /// The origin's pending-request tag.
+        tag: u64,
+    },
+}
+
+/// Timers the server arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoordTimer {
+    /// Replication-layer timer.
+    Zab(ZabTimer),
+    /// Periodic session-expiry sweep.
+    SessionSweep,
+}
+
+/// Input events.
+#[derive(Debug, Clone)]
+pub enum ServerIn {
+    /// A request from a locally connected client.
+    Client {
+        /// Runtime-assigned client handle.
+        client: ClientId,
+        /// Client-chosen request id, echoed in the response.
+        req_id: u64,
+        /// The client's session (0 until `Connect` completes).
+        session: u64,
+        /// The request.
+        req: ZkRequest,
+    },
+    /// A message from a peer server.
+    Peer {
+        /// Sending peer.
+        from: PeerId,
+        /// The message.
+        msg: CoordMsg,
+    },
+    /// A timer armed earlier has fired.
+    Timer(CoordTimer),
+}
+
+/// Output actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerOut {
+    /// Respond to a client request.
+    Client {
+        /// Target client.
+        client: ClientId,
+        /// Echo of the request id.
+        req_id: u64,
+        /// The response.
+        resp: ZkResponse,
+    },
+    /// Send to a peer server.
+    Peer {
+        /// Destination.
+        to: PeerId,
+        /// The message.
+        msg: CoordMsg,
+    },
+    /// Arm a timer.
+    Timer {
+        /// Which timer.
+        timer: CoordTimer,
+        /// Delay in milliseconds.
+        after_ms: u64,
+    },
+    /// Deliver a watch notification to a client.
+    Watch {
+        /// Target client.
+        client: ClientId,
+        /// The notification.
+        note: WatchNotification,
+    },
+}
+
+struct Pending {
+    client: ClientId,
+    req_id: u64,
+}
+
+struct SessionInfo {
+    client: ClientId,
+    last_heard_ms: u64,
+}
+
+/// One coordination server (one member of the ensemble).
+pub struct CoordServer {
+    me: PeerId,
+    peer: ZabPeer<Txn>,
+    tree: DataTree,
+    watches: WatchManager<ClientId>,
+    /// Write requests originated here, awaiting commit.
+    pending: HashMap<u64, Pending>,
+    next_tag: u64,
+    /// Sync barriers awaiting local apply progress: (tag, target zxid).
+    pending_syncs: Vec<(u64, u64)>,
+    /// Sessions whose clients are connected to this server.
+    sessions: HashMap<u64, SessionInfo>,
+    next_session: u64,
+    last_applied: u64,
+    /// Count of transactions applied (for perf accounting).
+    applied_count: u64,
+}
+
+impl CoordServer {
+    /// Build a server; returns startup actions (election traffic and the
+    /// session sweep timer).
+    pub fn new(me: PeerId, config: EnsembleConfig) -> (Self, Vec<ServerOut>) {
+        let (peer, zab_acts) = ZabPeer::new(me, config);
+        let mut s = CoordServer {
+            me,
+            peer,
+            tree: DataTree::new(),
+            watches: WatchManager::new(),
+            pending: HashMap::new(),
+            next_tag: 1,
+            pending_syncs: Vec::new(),
+            sessions: HashMap::new(),
+            next_session: 1,
+            last_applied: 0,
+            applied_count: 0,
+        };
+        let mut out = Vec::new();
+        s.absorb_zab(zab_acts, &mut out);
+        out.push(ServerOut::Timer { timer: CoordTimer::SessionSweep, after_ms: SESSION_SWEEP_MS });
+        (s, out)
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// This server's peer id.
+    pub fn id(&self) -> PeerId {
+        self.me
+    }
+    /// The replicated tree (local replica) — read-only.
+    pub fn tree(&self) -> &DataTree {
+        &self.tree
+    }
+    /// Whether this server is the established leader.
+    pub fn is_leader(&self) -> bool {
+        self.peer.is_established_leader()
+    }
+    /// Replication role.
+    pub fn role(&self) -> Role {
+        self.peer.role()
+    }
+    /// Best guess at the current leader.
+    pub fn leader_hint(&self) -> Option<PeerId> {
+        self.peer.leader_hint()
+    }
+    /// Raw zxid applied up to.
+    pub fn last_applied(&self) -> u64 {
+        self.last_applied
+    }
+    /// Number of transactions applied.
+    pub fn applied_count(&self) -> u64 {
+        self.applied_count
+    }
+    /// Replication-log length after compaction (diagnostics).
+    pub fn log_len(&self) -> usize {
+        self.peer.log_len()
+    }
+    /// The zxid covered by the last checkpoint.
+    pub fn snapshot_zxid(&self) -> u64 {
+        self.peer.snapshot_zxid().as_u64()
+    }
+    /// Number of sessions connected here.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Event entry point
+    // ------------------------------------------------------------------
+
+    /// Feed one input event; returns the actions to execute. `now_ns` is
+    /// the host's clock (virtual or real).
+    pub fn handle(&mut self, now_ns: u64, input: ServerIn) -> Vec<ServerOut> {
+        let mut out = Vec::new();
+        match input {
+            ServerIn::Client { client, req_id, session, req } => {
+                self.handle_client(now_ns, client, req_id, session, req, &mut out)
+            }
+            ServerIn::Peer { from, msg } => self.handle_peer(now_ns, from, msg, &mut out),
+            ServerIn::Timer(t) => self.handle_timer(now_ns, t, &mut out),
+        }
+        out
+    }
+
+    /// Crash: volatile state (tree replica, watches, sessions, pending) is
+    /// lost; the ZAB log survives.
+    pub fn on_crash(&mut self) {
+        self.peer.on_crash();
+        self.tree = DataTree::new();
+        self.watches = WatchManager::new();
+        self.pending.clear();
+        self.pending_syncs.clear();
+        self.sessions.clear();
+        self.last_applied = 0;
+    }
+
+    /// Restart after a crash: the ZAB layer replays the committed log into
+    /// a fresh tree and rejoins the ensemble.
+    pub fn on_restart(&mut self, now_ns: u64) -> Vec<ServerOut> {
+        let mut out = Vec::new();
+        let acts = self.peer.on_restart();
+        let _ = now_ns;
+        self.absorb_zab(acts, &mut out);
+        out.push(ServerOut::Timer { timer: CoordTimer::SessionSweep, after_ms: SESSION_SWEEP_MS });
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Client requests
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_client(
+        &mut self,
+        now_ns: u64,
+        client: ClientId,
+        req_id: u64,
+        session: u64,
+        req: ZkRequest,
+        out: &mut Vec<ServerOut>,
+    ) {
+        if let Some(info) = self.sessions.get_mut(&session) {
+            info.last_heard_ms = now_ns / 1_000_000;
+            info.client = client;
+        }
+        match req {
+            // ---- reads: served from the local replica ----
+            ZkRequest::GetData { path, watch } => {
+                let resp = match self.tree.get_data(&path) {
+                    Ok((data, stat)) => {
+                        if watch {
+                            self.watches.register(&path, WatchKind::Data, client);
+                        }
+                        ZkResponse::Data { data, stat }
+                    }
+                    Err(e) => ZkResponse::Error(e),
+                };
+                out.push(ServerOut::Client { client, req_id, resp });
+            }
+            ZkRequest::Exists { path, watch } => {
+                let resp = match self.tree.exists(&path) {
+                    Ok(stat) => {
+                        if watch {
+                            self.watches.register(&path, WatchKind::Exists, client);
+                        }
+                        ZkResponse::ExistsResult(stat)
+                    }
+                    Err(e) => ZkResponse::Error(e),
+                };
+                out.push(ServerOut::Client { client, req_id, resp });
+            }
+            ZkRequest::GetChildren { path, watch } => {
+                let resp = match self.tree.get_children(&path) {
+                    Ok((names, stat)) => {
+                        if watch {
+                            self.watches.register(&path, WatchKind::Children, client);
+                        }
+                        ZkResponse::Children { names, stat }
+                    }
+                    Err(e) => ZkResponse::Error(e),
+                };
+                out.push(ServerOut::Client { client, req_id, resp });
+            }
+            ZkRequest::GetChildrenData { path } => {
+                let resp = match self.tree.get_children(&path) {
+                    Ok((names, _)) => {
+                        let entries = names
+                            .into_iter()
+                            .filter_map(|n| {
+                                let child = if path == "/" {
+                                    format!("/{n}")
+                                } else {
+                                    format!("{path}/{n}")
+                                };
+                                self.tree.get_data(&child).ok().map(|(d, s)| (n, d, s))
+                            })
+                            .collect();
+                        ZkResponse::ChildrenData { entries }
+                    }
+                    Err(e) => ZkResponse::Error(e),
+                };
+                out.push(ServerOut::Client { client, req_id, resp });
+            }
+            ZkRequest::Ping => {
+                out.push(ServerOut::Client {
+                    client,
+                    req_id,
+                    resp: ZkResponse::Pong { zxid: self.last_applied },
+                });
+            }
+            // ---- sync: consult the leader's commit watermark ----
+            ZkRequest::Sync => {
+                if self.is_leader() {
+                    out.push(ServerOut::Client {
+                        client,
+                        req_id,
+                        resp: ZkResponse::Synced { zxid: self.last_applied },
+                    });
+                } else if let Some(leader) = self.leader_hint() {
+                    let tag = self.alloc_tag(client, req_id);
+                    out.push(ServerOut::Peer { to: leader, msg: CoordMsg::SyncRequest { tag } });
+                } else {
+                    out.push(ServerOut::Client {
+                        client,
+                        req_id,
+                        resp: ZkResponse::Error(ZkError::ConnectionLoss),
+                    });
+                }
+            }
+            // ---- session management (replicated mutations) ----
+            ZkRequest::Connect => {
+                let session = (u64::from(self.me.0) << 40) | self.next_session;
+                self.next_session += 1;
+                self.sessions.insert(
+                    session,
+                    SessionInfo { client, last_heard_ms: now_ns / 1_000_000 },
+                );
+                self.submit_write(now_ns, client, req_id, session, TxnOp::CreateSession { session }, out);
+            }
+            ZkRequest::CloseSession => {
+                self.submit_write(now_ns, client, req_id, session, TxnOp::CloseSession { session }, out);
+            }
+            // ---- mutations: replicate through the leader ----
+            ZkRequest::Create { path, data, mode } => {
+                self.submit_write(now_ns, client, req_id, session, TxnOp::Create { path, data, mode }, out);
+            }
+            ZkRequest::Delete { path, version } => {
+                self.submit_write(now_ns, client, req_id, session, TxnOp::Delete { path, version }, out);
+            }
+            ZkRequest::SetData { path, data, version } => {
+                self.submit_write(now_ns, client, req_id, session, TxnOp::SetData { path, data, version }, out);
+            }
+            ZkRequest::Multi { ops } => {
+                self.submit_write(now_ns, client, req_id, session, TxnOp::Multi { ops }, out);
+            }
+        }
+    }
+
+    fn alloc_tag(&mut self, client: ClientId, req_id: u64) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.pending.insert(tag, Pending { client, req_id });
+        tag
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_write(
+        &mut self,
+        now_ns: u64,
+        client: ClientId,
+        req_id: u64,
+        session: u64,
+        op: TxnOp,
+        out: &mut Vec<ServerOut>,
+    ) {
+        let tag = self.alloc_tag(client, req_id);
+        let txn = Txn { session, op, origin: self.me, tag, time_ns: now_ns };
+        match self.peer.propose(txn.clone()) {
+            Ok(acts) => self.absorb_zab(acts, out),
+            Err(e) => {
+                if let Some(leader) = e.leader_hint {
+                    out.push(ServerOut::Peer {
+                        to: leader,
+                        msg: CoordMsg::Forward { session, op: txn.op, origin: self.me, tag },
+                    });
+                } else {
+                    self.pending.remove(&tag);
+                    out.push(ServerOut::Client {
+                        client,
+                        req_id,
+                        resp: ZkResponse::Error(ZkError::ConnectionLoss),
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Peer messages
+    // ------------------------------------------------------------------
+
+    fn handle_peer(&mut self, now_ns: u64, from: PeerId, msg: CoordMsg, out: &mut Vec<ServerOut>) {
+        match msg {
+            CoordMsg::Zab(m) => {
+                let acts = self.peer.on_message(from, m);
+                self.absorb_zab(acts, out);
+            }
+            CoordMsg::Forward { session, op, origin, tag } => {
+                let txn = Txn { session, op: op.clone(), origin, tag, time_ns: now_ns };
+                match self.peer.propose(txn) {
+                    Ok(acts) => self.absorb_zab(acts, out),
+                    Err(e) => {
+                        // Not the leader (anymore): pass it along if we know
+                        // better, otherwise bounce so the origin can fail
+                        // the request and let its client retry.
+                        match e.leader_hint {
+                            Some(leader) if leader != self.me => {
+                                out.push(ServerOut::Peer {
+                                    to: leader,
+                                    msg: CoordMsg::Forward { session, op, origin, tag },
+                                });
+                            }
+                            _ => {
+                                out.push(ServerOut::Peer {
+                                    to: origin,
+                                    msg: CoordMsg::ForwardReject { tag },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            CoordMsg::SyncRequest { tag } => {
+                if self.is_leader() {
+                    out.push(ServerOut::Peer {
+                        to: from,
+                        msg: CoordMsg::SyncReply { tag, zxid: self.peer.committed().as_u64() },
+                    });
+                }
+                // Non-leaders ignore; the requester's client retries.
+            }
+            CoordMsg::ForwardReject { tag } => {
+                if let Some(p) = self.pending.remove(&tag) {
+                    if p.client != 0 {
+                        out.push(ServerOut::Client {
+                            client: p.client,
+                            req_id: p.req_id,
+                            resp: ZkResponse::Error(ZkError::ConnectionLoss),
+                        });
+                    }
+                }
+            }
+            CoordMsg::SyncReply { tag, zxid } => {
+                if self.last_applied >= zxid {
+                    if let Some(p) = self.pending.remove(&tag) {
+                        out.push(ServerOut::Client {
+                            client: p.client,
+                            req_id: p.req_id,
+                            resp: ZkResponse::Synced { zxid: self.last_applied },
+                        });
+                    }
+                } else {
+                    self.pending_syncs.push((tag, zxid));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn handle_timer(&mut self, now_ns: u64, timer: CoordTimer, out: &mut Vec<ServerOut>) {
+        match timer {
+            CoordTimer::Zab(t) => {
+                let acts = self.peer.on_timer(t);
+                self.absorb_zab(acts, out);
+            }
+            CoordTimer::SessionSweep => {
+                let now_ms = now_ns / 1_000_000;
+                let expired: Vec<u64> = self
+                    .sessions
+                    .iter()
+                    .filter(|(_, info)| now_ms.saturating_sub(info.last_heard_ms) > SESSION_TIMEOUT_MS)
+                    .map(|(&s, _)| s)
+                    .collect();
+                for session in expired {
+                    if let Some(info) = self.sessions.remove(&session) {
+                        self.watches.drop_client(info.client);
+                    }
+                    // Fire-and-forget close; no client awaits it.
+                    let tag = self.alloc_tag(0, 0);
+                    self.pending.remove(&tag);
+                    let txn = Txn {
+                        session,
+                        op: TxnOp::CloseSession { session },
+                        origin: self.me,
+                        tag,
+                        time_ns: now_ns,
+                    };
+                    match self.peer.propose(txn) {
+                        Ok(acts) => self.absorb_zab(acts, out),
+                        Err(e) => {
+                            if let Some(leader) = e.leader_hint {
+                                out.push(ServerOut::Peer {
+                                    to: leader,
+                                    msg: CoordMsg::Forward {
+                                        session,
+                                        op: TxnOp::CloseSession { session },
+                                        origin: self.me,
+                                        tag,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+                out.push(ServerOut::Timer {
+                    timer: CoordTimer::SessionSweep,
+                    after_ms: SESSION_SWEEP_MS,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ZAB action absorption and transaction application
+    // ------------------------------------------------------------------
+
+    fn absorb_zab(&mut self, acts: Vec<ZabAction<Txn>>, out: &mut Vec<ServerOut>) {
+        for a in acts {
+            match a {
+                ZabAction::Send { to, msg } => {
+                    out.push(ServerOut::Peer { to, msg: CoordMsg::Zab(msg) })
+                }
+                ZabAction::SetTimer { timer, after_ms } => {
+                    out.push(ServerOut::Timer { timer: CoordTimer::Zab(timer), after_ms })
+                }
+                ZabAction::Deliver { zxid, txn } => self.apply(zxid, txn, out),
+                ZabAction::ResetState => {
+                    self.tree = DataTree::new();
+                    self.last_applied = 0;
+                }
+                ZabAction::RestoreSnapshot { zxid, blob } => {
+                    self.tree = snapshot::decode(&blob)
+                        .expect("a replica only ships snapshots it produced");
+                    self.last_applied = zxid.as_u64();
+                }
+                ZabAction::BecameLeader { .. } | ZabAction::BecameFollower { .. } => {}
+                ZabAction::StartedElection => {
+                    // In-flight writes can no longer be tracked to a commit;
+                    // fail them so clients retry against the new regime.
+                    for (_, p) in self.pending.drain() {
+                        if p.client != 0 {
+                            out.push(ServerOut::Client {
+                                client: p.client,
+                                req_id: p.req_id,
+                                resp: ZkResponse::Error(ZkError::ConnectionLoss),
+                            });
+                        }
+                    }
+                    self.pending_syncs.clear();
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, zxid: Zxid, txn: Txn, out: &mut Vec<ServerOut>) {
+        let z = zxid.as_u64();
+        let t = txn.time_ns;
+        let (resp, events) = match &txn.op {
+            TxnOp::Create { path, data, mode } => {
+                match self.tree.create(path, data.clone(), *mode, txn.session, z, t) {
+                    Ok((actual, ev)) => (ZkResponse::Created { path: actual }, ev),
+                    Err(e) => (ZkResponse::Error(e), Vec::new()),
+                }
+            }
+            TxnOp::Delete { path, version } => match self.tree.delete(path, *version, z, t) {
+                Ok(ev) => (ZkResponse::Deleted, ev),
+                Err(e) => (ZkResponse::Error(e), Vec::new()),
+            },
+            TxnOp::SetData { path, data, version } => {
+                match self.tree.set_data(path, data.clone(), *version, z, t) {
+                    Ok((stat, ev)) => (ZkResponse::Stat(stat), ev),
+                    Err(e) => (ZkResponse::Error(e), Vec::new()),
+                }
+            }
+            TxnOp::Multi { ops } => match self.tree.apply_multi(ops, txn.session, z, t) {
+                Ok((results, ev)) => (ZkResponse::MultiResults(results), ev),
+                Err((_, e)) => (ZkResponse::Error(e), Vec::new()),
+            },
+            TxnOp::CreateSession { session } => (ZkResponse::Connected { session: *session }, Vec::new()),
+            TxnOp::CloseSession { session } => {
+                let (_, ev) = self.tree.close_session(*session, z, t);
+                if let Some(info) = self.sessions.remove(session) {
+                    self.watches.drop_client(info.client);
+                }
+                (ZkResponse::Closed, ev)
+            }
+            TxnOp::Noop => (ZkResponse::Error(ZkError::ConnectionLoss), Vec::new()),
+        };
+        self.last_applied = z;
+        self.applied_count += 1;
+        if self.applied_count.is_multiple_of(CHECKPOINT_EVERY) {
+            // Fuzzy snapshot: checkpoint the applied state and let the
+            // replication layer drop the covered log prefix.
+            let blob = snapshot::encode(&self.tree);
+            self.peer.install_snapshot(zxid, blob);
+        }
+
+        for ev in &events {
+            for (client, note) in self.watches.fire(ev) {
+                out.push(ServerOut::Watch { client, note });
+            }
+        }
+        if txn.origin == self.me {
+            if let Some(p) = self.pending.remove(&txn.tag) {
+                out.push(ServerOut::Client { client: p.client, req_id: p.req_id, resp });
+            }
+        }
+        // Flush sync barriers now satisfied.
+        let applied = self.last_applied;
+        let mut fire = Vec::new();
+        self.pending_syncs.retain(|&(tag, target)| {
+            if applied >= target {
+                fire.push(tag);
+                false
+            } else {
+                true
+            }
+        });
+        for tag in fire {
+            if let Some(p) = self.pending.remove(&tag) {
+                out.push(ServerOut::Client {
+                    client: p.client,
+                    req_id: p.req_id,
+                    resp: ZkResponse::Synced { zxid: applied },
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dufs_zkstore::CreateMode;
+
+    /// Single-server ensemble: every request completes synchronously, which
+    /// lets us unit-test the full request → replicate → apply → respond
+    /// path without a runtime.
+    fn single() -> CoordServer {
+        let (s, _) = CoordServer::new(PeerId(0), EnsembleConfig::of_size(1));
+        assert!(s.is_leader());
+        s
+    }
+
+    fn client_resp(out: &[ServerOut]) -> &ZkResponse {
+        out.iter()
+            .find_map(|o| match o {
+                ServerOut::Client { resp, .. } => Some(resp),
+                _ => None,
+            })
+            .expect("a client response")
+    }
+
+    fn req(s: &mut CoordServer, session: u64, r: ZkRequest) -> ZkResponse {
+        let out = s.handle(1_000_000, ServerIn::Client { client: 1, req_id: 0, session, req: r });
+        client_resp(&out).clone()
+    }
+
+    #[test]
+    fn connect_create_get_roundtrip() {
+        let mut s = single();
+        let ZkResponse::Connected { session } = req(&mut s, 0, ZkRequest::Connect) else {
+            panic!("expected Connected");
+        };
+        assert!(session > 0);
+        let resp = req(
+            &mut s,
+            session,
+            ZkRequest::Create {
+                path: "/a".into(),
+                data: Bytes::from_static(b"fid"),
+                mode: CreateMode::Persistent,
+            },
+        );
+        assert_eq!(resp, ZkResponse::Created { path: "/a".into() });
+        let resp = req(&mut s, session, ZkRequest::GetData { path: "/a".into(), watch: false });
+        match resp {
+            ZkResponse::Data { data, stat } => {
+                assert_eq!(&data[..], b"fid");
+                assert_eq!(stat.version, 0);
+                assert_eq!(stat.ctime_ns, 1_000_000, "stat carries the leader-stamped time");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_surface_to_the_client() {
+        let mut s = single();
+        let resp = req(&mut s, 0, ZkRequest::GetData { path: "/missing".into(), watch: false });
+        assert_eq!(resp, ZkResponse::Error(ZkError::NoNode));
+        let resp = req(
+            &mut s,
+            0,
+            ZkRequest::Delete { path: "/missing".into(), version: None },
+        );
+        assert_eq!(resp, ZkResponse::Error(ZkError::NoNode));
+    }
+
+    #[test]
+    fn watch_fires_on_mutation() {
+        let mut s = single();
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create { path: "/w".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+        );
+        req(&mut s, 0, ZkRequest::GetData { path: "/w".into(), watch: true });
+        let out = s.handle(
+            2_000_000,
+            ServerIn::Client {
+                client: 2,
+                req_id: 1,
+                session: 0,
+                req: ZkRequest::SetData { path: "/w".into(), data: Bytes::from_static(b"x"), version: None },
+            },
+        );
+        let watch = out.iter().find_map(|o| match o {
+            ServerOut::Watch { client, note } => Some((client, note)),
+            _ => None,
+        });
+        let (client, note) = watch.expect("watch fired");
+        assert_eq!(*client, 1);
+        assert_eq!(note.path, "/w");
+    }
+
+    #[test]
+    fn get_children_data_batches_a_listing() {
+        let mut s = single();
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create { path: "/d".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+        );
+        for (name, payload) in [("a", &b"pa"[..]), ("b", b"pb"), ("c", b"pc")] {
+            req(
+                &mut s,
+                0,
+                ZkRequest::Create {
+                    path: format!("/d/{name}"),
+                    data: Bytes::copy_from_slice(payload),
+                    mode: CreateMode::Persistent,
+                },
+            );
+        }
+        match req(&mut s, 0, ZkRequest::GetChildrenData { path: "/d".into() }) {
+            ZkResponse::ChildrenData { entries } => {
+                assert_eq!(entries.len(), 3);
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(&entries[0].1[..], b"pa");
+                assert_eq!(entries[2].0, "c");
+                assert!(entries.iter().all(|(_, _, stat)| stat.czxid > 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Root listing works too (special-cased path join).
+        match req(&mut s, 0, ZkRequest::GetChildrenData { path: "/".into() }) {
+            ZkResponse::ChildrenData { entries } => assert_eq!(entries.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            req(&mut s, 0, ZkRequest::GetChildrenData { path: "/missing".into() }),
+            ZkResponse::Error(ZkError::NoNode)
+        ));
+    }
+
+    #[test]
+    fn sync_on_leader_returns_watermark() {
+        let mut s = single();
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create { path: "/a".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+        );
+        let resp = req(&mut s, 0, ZkRequest::Sync);
+        match resp {
+            ZkResponse::Synced { zxid } => assert_eq!(zxid, s.last_applied()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_reports_progress() {
+        let mut s = single();
+        let ZkResponse::Pong { zxid: z0 } = req(&mut s, 0, ZkRequest::Ping) else { panic!() };
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create { path: "/p".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+        );
+        let ZkResponse::Pong { zxid: z1 } = req(&mut s, 0, ZkRequest::Ping) else { panic!() };
+        assert!(z1 > z0);
+    }
+
+    #[test]
+    fn close_session_reaps_ephemerals() {
+        let mut s = single();
+        let ZkResponse::Connected { session } = req(&mut s, 0, ZkRequest::Connect) else { panic!() };
+        req(
+            &mut s,
+            session,
+            ZkRequest::Create { path: "/e".into(), data: Bytes::new(), mode: CreateMode::Ephemeral },
+        );
+        assert!(matches!(
+            req(&mut s, session, ZkRequest::Exists { path: "/e".into(), watch: false }),
+            ZkResponse::ExistsResult(Some(_))
+        ));
+        assert_eq!(req(&mut s, session, ZkRequest::CloseSession), ZkResponse::Closed);
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/e".into(), watch: false }),
+            ZkResponse::ExistsResult(None)
+        );
+        assert_eq!(s.session_count(), 0);
+    }
+
+    #[test]
+    fn session_expiry_sweep_closes_silent_sessions() {
+        let mut s = single();
+        let ZkResponse::Connected { session } = req(&mut s, 0, ZkRequest::Connect) else { panic!() };
+        req(
+            &mut s,
+            session,
+            ZkRequest::Create { path: "/e".into(), data: Bytes::new(), mode: CreateMode::Ephemeral },
+        );
+        // Sweep long after the session timeout with no traffic.
+        let later_ns = (SESSION_TIMEOUT_MS + 10_000) * 1_000_000 + 1_000_000;
+        let _ = s.handle(later_ns, ServerIn::Timer(CoordTimer::SessionSweep));
+        assert_eq!(s.session_count(), 0);
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/e".into(), watch: false }),
+            ZkResponse::ExistsResult(None),
+            "expired session's ephemeral was deleted"
+        );
+    }
+
+    #[test]
+    fn checkpoint_compacts_log_and_restart_restores_from_snapshot() {
+        let mut s = single();
+        // Drive well past the checkpoint interval.
+        let n = super::CHECKPOINT_EVERY + 500;
+        for i in 0..n {
+            req(
+                &mut s,
+                0,
+                ZkRequest::Create {
+                    path: format!("/n{i}"),
+                    data: Bytes::new(),
+                    mode: CreateMode::Persistent,
+                },
+            );
+        }
+        assert!(s.snapshot_zxid() > 0, "a checkpoint was taken");
+        assert!(
+            (s.log_len() as u64) < n,
+            "log compacted: {} entries for {} txns",
+            s.log_len(),
+            n
+        );
+        let digest = s.tree().digest();
+        let count = s.tree().node_count();
+        s.on_crash();
+        let _ = s.on_restart(1_000_000);
+        assert_eq!(s.tree().digest(), digest, "snapshot + tail replay restores the tree");
+        assert_eq!(s.tree().node_count(), count);
+        // And the server still works.
+        let resp = req(
+            &mut s,
+            0,
+            ZkRequest::Create { path: "/after".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+        );
+        assert_eq!(resp, ZkResponse::Created { path: "/after".into() });
+    }
+
+    #[test]
+    fn crash_restart_replays_log() {
+        let mut s = single();
+        for i in 0..5 {
+            req(
+                &mut s,
+                0,
+                ZkRequest::Create {
+                    path: format!("/n{i}"),
+                    data: Bytes::new(),
+                    mode: CreateMode::Persistent,
+                },
+            );
+        }
+        let digest = s.tree().digest();
+        s.on_crash();
+        assert_eq!(s.tree().node_count(), 0);
+        let _ = s.on_restart(9_000_000);
+        assert_eq!(s.tree().digest(), digest, "restart replays the committed log");
+        assert!(s.is_leader());
+    }
+
+    #[test]
+    fn multi_is_atomic_through_the_full_path() {
+        use dufs_zkstore::MultiOp;
+        let mut s = single();
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create { path: "/old".into(), data: Bytes::from_static(b"fid1"), mode: CreateMode::Persistent },
+        );
+        // DUFS-style rename.
+        let resp = req(
+            &mut s,
+            0,
+            ZkRequest::Multi {
+                ops: vec![
+                    MultiOp::Create {
+                        path: "/new".into(),
+                        data: Bytes::from_static(b"fid1"),
+                        mode: CreateMode::Persistent,
+                    },
+                    MultiOp::Delete { path: "/old".into(), version: None },
+                ],
+            },
+        );
+        assert!(matches!(resp, ZkResponse::MultiResults(_)));
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/old".into(), watch: false }),
+            ZkResponse::ExistsResult(None)
+        );
+    }
+}

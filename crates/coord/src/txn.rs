@@ -1,0 +1,98 @@
+//! Replicated transactions — the payload type carried by the ZAB log.
+//!
+//! Every mutation a client issues is converted (at the leader) into a
+//! [`Txn`] before proposal, so every replica applies *identical* inputs:
+//! the leader stamps the wall-clock used for ctime/mtime, and sequential
+//! names/results are computed deterministically at apply time on each
+//! replica.
+
+use bytes::Bytes;
+
+use dufs_zab::PeerId;
+use dufs_zkstore::{CreateMode, MultiOp};
+
+/// The mutation kinds that get replicated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Create a znode.
+    Create {
+        /// Requested path.
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Create mode.
+        mode: CreateMode,
+    },
+    /// Delete a znode.
+    Delete {
+        /// Path.
+        path: String,
+        /// Conditional version.
+        version: Option<u32>,
+    },
+    /// Replace a znode's payload.
+    SetData {
+        /// Path.
+        path: String,
+        /// New payload.
+        data: Bytes,
+        /// Conditional version.
+        version: Option<u32>,
+    },
+    /// Atomic multi-op.
+    Multi {
+        /// Operations.
+        ops: Vec<MultiOp>,
+    },
+    /// Register a session (so every replica can later clean up its
+    /// ephemerals).
+    CreateSession {
+        /// The new session id.
+        session: u64,
+    },
+    /// Close a session and delete its ephemerals.
+    CloseSession {
+        /// The session id.
+        session: u64,
+    },
+    /// A leader-issued no-op used by `sync` barriers.
+    Noop,
+}
+
+/// One replicated transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// Session on whose behalf the mutation runs (ephemeral ownership).
+    pub session: u64,
+    /// The mutation.
+    pub op: TxnOp,
+    /// Which server originated the request (that server replies to its
+    /// client when the txn commits).
+    pub origin: PeerId,
+    /// Origin-server-local tag identifying the pending client request.
+    pub tag: u64,
+    /// Leader-assigned wall clock (nanoseconds) used for all Stat
+    /// timestamps, keeping replicas bit-identical.
+    pub time_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_is_cloneable_for_the_log() {
+        let t = Txn {
+            session: 7,
+            op: TxnOp::Create {
+                path: "/x".into(),
+                data: Bytes::from_static(b"d"),
+                mode: CreateMode::Persistent,
+            },
+            origin: PeerId(2),
+            tag: 99,
+            time_ns: 123,
+        };
+        assert_eq!(t.clone(), t);
+    }
+}

@@ -1,0 +1,184 @@
+//! One-shot watches, server-local (exactly ZooKeeper's model: a watch lives
+//! on the server where the read that set it was served, and fires at most
+//! once).
+
+use std::collections::{HashMap, HashSet};
+
+use dufs_zkstore::ChangeEvent;
+
+/// What a watch waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WatchKind {
+    /// Data changes or deletion of the node (`zoo_get` watch).
+    Data,
+    /// Creation, deletion or data change (`zoo_exists` watch).
+    Exists,
+    /// Child-list changes or deletion (`zoo_get_children` watch).
+    Children,
+}
+
+/// Notification delivered to a client when a watch fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchNotification {
+    /// The watched path.
+    pub path: String,
+    /// What happened.
+    pub event: WatchEventKind,
+}
+
+/// The namespace change that triggered the watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchEventKind {
+    /// Node created.
+    Created,
+    /// Node deleted.
+    Deleted,
+    /// Node data changed.
+    DataChanged,
+    /// Node's children changed.
+    ChildrenChanged,
+}
+
+/// Server-local watch table: `(path, kind)` → watching clients. `C` is the
+/// runtime's client-handle type.
+#[derive(Debug)]
+pub struct WatchManager<C> {
+    watches: HashMap<(String, WatchKind), HashSet<C>>,
+}
+
+impl<C: Copy + Eq + std::hash::Hash> Default for WatchManager<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: Copy + Eq + std::hash::Hash> WatchManager<C> {
+    /// An empty table.
+    pub fn new() -> Self {
+        WatchManager { watches: HashMap::new() }
+    }
+
+    /// Register a one-shot watch.
+    pub fn register(&mut self, path: &str, kind: WatchKind, client: C) {
+        self.watches.entry((path.to_string(), kind)).or_default().insert(client);
+    }
+
+    /// Number of registered (path, kind) entries (for tests).
+    pub fn len(&self) -> usize {
+        self.watches.len()
+    }
+
+    /// Whether no watches are registered.
+    pub fn is_empty(&self) -> bool {
+        self.watches.is_empty()
+    }
+
+    /// Match a store change against the table, removing (one-shot) and
+    /// returning the notifications to send.
+    pub fn fire(&mut self, change: &ChangeEvent) -> Vec<(C, WatchNotification)> {
+        let (path, event, kinds): (&str, WatchEventKind, &[WatchKind]) = match change {
+            ChangeEvent::Created(p) => (p, WatchEventKind::Created, &[WatchKind::Exists]),
+            ChangeEvent::Deleted(p) => (
+                p,
+                WatchEventKind::Deleted,
+                &[WatchKind::Data, WatchKind::Exists, WatchKind::Children],
+            ),
+            ChangeEvent::DataChanged(p) => {
+                (p, WatchEventKind::DataChanged, &[WatchKind::Data, WatchKind::Exists])
+            }
+            ChangeEvent::ChildrenChanged(p) => {
+                (p, WatchEventKind::ChildrenChanged, &[WatchKind::Children])
+            }
+        };
+        let mut out = Vec::new();
+        for &kind in kinds {
+            if let Some(clients) = self.watches.remove(&(path.to_string(), kind)) {
+                for c in clients {
+                    out.push((c, WatchNotification { path: path.to_string(), event }));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop all watches belonging to `client` (session close).
+    pub fn drop_client(&mut self, client: C) {
+        self.watches.retain(|_, clients| {
+            clients.remove(&client);
+            !clients.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_watch_fires_once_on_change() {
+        let mut w: WatchManager<u32> = WatchManager::new();
+        w.register("/a", WatchKind::Data, 1);
+        let fired = w.fire(&ChangeEvent::DataChanged("/a".into()));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, 1);
+        assert_eq!(fired[0].1.event, WatchEventKind::DataChanged);
+        // One-shot: second change fires nothing.
+        assert!(w.fire(&ChangeEvent::DataChanged("/a".into())).is_empty());
+    }
+
+    #[test]
+    fn exists_watch_fires_on_create() {
+        let mut w: WatchManager<u32> = WatchManager::new();
+        w.register("/new", WatchKind::Exists, 5);
+        let fired = w.fire(&ChangeEvent::Created("/new".into()));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1.event, WatchEventKind::Created);
+    }
+
+    #[test]
+    fn delete_fires_all_kinds() {
+        let mut w: WatchManager<u32> = WatchManager::new();
+        w.register("/a", WatchKind::Data, 1);
+        w.register("/a", WatchKind::Exists, 2);
+        w.register("/a", WatchKind::Children, 3);
+        let mut fired: Vec<u32> = w.fire(&ChangeEvent::Deleted("/a".into())).iter().map(|f| f.0).collect();
+        fired.sort_unstable();
+        assert_eq!(fired, vec![1, 2, 3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn child_watch_ignores_data_changes() {
+        let mut w: WatchManager<u32> = WatchManager::new();
+        w.register("/d", WatchKind::Children, 1);
+        assert!(w.fire(&ChangeEvent::DataChanged("/d".into())).is_empty());
+        assert_eq!(w.fire(&ChangeEvent::ChildrenChanged("/d".into())).len(), 1);
+    }
+
+    #[test]
+    fn watches_are_per_path() {
+        let mut w: WatchManager<u32> = WatchManager::new();
+        w.register("/a", WatchKind::Data, 1);
+        assert!(w.fire(&ChangeEvent::DataChanged("/b".into())).is_empty());
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn drop_client_removes_everywhere() {
+        let mut w: WatchManager<u32> = WatchManager::new();
+        w.register("/a", WatchKind::Data, 1);
+        w.register("/b", WatchKind::Data, 1);
+        w.register("/b", WatchKind::Data, 2);
+        w.drop_client(1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.fire(&ChangeEvent::DataChanged("/b".into())).len(), 1);
+    }
+
+    #[test]
+    fn multiple_clients_same_watch() {
+        let mut w: WatchManager<u32> = WatchManager::new();
+        w.register("/a", WatchKind::Exists, 1);
+        w.register("/a", WatchKind::Exists, 2);
+        assert_eq!(w.fire(&ChangeEvent::Created("/a".into())).len(), 2);
+    }
+}

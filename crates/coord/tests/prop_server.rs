@@ -1,0 +1,180 @@
+//! Property test: a single-server coordination service must behave exactly
+//! like the bare znode store for any request sequence — the replication
+//! and session machinery in between must be semantically transparent.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dufs_coord::server::{CoordServer, ServerIn, ServerOut};
+use dufs_coord::{ZkRequest, ZkResponse};
+use dufs_zab::{EnsembleConfig, PeerId};
+use dufs_zkstore::{CreateMode, DataTree};
+
+#[derive(Debug, Clone)]
+enum Req {
+    Create(usize, Vec<u8>, bool),
+    Delete(usize, Option<u32>),
+    Set(usize, Vec<u8>, Option<u32>),
+    Get(usize),
+    Exists(usize),
+    Children(usize),
+    ChildrenData(usize),
+}
+
+fn paths() -> Vec<String> {
+    vec!["/a".into(), "/b".into(), "/a/x".into(), "/a/y".into(), "/b/z".into()]
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    let idx = 0..paths().len();
+    let data = proptest::collection::vec(any::<u8>(), 0..8);
+    let ver = proptest::option::of(0u32..3);
+    prop_oneof![
+        (idx.clone(), data.clone(), any::<bool>()).prop_map(|(i, d, s)| Req::Create(i, d, s)),
+        (idx.clone(), ver.clone()).prop_map(|(i, v)| Req::Delete(i, v)),
+        (idx.clone(), data, ver).prop_map(|(i, d, v)| Req::Set(i, d, v)),
+        idx.clone().prop_map(Req::Get),
+        idx.clone().prop_map(Req::Exists),
+        idx.clone().prop_map(Req::Children),
+        idx.prop_map(Req::ChildrenData),
+    ]
+}
+
+fn drive(server: &mut CoordServer, clock: &mut u64, req: ZkRequest) -> ZkResponse {
+    *clock += 1_000_000;
+    let outs = server.handle(*clock, ServerIn::Client { client: 1, req_id: 0, session: 0, req });
+    outs.into_iter()
+        .find_map(|o| match o {
+            ServerOut::Client { resp, .. } => Some(resp),
+            _ => None,
+        })
+        .expect("single-server requests answer synchronously")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solo_server_is_transparent_over_the_store(
+        reqs in proptest::collection::vec(req_strategy(), 1..60)
+    ) {
+        let pool = paths();
+        let (mut server, _) = CoordServer::new(PeerId(0), EnsembleConfig::of_size(1));
+        let mut oracle = DataTree::new();
+        let mut clock = 0u64;
+        let mut oracle_zxid = 0u64;
+        let seq = CreateMode::PersistentSequential;
+        let _ = seq;
+        for r in &reqs {
+            match r {
+                Req::Create(i, d, sequential) => {
+                    let mode = if *sequential {
+                        CreateMode::PersistentSequential
+                    } else {
+                        CreateMode::Persistent
+                    };
+                    let got = drive(&mut server, &mut clock, ZkRequest::Create {
+                        path: pool[*i].clone(),
+                        data: Bytes::copy_from_slice(d),
+                        mode,
+                    });
+                    oracle_zxid += 1;
+                    let want = oracle.create(&pool[*i], Bytes::copy_from_slice(d), mode, 0, oracle_zxid, clock);
+                    match (got, want) {
+                        (ZkResponse::Created { path }, Ok((want_path, _))) => {
+                            prop_assert_eq!(path, want_path)
+                        }
+                        (ZkResponse::Error(e), Err(we)) => prop_assert_eq!(e, we),
+                        (g, w) => prop_assert!(false, "create mismatch: {:?} vs {:?}", g, w),
+                    }
+                }
+                Req::Delete(i, v) => {
+                    let got = drive(&mut server, &mut clock, ZkRequest::Delete {
+                        path: pool[*i].clone(),
+                        version: *v,
+                    });
+                    oracle_zxid += 1;
+                    let want = oracle.delete(&pool[*i], *v, oracle_zxid, clock);
+                    prop_assert_eq!(matches!(got, ZkResponse::Deleted), want.is_ok());
+                    if let (ZkResponse::Error(e), Err(we)) = (&got, &want) {
+                        prop_assert_eq!(e, we);
+                    }
+                }
+                Req::Set(i, d, v) => {
+                    let got = drive(&mut server, &mut clock, ZkRequest::SetData {
+                        path: pool[*i].clone(),
+                        data: Bytes::copy_from_slice(d),
+                        version: *v,
+                    });
+                    oracle_zxid += 1;
+                    let want = oracle.set_data(&pool[*i], Bytes::copy_from_slice(d), *v, oracle_zxid, clock);
+                    match (got, want) {
+                        (ZkResponse::Stat(s), Ok((ws, _))) => prop_assert_eq!(s.version, ws.version),
+                        (ZkResponse::Error(e), Err(we)) => prop_assert_eq!(e, we),
+                        (g, w) => prop_assert!(false, "set mismatch: {:?} vs {:?}", g, w),
+                    }
+                }
+                Req::Get(i) => {
+                    let got = drive(&mut server, &mut clock, ZkRequest::GetData {
+                        path: pool[*i].clone(),
+                        watch: false,
+                    });
+                    match (got, oracle.get_data(&pool[*i])) {
+                        (ZkResponse::Data { data, stat }, Ok((wd, ws))) => {
+                            prop_assert_eq!(data, wd);
+                            prop_assert_eq!(stat.version, ws.version);
+                            prop_assert_eq!(stat.num_children, ws.num_children);
+                        }
+                        (ZkResponse::Error(e), Err(we)) => prop_assert_eq!(e, we),
+                        (g, w) => prop_assert!(false, "get mismatch: {:?} vs {:?}", g, w),
+                    }
+                }
+                Req::Exists(i) => {
+                    let got = drive(&mut server, &mut clock, ZkRequest::Exists {
+                        path: pool[*i].clone(),
+                        watch: false,
+                    });
+                    let want = oracle.exists(&pool[*i]).expect("valid path");
+                    prop_assert_eq!(
+                        matches!(got, ZkResponse::ExistsResult(Some(_))),
+                        want.is_some()
+                    );
+                }
+                Req::Children(i) => {
+                    let got = drive(&mut server, &mut clock, ZkRequest::GetChildren {
+                        path: pool[*i].clone(),
+                        watch: false,
+                    });
+                    match (got, oracle.get_children(&pool[*i])) {
+                        (ZkResponse::Children { names, .. }, Ok((wn, _))) => {
+                            prop_assert_eq!(names, wn)
+                        }
+                        (ZkResponse::Error(e), Err(we)) => prop_assert_eq!(e, we),
+                        (g, w) => prop_assert!(false, "children mismatch: {:?} vs {:?}", g, w),
+                    }
+                }
+                Req::ChildrenData(i) => {
+                    let got = drive(&mut server, &mut clock, ZkRequest::GetChildrenData {
+                        path: pool[*i].clone(),
+                    });
+                    match (got, oracle.get_children(&pool[*i])) {
+                        (ZkResponse::ChildrenData { entries }, Ok((wn, _))) => {
+                            let names: Vec<String> = entries.iter().map(|e| e.0.clone()).collect();
+                            prop_assert_eq!(names, wn);
+                            // Each payload matches a direct get.
+                            for (name, data, _) in &entries {
+                                let child = format!("{}/{}", pool[*i], name);
+                                let (wd, _) = oracle.get_data(&child).expect("listed child");
+                                prop_assert_eq!(data, &wd);
+                            }
+                        }
+                        (ZkResponse::Error(e), Err(we)) => prop_assert_eq!(e, we),
+                        (g, w) => prop_assert!(false, "childrendata mismatch: {:?} vs {:?}", g, w),
+                    }
+                }
+            }
+        }
+        // Final state identical to the oracle.
+        prop_assert_eq!(server.tree().digest(), oracle.digest());
+    }
+}

@@ -1,0 +1,232 @@
+//! Integration tests for the threaded coordination ensemble: the live
+//! system a DUFS deployment would actually run against.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use dufs_coord::ThreadCluster;
+use dufs_zkstore::{CreateMode, MultiOp, ZkError};
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+#[test]
+fn three_server_ensemble_serves_clients() {
+    let cluster = ThreadCluster::start(3);
+    cluster.await_leader(Duration::from_secs(10)).expect("leader");
+
+    let mut c = cluster.client(0);
+    assert!(c.session() > 0);
+    c.create("/app", b("root"), CreateMode::Persistent).unwrap();
+    c.create("/app/cfg", b("v1"), CreateMode::Persistent).unwrap();
+    let (data, stat) = c.get_data("/app/cfg", false).unwrap();
+    assert_eq!(&data[..], b"v1");
+    assert_eq!(stat.version, 0);
+
+    // A client on a different server sees the same namespace (after sync to
+    // defeat replication lag).
+    let mut c2 = cluster.client(2 % cluster.len());
+    c2.sync().unwrap();
+    let (data, _) = c2.get_data("/app/cfg", false).unwrap();
+    assert_eq!(&data[..], b"v1");
+
+    cluster.shutdown();
+}
+
+#[test]
+fn replicas_converge_to_identical_digests() {
+    let cluster = ThreadCluster::start(3);
+    cluster.await_leader(Duration::from_secs(10)).expect("leader");
+    let mut c = cluster.client(1);
+    for i in 0..50 {
+        c.create(&format!("/n{i}"), b("x"), CreateMode::Persistent).unwrap();
+    }
+    // Let replication drain, then compare replica digests.
+    std::thread::sleep(Duration::from_millis(500));
+    let d0 = cluster.status(0).digest;
+    let d1 = cluster.status(1).digest;
+    let d2 = cluster.status(2).digest;
+    assert_eq!(d0, d1);
+    assert_eq!(d1, d2);
+    assert_eq!(cluster.status(0).node_count, 50);
+    cluster.shutdown();
+}
+
+#[test]
+fn conditional_ops_and_errors() {
+    let cluster = ThreadCluster::start(1);
+    cluster.await_leader(Duration::from_secs(5)).expect("leader");
+    let mut c = cluster.client(0);
+
+    c.create("/v", b("a"), CreateMode::Persistent).unwrap();
+    let stat = c.set_data("/v", b("b"), Some(0)).unwrap();
+    assert_eq!(stat.version, 1);
+    assert_eq!(c.set_data("/v", b("c"), Some(0)).unwrap_err(), ZkError::BadVersion);
+    assert_eq!(c.delete("/v", Some(0)).unwrap_err(), ZkError::BadVersion);
+    c.delete("/v", Some(1)).unwrap();
+    assert_eq!(c.get_data("/v", false).unwrap_err(), ZkError::NoNode);
+    assert_eq!(c.create("/x/y", b(""), CreateMode::Persistent).unwrap_err(), ZkError::NoNode);
+    cluster.shutdown();
+}
+
+#[test]
+fn multi_rename_is_atomic_across_ensemble() {
+    let cluster = ThreadCluster::start(3);
+    cluster.await_leader(Duration::from_secs(10)).expect("leader");
+    let mut c = cluster.client(0);
+    c.create("/f", b("FID:1234"), CreateMode::Persistent).unwrap();
+    // DUFS rename: new name + delete old, atomically.
+    c.multi(vec![
+        MultiOp::Create { path: "/g".into(), data: b("FID:1234"), mode: CreateMode::Persistent },
+        MultiOp::Delete { path: "/f".into(), version: None },
+    ])
+    .unwrap();
+    let mut c2 = cluster.client(1);
+    c2.sync().unwrap();
+    assert!(c2.exists("/f", false).unwrap().is_none());
+    let (data, _) = c2.get_data("/g", false).unwrap();
+    assert_eq!(&data[..], b"FID:1234");
+    cluster.shutdown();
+}
+
+#[test]
+fn sequential_znodes_order_across_clients() {
+    let cluster = ThreadCluster::start(3);
+    cluster.await_leader(Duration::from_secs(10)).expect("leader");
+    let mut a = cluster.client(0);
+    let mut bb = cluster.client(1);
+    a.create("/q", b(""), CreateMode::Persistent).unwrap();
+    let p1 = a.create("/q/n-", b(""), CreateMode::PersistentSequential).unwrap();
+    let p2 = bb.create("/q/n-", b(""), CreateMode::PersistentSequential).unwrap();
+    let p3 = a.create("/q/n-", b(""), CreateMode::PersistentSequential).unwrap();
+    assert!(p1 < p2 && p2 < p3, "{p1} {p2} {p3}");
+    cluster.shutdown();
+}
+
+#[test]
+fn watches_fire_across_clients() {
+    let cluster = ThreadCluster::start(3);
+    cluster.await_leader(Duration::from_secs(10)).expect("leader");
+    let mut watcher = cluster.client(0);
+    let mut mutator = cluster.client(0); // same server: watch + change visible there
+
+    watcher.create("/watched", b("v0"), CreateMode::Persistent).unwrap();
+    watcher.get_data("/watched", true).unwrap();
+    mutator.set_data("/watched", b("v1"), None).unwrap();
+
+    let note = watcher.await_watch(Duration::from_secs(5)).expect("watch fired");
+    assert_eq!(note.path, "/watched");
+    cluster.shutdown();
+}
+
+#[test]
+fn ephemerals_vanish_when_session_closes() {
+    let cluster = ThreadCluster::start(3);
+    cluster.await_leader(Duration::from_secs(10)).expect("leader");
+    let ephemeral_owner = cluster.client(1);
+    let mut observer = cluster.client(0);
+
+    let mut owner = ephemeral_owner;
+    owner.create("/locks", b(""), CreateMode::Persistent).unwrap();
+    owner.create("/locks/holder", b(""), CreateMode::Ephemeral).unwrap();
+    observer.sync().unwrap();
+    assert!(observer.exists("/locks/holder", false).unwrap().is_some());
+
+    owner.close().unwrap();
+    observer.sync().unwrap();
+    assert!(observer.exists("/locks/holder", false).unwrap().is_none());
+    cluster.shutdown();
+}
+
+#[test]
+fn follower_crash_does_not_lose_service_and_restarts_catch_up() {
+    let cluster = ThreadCluster::start(3);
+    let leader = cluster.await_leader(Duration::from_secs(10)).expect("leader");
+    let follower = (0..3).find(|&i| i != leader).unwrap();
+    let surviving = (0..3).find(|&i| i != leader && i != follower).unwrap();
+
+    let mut c = cluster.client(surviving);
+    c.create("/pre", b(""), CreateMode::Persistent).unwrap();
+    cluster.crash(follower);
+    for i in 0..10 {
+        c.create(&format!("/during{i}"), b(""), CreateMode::Persistent).unwrap();
+    }
+    cluster.restart(follower);
+    // Allow resync, then the restarted replica must converge.
+    std::thread::sleep(Duration::from_secs(2));
+    let restarted = cluster.status(follower);
+    let reference = cluster.status(surviving);
+    assert!(restarted.alive);
+    assert_eq!(restarted.digest, reference.digest, "restarted follower caught up");
+    cluster.shutdown();
+}
+
+#[test]
+fn observers_serve_reads_in_the_live_runtime() {
+    // 3 voters + 1 observer (server index 3).
+    let cluster = ThreadCluster::start_with_observers(3, 1);
+    cluster.await_leader(Duration::from_secs(10)).expect("leader");
+    let leader = cluster.leader_index().unwrap();
+    assert!(leader < 3, "observers never lead");
+
+    let mut writer = cluster.client(0);
+    writer.create("/from-voter", b("v"), CreateMode::Persistent).unwrap();
+
+    // A client connected to the OBSERVER: reads locally, writes forwarded.
+    let mut via_obs = cluster.client(3);
+    via_obs.sync().unwrap();
+    let (data, _) = via_obs.get_data("/from-voter", false).unwrap();
+    assert_eq!(&data[..], b"v");
+    via_obs.create("/from-observer", b("o"), CreateMode::Persistent).unwrap();
+    writer.sync().unwrap();
+    assert!(writer.exists("/from-observer", false).unwrap().is_some());
+
+    // The observer replica converges with the voters.
+    std::thread::sleep(Duration::from_millis(800));
+    let d_voter = cluster.status(0).digest;
+    let d_obs = cluster.status(3).digest;
+    assert_eq!(d_voter, d_obs, "observer replicated the full stream");
+
+    // Killing the observer must not affect writes at all.
+    cluster.crash(3);
+    writer.create("/while-obs-down", b(""), CreateMode::Persistent).unwrap();
+    assert!(writer.exists("/while-obs-down", false).unwrap().is_some());
+    cluster.shutdown();
+}
+
+#[test]
+fn leader_crash_fails_over_and_preserves_data() {
+    let cluster = ThreadCluster::start(3);
+    let leader = cluster.await_leader(Duration::from_secs(10)).expect("leader");
+    let other = (0..3).find(|&i| i != leader).unwrap();
+
+    let mut c = cluster.client(other);
+    c.set_timeout(Duration::from_secs(2));
+    for i in 0..10 {
+        c.create(&format!("/pre{i}"), b(""), CreateMode::Persistent).unwrap();
+    }
+    cluster.crash(leader);
+    // A new leader must emerge among the survivors…
+    let new_leader = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(15);
+        loop {
+            if let Some(l) = (0..3).filter(|&i| i != leader).find(|&i| cluster.status(i).is_leader) {
+                break l;
+            }
+            assert!(std::time::Instant::now() < deadline, "no failover leader");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    };
+    assert_ne!(new_leader, leader);
+    // …and the pre-crash data plus new writes must survive.
+    for i in 0..10 {
+        assert!(
+            c.exists(&format!("/pre{i}"), false).unwrap().is_some(),
+            "/pre{i} lost in failover"
+        );
+    }
+    c.create("/post", b(""), CreateMode::Persistent).unwrap();
+    assert!(c.exists("/post", false).unwrap().is_some());
+    cluster.shutdown();
+}

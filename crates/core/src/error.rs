@@ -1,0 +1,123 @@
+//! DUFS error type: the errno-shaped surface FUSE would return to
+//! applications, with conversions from coordination-service and back-end
+//! errors.
+
+use std::fmt;
+
+use dufs_backendfs::FsError;
+use dufs_zkstore::ZkError;
+
+/// Result alias for DUFS operations.
+pub type DufsResult<T> = Result<T, DufsError>;
+
+/// Errors surfaced by DUFS operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DufsError {
+    /// `ENOENT`.
+    NoEnt,
+    /// `EEXIST`.
+    Exists,
+    /// `ENOTEMPTY`.
+    NotEmpty,
+    /// `ENOTDIR`.
+    NotDir,
+    /// `EISDIR`.
+    IsDir,
+    /// `EINVAL`.
+    Inval,
+    /// `EACCES`.
+    Access,
+    /// `EIO` — the coordination service or back-end failed unexpectedly.
+    Io,
+    /// `EHOSTDOWN` — the coordination ensemble has no quorum.
+    CoordUnavailable,
+    /// The znode data field did not parse (internal corruption).
+    CorruptMetadata,
+}
+
+impl DufsError {
+    /// Conventional errno value (what the FUSE layer returns).
+    pub fn errno(self) -> i32 {
+        match self {
+            DufsError::NoEnt => 2,
+            DufsError::Exists => 17,
+            DufsError::NotEmpty => 39,
+            DufsError::NotDir => 20,
+            DufsError::IsDir => 21,
+            DufsError::Inval => 22,
+            DufsError::Access => 13,
+            DufsError::Io | DufsError::CorruptMetadata => 5,
+            DufsError::CoordUnavailable => 112,
+        }
+    }
+}
+
+impl From<ZkError> for DufsError {
+    fn from(e: ZkError) -> Self {
+        match e {
+            ZkError::NoNode => DufsError::NoEnt,
+            ZkError::NodeExists => DufsError::Exists,
+            ZkError::NotEmpty => DufsError::NotEmpty,
+            ZkError::InvalidPath => DufsError::Inval,
+            ZkError::BadVersion => DufsError::Io,
+            ZkError::NoChildrenForEphemerals => DufsError::NotDir,
+            ZkError::SessionExpired | ZkError::ConnectionLoss => DufsError::CoordUnavailable,
+            ZkError::RootReadOnly => DufsError::Access,
+        }
+    }
+}
+
+impl From<FsError> for DufsError {
+    fn from(e: FsError) -> Self {
+        match e {
+            FsError::NoEnt => DufsError::NoEnt,
+            FsError::Exists => DufsError::Exists,
+            FsError::NotEmpty => DufsError::NotEmpty,
+            FsError::NotDir => DufsError::NotDir,
+            FsError::IsDir => DufsError::IsDir,
+            FsError::Inval => DufsError::Inval,
+            FsError::Stale => DufsError::Io,
+        }
+    }
+}
+
+impl fmt::Display for DufsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DufsError::NoEnt => "no such file or directory",
+            DufsError::Exists => "file exists",
+            DufsError::NotEmpty => "directory not empty",
+            DufsError::NotDir => "not a directory",
+            DufsError::IsDir => "is a directory",
+            DufsError::Inval => "invalid argument",
+            DufsError::Access => "permission denied",
+            DufsError::Io => "input/output error",
+            DufsError::CoordUnavailable => "coordination service unavailable",
+            DufsError::CorruptMetadata => "corrupt metadata",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DufsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_mapping() {
+        assert_eq!(DufsError::NoEnt.errno(), 2);
+        assert_eq!(DufsError::Exists.errno(), 17);
+        assert_eq!(DufsError::Access.errno(), 13);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(DufsError::from(ZkError::NoNode), DufsError::NoEnt);
+        assert_eq!(DufsError::from(ZkError::NodeExists), DufsError::Exists);
+        assert_eq!(DufsError::from(ZkError::ConnectionLoss), DufsError::CoordUnavailable);
+        assert_eq!(DufsError::from(FsError::NotDir), DufsError::NotDir);
+        assert_eq!(DufsError::from(FsError::Stale), DufsError::Io);
+    }
+}

@@ -1,0 +1,148 @@
+//! File Identifiers (paper §IV-E).
+//!
+//! A FID is a 128-bit integer uniquely naming the *contents* of a file,
+//! independent of its virtual path: the concatenation of a 64-bit client id
+//! (unique per DUFS client instance) and a 64-bit per-client creation
+//! counter. Generation needs no coordination; renames never change the FID,
+//! so data never moves when names do.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 128-bit File Identifier: `client_id ‖ counter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fid(pub u128);
+
+impl Fid {
+    /// Compose from a client id and its creation counter.
+    pub const fn new(client_id: u64, counter: u64) -> Self {
+        Fid(((client_id as u128) << 64) | counter as u128)
+    }
+
+    /// The creating client's id (high 64 bits).
+    pub const fn client_id(self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+
+    /// The creation counter (low 64 bits).
+    pub const fn counter(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Canonical 32-character lowercase hex form (used as the physical
+    /// filename source, Fig 4).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the canonical hex form.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fid)
+    }
+
+    /// The FID's bytes, big-endian (input to the mapping hash).
+    pub const fn to_be_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for Fid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl FromStr for Fid {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Self, ()> {
+        Fid::from_hex(s).ok_or(())
+    }
+}
+
+/// Coordination-free FID generator owned by one DUFS client instance.
+///
+/// "When a client is restarted, it acquires another unique 64-bit client ID
+/// and its creation counter is reset to 0" (§IV-E) — mint a new generator
+/// with a fresh client id on restart.
+#[derive(Debug, Clone)]
+pub struct FidGenerator {
+    client_id: u64,
+    counter: u64,
+}
+
+impl FidGenerator {
+    /// A generator for the given unique client id.
+    pub fn new(client_id: u64) -> Self {
+        FidGenerator { client_id, counter: 0 }
+    }
+
+    /// The client id baked into every FID from this generator.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Number of FIDs handed out so far.
+    pub fn created(&self) -> u64 {
+        self.counter
+    }
+
+    /// Mint the next FID.
+    pub fn next_fid(&mut self) -> Fid {
+        let fid = Fid::new(self.client_id, self.counter);
+        self.counter += 1;
+        fid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_decompose() {
+        let f = Fid::new(0xDEAD_BEEF, 42);
+        assert_eq!(f.client_id(), 0xDEAD_BEEF);
+        assert_eq!(f.counter(), 42);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let f = Fid::new(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
+        let hex = f.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(hex, "0123456789abcdeffedcba9876543210");
+        assert_eq!(Fid::from_hex(&hex), Some(f));
+        assert_eq!(hex.parse::<Fid>(), Ok(f));
+    }
+
+    #[test]
+    fn from_hex_rejects_junk() {
+        assert_eq!(Fid::from_hex("123"), None);
+        assert_eq!(Fid::from_hex(&"g".repeat(32)), None);
+    }
+
+    #[test]
+    fn generator_is_sequential_and_unique() {
+        let mut g = FidGenerator::new(7);
+        let a = g.next_fid();
+        let b = g.next_fid();
+        assert_eq!(a, Fid::new(7, 0));
+        assert_eq!(b, Fid::new(7, 1));
+        assert_ne!(a, b);
+        assert_eq!(g.created(), 2);
+    }
+
+    #[test]
+    fn distinct_clients_never_collide() {
+        let mut g1 = FidGenerator::new(1);
+        let mut g2 = FidGenerator::new(2);
+        let s1: Vec<Fid> = (0..100).map(|_| g1.next_fid()).collect();
+        let s2: Vec<Fid> = (0..100).map(|_| g2.next_fid()).collect();
+        for a in &s1 {
+            assert!(!s2.contains(a));
+        }
+    }
+}

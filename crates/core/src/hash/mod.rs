@@ -1,0 +1,10 @@
+//! Hash functions implemented from scratch.
+//!
+//! DUFS's deterministic mapping function is `MD5(fid) mod N` (paper §IV-F,
+//! citing RFC 1321 for MD5's distribution properties). No external crypto
+//! crates are used; [`md5()`] is a complete RFC 1321 implementation
+//! validated against the RFC's test vectors.
+
+pub mod md5;
+
+pub use md5::{md5, Md5};

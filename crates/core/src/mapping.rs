@@ -1,0 +1,269 @@
+//! Deterministic FID → back-end mapping functions (paper §IV-F and §VII).
+//!
+//! Every DUFS client must place a FID on the same back-end mount without
+//! coordination. The paper's prototype uses `MD5(fid) mod N`
+//! ([`Md5Mapping`]); its stated future work is consistent hashing so
+//! back-ends can be added/removed with bounded data movement
+//! ([`ConsistentHashRing`]) — both are implemented here, and the
+//! `bench_mapping` ablation in `dufs-bench` quantifies the difference.
+
+use std::collections::BTreeMap;
+
+use crate::fid::Fid;
+use crate::hash::md5;
+
+/// A deterministic map from FID to back-end index `0..n_backends`.
+pub trait BackendMapper {
+    /// Number of back-end mounts.
+    fn n_backends(&self) -> usize;
+    /// The back-end storing this FID's contents.
+    fn backend_of(&self, fid: Fid) -> usize;
+}
+
+/// The paper's mapping function: `MD5(fid) mod N`.
+#[derive(Debug, Clone)]
+pub struct Md5Mapping {
+    n: usize,
+}
+
+impl Md5Mapping {
+    /// A mapping over `n` back-ends.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one back-end");
+        Md5Mapping { n }
+    }
+}
+
+impl BackendMapper for Md5Mapping {
+    fn n_backends(&self) -> usize {
+        self.n
+    }
+
+    fn backend_of(&self, fid: Fid) -> usize {
+        let digest = md5(&fid.to_be_bytes());
+        // Reduce the 128-bit digest mod N. N is small, so reducing the
+        // high 64 bits first keeps arithmetic in u64 without bias issues
+        // beyond 2^-64.
+        let hi = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+        let lo = u64::from_be_bytes(digest[8..].try_into().expect("8 bytes"));
+        let n = self.n as u128;
+        ((((hi as u128) << 64 | lo as u128) % n) as usize).min(self.n - 1)
+    }
+}
+
+/// Consistent-hash ring with virtual nodes (the paper's §VII future-work
+/// mapping; Karger et al., ref. 26 of the paper).
+///
+/// Adding or removing a back-end relocates only ≈ `1/N` of FIDs, unlike
+/// `mod N` which relocates almost all of them.
+#[derive(Debug, Clone)]
+pub struct ConsistentHashRing {
+    /// hash point → back-end index.
+    ring: BTreeMap<u64, usize>,
+    /// Live back-end indices, sorted.
+    backends: Vec<usize>,
+    vnodes: usize,
+}
+
+impl ConsistentHashRing {
+    /// Default virtual nodes per back-end.
+    pub const DEFAULT_VNODES: usize = 128;
+
+    /// A ring over back-ends `0..n` with the default vnode count.
+    pub fn new(n: usize) -> Self {
+        Self::with_vnodes(n, Self::DEFAULT_VNODES)
+    }
+
+    /// A ring over back-ends `0..n` with `vnodes` virtual nodes each.
+    pub fn with_vnodes(n: usize, vnodes: usize) -> Self {
+        assert!(n >= 1, "need at least one back-end");
+        assert!(vnodes >= 1, "need at least one virtual node");
+        let mut ring = ConsistentHashRing { ring: BTreeMap::new(), backends: Vec::new(), vnodes };
+        for b in 0..n {
+            ring.add_backend(b);
+        }
+        ring
+    }
+
+    fn point(backend: usize, vnode: usize) -> u64 {
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&(backend as u64).to_be_bytes());
+        key[8..].copy_from_slice(&(vnode as u64).to_be_bytes());
+        let d = md5(&key);
+        u64::from_be_bytes(d[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Add a back-end (no-op if present). Only ≈ `1/(n+1)` of FIDs move to
+    /// it.
+    pub fn add_backend(&mut self, backend: usize) {
+        if self.backends.contains(&backend) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            self.ring.insert(Self::point(backend, v), backend);
+        }
+        self.backends.push(backend);
+        self.backends.sort_unstable();
+    }
+
+    /// Remove a back-end; its FIDs redistribute to ring successors.
+    ///
+    /// # Panics
+    /// Panics if it is the last back-end.
+    pub fn remove_backend(&mut self, backend: usize) {
+        if !self.backends.contains(&backend) {
+            return;
+        }
+        assert!(self.backends.len() > 1, "cannot remove the last back-end");
+        self.ring.retain(|_, b| *b != backend);
+        self.backends.retain(|b| *b != backend);
+    }
+
+    /// Live back-end indices.
+    pub fn backends(&self) -> &[usize] {
+        &self.backends
+    }
+}
+
+impl BackendMapper for ConsistentHashRing {
+    fn n_backends(&self) -> usize {
+        self.backends.len()
+    }
+
+    fn backend_of(&self, fid: Fid) -> usize {
+        let d = md5(&fid.to_be_bytes());
+        let h = u64::from_be_bytes(d[..8].try_into().expect("8 bytes"));
+        // First ring point at or after h, wrapping.
+        let next = self.ring.range(h..).next().or_else(|| self.ring.iter().next());
+        *next.expect("ring is never empty").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fid::FidGenerator;
+
+    fn fids(n: usize) -> Vec<Fid> {
+        let mut g1 = FidGenerator::new(11);
+        let mut g2 = FidGenerator::new(22);
+        (0..n).map(|i| if i % 2 == 0 { g1.next_fid() } else { g2.next_fid() }).collect()
+    }
+
+    #[test]
+    fn md5_mapping_is_deterministic_and_in_range() {
+        let m = Md5Mapping::new(4);
+        for f in fids(1000) {
+            let b = m.backend_of(f);
+            assert!(b < 4);
+            assert_eq!(b, m.backend_of(f), "deterministic");
+        }
+    }
+
+    #[test]
+    fn md5_mapping_balances_load() {
+        // The paper chose MD5 exactly for fairness (§IV-F).
+        let m = Md5Mapping::new(4);
+        let mut counts = [0usize; 4];
+        let sample = fids(20_000);
+        for f in &sample {
+            counts[m.backend_of(*f)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - 5_000.0).abs() / 5_000.0;
+            assert!(dev < 0.06, "backend {i} off by {dev:.3}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_backend_takes_everything() {
+        let m = Md5Mapping::new(1);
+        for f in fids(100) {
+            assert_eq!(m.backend_of(f), 0);
+        }
+        let r = ConsistentHashRing::new(1);
+        for f in fids(100) {
+            assert_eq!(r.backend_of(f), 0);
+        }
+    }
+
+    #[test]
+    fn ring_balances_reasonably() {
+        let r = ConsistentHashRing::new(4);
+        let mut counts = [0usize; 4];
+        for f in fids(20_000) {
+            counts[r.backend_of(f)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let share = c as f64 / 20_000.0;
+            assert!((0.15..0.35).contains(&share), "backend {i} share {share:.3}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ring_add_moves_only_a_fraction() {
+        let sample = fids(10_000);
+        let before = ConsistentHashRing::new(4);
+        let mut after = before.clone();
+        after.add_backend(4);
+        let moved = sample
+            .iter()
+            .filter(|f| before.backend_of(**f) != after.backend_of(**f))
+            .count();
+        let frac = moved as f64 / sample.len() as f64;
+        // Ideal is 1/5 = 0.20; allow vnode noise.
+        assert!((0.12..0.30).contains(&frac), "moved fraction {frac:.3}");
+        // And everything that moved went TO the new backend.
+        for f in &sample {
+            if before.backend_of(*f) != after.backend_of(*f) {
+                assert_eq!(after.backend_of(*f), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_remove_moves_only_the_victims() {
+        let sample = fids(10_000);
+        let before = ConsistentHashRing::new(4);
+        let mut after = before.clone();
+        after.remove_backend(2);
+        for f in &sample {
+            let b0 = before.backend_of(*f);
+            let b1 = after.backend_of(*f);
+            if b0 != 2 {
+                assert_eq!(b0, b1, "FIDs on surviving backends must not move");
+            } else {
+                assert_ne!(b1, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_n_remaps_almost_everything_on_growth() {
+        // The contrast the paper's future work is about: mod-N growth
+        // remaps ~3/4 of FIDs (N=4→5), consistent hashing ~1/5.
+        let sample = fids(10_000);
+        let m4 = Md5Mapping::new(4);
+        let m5 = Md5Mapping::new(5);
+        let moved =
+            sample.iter().filter(|f| m4.backend_of(**f) != m5.backend_of(**f)).count();
+        let frac = moved as f64 / sample.len() as f64;
+        assert!(frac > 0.6, "mod-N should remap most FIDs, got {frac:.3}");
+    }
+
+    #[test]
+    fn ring_membership_ops_are_idempotent() {
+        let mut r = ConsistentHashRing::new(2);
+        r.add_backend(1); // already present
+        assert_eq!(r.backends(), &[0, 1]);
+        r.remove_backend(7); // never present
+        assert_eq!(r.backends(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last back-end")]
+    fn ring_refuses_to_empty() {
+        let mut r = ConsistentHashRing::new(1);
+        r.remove_backend(0);
+    }
+}

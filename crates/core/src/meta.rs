@@ -1,0 +1,170 @@
+//! The znode custom data field (paper §IV-D/E).
+//!
+//! "In DUFS, this custom field is used to tell the Znode if it is
+//! representing a directory or a file. In the latter case, the FID of the
+//! file is also stored in this field." We additionally keep the mode bits
+//! for directories/symlinks (their POSIX attributes live entirely in the
+//! coordination service) and the symlink target.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::DufsError;
+use crate::fid::Fid;
+
+const TAG_DIR: u8 = 1;
+const TAG_FILE: u8 = 2;
+const TAG_SYMLINK: u8 = 3;
+
+/// Decoded znode payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeMeta {
+    /// A virtual directory (exists only in the coordination service).
+    Dir {
+        /// Permission bits.
+        mode: u32,
+    },
+    /// A virtual file backed by physical contents named by `fid`.
+    File {
+        /// The 128-bit file identifier.
+        fid: Fid,
+        /// Permission bits recorded at create time (authoritative bits
+        /// live with the physical file).
+        mode: u32,
+    },
+    /// A symbolic link.
+    Symlink {
+        /// Link target (virtual path or arbitrary string, as POSIX).
+        target: String,
+        /// Permission bits (conventionally 0o777).
+        mode: u32,
+    },
+}
+
+impl NodeMeta {
+    /// Directory with the given mode.
+    pub fn dir(mode: u32) -> Self {
+        NodeMeta::Dir { mode }
+    }
+    /// File with the given FID and mode.
+    pub fn file(fid: Fid, mode: u32) -> Self {
+        NodeMeta::File { fid, mode }
+    }
+    /// Symlink to `target`.
+    pub fn symlink(target: impl Into<String>) -> Self {
+        NodeMeta::Symlink { target: target.into(), mode: 0o777 }
+    }
+
+    /// Whether this is a directory.
+    pub fn is_dir(&self) -> bool {
+        matches!(self, NodeMeta::Dir { .. })
+    }
+
+    /// The FID, if a file.
+    pub fn fid(&self) -> Option<Fid> {
+        match self {
+            NodeMeta::File { fid, .. } => Some(*fid),
+            _ => None,
+        }
+    }
+
+    /// Mode bits.
+    pub fn mode(&self) -> u32 {
+        match self {
+            NodeMeta::Dir { mode } | NodeMeta::File { mode, .. } | NodeMeta::Symlink { mode, .. } => {
+                *mode
+            }
+        }
+    }
+
+    /// Replace the mode bits (chmod on directories/symlinks).
+    pub fn with_mode(self, mode: u32) -> Self {
+        match self {
+            NodeMeta::Dir { .. } => NodeMeta::Dir { mode },
+            NodeMeta::File { fid, .. } => NodeMeta::File { fid, mode },
+            NodeMeta::Symlink { target, .. } => NodeMeta::Symlink { target, mode },
+        }
+    }
+
+    /// Serialize into the znode data field.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(24);
+        match self {
+            NodeMeta::Dir { mode } => {
+                b.put_u8(TAG_DIR);
+                b.put_u32_le(*mode);
+            }
+            NodeMeta::File { fid, mode } => {
+                b.put_u8(TAG_FILE);
+                b.put_u32_le(*mode);
+                b.put_slice(&fid.to_be_bytes());
+            }
+            NodeMeta::Symlink { target, mode } => {
+                b.put_u8(TAG_SYMLINK);
+                b.put_u32_le(*mode);
+                b.put_slice(target.as_bytes());
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parse a znode data field.
+    pub fn decode(data: &[u8]) -> Result<Self, DufsError> {
+        if data.len() < 5 {
+            return Err(DufsError::CorruptMetadata);
+        }
+        let mode = u32::from_le_bytes(data[1..5].try_into().expect("4 bytes"));
+        match data[0] {
+            TAG_DIR if data.len() == 5 => Ok(NodeMeta::Dir { mode }),
+            TAG_FILE if data.len() == 21 => {
+                let raw: [u8; 16] = data[5..21].try_into().expect("16 bytes");
+                Ok(NodeMeta::File { fid: Fid(u128::from_be_bytes(raw)), mode })
+            }
+            TAG_SYMLINK => {
+                let target =
+                    std::str::from_utf8(&data[5..]).map_err(|_| DufsError::CorruptMetadata)?;
+                Ok(NodeMeta::Symlink { target: target.to_string(), mode })
+            }
+            _ => Err(DufsError::CorruptMetadata),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let cases = [
+            NodeMeta::dir(0o755),
+            NodeMeta::file(Fid::new(3, 9), 0o640),
+            NodeMeta::symlink("/a/target with spaces"),
+        ];
+        for m in cases {
+            let enc = m.encode();
+            assert_eq!(NodeMeta::decode(&enc).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let f = NodeMeta::file(Fid::new(1, 2), 0o600);
+        assert!(!f.is_dir());
+        assert_eq!(f.fid(), Some(Fid::new(1, 2)));
+        assert_eq!(f.mode(), 0o600);
+        assert_eq!(f.clone().with_mode(0o400).mode(), 0o400);
+        assert_eq!(f.with_mode(0o400).fid(), Some(Fid::new(1, 2)), "chmod keeps the FID");
+        let d = NodeMeta::dir(0o700);
+        assert!(d.is_dir());
+        assert_eq!(d.fid(), None);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(NodeMeta::decode(&[]).is_err());
+        assert!(NodeMeta::decode(&[9, 0, 0, 0, 0]).is_err(), "unknown tag");
+        assert!(NodeMeta::decode(&[TAG_FILE, 0, 0, 0, 0, 1, 2]).is_err(), "short FID");
+        assert!(NodeMeta::decode(&[TAG_DIR, 0, 0, 0, 0, 99]).is_err(), "trailing junk on dir");
+        assert!(NodeMeta::decode(&[TAG_SYMLINK, 0, 0, 0, 0, 0xFF, 0xFE]).is_err(), "bad utf8");
+    }
+}

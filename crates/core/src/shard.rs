@@ -1,0 +1,113 @@
+//! FID → physical path sharding (paper §IV-G, Fig 4).
+//!
+//! The physical filename on the back-end is derived from the FID's hex
+//! form, split into four components used in *reverse* order — the last
+//! component becomes the top directory and the first becomes the filename:
+//!
+//! ```text
+//! FID:      0123456789abcdef          (paper's 64-bit illustration)
+//! physical: cdef/89ab/4567/0123
+//! ```
+//!
+//! Low-order counter bits land in the *top* directories, spreading
+//! consecutive creations by one client across many directories and avoiding
+//! "congestion due to file creation at a single directory level". The
+//! hierarchy is static and identical on every back-end mount, so no
+//! coordination or conflict is possible.
+//!
+//! Our FIDs are 128-bit (32 hex chars), so each of the four components is
+//! 8 characters.
+
+use crate::fid::Fid;
+
+/// Number of path components the hex form is split into.
+pub const COMPONENTS: usize = 4;
+
+/// Relative physical path for `fid`: `"p3/p2/p1/p0"` where `p0..p3` are the
+/// hex quarters from most- to least-significant.
+pub fn physical_rel_path(fid: Fid) -> String {
+    let hex = fid.to_hex();
+    let quarter = hex.len() / COMPONENTS;
+    let mut parts: Vec<&str> = (0..COMPONENTS).map(|i| &hex[i * quarter..(i + 1) * quarter]).collect();
+    parts.reverse();
+    parts.join("/")
+}
+
+/// Absolute physical path under a back-end mount root (root `""` or `"/"`
+/// yields `/p3/p2/p1/p0`).
+pub fn physical_path(root: &str, fid: Fid) -> String {
+    let rel = physical_rel_path(fid);
+    let root = root.trim_end_matches('/');
+    format!("{root}/{rel}")
+}
+
+/// Recover the FID from a relative physical path produced by
+/// [`physical_rel_path`].
+pub fn fid_of_physical(rel: &str) -> Option<Fid> {
+    let parts: Vec<&str> = rel.trim_start_matches('/').split('/').collect();
+    if parts.len() != COMPONENTS {
+        return None;
+    }
+    let mut hex = String::with_capacity(32);
+    for p in parts.iter().rev() {
+        hex.push_str(p);
+    }
+    Fid::from_hex(&hex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fid::FidGenerator;
+
+    #[test]
+    fn matches_paper_fig4_layout() {
+        // The paper's example uses a 64-bit FID 0123456789abcdef mapping to
+        // cdef/89ab/4567/0123. With 128-bit FIDs the same reversal applies
+        // to 8-char quarters.
+        let fid = Fid(0x0123456789abcdef_fedcba9876543210);
+        assert_eq!(physical_rel_path(fid), "76543210/fedcba98/89abcdef/01234567");
+    }
+
+    #[test]
+    fn absolute_path_forms() {
+        let fid = Fid(1);
+        assert_eq!(
+            physical_path("/", fid),
+            "/00000001/00000000/00000000/00000000"
+        );
+        assert_eq!(physical_path("", fid), physical_path("/", fid));
+        assert_eq!(
+            physical_path("/mnt/lustre0/", fid),
+            "/mnt/lustre0/00000001/00000000/00000000/00000000"
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut g = FidGenerator::new(0xABCD);
+        for _ in 0..100 {
+            let f = g.next_fid();
+            let rel = physical_rel_path(f);
+            assert_eq!(fid_of_physical(&rel), Some(f));
+        }
+    }
+
+    #[test]
+    fn consecutive_fids_spread_across_top_directories() {
+        // The low-order counter ends up in the top directory, so a client
+        // creating many files does not hammer one directory (§IV-G).
+        let mut g = FidGenerator::new(9);
+        let tops: std::collections::HashSet<String> = (0..256)
+            .map(|_| physical_rel_path(g.next_fid()).split('/').next().unwrap().to_string())
+            .collect();
+        assert_eq!(tops.len(), 256, "each consecutive FID hits a distinct top directory");
+    }
+
+    #[test]
+    fn fid_of_physical_rejects_malformed() {
+        assert_eq!(fid_of_physical("a/b/c"), None);
+        assert_eq!(fid_of_physical("zzzzzzzz/zzzzzzzz/zzzzzzzz/zzzzzzzz"), None);
+        assert_eq!(fid_of_physical(""), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! `mdtest-sim` — command-line front end for the simulated testbed, with
+//! mdtest-flavoured output.
+//!
+//! ```text
+//! Usage: mdtest_sim [OPTIONS]
+//!   --system <lustre|pvfs2|dufs-lustre|dufs-pvfs2>   (default dufs-lustre)
+//!   --procs <N>        client processes               (default 64)
+//!   --items <N>        dirs/files per process         (default 40)
+//!   --zk <N>           coordination servers (DUFS)    (default 8)
+//!   --backends <N>     merged back-end mounts (DUFS)  (default 2)
+//!   --shared-dir       all file creates into one directory
+//!   --seed <N>         simulation seed                (default 1)
+//!   --crash <srv:ms:down_ms>  crash a coord server mid-run
+//! ```
+//!
+//! Example:
+//! ```text
+//! cargo run --release -p dufs-mdtest --bin mdtest_sim -- \
+//!     --system dufs-lustre --procs 128 --items 60 --zk 8 --backends 4
+//! ```
+
+use dufs_mdtest::scenario::{
+    run_mdtest_report, CoordCrash, MdtestConfig, MdtestSystem,
+};
+use dufs_mdtest::workload::{Phase, WorkloadSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mdtest_sim [--system lustre|pvfs2|dufs-lustre|dufs-pvfs2] \
+         [--procs N] [--items N] [--zk N] [--backends N] [--shared-dir] \
+         [--seed N] [--crash srv:at_ms:down_ms]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut system = "dufs-lustre".to_string();
+    let mut procs = 64usize;
+    let mut items = 40usize;
+    let mut zk = 8usize;
+    let mut backends = 2usize;
+    let mut shared = false;
+    let mut seed = 1u64;
+    let mut crash: Option<CoordCrash> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--system" => system = next(&mut i),
+            "--procs" => procs = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--items" => items = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--zk" => zk = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--backends" => backends = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--shared-dir" => shared = true,
+            "--seed" => seed = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--crash" => {
+                let spec = next(&mut i);
+                let parts: Vec<u64> =
+                    spec.split(':').filter_map(|s| s.parse().ok()).collect();
+                if parts.len() != 3 {
+                    usage();
+                }
+                crash = Some(CoordCrash {
+                    server: parts[0] as usize,
+                    at_ms: parts[1],
+                    down_ms: parts[2],
+                });
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let sys = match system.as_str() {
+        "lustre" => MdtestSystem::BasicLustre,
+        "pvfs2" => MdtestSystem::BasicPvfs2,
+        "dufs-lustre" => MdtestSystem::DufsLustre { zk_servers: zk, backends },
+        "dufs-pvfs2" => MdtestSystem::DufsPvfs2 { zk_servers: zk, backends },
+        other => {
+            eprintln!("unknown system: {other}");
+            usage();
+        }
+    };
+
+    let spec = WorkloadSpec {
+        processes: procs,
+        fanout: 10,
+        dirs_per_proc: items,
+        files_per_proc: items,
+        phases: Phase::ALL.to_vec(),
+        shared_dir: shared,
+    };
+
+    println!("-- mdtest-sim: {} --", sys.label());
+    println!(
+        "   {} processes over 8 client nodes, {} items/proc, tree fan-out {}, {} placement{}",
+        procs,
+        items,
+        spec.fanout,
+        if shared { "shared-directory" } else { "unique-directory" },
+        crash
+            .map(|c| format!(", crash server {} @{}ms for {}ms", c.server, c.at_ms, c.down_ms))
+            .unwrap_or_default()
+    );
+    println!();
+
+    let report = run_mdtest_report(&MdtestConfig { system: sys, spec, seed, crash_coord: crash });
+
+    println!("SUMMARY rate (of virtual testbed time): (ops/sec)");
+    println!(
+        "   {:<22} {:>12} {:>10} {:>12} {:>12}",
+        "Operation", "ops/sec", "errors", "mean lat", "p99 lat"
+    );
+    for r in &report.phases {
+        println!(
+            "   {:<22} {:>12.1} {:>10} {:>9.2} ms {:>9.2} ms",
+            r.phase.label(),
+            r.ops_per_sec,
+            r.errors,
+            r.mean_latency_us / 1000.0,
+            r.p99_latency_us / 1000.0
+        );
+    }
+    if report.namespace_nodes > 0 {
+        println!(
+            "\nfinal namespace: {} znodes, replicated digest {:#018x}",
+            report.namespace_nodes, report.namespace_digest
+        );
+    }
+}

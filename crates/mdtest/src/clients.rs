@@ -1,0 +1,739 @@
+//! Simulated client processes: raw coordination clients (Fig 7), DUFS
+//! clients (Figs 8–10), and native mdtest clients (the Basic Lustre /
+//! Basic PVFS2 baselines).
+//!
+//! Every client process is a closed loop: it keeps exactly one operation in
+//! flight, as an mdtest process does. Client-side CPU is charged on a
+//! per-physical-node core pool shared by all processes of that node (the
+//! paper ran up to 32 processes per 8-core node, co-located with a
+//! ZooKeeper server — client CPU is a first-class bottleneck there).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use dufs_coord::{ZkRequest, ZkResponse};
+use dufs_core::fid::FidGenerator;
+use dufs_core::mapping::Md5Mapping;
+use dufs_core::plan::{MetaOp, OpExec, PlanStep, StepResponse};
+use dufs_simnet::{Ctx, LatencyHist, NodeId, Process, ServiceQueue, SimDuration, SimTime, TimerToken};
+use dufs_zkstore::CreateMode;
+
+use crate::costs;
+use crate::msg::ClusterMsg;
+use crate::workload::{NativeOp, Phase, WorkloadSpec};
+
+/// Shared core pool of one physical client node.
+#[derive(Clone)]
+pub struct NodeCpu(Rc<RefCell<ServiceQueue>>);
+
+impl NodeCpu {
+    /// A pool with `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        NodeCpu(Rc::new(RefCell::new(ServiceQueue::new(cores))))
+    }
+
+    /// Charge `cost_us` of CPU starting at `now`; returns the delay until
+    /// the work completes (queueing + execution).
+    pub fn charge(&self, now: SimTime, cost_us: f64) -> SimDuration {
+        self.0.borrow_mut().complete_at(now, costs::us(cost_us)).since(now)
+    }
+}
+
+/// The raw coordination operation types of Fig 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RawOp {
+    /// `zoo_create()` — a fresh znode per operation.
+    Create,
+    /// `zoo_get()` — repeated reads of one znode.
+    Get,
+    /// `zoo_set()` — repeated data replacement on one znode.
+    Set,
+    /// `zoo_delete()` — alternating create/delete; deletes are counted.
+    Delete,
+}
+
+/// Timer token used to defer an action past a CPU-charge delay.
+const T_ISSUE: TimerToken = 1;
+/// Timer tokens ≥ this encode a request-timeout for request id
+/// `token - T_REQ_TIMEOUT_BASE`.
+const T_REQ_TIMEOUT_BASE: TimerToken = 1 << 32;
+/// Per-request timeout (virtual). Generous: even a saturated PVFS2 mkdir
+/// queue stays well under this.
+const REQ_TIMEOUT: SimDuration = SimDuration::from_secs(20);
+
+enum RawState {
+    Connecting,
+    SetupBench,
+    SetupOwn,
+    Barrier,
+    Running,
+    Finished,
+}
+
+/// A Fig 7 client process: closed-loop raw coordination ops.
+pub struct RawZkClientProc {
+    id: u64,
+    server: NodeId,
+    controller: NodeId,
+    cpu: NodeCpu,
+    op: RawOp,
+    items: usize,
+    state: RawState,
+    session: u64,
+    next_req: u64,
+    seq: usize,
+    /// For Delete: whether the next write is the create half of the pair.
+    delete_create_half: bool,
+    done_ops: u64,
+    errors: u64,
+    /// Per-op latency (measured phase only).
+    pub hist: LatencyHist,
+    op_started: SimTime,
+    /// Request queued while the CPU charge elapses.
+    staged: Option<ZkRequest>,
+    awaiting: Option<u64>,
+}
+
+impl RawZkClientProc {
+    /// Create a raw client bound to `server`, reporting to `controller`.
+    pub fn new(
+        id: u64,
+        server: NodeId,
+        controller: NodeId,
+        cpu: NodeCpu,
+        op: RawOp,
+        items: usize,
+    ) -> Self {
+        RawZkClientProc {
+            id,
+            server,
+            controller,
+            cpu,
+            op,
+            items,
+            state: RawState::Connecting,
+            session: 0,
+            next_req: 0,
+            seq: 0,
+            delete_create_half: true,
+            done_ops: 0,
+            errors: 0,
+            hist: LatencyHist::new(),
+            op_started: SimTime::ZERO,
+            staged: None,
+            awaiting: None,
+        }
+    }
+
+    fn base_path(&self) -> String {
+        format!("/bench/c{}", self.id)
+    }
+
+    fn send_req(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, req: ZkRequest, charge_cpu: bool) {
+        self.next_req += 1;
+        self.awaiting = Some(self.next_req);
+        let delay = if charge_cpu {
+            self.cpu.charge(ctx.now(), costs::RAW_CLIENT_OP_US)
+        } else {
+            SimDuration::ZERO
+        };
+        ctx.set_timer(REQ_TIMEOUT + delay, T_REQ_TIMEOUT_BASE + self.next_req);
+        ctx.send_after(
+            self.server,
+            ClusterMsg::ZkReq { client: self.id, req_id: self.next_req, session: self.session, req },
+            delay,
+        );
+    }
+
+    fn next_measured_req(&mut self) -> Option<ZkRequest> {
+        if self.done_ops as usize >= self.items {
+            return None;
+        }
+        Some(match self.op {
+            RawOp::Create => {
+                let path = format!("{}/n{}", self.base_path(), self.seq);
+                self.seq += 1;
+                ZkRequest::Create { path, data: Bytes::from_static(b"x"), mode: CreateMode::Persistent }
+            }
+            RawOp::Get => ZkRequest::GetData { path: self.base_path(), watch: false },
+            RawOp::Set => ZkRequest::SetData {
+                path: self.base_path(),
+                data: Bytes::from_static(b"payload-xxxxxxxx"),
+                version: None,
+            },
+            RawOp::Delete => {
+                let path = format!("{}/n{}", self.base_path(), self.seq);
+                if self.delete_create_half {
+                    self.delete_create_half = false;
+                    ZkRequest::Create { path, data: Bytes::new(), mode: CreateMode::Persistent }
+                } else {
+                    self.delete_create_half = true;
+                    self.seq += 1;
+                    ZkRequest::Delete { path, version: None }
+                }
+            }
+        })
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+        match self.next_measured_req() {
+            Some(req) => {
+                self.op_started = ctx.now();
+                self.send_req(ctx, req, true);
+            }
+            None => {
+                self.state = RawState::Finished;
+                ctx.send(
+                    self.controller,
+                    ClusterMsg::PhaseDone {
+                    client: self.id,
+                    ops: self.done_ops,
+                    errors: self.errors,
+                    hist: std::mem::take(&mut self.hist),
+                },
+                );
+            }
+        }
+    }
+}
+
+impl Process<ClusterMsg> for RawZkClientProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+        self.send_req(ctx, ZkRequest::Connect, false);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, _from: NodeId, msg: ClusterMsg) {
+        match msg {
+            ClusterMsg::ZkResp { resp, req_id, .. } => match self.state {
+                RawState::Connecting if self.awaiting == Some(req_id) => {
+                    if let ZkResponse::Connected { session } = resp {
+                        self.session = session;
+                        self.state = RawState::SetupBench;
+                        self.send_req(
+                            ctx,
+                            ZkRequest::Create {
+                                path: "/bench".into(),
+                                data: Bytes::new(),
+                                mode: CreateMode::Persistent,
+                            },
+                            false,
+                        );
+                    } else {
+                        // Election still settling: retry shortly.
+                        self.staged = Some(ZkRequest::Connect);
+                        ctx.set_timer(SimDuration::from_millis(200), T_ISSUE);
+                    }
+                }
+                RawState::Connecting => {}
+                RawState::SetupBench => {
+                    // NodeExists from the 255 other processes is expected.
+                    self.state = RawState::SetupOwn;
+                    self.send_req(
+                        ctx,
+                        ZkRequest::Create {
+                            path: self.base_path(),
+                            data: Bytes::from_static(b"seed"),
+                            mode: CreateMode::Persistent,
+                        },
+                        false,
+                    );
+                }
+                RawState::SetupOwn => {
+                    self.state = RawState::Barrier;
+                    ctx.send(
+                        self.controller,
+                        ClusterMsg::PhaseDone {
+                            client: self.id,
+                            ops: 0,
+                            errors: 0,
+                            hist: LatencyHist::new(),
+                        },
+                    );
+                }
+                RawState::Running => {
+                    if self.awaiting != Some(req_id) {
+                        return;
+                    }
+                    if matches!(resp, ZkResponse::Error(_)) {
+                        self.errors += 1;
+                    }
+                    // For Delete, only count the delete half.
+                    let count = match self.op {
+                        RawOp::Delete => self.delete_create_half, // just sent back to create-half = delete completed
+                        _ => true,
+                    };
+                    if count {
+                        self.done_ops += 1;
+                        self.hist.record(ctx.now().since(self.op_started));
+                    }
+                    self.issue_next(ctx);
+                }
+                RawState::Barrier | RawState::Finished => {}
+            },
+            ClusterMsg::StartPhase { .. } => {
+                self.state = RawState::Running;
+                self.issue_next(ctx);
+            }
+            other => panic!("raw client got {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, token: TimerToken) {
+        if token == T_ISSUE {
+            if let Some(req) = self.staged.take() {
+                self.send_req(ctx, req, false);
+            }
+            return;
+        }
+        let req_id = token - T_REQ_TIMEOUT_BASE;
+        if self.awaiting == Some(req_id) {
+            // Timed out: retry the whole stage (measured ops count an
+            // error and move on).
+            self.awaiting = None;
+            match self.state {
+                RawState::Connecting => self.send_req(ctx, ZkRequest::Connect, false),
+                RawState::SetupBench | RawState::SetupOwn | RawState::Running => {
+                    self.errors += 1;
+                    self.issue_next(ctx);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn native_to_meta(op: &NativeOp) -> MetaOp {
+    match op {
+        NativeOp::Mkdir(p) => MetaOp::Mkdir { path: p.clone(), mode: 0o755 },
+        NativeOp::Rmdir(p) => MetaOp::Rmdir { path: p.clone() },
+        NativeOp::Create(p) => MetaOp::Create { path: p.clone(), mode: 0o644 },
+        NativeOp::Unlink(p) => MetaOp::Unlink { path: p.clone() },
+        NativeOp::StatDir(p) | NativeOp::StatFile(p) => MetaOp::Stat { path: p.clone() },
+    }
+}
+
+enum DufsState {
+    Connecting,
+    SetupShared,
+    SetupRoot,
+    Barrier,
+    Running,
+    Finished,
+}
+
+/// A DUFS client process: runs the mdtest phases through the full DUFS op
+/// planner (FUSE → coordination service → deterministic mapping →
+/// back-end), with timing for every hop.
+pub struct DufsClientProc {
+    id: u64,
+    proc_idx: usize,
+    zk_server: NodeId,
+    backend_nodes: Vec<NodeId>,
+    controller: NodeId,
+    cpu: NodeCpu,
+    spec: WorkloadSpec,
+    mapper: Md5Mapping,
+    fids: FidGenerator,
+    state: DufsState,
+    session: u64,
+    next_req: u64,
+    phase: usize,
+    ops: Vec<MetaOp>,
+    op_idx: usize,
+    exec: Option<OpExec>,
+    /// Request id currently awaited (stale responses are dropped).
+    awaiting: Option<u64>,
+    done_ops: u64,
+    errors: u64,
+    /// Per-op latency of the current phase.
+    pub hist: LatencyHist,
+    op_started: SimTime,
+    retry_connect: bool,
+}
+
+impl DufsClientProc {
+    /// Build DUFS client `proc_idx` (globally unique node/client id `id`).
+    pub fn new(
+        id: u64,
+        proc_idx: usize,
+        zk_server: NodeId,
+        backend_nodes: Vec<NodeId>,
+        controller: NodeId,
+        cpu: NodeCpu,
+        spec: WorkloadSpec,
+    ) -> Self {
+        let n = backend_nodes.len();
+        DufsClientProc {
+            id,
+            proc_idx,
+            zk_server,
+            backend_nodes,
+            controller,
+            cpu,
+            spec,
+            mapper: Md5Mapping::new(n),
+            fids: FidGenerator::new(id),
+            state: DufsState::Connecting,
+            session: 0,
+            next_req: 0,
+            phase: 0,
+            ops: Vec::new(),
+            op_idx: 0,
+            exec: None,
+            awaiting: None,
+            done_ops: 0,
+            errors: 0,
+            hist: LatencyHist::new(),
+            op_started: SimTime::ZERO,
+            retry_connect: false,
+        }
+    }
+
+    fn send_zk(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, req: ZkRequest, delay: SimDuration) {
+        self.next_req += 1;
+        self.awaiting = Some(self.next_req);
+        ctx.set_timer(REQ_TIMEOUT + delay, T_REQ_TIMEOUT_BASE + self.next_req);
+        ctx.send_after(
+            self.zk_server,
+            ClusterMsg::ZkReq { client: self.id, req_id: self.next_req, session: self.session, req },
+            delay,
+        );
+    }
+
+    fn dispatch_step(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, step: PlanStep, delay: SimDuration) {
+        match step {
+            PlanStep::Zk(req) => self.send_zk(ctx, req, delay),
+            PlanStep::Backend { backend, req } => {
+                self.next_req += 1;
+                self.awaiting = Some(self.next_req);
+                ctx.set_timer(REQ_TIMEOUT + delay, T_REQ_TIMEOUT_BASE + self.next_req);
+                ctx.send_after(
+                    self.backend_nodes[backend],
+                    ClusterMsg::BeReq { client: self.id, req_id: self.next_req, req, deep_path: true },
+                    delay,
+                );
+            }
+            PlanStep::Done(r) => {
+                if r.is_err() {
+                    self.errors += 1;
+                }
+                self.awaiting = None;
+                self.done_ops += 1;
+                self.hist.record(ctx.now().since(self.op_started));
+                self.exec = None;
+                self.start_next_op(ctx);
+            }
+        }
+    }
+
+    fn op_cpu_cost(&self) -> f64 {
+        let phase = self.spec.phases[self.phase];
+        match phase {
+            Phase::FileCreate | Phase::FileStat | Phase::FileRemove => {
+                costs::DUFS_META_OP_US + costs::DUFS_BACKEND_EXTRA_US
+            }
+            _ => costs::DUFS_META_OP_US,
+        }
+    }
+
+    fn start_next_op(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+        if self.op_idx >= self.ops.len() {
+            self.state = DufsState::Barrier;
+            ctx.send(
+                self.controller,
+                ClusterMsg::PhaseDone {
+                    client: self.id,
+                    ops: self.done_ops,
+                    errors: self.errors,
+                    hist: std::mem::take(&mut self.hist),
+                },
+            );
+            return;
+        }
+        let op = self.ops[self.op_idx].clone();
+        self.op_idx += 1;
+        self.op_started = ctx.now();
+        let delay = self.cpu.charge(ctx.now(), self.op_cpu_cost());
+        let fids = &mut self.fids;
+        let (exec, step) = OpExec::start(op, || fids.next_fid(), &self.mapper);
+        self.exec = Some(exec);
+        self.dispatch_step(ctx, step, delay);
+    }
+
+    fn feed(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, resp: StepResponse) {
+        let mut exec = self.exec.take().expect("an op is in flight");
+        let step = exec.feed(resp, &self.mapper);
+        self.exec = Some(exec);
+        self.dispatch_step(ctx, step, SimDuration::ZERO);
+    }
+}
+
+impl Process<ClusterMsg> for DufsClientProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+        self.send_zk(ctx, ZkRequest::Connect, SimDuration::ZERO);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, _from: NodeId, msg: ClusterMsg) {
+        match msg {
+            ClusterMsg::ZkResp { resp, req_id, .. } => match self.state {
+                DufsState::Connecting => {
+                    let _ = req_id;
+                    if let ZkResponse::Connected { session } = resp {
+                        self.session = session;
+                        self.state = DufsState::SetupShared;
+                        self.send_zk(
+                            ctx,
+                            ZkRequest::Create {
+                                path: "/mdtest".into(),
+                                data: dufs_core::meta::NodeMeta::dir(0o755).encode(),
+                                mode: CreateMode::Persistent,
+                            },
+                            SimDuration::ZERO,
+                        );
+                    } else {
+                        self.retry_connect = true;
+                        ctx.set_timer(SimDuration::from_millis(200), T_ISSUE);
+                    }
+                }
+                DufsState::SetupShared => {
+                    // NodeExists is fine: 255 sibling processes race us.
+                    self.state = DufsState::SetupRoot;
+                    self.send_zk(
+                        ctx,
+                        ZkRequest::Create {
+                            path: WorkloadSpec::proc_root(self.proc_idx),
+                            data: dufs_core::meta::NodeMeta::dir(0o755).encode(),
+                            mode: CreateMode::Persistent,
+                        },
+                        SimDuration::ZERO,
+                    );
+                }
+                DufsState::SetupRoot => {
+                    self.state = DufsState::Barrier;
+                    ctx.send(
+                        self.controller,
+                        ClusterMsg::PhaseDone {
+                            client: self.id,
+                            ops: 0,
+                            errors: 0,
+                            hist: LatencyHist::new(),
+                        },
+                    );
+                }
+                DufsState::Running => {
+                    if self.awaiting == Some(req_id) {
+                        self.feed(ctx, StepResponse::Zk(resp));
+                    }
+                }
+                DufsState::Barrier | DufsState::Finished => {}
+            },
+            ClusterMsg::BeResp { resp, req_id, .. } => {
+                if matches!(self.state, DufsState::Running) && self.awaiting == Some(req_id) {
+                    self.feed(ctx, StepResponse::Backend(resp));
+                }
+            }
+            ClusterMsg::StartPhase { idx } => {
+                if idx >= self.spec.phases.len() {
+                    self.state = DufsState::Finished;
+                    return;
+                }
+                self.phase = idx;
+                self.ops = self
+                    .spec
+                    .ops_for(self.proc_idx, self.spec.phases[idx])
+                    .iter()
+                    .map(native_to_meta)
+                    .collect();
+                self.op_idx = 0;
+                self.done_ops = 0;
+                self.errors = 0;
+                self.hist = LatencyHist::new();
+                self.state = DufsState::Running;
+                self.start_next_op(ctx);
+            }
+            other => panic!("dufs client got {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, token: TimerToken) {
+        if token == T_ISSUE {
+            if self.retry_connect {
+                self.retry_connect = false;
+                self.send_zk(ctx, ZkRequest::Connect, SimDuration::ZERO);
+            }
+            return;
+        }
+        // Request timeout: if still awaited, fail the in-flight step so the
+        // op completes with an error and the loop continues (the live
+        // ZooKeeper client library does the same).
+        let req_id = token - T_REQ_TIMEOUT_BASE;
+        if self.awaiting == Some(req_id) {
+            self.awaiting = None;
+            match self.state {
+                DufsState::Running if self.exec.is_some() => {
+                    self.feed(
+                        ctx,
+                        StepResponse::Zk(ZkResponse::Error(dufs_zkstore::ZkError::ConnectionLoss)),
+                    );
+                }
+                DufsState::Connecting => {
+                    self.send_zk(ctx, ZkRequest::Connect, SimDuration::ZERO);
+                }
+                DufsState::SetupShared | DufsState::SetupRoot => {
+                    // Restart setup from the top; creates tolerate Exists.
+                    self.state = DufsState::Connecting;
+                    self.send_zk(ctx, ZkRequest::Connect, SimDuration::ZERO);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+enum NativeState {
+    SetupShared,
+    SetupRoot,
+    Barrier,
+    Running,
+    Finished,
+}
+
+/// A native mdtest client process (Basic Lustre / Basic PVFS2): the same
+/// workload issued directly against one back-end filesystem.
+pub struct NativeClientProc {
+    id: u64,
+    proc_idx: usize,
+    backend: NodeId,
+    controller: NodeId,
+    cpu: NodeCpu,
+    spec: WorkloadSpec,
+    state: NativeState,
+    next_req: u64,
+    phase: usize,
+    ops: Vec<NativeOp>,
+    op_idx: usize,
+    done_ops: u64,
+    errors: u64,
+    /// Per-op latency of the current phase.
+    pub hist: LatencyHist,
+    op_started: SimTime,
+}
+
+impl NativeClientProc {
+    /// Build native client `proc_idx` against `backend`.
+    pub fn new(
+        id: u64,
+        proc_idx: usize,
+        backend: NodeId,
+        controller: NodeId,
+        cpu: NodeCpu,
+        spec: WorkloadSpec,
+    ) -> Self {
+        NativeClientProc {
+            id,
+            proc_idx,
+            backend,
+            controller,
+            cpu,
+            spec,
+            state: NativeState::SetupShared,
+            next_req: 0,
+            phase: 0,
+            ops: Vec::new(),
+            op_idx: 0,
+            done_ops: 0,
+            errors: 0,
+            hist: LatencyHist::new(),
+            op_started: SimTime::ZERO,
+        }
+    }
+
+    fn send_native(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, op: NativeOp, delay: SimDuration) {
+        self.next_req += 1;
+        ctx.send_after(
+            self.backend,
+            ClusterMsg::NativeReq { client: self.id, req_id: self.next_req, op },
+            delay,
+        );
+    }
+
+    fn start_next_op(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+        if self.op_idx >= self.ops.len() {
+            self.state = NativeState::Barrier;
+            ctx.send(
+                self.controller,
+                ClusterMsg::PhaseDone {
+                    client: self.id,
+                    ops: self.done_ops,
+                    errors: self.errors,
+                    hist: std::mem::take(&mut self.hist),
+                },
+            );
+            return;
+        }
+        let op = self.ops[self.op_idx].clone();
+        self.op_idx += 1;
+        self.op_started = ctx.now();
+        let delay = self.cpu.charge(ctx.now(), costs::NATIVE_CLIENT_OP_US);
+        self.send_native(ctx, op, delay);
+    }
+}
+
+impl Process<ClusterMsg> for NativeClientProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+        self.send_native(ctx, NativeOp::Mkdir("/mdtest".into()), SimDuration::ZERO);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, _from: NodeId, msg: ClusterMsg) {
+        match msg {
+            ClusterMsg::NativeResp { ok, .. } => match self.state {
+                NativeState::SetupShared => {
+                    self.state = NativeState::SetupRoot;
+                    self.send_native(
+                        ctx,
+                        NativeOp::Mkdir(WorkloadSpec::proc_root(self.proc_idx)),
+                        SimDuration::ZERO,
+                    );
+                }
+                NativeState::SetupRoot => {
+                    self.state = NativeState::Barrier;
+                    ctx.send(
+                        self.controller,
+                        ClusterMsg::PhaseDone {
+                            client: self.id,
+                            ops: 0,
+                            errors: 0,
+                            hist: LatencyHist::new(),
+                        },
+                    );
+                }
+                NativeState::Running => {
+                    if !ok {
+                        self.errors += 1;
+                    }
+                    self.done_ops += 1;
+                    self.hist.record(ctx.now().since(self.op_started));
+                    self.start_next_op(ctx);
+                }
+                NativeState::Barrier | NativeState::Finished => {}
+            },
+            ClusterMsg::StartPhase { idx } => {
+                if idx >= self.spec.phases.len() {
+                    self.state = NativeState::Finished;
+                    return;
+                }
+                self.phase = idx;
+                self.ops = self.spec.ops_for(self.proc_idx, self.spec.phases[idx]);
+                self.op_idx = 0;
+                self.done_ops = 0;
+                self.errors = 0;
+                self.hist = LatencyHist::new();
+                self.state = NativeState::Running;
+                self.start_next_op(ctx);
+            }
+            other => panic!("native client got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The phase controller: mdtest's inter-phase barrier plus result
+//! collection.
+//!
+//! Clients report `PhaseDone` after setup and after each phase; once every
+//! client has reported, the controller records the phase's aggregate
+//! throughput (total operations / phase wall time, exactly mdtest's rate
+//! definition) and broadcasts the next `StartPhase`.
+
+use dufs_simnet::{Ctx, LatencyHist, NodeId, Process, SimDuration, SimTime};
+
+use crate::msg::ClusterMsg;
+
+/// Aggregate result of one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseTally {
+    /// Total operations completed by all clients.
+    pub ops: u64,
+    /// Operations that returned errors.
+    pub errors: u64,
+    /// Virtual time the phase took (barrier to barrier).
+    pub elapsed: SimDuration,
+    /// Merged per-operation latency distribution across all clients.
+    pub latency: LatencyHist,
+}
+
+impl PhaseTally {
+    /// Aggregate operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / s
+        }
+    }
+}
+
+/// The controller process.
+pub struct ControllerProc {
+    clients: Vec<NodeId>,
+    n_phases: usize,
+    reported: usize,
+    acc_ops: u64,
+    acc_errors: u64,
+    acc_hist: LatencyHist,
+    /// -1 while waiting for setup reports; then the running phase index.
+    current: isize,
+    phase_start: SimTime,
+    /// Completed phase tallies, in phase order.
+    pub results: Vec<PhaseTally>,
+    /// True once every phase completed.
+    pub finished: bool,
+}
+
+impl ControllerProc {
+    /// A controller awaiting `clients` through `n_phases` phases.
+    pub fn new(clients: Vec<NodeId>, n_phases: usize) -> Self {
+        ControllerProc {
+            clients,
+            n_phases,
+            reported: 0,
+            acc_ops: 0,
+            acc_errors: 0,
+            acc_hist: LatencyHist::new(),
+            current: -1,
+            phase_start: SimTime::ZERO,
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+
+    fn broadcast(&self, ctx: &mut Ctx<'_, ClusterMsg>, idx: usize) {
+        for &c in &self.clients {
+            ctx.send(c, ClusterMsg::StartPhase { idx });
+        }
+    }
+}
+
+impl Process<ClusterMsg> for ControllerProc {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, _from: NodeId, msg: ClusterMsg) {
+        let ClusterMsg::PhaseDone { ops, errors, hist, .. } = msg else {
+            panic!("controller got unexpected message");
+        };
+        self.reported += 1;
+        self.acc_ops += ops;
+        self.acc_errors += errors;
+        self.acc_hist.merge(&hist);
+        if self.reported < self.clients.len() {
+            return;
+        }
+        // Barrier reached.
+        if self.current >= 0 {
+            self.results.push(PhaseTally {
+                ops: self.acc_ops,
+                errors: self.acc_errors,
+                elapsed: ctx.now().since(self.phase_start),
+                latency: std::mem::take(&mut self.acc_hist),
+            });
+        }
+        self.reported = 0;
+        self.acc_ops = 0;
+        self.acc_errors = 0;
+        self.acc_hist = LatencyHist::new();
+        let next = (self.current + 1) as usize;
+        if next < self.n_phases {
+            self.current = next as isize;
+            self.phase_start = ctx.now();
+            self.broadcast(ctx, next);
+        } else {
+            self.finished = true;
+            // Tell clients to stand down (index past the end).
+            self.broadcast(ctx, next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufs_simnet::{FixedLatency, Sim};
+
+    /// A trivial client: answers each StartPhase with an immediate
+    /// PhaseDone of `ops` operations.
+    struct Stub {
+        controller: NodeId,
+        ops: u64,
+        phases_seen: usize,
+    }
+    impl Process<ClusterMsg> for Stub {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+            ctx.send(
+                self.controller,
+                ClusterMsg::PhaseDone { client: 0, ops: 0, errors: 0, hist: LatencyHist::new() },
+            );
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, _f: NodeId, msg: ClusterMsg) {
+            if let ClusterMsg::StartPhase { idx } = msg {
+                if idx < 2 {
+                    self.phases_seen += 1;
+                    let mut hist = LatencyHist::new();
+                    hist.record(SimDuration::from_micros(100 * (idx as u64 + 1)));
+                    ctx.send(
+                        self.controller,
+                        ClusterMsg::PhaseDone { client: 0, ops: self.ops, errors: idx as u64, hist },
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controller_runs_phases_and_tallies() {
+        let mut sim: Sim<ClusterMsg> = Sim::new(1, FixedLatency::micros(100));
+        // Nodes: controller = 0, stubs = 1, 2.
+        let ctrl = NodeId(0);
+        sim.add_node(ControllerProc::new(vec![NodeId(1), NodeId(2)], 2));
+        sim.add_node(Stub { controller: ctrl, ops: 10, phases_seen: 0 });
+        sim.add_node(Stub { controller: ctrl, ops: 20, phases_seen: 0 });
+        sim.run_until_idle();
+        let c = sim.node_ref::<ControllerProc>(ctrl);
+        assert!(c.finished);
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].ops, 30);
+        assert_eq!(c.results[0].errors, 0);
+        assert_eq!(c.results[1].errors, 2);
+        assert!(c.results[0].elapsed > SimDuration::ZERO);
+        assert!(c.results[0].ops_per_sec() > 0.0);
+        assert_eq!(c.results[0].latency.count(), 2, "one sample per stub");
+        assert_eq!(c.results[0].latency.mean(), SimDuration::from_micros(100));
+        assert_eq!(sim.node_ref::<Stub>(NodeId(1)).phases_seen, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Calibrated cost model for the simulated testbed.
+//!
+//! Constants are chosen so the two *baselines* the paper measures directly
+//! land in its reported ranges on the same hardware class (dual Xeon E5335,
+//! 1 GigE, Lustre 1.8.3 / PVFS2 2.8.2, ZooKeeper with the sync API):
+//!
+//! * raw 1-server `zoo_create` ≈ 14 k ops/s and 8-server ≈ 6 k ops/s
+//!   (Fig 7a) → a single-threaded ~60 µs commit pipeline plus ~5 µs per
+//!   peer message at the leader (7 proposes + 7 acks + 7 commits for n=8);
+//! * raw 8-server `zoo_get` ≈ 160 k ops/s (Fig 7d) → ~50 µs per local read;
+//! * Basic Lustre / PVFS2 figures → the profiles in
+//!   `dufs_backendfs::timing` (see that module's derivation).
+//!
+//! Client-side costs reflect the paper's deployment: 8-core client nodes
+//! each co-hosting up to 32 mdtest processes, a ZooKeeper server and the
+//! FUSE/DUFS stack — client-node CPU is a real resource and saturates, which
+//! is what pins DUFS's file-stat curve near 40–45 k ops/s while dir-stat
+//! (no back-end hop, no Lustre client stack) reaches ~90 k (Figs 8c/8f).
+
+use dufs_simnet::SimDuration;
+
+/// Number of physical client nodes in the testbed (§V: "8 DUFS clients").
+pub const CLIENT_NODES: usize = 8;
+/// Cores per node (dual Xeon E5335 = 8 cores).
+pub const NODE_CORES: usize = 8;
+
+// ---------------- coordination-server costs ----------------
+
+/// Serialized CPU per local read (`zoo_get`/`exists`/`get_children`).
+pub const ZK_READ_US: f64 = 50.0;
+/// Base serialized CPU per write at the leader (txn pipeline).
+pub const ZK_WRITE_BASE_US: f64 = 60.0;
+/// CPU per peer-directed protocol message sent or received at a server.
+pub const ZK_PEER_MSG_US: f64 = 5.0;
+/// CPU to parse a client request / serialize a response.
+pub const ZK_CLIENT_MSG_US: f64 = 4.0;
+/// Write-pipeline parallelism: ZooKeeper's commit path is a single ordered
+/// pipeline.
+pub const ZK_PIPELINE_WIDTH: usize = 1;
+/// Extra CPU per multi-op inside a transaction.
+pub const ZK_MULTI_PER_OP_US: f64 = 12.0;
+
+// ---------------- client-side (FUSE + DUFS + library) costs ----------------
+
+/// Client CPU consumed by one raw ZooKeeper API call (C client library +
+/// syscalls), charged on the client node's core pool.
+pub const RAW_CLIENT_OP_US: f64 = 220.0;
+/// Client CPU for one DUFS *metadata-only* operation: two FUSE kernel
+/// crossings, DUFS dispatch, ZooKeeper client library.
+pub const DUFS_META_OP_US: f64 = 680.0;
+/// Additional client CPU when the operation also traverses the back-end
+/// client stack (llite/PVFS client, extra RPC serialization).
+pub const DUFS_BACKEND_EXTRA_US: f64 = 320.0;
+/// Client CPU for one native (Basic Lustre / Basic PVFS2) mdtest operation.
+pub const NATIVE_CLIENT_OP_US: f64 = 260.0;
+
+// ---------------- back-end extras ----------------
+
+/// Helper: microseconds → `SimDuration`.
+pub fn us(v: f64) -> SimDuration {
+    SimDuration::from_micros_f64(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Closed-form sanity checks against the paper's anchor numbers.
+    #[test]
+    fn zk_write_calibration_brackets_fig7a() {
+        // 1 server: no peer traffic.
+        let t1 = ZK_WRITE_BASE_US + ZK_CLIENT_MSG_US * 2.0;
+        let x1 = 1e6 / t1;
+        assert!((12_000.0..16_000.0).contains(&x1), "1-server create {x1:.0}");
+        // 8 servers: 7 proposes + 7 acks + 7 commits at the leader.
+        let t8 = t1 + 21.0 * ZK_PEER_MSG_US;
+        let x8 = 1e6 / t8;
+        assert!((5_000.0..7_500.0).contains(&x8), "8-server create {x8:.0}");
+        assert!(x1 / x8 > 1.8, "write throughput must fall with ensemble size");
+    }
+
+    #[test]
+    fn zk_read_calibration_brackets_fig7d() {
+        let per_server = 1e6 / (ZK_READ_US + ZK_CLIENT_MSG_US * 2.0);
+        let x8 = 8.0 * per_server;
+        assert!((120_000.0..180_000.0).contains(&x8), "8-server get {x8:.0}");
+    }
+
+    #[test]
+    fn client_cpu_pins_dufs_stat_curves() {
+        let cores = (CLIENT_NODES * NODE_CORES) as f64;
+        let dir_stat_cap = cores * 1e6 / DUFS_META_OP_US;
+        let file_stat_cap = cores * 1e6 / (DUFS_META_OP_US + DUFS_BACKEND_EXTRA_US);
+        // Fig 8c tops near 90k; Fig 10f near 42k.
+        assert!((80_000.0..110_000.0).contains(&dir_stat_cap), "dir stat cap {dir_stat_cap:.0}");
+        assert!((55_000.0..75_000.0).contains(&file_stat_cap), "file stat cap {file_stat_cap:.0}");
+    }
+}

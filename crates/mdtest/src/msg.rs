@@ -1,0 +1,177 @@
+//! The unified message type of the simulated testbed.
+
+use dufs_coord::{CoordMsg, ZkRequest, ZkResponse};
+use dufs_simnet::LatencyHist;
+use dufs_core::plan::{BackendReq, BackendResp};
+use dufs_zab::PeerId;
+
+use crate::workload::NativeOp;
+
+/// Everything that travels between simulated nodes.
+#[allow(clippy::large_enum_variant)] // messages are moved once, never stored in bulk
+#[derive(Debug, Clone)]
+pub enum ClusterMsg {
+    /// Client → coordination server.
+    ZkReq {
+        /// Requesting client process (globally unique).
+        client: u64,
+        /// Client-local request id (echoed back).
+        req_id: u64,
+        /// Session id (0 before connect).
+        session: u64,
+        /// The request.
+        req: ZkRequest,
+    },
+    /// Coordination server → client.
+    ZkResp {
+        /// Target client process.
+        client: u64,
+        /// Echo of the request id.
+        req_id: u64,
+        /// The response.
+        resp: ZkResponse,
+    },
+    /// Coordination server ↔ coordination server.
+    CoordPeer {
+        /// Sending server's peer id.
+        from: PeerId,
+        /// The protocol message.
+        msg: CoordMsg,
+    },
+    /// DUFS client → back-end metadata/IO server (physical FID paths).
+    BeReq {
+        /// Requesting client process.
+        client: u64,
+        /// Client-local request id.
+        req_id: u64,
+        /// The request.
+        req: BackendReq,
+        /// True for DUFS's 4-level shard paths (deeper lookups cost more at
+        /// the MDS — see `costs::SHARD_DEPTH_FACTOR`).
+        deep_path: bool,
+    },
+    /// Back-end server → client.
+    BeResp {
+        /// Target client process.
+        client: u64,
+        /// Echo of the request id.
+        req_id: u64,
+        /// The response.
+        resp: BackendResp,
+    },
+    /// mdtest client → back-end server: a native-filesystem metadata op
+    /// (the Basic Lustre / Basic PVFS2 baselines).
+    NativeReq {
+        /// Requesting client process.
+        client: u64,
+        /// Client-local request id.
+        req_id: u64,
+        /// The operation.
+        op: NativeOp,
+    },
+    /// Back-end server → native client: success flag (mdtest only needs
+    /// success/failure and timing).
+    NativeResp {
+        /// Target client process.
+        client: u64,
+        /// Echo of the request id.
+        req_id: u64,
+        /// Whether the op succeeded.
+        ok: bool,
+    },
+    /// Client process → controller: finished its share of the current
+    /// phase.
+    PhaseDone {
+        /// Client process id.
+        client: u64,
+        /// Operations the client completed in the phase.
+        ops: u64,
+        /// Operations that failed (should be zero in healthy runs).
+        errors: u64,
+        /// Per-operation latency distribution for the phase.
+        hist: LatencyHist,
+    },
+    /// Controller → client processes: begin phase `idx`.
+    StartPhase {
+        /// Phase index into the workload's phase list.
+        idx: usize,
+    },
+}
+
+/// Approximate wire size of a message (drives the bandwidth term of the
+/// latency model).
+pub fn wire_size(msg: &ClusterMsg) -> usize {
+    match msg {
+        ClusterMsg::ZkReq { req, .. } => {
+            64 + match req {
+                ZkRequest::Create { path, data, .. } => path.len() + data.len(),
+                ZkRequest::SetData { path, data, .. } => path.len() + data.len(),
+                ZkRequest::Delete { path, .. }
+                | ZkRequest::GetData { path, .. }
+                | ZkRequest::Exists { path, .. }
+                | ZkRequest::GetChildren { path, .. } => path.len(),
+                ZkRequest::Multi { ops } => 48 * ops.len(),
+                _ => 16,
+            }
+        }
+        ClusterMsg::ZkResp { resp, .. } => {
+            64 + match resp {
+                ZkResponse::Data { data, .. } => data.len() + 80,
+                ZkResponse::Children { names, .. } => {
+                    names.iter().map(|n| n.len() + 8).sum::<usize>() + 80
+                }
+                _ => 48,
+            }
+        }
+        ClusterMsg::CoordPeer { msg, .. } => {
+            64 + match msg {
+                CoordMsg::Zab(dufs_zab::ZabMsg::SyncLog { entries, .. }) => 128 * entries.len(),
+                CoordMsg::Zab(dufs_zab::ZabMsg::Propose { .. }) => 160,
+                CoordMsg::Forward { .. } => 160,
+                _ => 32,
+            }
+        }
+        ClusterMsg::BeReq { req, .. } => {
+            64 + match req {
+                BackendReq::Write { data, .. } => data.len(),
+                _ => 64,
+            }
+        }
+        ClusterMsg::BeResp { resp, .. } => {
+            64 + match resp {
+                BackendResp::Data(Ok(d)) => d.len(),
+                _ => 32,
+            }
+        }
+        ClusterMsg::NativeReq { .. } => 128,
+        ClusterMsg::NativeResp { .. } => 64,
+        ClusterMsg::PhaseDone { .. } | ClusterMsg::StartPhase { .. } => 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = ClusterMsg::ZkReq {
+            client: 1,
+            req_id: 1,
+            session: 0,
+            req: ZkRequest::GetData { path: "/a".into(), watch: false },
+        };
+        let big = ClusterMsg::BeReq {
+            client: 1,
+            req_id: 1,
+            req: BackendReq::Write {
+                path: "/p".into(),
+                offset: 0,
+                data: Bytes::from(vec![0u8; 1 << 20]),
+            },
+            deep_path: true,
+        };
+        assert!(wire_size(&big) > wire_size(&small) + (1 << 20) - 64);
+    }
+}

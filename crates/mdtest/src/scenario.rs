@@ -1,0 +1,497 @@
+//! Testbed assembly and high-level experiment entry points.
+//!
+//! Reconstructs the paper's §V deployment in the simulator:
+//! 8 client nodes (8 cores each) running the mdtest processes, with
+//! coordination servers co-located on the first `z` client nodes (the paper
+//! ran "ZooKeeper server … along with the DUFS clients"), dedicated
+//! back-end metadata servers, and 1 GigE in between.
+
+use rand::rngs::StdRng;
+
+use dufs_backendfs::ParallelFs;
+use dufs_simnet::{LatencyModel, NodeId, Sim, SimDuration, SimTime, GigEModel};
+use dufs_zab::{EnsembleConfig, PeerId};
+
+use crate::clients::{DufsClientProc, NativeClientProc, NodeCpu, RawZkClientProc};
+pub use crate::clients::RawOp;
+use crate::controller::ControllerProc;
+use crate::costs;
+use crate::msg::{wire_size, ClusterMsg};
+use crate::servers::{BackendProc, CoordServerProc};
+use crate::workload::{Phase, WorkloadSpec};
+
+/// The system under test for an mdtest run (the four lines of Fig 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdtestSystem {
+    /// mdtest directly against one Lustre-profile filesystem.
+    BasicLustre,
+    /// mdtest directly against one PVFS2-profile filesystem.
+    BasicPvfs2,
+    /// mdtest through DUFS over `backends` Lustre-profile mounts with a
+    /// `zk_servers`-member coordination ensemble.
+    DufsLustre {
+        /// Coordination ensemble size (paper: 1/4/8).
+        zk_servers: usize,
+        /// Number of merged back-end mounts (paper: 2 or 4).
+        backends: usize,
+    },
+    /// As above with PVFS2-profile mounts.
+    DufsPvfs2 {
+        /// Coordination ensemble size.
+        zk_servers: usize,
+        /// Number of merged mounts.
+        backends: usize,
+    },
+}
+
+impl MdtestSystem {
+    /// Label used in tables (matches the paper's legends).
+    pub fn label(self) -> String {
+        match self {
+            MdtestSystem::BasicLustre => "Basic Lustre".into(),
+            MdtestSystem::BasicPvfs2 => "Basic PVFS".into(),
+            MdtestSystem::DufsLustre { zk_servers, backends } => {
+                format!("DUFS {backends}xLustre ({zk_servers} ZK)")
+            }
+            MdtestSystem::DufsPvfs2 { zk_servers, backends } => {
+                format!("DUFS {backends}xPVFS ({zk_servers} ZK)")
+            }
+        }
+    }
+}
+
+/// Configuration for one mdtest run.
+#[derive(Debug, Clone)]
+pub struct MdtestConfig {
+    /// The system under test.
+    pub system: MdtestSystem,
+    /// The workload.
+    pub spec: WorkloadSpec,
+    /// Simulation seed (runs are deterministic per seed).
+    pub seed: u64,
+    /// Fault injection: crash coordination server `index` at the given
+    /// virtual time, restarting it `down_ms` later (paper §IV-I: the
+    /// service rides out server failures as long as a quorum survives).
+    pub crash_coord: Option<CoordCrash>,
+}
+
+/// A scheduled coordination-server crash/restart.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordCrash {
+    /// Which coordination server (0-based).
+    pub server: usize,
+    /// Virtual time of the crash, milliseconds.
+    pub at_ms: u64,
+    /// How long it stays down.
+    pub down_ms: u64,
+}
+
+impl MdtestConfig {
+    /// A fault-free configuration.
+    pub fn new(system: MdtestSystem, spec: WorkloadSpec, seed: u64) -> Self {
+        MdtestConfig { system, spec, seed, crash_coord: None }
+    }
+}
+
+/// Result of one measured phase.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Which phase.
+    pub phase: Phase,
+    /// Total operations.
+    pub ops: u64,
+    /// Failed operations.
+    pub errors: u64,
+    /// Aggregate throughput (the y-axis of Figs 8–10).
+    pub ops_per_sec: f64,
+    /// Mean per-operation latency, microseconds.
+    pub mean_latency_us: f64,
+    /// Approximate 99th-percentile latency, microseconds.
+    pub p99_latency_us: f64,
+}
+
+/// Latency model with a physical-node map: messages between co-located sim
+/// nodes (e.g. a client process and its node-local coordination server) use
+/// loopback cost instead of the network.
+struct TestbedLatency {
+    phys: Vec<u32>,
+    net: GigEModel,
+}
+
+impl LatencyModel for TestbedLatency {
+    fn sample(
+        &self,
+        rng: &mut StdRng,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: usize,
+    ) -> SimDuration {
+        let ps = self.phys.get(src.index()).copied().unwrap_or(u32::MAX);
+        let pd = self.phys.get(dst.index()).copied().unwrap_or(u32::MAX - 1);
+        if ps == pd {
+            self.net.loopback
+        } else {
+            self.net.sample(rng, src, dst, size_bytes)
+        }
+    }
+}
+
+/// Drive the sim until the controller reports completion (or `cap` virtual
+/// time elapses — a failed run hits the cap instead of hanging).
+fn run_to_completion(sim: &mut Sim<ClusterMsg>, ctrl: NodeId, cap: SimTime) -> bool {
+    loop {
+        let target = (sim.now() + SimDuration::from_millis(500)).min(cap);
+        sim.run_until(target);
+        if sim.node_ref::<ControllerProc>(ctrl).finished {
+            return true;
+        }
+        if sim.now() >= cap {
+            return false;
+        }
+    }
+}
+
+/// Run a raw coordination-throughput experiment (paper Fig 7): `processes`
+/// closed-loop clients over 8 client nodes issuing `op` against a
+/// `zk_servers` ensemble; every client performs `items` measured
+/// operations. Returns aggregate ops/sec.
+pub fn run_zk_raw(zk_servers: usize, processes: usize, op: RawOp, items: usize, seed: u64) -> f64 {
+    run_zk_raw_observers(zk_servers, 0, processes, op, items, seed)
+}
+
+/// As [`run_zk_raw`] with `observers` additional non-voting servers
+/// (ZooKeeper observers): they serve reads and forward writes but never
+/// join quorums, so reads scale without the write-path fan-out penalty.
+pub fn run_zk_raw_observers(
+    voters: usize,
+    observers: usize,
+    processes: usize,
+    op: RawOp,
+    items: usize,
+    seed: u64,
+) -> f64 {
+    run_zk_raw_capture(voters, observers, processes, op, items, seed).0
+}
+
+fn run_zk_raw_capture(
+    voters: usize,
+    observers: usize,
+    processes: usize,
+    op: RawOp,
+    items: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let zk_servers = voters + observers;
+    assert!(voters >= 1 && processes >= 1);
+    let n_nodes = zk_servers + 1 + processes; // servers, controller, clients
+    // Physical placement: coordination server i on client node i (§V-A:
+    // ZooKeeper servers run along with the clients).
+    let mut phys = Vec::with_capacity(n_nodes);
+    for i in 0..zk_servers {
+        phys.push((i % costs::CLIENT_NODES) as u32);
+    }
+    phys.push(1000); // controller: off to the side
+    for p in 0..processes {
+        phys.push((p % costs::CLIENT_NODES) as u32);
+    }
+
+    let mut sim: Sim<ClusterMsg> =
+        Sim::new(seed, TestbedLatency { phys, net: GigEModel::gige() });
+    sim.set_message_sizer(wire_size);
+
+    let ensemble = EnsembleConfig::with_observers(voters, observers);
+    let peer_nodes: Vec<NodeId> = (0..zk_servers as u32).map(NodeId).collect();
+    for i in 0..zk_servers {
+        sim.add_node(CoordServerProc::new(PeerId(i as u32), ensemble.clone(), peer_nodes.clone()));
+    }
+    let ctrl = NodeId(zk_servers as u32);
+    let client_ids: Vec<NodeId> =
+        (0..processes).map(|p| NodeId((zk_servers + 1 + p) as u32)).collect();
+    sim.add_node(ControllerProc::new(client_ids.clone(), 1));
+
+    let cpus: Vec<NodeCpu> =
+        (0..costs::CLIENT_NODES).map(|_| NodeCpu::new(costs::NODE_CORES)).collect();
+    for (p, &node) in client_ids.iter().enumerate() {
+        let server = NodeId((p % zk_servers) as u32);
+        let added = sim.add_node(RawZkClientProc::new(
+            node.0 as u64,
+            server,
+            ctrl,
+            cpus[p % costs::CLIENT_NODES].clone(),
+            op,
+            items,
+        ));
+        assert_eq!(added, node);
+    }
+
+    let ok = run_to_completion(&mut sim, ctrl, SimTime::from_secs(3_000));
+    assert!(ok, "raw run did not complete (zk={zk_servers}, procs={processes}, op={op:?})");
+    let c = sim.node_ref::<ControllerProc>(ctrl);
+    let t = &c.results[0];
+    (t.ops_per_sec(), t.latency.mean().as_micros_f64(), t.latency.quantile(0.99).as_micros_f64())
+}
+
+/// Detailed result of a raw run (throughput + latency distribution).
+#[derive(Debug, Clone)]
+pub struct RawRunResult {
+    /// Aggregate operations per second.
+    pub ops_per_sec: f64,
+    /// Mean per-operation latency, microseconds.
+    pub mean_latency_us: f64,
+    /// Approximate 99th-percentile latency, microseconds.
+    pub p99_latency_us: f64,
+}
+
+/// As [`run_zk_raw_observers`], also reporting the latency distribution.
+#[allow(clippy::too_many_arguments)]
+pub fn run_zk_raw_detailed(
+    voters: usize,
+    observers: usize,
+    processes: usize,
+    op: RawOp,
+    items: usize,
+    seed: u64,
+) -> RawRunResult {
+    // Re-run with result capture (runs are deterministic, so this is the
+    // same run the plain variant would do; the helper exists to keep the
+    // common path's signature simple).
+    let (ops_per_sec, mean, p99) =
+        run_zk_raw_capture(voters, observers, processes, op, items, seed);
+    RawRunResult { ops_per_sec, mean_latency_us: mean, p99_latency_us: p99 }
+}
+
+/// Run an mdtest experiment and return one [`PhaseResult`] per configured
+/// phase.
+pub fn run_mdtest(cfg: &MdtestConfig) -> Vec<PhaseResult> {
+    run_mdtest_report(cfg).phases
+}
+
+/// Full report of an mdtest run: per-phase throughput plus the final
+/// coordination-service namespace (digest over all replicas — asserted
+/// identical — and znode count). Lets tests compare the simulated system
+/// against a live replay of the same workload.
+#[derive(Debug, Clone)]
+pub struct MdtestReport {
+    /// Per-phase results.
+    pub phases: Vec<PhaseResult>,
+    /// Content digest of the final replicated namespace (0 for the native
+    /// baselines, which have no coordination service).
+    pub namespace_digest: u64,
+    /// Number of znodes in the final namespace.
+    pub namespace_nodes: usize,
+}
+
+/// As [`run_mdtest`], returning the post-run namespace as well.
+pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
+    let spec = &cfg.spec;
+    let (zk_servers, n_backends, pvfs, dufs) = match cfg.system {
+        MdtestSystem::BasicLustre => (0, 1, false, false),
+        MdtestSystem::BasicPvfs2 => (0, 1, true, false),
+        MdtestSystem::DufsLustre { zk_servers, backends } => (zk_servers, backends, false, true),
+        MdtestSystem::DufsPvfs2 { zk_servers, backends } => (zk_servers, backends, true, true),
+    };
+    assert!(!dufs || zk_servers >= 1, "DUFS needs a coordination ensemble");
+
+    let n_nodes = zk_servers + n_backends + 1 + spec.processes;
+    let mut phys = Vec::with_capacity(n_nodes);
+    for i in 0..zk_servers {
+        phys.push((i % costs::CLIENT_NODES) as u32);
+    }
+    for j in 0..n_backends {
+        phys.push(100 + j as u32); // dedicated server nodes
+    }
+    phys.push(1000); // controller
+    for p in 0..spec.processes {
+        phys.push((p % costs::CLIENT_NODES) as u32);
+    }
+
+    let mut sim: Sim<ClusterMsg> =
+        Sim::new(cfg.seed, TestbedLatency { phys, net: GigEModel::gige() });
+    sim.set_message_sizer(wire_size);
+
+    // Coordination servers first.
+    let ensemble = EnsembleConfig::of_size(zk_servers.max(1));
+    let peer_nodes: Vec<NodeId> = (0..zk_servers as u32).map(NodeId).collect();
+    for i in 0..zk_servers {
+        sim.add_node(CoordServerProc::new(PeerId(i as u32), ensemble.clone(), peer_nodes.clone()));
+    }
+    // Back-end mounts.
+    let backend_nodes: Vec<NodeId> = (0..n_backends)
+        .map(|j| {
+            let fs = if pvfs { ParallelFs::pvfs2() } else { ParallelFs::lustre() };
+            let id = sim.add_node(BackendProc::new(fs));
+            debug_assert_eq!(id, NodeId((zk_servers + j) as u32));
+            id
+        })
+        .collect();
+    // Controller.
+    let ctrl = NodeId((zk_servers + n_backends) as u32);
+    let client_ids: Vec<NodeId> = (0..spec.processes)
+        .map(|p| NodeId((zk_servers + n_backends + 1 + p) as u32))
+        .collect();
+    sim.add_node(ControllerProc::new(client_ids.clone(), spec.phases.len()));
+
+    // Client processes.
+    let cpus: Vec<NodeCpu> =
+        (0..costs::CLIENT_NODES).map(|_| NodeCpu::new(costs::NODE_CORES)).collect();
+    for (p, &node) in client_ids.iter().enumerate() {
+        let cpu = cpus[p % costs::CLIENT_NODES].clone();
+        if dufs {
+            let server = NodeId((p % zk_servers) as u32);
+            let added = sim.add_node(DufsClientProc::new(
+                node.0 as u64,
+                p,
+                server,
+                backend_nodes.clone(),
+                ctrl,
+                cpu,
+                spec.clone(),
+            ));
+            assert_eq!(added, node);
+        } else {
+            let added = sim.add_node(NativeClientProc::new(
+                node.0 as u64,
+                p,
+                backend_nodes[0],
+                ctrl,
+                cpu,
+                spec.clone(),
+            ));
+            assert_eq!(added, node);
+        }
+    }
+
+    if let Some(crash) = cfg.crash_coord {
+        assert!(dufs && crash.server < zk_servers, "crash target must be a coord server");
+        let node = NodeId(crash.server as u32);
+        sim.schedule_crash(node, SimTime::from_millis(crash.at_ms));
+        sim.schedule_restart(node, SimTime::from_millis(crash.at_ms + crash.down_ms));
+    }
+    let ok = run_to_completion(&mut sim, ctrl, SimTime::from_secs(30_000));
+    assert!(ok, "mdtest run did not complete ({:?})", cfg.system);
+
+    // Replication correctness under the measured load: every coordination
+    // replica must end bit-identical.
+    let (namespace_digest, namespace_nodes) = if dufs {
+        let digests: Vec<(u64, usize)> = (0..zk_servers)
+            .map(|i| {
+                let s = sim.node_ref::<CoordServerProc>(NodeId(i as u32)).server();
+                (s.tree().digest(), s.tree().node_count())
+            })
+            .collect();
+        assert!(
+            digests.windows(2).all(|w| w[0].0 == w[1].0),
+            "coordination replicas diverged after the run: {digests:?}"
+        );
+        digests[0]
+    } else {
+        (0, 0)
+    };
+
+    let tallies = sim.node_ref::<ControllerProc>(ctrl).results.clone();
+    let phases = spec
+        .phases
+        .iter()
+        .zip(tallies)
+        .map(|(&phase, t)| PhaseResult {
+            phase,
+            ops: t.ops,
+            errors: t.errors,
+            ops_per_sec: t.ops_per_sec(),
+            mean_latency_us: t.latency.mean().as_micros_f64(),
+            p99_latency_us: t.latency.quantile(0.99).as_micros_f64(),
+        })
+        .collect();
+    MdtestReport { phases, namespace_digest, namespace_nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(processes: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            processes,
+            fanout: 10,
+            dirs_per_proc: 12,
+            files_per_proc: 12,
+            phases: Phase::ALL.to_vec(),
+            shared_dir: false,
+        }
+    }
+
+    #[test]
+    fn raw_get_scales_with_servers_and_create_does_not() {
+        let get1 = run_zk_raw(1, 32, RawOp::Get, 40, 1);
+        let get4 = run_zk_raw(4, 32, RawOp::Get, 40, 1);
+        assert!(get4 > get1 * 1.8, "reads must scale out: 1={get1:.0} 4={get4:.0}");
+
+        let cr1 = run_zk_raw(1, 32, RawOp::Create, 40, 1);
+        let cr4 = run_zk_raw(4, 32, RawOp::Create, 40, 1);
+        assert!(cr1 > cr4, "writes must slow with ensemble size: 1={cr1:.0} 4={cr4:.0}");
+    }
+
+    #[test]
+    fn basic_lustre_mdtest_runs_clean() {
+        let cfg = MdtestConfig {
+            system: MdtestSystem::BasicLustre,
+            spec: small_spec(16),
+            seed: 3,
+            crash_coord: None,
+        };
+        let res = run_mdtest(&cfg);
+        assert_eq!(res.len(), 6);
+        for r in &res {
+            assert_eq!(r.errors, 0, "{:?}: {} errors", r.phase, r.errors);
+            assert_eq!(r.ops, 16 * 12, "{:?}", r.phase);
+            assert!(r.ops_per_sec > 0.0);
+        }
+        // Stat phases are faster than their mutation counterparts.
+        let by = |p: Phase| res.iter().find(|r| r.phase == p).unwrap().ops_per_sec;
+        assert!(by(Phase::DirStat) > by(Phase::DirCreate));
+        assert!(by(Phase::FileStat) > by(Phase::FileCreate));
+    }
+
+    #[test]
+    fn dufs_mdtest_survives_coord_follower_crash_mid_run() {
+        // Crash one of 3 coordination servers two virtual seconds in and
+        // bring it back 5 s later: the run completes, losses are bounded to
+        // requests in flight during failover, and the restarted replica
+        // converges (asserted inside run_mdtest_report).
+        let cfg = MdtestConfig {
+            system: MdtestSystem::DufsLustre { zk_servers: 3, backends: 2 },
+            spec: small_spec(12),
+            seed: 9,
+            crash_coord: Some(CoordCrash { server: 2, at_ms: 2_000, down_ms: 5_000 }),
+        };
+        let report = run_mdtest_report(&cfg);
+        assert_eq!(report.phases.len(), 6);
+        let total_ops: u64 = report.phases.iter().map(|p| p.ops).sum();
+        let total_errors: u64 = report.phases.iter().map(|p| p.errors).sum();
+        assert_eq!(total_ops, 6 * 12 * 12);
+        // Clients whose server died time out and count an error; the
+        // overwhelming majority of the workload must still succeed.
+        assert!(
+            (total_errors as f64) < (total_ops as f64) * 0.2,
+            "errors bounded: {total_errors}/{total_ops}"
+        );
+    }
+
+    #[test]
+    fn dufs_mdtest_runs_clean() {
+        let cfg = MdtestConfig {
+            system: MdtestSystem::DufsLustre { zk_servers: 3, backends: 2 },
+            spec: small_spec(16),
+            seed: 5,
+            crash_coord: None,
+        };
+        let res = run_mdtest(&cfg);
+        assert_eq!(res.len(), 6);
+        for r in &res {
+            assert_eq!(r.errors, 0, "{:?}: {} errors", r.phase, r.errors);
+            assert_eq!(r.ops, 16 * 12, "{:?}", r.phase);
+            assert!(r.mean_latency_us > 0.0, "{:?} latency populated", r.phase);
+            assert!(r.p99_latency_us >= r.mean_latency_us * 0.5, "{:?}", r.phase);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Event types for the simulation kernel.
+
+use crate::time::SimTime;
+
+/// Identifies a node (process) in the simulation. Dense, assigned in
+/// registration order by [`crate::Sim::add_node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index into the simulator's node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Opaque token a process attaches to a timer so it can recognise it when it
+/// fires. Processes define their own encoding (the coord server, for
+/// example, packs a request id into it).
+pub type TimerToken = u64;
+
+/// What an event does when it is dequeued.
+pub(crate) enum EventPayload<M> {
+    /// Deliver a message from `from` to the target node.
+    Message { from: NodeId, msg: M },
+    /// Fire a timer previously set by the target node. `epoch` guards
+    /// against timers that were implicitly cancelled by a crash: timers set
+    /// before a crash have a stale epoch and are dropped on delivery.
+    Timer { token: TimerToken, epoch: u32 },
+    /// Crash the target node (drops its volatile state and its timers).
+    Crash,
+    /// Restart the target node after a crash.
+    Restart,
+}
+
+/// A scheduled event. Ordered by `(time, seq)`; `seq` is a global insertion
+/// counter so ordering is total and deterministic.
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub target: NodeId,
+    pub payload: EventPayload<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, seq: u64) -> Event<()> {
+        Event { time: SimTime(time), seq, target: NodeId(0), payload: EventPayload::Crash }
+    }
+
+    #[test]
+    fn heap_order_is_earliest_first() {
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(ev(30, 0));
+        heap.push(ev(10, 2));
+        heap.push(ev(10, 1));
+        heap.push(ev(20, 3));
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| heap.pop()).map(|e| (e.time.0, e.seq)).collect();
+        assert_eq!(order, vec![(10, 1), (10, 2), (20, 3), (30, 0)]);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

@@ -1,0 +1,187 @@
+//! Network latency models.
+//!
+//! The paper's cluster used 1 GigE for both the ZooKeeper ensemble and the
+//! parallel-filesystem traffic. One-way latency is modelled as
+//!
+//! ```text
+//! base + size / bandwidth + jitter
+//! ```
+//!
+//! with exponentially distributed jitter, which is a standard first-order
+//! model for a lightly loaded switched Ethernet. Models are sampled with the
+//! simulator's seeded RNG, so runs stay deterministic.
+
+use crate::event::NodeId;
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Samples a one-way latency for a message of `size_bytes` from `src` to
+/// `dst`.
+pub trait LatencyModel {
+    /// Sample a delivery latency. `rng` is the simulator's deterministic RNG.
+    fn sample(
+        &self,
+        rng: &mut StdRng,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: usize,
+    ) -> SimDuration;
+}
+
+/// A constant latency for every message — useful in unit tests where exact
+/// virtual timestamps are asserted.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLatency(pub SimDuration);
+
+impl FixedLatency {
+    /// Fixed latency of `us` microseconds.
+    pub const fn micros(us: u64) -> Self {
+        FixedLatency(SimDuration::from_micros(us))
+    }
+}
+
+impl LatencyModel for FixedLatency {
+    fn sample(&self, _: &mut StdRng, _: NodeId, _: NodeId, _: usize) -> SimDuration {
+        self.0
+    }
+}
+
+/// GigE-class model: ~55 µs base one-way latency (kernel TCP stack + switch),
+/// 125 MB/s line rate, exponential jitter with a small mean. Messages between
+/// co-located nodes (same `NodeId`) short-circuit through loopback.
+///
+/// These constants put a ZooKeeper-style request/response round trip in the
+/// 120–150 µs range, matching the 2011-era 1 GigE testbed class used in the
+/// paper.
+#[derive(Debug, Clone, Copy)]
+pub struct GigEModel {
+    /// Base one-way latency.
+    pub base: SimDuration,
+    /// Bytes per second of line rate.
+    pub bandwidth_bps: f64,
+    /// Mean of the exponential jitter term.
+    pub jitter_mean: SimDuration,
+    /// Latency used when `src == dst` (loopback, e.g. a ZooKeeper server
+    /// co-located with a DUFS client, as in the paper's setup).
+    pub loopback: SimDuration,
+}
+
+impl Default for GigEModel {
+    fn default() -> Self {
+        GigEModel {
+            base: SimDuration::from_micros(55),
+            bandwidth_bps: 125.0e6,
+            jitter_mean: SimDuration::from_micros(6),
+            loopback: SimDuration::from_micros(8),
+        }
+    }
+}
+
+impl GigEModel {
+    /// The default 1 GigE profile used across the reproduction.
+    pub fn gige() -> Self {
+        Self::default()
+    }
+}
+
+impl LatencyModel for GigEModel {
+    fn sample(&self, rng: &mut StdRng, src: NodeId, dst: NodeId, size_bytes: usize) -> SimDuration {
+        if src == dst {
+            return self.loopback;
+        }
+        let wire = SimDuration::from_nanos((size_bytes as f64 / self.bandwidth_bps * 1e9) as u64);
+        // Exponential jitter via inverse CDF; `random::<f64>()` is in [0, 1).
+        let u: f64 = rng.random();
+        let jitter = self.jitter_mean.mul_f64(-f64::ln(1.0 - u));
+        self.base + wire + jitter
+    }
+}
+
+/// Model for processes on the *same host* (e.g. the Fig 11 memory benchmark
+/// where everything ran on one node): small constant cost plus memory-bus
+/// bandwidth.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalBusModel {
+    /// Per-message fixed cost (syscall/context switch class).
+    pub base: SimDuration,
+}
+
+impl Default for LocalBusModel {
+    fn default() -> Self {
+        LocalBusModel { base: SimDuration::from_micros(4) }
+    }
+}
+
+impl LatencyModel for LocalBusModel {
+    fn sample(&self, _: &mut StdRng, _: NodeId, _: NodeId, _: usize) -> SimDuration {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_latency_is_fixed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = FixedLatency::micros(50);
+        for size in [0, 100, 1 << 20] {
+            assert_eq!(
+                m.sample(&mut rng, NodeId(0), NodeId(1), size),
+                SimDuration::from_micros(50)
+            );
+        }
+    }
+
+    #[test]
+    fn gige_loopback_is_cheap() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = GigEModel::default();
+        let lo = m.sample(&mut rng, NodeId(3), NodeId(3), 4096);
+        let net = m.sample(&mut rng, NodeId(3), NodeId(4), 4096);
+        assert!(lo < net, "loopback {lo} should beat network {net}");
+    }
+
+    #[test]
+    fn gige_larger_messages_take_longer_on_average() {
+        let m = GigEModel::default();
+        let avg = |size: usize| {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..1000)
+                .map(|_| m.sample(&mut rng, NodeId(0), NodeId(1), size).as_nanos())
+                .sum::<u64>() as f64
+                / 1000.0
+        };
+        let small = avg(64);
+        let big = avg(1 << 20); // 1 MiB at 125 MB/s adds ~8.4 ms
+        assert!(big > small + 8_000_000.0, "small={small} big={big}");
+    }
+
+    #[test]
+    fn gige_is_deterministic_for_a_seed() {
+        let m = GigEModel::default();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..32)
+                .map(|_| m.sample(&mut rng, NodeId(0), NodeId(1), 128).as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gige_jitter_mean_is_plausible() {
+        // The mean sampled latency should sit near base + wire + jitter_mean.
+        let m = GigEModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let sum: u64 =
+            (0..n).map(|_| m.sample(&mut rng, NodeId(0), NodeId(1), 0).as_nanos()).sum();
+        let mean = sum as f64 / n as f64;
+        let expect = (m.base + m.jitter_mean).as_nanos() as f64;
+        assert!((mean - expect).abs() < 1_500.0, "mean={mean} expect={expect}");
+    }
+}

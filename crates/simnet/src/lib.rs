@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # dufs-simnet — deterministic discrete-event cluster simulator
+//!
+//! This crate provides the simulation substrate for the DUFS reproduction
+//! (CLUSTER 2011). The paper's evaluation ran on a physical Linux cluster
+//! connected with 1 GigE; we reproduce the *mechanisms* that shape its
+//! throughput curves — network round-trips, per-link FIFO delivery, server
+//! service queues with bounded parallelism, and quorum fan-out cost — inside
+//! a deterministic discrete-event simulator, so that 256-client parameter
+//! sweeps are reproducible on a single machine.
+//!
+//! ## Model
+//!
+//! A simulation is a set of [`Process`] nodes exchanging typed messages.
+//! Every message send samples a latency from a [`LatencyModel`] and is
+//! delivered in FIFO order per directed link (mirroring TCP, which the ZAB
+//! protocol assumes). Processes may also set timers. The kernel executes
+//! events in virtual-time order; ties are broken by insertion sequence, so a
+//! run is a pure function of the initial state and the RNG seed.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dufs_simnet::{Sim, Process, Ctx, NodeId, SimTime, FixedLatency};
+//!
+//! struct Echo;
+//! struct Pinger { got: u32 }
+//!
+//! impl Process<&'static str> for Echo {
+//!     fn on_message(&mut self, ctx: &mut Ctx<&'static str>, from: NodeId, _m: &'static str) {
+//!         ctx.send(from, "pong");
+//!     }
+//! }
+//! impl Process<&'static str> for Pinger {
+//!     fn on_start(&mut self, ctx: &mut Ctx<&'static str>) {
+//!         ctx.send(NodeId(0), "ping");
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Ctx<&'static str>, _from: NodeId, _m: &'static str) {
+//!         self.got += 1;
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new(42, FixedLatency::micros(50));
+//! sim.add_node(Echo);
+//! sim.add_node(Pinger { got: 0 });
+//! sim.run_until_idle();
+//! assert_eq!(sim.node_ref::<Pinger>(NodeId(1)).got, 1);
+//! assert_eq!(sim.now(), SimTime::from_micros(100)); // one RTT
+//! ```
+
+pub mod event;
+pub mod latency;
+pub mod queue;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use event::{NodeId, TimerToken};
+pub use latency::{FixedLatency, GigEModel, LatencyModel, LocalBusModel};
+pub use queue::ServiceQueue;
+pub use sim::{Ctx, Process, Sim};
+pub use stats::{LatencyHist, Throughput};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,187 @@
+//! Virtual time for the simulator.
+//!
+//! Time is a monotone `u64` nanosecond counter starting at zero. We use a
+//! dedicated newtype instead of `std::time::Duration`/`Instant` so that
+//! simulated time can never be confused with wall-clock time, and so that
+//! arithmetic stays cheap and explicit.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as a sentinel for "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Elapsed span since `earlier`. Saturates at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+    /// Construct from fractional microseconds (rounded to nanoseconds).
+    pub fn from_micros_f64(us: f64) -> Self {
+        SimDuration((us * 1_000.0).round().max(0.0) as u64)
+    }
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Microseconds in this span, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// Seconds in this span, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Scale the span by a float factor (used by contention models).
+    pub fn mul_f64(self, k: f64) -> Self {
+        SimDuration((self.0 as f64 * k).round().max(0.0) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.1}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimTime::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimTime::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_micros(3), SimDuration::from_nanos(3_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(10) + SimDuration::from_micros(5);
+        assert_eq!(t, SimTime::from_micros(15));
+        assert_eq!(t.since(SimTime::from_micros(10)), SimDuration::from_micros(5));
+        // Saturating subtraction: earlier.since(later) is zero, not underflow.
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let d = SimDuration::from_micros_f64(12.5);
+        assert_eq!(d.as_nanos(), 12_500);
+        assert!((d.as_micros_f64() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_micros(100).mul_f64(1.5);
+        assert_eq!(d, SimDuration::from_micros(150));
+        assert_eq!(SimDuration::from_micros(100).mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(10)), "10ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(10)), "10.0us");
+        assert_eq!(format!("{}", SimDuration::from_millis(10)), "10.00ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(10)), "10.000s");
+    }
+}

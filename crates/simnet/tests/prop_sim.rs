@@ -1,0 +1,146 @@
+//! Property tests for the simulation kernel: the invariants every
+//! experiment implicitly relies on.
+
+use proptest::prelude::*;
+
+use dufs_simnet::{
+    Ctx, FixedLatency, GigEModel, NodeId, Process, ServiceQueue, Sim, SimDuration, SimTime,
+};
+
+// ---------------------------------------------------------------------
+// ServiceQueue properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Completions never precede arrival + service, and a width-1 queue's
+    /// completions are strictly ordered (work conservation and FIFO).
+    #[test]
+    fn service_queue_is_conservative_and_fifo(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..60),
+        width in 1usize..4,
+    ) {
+        let mut q = ServiceQueue::new(width);
+        let mut arrivals: Vec<(u64, u64)> = jobs;
+        arrivals.sort_unstable(); // arrival times must be monotone for a sim
+        let mut last_done = SimTime::ZERO;
+        let mut busy_total = 0u64;
+        for &(at_us, service_us) in &arrivals {
+            let at = SimTime::from_micros(at_us);
+            let service = SimDuration::from_micros(service_us);
+            let done = q.complete_at(at, service);
+            // Lower bound: can't finish before arrival + service.
+            prop_assert!(done >= at + service);
+            if width == 1 {
+                // FIFO single server: completions are non-decreasing and
+                // gapless under backlog.
+                prop_assert!(done >= last_done);
+            }
+            last_done = last_done.max(done);
+            busy_total += service_us;
+        }
+        // Upper bound: a width-w queue finishes everything no later than
+        // serializing all work after the last arrival.
+        let last_arrival = arrivals.last().map(|&(t, _)| t).unwrap_or(0);
+        prop_assert!(
+            last_done.as_nanos() <= SimTime::from_micros(last_arrival + busy_total).as_nanos()
+        );
+        prop_assert_eq!(q.accepted(), arrivals.len() as u64);
+    }
+
+    /// A width-w queue is never slower than width-1 and never faster than
+    /// perfect parallelism for identical job streams.
+    #[test]
+    fn wider_queues_are_no_slower(
+        jobs in proptest::collection::vec(1u64..300, 1..40),
+    ) {
+        let run = |width: usize| {
+            let mut q = ServiceQueue::new(width);
+            let mut last = SimTime::ZERO;
+            for &service_us in &jobs {
+                last = last.max(q.complete_at(SimTime::ZERO, SimDuration::from_micros(service_us)));
+            }
+            last
+        };
+        let serial = run(1);
+        let wide = run(4);
+        prop_assert!(wide <= serial);
+        let total: u64 = jobs.iter().sum();
+        prop_assert!(wide.as_nanos() >= (total / 4) * 1_000, "can't beat perfect speedup");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel properties: FIFO links and determinism under random traffic
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Sink {
+    got: Vec<(u64, u32)>, // (virtual ns, payload)
+}
+impl Process<u32> for Sink {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+        self.got.push((ctx.now().as_nanos(), msg));
+    }
+}
+
+struct Spammer {
+    dst: NodeId,
+    n: u32,
+    gap_us: u64,
+}
+impl Process<u32> for Spammer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        ctx.set_timer(SimDuration::from_micros(self.gap_us), 0);
+    }
+    fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u32) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _t: u64) {
+        let seq = self.n;
+        if seq > 0 {
+            self.n -= 1;
+            ctx.send(self.dst, seq);
+            ctx.set_timer(SimDuration::from_micros(self.gap_us), 0);
+        }
+    }
+}
+
+proptest! {
+    /// Per-link FIFO: with jittery latencies, a receiver still sees one
+    /// sender's messages in send order.
+    #[test]
+    fn per_link_fifo_under_jitter(seed in 0u64..500, n in 2u32..60, gap_us in 1u64..50) {
+        let mut sim: Sim<u32> = Sim::new(seed, GigEModel::default());
+        let sink = sim.add_node(Sink::default());
+        sim.add_node(Spammer { dst: sink, n, gap_us });
+        sim.run_until(SimTime::from_secs(10));
+        let got: Vec<u32> = sim.node_ref::<Sink>(sink).got.iter().map(|e| e.1).collect();
+        let want: Vec<u32> = (1..=n).rev().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Determinism: identical seeds produce identical event streams, and
+    /// different seeds (with jitter) are allowed to differ.
+    #[test]
+    fn runs_are_seed_deterministic(seed in 0u64..200) {
+        let run = |s: u64| {
+            let mut sim: Sim<u32> = Sim::new(s, GigEModel::default());
+            let sink = sim.add_node(Sink::default());
+            sim.add_node(Spammer { dst: sink, n: 25, gap_us: 7 });
+            sim.run_until(SimTime::from_secs(5));
+            sim.node_ref::<Sink>(sink).got.clone()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Virtual time only moves forward, whatever the traffic pattern.
+    #[test]
+    fn time_is_monotone(seed in 0u64..200, spammers in 1usize..5) {
+        let mut sim: Sim<u32> = Sim::new(seed, FixedLatency::micros(13));
+        let sink = sim.add_node(Sink::default());
+        for k in 0..spammers {
+            sim.add_node(Spammer { dst: sink, n: 10, gap_us: 3 + k as u64 });
+        }
+        sim.run_until_idle();
+        let stamps: Vec<u64> = sim.node_ref::<Sink>(sink).got.iter().map(|e| e.0).collect();
+        prop_assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Ensemble membership and quorum arithmetic.
+
+/// Identifies a peer within a replication ensemble. Distinct from the
+/// simulator's node ids — the hosting runtime maps between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u32);
+
+impl std::fmt::Display for PeerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Static membership of a replication ensemble: voting members plus
+/// optional non-voting **observers** (ZooKeeper's read-scaling mechanism:
+/// an observer receives the committed stream and serves reads, but never
+/// votes or acks, so it adds no write-path cost at the leader's quorum).
+///
+/// The paper varies the ensemble between 1, 4 and 8 voting servers
+/// (Figs 7 and 8); quorum is always a strict majority *of the voters*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleConfig {
+    peers: Vec<PeerId>,
+    observers: Vec<PeerId>,
+}
+
+impl EnsembleConfig {
+    /// An ensemble of `n` voting peers with ids `0..n`.
+    pub fn of_size(n: usize) -> Self {
+        assert!(n >= 1, "an ensemble needs at least one peer");
+        EnsembleConfig { peers: (0..n as u32).map(PeerId).collect(), observers: Vec::new() }
+    }
+
+    /// `n` voters (ids `0..n`) plus `o` observers (ids `n..n+o`).
+    pub fn with_observers(n: usize, o: usize) -> Self {
+        assert!(n >= 1, "an ensemble needs at least one voter");
+        EnsembleConfig {
+            peers: (0..n as u32).map(PeerId).collect(),
+            observers: (n as u32..(n + o) as u32).map(PeerId).collect(),
+        }
+    }
+
+    /// An ensemble with explicit voting membership (no observers).
+    pub fn new(mut peers: Vec<PeerId>) -> Self {
+        assert!(!peers.is_empty(), "an ensemble needs at least one peer");
+        peers.sort_unstable();
+        peers.dedup();
+        EnsembleConfig { peers, observers: Vec::new() }
+    }
+
+    /// Voting member ids, sorted.
+    pub fn peers(&self) -> &[PeerId] {
+        &self.peers
+    }
+
+    /// Observer ids, sorted.
+    pub fn observers(&self) -> &[PeerId] {
+        &self.observers
+    }
+
+    /// Number of voting members.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True for the degenerate single-server ensemble.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Majority size over the voters: `⌊n/2⌋ + 1`.
+    pub fn quorum(&self) -> usize {
+        self.peers.len() / 2 + 1
+    }
+
+    /// Whether `count` voters/ackers form a quorum.
+    pub fn is_quorum(&self, count: usize) -> bool {
+        count >= self.quorum()
+    }
+
+    /// Whether `peer` is a voting member.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.peers.binary_search(&peer).is_ok()
+    }
+
+    /// Whether `peer` is an observer.
+    pub fn is_observer(&self, peer: PeerId) -> bool {
+        self.observers.binary_search(&peer).is_ok()
+    }
+
+    /// Whether `peer` is any kind of member.
+    pub fn is_member(&self, peer: PeerId) -> bool {
+        self.contains(peer) || self.is_observer(peer)
+    }
+
+    /// Voting members except `me` (election broadcast targets).
+    pub fn others(&self, me: PeerId) -> impl Iterator<Item = PeerId> + '_ {
+        self.peers.iter().copied().filter(move |&p| p != me)
+    }
+
+    /// Every member except `me`, observers included (leader ping targets).
+    pub fn all_others(&self, me: PeerId) -> impl Iterator<Item = PeerId> + '_ {
+        self.peers.iter().chain(self.observers.iter()).copied().filter(move |&p| p != me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_sizes_match_zookeeper() {
+        assert_eq!(EnsembleConfig::of_size(1).quorum(), 1);
+        assert_eq!(EnsembleConfig::of_size(2).quorum(), 2);
+        assert_eq!(EnsembleConfig::of_size(3).quorum(), 2);
+        assert_eq!(EnsembleConfig::of_size(4).quorum(), 3);
+        assert_eq!(EnsembleConfig::of_size(5).quorum(), 3);
+        assert_eq!(EnsembleConfig::of_size(8).quorum(), 5);
+    }
+
+    #[test]
+    fn is_quorum_boundary() {
+        let c = EnsembleConfig::of_size(5);
+        assert!(!c.is_quorum(2));
+        assert!(c.is_quorum(3));
+    }
+
+    #[test]
+    fn membership_and_others() {
+        let c = EnsembleConfig::of_size(3);
+        assert!(c.contains(PeerId(2)));
+        assert!(!c.contains(PeerId(3)));
+        let others: Vec<_> = c.others(PeerId(1)).collect();
+        assert_eq!(others, vec![PeerId(0), PeerId(2)]);
+    }
+
+    #[test]
+    fn explicit_membership_dedups_and_sorts() {
+        let c = EnsembleConfig::new(vec![PeerId(4), PeerId(2), PeerId(4)]);
+        assert_eq!(c.peers(), &[PeerId(2), PeerId(4)]);
+        assert_eq!(c.quorum(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn empty_ensemble_rejected() {
+        EnsembleConfig::of_size(0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Wire messages, timers, and output actions of the ZAB state machine.
+
+use bytes::Bytes;
+
+use crate::config::PeerId;
+use crate::zxid::Zxid;
+
+/// A vote in leader election: "`candidate` should lead; its history reaches
+/// `candidate_zxid`". Votes are compared by `(candidate_zxid, candidate)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vote {
+    /// Proposed leader.
+    pub candidate: PeerId,
+    /// The candidate's last logged zxid, as known by the voter.
+    pub candidate_zxid: Zxid,
+    /// Election round of the voter (latecomers fast-forward to the highest
+    /// round they observe).
+    pub round: u64,
+}
+
+impl Vote {
+    /// Election preference order: higher history wins, peer id breaks ties.
+    pub fn beats(&self, other: &Vote) -> bool {
+        (self.candidate_zxid, self.candidate) > (other.candidate_zxid, other.candidate)
+    }
+}
+
+/// Messages exchanged between peers. `T` is the replicated transaction type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZabMsg<T> {
+    /// Election: the sender's current vote. `established` carries the
+    /// sender's leader if it is already Following/Leading, letting a
+    /// rejoining peer adopt an existing leader immediately.
+    Notification {
+        /// The sender's vote.
+        vote: Vote,
+        /// `Some(leader)` if the sender already follows an established
+        /// leader (or is one).
+        established: Option<PeerId>,
+    },
+    /// Follower → leader after election: "my log ends at `last_zxid`".
+    FollowerInfo {
+        /// The follower's last logged zxid.
+        last_zxid: Zxid,
+        /// The highest epoch the follower has promised. A leader whose
+        /// regime epoch is lower cannot serve this follower and must step
+        /// down so a fresh election mints a higher epoch.
+        accepted_epoch: u32,
+    },
+    /// Leader → follower: log suffix after the follower's reported zxid.
+    /// `reset` tells the follower to discard its state and replay from
+    /// scratch (histories diverged). When the leader has compacted its log
+    /// past the follower's position, `snapshot` carries the checkpointed
+    /// state machine (an opaque blob the hosting layer encodes/decodes —
+    /// ZooKeeper's SNAP sync).
+    SyncLog {
+        /// The leader's epoch.
+        epoch: u32,
+        /// State-machine snapshot to install first, with its zxid.
+        snapshot: Option<(Zxid, Bytes)>,
+        /// Entries to append after the snapshot/current position.
+        entries: Vec<(Zxid, T)>,
+        /// Everything up to here is committed.
+        commit_to: Zxid,
+        /// Whether the follower must discard its log and state first.
+        reset: bool,
+    },
+    /// Follower → leader: sync applied, ready for broadcast. Carries the
+    /// epoch being acknowledged so a stale ack from the leader's previous
+    /// regime cannot leak followers into the new one.
+    AckSync {
+        /// The epoch whose sync is acknowledged.
+        epoch: u32,
+    },
+    /// Leader → follower: replicate one transaction.
+    Propose {
+        /// Transaction id.
+        zxid: Zxid,
+        /// Payload.
+        txn: T,
+    },
+    /// Follower → leader: transaction logged.
+    Ack {
+        /// Acknowledged transaction id.
+        zxid: Zxid,
+    },
+    /// Leader → follower: deliver everything up to `zxid`.
+    Commit {
+        /// Commit watermark.
+        zxid: Zxid,
+    },
+    /// Leader → observer: a committed transaction (ZooKeeper's INFORM).
+    /// Observers skip the propose/ack round entirely — one message per
+    /// commit instead of three, keeping the leader's write-path cost flat
+    /// as observers are added.
+    Inform {
+        /// The transaction's id.
+        zxid: Zxid,
+        /// The committed transaction.
+        txn: T,
+    },
+    /// Leader heartbeat, carrying the leader's epoch (so a follower synced
+    /// under an older regime of the same leader detects it must resync) and
+    /// the commit watermark (so followers converge even when broadcast
+    /// traffic goes quiet).
+    Ping {
+        /// The leader's current epoch.
+        epoch: u32,
+        /// The leader's committed zxid.
+        commit_to: Zxid,
+    },
+    /// Follower heartbeat response.
+    Pong,
+}
+
+/// Timers the state machine asks its runtime to arm. All are periodic
+/// rearm-on-fire (the state machine re-requests as needed).
+///
+/// Each carries a *generation*: the peer bumps it every time it arms that
+/// timer kind, and ignores fires whose generation is stale. Without this, a
+/// duplicate arm (e.g. a watchdog armed at join *and* at sync) produces two
+/// interleaved timer chains whose fires alias each other's liveness flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZabTimer {
+    /// While Looking: resend notifications / advance the round.
+    Election(u64),
+    /// While Leading: send pings and check follower liveness.
+    LeaderPing(u64),
+    /// While Following: expect leader traffic before this fires.
+    FollowerWatchdog(u64),
+}
+
+/// Outputs of the state machine; the hosting runtime executes them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZabAction<T> {
+    /// Send `msg` to `to`.
+    Send {
+        /// Destination peer.
+        to: PeerId,
+        /// Message.
+        msg: ZabMsg<T>,
+    },
+    /// Arm `timer` to fire after `after_ms` (virtual) milliseconds.
+    SetTimer {
+        /// Which timer.
+        timer: ZabTimer,
+        /// Delay in milliseconds.
+        after_ms: u64,
+    },
+    /// Apply a committed transaction to the replicated state machine.
+    /// Emitted in strictly increasing zxid order.
+    Deliver {
+        /// The transaction's id.
+        zxid: Zxid,
+        /// The transaction.
+        txn: T,
+    },
+    /// Discard the applied state machine (a full resync follows as
+    /// `Deliver`s). Emitted before replaying a replacement history.
+    ResetState,
+    /// Replace the applied state machine with a checkpointed snapshot
+    /// (decode with the hosting layer's codec), then continue with
+    /// `Deliver`s.
+    RestoreSnapshot {
+        /// The snapshot's zxid watermark.
+        zxid: Zxid,
+        /// The opaque snapshot blob.
+        blob: Bytes,
+    },
+    /// This peer has become the established leader for `epoch`.
+    BecameLeader {
+        /// The new epoch.
+        epoch: u32,
+    },
+    /// This peer now follows `leader` in `epoch` (sync complete).
+    BecameFollower {
+        /// The leader.
+        leader: PeerId,
+        /// The epoch.
+        epoch: u32,
+    },
+    /// The peer lost its leader/leadership and re-entered election.
+    StartedElection,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vote_ordering_prefers_history_then_id() {
+        let a = Vote { candidate: PeerId(0), candidate_zxid: Zxid::new(1, 5), round: 0 };
+        let b = Vote { candidate: PeerId(9), candidate_zxid: Zxid::new(1, 4), round: 0 };
+        assert!(a.beats(&b), "longer history wins over higher id");
+        let c = Vote { candidate: PeerId(1), candidate_zxid: Zxid::new(1, 5), round: 0 };
+        assert!(c.beats(&a), "equal history: higher id wins");
+        assert!(!a.beats(&a), "a vote does not beat itself");
+    }
+}

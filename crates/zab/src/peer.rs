@@ -1,0 +1,1304 @@
+//! The ZAB peer state machine.
+//!
+//! A [`ZabPeer`] is a pure state machine: feed it messages and timer fires,
+//! execute the [`ZabAction`]s it returns. It never touches a clock, a
+//! socket, or a thread, which is what lets the same code run under the
+//! discrete-event simulator, the threaded runtime, and the randomized
+//! safety-test harnesses.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use bytes::Bytes;
+
+use crate::config::{EnsembleConfig, PeerId};
+use crate::msg::{Vote, ZabAction, ZabMsg, ZabTimer};
+use crate::zxid::Zxid;
+
+/// Default election retry period (milliseconds, virtual).
+pub const ELECTION_TIMEOUT_MS: u64 = 150;
+/// Leader heartbeat period.
+pub const LEADER_PING_MS: u64 = 100;
+/// Follower silence tolerance before re-election.
+pub const WATCHDOG_MS: u64 = 450;
+/// Consecutive heartbeat windows without follower quorum before a leader
+/// abdicates.
+const MAX_QUORUM_MISS_WINDOWS: u32 = 3;
+
+/// A peer's role in the ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Electing: exchanging votes.
+    Looking,
+    /// Following `leader`; `synced` once the log synchronization handshake
+    /// completed and broadcast traffic is accepted.
+    Following {
+        /// The leader this peer follows.
+        leader: PeerId,
+        /// Whether sync completed.
+        synced: bool,
+    },
+    /// Won the election; `established` once a quorum has synchronized.
+    Leading {
+        /// Whether a quorum of followers acknowledged synchronization.
+        established: bool,
+    },
+}
+
+/// Error returned by [`ZabPeer::propose`] when this peer cannot accept
+/// writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotLeader {
+    /// Best current guess at who the leader is, for request forwarding.
+    pub leader_hint: Option<PeerId>,
+}
+
+#[derive(Debug)]
+struct LeaderState {
+    epoch: u32,
+    next_counter: u32,
+    /// Ack sets per outstanding proposal (leader's own ack is implicit).
+    acks: BTreeMap<Zxid, HashSet<PeerId>>,
+    /// Followers that completed sync and receive broadcast traffic.
+    synced: HashSet<PeerId>,
+    /// Log position each follower was synced up to when its SyncLog was
+    /// built; an AckSync only covers entries at or below this point.
+    sync_points: HashMap<PeerId, Zxid>,
+    /// Pongs received in the current heartbeat window.
+    pongs: HashSet<PeerId>,
+    quorum_miss_windows: u32,
+}
+
+/// The ZAB state machine for one ensemble member. `T` is the replicated
+/// transaction type.
+#[derive(Debug)]
+pub struct ZabPeer<T> {
+    id: PeerId,
+    config: EnsembleConfig,
+
+    // -- durable state (survives crashes) --
+    log: Vec<(Zxid, T)>,
+    committed: Zxid,
+    accepted_epoch: u32,
+    /// Checkpointed state machine covering everything up to its zxid; log
+    /// entries at or below it have been compacted away (ZooKeeper's
+    /// snapshot + log-truncation).
+    snapshot: Option<(Zxid, Bytes)>,
+
+    // -- volatile state --
+    role: Role,
+    round: u64,
+    my_vote: Vote,
+    votes: HashMap<PeerId, Vote>,
+    leader_state: Option<LeaderState>,
+    heard_from_leader: bool,
+    /// Index into `log` of the next entry to deliver to the state machine.
+    applied_idx: usize,
+    /// A leader we stopped hearing from: ignore `established` hints naming
+    /// it until a new regime forms, so stale hints from still-synced peers
+    /// cannot pull us back to a dead leader forever. Expires after
+    /// `distrust_ttl` election periods — if the named leader is actually
+    /// alive and the rest of the ensemble follows it, rejoining is correct.
+    distrusted: Option<PeerId>,
+    distrust_ttl: u8,
+    /// Highest epoch observed anywhere (follower reports, syncs); future
+    /// candidacies mint above it so stale-promise followers can rejoin.
+    max_seen_epoch: u32,
+    /// Observers replicate and serve reads but never vote, ack, or lead.
+    is_observer: bool,
+    /// Timer generations (see [`ZabTimer`]): stale duplicate fires are
+    /// ignored so only one live chain exists per timer kind.
+    election_gen: u64,
+    ping_gen: u64,
+    watchdog_gen: u64,
+}
+
+impl<T: Clone> ZabPeer<T> {
+    /// Create a peer and return its startup actions (its first election
+    /// round, or immediate leadership for a single-peer ensemble).
+    pub fn new(id: PeerId, config: EnsembleConfig) -> (Self, Vec<ZabAction<T>>) {
+        assert!(config.is_member(id), "peer must be an ensemble member");
+        let is_observer = config.is_observer(id);
+        let mut peer = ZabPeer {
+            id,
+            config,
+            log: Vec::new(),
+            committed: Zxid::ZERO,
+            accepted_epoch: 0,
+            snapshot: None,
+            role: Role::Looking,
+            round: 0,
+            my_vote: Vote { candidate: id, candidate_zxid: Zxid::ZERO, round: 0 },
+            votes: HashMap::new(),
+            leader_state: None,
+            heard_from_leader: false,
+            applied_idx: 0,
+            distrusted: None,
+            distrust_ttl: 0,
+            max_seen_epoch: 0,
+            is_observer,
+            election_gen: 0,
+            ping_gen: 0,
+            watchdog_gen: 0,
+        };
+        let mut out = Vec::new();
+        peer.start_election(&mut out);
+        (peer, out)
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// This peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+    /// True if this peer is the established leader.
+    pub fn is_established_leader(&self) -> bool {
+        matches!(self.role, Role::Leading { established: true })
+    }
+    /// Who this peer believes leads, if anyone (for request forwarding).
+    pub fn leader_hint(&self) -> Option<PeerId> {
+        match self.role {
+            Role::Leading { .. } => Some(self.id),
+            Role::Following { leader, .. } => Some(leader),
+            Role::Looking => None,
+        }
+    }
+    /// Last zxid in the history: the log tail, or the snapshot watermark if
+    /// the log has been fully compacted (ZERO before any transaction).
+    pub fn last_zxid(&self) -> Zxid {
+        self.log.last().map(|(z, _)| *z).unwrap_or_else(|| self.snapshot_zxid())
+    }
+
+    /// The zxid covered by the installed snapshot (ZERO if none).
+    pub fn snapshot_zxid(&self) -> Zxid {
+        self.snapshot.as_ref().map(|(z, _)| *z).unwrap_or(Zxid::ZERO)
+    }
+
+    /// Install a checkpoint of the applied state machine at `zxid` (must
+    /// not exceed the commit watermark) and compact the log prefix it
+    /// covers. Bounds log memory — the concern §VII's future work raises.
+    ///
+    /// # Panics
+    /// Panics if `zxid` exceeds the commit watermark (checkpointing
+    /// uncommitted state would be unsound).
+    pub fn install_snapshot(&mut self, zxid: Zxid, blob: Bytes) {
+        assert!(zxid <= self.committed, "cannot checkpoint past the commit watermark");
+        if zxid <= self.snapshot_zxid() {
+            return; // stale checkpoint
+        }
+        let keep_from = self.log.partition_point(|(z, _)| *z <= zxid);
+        // Only applied entries may be dropped; applied_idx counts from the
+        // log start, so everything below keep_from must have been applied.
+        let dropped = keep_from.min(self.applied_idx);
+        self.log.drain(..dropped);
+        self.applied_idx -= dropped;
+        self.snapshot = Some((zxid, blob));
+    }
+
+    /// Current log length after compaction (tests/diagnostics).
+    pub fn compacted_log_len(&self) -> usize {
+        self.log.len()
+    }
+    /// Commit watermark.
+    pub fn committed(&self) -> Zxid {
+        self.committed
+    }
+    /// Log length (committed + in-flight).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+    /// Epoch this peer last accepted.
+    pub fn epoch(&self) -> u32 {
+        self.accepted_epoch
+    }
+    /// Whether this peer is a non-voting observer.
+    pub fn is_observer(&self) -> bool {
+        self.is_observer
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs
+    // ------------------------------------------------------------------
+
+    /// Submit a transaction for replication. Only the established leader
+    /// accepts; everyone else reports a forwarding hint.
+    pub fn propose(&mut self, txn: T) -> Result<Vec<ZabAction<T>>, NotLeader> {
+        if !self.is_established_leader() {
+            return Err(NotLeader { leader_hint: self.leader_hint() });
+        }
+        let mut out = Vec::new();
+        let ls = self.leader_state.as_mut().expect("leading implies leader state");
+        ls.next_counter += 1;
+        let zxid = Zxid::new(ls.epoch, ls.next_counter);
+        self.log.push((zxid, txn.clone()));
+        ls.acks.insert(zxid, HashSet::new());
+        let mut targets: Vec<PeerId> = ls.synced.iter().copied().filter(|&f| f != self.id).collect();
+        targets.sort_unstable(); // deterministic send order
+        for f in targets {
+            if self.config.is_observer(f) {
+                continue; // observers get one INFORM at commit time instead
+            }
+            out.push(ZabAction::Send { to: f, msg: ZabMsg::Propose { zxid, txn: txn.clone() } });
+        }
+        // Single-server ensembles (and quorums of one) commit immediately.
+        self.try_advance_commit(&mut out);
+        Ok(out)
+    }
+
+    /// Handle a message from `from`.
+    pub fn on_message(&mut self, from: PeerId, msg: ZabMsg<T>) -> Vec<ZabAction<T>> {
+        let mut out = Vec::new();
+        match msg {
+            ZabMsg::Notification { vote, established } => {
+                self.on_notification(from, vote, established, &mut out)
+            }
+            ZabMsg::FollowerInfo { last_zxid, accepted_epoch } => {
+                self.on_follower_info(from, last_zxid, accepted_epoch, &mut out)
+            }
+            ZabMsg::SyncLog { epoch, snapshot, entries, commit_to, reset } => {
+                self.on_sync_log(from, epoch, snapshot, entries, commit_to, reset, &mut out)
+            }
+            ZabMsg::AckSync { epoch } => self.on_ack_sync(from, epoch, &mut out),
+            ZabMsg::Propose { zxid, txn } => self.on_propose(from, zxid, txn, &mut out),
+            ZabMsg::Ack { zxid } => self.on_ack(from, zxid, &mut out),
+            ZabMsg::Commit { zxid } => self.on_commit(from, zxid, &mut out),
+            ZabMsg::Inform { zxid, txn } => self.on_inform(from, zxid, txn, &mut out),
+            ZabMsg::Ping { epoch, commit_to } => {
+                if let Role::Following { leader, synced } = self.role {
+                    if leader == from {
+                        // Only a *synced* follower treats pings as proof of
+                        // a live leadership: if sync never completes (e.g.
+                        // the leader keeps yielding because our history is
+                        // longer than its own), the watchdog must fire so a
+                        // real election — where our history can win — runs.
+                        if synced {
+                            self.heard_from_leader = true;
+                        }
+                        out.push(ZabAction::Send { to: from, msg: ZabMsg::Pong });
+                        if !synced || epoch != self.accepted_epoch {
+                            // Either our FollowerInfo raced the leader's own
+                            // election, or the leader started a new epoch
+                            // since we last synced: re-run the handshake.
+                            if epoch > self.accepted_epoch {
+                                self.role = Role::Following { leader, synced: false };
+                            }
+                            out.push(ZabAction::Send {
+                                to: from,
+                                msg: ZabMsg::FollowerInfo { last_zxid: self.last_zxid(), accepted_epoch: self.accepted_epoch },
+                            });
+                        } else if commit_to > self.committed {
+                            if commit_to <= self.last_zxid() {
+                                // Piggybacked commit watermark: converge the
+                                // tail even when broadcast traffic is quiet.
+                                self.committed = commit_to;
+                                self.deliver_pending(&mut out);
+                            } else {
+                                // The leader committed entries we never even
+                                // logged (we synced in a race window and the
+                                // proposals missed us): resync.
+                                self.role = Role::Following { leader, synced: false };
+                                out.push(ZabAction::Send {
+                                    to: from,
+                                    msg: ZabMsg::FollowerInfo { last_zxid: self.last_zxid(), accepted_epoch: self.accepted_epoch },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            ZabMsg::Pong => {
+                if let (Role::Leading { .. }, Some(ls)) = (self.role, self.leader_state.as_mut()) {
+                    ls.pongs.insert(from);
+                }
+            }
+        }
+        out
+    }
+
+    /// Handle a timer fire.
+    pub fn on_timer(&mut self, timer: ZabTimer) -> Vec<ZabAction<T>> {
+        let mut out = Vec::new();
+        match timer {
+            ZabTimer::Election(gen) => {
+                if gen == self.election_gen && self.role == Role::Looking {
+                    // Distrust decays: after a few fruitless rounds, accept
+                    // hints about the previously suspected leader again.
+                    if self.distrusted.is_some() {
+                        self.distrust_ttl = self.distrust_ttl.saturating_sub(1);
+                        if self.distrust_ttl == 0 {
+                            self.distrusted = None;
+                        }
+                    }
+                    // Rebroadcast our vote and keep trying.
+                    self.broadcast_vote(&mut out);
+                    self.arm_election(&mut out);
+                }
+            }
+            ZabTimer::LeaderPing(gen) => {
+                if gen != self.ping_gen {
+                    return out;
+                }
+                if let Role::Leading { .. } = self.role {
+                    let quorum = self.config.quorum();
+                    let config = &self.config;
+                    let ls = self.leader_state.as_mut().expect("leader state");
+                    let live =
+                        ls.pongs.iter().filter(|p| config.contains(**p)).count() + 1; // + self
+                    // Both established and prospective leaders abdicate
+                    // after sustained quorum loss — a prospective leader
+                    // that never gathers followers must not squat forever.
+                    if self.config.len() > 1 {
+                        if live < quorum {
+                            ls.quorum_miss_windows += 1;
+                        } else {
+                            ls.quorum_miss_windows = 0;
+                        }
+                        if ls.quorum_miss_windows >= MAX_QUORUM_MISS_WINDOWS {
+                            // Lost contact with a quorum: abdicate so a
+                            // majority partition can elect a live leader.
+                            self.start_election(&mut out);
+                            return out;
+                        }
+                    }
+                    ls.pongs.clear();
+                    let epoch = self.leader_state.as_ref().expect("leader state").epoch;
+                    let commit_to = self.committed;
+                    for p in self.config.all_others(self.id) {
+                        out.push(ZabAction::Send { to: p, msg: ZabMsg::Ping { epoch, commit_to } });
+                    }
+                    self.arm_ping(&mut out);
+                }
+            }
+            ZabTimer::FollowerWatchdog(gen) => {
+                if gen != self.watchdog_gen {
+                    return out;
+                }
+                if let Role::Following { leader, .. } = self.role {
+                    if self.heard_from_leader {
+                        self.heard_from_leader = false;
+                        self.arm_watchdog(&mut out);
+                    } else {
+                        self.distrusted = Some(leader);
+                        self.distrust_ttl = 4;
+                        self.start_election(&mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The peer crashed: volatile state is lost; the log, commit watermark
+    /// and accepted epoch survive (ZooKeeper checkpoints these to disk —
+    /// paper §IV-I).
+    pub fn on_crash(&mut self) {
+        self.role = Role::Looking;
+        self.votes.clear();
+        self.leader_state = None;
+        self.heard_from_leader = false;
+        self.applied_idx = 0;
+        self.distrusted = None;
+    }
+
+    /// The peer restarts after a crash: replay the committed prefix into the
+    /// state machine, then rejoin the ensemble.
+    pub fn on_restart(&mut self) -> Vec<ZabAction<T>> {
+        let mut out = Vec::new();
+        match &self.snapshot {
+            Some((z, blob)) => {
+                out.push(ZabAction::RestoreSnapshot { zxid: *z, blob: blob.clone() })
+            }
+            None => out.push(ZabAction::ResetState),
+        }
+        self.applied_idx = 0;
+        self.deliver_pending(&mut out);
+        self.start_election(&mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Election
+    // ------------------------------------------------------------------
+
+    fn arm_election(&mut self, out: &mut Vec<ZabAction<T>>) {
+        self.election_gen += 1;
+        out.push(ZabAction::SetTimer {
+            timer: ZabTimer::Election(self.election_gen),
+            after_ms: ELECTION_TIMEOUT_MS + self.id.0 as u64 * 7,
+        });
+    }
+
+    fn arm_ping(&mut self, out: &mut Vec<ZabAction<T>>) {
+        self.ping_gen += 1;
+        out.push(ZabAction::SetTimer {
+            timer: ZabTimer::LeaderPing(self.ping_gen),
+            after_ms: LEADER_PING_MS,
+        });
+    }
+
+    fn arm_watchdog(&mut self, out: &mut Vec<ZabAction<T>>) {
+        self.watchdog_gen += 1;
+        out.push(ZabAction::SetTimer {
+            timer: ZabTimer::FollowerWatchdog(self.watchdog_gen),
+            after_ms: WATCHDOG_MS,
+        });
+    }
+
+    fn start_election(&mut self, out: &mut Vec<ZabAction<T>>) {
+        self.role = Role::Looking;
+        self.leader_state = None;
+        self.heard_from_leader = false;
+        self.round += 1;
+        self.my_vote = Vote { candidate: self.id, candidate_zxid: self.last_zxid(), round: self.round };
+        self.votes.clear();
+        out.push(ZabAction::StartedElection);
+        if self.is_observer {
+            // Observers never vote or lead: probe the voters for the
+            // established leader and retry until one answers.
+            self.broadcast_vote(out);
+            self.arm_election(out);
+            return;
+        }
+        self.votes.insert(self.id, self.my_vote);
+        if self.config.len() == 1 {
+            self.become_leader(out);
+            return;
+        }
+        self.broadcast_vote(out);
+        self.arm_election(out);
+    }
+
+    fn broadcast_vote(&self, out: &mut Vec<ZabAction<T>>) {
+        let established = self.leader_hint();
+        for p in self.config.others(self.id) {
+            out.push(ZabAction::Send {
+                to: p,
+                msg: ZabMsg::Notification { vote: self.my_vote, established },
+            });
+        }
+    }
+
+    fn on_notification(
+        &mut self,
+        from: PeerId,
+        vote: Vote,
+        established: Option<PeerId>,
+        out: &mut Vec<ZabAction<T>>,
+    ) {
+        if !self.config.is_member(from) {
+            return;
+        }
+        if self.config.is_observer(from) {
+            // An observer probing for the leader: answer with our view (if
+            // settled); its "vote" must never be tallied.
+            if self.leader_hint().is_some() {
+                out.push(ZabAction::Send {
+                    to: from,
+                    msg: ZabMsg::Notification { vote: self.my_vote, established: self.leader_hint() },
+                });
+            }
+            return;
+        }
+        match self.role {
+            Role::Looking => {
+                if let Some(leader) = established {
+                    if leader == self.id {
+                        // The sender already follows (or awaits) us: that is
+                        // a vote for our own candidacy. Normalize its round
+                        // so the tally below can count it.
+                        self.votes.insert(
+                            from,
+                            Vote {
+                                candidate: self.id,
+                                candidate_zxid: vote.candidate_zxid,
+                                round: self.round,
+                            },
+                        );
+                        let support = self
+                            .votes
+                            .values()
+                            .filter(|v| v.candidate == self.my_vote.candidate && v.round == self.round)
+                            .count();
+                        if self.my_vote.candidate == self.id && self.config.is_quorum(support) {
+                            self.become_leader(out);
+                        }
+                        return;
+                    }
+                    if self.distrusted == Some(leader) {
+                        // We recently timed out on this "leader"; treat the
+                        // hint as an ordinary (weak) vote instead of joining.
+                        if vote.round == self.round {
+                            self.votes.insert(from, vote);
+                        }
+                        return;
+                    }
+                    // The sender knows another operating leader: join it.
+                    self.join_leader(leader, out);
+                    return;
+                }
+                if vote.round > self.round {
+                    // Fast-forward to the newer round, keeping the better
+                    // candidate between ours and theirs.
+                    self.round = vote.round;
+                    self.votes.clear();
+                    let mine = Vote {
+                        candidate: self.id,
+                        candidate_zxid: self.last_zxid(),
+                        round: self.round,
+                    };
+                    self.my_vote = if vote.beats(&mine) { vote } else { mine };
+                    self.my_vote.round = self.round;
+                    self.votes.insert(self.id, self.my_vote);
+                    self.broadcast_vote(out);
+                } else if vote.round < self.round {
+                    // Help the laggard catch up.
+                    out.push(ZabAction::Send {
+                        to: from,
+                        msg: ZabMsg::Notification { vote: self.my_vote, established: None },
+                    });
+                    return;
+                } else if vote.beats(&self.my_vote) {
+                    self.my_vote = vote;
+                    self.votes.insert(self.id, self.my_vote);
+                    self.broadcast_vote(out);
+                }
+                self.votes.insert(from, vote);
+                // Tally support for our current candidate.
+                let support = self
+                    .votes
+                    .values()
+                    .filter(|v| v.candidate == self.my_vote.candidate && v.round == self.round)
+                    .count();
+                if self.config.is_quorum(support) {
+                    if self.my_vote.candidate == self.id {
+                        self.become_leader(out);
+                    } else {
+                        self.join_leader(self.my_vote.candidate, out);
+                    }
+                }
+            }
+            Role::Following { .. } | Role::Leading { .. } => {
+                // Tell the asker who leads.
+                out.push(ZabAction::Send {
+                    to: from,
+                    msg: ZabMsg::Notification { vote: self.my_vote, established: self.leader_hint() },
+                });
+            }
+        }
+    }
+
+    fn become_leader(&mut self, out: &mut Vec<ZabAction<T>>) {
+        self.distrusted = None;
+        // Epochs must be globally unique across leaders, or two successive
+        // leaders that never saw each other's regime could mint *different*
+        // transactions under *identical* zxids — which defeats divergence
+        // detection during sync and forks the history. Real ZAB negotiates
+        // the epoch through a quorum round; we get the same uniqueness by
+        // composing a monotone counter with the leader id in the low bits
+        // (so no two leaders can ever produce the same epoch), while
+        // ordering still advances: any peer that saw epoch e only votes for
+        // candidates whose history it cannot beat.
+        let base = (self.accepted_epoch >> 8)
+            .max(self.last_zxid().epoch() >> 8)
+            .max(self.max_seen_epoch >> 8)
+            + 1;
+        assert!(self.id.0 < 256, "peer ids must fit the epoch low byte");
+        let epoch = (base << 8) | self.id.0;
+        self.accepted_epoch = epoch;
+        self.role = Role::Leading { established: false };
+        let mut synced = HashSet::new();
+        synced.insert(self.id);
+        self.leader_state = Some(LeaderState {
+            epoch,
+            next_counter: 0,
+            acks: BTreeMap::new(),
+            synced,
+            sync_points: HashMap::new(),
+            pongs: HashSet::new(),
+            quorum_miss_windows: 0,
+        });
+        if self.config.is_quorum(1) {
+            self.establish(out);
+        }
+        if self.config.len() > 1 {
+            self.arm_ping(out);
+        }
+    }
+
+    fn establish(&mut self, out: &mut Vec<ZabAction<T>>) {
+        let epoch = self.leader_state.as_ref().expect("leader state").epoch;
+        self.role = Role::Leading { established: true };
+        // The new leader's entire history becomes committed (ZAB: the
+        // elected history is the authoritative one).
+        self.committed = self.last_zxid();
+        self.deliver_pending(out);
+        out.push(ZabAction::BecameLeader { epoch });
+    }
+
+    fn join_leader(&mut self, leader: PeerId, out: &mut Vec<ZabAction<T>>) {
+        self.distrusted = None;
+        self.role = Role::Following { leader, synced: false };
+        self.leader_state = None;
+        self.heard_from_leader = true;
+        self.my_vote = Vote { candidate: leader, candidate_zxid: Zxid::ZERO, round: self.round };
+        out.push(ZabAction::Send { to: leader, msg: ZabMsg::FollowerInfo { last_zxid: self.last_zxid(), accepted_epoch: self.accepted_epoch } });
+        self.arm_watchdog(out);
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    fn on_follower_info(
+        &mut self,
+        from: PeerId,
+        f_last: Zxid,
+        f_epoch: u32,
+        out: &mut Vec<ZabAction<T>>,
+    ) {
+        if !matches!(self.role, Role::Leading { .. }) {
+            return;
+        }
+        self.max_seen_epoch = self.max_seen_epoch.max(f_epoch);
+        let epoch = self.leader_state.as_ref().expect("leader state").epoch;
+        if f_epoch > epoch {
+            // The follower promised a higher epoch (a failed candidacy
+            // somewhere); it will reject everything we send. Step down and
+            // re-elect — the next candidacy mints above `max_seen_epoch`,
+            // letting the whole ensemble rejoin one regime.
+            self.start_election(out);
+            return;
+        }
+        if f_last > self.last_zxid() {
+            // The follower's history is LONGER than ours: it may hold
+            // committed transactions we lack (it can reach us through an
+            // `established` hint without ever voting). Truncating it could
+            // destroy a committed entry — instead our leadership is
+            // illegitimate: yield and re-elect, where its longer history
+            // wins the vote comparison.
+            self.max_seen_epoch = self.max_seen_epoch.max(f_last.epoch());
+            self.start_election(out);
+            return;
+        }
+        let my_last = self.last_zxid();
+        let snap_zxid = self.snapshot_zxid();
+        // Decide between an incremental suffix, a snapshot + suffix, and a
+        // full reset.
+        #[allow(clippy::type_complexity)] // (reset?, snapshot?, suffix) — one decision, three parts
+        let (reset, snapshot, entries): (bool, Option<(Zxid, Bytes)>, Vec<(Zxid, T)>) =
+            if f_last == snap_zxid {
+                // Exactly at the snapshot point (incl. both ZERO): suffix.
+                (false, None, self.log.clone())
+            } else if f_last < snap_zxid {
+                // The prefix the follower needs was compacted away: ship the
+                // snapshot plus the whole remaining log (SNAP sync).
+                (true, self.snapshot.clone(), self.log.clone())
+            } else if !self.log_contains(f_last) {
+                // Divergent history (same or lower length — the longer case
+                // was handled above by yielding): the follower's tail holds
+                // uncommitted leftovers; replace it wholesale.
+                (true, self.snapshot.clone(), self.log.clone())
+            } else {
+                let pos = self.log.iter().position(|(z, _)| *z == f_last).expect("checked");
+                (false, None, self.log[pos + 1..].to_vec())
+            };
+        // Remember how far this follower will be once it applies the sync:
+        // its eventual AckSync covers exactly this prefix, nothing later.
+        if let Some(ls) = self.leader_state.as_mut() {
+            ls.sync_points.insert(from, my_last);
+        }
+        out.push(ZabAction::Send {
+            to: from,
+            msg: ZabMsg::SyncLog { epoch, snapshot, entries, commit_to: self.committed, reset },
+        });
+    }
+
+    fn log_contains(&self, zxid: Zxid) -> bool {
+        self.log.binary_search_by_key(&zxid, |(z, _)| *z).is_ok()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_sync_log(
+        &mut self,
+        from: PeerId,
+        epoch: u32,
+        snapshot: Option<(Zxid, Bytes)>,
+        entries: Vec<(Zxid, T)>,
+        commit_to: Zxid,
+        reset: bool,
+        out: &mut Vec<ZabAction<T>>,
+    ) {
+        let Role::Following { leader, .. } = self.role else { return };
+        if leader != from || epoch < self.accepted_epoch {
+            return;
+        }
+        self.accepted_epoch = epoch;
+        self.max_seen_epoch = self.max_seen_epoch.max(epoch);
+        self.heard_from_leader = true;
+        if reset {
+            self.log.clear();
+            self.applied_idx = 0;
+            match snapshot {
+                Some((z, blob)) => {
+                    self.committed = z;
+                    self.snapshot = Some((z, blob.clone()));
+                    out.push(ZabAction::RestoreSnapshot { zxid: z, blob });
+                }
+                None => {
+                    self.committed = Zxid::ZERO;
+                    self.snapshot = None;
+                    out.push(ZabAction::ResetState);
+                }
+            }
+        }
+        for (z, t) in entries {
+            if z > self.last_zxid() {
+                self.log.push((z, t));
+            }
+        }
+        self.committed = self.committed.max(commit_to.min(self.last_zxid()));
+        self.deliver_pending(out);
+        self.role = Role::Following { leader, synced: true };
+        out.push(ZabAction::Send { to: from, msg: ZabMsg::AckSync { epoch } });
+        out.push(ZabAction::BecameFollower { leader, epoch });
+        self.arm_watchdog(out);
+    }
+
+    fn on_ack_sync(&mut self, from: PeerId, epoch: u32, out: &mut Vec<ZabAction<T>>) {
+        let Role::Leading { established } = self.role else { return };
+        let quorum = self.config.quorum();
+        let ls = self.leader_state.as_mut().expect("leader state");
+        if epoch != ls.epoch {
+            // A leftover ack from one of our previous regimes: the follower
+            // has not synced into *this* epoch and must not receive its
+            // broadcast stream.
+            return;
+        }
+        ls.synced.insert(from);
+        if self.config.is_observer(from) {
+            // Observers receive the broadcast stream but contribute nothing
+            // to establishment or commit quorums.
+            return;
+        }
+        // A freshly synced follower has implicitly acknowledged exactly the
+        // prefix its SyncLog contained — proposals made after that snapshot
+        // never reached it and MUST NOT be counted (counting them lets a
+        // leader commit an entry that exists on no quorum).
+        let sync_point = ls.sync_points.get(&from).copied().unwrap_or(Zxid::ZERO);
+        for (zxid, ackers) in ls.acks.iter_mut() {
+            if *zxid <= sync_point {
+                ackers.insert(from);
+            }
+        }
+        let synced_voters =
+            ls.synced.iter().filter(|p| self.config.contains(**p)).count();
+        if !established && synced_voters >= quorum {
+            self.establish(out);
+        }
+        self.try_advance_commit(out);
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast
+    // ------------------------------------------------------------------
+
+    fn on_propose(&mut self, from: PeerId, zxid: Zxid, txn: T, out: &mut Vec<ZabAction<T>>) {
+        let Role::Following { leader, synced } = self.role else { return };
+        if leader != from || !synced {
+            return;
+        }
+        self.heard_from_leader = true;
+        let expected = self.last_zxid();
+        if zxid <= expected {
+            return; // duplicate
+        }
+        // Continuity: within an epoch, counters must advance by one; the
+        // first proposal we see from a newer epoch must be that epoch's
+        // counter 1 (anything else means we missed its earlier entries).
+        let continuous = if zxid.epoch() == expected.epoch() {
+            expected == Zxid::ZERO || zxid.counter() == expected.counter() + 1
+        } else {
+            zxid.counter() == 1
+        };
+        if !continuous || zxid.epoch() != self.accepted_epoch {
+            // Gap, or traffic from an epoch we never promised: resync.
+            self.role = Role::Following { leader, synced: false };
+            out.push(ZabAction::Send { to: leader, msg: ZabMsg::FollowerInfo { last_zxid: expected, accepted_epoch: self.accepted_epoch } });
+            return;
+        }
+        self.log.push((zxid, txn));
+        out.push(ZabAction::Send { to: from, msg: ZabMsg::Ack { zxid } });
+    }
+
+    fn on_ack(&mut self, from: PeerId, zxid: Zxid, out: &mut Vec<ZabAction<T>>) {
+        if !matches!(self.role, Role::Leading { .. }) {
+            return;
+        }
+        if self.config.is_observer(from) {
+            return; // observers never contribute to commit quorums
+        }
+        let ls = self.leader_state.as_mut().expect("leader state");
+        if let Some(ackers) = ls.acks.get_mut(&zxid) {
+            ackers.insert(from);
+        }
+        self.try_advance_commit(out);
+    }
+
+    fn try_advance_commit(&mut self, out: &mut Vec<ZabAction<T>>) {
+        if !self.is_established_leader() {
+            return;
+        }
+        let quorum = self.config.quorum();
+        let ls = self.leader_state.as_mut().expect("leader state");
+        let mut new_commit = self.committed;
+        while let Some((&zxid, ackers)) = ls.acks.first_key_value() {
+            // +1: the leader's own (implicit) ack.
+            if ackers.len() + 1 >= quorum {
+                new_commit = zxid;
+                ls.acks.pop_first();
+            } else {
+                break;
+            }
+        }
+        if new_commit > self.committed {
+            let old_commit = self.committed;
+            self.committed = new_commit;
+            let mut targets: Vec<PeerId> =
+                ls.synced.iter().copied().filter(|&p| p != self.id).collect();
+            targets.sort_unstable(); // deterministic send order
+            // Newly committed entries, for observer INFORMs.
+            let informed: Vec<(Zxid, T)> = self
+                .log
+                .iter()
+                .filter(|(z, _)| *z > old_commit && *z <= new_commit)
+                .cloned()
+                .collect();
+            for p in targets {
+                if self.config.is_observer(p) {
+                    for (zxid, txn) in &informed {
+                        out.push(ZabAction::Send {
+                            to: p,
+                            msg: ZabMsg::Inform { zxid: *zxid, txn: txn.clone() },
+                        });
+                    }
+                } else {
+                    out.push(ZabAction::Send { to: p, msg: ZabMsg::Commit { zxid: new_commit } });
+                }
+            }
+            self.deliver_pending(out);
+        }
+    }
+
+    fn on_commit(&mut self, from: PeerId, zxid: Zxid, out: &mut Vec<ZabAction<T>>) {
+        let Role::Following { leader, synced } = self.role else { return };
+        if leader != from || !synced {
+            return;
+        }
+        self.heard_from_leader = true;
+        if zxid > self.last_zxid() {
+            // Commit for an entry we never logged: our pipe lost something.
+            self.role = Role::Following { leader, synced: false };
+            out.push(ZabAction::Send {
+                to: leader,
+                msg: ZabMsg::FollowerInfo { last_zxid: self.last_zxid(), accepted_epoch: self.accepted_epoch },
+            });
+            return;
+        }
+        if zxid > self.committed {
+            self.committed = zxid;
+            self.deliver_pending(out);
+        }
+    }
+
+    /// Observer-side INFORM: append the committed entry and deliver it.
+    /// Continuity rules mirror `on_propose`; a gap triggers resync.
+    fn on_inform(&mut self, from: PeerId, zxid: Zxid, txn: T, out: &mut Vec<ZabAction<T>>) {
+        let Role::Following { leader, synced } = self.role else { return };
+        if leader != from || !synced || !self.is_observer {
+            return;
+        }
+        self.heard_from_leader = true;
+        let expected = self.last_zxid();
+        if zxid <= expected {
+            return; // duplicate
+        }
+        let continuous = if zxid.epoch() == expected.epoch() {
+            expected == Zxid::ZERO || zxid.counter() == expected.counter() + 1
+        } else {
+            zxid.counter() == 1
+        };
+        if !continuous || zxid.epoch() != self.accepted_epoch {
+            self.role = Role::Following { leader, synced: false };
+            out.push(ZabAction::Send { to: leader, msg: ZabMsg::FollowerInfo { last_zxid: expected, accepted_epoch: self.accepted_epoch } });
+            return;
+        }
+        self.log.push((zxid, txn));
+        self.committed = zxid;
+        self.deliver_pending(out);
+    }
+
+    fn deliver_pending(&mut self, out: &mut Vec<ZabAction<T>>) {
+        while self.applied_idx < self.log.len() {
+            let (z, t) = &self.log[self.applied_idx];
+            if *z > self.committed {
+                break;
+            }
+            out.push(ZabAction::Deliver { zxid: *z, txn: t.clone() });
+            self.applied_idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type P = ZabPeer<u32>;
+
+    fn single() -> (P, Vec<ZabAction<u32>>) {
+        ZabPeer::new(PeerId(0), EnsembleConfig::of_size(1))
+    }
+
+    #[test]
+    fn single_peer_leads_immediately() {
+        let (p, acts) = single();
+        assert!(p.is_established_leader());
+        // First epoch of peer 0: base 1 composed with the id low byte.
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::BecameLeader { epoch: 256 })));
+    }
+
+    #[test]
+    fn single_peer_commits_immediately() {
+        let (mut p, _) = single();
+        let acts = p.propose(42).unwrap();
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Deliver { txn: 42, .. })));
+        assert_eq!(p.committed(), Zxid::new(256, 1));
+        let acts = p.propose(43).unwrap();
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Deliver { txn: 43, .. })));
+    }
+
+    #[test]
+    fn non_leader_rejects_proposals() {
+        let (mut p, _) = ZabPeer::<u32>::new(PeerId(0), EnsembleConfig::of_size(3));
+        assert_eq!(p.propose(1).unwrap_err(), NotLeader { leader_hint: None });
+    }
+
+    #[test]
+    fn startup_broadcasts_votes() {
+        let (_, acts) = ZabPeer::<u32>::new(PeerId(1), EnsembleConfig::of_size(3));
+        let sends = acts
+            .iter()
+            .filter(|a| matches!(a, ZabAction::Send { msg: ZabMsg::Notification { .. }, .. }))
+            .count();
+        assert_eq!(sends, 2, "one notification per other peer");
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::StartedElection)));
+    }
+
+    #[test]
+    fn adopts_better_vote() {
+        let (mut p, _) = ZabPeer::<u32>::new(PeerId(0), EnsembleConfig::of_size(3));
+        let better =
+            Vote { candidate: PeerId(2), candidate_zxid: Zxid::new(1, 5), round: 1 };
+        let acts = p.on_message(PeerId(2), ZabMsg::Notification { vote: better, established: None });
+        // Re-broadcasts the adopted vote.
+        let rebroadcast = acts.iter().any(|a| {
+            matches!(a, ZabAction::Send { msg: ZabMsg::Notification { vote, .. }, .. }
+                if vote.candidate == PeerId(2))
+        });
+        assert!(rebroadcast);
+    }
+
+    #[test]
+    fn quorum_of_votes_elects_self() {
+        // Peer 2 has the highest id; votes from 0 and 1 for candidate 2 give
+        // it a quorum (2 of 3 + own vote).
+        let (mut p, _) = ZabPeer::<u32>::new(PeerId(2), EnsembleConfig::of_size(3));
+        let v = Vote { candidate: PeerId(2), candidate_zxid: Zxid::ZERO, round: 1 };
+        let acts = p.on_message(PeerId(0), ZabMsg::Notification { vote: v, established: None });
+        assert!(
+            matches!(p.role(), Role::Leading { .. }),
+            "role={:?} acts={}",
+            p.role(),
+            acts.len()
+        );
+    }
+
+    #[test]
+    fn established_peer_redirects_new_joiner() {
+        let (mut leader, _) = single();
+        // A notification arrives from a peer outside the ensemble: ignored.
+        let v = Vote { candidate: PeerId(5), candidate_zxid: Zxid::ZERO, round: 1 };
+        assert!(leader.on_message(PeerId(5), ZabMsg::Notification { vote: v, established: None }).is_empty());
+    }
+
+    #[test]
+    fn crash_preserves_log_and_commit() {
+        let (mut p, _) = single();
+        p.propose(7).unwrap();
+        let committed = p.committed();
+        p.on_crash();
+        assert_eq!(p.log_len(), 1);
+        assert_eq!(p.committed(), committed);
+        assert_eq!(p.role(), Role::Looking);
+        let acts = p.on_restart();
+        // Replays the committed entry into the state machine.
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::ResetState)));
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Deliver { txn: 7, .. })));
+        // Single-node ensemble: leads again with a higher epoch.
+        assert!(p.is_established_leader());
+        assert_eq!(p.epoch(), 512, "epoch base advanced, id preserved in the low byte");
+    }
+
+    #[test]
+    fn follower_acks_in_order_proposals_and_rejects_gaps() {
+        let cfg = EnsembleConfig::of_size(3);
+        let (mut f, _) = ZabPeer::<u32>::new(PeerId(0), cfg);
+        // Manually join a leader and sync an empty log.
+        let leader = PeerId(2);
+        let v = Vote { candidate: leader, candidate_zxid: Zxid::ZERO, round: 1 };
+        f.on_message(PeerId(1), ZabMsg::Notification { vote: v, established: Some(leader) });
+        assert_eq!(f.role(), Role::Following { leader, synced: false });
+        f.on_message(
+            leader,
+            ZabMsg::SyncLog { epoch: 1, snapshot: None, entries: vec![], commit_to: Zxid::ZERO, reset: false },
+        );
+        assert_eq!(f.role(), Role::Following { leader, synced: true });
+
+        let acts = f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 1), txn: 10 });
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::Ack { .. }, .. })));
+        // A gap (skip 1:2, get 1:3) triggers a resync request.
+        let acts = f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 3), txn: 30 });
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })));
+        assert_eq!(f.role(), Role::Following { leader, synced: false });
+    }
+
+    #[test]
+    fn follower_delivers_on_commit_in_order() {
+        let cfg = EnsembleConfig::of_size(3);
+        let (mut f, _) = ZabPeer::<u32>::new(PeerId(0), cfg);
+        let leader = PeerId(2);
+        let v = Vote { candidate: leader, candidate_zxid: Zxid::ZERO, round: 1 };
+        f.on_message(PeerId(1), ZabMsg::Notification { vote: v, established: Some(leader) });
+        f.on_message(
+            leader,
+            ZabMsg::SyncLog { epoch: 1, snapshot: None, entries: vec![], commit_to: Zxid::ZERO, reset: false },
+        );
+        f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 1), txn: 10 });
+        f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 2), txn: 20 });
+        let acts = f.on_message(leader, ZabMsg::Commit { zxid: Zxid::new(1, 2) });
+        let delivered: Vec<u32> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ZabAction::Deliver { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![10, 20]);
+    }
+
+    #[test]
+    fn watchdog_without_leader_contact_restarts_election() {
+        let cfg = EnsembleConfig::of_size(3);
+        let (mut f, _) = ZabPeer::<u32>::new(PeerId(0), cfg);
+        let leader = PeerId(2);
+        let v = Vote { candidate: leader, candidate_zxid: Zxid::ZERO, round: 1 };
+        f.on_message(PeerId(1), ZabMsg::Notification { vote: v, established: Some(leader) });
+        f.on_message(
+            leader,
+            ZabMsg::SyncLog { epoch: 1, snapshot: None, entries: vec![], commit_to: Zxid::ZERO, reset: false },
+        );
+        // Generations: join armed gen 1, sync armed gen 2. A stale fire
+        // (the duplicate from the join) must be a no-op.
+        assert!(f.on_timer(ZabTimer::FollowerWatchdog(1)).is_empty(), "stale gen ignored");
+        // First live watchdog: we heard from the leader (the sync); rearm
+        // as gen 3.
+        let acts = f.on_timer(ZabTimer::FollowerWatchdog(2));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ZabAction::SetTimer { timer: ZabTimer::FollowerWatchdog(3), .. })));
+        // Second live watchdog with silence: election.
+        let acts = f.on_timer(ZabTimer::FollowerWatchdog(3));
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::StartedElection)));
+        assert_eq!(f.role(), Role::Looking);
+    }
+
+    #[test]
+    fn observer_never_votes_or_leads() {
+        let cfg = EnsembleConfig::with_observers(1, 1);
+        let (obs, acts) = ZabPeer::<u32>::new(PeerId(1), cfg.clone());
+        assert!(obs.is_observer());
+        assert_eq!(obs.role(), Role::Looking);
+        assert!(
+            !acts.iter().any(|a| matches!(a, ZabAction::BecameLeader { .. })),
+            "observers never lead"
+        );
+        // A voter in a Looking state must not tally the observer's probe.
+        let (mut voter, _) = ZabPeer::<u32>::new(PeerId(0), EnsembleConfig::with_observers(3, 1));
+        let probe = Vote { candidate: PeerId(3), candidate_zxid: Zxid::ZERO, round: 1 };
+        let acts = voter.on_message(PeerId(3), ZabMsg::Notification { vote: probe, established: None });
+        assert_eq!(voter.role(), Role::Looking, "a probe is not a vote");
+        assert!(acts.is_empty(), "unsettled voters stay silent to observers");
+    }
+
+    #[test]
+    fn observer_joins_and_receives_informs() {
+        let cfg = EnsembleConfig::with_observers(1, 1);
+        // Peer 0 is the (single-voter) leader.
+        let (mut leader, _) = ZabPeer::<u32>::new(PeerId(0), cfg.clone());
+        assert!(leader.is_established_leader());
+        let (mut obs, _) = ZabPeer::<u32>::new(PeerId(1), cfg);
+        // Observer probes; leader replies with its establishment.
+        let probe = Vote { candidate: PeerId(1), candidate_zxid: Zxid::ZERO, round: 1 };
+        let reply =
+            leader.on_message(PeerId(1), ZabMsg::Notification { vote: probe, established: None });
+        let ZabAction::Send { msg: ZabMsg::Notification { vote, established }, .. } = &reply[0]
+        else {
+            panic!("expected a status reply, got {reply:?}");
+        };
+        // Observer joins and syncs.
+        let acts = obs.on_message(PeerId(0), ZabMsg::Notification { vote: *vote, established: *established });
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })));
+        let fi_reply = leader.on_message(PeerId(1), ZabMsg::FollowerInfo { last_zxid: Zxid::ZERO, accepted_epoch: 0 });
+        let ZabAction::Send { msg: sync, .. } = &fi_reply[0] else { panic!() };
+        obs.on_message(PeerId(0), sync.clone());
+        assert_eq!(obs.role(), Role::Following { leader: PeerId(0), synced: true });
+        leader.on_message(PeerId(1), ZabMsg::AckSync { epoch: leader.epoch() });
+
+        // A proposal reaches the observer as a single INFORM.
+        let acts = leader.propose(42).unwrap();
+        let informs: Vec<_> = acts
+            .iter()
+            .filter(|a| matches!(a, ZabAction::Send { to: PeerId(1), msg: ZabMsg::Inform { .. } }))
+            .collect();
+        let proposes = acts
+            .iter()
+            .filter(|a| matches!(a, ZabAction::Send { msg: ZabMsg::Propose { .. }, .. }))
+            .count();
+        assert_eq!(informs.len(), 1, "exactly one INFORM per commit: {acts:?}");
+        assert_eq!(proposes, 0, "observers get no propose/ack round");
+        // And the observer applies it.
+        let ZabAction::Send { msg, .. } = informs[0] else { unreachable!() };
+        let acts = obs.on_message(PeerId(0), msg.clone());
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Deliver { txn: 42, .. })));
+    }
+
+    #[test]
+    fn compacted_leader_ships_snapshot_to_lagging_follower() {
+        use bytes::Bytes;
+        let (mut l, _) = single();
+        for i in 0..5 {
+            l.propose(i).unwrap();
+        }
+        l.install_snapshot(Zxid::new(256, 3), Bytes::from_static(b"checkpoint"));
+        assert_eq!(l.compacted_log_len(), 2, "entries 1-3 compacted away");
+        assert_eq!(l.last_zxid(), Zxid::new(256, 5));
+        // A from-scratch follower can no longer get a plain suffix.
+        let acts = l.on_message(
+            PeerId(1),
+            ZabMsg::FollowerInfo { last_zxid: Zxid::ZERO, accepted_epoch: 0 },
+        );
+        match &acts[0] {
+            ZabAction::Send { msg: ZabMsg::SyncLog { snapshot, entries, reset, .. }, .. } => {
+                assert!(reset);
+                let (z, blob) = snapshot.as_ref().expect("snapshot shipped");
+                assert_eq!(*z, Zxid::new(256, 3));
+                assert_eq!(&blob[..], b"checkpoint");
+                assert_eq!(entries.len(), 2, "plus the uncompacted tail");
+            }
+            other => panic!("expected snapshot SyncLog, got {other:?}"),
+        }
+        // A follower exactly at the snapshot point gets just the suffix.
+        let acts = l.on_message(
+            PeerId(1),
+            ZabMsg::FollowerInfo { last_zxid: Zxid::new(256, 3), accepted_epoch: 256 },
+        );
+        match &acts[0] {
+            ZabAction::Send { msg: ZabMsg::SyncLog { snapshot, entries, reset, .. }, .. } => {
+                assert!(!reset);
+                assert!(snapshot.is_none());
+                assert_eq!(entries.len(), 2);
+            }
+            other => panic!("expected suffix SyncLog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn follower_restores_from_snapshot_sync() {
+        use bytes::Bytes;
+        let cfg = EnsembleConfig::of_size(3);
+        let (mut f, _) = ZabPeer::<u32>::new(PeerId(0), cfg);
+        let leader = PeerId(2);
+        let v = Vote { candidate: leader, candidate_zxid: Zxid::ZERO, round: 1 };
+        f.on_message(PeerId(1), ZabMsg::Notification { vote: v, established: Some(leader) });
+        let acts = f.on_message(
+            leader,
+            ZabMsg::SyncLog {
+                epoch: 514,
+                snapshot: Some((Zxid::new(514, 7), Bytes::from_static(b"state"))),
+                entries: vec![(Zxid::new(514, 8), 42)],
+                commit_to: Zxid::new(514, 8),
+                reset: true,
+            },
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ZabAction::RestoreSnapshot { zxid, .. } if *zxid == Zxid::new(514, 7)
+        )));
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Deliver { txn: 42, .. })));
+        assert_eq!(f.committed(), Zxid::new(514, 8));
+        assert_eq!(f.snapshot_zxid(), Zxid::new(514, 7), "follower keeps the snapshot");
+        // After a crash+restart the follower replays from its snapshot.
+        f.on_crash();
+        let acts = f.on_restart();
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::RestoreSnapshot { .. })));
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Deliver { txn: 42, .. })));
+    }
+
+    #[test]
+    fn install_snapshot_is_bounded_by_commit() {
+        let (mut l, _) = single();
+        l.propose(1).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            l.install_snapshot(Zxid::new(256, 9), bytes::Bytes::new())
+        }));
+        assert!(result.is_err(), "checkpointing past the commit watermark must panic");
+    }
+
+    #[test]
+    fn leader_sends_suffix_sync_to_lagging_follower() {
+        let (mut l, _) = single();
+        l.propose(1).unwrap();
+        l.propose(2).unwrap();
+        l.propose(3).unwrap();
+        // Simulate an out-of-ensemble question — use a 3-peer leader instead.
+        // Rebuild as 3-peer: craft state by hand is messy; instead verify the
+        // sync decision logic via a 1-peer leader answering FollowerInfo.
+        // (Membership checks are on notifications, not FollowerInfo.)
+        let acts = l.on_message(PeerId(1), ZabMsg::FollowerInfo { last_zxid: Zxid::new(256, 1), accepted_epoch: 256 });
+        match &acts[0] {
+            ZabAction::Send { msg: ZabMsg::SyncLog { entries, reset, commit_to, .. }, .. } => {
+                assert!(!reset);
+                assert_eq!(entries.len(), 2, "only the missing suffix");
+                assert_eq!(*commit_to, Zxid::new(256, 3));
+            }
+            other => panic!("expected SyncLog, got {other:?}"),
+        }
+        // A follower claiming a zxid we never issued gets a full reset.
+        let acts = l.on_message(PeerId(1), ZabMsg::FollowerInfo { last_zxid: Zxid::new(9, 9), accepted_epoch: 9 });
+        match &acts[0] {
+            ZabAction::Send { msg: ZabMsg::SyncLog { entries, reset, .. }, .. } => {
+                assert!(reset);
+                assert_eq!(entries.len(), 3, "the full authoritative history");
+            }
+            other => panic!("expected SyncLog, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Transaction identifiers.
+//!
+//! A zxid is a 64-bit pair `(epoch << 32) | counter`. The epoch changes with
+//! every elected leader; the counter increases with every proposal within an
+//! epoch. Total order on zxids is the total order of the replicated history.
+
+use std::fmt;
+
+/// A ZooKeeper-style transaction id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Zxid(u64);
+
+impl Zxid {
+    /// The zero zxid (before any transaction).
+    pub const ZERO: Zxid = Zxid(0);
+
+    /// Build from an epoch and a within-epoch counter.
+    pub const fn new(epoch: u32, counter: u32) -> Self {
+        Zxid(((epoch as u64) << 32) | counter as u64)
+    }
+
+    /// The leader epoch that issued this transaction.
+    pub const fn epoch(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Position within the epoch.
+    pub const fn counter(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The next zxid within the same epoch.
+    ///
+    /// # Panics
+    /// Panics on counter overflow (2^32 proposals in one epoch).
+    pub fn next(self) -> Zxid {
+        assert!(self.counter() != u32::MAX, "zxid counter overflow");
+        Zxid(self.0 + 1)
+    }
+
+    /// First zxid of a new epoch.
+    pub const fn first_of_epoch(epoch: u32) -> Zxid {
+        Zxid::new(epoch, 1)
+    }
+
+    /// Raw 64-bit representation (what `dufs-zkstore` stores in `Stat`).
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from the raw representation.
+    pub const fn from_u64(v: u64) -> Self {
+        Zxid(v)
+    }
+}
+
+impl fmt::Display for Zxid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.epoch(), self.counter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_counter_round_trip() {
+        let z = Zxid::new(3, 17);
+        assert_eq!(z.epoch(), 3);
+        assert_eq!(z.counter(), 17);
+        assert_eq!(Zxid::from_u64(z.as_u64()), z);
+    }
+
+    #[test]
+    fn ordering_is_epoch_major() {
+        assert!(Zxid::new(1, u32::MAX) < Zxid::new(2, 0));
+        assert!(Zxid::new(2, 1) < Zxid::new(2, 2));
+        assert!(Zxid::ZERO < Zxid::first_of_epoch(1));
+    }
+
+    #[test]
+    fn next_increments_counter() {
+        assert_eq!(Zxid::new(5, 9).next(), Zxid::new(5, 10));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Zxid::new(2, 40).to_string(), "2:40");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn next_panics_on_overflow() {
+        let _ = Zxid::new(1, u32::MAX).next();
+    }
+}

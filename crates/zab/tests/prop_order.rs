@@ -1,0 +1,64 @@
+//! Property tests for zxid arithmetic and vote ordering — the total orders
+//! the whole protocol stands on.
+
+use proptest::prelude::*;
+
+use dufs_zab::{PeerId, Zxid};
+use dufs_zab::msg::Vote;
+
+proptest! {
+    /// Zxid ordering is exactly lexicographic on (epoch, counter), and the
+    /// u64 round trip is lossless.
+    #[test]
+    fn zxid_order_is_epoch_major(e1 in 0u32..1000, c1 in 0u32..1000, e2 in 0u32..1000, c2 in 0u32..1000) {
+        let a = Zxid::new(e1, c1);
+        let b = Zxid::new(e2, c2);
+        prop_assert_eq!(a.cmp(&b), (e1, c1).cmp(&(e2, c2)));
+        prop_assert_eq!(Zxid::from_u64(a.as_u64()), a);
+        prop_assert_eq!((a.epoch(), a.counter()), (e1, c1));
+    }
+
+    /// `next()` is the successor within the epoch.
+    #[test]
+    fn zxid_next_is_successor(e in 0u32..1000, c in 0u32..100_000) {
+        let z = Zxid::new(e, c);
+        let n = z.next();
+        prop_assert!(n > z);
+        prop_assert_eq!(n.epoch(), e);
+        prop_assert_eq!(n.counter(), c + 1);
+        // No zxid strictly between z and next.
+        prop_assert_eq!(Zxid::from_u64(z.as_u64() + 1), n);
+    }
+
+    /// Vote preference is a strict total order on distinct (zxid, id) pairs:
+    /// antisymmetric and transitive, with history dominating the peer id.
+    #[test]
+    fn vote_preference_is_a_strict_order(
+        trio in proptest::collection::vec((0u32..50, 0u32..50, 0u32..8), 3..4)
+    ) {
+        let votes: Vec<Vote> = trio
+            .iter()
+            .map(|&(e, c, id)| Vote {
+                candidate: PeerId(id),
+                candidate_zxid: Zxid::new(e, c),
+                round: 1,
+            })
+            .collect();
+        for a in &votes {
+            prop_assert!(!a.beats(a), "irreflexive");
+            for b in &votes {
+                if (a.candidate_zxid, a.candidate) != (b.candidate_zxid, b.candidate) {
+                    prop_assert_ne!(a.beats(b), b.beats(a), "antisymmetric");
+                }
+                if a.candidate_zxid > b.candidate_zxid {
+                    prop_assert!(a.beats(b), "longer history always wins");
+                }
+                for c in &votes {
+                    if a.beats(b) && b.beats(c) {
+                        prop_assert!(a.beats(c), "transitive");
+                    }
+                }
+            }
+        }
+    }
+}

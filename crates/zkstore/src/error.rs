@@ -1,0 +1,64 @@
+//! Error codes for znode operations, mirroring ZooKeeper's `KeeperException`
+//! codes (the subset DUFS exercises).
+
+use std::fmt;
+
+/// Result of a znode operation.
+pub type ZkResult<T> = Result<T, ZkError>;
+
+/// ZooKeeper-style error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZkError {
+    /// The znode does not exist (`KeeperException.NoNode`). DUFS maps this
+    /// to `ENOENT`.
+    NoNode,
+    /// The znode already exists (`NodeExists`). DUFS maps this to `EEXIST`
+    /// — see the mkdir algorithm in paper Fig 5.
+    NodeExists,
+    /// Delete on a znode that still has children (`NotEmpty`); `ENOTEMPTY`.
+    NotEmpty,
+    /// A conditional update carried a stale version (`BadVersion`).
+    BadVersion,
+    /// Ephemeral znodes cannot have children (`NoChildrenForEphemerals`).
+    NoChildrenForEphemerals,
+    /// The path is syntactically invalid (`BadArguments`).
+    InvalidPath,
+    /// The client's session is gone (`SessionExpired`).
+    SessionExpired,
+    /// The request could not reach a quorum / the ensemble is unavailable
+    /// (`ConnectionLoss`). Surfaced when a simulated server is partitioned
+    /// or the leader is down.
+    ConnectionLoss,
+    /// The root znode cannot be deleted or replaced.
+    RootReadOnly,
+}
+
+impl fmt::Display for ZkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ZkError::NoNode => "no node",
+            ZkError::NodeExists => "node exists",
+            ZkError::NotEmpty => "directory not empty",
+            ZkError::BadVersion => "bad version",
+            ZkError::NoChildrenForEphemerals => "ephemerals cannot have children",
+            ZkError::InvalidPath => "invalid path",
+            ZkError::SessionExpired => "session expired",
+            ZkError::ConnectionLoss => "connection loss",
+            ZkError::RootReadOnly => "root is read-only",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ZkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(ZkError::NoNode.to_string(), "no node");
+        assert_eq!(ZkError::BadVersion.to_string(), "bad version");
+    }
+}

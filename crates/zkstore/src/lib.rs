@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # dufs-zkstore — hierarchical znode store
+//!
+//! The in-memory data tree at the heart of the coordination service —
+//! equivalent to ZooKeeper's `DataTree`. The DUFS paper stores the whole
+//! virtual directory hierarchy here: one znode per virtual directory or
+//! file, with the znode's custom data field holding the node type and, for
+//! files, the 128-bit FID (paper §IV-D/E).
+//!
+//! Supported semantics (matching ZooKeeper):
+//! * hierarchical namespace of *znodes*, each with a data payload and a
+//!   [`Stat`] (czxid/mzxid/pzxid, ctime/mtime, version/cversion,
+//!   ephemeralOwner, dataLength, numChildren);
+//! * persistent, ephemeral, and sequential create modes;
+//! * conditional mutation via version checks;
+//! * all-or-nothing [`multi`](DataTree::apply_multi) transactions (DUFS
+//!   `rename` is a multi: delete old path + create new path with same FID);
+//! * session close removes that session's ephemerals;
+//! * every mutation reports [`ChangeEvent`]s, from which the serving layer
+//!   triggers one-shot watches;
+//! * byte-accurate memory accounting (paper Fig 11 studies exactly this).
+//!
+//! The store is *not* thread-safe and knows nothing about replication: it is
+//! the deterministic state machine that `dufs-zab` replicates. Transaction
+//! ids (`zxid`) and timestamps are supplied by the replication layer.
+
+pub mod error;
+pub mod memory;
+pub mod multi;
+pub mod path;
+pub mod snapshot;
+pub mod tree;
+
+pub use error::ZkError;
+pub use multi::{MultiOp, MultiResult};
+pub use tree::{ChangeEvent, CreateMode, DataTree, Stat};

@@ -1,0 +1,134 @@
+//! Znode path validation and manipulation.
+//!
+//! Paths use ZooKeeper's rules: absolute, `/`-separated, no empty
+//! components, no `.`/`..` components, no trailing slash (except the root
+//! itself), no NUL bytes. DUFS maps virtual filesystem paths 1:1 onto znode
+//! paths.
+
+use crate::error::{ZkError, ZkResult};
+
+/// The root path.
+pub const ROOT: &str = "/";
+
+/// Validate a znode path. Returns the path unchanged on success.
+pub fn validate(path: &str) -> ZkResult<&str> {
+    if path.is_empty() || !path.starts_with('/') {
+        return Err(ZkError::InvalidPath);
+    }
+    if path == ROOT {
+        return Ok(path);
+    }
+    if path.ends_with('/') {
+        return Err(ZkError::InvalidPath);
+    }
+    for comp in path[1..].split('/') {
+        if comp.is_empty() || comp == "." || comp == ".." || comp.contains('\0') {
+            return Err(ZkError::InvalidPath);
+        }
+    }
+    Ok(path)
+}
+
+/// Parent path of a validated path. The root has no parent.
+pub fn parent(path: &str) -> Option<&str> {
+    if path == ROOT {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some(ROOT),
+        Some(i) => Some(&path[..i]),
+        None => None,
+    }
+}
+
+/// Final component of a validated path (empty for the root).
+pub fn basename(path: &str) -> &str {
+    if path == ROOT {
+        return "";
+    }
+    match path.rfind('/') {
+        Some(i) => &path[i + 1..],
+        None => path,
+    }
+}
+
+/// Join a parent path and a child name.
+pub fn join(parent: &str, name: &str) -> String {
+    if parent == ROOT {
+        format!("/{name}")
+    } else {
+        format!("{parent}/{name}")
+    }
+}
+
+/// Depth of a path: the root is 0, `/a` is 1, `/a/b` is 2.
+pub fn depth(path: &str) -> usize {
+    if path == ROOT {
+        0
+    } else {
+        path.matches('/').count()
+    }
+}
+
+/// Whether `candidate` is `ancestor` itself or somewhere below it.
+pub fn is_self_or_descendant(candidate: &str, ancestor: &str) -> bool {
+    if ancestor == ROOT {
+        return true;
+    }
+    candidate == ancestor
+        || (candidate.starts_with(ancestor) && candidate.as_bytes().get(ancestor.len()) == Some(&b'/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_paths() {
+        for p in ["/", "/a", "/a/b", "/a/b/c-1.txt", "/with space/x"] {
+            assert!(validate(p).is_ok(), "{p} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_paths() {
+        for p in ["", "a", "a/b", "/a/", "//", "/a//b", "/a/./b", "/a/../b", "/a\0b", "/."] {
+            assert_eq!(validate(p), Err(ZkError::InvalidPath), "{p:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn parent_and_basename() {
+        assert_eq!(parent("/"), None);
+        assert_eq!(parent("/a"), Some("/"));
+        assert_eq!(parent("/a/b/c"), Some("/a/b"));
+        assert_eq!(basename("/"), "");
+        assert_eq!(basename("/a"), "a");
+        assert_eq!(basename("/a/b/c"), "c");
+    }
+
+    #[test]
+    fn join_round_trips_with_parent_basename() {
+        for p in ["/a", "/a/b", "/x/y/z"] {
+            let par = parent(p).unwrap();
+            let name = basename(p);
+            assert_eq!(join(par, name), p);
+        }
+    }
+
+    #[test]
+    fn depth_counts_components() {
+        assert_eq!(depth("/"), 0);
+        assert_eq!(depth("/a"), 1);
+        assert_eq!(depth("/a/b/c"), 3);
+    }
+
+    #[test]
+    fn descendant_checks() {
+        assert!(is_self_or_descendant("/a/b", "/a"));
+        assert!(is_self_or_descendant("/a", "/a"));
+        assert!(is_self_or_descendant("/anything", "/"));
+        assert!(!is_self_or_descendant("/ab", "/a"), "prefix but not a component boundary");
+        assert!(!is_self_or_descendant("/a", "/a/b"));
+    }
+}

@@ -1,0 +1,877 @@
+//! The znode data tree: the deterministic state machine that the
+//! replication layer (`dufs-zab`) keeps identical on every server.
+
+use std::collections::{BTreeSet, HashMap};
+
+use bytes::Bytes;
+
+use crate::error::{ZkError, ZkResult};
+use crate::memory;
+use crate::multi::{MultiOp, MultiResult};
+use crate::path;
+
+/// Znode create modes (ZooKeeper's four).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CreateMode {
+    /// Outlives the creating session.
+    #[default]
+    Persistent,
+    /// Deleted automatically when the creating session closes/expires.
+    Ephemeral,
+    /// Persistent with a monotonically increasing suffix appended.
+    PersistentSequential,
+    /// Ephemeral and sequential.
+    EphemeralSequential,
+}
+
+impl CreateMode {
+    /// Whether nodes of this mode die with their session.
+    pub fn is_ephemeral(self) -> bool {
+        matches!(self, CreateMode::Ephemeral | CreateMode::EphemeralSequential)
+    }
+    /// Whether a sequence number is appended to the name.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CreateMode::PersistentSequential | CreateMode::EphemeralSequential)
+    }
+}
+
+/// Znode metadata, mirroring ZooKeeper's `Stat`. The DUFS prototype fills
+/// POSIX `struct stat` for directories directly from these fields (paper
+/// Fig 6, the stat() algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stat {
+    /// zxid of the transaction that created the node.
+    pub czxid: u64,
+    /// zxid of the last transaction that modified the node's data.
+    pub mzxid: u64,
+    /// zxid of the last transaction that changed the node's children.
+    pub pzxid: u64,
+    /// Creation time (virtual nanoseconds).
+    pub ctime_ns: u64,
+    /// Last data modification time (virtual nanoseconds).
+    pub mtime_ns: u64,
+    /// Number of data changes.
+    pub version: u32,
+    /// Number of child-list changes.
+    pub cversion: u32,
+    /// Owning session id for ephemerals; 0 for persistent nodes.
+    pub ephemeral_owner: u64,
+    /// Payload length in bytes.
+    pub data_length: u32,
+    /// Current number of children.
+    pub num_children: u32,
+}
+
+/// Namespace change produced by a mutation; the serving layer turns these
+/// into watch notifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChangeEvent {
+    /// A znode was created at this path.
+    Created(String),
+    /// The znode at this path was deleted.
+    Deleted(String),
+    /// The znode's data changed.
+    DataChanged(String),
+    /// The znode's set of children changed.
+    ChildrenChanged(String),
+}
+
+impl ChangeEvent {
+    /// The path the event concerns.
+    pub fn path(&self) -> &str {
+        match self {
+            ChangeEvent::Created(p)
+            | ChangeEvent::Deleted(p)
+            | ChangeEvent::DataChanged(p)
+            | ChangeEvent::ChildrenChanged(p) => p,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Znode {
+    data: Bytes,
+    stat: Stat,
+    children: BTreeSet<String>,
+    /// Counter for sequential child names (undone on rollback).
+    cseq: u64,
+}
+
+/// Undo record for multi rollback.
+enum Undo {
+    Create { actual_path: String },
+    Delete { path: String, node: Znode },
+    SetData { path: String, data: Bytes, stat: Stat },
+    ParentStat { path: String, cversion: u32, pzxid: u64, cseq: u64 },
+}
+
+/// The hierarchical znode store.
+#[derive(Debug, Clone)]
+pub struct DataTree {
+    nodes: HashMap<String, Znode>,
+    /// session id → paths of its ephemeral nodes.
+    ephemerals: HashMap<u64, BTreeSet<String>>,
+    last_zxid: u64,
+    approx_bytes: usize,
+}
+
+impl Default for DataTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataTree {
+    /// A fresh tree containing only the root znode.
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            path::ROOT.to_string(),
+            Znode { data: Bytes::new(), stat: Stat::default(), children: BTreeSet::new(), cseq: 0 },
+        );
+        DataTree { nodes, ephemerals: HashMap::new(), last_zxid: 0, approx_bytes: 0 }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Data and stat of a znode.
+    pub fn get_data(&self, p: &str) -> ZkResult<(Bytes, Stat)> {
+        path::validate(p)?;
+        let n = self.nodes.get(p).ok_or(ZkError::NoNode)?;
+        Ok((n.data.clone(), n.stat))
+    }
+
+    /// Stat if the znode exists.
+    pub fn exists(&self, p: &str) -> ZkResult<Option<Stat>> {
+        path::validate(p)?;
+        Ok(self.nodes.get(p).map(|n| n.stat))
+    }
+
+    /// Sorted child names and the parent's stat.
+    pub fn get_children(&self, p: &str) -> ZkResult<(Vec<String>, Stat)> {
+        path::validate(p)?;
+        let n = self.nodes.get(p).ok_or(ZkError::NoNode)?;
+        Ok((n.children.iter().cloned().collect(), n.stat))
+    }
+
+    /// Every path in the subtree rooted at `p` (including `p`), parents
+    /// before children. Used by DUFS directory rename.
+    pub fn subtree_paths(&self, p: &str) -> ZkResult<Vec<String>> {
+        path::validate(p)?;
+        if !self.nodes.contains_key(p) {
+            return Err(ZkError::NoNode);
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![p.to_string()];
+        while let Some(cur) = stack.pop() {
+            let node = &self.nodes[&cur];
+            // Push children in reverse so traversal yields sorted order.
+            for c in node.children.iter().rev() {
+                stack.push(path::join(&cur, c));
+            }
+            out.push(cur);
+        }
+        Ok(out)
+    }
+
+    /// Number of znodes, excluding the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Incrementally tracked approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Highest zxid applied so far.
+    pub fn last_zxid(&self) -> u64 {
+        self.last_zxid
+    }
+
+    /// The sequential-name counter of a znode (snapshot support).
+    pub fn cseq_of(&self, p: &str) -> Option<u64> {
+        self.nodes.get(p).map(|n| n.cseq)
+    }
+
+    /// Force the zxid watermark (snapshot restore only).
+    pub fn set_last_zxid(&mut self, zxid: u64) {
+        self.last_zxid = zxid;
+    }
+
+    /// Re-insert a node from a snapshot: parents must be restored before
+    /// children (snapshot blobs are path-sorted, which guarantees this).
+    /// Parent `num_children`/child indexes are rebuilt; the node's `Stat`
+    /// is installed verbatim except `num_children`.
+    pub fn restore_node(
+        &mut self,
+        p: &str,
+        data: Bytes,
+        stat: Stat,
+        cseq: u64,
+    ) -> ZkResult<()> {
+        path::validate(p)?;
+        if p == path::ROOT {
+            // Root stat fields (cversion/pzxid) are restored in place.
+            let root = self.nodes.get_mut(path::ROOT).expect("root exists");
+            root.stat.cversion = stat.cversion;
+            root.stat.pzxid = stat.pzxid;
+            root.cseq = cseq;
+            return Ok(());
+        }
+        if self.nodes.contains_key(p) {
+            return Err(ZkError::NodeExists);
+        }
+        let parent_path = path::parent(p).ok_or(ZkError::InvalidPath)?.to_string();
+        let name = path::basename(p).to_string();
+        let parent = self.nodes.get_mut(&parent_path).ok_or(ZkError::NoNode)?;
+        parent.children.insert(name.clone());
+        parent.stat.num_children += 1;
+        self.approx_bytes += memory::znode_bytes(p, name.len(), data.len());
+        if stat.ephemeral_owner != 0 {
+            self.ephemerals.entry(stat.ephemeral_owner).or_default().insert(p.to_string());
+        }
+        let mut stat = stat;
+        stat.num_children = 0;
+        stat.data_length = data.len() as u32;
+        self.nodes.insert(p.to_string(), Znode { data, stat, children: BTreeSet::new(), cseq });
+        Ok(())
+    }
+
+    /// Paths of ephemerals owned by `session`, sorted.
+    pub fn ephemerals_of(&self, session: u64) -> Vec<String> {
+        self.ephemerals.get(&session).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Order-independent digest of the full tree contents (paths, data,
+    /// versions). Two replicas that applied the same transaction sequence
+    /// have equal digests — the agreement property the ZAB tests check.
+    pub fn digest(&self) -> u64 {
+        let mut acc: u64 = 0;
+        for (p, n) in &self.nodes {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+            let mut eat = |bytes: &[u8]| {
+                for &b in bytes {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            };
+            eat(p.as_bytes());
+            eat(&n.data);
+            eat(&n.stat.version.to_le_bytes());
+            eat(&n.stat.cversion.to_le_bytes());
+            eat(&n.stat.ephemeral_owner.to_le_bytes());
+            acc = acc.wrapping_add(h);
+        }
+        acc.wrapping_add(self.nodes.len() as u64)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (driven by the replication layer with its zxid and clock)
+    // ------------------------------------------------------------------
+
+    /// Create a znode. Returns the actual path (sequential modes append a
+    /// 10-digit counter) and the namespace events.
+    pub fn create(
+        &mut self,
+        p: &str,
+        data: Bytes,
+        mode: CreateMode,
+        session: u64,
+        zxid: u64,
+        time_ns: u64,
+    ) -> ZkResult<(String, Vec<ChangeEvent>)> {
+        let mut events = Vec::new();
+        let actual = self.create_inner(p, data, mode, session, zxid, time_ns, &mut events, &mut Vec::new())?;
+        self.note_zxid(zxid);
+        Ok((actual, events))
+    }
+
+    /// Delete a znode (must be childless). `version` of `Some(v)` makes the
+    /// delete conditional on the data version.
+    pub fn delete(
+        &mut self,
+        p: &str,
+        version: Option<u32>,
+        zxid: u64,
+        _time_ns: u64,
+    ) -> ZkResult<Vec<ChangeEvent>> {
+        let mut events = Vec::new();
+        self.delete_inner(p, version, zxid, &mut events, &mut Vec::new())?;
+        self.note_zxid(zxid);
+        Ok(events)
+    }
+
+    /// Replace a znode's data; returns the new stat.
+    pub fn set_data(
+        &mut self,
+        p: &str,
+        data: Bytes,
+        version: Option<u32>,
+        zxid: u64,
+        time_ns: u64,
+    ) -> ZkResult<(Stat, Vec<ChangeEvent>)> {
+        let mut events = Vec::new();
+        let stat = self.set_data_inner(p, data, version, zxid, time_ns, &mut events, &mut Vec::new())?;
+        self.note_zxid(zxid);
+        Ok((stat, events))
+    }
+
+    /// Apply a multi transaction atomically. On error, no operation is
+    /// applied and the failing operation's index is reported.
+    pub fn apply_multi(
+        &mut self,
+        ops: &[MultiOp],
+        session: u64,
+        zxid: u64,
+        time_ns: u64,
+    ) -> Result<(Vec<MultiResult>, Vec<ChangeEvent>), (usize, ZkError)> {
+        let mut events = Vec::new();
+        let mut undo = Vec::new();
+        let mut results = Vec::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            let r = match op {
+                MultiOp::Create { path: p, data, mode } => self
+                    .create_inner(p, data.clone(), *mode, session, zxid, time_ns, &mut events, &mut undo)
+                    .map(MultiResult::Created),
+                MultiOp::Delete { path: p, version } => {
+                    self.delete_inner(p, *version, zxid, &mut events, &mut undo).map(|()| MultiResult::Deleted)
+                }
+                MultiOp::SetData { path: p, data, version } => self
+                    .set_data_inner(p, data.clone(), *version, zxid, time_ns, &mut events, &mut undo)
+                    .map(MultiResult::Set),
+                MultiOp::Check { path: p, version } => self.check_inner(p, *version).map(|()| MultiResult::Checked),
+            };
+            match r {
+                Ok(res) => results.push(res),
+                Err(e) => {
+                    self.rollback(undo);
+                    return Err((i, e));
+                }
+            }
+        }
+        self.note_zxid(zxid);
+        Ok((results, events))
+    }
+
+    /// Close a session: delete all of its ephemeral znodes. Returns the
+    /// deleted paths and the corresponding events.
+    pub fn close_session(
+        &mut self,
+        session: u64,
+        zxid: u64,
+        _time_ns: u64,
+    ) -> (Vec<String>, Vec<ChangeEvent>) {
+        let paths = self.ephemerals_of(session);
+        let mut events = Vec::new();
+        for p in &paths {
+            // Ephemerals have no children, so unconditional delete succeeds.
+            let _ = self.delete_inner(p, None, zxid, &mut events, &mut Vec::new());
+        }
+        self.ephemerals.remove(&session);
+        self.note_zxid(zxid);
+        (paths, events)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn note_zxid(&mut self, zxid: u64) {
+        if zxid > self.last_zxid {
+            self.last_zxid = zxid;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn create_inner(
+        &mut self,
+        p: &str,
+        data: Bytes,
+        mode: CreateMode,
+        session: u64,
+        zxid: u64,
+        time_ns: u64,
+        events: &mut Vec<ChangeEvent>,
+        undo: &mut Vec<Undo>,
+    ) -> ZkResult<String> {
+        path::validate(p)?;
+        if p == path::ROOT {
+            return Err(ZkError::NodeExists);
+        }
+        if mode.is_ephemeral() && session == 0 {
+            return Err(ZkError::SessionExpired);
+        }
+        let parent_path = path::parent(p).ok_or(ZkError::InvalidPath)?.to_string();
+        let name = path::basename(p).to_string();
+
+        let parent = self.nodes.get_mut(&parent_path).ok_or(ZkError::NoNode)?;
+        if parent.stat.ephemeral_owner != 0 {
+            return Err(ZkError::NoChildrenForEphemerals);
+        }
+        let parent_before =
+            Undo::ParentStat { path: parent_path.clone(), cversion: parent.stat.cversion, pzxid: parent.stat.pzxid, cseq: parent.cseq };
+
+        let actual_name = if mode.is_sequential() {
+            let n = format!("{name}{:010}", parent.cseq);
+            parent.cseq += 1;
+            n
+        } else {
+            name
+        };
+        if parent.children.contains(&actual_name) {
+            // Undo the cseq bump if we took it.
+            if mode.is_sequential() {
+                parent.cseq -= 1;
+            }
+            return Err(ZkError::NodeExists);
+        }
+        parent.children.insert(actual_name.clone());
+        parent.stat.cversion += 1;
+        parent.stat.pzxid = zxid;
+        parent.stat.num_children += 1;
+
+        let actual_path = path::join(&parent_path, &actual_name);
+        let owner = if mode.is_ephemeral() { session } else { 0 };
+        let stat = Stat {
+            czxid: zxid,
+            mzxid: zxid,
+            pzxid: zxid,
+            ctime_ns: time_ns,
+            mtime_ns: time_ns,
+            version: 0,
+            cversion: 0,
+            ephemeral_owner: owner,
+            data_length: data.len() as u32,
+            num_children: 0,
+        };
+        self.approx_bytes += memory::znode_bytes(&actual_path, actual_name.len(), data.len());
+        self.nodes.insert(
+            actual_path.clone(),
+            Znode { data, stat, children: BTreeSet::new(), cseq: 0 },
+        );
+        if owner != 0 {
+            self.ephemerals.entry(session).or_default().insert(actual_path.clone());
+        }
+
+        events.push(ChangeEvent::Created(actual_path.clone()));
+        events.push(ChangeEvent::ChildrenChanged(parent_path));
+        undo.push(parent_before);
+        undo.push(Undo::Create { actual_path: actual_path.clone() });
+        Ok(actual_path)
+    }
+
+    fn delete_inner(
+        &mut self,
+        p: &str,
+        version: Option<u32>,
+        zxid: u64,
+        events: &mut Vec<ChangeEvent>,
+        undo: &mut Vec<Undo>,
+    ) -> ZkResult<()> {
+        path::validate(p)?;
+        if p == path::ROOT {
+            return Err(ZkError::RootReadOnly);
+        }
+        {
+            let node = self.nodes.get(p).ok_or(ZkError::NoNode)?;
+            if !node.children.is_empty() {
+                return Err(ZkError::NotEmpty);
+            }
+            if let Some(v) = version {
+                if v != node.stat.version {
+                    return Err(ZkError::BadVersion);
+                }
+            }
+        }
+        let parent_path = path::parent(p).expect("non-root has a parent").to_string();
+        let name = path::basename(p).to_string();
+
+        let parent = self.nodes.get_mut(&parent_path).expect("parent exists");
+        undo.push(Undo::ParentStat { path: parent_path.clone(), cversion: parent.stat.cversion, pzxid: parent.stat.pzxid, cseq: parent.cseq });
+        parent.children.remove(&name);
+        parent.stat.cversion += 1;
+        parent.stat.pzxid = zxid;
+        parent.stat.num_children -= 1;
+
+        let node = self.nodes.remove(p).expect("checked above");
+        self.approx_bytes = self.approx_bytes.saturating_sub(memory::znode_bytes(p, name.len(), node.data.len()));
+        if node.stat.ephemeral_owner != 0 {
+            if let Some(set) = self.ephemerals.get_mut(&node.stat.ephemeral_owner) {
+                set.remove(p);
+                if set.is_empty() {
+                    self.ephemerals.remove(&node.stat.ephemeral_owner);
+                }
+            }
+        }
+        events.push(ChangeEvent::Deleted(p.to_string()));
+        events.push(ChangeEvent::ChildrenChanged(parent_path));
+        undo.push(Undo::Delete { path: p.to_string(), node });
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn set_data_inner(
+        &mut self,
+        p: &str,
+        data: Bytes,
+        version: Option<u32>,
+        zxid: u64,
+        time_ns: u64,
+        events: &mut Vec<ChangeEvent>,
+        undo: &mut Vec<Undo>,
+    ) -> ZkResult<Stat> {
+        path::validate(p)?;
+        let node = self.nodes.get_mut(p).ok_or(ZkError::NoNode)?;
+        if let Some(v) = version {
+            if v != node.stat.version {
+                return Err(ZkError::BadVersion);
+            }
+        }
+        undo.push(Undo::SetData { path: p.to_string(), data: node.data.clone(), stat: node.stat });
+        // Payload delta: add the new size, subtract the old.
+        self.approx_bytes = (self.approx_bytes + data.len()).saturating_sub(node.data.len());
+        node.data = data;
+        node.stat.version += 1;
+        node.stat.mzxid = zxid;
+        node.stat.mtime_ns = time_ns;
+        node.stat.data_length = node.data.len() as u32;
+        events.push(ChangeEvent::DataChanged(p.to_string()));
+        Ok(node.stat)
+    }
+
+    fn check_inner(&self, p: &str, version: Option<u32>) -> ZkResult<()> {
+        path::validate(p)?;
+        let node = self.nodes.get(p).ok_or(ZkError::NoNode)?;
+        if let Some(v) = version {
+            if v != node.stat.version {
+                return Err(ZkError::BadVersion);
+            }
+        }
+        Ok(())
+    }
+
+    fn rollback(&mut self, undo: Vec<Undo>) {
+        for u in undo.into_iter().rev() {
+            match u {
+                Undo::Create { actual_path } => {
+                    let node = self.nodes.remove(&actual_path).expect("rollback: created node present");
+                    let name = path::basename(&actual_path).to_string();
+                    self.approx_bytes = self
+                        .approx_bytes
+                        .saturating_sub(memory::znode_bytes(&actual_path, name.len(), node.data.len()));
+                    if node.stat.ephemeral_owner != 0 {
+                        if let Some(set) = self.ephemerals.get_mut(&node.stat.ephemeral_owner) {
+                            set.remove(&actual_path);
+                            if set.is_empty() {
+                                self.ephemerals.remove(&node.stat.ephemeral_owner);
+                            }
+                        }
+                    }
+                    let parent_path = path::parent(&actual_path).expect("non-root").to_string();
+                    let parent = self.nodes.get_mut(&parent_path).expect("parent exists");
+                    parent.children.remove(&name);
+                    parent.stat.num_children -= 1;
+                }
+                Undo::Delete { path: p, node } => {
+                    let name = path::basename(&p).to_string();
+                    self.approx_bytes += memory::znode_bytes(&p, name.len(), node.data.len());
+                    if node.stat.ephemeral_owner != 0 {
+                        self.ephemerals.entry(node.stat.ephemeral_owner).or_default().insert(p.clone());
+                    }
+                    let parent_path = path::parent(&p).expect("non-root").to_string();
+                    let parent = self.nodes.get_mut(&parent_path).expect("parent exists");
+                    parent.children.insert(name);
+                    parent.stat.num_children += 1;
+                    self.nodes.insert(p, node);
+                }
+                Undo::SetData { path: p, data, stat } => {
+                    let node = self.nodes.get_mut(&p).expect("rollback: node present");
+                    self.approx_bytes = (self.approx_bytes + data.len()).saturating_sub(node.data.len());
+                    node.data = data;
+                    node.stat = stat;
+                }
+                Undo::ParentStat { path: p, cversion, pzxid, cseq } => {
+                    let node = self.nodes.get_mut(&p).expect("rollback: parent present");
+                    node.stat.cversion = cversion;
+                    node.stat.pzxid = pzxid;
+                    node.cseq = cseq;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> DataTree {
+        DataTree::new()
+    }
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn create_get_roundtrip() {
+        let mut t = tree();
+        let (p, ev) = t.create("/a", b("hello"), CreateMode::Persistent, 0, 1, 100).unwrap();
+        assert_eq!(p, "/a");
+        assert_eq!(ev, vec![ChangeEvent::Created("/a".into()), ChangeEvent::ChildrenChanged("/".into())]);
+        let (data, stat) = t.get_data("/a").unwrap();
+        assert_eq!(&data[..], b"hello");
+        assert_eq!(stat.czxid, 1);
+        assert_eq!(stat.ctime_ns, 100);
+        assert_eq!(stat.version, 0);
+        assert_eq!(stat.data_length, 5);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn create_requires_parent() {
+        let mut t = tree();
+        assert_eq!(
+            t.create("/a/b", b(""), CreateMode::Persistent, 0, 1, 0).unwrap_err(),
+            ZkError::NoNode
+        );
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut t = tree();
+        t.create("/a", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
+        assert_eq!(
+            t.create("/a", b(""), CreateMode::Persistent, 0, 2, 0).unwrap_err(),
+            ZkError::NodeExists
+        );
+    }
+
+    #[test]
+    fn parent_stat_tracks_children() {
+        let mut t = tree();
+        t.create("/a", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
+        t.create("/a/x", b(""), CreateMode::Persistent, 0, 2, 0).unwrap();
+        t.create("/a/y", b(""), CreateMode::Persistent, 0, 3, 0).unwrap();
+        let (kids, stat) = t.get_children("/a").unwrap();
+        assert_eq!(kids, vec!["x", "y"]);
+        assert_eq!(stat.num_children, 2);
+        assert_eq!(stat.cversion, 2);
+        assert_eq!(stat.pzxid, 3);
+        t.delete("/a/x", None, 4, 0).unwrap();
+        let (kids, stat) = t.get_children("/a").unwrap();
+        assert_eq!(kids, vec!["y"]);
+        assert_eq!(stat.num_children, 1);
+        assert_eq!(stat.cversion, 3);
+        assert_eq!(stat.pzxid, 4);
+    }
+
+    #[test]
+    fn delete_nonempty_fails() {
+        let mut t = tree();
+        t.create("/a", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
+        t.create("/a/b", b(""), CreateMode::Persistent, 0, 2, 0).unwrap();
+        assert_eq!(t.delete("/a", None, 3, 0).unwrap_err(), ZkError::NotEmpty);
+        t.delete("/a/b", None, 3, 0).unwrap();
+        t.delete("/a", None, 4, 0).unwrap();
+        assert_eq!(t.node_count(), 0);
+    }
+
+    #[test]
+    fn root_is_protected() {
+        let mut t = tree();
+        assert_eq!(t.delete("/", None, 1, 0).unwrap_err(), ZkError::RootReadOnly);
+        assert_eq!(t.create("/", b(""), CreateMode::Persistent, 0, 1, 0).unwrap_err(), ZkError::NodeExists);
+    }
+
+    #[test]
+    fn set_data_bumps_version_and_respects_condition() {
+        let mut t = tree();
+        t.create("/a", b("v0"), CreateMode::Persistent, 0, 1, 10).unwrap();
+        let (stat, ev) = t.set_data("/a", b("v1"), Some(0), 2, 20).unwrap();
+        assert_eq!(stat.version, 1);
+        assert_eq!(stat.mzxid, 2);
+        assert_eq!(stat.mtime_ns, 20);
+        assert_eq!(ev, vec![ChangeEvent::DataChanged("/a".into())]);
+        assert_eq!(t.set_data("/a", b("v2"), Some(0), 3, 30).unwrap_err(), ZkError::BadVersion);
+        // Unconditional always works.
+        t.set_data("/a", b("v2"), None, 3, 30).unwrap();
+        assert_eq!(t.get_data("/a").unwrap().1.version, 2);
+    }
+
+    #[test]
+    fn conditional_delete() {
+        let mut t = tree();
+        t.create("/a", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
+        t.set_data("/a", b("x"), None, 2, 0).unwrap();
+        assert_eq!(t.delete("/a", Some(0), 3, 0).unwrap_err(), ZkError::BadVersion);
+        t.delete("/a", Some(1), 3, 0).unwrap();
+    }
+
+    #[test]
+    fn sequential_names_are_monotone() {
+        let mut t = tree();
+        t.create("/q", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
+        let (p1, _) = t.create("/q/item-", b(""), CreateMode::PersistentSequential, 0, 2, 0).unwrap();
+        let (p2, _) = t.create("/q/item-", b(""), CreateMode::PersistentSequential, 0, 3, 0).unwrap();
+        assert_eq!(p1, "/q/item-0000000000");
+        assert_eq!(p2, "/q/item-0000000001");
+        assert!(p1 < p2);
+    }
+
+    #[test]
+    fn ephemerals_die_with_session() {
+        let mut t = tree();
+        t.create("/locks", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
+        t.create("/locks/a", b(""), CreateMode::Ephemeral, 77, 2, 0).unwrap();
+        t.create("/locks/b", b(""), CreateMode::Ephemeral, 77, 3, 0).unwrap();
+        t.create("/locks/c", b(""), CreateMode::Ephemeral, 88, 4, 0).unwrap();
+        assert_eq!(t.ephemerals_of(77), vec!["/locks/a", "/locks/b"]);
+        let (deleted, events) = t.close_session(77, 5, 0);
+        assert_eq!(deleted, vec!["/locks/a", "/locks/b"]);
+        assert_eq!(events.iter().filter(|e| matches!(e, ChangeEvent::Deleted(_))).count(), 2);
+        assert!(t.exists("/locks/a").unwrap().is_none());
+        assert!(t.exists("/locks/c").unwrap().is_some(), "other session's ephemeral survives");
+    }
+
+    #[test]
+    fn ephemeral_cannot_have_children() {
+        let mut t = tree();
+        t.create("/e", b(""), CreateMode::Ephemeral, 9, 1, 0).unwrap();
+        assert_eq!(
+            t.create("/e/x", b(""), CreateMode::Persistent, 9, 2, 0).unwrap_err(),
+            ZkError::NoChildrenForEphemerals
+        );
+    }
+
+    #[test]
+    fn ephemeral_requires_session() {
+        let mut t = tree();
+        assert_eq!(
+            t.create("/e", b(""), CreateMode::Ephemeral, 0, 1, 0).unwrap_err(),
+            ZkError::SessionExpired
+        );
+    }
+
+    #[test]
+    fn multi_all_or_nothing() {
+        let mut t = tree();
+        t.create("/a", b("fid"), CreateMode::Persistent, 0, 1, 0).unwrap();
+        // A DUFS-style rename: create new name, delete old — atomic.
+        let ops = vec![
+            MultiOp::Create { path: "/b".into(), data: b("fid"), mode: CreateMode::Persistent },
+            MultiOp::Delete { path: "/a".into(), version: None },
+        ];
+        let (res, _) = t.apply_multi(&ops, 0, 2, 0).unwrap();
+        assert_eq!(res, vec![MultiResult::Created("/b".into()), MultiResult::Deleted]);
+        assert!(t.exists("/a").unwrap().is_none());
+        assert!(t.exists("/b").unwrap().is_some());
+
+        // Failing multi rolls everything back.
+        let digest_before = t.digest();
+        let bytes_before = t.memory_bytes();
+        let bad = vec![
+            MultiOp::Create { path: "/c".into(), data: b(""), mode: CreateMode::Persistent },
+            MultiOp::Delete { path: "/missing".into(), version: None },
+        ];
+        let (idx, err) = t.apply_multi(&bad, 0, 3, 0).unwrap_err();
+        assert_eq!((idx, err), (1, ZkError::NoNode));
+        assert!(t.exists("/c").unwrap().is_none(), "create was rolled back");
+        assert_eq!(t.digest(), digest_before);
+        assert_eq!(t.memory_bytes(), bytes_before);
+    }
+
+    #[test]
+    fn multi_rollback_restores_parent_stats_and_cseq() {
+        let mut t = tree();
+        t.create("/q", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
+        let before = t.get_children("/q").unwrap().1;
+        let bad = vec![
+            MultiOp::Create { path: "/q/s-".into(), data: b(""), mode: CreateMode::PersistentSequential },
+            MultiOp::Check { path: "/nope".into(), version: None },
+        ];
+        t.apply_multi(&bad, 0, 2, 0).unwrap_err();
+        assert_eq!(t.get_children("/q").unwrap().1, before);
+        // Sequence counter must be restored so the next name repeats.
+        let (p, _) = t.create("/q/s-", b(""), CreateMode::PersistentSequential, 0, 3, 0).unwrap();
+        assert_eq!(p, "/q/s-0000000000");
+    }
+
+    #[test]
+    fn multi_check_op() {
+        let mut t = tree();
+        t.create("/a", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
+        let ops = vec![MultiOp::Check { path: "/a".into(), version: Some(0) }];
+        assert!(t.apply_multi(&ops, 0, 2, 0).is_ok());
+        let ops = vec![MultiOp::Check { path: "/a".into(), version: Some(5) }];
+        assert_eq!(t.apply_multi(&ops, 0, 3, 0).unwrap_err(), (0, ZkError::BadVersion));
+    }
+
+    #[test]
+    fn multi_intra_transaction_dependency() {
+        let mut t = tree();
+        let ops = vec![
+            MultiOp::Create { path: "/d".into(), data: b(""), mode: CreateMode::Persistent },
+            MultiOp::Create { path: "/d/e".into(), data: b(""), mode: CreateMode::Persistent },
+        ];
+        t.apply_multi(&ops, 0, 1, 0).unwrap();
+        assert!(t.exists("/d/e").unwrap().is_some());
+    }
+
+    #[test]
+    fn subtree_paths_ordered_parents_first() {
+        let mut t = tree();
+        for (p, z) in [("/a", 1), ("/a/b", 2), ("/a/b/c", 3), ("/a/d", 4)] {
+            t.create(p, b(""), CreateMode::Persistent, 0, z, 0).unwrap();
+        }
+        assert_eq!(t.subtree_paths("/a").unwrap(), vec!["/a", "/a/b", "/a/b/c", "/a/d"]);
+        assert_eq!(t.subtree_paths("/missing").unwrap_err(), ZkError::NoNode);
+    }
+
+    #[test]
+    fn memory_grows_and_shrinks() {
+        let mut t = tree();
+        assert_eq!(t.memory_bytes(), 0);
+        t.create("/a", b("0123456789"), CreateMode::Persistent, 0, 1, 0).unwrap();
+        let with_one = t.memory_bytes();
+        assert!(with_one > 10, "accounts for overhead plus data");
+        t.create("/a/b", b(""), CreateMode::Persistent, 0, 2, 0).unwrap();
+        assert!(t.memory_bytes() > with_one);
+        t.delete("/a/b", None, 3, 0).unwrap();
+        assert_eq!(t.memory_bytes(), with_one);
+        t.delete("/a", None, 4, 0).unwrap();
+        assert_eq!(t.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn digest_is_replica_stable_and_content_sensitive() {
+        let build = |order: &[&str]| {
+            let mut t = tree();
+            for (i, p) in order.iter().enumerate() {
+                t.create(p, b("x"), CreateMode::Persistent, 0, (i + 1) as u64, 0).unwrap();
+            }
+            t
+        };
+        // Same final contents via different zxids → digest ignores zxids but
+        // not contents.
+        let a = build(&["/a", "/b"]);
+        let mut c = tree();
+        c.create("/b", b("x"), CreateMode::Persistent, 0, 1, 0).unwrap();
+        c.create("/a", b("x"), CreateMode::Persistent, 0, 2, 0).unwrap();
+        assert_eq!(a.digest(), c.digest());
+        let mut d = build(&["/a", "/b"]);
+        d.set_data("/a", b("y"), None, 9, 0).unwrap();
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn last_zxid_tracks_applies() {
+        let mut t = tree();
+        t.create("/a", b(""), CreateMode::Persistent, 0, 7, 0).unwrap();
+        assert_eq!(t.last_zxid(), 7);
+        t.set_data("/a", b("x"), None, 9, 0).unwrap();
+        assert_eq!(t.last_zxid(), 9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests: the DataTree against a simple oracle model, and
+//! rollback/no-op invariants for failed multi transactions.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dufs_zkstore::{CreateMode, DataTree, MultiOp, ZkError};
+
+/// Oracle: path → (data, version). Parent/child structure is derived from
+/// the path strings themselves.
+#[derive(Default, Clone)]
+struct Oracle {
+    nodes: HashMap<String, (Vec<u8>, u32)>,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        let mut o = Oracle::default();
+        o.nodes.insert("/".to_string(), (vec![], 0));
+        o
+    }
+    fn has_children(&self, p: &str) -> bool {
+        let prefix = if p == "/" { "/".to_string() } else { format!("{p}/") };
+        self.nodes.keys().any(|k| k != p && k.starts_with(&prefix))
+    }
+    fn parent(p: &str) -> String {
+        match p.rfind('/') {
+            Some(0) => "/".to_string(),
+            Some(i) => p[..i].to_string(),
+            None => unreachable!(),
+        }
+    }
+    fn create(&mut self, p: &str, data: &[u8]) -> Result<(), ZkError> {
+        if p == "/" {
+            return Err(ZkError::NodeExists);
+        }
+        if self.nodes.contains_key(p) {
+            return Err(ZkError::NodeExists);
+        }
+        if !self.nodes.contains_key(&Self::parent(p)) {
+            return Err(ZkError::NoNode);
+        }
+        self.nodes.insert(p.to_string(), (data.to_vec(), 0));
+        Ok(())
+    }
+    fn delete(&mut self, p: &str, version: Option<u32>) -> Result<(), ZkError> {
+        if p == "/" {
+            return Err(ZkError::RootReadOnly);
+        }
+        let Some((_, v)) = self.nodes.get(p) else { return Err(ZkError::NoNode) };
+        if self.has_children(p) {
+            return Err(ZkError::NotEmpty);
+        }
+        if let Some(want) = version {
+            if want != *v {
+                return Err(ZkError::BadVersion);
+            }
+        }
+        self.nodes.remove(p);
+        Ok(())
+    }
+    fn set(&mut self, p: &str, data: &[u8], version: Option<u32>) -> Result<(), ZkError> {
+        let Some((d, v)) = self.nodes.get_mut(p) else { return Err(ZkError::NoNode) };
+        if let Some(want) = version {
+            if want != *v {
+                return Err(ZkError::BadVersion);
+            }
+        }
+        *d = data.to_vec();
+        *v += 1;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Create(usize, Vec<u8>),
+    Delete(usize, Option<u32>),
+    Set(usize, Vec<u8>, Option<u32>),
+}
+
+/// A small pool of paths so that actions collide interestingly.
+fn path_pool() -> Vec<String> {
+    vec![
+        "/a".into(),
+        "/b".into(),
+        "/a/x".into(),
+        "/a/y".into(),
+        "/a/x/deep".into(),
+        "/b/z".into(),
+        "/c".into(),
+        "/c/only".into(),
+    ]
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    let idx = 0..path_pool().len();
+    let data = proptest::collection::vec(any::<u8>(), 0..8);
+    let version = proptest::option::of(0u32..3);
+    prop_oneof![
+        (idx.clone(), data.clone()).prop_map(|(i, d)| Action::Create(i, d)),
+        (idx.clone(), version.clone()).prop_map(|(i, v)| Action::Delete(i, v)),
+        (idx, data, version).prop_map(|(i, d, v)| Action::Set(i, d, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every operation must agree with the oracle on success/error kind, and
+    /// the surviving namespace must match exactly.
+    #[test]
+    fn tree_matches_oracle(actions in proptest::collection::vec(action_strategy(), 1..60)) {
+        let pool = path_pool();
+        let mut tree = DataTree::new();
+        let mut oracle = Oracle::new();
+        let mut zxid = 0u64;
+        for a in &actions {
+            zxid += 1;
+            match a {
+                Action::Create(i, d) => {
+                    let p = &pool[*i];
+                    let got = tree
+                        .create(p, Bytes::copy_from_slice(d), CreateMode::Persistent, 0, zxid, zxid)
+                        .map(|_| ());
+                    let want = oracle.create(p, d);
+                    prop_assert_eq!(got, want, "create {}", p);
+                }
+                Action::Delete(i, v) => {
+                    let p = &pool[*i];
+                    let got = tree.delete(p, *v, zxid, zxid).map(|_| ());
+                    let want = oracle.delete(p, *v);
+                    prop_assert_eq!(got, want, "delete {}", p);
+                }
+                Action::Set(i, d, v) => {
+                    let p = &pool[*i];
+                    let got = tree.set_data(p, Bytes::copy_from_slice(d), *v, zxid, zxid).map(|_| ());
+                    let want = oracle.set(p, d, *v);
+                    prop_assert_eq!(got, want, "set {}", p);
+                }
+            }
+        }
+        // Final namespaces agree: same paths, data, versions.
+        prop_assert_eq!(tree.node_count(), oracle.nodes.len() - 1);
+        for (p, (d, v)) in &oracle.nodes {
+            if p == "/" { continue; }
+            let (data, stat) = tree.get_data(p).expect("oracle node exists in tree");
+            prop_assert_eq!(&data[..], &d[..]);
+            prop_assert_eq!(stat.version, *v);
+        }
+    }
+
+    /// A failing multi must leave the tree bit-identical (digest, count,
+    /// memory accounting).
+    #[test]
+    fn failed_multi_is_a_noop(
+        setup in proptest::collection::vec(action_strategy(), 0..30),
+        good_ops in 1usize..4,
+    ) {
+        let pool = path_pool();
+        let mut tree = DataTree::new();
+        let mut zxid = 0u64;
+        for a in &setup {
+            zxid += 1;
+            match a {
+                Action::Create(i, d) => {
+                    let _ = tree.create(&pool[*i], Bytes::copy_from_slice(d), CreateMode::Persistent, 0, zxid, zxid);
+                }
+                Action::Delete(i, v) => { let _ = tree.delete(&pool[*i], *v, zxid, zxid); }
+                Action::Set(i, d, v) => { let _ = tree.set_data(&pool[*i], Bytes::copy_from_slice(d), *v, zxid, zxid); }
+            }
+        }
+        let digest = tree.digest();
+        let mem = tree.memory_bytes();
+        let count = tree.node_count();
+
+        // Build a multi whose last op always fails.
+        let mut ops: Vec<MultiOp> = (0..good_ops)
+            .map(|k| MultiOp::Create {
+                path: format!("/multi-{k}"),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            })
+            .collect();
+        ops.push(MultiOp::Delete { path: "/definitely/not/here".into(), version: None });
+
+        let err = tree.apply_multi(&ops, 0, zxid + 1, 0);
+        prop_assert!(err.is_err());
+        prop_assert_eq!(tree.digest(), digest);
+        prop_assert_eq!(tree.memory_bytes(), mem);
+        prop_assert_eq!(tree.node_count(), count);
+    }
+
+    /// Sequential creates under one parent yield strictly increasing,
+    /// never-colliding names.
+    #[test]
+    fn sequential_names_never_collide(n in 1usize..50) {
+        let mut tree = DataTree::new();
+        tree.create("/q", Bytes::new(), CreateMode::Persistent, 0, 1, 0).unwrap();
+        let mut last = String::new();
+        for k in 0..n {
+            let (p, _) = tree
+                .create("/q/s-", Bytes::new(), CreateMode::PersistentSequential, 0, (k + 2) as u64, 0)
+                .unwrap();
+            prop_assert!(p > last, "{} !> {}", p, last);
+            last = p;
+        }
+        prop_assert_eq!(tree.get_children("/q").unwrap().0.len(), n);
+    }
+}

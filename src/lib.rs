@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the DUFS reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See `README.md` for an overview and `DESIGN.md` for the
+//! system inventory.
+
+pub use dufs_backendfs as backendfs;
+pub use dufs_coord as coord;
+pub use dufs_core as core;
+pub use dufs_mdtest as mdtest;
+pub use dufs_simnet as simnet;
+pub use dufs_zab as zab;
+pub use dufs_zkstore as zkstore;

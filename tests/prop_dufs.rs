@@ -1,0 +1,226 @@
+//! Cross-crate property tests: the full DUFS stack (planner + in-process
+//! coordination + functional back-ends) against a plain in-memory oracle
+//! filesystem model, under random operation sequences.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dufs_repro::core::services::{LocalBackends, SoloCoord};
+use dufs_repro::core::vfs::{Dufs, NodeKind};
+use dufs_repro::core::DufsError;
+
+/// Oracle: a minimal model of a POSIX namespace.
+#[derive(Default)]
+struct Model {
+    /// path → Some(size) for files, None for dirs.
+    nodes: HashMap<String, Option<usize>>,
+}
+
+impl Model {
+    fn new() -> Self {
+        let mut m = Model::default();
+        m.nodes.insert("/".into(), None);
+        m
+    }
+    fn parent(p: &str) -> String {
+        match p.rfind('/') {
+            Some(0) => "/".into(),
+            Some(i) => p[..i].into(),
+            None => unreachable!(),
+        }
+    }
+    fn has_children(&self, p: &str) -> bool {
+        let prefix = if p == "/" { "/".to_string() } else { format!("{p}/") };
+        self.nodes.keys().any(|k| k != p && k.starts_with(&prefix))
+    }
+    fn mkdir(&mut self, p: &str) -> Result<(), DufsError> {
+        if self.nodes.contains_key(p) {
+            return Err(DufsError::Exists);
+        }
+        match self.nodes.get(&Self::parent(p)) {
+            Some(None) => {
+                self.nodes.insert(p.into(), None);
+                Ok(())
+            }
+            Some(Some(_)) => Err(DufsError::NotDir),
+            None => Err(DufsError::NoEnt),
+        }
+    }
+    fn create(&mut self, p: &str) -> Result<(), DufsError> {
+        if self.nodes.contains_key(p) {
+            return Err(DufsError::Exists);
+        }
+        match self.nodes.get(&Self::parent(p)) {
+            Some(None) => {
+                self.nodes.insert(p.into(), Some(0));
+                Ok(())
+            }
+            Some(Some(_)) => Err(DufsError::NotDir),
+            None => Err(DufsError::NoEnt),
+        }
+    }
+    fn rmdir(&mut self, p: &str) -> Result<(), DufsError> {
+        match self.nodes.get(p) {
+            None => Err(DufsError::NoEnt),
+            Some(Some(_)) => Err(DufsError::NotDir),
+            Some(None) => {
+                if self.has_children(p) {
+                    Err(DufsError::NotEmpty)
+                } else {
+                    self.nodes.remove(p);
+                    Ok(())
+                }
+            }
+        }
+    }
+    fn unlink(&mut self, p: &str) -> Result<(), DufsError> {
+        match self.nodes.get(p) {
+            None => Err(DufsError::NoEnt),
+            Some(None) => Err(DufsError::IsDir),
+            Some(Some(_)) => {
+                self.nodes.remove(p);
+                Ok(())
+            }
+        }
+    }
+    fn write(&mut self, p: &str, len: usize) -> Result<(), DufsError> {
+        match self.nodes.get_mut(p) {
+            None => Err(DufsError::NoEnt),
+            Some(None) => Err(DufsError::IsDir),
+            Some(Some(size)) => {
+                *size = (*size).max(len);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir(usize),
+    Create(usize),
+    Rmdir(usize),
+    Unlink(usize),
+    Write(usize, usize),
+    Stat(usize),
+}
+
+fn paths() -> Vec<String> {
+    vec![
+        "/a".into(),
+        "/b".into(),
+        "/a/x".into(),
+        "/a/y".into(),
+        "/a/x/deep".into(),
+        "/b/z".into(),
+        "/c".into(),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let idx = 0..paths().len();
+    prop_oneof![
+        idx.clone().prop_map(Op::Mkdir),
+        idx.clone().prop_map(Op::Create),
+        idx.clone().prop_map(Op::Rmdir),
+        idx.clone().prop_map(Op::Unlink),
+        (idx.clone(), 1usize..64).prop_map(|(i, n)| Op::Write(i, n)),
+        idx.prop_map(Op::Stat),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DUFS agrees with the oracle on success/failure and surviving state
+    /// for arbitrary interleavings of namespace operations.
+    #[test]
+    fn dufs_matches_model(ops in proptest::collection::vec(op_strategy(), 1..50)) {
+        let pool = paths();
+        let mut fs = Dufs::new(5, SoloCoord::new(), LocalBackends::lustre(2));
+        let mut model = Model::new();
+        for op in &ops {
+            match op {
+                Op::Mkdir(i) => {
+                    let got = fs.mkdir(&pool[*i], 0o755);
+                    let want = model.mkdir(&pool[*i]);
+                    prop_assert_eq!(got, want, "mkdir {}", &pool[*i]);
+                }
+                Op::Create(i) => {
+                    let got = fs.create(&pool[*i], 0o644).map(|_| ());
+                    let want = model.create(&pool[*i]);
+                    prop_assert_eq!(got, want, "create {}", &pool[*i]);
+                }
+                Op::Rmdir(i) => {
+                    let got = fs.rmdir(&pool[*i]);
+                    let want = model.rmdir(&pool[*i]);
+                    prop_assert_eq!(got, want, "rmdir {}", &pool[*i]);
+                }
+                Op::Unlink(i) => {
+                    let got = fs.unlink(&pool[*i]);
+                    let want = model.unlink(&pool[*i]);
+                    prop_assert_eq!(got, want, "unlink {}", &pool[*i]);
+                }
+                Op::Write(i, n) => {
+                    let data = vec![7u8; *n];
+                    let got = fs.write(&pool[*i], 0, &data).map(|_| ());
+                    let want = model.write(&pool[*i], *n);
+                    prop_assert_eq!(got, want, "write {}", &pool[*i]);
+                }
+                Op::Stat(i) => {
+                    let got = fs.stat(&pool[*i]);
+                    match model.nodes.get(&pool[*i]) {
+                        None => prop_assert_eq!(got.unwrap_err(), DufsError::NoEnt),
+                        Some(None) => prop_assert_eq!(got.unwrap().kind, NodeKind::Dir),
+                        Some(Some(size)) => {
+                            let a = got.unwrap();
+                            prop_assert_eq!(a.kind, NodeKind::File);
+                            prop_assert_eq!(a.size as usize, *size);
+                        }
+                    }
+                }
+            }
+        }
+        // Final namespaces agree.
+        for (p, kind) in &model.nodes {
+            if p == "/" { continue; }
+            let attr = fs.stat(p).expect("model node exists in DUFS");
+            match kind {
+                None => prop_assert_eq!(attr.kind, NodeKind::Dir),
+                Some(size) => {
+                    prop_assert_eq!(attr.kind, NodeKind::File);
+                    prop_assert_eq!(attr.size as usize, *size);
+                }
+            }
+        }
+        for p in &pool {
+            if !model.nodes.contains_key(p) {
+                prop_assert_eq!(fs.stat(p).unwrap_err(), DufsError::NoEnt, "{} must not exist", p);
+            }
+        }
+    }
+
+    /// Written data always reads back identically through DUFS, for random
+    /// offsets and payloads (spanning stripe boundaries).
+    #[test]
+    fn read_back_equals_written(
+        writes in proptest::collection::vec((0u64..3000, 1usize..500), 1..12)
+    ) {
+        let mut fs = Dufs::new(9, SoloCoord::new(), LocalBackends::lustre(3));
+        fs.create("/blob", 0o644).unwrap();
+        let mut shadow = Vec::new();
+        for (off, len) in &writes {
+            let data: Vec<u8> = (0..*len).map(|i| ((off + i as u64) % 251) as u8).collect();
+            fs.write("/blob", *off, &data).unwrap();
+            let end = *off as usize + len;
+            if shadow.len() < end {
+                shadow.resize(end, 0);
+            }
+            shadow[*off as usize..end].copy_from_slice(&data);
+        }
+        let got = fs.read("/blob", 0, shadow.len() + 64).unwrap();
+        prop_assert_eq!(&got[..], &shadow[..]);
+        prop_assert_eq!(fs.stat("/blob").unwrap().size as usize, shadow.len());
+    }
+}

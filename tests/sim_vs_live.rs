@@ -1,0 +1,123 @@
+//! The design's core promise, verified: the *same* operation planner drives
+//! both the synchronous library and the discrete-event simulator, so an
+//! identical workload must produce a **bit-identical coordination-service
+//! namespace** in both worlds (content digest over paths, payloads — which
+//! embed FIDs — and versions).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dufs_repro::core::services::{CoordService, LocalBackends, SoloCoord};
+use dufs_repro::core::vfs::Dufs;
+use dufs_repro::coord::{ZkRequest, ZkResponse};
+use dufs_repro::mdtest::scenario::{run_mdtest_report, MdtestConfig, MdtestSystem};
+use dufs_repro::mdtest::workload::{NativeOp, Phase, WorkloadSpec};
+
+/// A shareable handle over one in-process coordination service, so several
+/// live DUFS clients hit a single namespace like the simulated ones do.
+#[derive(Clone)]
+struct SharedSolo(Rc<RefCell<SoloCoord>>);
+
+impl CoordService for SharedSolo {
+    fn request(&mut self, req: ZkRequest) -> ZkResponse {
+        self.0.borrow_mut().request(req)
+    }
+}
+
+fn spec(processes: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        processes,
+        fanout: 10,
+        dirs_per_proc: 9,
+        files_per_proc: 9,
+        // Stop after the file phases so a non-trivial namespace remains
+        // (files present, trees present) for the comparison.
+        phases: vec![Phase::DirCreate, Phase::DirStat, Phase::FileCreate, Phase::FileStat],
+        shared_dir: false,
+    }
+}
+
+#[test]
+fn simulated_and_live_runs_produce_identical_namespaces() {
+    let processes = 6;
+    let zk_servers = 1; // client ids below depend on the topology
+    let n_backends = 2;
+    let s = spec(processes);
+
+    // --- Simulated run.
+    let report = run_mdtest_report(&MdtestConfig {
+        system: MdtestSystem::DufsLustre { zk_servers, backends: n_backends },
+        spec: s.clone(),
+        seed: 77,
+        crash_coord: None,
+    });
+    assert!(report.phases.iter().all(|p| p.errors == 0));
+
+    // --- Live replay: same per-process op streams, same client ids (the
+    // simulator assigns client id = sim node id = zk + backends + 1 + p).
+    let solo = SharedSolo(Rc::new(RefCell::new(SoloCoord::new())));
+    let backends = LocalBackends::lustre(n_backends);
+    let mut clients: Vec<Dufs<SharedSolo, LocalBackends>> = (0..processes)
+        .map(|p| {
+            let client_id = (zk_servers + n_backends + 1 + p) as u64;
+            Dufs::new(client_id, solo.clone(), backends.clone())
+        })
+        .collect();
+    // Setup phase (same as the simulated clients' setup).
+    for (p, fs) in clients.iter_mut().enumerate() {
+        let _ = fs.mkdir("/mdtest", 0o755);
+        fs.mkdir(&WorkloadSpec::proc_root(p), 0o755).unwrap();
+    }
+    // Phases with barrier semantics: all clients finish phase k before k+1.
+    for &phase in &s.phases {
+        for (p, fs) in clients.iter_mut().enumerate() {
+            for op in s.ops_for(p, phase) {
+                match op {
+                    NativeOp::Mkdir(path) => fs.mkdir(&path, 0o755).unwrap(),
+                    NativeOp::Rmdir(path) => fs.rmdir(&path).unwrap(),
+                    NativeOp::Create(path) => {
+                        fs.create(&path, 0o644).unwrap();
+                    }
+                    NativeOp::Unlink(path) => fs.unlink(&path).unwrap(),
+                    NativeOp::StatDir(path) | NativeOp::StatFile(path) => {
+                        fs.stat(&path).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    let live = solo.0.borrow();
+    let live_tree = live.server().tree();
+    assert_eq!(
+        live_tree.node_count(),
+        report.namespace_nodes,
+        "same number of znodes in both worlds"
+    );
+    assert_eq!(
+        live_tree.digest(),
+        report.namespace_digest,
+        "identical namespace contents (paths, FIDs, modes, versions)"
+    );
+}
+
+#[test]
+fn simulated_runs_are_reproducible_across_invocations() {
+    let cfg = MdtestConfig {
+        system: MdtestSystem::DufsLustre { zk_servers: 3, backends: 2 },
+        spec: spec(4),
+        seed: 5,
+        crash_coord: None,
+    };
+    let a = run_mdtest_report(&cfg);
+    let b = run_mdtest_report(&cfg);
+    assert_eq!(a.namespace_digest, b.namespace_digest);
+    assert_eq!(a.namespace_nodes, b.namespace_nodes);
+    let ta: Vec<u64> = a.phases.iter().map(|p| p.ops).collect();
+    let tb: Vec<u64> = b.phases.iter().map(|p| p.ops).collect();
+    assert_eq!(ta, tb);
+    // Throughputs are bit-identical too: virtual time is deterministic.
+    for (x, y) in a.phases.iter().zip(&b.phases) {
+        assert_eq!(x.ops_per_sec.to_bits(), y.ops_per_sec.to_bits());
+    }
+}
