@@ -91,7 +91,12 @@ impl Namespace {
         let mut nodes = HashMap::new();
         nodes.insert(
             pathutil::ROOT.to_string(),
-            NsNode { attr: FileAttr::dir(0), children: BTreeSet::new(), target: None, object: None },
+            NsNode {
+                attr: FileAttr::dir(0),
+                children: BTreeSet::new(),
+                target: None,
+                object: None,
+            },
         );
         Namespace { nodes }
     }
@@ -224,7 +229,13 @@ impl Namespace {
     }
 
     /// Create a regular file backed by `object`.
-    pub fn create_file(&mut self, p: &str, mode: u32, object: ObjectId, now_ns: u64) -> FsResult<()> {
+    pub fn create_file(
+        &mut self,
+        p: &str,
+        mode: u32,
+        object: ObjectId,
+        now_ns: u64,
+    ) -> FsResult<()> {
         pathutil::validate(p)?;
         if self.nodes.contains_key(p) {
             return Err(FsError::Exists);
@@ -320,12 +331,8 @@ impl Namespace {
 
         // Collect the subtree keys under `from` (including itself).
         let prefix = format!("{from}/");
-        let mut moved: Vec<String> = self
-            .nodes
-            .keys()
-            .filter(|k| *k == from || k.starts_with(&prefix))
-            .cloned()
-            .collect();
+        let mut moved: Vec<String> =
+            self.nodes.keys().filter(|k| *k == from || k.starts_with(&prefix)).cloned().collect();
         moved.sort(); // parents before children
 
         let from_parent = pathutil::parent(from).expect("non-root").to_string();
@@ -381,7 +388,13 @@ impl Namespace {
     }
 
     /// `utimens(2)`: set access/modification times explicitly.
-    pub fn set_times(&mut self, p: &str, atime_ns: u64, mtime_ns: u64, now_ns: u64) -> FsResult<()> {
+    pub fn set_times(
+        &mut self,
+        p: &str,
+        atime_ns: u64,
+        mtime_ns: u64,
+        now_ns: u64,
+    ) -> FsResult<()> {
         let n = self.node_mut(p)?;
         n.attr.atime_ns = atime_ns;
         n.attr.mtime_ns = mtime_ns;

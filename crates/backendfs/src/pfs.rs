@@ -193,7 +193,13 @@ impl ParallelFs {
     }
 
     /// `utimens(2)`.
-    pub fn set_times(&mut self, path: &str, atime_ns: u64, mtime_ns: u64, now_ns: u64) -> FsResult<()> {
+    pub fn set_times(
+        &mut self,
+        path: &str,
+        atime_ns: u64,
+        mtime_ns: u64,
+        now_ns: u64,
+    ) -> FsResult<()> {
         self.ns.set_times(path, atime_ns, mtime_ns, now_ns)
     }
 

@@ -170,10 +170,9 @@ impl PfsTimingProfile {
 
     fn alpha_for(&self, op: MetaOpKind) -> f64 {
         match op {
-            MetaOpKind::StatFile
-            | MetaOpKind::StatDir
-            | MetaOpKind::Readdir
-            | MetaOpKind::Open => self.read_contention_alpha,
+            MetaOpKind::StatFile | MetaOpKind::StatDir | MetaOpKind::Readdir | MetaOpKind::Open => {
+                self.read_contention_alpha
+            }
             _ => self.contention_alpha,
         }
     }

@@ -122,12 +122,8 @@ impl Oracle {
         }
         // Move the subtree.
         let prefix = format!("{from}/");
-        let moved: Vec<String> = self
-            .nodes
-            .keys()
-            .filter(|k| *k == from || k.starts_with(&prefix))
-            .cloned()
-            .collect();
+        let moved: Vec<String> =
+            self.nodes.keys().filter(|k| *k == from || k.starts_with(&prefix)).cloned().collect();
         for old in moved {
             let v = self.nodes.remove(&old).expect("collected");
             let new = format!("{to}{}", &old[from.len()..]);

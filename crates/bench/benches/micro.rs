@@ -75,8 +75,15 @@ fn bench_zkstore(c: &mut Criterion) {
     });
     let mut tree = DataTree::new();
     for i in 0..10_000u64 {
-        tree.create(&format!("/n{i}"), Bytes::from_static(b"x"), CreateMode::Persistent, 0, i + 1, 0)
-            .unwrap();
+        tree.create(
+            &format!("/n{i}"),
+            Bytes::from_static(b"x"),
+            CreateMode::Persistent,
+            0,
+            i + 1,
+            0,
+        )
+        .unwrap();
     }
     g.bench_function("get_data_10k", |b| {
         let mut i = 0u64;
@@ -95,7 +102,11 @@ fn bench_zkstore(c: &mut Criterion) {
             k += 1;
             t.apply_multi(
                 &[
-                    MultiOp::Create { path: to, data: Bytes::from_static(b"f"), mode: CreateMode::Persistent },
+                    MultiOp::Create {
+                        path: to,
+                        data: Bytes::from_static(b"f"),
+                        mode: CreateMode::Persistent,
+                    },
                     MultiOp::Delete { path: from, version: None },
                 ],
                 0,
@@ -189,8 +200,7 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| black_box(fs.stat("/d").unwrap()))
     });
     g.bench_function("stat_cached", |b| {
-        let mut fs =
-            Dufs::new(3, CachingCoord::new(SoloCoord::new()), LocalBackends::lustre(2));
+        let mut fs = Dufs::new(3, CachingCoord::new(SoloCoord::new()), LocalBackends::lustre(2));
         fs.mkdir("/d", 0o755).unwrap();
         b.iter(|| black_box(fs.stat("/d").unwrap()))
     });
@@ -231,8 +241,15 @@ fn bench_snapshot(c: &mut Criterion) {
     use dufs_zkstore::snapshot;
     let mut tree = DataTree::new();
     for i in 0..10_000u64 {
-        tree.create(&format!("/n{i}"), Bytes::from_static(b"meta"), CreateMode::Persistent, 0, i + 1, 0)
-            .unwrap();
+        tree.create(
+            &format!("/n{i}"),
+            Bytes::from_static(b"meta"),
+            CreateMode::Persistent,
+            0,
+            i + 1,
+            0,
+        )
+        .unwrap();
     }
     let mut g = c.benchmark_group("snapshot");
     g.bench_function("encode_10k", |b| b.iter(|| black_box(snapshot::encode(&tree))));

@@ -1,0 +1,135 @@
+//! Group-commit ablation — write throughput with ZAB batching and
+//! pipelined client sessions, against the paper's synchronous
+//! one-round-per-write baseline.
+//!
+//! Sweeps batch size × pipeline depth × ensemble size for `zoo_create()`
+//! (the paper's Fig 7a workload, where the write path hurts most) and
+//! reports each cell's throughput next to the batch-1/depth-1 baseline of
+//! the same ensemble. The baseline cells ARE the paper's configuration —
+//! they reproduce Fig 7a unchanged.
+//!
+//! Emits `results/BENCH_groupcommit.json` with the full sweep and the
+//! headline speedup on the largest ensemble. Run with `FULL=1` for the
+//! paper-scale 256-process sweep.
+
+use std::fmt::Write as _;
+
+use dufs_bench::{fmt_ops, full_scale, items_per_proc, Table};
+use dufs_mdtest::scenario::{run_zk_raw_tuned, RawOp, RawRunResult, RawTuning};
+use dufs_zab::ZabConfig;
+
+/// One cell of the sweep.
+struct Run {
+    servers: usize,
+    batch: usize,
+    depth: usize,
+    result: RawRunResult,
+    speedup: f64,
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Every string we emit is a fixed label without quotes or backslashes.
+    debug_assert!(!s.contains('"') && !s.contains('\\'));
+    s
+}
+
+fn write_json(path: &str, procs: usize, items: usize, runs: &[Run], headline: &Run) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"benchmark\": \"{}\",", json_escape_free("groupcommit"));
+    let _ = writeln!(j, "  \"op\": \"zoo_create\",");
+    let _ = writeln!(j, "  \"processes\": {procs},");
+    let _ = writeln!(j, "  \"items_per_proc\": {items},");
+    j.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"servers\": {}, \"batch\": {}, \"depth\": {}, \"ops_per_sec\": {:.1}, \
+             \"mean_latency_us\": {:.1}, \"p99_latency_us\": {:.1}, \"speedup\": {:.3}}}",
+            r.servers,
+            r.batch,
+            r.depth,
+            r.result.ops_per_sec,
+            r.result.mean_latency_us,
+            r.result.p99_latency_us,
+            r.speedup
+        );
+        j.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"headline\": {{\"servers\": {}, \"batch\": {}, \"depth\": {}, \
+         \"baseline_ops_per_sec\": {:.1}, \"tuned_ops_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+        headline.servers,
+        headline.batch,
+        headline.depth,
+        headline.result.ops_per_sec / headline.speedup,
+        headline.result.ops_per_sec,
+        headline.speedup
+    );
+    j.push_str("}\n");
+    if let Err(e) = std::fs::write(path, &j) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let procs = if full_scale() { 256 } else { 64 };
+    let items = items_per_proc();
+    let ensembles = [1usize, 4, 8];
+    let batches = [1usize, 8, 32];
+    let depths = [1usize, 4, 8];
+
+    println!(
+        "Group-commit ablation: zoo_create() ops/sec, {} processes, {} scale\n",
+        procs,
+        if full_scale() { "FULL" } else { "quick" }
+    );
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &servers in &ensembles {
+        let mut t = Table::new(
+            std::iter::once("batch x depth".to_string())
+                .chain(depths.iter().map(|d| format!("depth {d}")))
+                .collect::<Vec<_>>(),
+        );
+        let mut baseline = 0.0f64;
+        for &batch in &batches {
+            let mut row = vec![format!("batch {batch}")];
+            for &depth in &depths {
+                let tuning = RawTuning { zab: ZabConfig::batched(batch, 1), depth };
+                let result = run_zk_raw_tuned(servers, 0, procs, RawOp::Create, items, 42, tuning);
+                if batch == 1 && depth == 1 {
+                    baseline = result.ops_per_sec;
+                }
+                let speedup = result.ops_per_sec / baseline.max(f64::MIN_POSITIVE);
+                row.push(format!("{} ({speedup:.2}x)", fmt_ops(result.ops_per_sec)));
+                runs.push(Run { servers, batch, depth, result, speedup });
+            }
+            t.row(row);
+        }
+        println!("{servers} server(s)  [baseline = batch 1 / depth 1 = paper Fig 7a]");
+        t.print();
+        println!();
+    }
+
+    // Headline: best tuned cell on the largest ensemble vs its baseline.
+    let last = *ensembles.last().expect("ensembles is non-empty");
+    let headline = runs
+        .iter()
+        .filter(|r| r.servers == last && !(r.batch == 1 && r.depth == 1))
+        .max_by(|a, b| a.result.ops_per_sec.total_cmp(&b.result.ops_per_sec))
+        .expect("sweep produced tuned cells");
+    println!(
+        "headline: {last}-server create at {procs} procs: {} -> {} ({:.2}x, batch {} depth {})",
+        fmt_ops(headline.result.ops_per_sec / headline.speedup),
+        fmt_ops(headline.result.ops_per_sec),
+        headline.speedup,
+        headline.batch,
+        headline.depth
+    );
+    write_json("results/BENCH_groupcommit.json", procs, items, &runs, headline);
+}

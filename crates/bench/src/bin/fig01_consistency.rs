@@ -27,7 +27,11 @@ fn naive_apply(order: &[&str], tree: &mut DataTree) {
                 // rename = create new name + delete old name, atomically.
                 let _ = tree.apply_multi(
                     &[
-                        MultiOp::Create { path: "/d2".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+                        MultiOp::Create {
+                            path: "/d2".into(),
+                            data: Bytes::new(),
+                            mode: CreateMode::Persistent,
+                        },
                         MultiOp::Delete { path: "/d1".into(), version: None },
                     ],
                     0,
@@ -78,7 +82,11 @@ fn main() {
         // mv d1 d2 — retried until d1 exists or clearly never will.
         for _ in 0..50 {
             match c2.multi(vec![
-                MultiOp::Create { path: "/d2".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+                MultiOp::Create {
+                    path: "/d2".into(),
+                    data: Bytes::new(),
+                    mode: CreateMode::Persistent,
+                },
                 MultiOp::Delete { path: "/d1".into(), version: None },
             ]) {
                 Ok(_) => break,
@@ -95,9 +103,7 @@ fn main() {
     println!("with the coordination service (3 replicas):");
     println!("  replica digests: {digests:?}");
     let converged = digests.windows(2).all(|w| w[0] == w[1]);
-    println!(
-        "  all replicas identical: {converged} (totally ordered mutations cannot diverge)"
-    );
+    println!("  all replicas identical: {converged} (totally ordered mutations cannot diverge)");
     cluster.shutdown();
 
     assert!(diverged, "the naive setup must exhibit the hazard");

@@ -40,7 +40,13 @@ fn main() {
     for (_, sys) in &systems {
         let mut per_proc = Vec::new();
         for &p in &procs {
-            let cfg = MdtestConfig { system: *sys, spec: spec(p), seed: 7, crash_coord: None };
+            let cfg = MdtestConfig {
+                system: *sys,
+                spec: spec(p),
+                seed: 7,
+                crash_coord: None,
+                zab: Default::default(),
+            };
             per_proc.push(run_mdtest(&cfg));
         }
         results.push(per_proc);

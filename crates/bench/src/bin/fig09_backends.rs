@@ -38,7 +38,13 @@ fn main() {
     for (_, sys) in &systems {
         let mut per_proc = Vec::new();
         for &p in &procs {
-            let cfg = MdtestConfig { system: *sys, spec: spec(p), seed: 11, crash_coord: None };
+            let cfg = MdtestConfig {
+                system: *sys,
+                spec: spec(p),
+                seed: 11,
+                crash_coord: None,
+                zab: Default::default(),
+            };
             per_proc.push(run_mdtest(&cfg));
         }
         results.push(per_proc);

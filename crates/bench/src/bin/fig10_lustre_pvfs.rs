@@ -44,7 +44,13 @@ fn main() {
     for (_, sys) in &systems {
         let mut per_proc = Vec::new();
         for &p in &procs {
-            let cfg = MdtestConfig { system: *sys, spec: spec(p), seed: 13, crash_coord: None };
+            let cfg = MdtestConfig {
+                system: *sys,
+                spec: spec(p),
+                seed: 13,
+                crash_coord: None,
+                zab: Default::default(),
+            };
             per_proc.push(run_mdtest(&cfg));
         }
         results.push(per_proc);
@@ -103,6 +109,10 @@ fn main() {
     );
     println!(
         "\noverall: {}",
-        if ok { "DUFS outperforms Lustre for all 6 operations at max procs (paper SVII)" } else { "some shapes mismatched" }
+        if ok {
+            "DUFS outperforms Lustre for all 6 operations at max procs (paper SVII)"
+        } else {
+            "some shapes mismatched"
+        }
     );
 }

@@ -12,12 +12,12 @@
 
 use bytes::Bytes;
 
+use dufs_backendfs::ParallelFs;
 use dufs_bench::{full_scale, paper, Table};
 use dufs_core::fuse::DummyFuse;
 use dufs_core::meta::NodeMeta;
 use dufs_core::services::{LocalBackends, SoloCoord};
 use dufs_core::vfs::Dufs;
-use dufs_backendfs::ParallelFs;
 use dufs_zkstore::memory::JVM_EQUIVALENT_FACTOR;
 use dufs_zkstore::{CreateMode, DataTree};
 

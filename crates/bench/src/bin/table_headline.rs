@@ -30,7 +30,13 @@ fn main() {
     );
 
     let run = |system: MdtestSystem| {
-        run_mdtest(&MdtestConfig { system, spec: spec.clone(), seed: 99, crash_coord: None })
+        run_mdtest(&MdtestConfig {
+            system,
+            spec: spec.clone(),
+            seed: 99,
+            crash_coord: None,
+            zab: Default::default(),
+        })
     };
     let lustre = run(MdtestSystem::BasicLustre);
     let pvfs = run(MdtestSystem::BasicPvfs2);
@@ -44,7 +50,8 @@ fn main() {
     let mut t = Table::new(vec!["metric", "paper", "measured", "verdict"]);
     let mut check = |name: &str, paper_ratio: f64, measured: f64| {
         // "Shape" criterion: the right side wins, within a loose factor.
-        let verdict = if measured >= 1.0 && (measured / paper_ratio) > 0.4
+        let verdict = if measured >= 1.0
+            && (measured / paper_ratio) > 0.4
             && (measured / paper_ratio) < 3.0
         {
             "OK"
@@ -73,7 +80,8 @@ fn main() {
     t.print();
 
     println!("\nraw numbers (ops/sec):");
-    let mut raw = Table::new(vec!["operation", "Basic Lustre", "DUFS 2xLustre", "Basic PVFS", "DUFS 2xPVFS"]);
+    let mut raw =
+        Table::new(vec!["operation", "Basic Lustre", "DUFS 2xLustre", "Basic PVFS", "DUFS 2xPVFS"]);
     for phase in [Phase::DirCreate, Phase::FileStat] {
         raw.row(vec![
             phase.label().to_string(),

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
-use dufs_zab::{EnsembleConfig, PeerId};
+use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
 use dufs_zkstore::{CreateMode, MultiOp, MultiResult, Stat, ZkError};
 
 use crate::api::{ZkRequest, ZkResponse};
@@ -78,6 +78,18 @@ impl ThreadCluster {
     /// Start `voters` voting servers plus `observers` non-voting read
     /// replicas (ids `voters..voters+observers`).
     pub fn start_with_observers(voters: usize, observers: usize) -> Self {
+        Self::start_full(voters, observers, ZabConfig::default())
+    }
+
+    /// Start an ensemble of `n` voting servers with explicit group-commit
+    /// tuning for the write path.
+    pub fn start_with_config(n: usize, zab: ZabConfig) -> Self {
+        Self::start_full(n, 0, zab)
+    }
+
+    /// Start `voters` + `observers` servers with explicit group-commit
+    /// tuning.
+    pub fn start_full(voters: usize, observers: usize, zab: ZabConfig) -> Self {
         let n = voters + observers;
         let config = EnsembleConfig::with_observers(voters, observers);
         let mut senders = Vec::with_capacity(n);
@@ -96,7 +108,7 @@ impl ThreadCluster {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("coord-{i}"))
-                    .spawn(move || server_thread(me, cfg, rx, peers, epoch))
+                    .spawn(move || server_thread(me, cfg, zab, rx, peers, epoch))
                     .expect("spawn server thread"),
             );
         }
@@ -195,11 +207,12 @@ impl ThreadCluster {
 fn server_thread(
     me: PeerId,
     config: EnsembleConfig,
+    zab: ZabConfig,
     rx: Receiver<Envelope>,
     peers: Vec<Sender<Envelope>>,
     epoch: Instant,
 ) {
-    let (mut server, init) = CoordServer::new(me, config);
+    let (mut server, init) = CoordServer::new_with_config(me, config, zab);
     let mut clients: HashMap<ClientId, Sender<ClientEvent>> = HashMap::new();
     let mut timers: Vec<(Instant, CoordTimer)> = Vec::new();
     let mut alive = true;
@@ -364,6 +377,45 @@ impl ZkClient {
         }
     }
 
+    /// Submit a request WITHOUT waiting for its response — the
+    /// `zoo_acreate`-style asynchronous API. Returns the request id; the
+    /// response arrives later via [`ZkClient::next_completion`].
+    ///
+    /// Per-session FIFO is preserved end to end: requests travel one
+    /// ordered channel to one server, which processes a session's requests
+    /// in arrival order, and responses come back on one ordered channel.
+    /// A session may keep any number of submissions outstanding
+    /// (pipelining); callers bound the depth themselves.
+    pub fn submit(&mut self, req: ZkRequest) -> u64 {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let _ = self.server.send(Envelope::Client {
+            client: self.id,
+            req_id,
+            session: self.session,
+            req,
+        });
+        req_id
+    }
+
+    /// Await the next pipelined response, in submission order. Watch
+    /// notifications encountered on the way are buffered for `take_watch`.
+    /// `None` means timeout or a dead server (treat as connection loss).
+    pub fn next_completion(&mut self) -> Option<(u64, ZkResponse)> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            match self.events.recv_timeout(left) {
+                Ok(ClientEvent::Resp { req_id, resp }) => return Some((req_id, resp)),
+                Ok(ClientEvent::Watch(n)) => self.watches.push_back(n),
+                Err(_) => return None,
+            }
+        }
+    }
+
     /// Issue a request, retrying on `ConnectionLoss` (elections in
     /// progress). Idempotence caveats are the caller's concern, as with
     /// real ZooKeeper.
@@ -395,7 +447,12 @@ impl ZkClient {
     }
 
     /// `zoo_set`.
-    pub fn set_data(&mut self, path: &str, data: Bytes, version: Option<u32>) -> Result<Stat, ZkError> {
+    pub fn set_data(
+        &mut self,
+        path: &str,
+        data: Bytes,
+        version: Option<u32>,
+    ) -> Result<Stat, ZkError> {
         match self.request(ZkRequest::SetData { path: path.into(), data, version }) {
             ZkResponse::Stat(s) => Ok(s),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
@@ -419,7 +476,11 @@ impl ZkClient {
     }
 
     /// `zoo_get_children`.
-    pub fn get_children(&mut self, path: &str, watch: bool) -> Result<(Vec<String>, Stat), ZkError> {
+    pub fn get_children(
+        &mut self,
+        path: &str,
+        watch: bool,
+    ) -> Result<(Vec<String>, Stat), ZkError> {
         match self.request(ZkRequest::GetChildren { path: path.into(), watch }) {
             ZkResponse::Children { names, stat } => Ok((names, stat)),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
@@ -428,10 +489,7 @@ impl ZkClient {
 
     /// Batched listing: children plus each child's data and stat in one
     /// round trip (the primitive behind DUFS `readdir_plus`).
-    pub fn get_children_data(
-        &mut self,
-        path: &str,
-    ) -> Result<Vec<(String, Bytes, Stat)>, ZkError> {
+    pub fn get_children_data(&mut self, path: &str) -> Result<Vec<(String, Bytes, Stat)>, ZkError> {
         match self.request(ZkRequest::GetChildrenData { path: path.into() }) {
             ZkResponse::ChildrenData { entries } => Ok(entries),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),

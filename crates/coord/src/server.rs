@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use dufs_zab::{
-    EnsembleConfig, PeerId, Role, ZabAction, ZabMsg, ZabPeer, ZabTimer, Zxid,
+    EnsembleConfig, PeerId, Role, ZabAction, ZabConfig, ZabMsg, ZabPeer, ZabTimer, Zxid,
 };
 use dufs_zkstore::{snapshot, DataTree, ZkError};
 
@@ -167,9 +167,22 @@ pub struct CoordServer {
 
 impl CoordServer {
     /// Build a server; returns startup actions (election traffic and the
-    /// session sweep timer).
+    /// session sweep timer). Uses the default [`ZabConfig`]: one broadcast
+    /// round per transaction.
     pub fn new(me: PeerId, config: EnsembleConfig) -> (Self, Vec<ServerOut>) {
-        let (peer, zab_acts) = ZabPeer::new(me, config);
+        Self::new_with_config(me, config, ZabConfig::default())
+    }
+
+    /// Build a server with explicit group-commit tuning. With
+    /// `zab.max_batch > 1` the leader accumulates client writes submitted
+    /// while a broadcast round is in flight and replicates them as one
+    /// batch; responses still fan back out per pending tag in `apply`.
+    pub fn new_with_config(
+        me: PeerId,
+        config: EnsembleConfig,
+        zab: ZabConfig,
+    ) -> (Self, Vec<ServerOut>) {
+        let (peer, zab_acts) = ZabPeer::new_with_config(me, config, zab);
         let mut s = CoordServer {
             me,
             peer,
@@ -381,24 +394,57 @@ impl CoordServer {
             ZkRequest::Connect => {
                 let session = (u64::from(self.me.0) << 40) | self.next_session;
                 self.next_session += 1;
-                self.sessions.insert(
+                self.sessions
+                    .insert(session, SessionInfo { client, last_heard_ms: now_ns / 1_000_000 });
+                self.submit_write(
+                    now_ns,
+                    client,
+                    req_id,
                     session,
-                    SessionInfo { client, last_heard_ms: now_ns / 1_000_000 },
+                    TxnOp::CreateSession { session },
+                    out,
                 );
-                self.submit_write(now_ns, client, req_id, session, TxnOp::CreateSession { session }, out);
             }
             ZkRequest::CloseSession => {
-                self.submit_write(now_ns, client, req_id, session, TxnOp::CloseSession { session }, out);
+                self.submit_write(
+                    now_ns,
+                    client,
+                    req_id,
+                    session,
+                    TxnOp::CloseSession { session },
+                    out,
+                );
             }
             // ---- mutations: replicate through the leader ----
             ZkRequest::Create { path, data, mode } => {
-                self.submit_write(now_ns, client, req_id, session, TxnOp::Create { path, data, mode }, out);
+                self.submit_write(
+                    now_ns,
+                    client,
+                    req_id,
+                    session,
+                    TxnOp::Create { path, data, mode },
+                    out,
+                );
             }
             ZkRequest::Delete { path, version } => {
-                self.submit_write(now_ns, client, req_id, session, TxnOp::Delete { path, version }, out);
+                self.submit_write(
+                    now_ns,
+                    client,
+                    req_id,
+                    session,
+                    TxnOp::Delete { path, version },
+                    out,
+                );
             }
             ZkRequest::SetData { path, data, version } => {
-                self.submit_write(now_ns, client, req_id, session, TxnOp::SetData { path, data, version }, out);
+                self.submit_write(
+                    now_ns,
+                    client,
+                    req_id,
+                    session,
+                    TxnOp::SetData { path, data, version },
+                    out,
+                );
             }
             ZkRequest::Multi { ops } => {
                 self.submit_write(now_ns, client, req_id, session, TxnOp::Multi { ops }, out);
@@ -531,7 +577,9 @@ impl CoordServer {
                 let expired: Vec<u64> = self
                     .sessions
                     .iter()
-                    .filter(|(_, info)| now_ms.saturating_sub(info.last_heard_ms) > SESSION_TIMEOUT_MS)
+                    .filter(|(_, info)| {
+                        now_ms.saturating_sub(info.last_heard_ms) > SESSION_TIMEOUT_MS
+                    })
                     .map(|(&s, _)| s)
                     .collect();
                 for session in expired {
@@ -639,7 +687,9 @@ impl CoordServer {
                 Ok((results, ev)) => (ZkResponse::MultiResults(results), ev),
                 Err((_, e)) => (ZkResponse::Error(e), Vec::new()),
             },
-            TxnOp::CreateSession { session } => (ZkResponse::Connected { session: *session }, Vec::new()),
+            TxnOp::CreateSession { session } => {
+                (ZkResponse::Connected { session: *session }, Vec::new())
+            }
             TxnOp::CloseSession { session } => {
                 let (_, ev) = self.tree.close_session(*session, z, t);
                 if let Some(info) = self.sessions.remove(session) {
@@ -753,11 +803,7 @@ mod tests {
         let mut s = single();
         let resp = req(&mut s, 0, ZkRequest::GetData { path: "/missing".into(), watch: false });
         assert_eq!(resp, ZkResponse::Error(ZkError::NoNode));
-        let resp = req(
-            &mut s,
-            0,
-            ZkRequest::Delete { path: "/missing".into(), version: None },
-        );
+        let resp = req(&mut s, 0, ZkRequest::Delete { path: "/missing".into(), version: None });
         assert_eq!(resp, ZkResponse::Error(ZkError::NoNode));
     }
 
@@ -767,7 +813,11 @@ mod tests {
         req(
             &mut s,
             0,
-            ZkRequest::Create { path: "/w".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+            ZkRequest::Create {
+                path: "/w".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            },
         );
         req(&mut s, 0, ZkRequest::GetData { path: "/w".into(), watch: true });
         let out = s.handle(
@@ -776,7 +826,11 @@ mod tests {
                 client: 2,
                 req_id: 1,
                 session: 0,
-                req: ZkRequest::SetData { path: "/w".into(), data: Bytes::from_static(b"x"), version: None },
+                req: ZkRequest::SetData {
+                    path: "/w".into(),
+                    data: Bytes::from_static(b"x"),
+                    version: None,
+                },
             },
         );
         let watch = out.iter().find_map(|o| match o {
@@ -794,7 +848,11 @@ mod tests {
         req(
             &mut s,
             0,
-            ZkRequest::Create { path: "/d".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+            ZkRequest::Create {
+                path: "/d".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            },
         );
         for (name, payload) in [("a", &b"pa"[..]), ("b", b"pb"), ("c", b"pc")] {
             req(
@@ -834,7 +892,11 @@ mod tests {
         req(
             &mut s,
             0,
-            ZkRequest::Create { path: "/a".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+            ZkRequest::Create {
+                path: "/a".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            },
         );
         let resp = req(&mut s, 0, ZkRequest::Sync);
         match resp {
@@ -850,7 +912,11 @@ mod tests {
         req(
             &mut s,
             0,
-            ZkRequest::Create { path: "/p".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+            ZkRequest::Create {
+                path: "/p".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            },
         );
         let ZkResponse::Pong { zxid: z1 } = req(&mut s, 0, ZkRequest::Ping) else { panic!() };
         assert!(z1 > z0);
@@ -859,11 +925,17 @@ mod tests {
     #[test]
     fn close_session_reaps_ephemerals() {
         let mut s = single();
-        let ZkResponse::Connected { session } = req(&mut s, 0, ZkRequest::Connect) else { panic!() };
+        let ZkResponse::Connected { session } = req(&mut s, 0, ZkRequest::Connect) else {
+            panic!()
+        };
         req(
             &mut s,
             session,
-            ZkRequest::Create { path: "/e".into(), data: Bytes::new(), mode: CreateMode::Ephemeral },
+            ZkRequest::Create {
+                path: "/e".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Ephemeral,
+            },
         );
         assert!(matches!(
             req(&mut s, session, ZkRequest::Exists { path: "/e".into(), watch: false }),
@@ -880,11 +952,17 @@ mod tests {
     #[test]
     fn session_expiry_sweep_closes_silent_sessions() {
         let mut s = single();
-        let ZkResponse::Connected { session } = req(&mut s, 0, ZkRequest::Connect) else { panic!() };
+        let ZkResponse::Connected { session } = req(&mut s, 0, ZkRequest::Connect) else {
+            panic!()
+        };
         req(
             &mut s,
             session,
-            ZkRequest::Create { path: "/e".into(), data: Bytes::new(), mode: CreateMode::Ephemeral },
+            ZkRequest::Create {
+                path: "/e".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Ephemeral,
+            },
         );
         // Sweep long after the session timeout with no traffic.
         let later_ns = (SESSION_TIMEOUT_MS + 10_000) * 1_000_000 + 1_000_000;
@@ -914,12 +992,7 @@ mod tests {
             );
         }
         assert!(s.snapshot_zxid() > 0, "a checkpoint was taken");
-        assert!(
-            (s.log_len() as u64) < n,
-            "log compacted: {} entries for {} txns",
-            s.log_len(),
-            n
-        );
+        assert!((s.log_len() as u64) < n, "log compacted: {} entries for {} txns", s.log_len(), n);
         let digest = s.tree().digest();
         let count = s.tree().node_count();
         s.on_crash();
@@ -930,7 +1003,11 @@ mod tests {
         let resp = req(
             &mut s,
             0,
-            ZkRequest::Create { path: "/after".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+            ZkRequest::Create {
+                path: "/after".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            },
         );
         assert_eq!(resp, ZkResponse::Created { path: "/after".into() });
     }
@@ -964,7 +1041,11 @@ mod tests {
         req(
             &mut s,
             0,
-            ZkRequest::Create { path: "/old".into(), data: Bytes::from_static(b"fid1"), mode: CreateMode::Persistent },
+            ZkRequest::Create {
+                path: "/old".into(),
+                data: Bytes::from_static(b"fid1"),
+                mode: CreateMode::Persistent,
+            },
         );
         // DUFS-style rename.
         let resp = req(

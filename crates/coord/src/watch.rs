@@ -141,7 +141,8 @@ mod tests {
         w.register("/a", WatchKind::Data, 1);
         w.register("/a", WatchKind::Exists, 2);
         w.register("/a", WatchKind::Children, 3);
-        let mut fired: Vec<u32> = w.fire(&ChangeEvent::Deleted("/a".into())).iter().map(|f| f.0).collect();
+        let mut fired: Vec<u32> =
+            w.fire(&ChangeEvent::Deleted("/a".into())).iter().map(|f| f.0).collect();
         fired.sort_unstable();
         assert_eq!(fired, vec![1, 2, 3]);
         assert!(w.is_empty());

@@ -11,8 +11,36 @@ fn b(s: &str) -> Bytes {
     Bytes::copy_from_slice(s.as_bytes())
 }
 
+/// Cluster tests use real-time election timers; running many 3-server
+/// ensembles concurrently on a loaded machine makes watchdogs flap. Tests
+/// that start a cluster serialize on this gate (same idiom as the root
+/// consistency suite).
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Poll until the listed replicas hold identical digests (replication has
+/// drained). A fixed sleep is not enough on a loaded CI machine where many
+/// ensembles' threads compete for cores.
+fn await_converged(cluster: &ThreadCluster, replicas: &[usize], timeout: Duration) {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let digests: Vec<u64> = replicas.iter().map(|&i| cluster.status(i).digest).collect();
+        if digests.windows(2).all(|w| w[0] == w[1]) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replicas failed to converge: digests {digests:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
 #[test]
 fn three_server_ensemble_serves_clients() {
+    let _g = serial();
     let cluster = ThreadCluster::start(3);
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
 
@@ -36,6 +64,7 @@ fn three_server_ensemble_serves_clients() {
 
 #[test]
 fn replicas_converge_to_identical_digests() {
+    let _g = serial();
     let cluster = ThreadCluster::start(3);
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let mut c = cluster.client(1);
@@ -43,18 +72,14 @@ fn replicas_converge_to_identical_digests() {
         c.create(&format!("/n{i}"), b("x"), CreateMode::Persistent).unwrap();
     }
     // Let replication drain, then compare replica digests.
-    std::thread::sleep(Duration::from_millis(500));
-    let d0 = cluster.status(0).digest;
-    let d1 = cluster.status(1).digest;
-    let d2 = cluster.status(2).digest;
-    assert_eq!(d0, d1);
-    assert_eq!(d1, d2);
+    await_converged(&cluster, &[0, 1, 2], Duration::from_secs(10));
     assert_eq!(cluster.status(0).node_count, 50);
     cluster.shutdown();
 }
 
 #[test]
 fn conditional_ops_and_errors() {
+    let _g = serial();
     let cluster = ThreadCluster::start(1);
     cluster.await_leader(Duration::from_secs(5)).expect("leader");
     let mut c = cluster.client(0);
@@ -72,6 +97,7 @@ fn conditional_ops_and_errors() {
 
 #[test]
 fn multi_rename_is_atomic_across_ensemble() {
+    let _g = serial();
     let cluster = ThreadCluster::start(3);
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let mut c = cluster.client(0);
@@ -92,6 +118,7 @@ fn multi_rename_is_atomic_across_ensemble() {
 
 #[test]
 fn sequential_znodes_order_across_clients() {
+    let _g = serial();
     let cluster = ThreadCluster::start(3);
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let mut a = cluster.client(0);
@@ -106,6 +133,7 @@ fn sequential_znodes_order_across_clients() {
 
 #[test]
 fn watches_fire_across_clients() {
+    let _g = serial();
     let cluster = ThreadCluster::start(3);
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let mut watcher = cluster.client(0);
@@ -122,6 +150,7 @@ fn watches_fire_across_clients() {
 
 #[test]
 fn ephemerals_vanish_when_session_closes() {
+    let _g = serial();
     let cluster = ThreadCluster::start(3);
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let ephemeral_owner = cluster.client(1);
@@ -141,6 +170,7 @@ fn ephemerals_vanish_when_session_closes() {
 
 #[test]
 fn follower_crash_does_not_lose_service_and_restarts_catch_up() {
+    let _g = serial();
     let cluster = ThreadCluster::start(3);
     let leader = cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let follower = (0..3).find(|&i| i != leader).unwrap();
@@ -154,16 +184,14 @@ fn follower_crash_does_not_lose_service_and_restarts_catch_up() {
     }
     cluster.restart(follower);
     // Allow resync, then the restarted replica must converge.
-    std::thread::sleep(Duration::from_secs(2));
-    let restarted = cluster.status(follower);
-    let reference = cluster.status(surviving);
-    assert!(restarted.alive);
-    assert_eq!(restarted.digest, reference.digest, "restarted follower caught up");
+    await_converged(&cluster, &[follower, surviving], Duration::from_secs(15));
+    assert!(cluster.status(follower).alive);
     cluster.shutdown();
 }
 
 #[test]
 fn observers_serve_reads_in_the_live_runtime() {
+    let _g = serial();
     // 3 voters + 1 observer (server index 3).
     let cluster = ThreadCluster::start_with_observers(3, 1);
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
@@ -183,10 +211,7 @@ fn observers_serve_reads_in_the_live_runtime() {
     assert!(writer.exists("/from-observer", false).unwrap().is_some());
 
     // The observer replica converges with the voters.
-    std::thread::sleep(Duration::from_millis(800));
-    let d_voter = cluster.status(0).digest;
-    let d_obs = cluster.status(3).digest;
-    assert_eq!(d_voter, d_obs, "observer replicated the full stream");
+    await_converged(&cluster, &[0, 3], Duration::from_secs(10));
 
     // Killing the observer must not affect writes at all.
     cluster.crash(3);
@@ -197,6 +222,7 @@ fn observers_serve_reads_in_the_live_runtime() {
 
 #[test]
 fn leader_crash_fails_over_and_preserves_data() {
+    let _g = serial();
     let cluster = ThreadCluster::start(3);
     let leader = cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let other = (0..3).find(|&i| i != leader).unwrap();
@@ -211,7 +237,8 @@ fn leader_crash_fails_over_and_preserves_data() {
     let new_leader = {
         let deadline = std::time::Instant::now() + Duration::from_secs(15);
         loop {
-            if let Some(l) = (0..3).filter(|&i| i != leader).find(|&i| cluster.status(i).is_leader) {
+            if let Some(l) = (0..3).filter(|&i| i != leader).find(|&i| cluster.status(i).is_leader)
+            {
                 break l;
             }
             assert!(std::time::Instant::now() < deadline, "no failover leader");

@@ -141,9 +141,8 @@ impl<C: CoordService> CoordService for CachingCoord<C> {
                 self.stats.misses += 1;
                 // Go to the service with a watch so mutation anywhere
                 // invalidates this entry.
-                let resp = self
-                    .inner
-                    .request(ZkRequest::GetData { path: path.clone(), watch: true });
+                let resp =
+                    self.inner.request(ZkRequest::GetData { path: path.clone(), watch: true });
                 if let ZkResponse::Data { ref data, stat } = resp {
                     self.insert(path.clone(), data.clone(), stat);
                 }

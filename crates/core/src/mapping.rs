@@ -206,10 +206,8 @@ mod tests {
         let before = ConsistentHashRing::new(4);
         let mut after = before.clone();
         after.add_backend(4);
-        let moved = sample
-            .iter()
-            .filter(|f| before.backend_of(**f) != after.backend_of(**f))
-            .count();
+        let moved =
+            sample.iter().filter(|f| before.backend_of(**f) != after.backend_of(**f)).count();
         let frac = moved as f64 / sample.len() as f64;
         // Ideal is 1/5 = 0.20; allow vnode noise.
         assert!((0.12..0.30).contains(&frac), "moved fraction {frac:.3}");
@@ -245,8 +243,7 @@ mod tests {
         let sample = fids(10_000);
         let m4 = Md5Mapping::new(4);
         let m5 = Md5Mapping::new(5);
-        let moved =
-            sample.iter().filter(|f| m4.backend_of(**f) != m5.backend_of(**f)).count();
+        let moved = sample.iter().filter(|f| m4.backend_of(**f) != m5.backend_of(**f)).count();
         let frac = moved as f64 / sample.len() as f64;
         assert!(frac > 0.6, "mod-N should remap most FIDs, got {frac:.3}");
     }

@@ -70,9 +70,9 @@ impl NodeMeta {
     /// Mode bits.
     pub fn mode(&self) -> u32 {
         match self {
-            NodeMeta::Dir { mode } | NodeMeta::File { mode, .. } | NodeMeta::Symlink { mode, .. } => {
-                *mode
-            }
+            NodeMeta::Dir { mode }
+            | NodeMeta::File { mode, .. }
+            | NodeMeta::Symlink { mode, .. } => *mode,
         }
     }
 

@@ -390,17 +390,37 @@ enum St {
     /// Awaiting the parent's metadata before a namespace create (POSIX
     /// requires ENOTDIR when the parent is a file; a bare znode create
     /// would happily nest under anything).
-    ParentCheck { next: Box<St>, create: ZkRequest },
+    ParentCheck {
+        next: Box<St>,
+        create: ZkRequest,
+    },
     MkdirWait,
-    RmdirGet { path: String },
+    RmdirGet {
+        path: String,
+    },
     RmdirDelete,
-    CreateZk { fid: Fid, mode: u32, path: String },
-    CreateBackend { fid: Fid, path: String },
-    CreateCleanup { err: DufsError },
+    CreateZk {
+        fid: Fid,
+        mode: u32,
+        path: String,
+    },
+    CreateBackend {
+        fid: Fid,
+        path: String,
+    },
+    CreateCleanup {
+        err: DufsError,
+    },
     OpenGet,
-    OpenVerify { fid: Fid },
-    UnlinkGet { path: String },
-    UnlinkZk { fid: Option<Fid> },
+    OpenVerify {
+        fid: Fid,
+    },
+    UnlinkGet {
+        path: String,
+    },
+    UnlinkZk {
+        fid: Option<Fid>,
+    },
     UnlinkBackend,
     StatGet,
     StatBackend,
@@ -416,18 +436,34 @@ enum St {
     },
     SymlinkWait,
     ReadlinkGet,
-    ChmodGet { path: String, mode: u32 },
+    ChmodGet {
+        path: String,
+        mode: u32,
+    },
     ChmodZkSet,
     ChmodBackend,
-    AccessGet { mask: u32 },
+    AccessGet {
+        mask: u32,
+    },
     AccessBackend,
-    TruncGet { size: u64 },
+    TruncGet {
+        size: u64,
+    },
     TruncBackend,
-    ReadGet { offset: u64, len: usize },
+    ReadGet {
+        offset: u64,
+        len: usize,
+    },
     ReadBackend,
-    WriteGet { offset: u64, data: Bytes },
+    WriteGet {
+        offset: u64,
+        data: Bytes,
+    },
     WriteBackend,
-    RenameGetSrc { from: String, to: String },
+    RenameGetSrc {
+        from: String,
+        to: String,
+    },
     RenameList {
         from: String,
         to: String,
@@ -442,9 +478,16 @@ enum St {
         root_data: Bytes,
     },
     RenameMulti,
-    UtimensGet { atime_ns: u64, mtime_ns: u64 },
+    UtimensGet {
+        atime_ns: u64,
+        mtime_ns: u64,
+    },
     UtimensBackend,
-    StatFsSweep { acc: DufsStatFs, next_backend: usize, total: usize },
+    StatFsSweep {
+        acc: DufsStatFs,
+        next_backend: usize,
+        total: usize,
+    },
     Finished,
 }
 
@@ -501,7 +544,11 @@ impl OpExec {
     /// Begin executing `op`. `mint_fid` supplies a fresh FID if the op is a
     /// `Create` (minted by the client instance, §IV-E); `mapper` is the
     /// deterministic mapping function.
-    pub fn start(op: MetaOp, mint_fid: impl FnOnce() -> Fid, mapper: &dyn BackendMapper) -> (OpExec, PlanStep) {
+    pub fn start(
+        op: MetaOp,
+        mint_fid: impl FnOnce() -> Fid,
+        mapper: &dyn BackendMapper,
+    ) -> (OpExec, PlanStep) {
         let _ = mapper;
         let (st, step) = match op {
             MetaOp::Mkdir { path, mode } => {
@@ -535,10 +582,9 @@ impl OpExec {
             MetaOp::Stat { path } => {
                 (St::StatGet, PlanStep::Zk(ZkRequest::GetData { path, watch: false }))
             }
-            MetaOp::Readdir { path } => (
-                St::ReaddirWait,
-                PlanStep::Zk(ZkRequest::GetChildren { path, watch: false }),
-            ),
+            MetaOp::Readdir { path } => {
+                (St::ReaddirWait, PlanStep::Zk(ZkRequest::GetChildren { path, watch: false }))
+            }
             MetaOp::ReaddirPlus { path } => {
                 (St::RdPlusList, PlanStep::Zk(ZkRequest::GetChildrenData { path }))
             }
@@ -561,14 +607,12 @@ impl OpExec {
                 St::ChmodGet { path: path.clone(), mode },
                 PlanStep::Zk(ZkRequest::GetData { path, watch: false }),
             ),
-            MetaOp::Access { path, mask } => (
-                St::AccessGet { mask },
-                PlanStep::Zk(ZkRequest::GetData { path, watch: false }),
-            ),
-            MetaOp::Truncate { path, size } => (
-                St::TruncGet { size },
-                PlanStep::Zk(ZkRequest::GetData { path, watch: false }),
-            ),
+            MetaOp::Access { path, mask } => {
+                (St::AccessGet { mask }, PlanStep::Zk(ZkRequest::GetData { path, watch: false }))
+            }
+            MetaOp::Truncate { path, size } => {
+                (St::TruncGet { size }, PlanStep::Zk(ZkRequest::GetData { path, watch: false }))
+            }
             MetaOp::Read { path, offset, len } => (
                 St::ReadGet { offset, len },
                 PlanStep::Zk(ZkRequest::GetData { path, watch: false }),
@@ -1023,11 +1067,7 @@ impl OpExec {
                         self.st = St::RenameMulti;
                         PlanStep::Zk(ZkRequest::Multi {
                             ops: vec![
-                                MultiOp::Create {
-                                    path: to,
-                                    data,
-                                    mode: CreateMode::Persistent,
-                                },
+                                MultiOp::Create { path: to, data, mode: CreateMode::Persistent },
                                 MultiOp::Delete { path: from, version: None },
                             ],
                         })
@@ -1046,7 +1086,14 @@ impl OpExec {
                         for n in names {
                             gets.push_back(child_rel(&dir, &n));
                         }
-                        self.st = St::RenameList { from: from.clone(), to, dirs, gets, collected, root_data };
+                        self.st = St::RenameList {
+                            from: from.clone(),
+                            to,
+                            dirs,
+                            gets,
+                            collected,
+                            root_data,
+                        };
                         self.rename_advance(from)
                     }
                     ZkResponse::Data { data, .. } => {
@@ -1057,7 +1104,14 @@ impl OpExec {
                             dirs.push_back(rel.clone());
                         }
                         collected.push((rel, data));
-                        self.st = St::RenameList { from: from.clone(), to, dirs, gets, collected, root_data };
+                        self.st = St::RenameList {
+                            from: from.clone(),
+                            to,
+                            dirs,
+                            gets,
+                            collected,
+                            root_data,
+                        };
                         self.rename_advance(from)
                     }
                     ZkResponse::Error(e) => self.fail(e),
@@ -1110,7 +1164,11 @@ impl OpExec {
         // Walk complete: build the atomic multi. Creates parent-first (the
         // collection order is BFS), deletes children-first (reverse).
         let mut ops = Vec::with_capacity(2 * collected.len() + 2);
-        ops.push(MultiOp::Create { path: to.clone(), data: root_data, mode: CreateMode::Persistent });
+        ops.push(MultiOp::Create {
+            path: to.clone(),
+            data: root_data,
+            mode: CreateMode::Persistent,
+        });
         for (rel, data) in &collected {
             ops.push(MultiOp::Create {
                 path: join_rel(&to, rel),
@@ -1247,7 +1305,8 @@ mod tests {
     fn unlink_file_deletes_znode_then_physical() {
         let m = mapper();
         let fid = Fid::new(2, 2);
-        let (mut ex, _) = OpExec::start(MetaOp::Unlink { path: "/f".into() }, || unreachable!(), &m);
+        let (mut ex, _) =
+            OpExec::start(MetaOp::Unlink { path: "/f".into() }, || unreachable!(), &m);
         let step = ex.feed(
             StepResponse::Zk(ZkResponse::Data {
                 data: NodeMeta::file(fid, 0o644).encode(),
@@ -1265,7 +1324,8 @@ mod tests {
     #[test]
     fn unlink_of_dir_is_eisdir() {
         let m = mapper();
-        let (mut ex, _) = OpExec::start(MetaOp::Unlink { path: "/d".into() }, || unreachable!(), &m);
+        let (mut ex, _) =
+            OpExec::start(MetaOp::Unlink { path: "/d".into() }, || unreachable!(), &m);
         let done = ex.feed(
             StepResponse::Zk(ZkResponse::Data {
                 data: NodeMeta::dir(0o755).encode(),
@@ -1330,7 +1390,9 @@ mod tests {
             &m,
         );
         // Gets the first child /d1/f.
-        assert!(matches!(step, PlanStep::Zk(ZkRequest::GetData { ref path, .. }) if path == "/d1/f"));
+        assert!(
+            matches!(step, PlanStep::Zk(ZkRequest::GetData { ref path, .. }) if path == "/d1/f")
+        );
         let step = ex.feed(
             StepResponse::Zk(ZkResponse::Data { data: file.clone(), stat: Stat::default() }),
             &m,
@@ -1365,8 +1427,12 @@ mod tests {
                 assert_eq!(
                     descr,
                     vec![
-                        "C /d2", "C /d2/f", "C /d2/sub", //
-                        "D /d1/sub", "D /d1/f", "D /d1"
+                        "C /d2",
+                        "C /d2/f",
+                        "C /d2/sub", //
+                        "D /d1/sub",
+                        "D /d1/f",
+                        "D /d1"
                     ]
                 );
             }
@@ -1403,11 +1469,8 @@ mod tests {
         assert_eq!(done, PlanStep::Done(Ok(OpOutput::Target("/t".into()))));
 
         // Dir access check is answered from metadata alone.
-        let (mut ex, _) = OpExec::start(
-            MetaOp::Access { path: "/d".into(), mask: 5 },
-            || unreachable!(),
-            &m,
-        );
+        let (mut ex, _) =
+            OpExec::start(MetaOp::Access { path: "/d".into(), mask: 5 }, || unreachable!(), &m);
         let done = ex.feed(
             StepResponse::Zk(ZkResponse::Data {
                 data: NodeMeta::dir(0o500).encode(),

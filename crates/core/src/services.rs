@@ -59,6 +59,10 @@ pub struct SoloCoord {
     session: u64,
     clock_ns: u64,
     watches: Vec<WatchNotification>,
+    /// Completed-but-uncollected async submissions, in submission order
+    /// (the in-process server answers synchronously, so FIFO is trivial).
+    completions: std::collections::VecDeque<(u64, ZkResponse)>,
+    next_req: u64,
 }
 
 impl Default for SoloCoord {
@@ -71,7 +75,14 @@ impl SoloCoord {
     /// Build the server and open a session.
     pub fn new() -> Self {
         let (server, _) = CoordServer::new(PeerId(0), EnsembleConfig::of_size(1));
-        let mut solo = SoloCoord { server, session: 0, clock_ns: 1, watches: Vec::new() };
+        let mut solo = SoloCoord {
+            server,
+            session: 0,
+            clock_ns: 1,
+            watches: Vec::new(),
+            completions: std::collections::VecDeque::new(),
+            next_req: 1,
+        };
         match solo.request(ZkRequest::Connect) {
             ZkResponse::Connected { session } => solo.session = session,
             other => unreachable!("solo connect cannot fail: {other:?}"),
@@ -82,6 +93,22 @@ impl SoloCoord {
     /// The underlying server (e.g. for memory accounting).
     pub fn server(&self) -> &CoordServer {
         &self.server
+    }
+
+    /// Asynchronous submission (`zoo_acreate`-style): the in-process server
+    /// executes immediately, but the response is queued for
+    /// [`SoloCoord::next_completion`] in submission order.
+    pub fn submit(&mut self, req: ZkRequest) -> u64 {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let resp = self.request(req);
+        self.completions.push_back((req_id, resp));
+        req_id
+    }
+
+    /// Pop the next queued completion, in submission order.
+    pub fn next_completion(&mut self) -> Option<(u64, ZkResponse)> {
+        self.completions.pop_front()
     }
 }
 
@@ -215,12 +242,15 @@ mod tests {
     fn local_backends_roundtrip() {
         let mut b = LocalBackends::lustre(2);
         assert_eq!(b.n_backends(), 2);
-        let resp =
-            b.call(1, BackendReq::CreateFile { path: "/aa/bb/cc/dd".into(), mode: 0o644 });
+        let resp = b.call(1, BackendReq::CreateFile { path: "/aa/bb/cc/dd".into(), mode: 0o644 });
         assert_eq!(resp, BackendResp::Unit(Ok(())));
         let resp = b.call(
             1,
-            BackendReq::Write { path: "/aa/bb/cc/dd".into(), offset: 0, data: Bytes::from_static(b"hi") },
+            BackendReq::Write {
+                path: "/aa/bb/cc/dd".into(),
+                offset: 0,
+                data: Bytes::from_static(b"hi"),
+            },
         );
         assert_eq!(resp, BackendResp::Written(Ok(2)));
         match b.call(1, BackendReq::Read { path: "/aa/bb/cc/dd".into(), offset: 0, len: 10 }) {

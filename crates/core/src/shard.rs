@@ -28,7 +28,8 @@ pub const COMPONENTS: usize = 4;
 pub fn physical_rel_path(fid: Fid) -> String {
     let hex = fid.to_hex();
     let quarter = hex.len() / COMPONENTS;
-    let mut parts: Vec<&str> = (0..COMPONENTS).map(|i| &hex[i * quarter..(i + 1) * quarter]).collect();
+    let mut parts: Vec<&str> =
+        (0..COMPONENTS).map(|i| &hex[i * quarter..(i + 1) * quarter]).collect();
     parts.reverse();
     parts.join("/")
 }
@@ -72,10 +73,7 @@ mod tests {
     #[test]
     fn absolute_path_forms() {
         let fid = Fid(1);
-        assert_eq!(
-            physical_path("/", fid),
-            "/00000001/00000000/00000000/00000000"
-        );
+        assert_eq!(physical_path("/", fid), "/00000001/00000000/00000000/00000000");
         assert_eq!(physical_path("", fid), physical_path("/", fid));
         assert_eq!(
             physical_path("/mnt/lustre0/", fid),

@@ -293,10 +293,10 @@ impl<C: CoordService, B: BackendSet> Dufs<C, B> {
     pub fn read_at(&mut self, h: DufsHandle, offset: u64, len: usize) -> DufsResult<Bytes> {
         let fid = *self.handles.get(&h.0).ok_or(DufsError::Inval)?;
         let backend = self.mapper.backend_of(fid);
-        match self.backends.call(
-            backend,
-            BackendReq::Read { path: shard::physical_path("/", fid), offset, len },
-        ) {
+        match self
+            .backends
+            .call(backend, BackendReq::Read { path: shard::physical_path("/", fid), offset, len })
+        {
             BackendResp::Data(Ok(d)) => Ok(d),
             BackendResp::Data(Err(e)) => Err(e.into()),
             other => unreachable!("read_at: {other:?}"),
@@ -522,14 +522,11 @@ mod tests {
         }
         let before = fs.coord_mut().server().applied_count();
         let _ = before; // applied_count tracks writes; count reads via steps:
-        // Use the planner directly to count round trips.
+                        // Use the planner directly to count round trips.
         use crate::mapping::Md5Mapping;
         let mapper = Md5Mapping::new(2);
-        let (ex, _first) = OpExec::start(
-            MetaOp::ReaddirPlus { path: "/big".into() },
-            || unreachable!(),
-            &mapper,
-        );
+        let (ex, _first) =
+            OpExec::start(MetaOp::ReaddirPlus { path: "/big".into() }, || unreachable!(), &mapper);
         drop(ex);
         // Functional check through the live stack with step counting.
         let entries = fs.readdir_plus("/big").unwrap();

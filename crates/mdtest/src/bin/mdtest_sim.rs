@@ -19,9 +19,7 @@
 //!     --system dufs-lustre --procs 128 --items 60 --zk 8 --backends 4
 //! ```
 
-use dufs_mdtest::scenario::{
-    run_mdtest_report, CoordCrash, MdtestConfig, MdtestSystem,
-};
+use dufs_mdtest::scenario::{run_mdtest_report, CoordCrash, MdtestConfig, MdtestSystem};
 use dufs_mdtest::workload::{Phase, WorkloadSpec};
 
 fn usage() -> ! {
@@ -60,8 +58,7 @@ fn main() {
             "--seed" => seed = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--crash" => {
                 let spec = next(&mut i);
-                let parts: Vec<u64> =
-                    spec.split(':').filter_map(|s| s.parse().ok()).collect();
+                let parts: Vec<u64> = spec.split(':').filter_map(|s| s.parse().ok()).collect();
                 if parts.len() != 3 {
                     usage();
                 }
@@ -78,6 +75,11 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if procs == 0 || items == 0 || zk == 0 || backends == 0 {
+        eprintln!("--procs/--items/--zk/--backends must be >= 1");
+        usage();
     }
 
     let sys = match system.as_str() {
@@ -113,7 +115,13 @@ fn main() {
     );
     println!();
 
-    let report = run_mdtest_report(&MdtestConfig { system: sys, spec, seed, crash_coord: crash });
+    let report = run_mdtest_report(&MdtestConfig {
+        system: sys,
+        spec,
+        seed,
+        crash_coord: crash,
+        zab: Default::default(),
+    });
 
     println!("SUMMARY rate (of virtual testbed time): (ops/sec)");
     println!(

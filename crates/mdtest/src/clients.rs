@@ -2,13 +2,17 @@
 //! clients (Figs 8–10), and native mdtest clients (the Basic Lustre /
 //! Basic PVFS2 baselines).
 //!
-//! Every client process is a closed loop: it keeps exactly one operation in
-//! flight, as an mdtest process does. Client-side CPU is charged on a
-//! per-physical-node core pool shared by all processes of that node (the
-//! paper ran up to 32 processes per 8-core node, co-located with a
-//! ZooKeeper server — client CPU is a first-class bottleneck there).
+//! Every client process defaults to a closed loop: it keeps exactly one
+//! operation in flight, as an mdtest process does. The raw coordination
+//! clients can additionally run a depth-K pipeline (`zoo_acreate`-style
+//! asynchronous sessions) — depth 1 reproduces the paper's synchronous loop
+//! event for event. Client-side CPU is charged on a per-physical-node core
+//! pool shared by all processes of that node (the paper ran up to 32
+//! processes per 8-core node, co-located with a ZooKeeper server — client
+//! CPU is a first-class bottleneck there).
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -17,7 +21,9 @@ use dufs_coord::{ZkRequest, ZkResponse};
 use dufs_core::fid::FidGenerator;
 use dufs_core::mapping::Md5Mapping;
 use dufs_core::plan::{MetaOp, OpExec, PlanStep, StepResponse};
-use dufs_simnet::{Ctx, LatencyHist, NodeId, Process, ServiceQueue, SimDuration, SimTime, TimerToken};
+use dufs_simnet::{
+    Ctx, LatencyHist, NodeId, Process, ServiceQueue, SimDuration, SimTime, TimerToken,
+};
 use dufs_zkstore::CreateMode;
 
 use crate::costs;
@@ -72,7 +78,17 @@ enum RawState {
     Finished,
 }
 
-/// A Fig 7 client process: closed-loop raw coordination ops.
+/// One outstanding measured request of a pipelined session.
+struct Inflight {
+    req_id: u64,
+    started: SimTime,
+    /// Whether completing this request counts as one measured op (false for
+    /// the create half of a Delete pair).
+    counts: bool,
+}
+
+/// A Fig 7 client process: raw coordination ops, closed-loop at depth 1 or
+/// pipelined with up to `depth` requests outstanding per session.
 pub struct RawZkClientProc {
     id: u64,
     server: NodeId,
@@ -90,10 +106,20 @@ pub struct RawZkClientProc {
     errors: u64,
     /// Per-op latency (measured phase only).
     pub hist: LatencyHist,
-    op_started: SimTime,
     /// Request queued while the CPU charge elapses.
     staged: Option<ZkRequest>,
+    /// Setup-stage request awaited (Connect and the two setup creates are
+    /// always synchronous).
     awaiting: Option<u64>,
+    /// Pipeline window: max measured requests outstanding (1 = the paper's
+    /// synchronous loop).
+    depth: usize,
+    /// Outstanding measured requests, oldest first.
+    inflight: VecDeque<Inflight>,
+    /// Counted measured ops *issued* so far. Issuance is bounded by this
+    /// rather than by completions so a pipelined session stops at exactly
+    /// `items` ops.
+    issued: usize,
 }
 
 impl RawZkClientProc {
@@ -121,10 +147,23 @@ impl RawZkClientProc {
             done_ops: 0,
             errors: 0,
             hist: LatencyHist::new(),
-            op_started: SimTime::ZERO,
             staged: None,
             awaiting: None,
+            depth: 1,
+            inflight: VecDeque::new(),
+            issued: 0,
         }
+    }
+
+    /// Pipeline `depth` measured requests per session (`zoo_acreate`-style).
+    /// Depth 1 is the default synchronous loop.
+    ///
+    /// # Panics
+    /// Panics if `depth` is zero.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "a session needs at least one outstanding slot");
+        self.depth = depth;
+        self
     }
 
     fn base_path(&self) -> String {
@@ -142,59 +181,107 @@ impl RawZkClientProc {
         ctx.set_timer(REQ_TIMEOUT + delay, T_REQ_TIMEOUT_BASE + self.next_req);
         ctx.send_after(
             self.server,
-            ClusterMsg::ZkReq { client: self.id, req_id: self.next_req, session: self.session, req },
+            ClusterMsg::ZkReq {
+                client: self.id,
+                req_id: self.next_req,
+                session: self.session,
+                req,
+            },
             delay,
         );
     }
 
-    fn next_measured_req(&mut self) -> Option<ZkRequest> {
-        if self.done_ops as usize >= self.items {
+    /// Generate the next measured request, with whether its completion
+    /// counts as a measured op. `None` once `items` counted ops have been
+    /// *issued* (some may still be in flight).
+    fn next_measured_req(&mut self) -> Option<(ZkRequest, bool)> {
+        if self.issued >= self.items {
             return None;
         }
-        Some(match self.op {
+        let (req, counts) = match self.op {
             RawOp::Create => {
                 let path = format!("{}/n{}", self.base_path(), self.seq);
                 self.seq += 1;
-                ZkRequest::Create { path, data: Bytes::from_static(b"x"), mode: CreateMode::Persistent }
+                (
+                    ZkRequest::Create {
+                        path,
+                        data: Bytes::from_static(b"x"),
+                        mode: CreateMode::Persistent,
+                    },
+                    true,
+                )
             }
-            RawOp::Get => ZkRequest::GetData { path: self.base_path(), watch: false },
-            RawOp::Set => ZkRequest::SetData {
-                path: self.base_path(),
-                data: Bytes::from_static(b"payload-xxxxxxxx"),
-                version: None,
-            },
+            RawOp::Get => (ZkRequest::GetData { path: self.base_path(), watch: false }, true),
+            RawOp::Set => (
+                ZkRequest::SetData {
+                    path: self.base_path(),
+                    data: Bytes::from_static(b"payload-xxxxxxxx"),
+                    version: None,
+                },
+                true,
+            ),
             RawOp::Delete => {
                 let path = format!("{}/n{}", self.base_path(), self.seq);
                 if self.delete_create_half {
                     self.delete_create_half = false;
-                    ZkRequest::Create { path, data: Bytes::new(), mode: CreateMode::Persistent }
+                    (
+                        ZkRequest::Create {
+                            path,
+                            data: Bytes::new(),
+                            mode: CreateMode::Persistent,
+                        },
+                        false,
+                    )
                 } else {
                     self.delete_create_half = true;
                     self.seq += 1;
-                    ZkRequest::Delete { path, version: None }
+                    (ZkRequest::Delete { path, version: None }, true)
                 }
             }
-        })
+        };
+        if counts {
+            self.issued += 1;
+        }
+        Some((req, counts))
     }
 
-    fn issue_next(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
-        match self.next_measured_req() {
-            Some(req) => {
-                self.op_started = ctx.now();
-                self.send_req(ctx, req, true);
+    /// Submit one measured request: charge client CPU, arm its timeout and
+    /// append it to the pipeline window.
+    fn send_measured(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, req: ZkRequest, counts: bool) {
+        self.next_req += 1;
+        let req_id = self.next_req;
+        let delay = self.cpu.charge(ctx.now(), costs::RAW_CLIENT_OP_US);
+        ctx.set_timer(REQ_TIMEOUT + delay, T_REQ_TIMEOUT_BASE + req_id);
+        ctx.send_after(
+            self.server,
+            ClusterMsg::ZkReq { client: self.id, req_id, session: self.session, req },
+            delay,
+        );
+        self.inflight.push_back(Inflight { req_id, started: ctx.now(), counts });
+    }
+
+    /// Top the pipeline window back up to `depth` outstanding requests; once
+    /// the workload is exhausted *and* the window has drained, report the
+    /// phase done. With depth 1 this is exactly the old issue-one-await-one
+    /// loop.
+    fn fill_window(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+        while self.inflight.len() < self.depth {
+            match self.next_measured_req() {
+                Some((req, counts)) => self.send_measured(ctx, req, counts),
+                None => break,
             }
-            None => {
-                self.state = RawState::Finished;
-                ctx.send(
-                    self.controller,
-                    ClusterMsg::PhaseDone {
+        }
+        if self.inflight.is_empty() {
+            self.state = RawState::Finished;
+            ctx.send(
+                self.controller,
+                ClusterMsg::PhaseDone {
                     client: self.id,
                     ops: self.done_ops,
                     errors: self.errors,
                     hist: std::mem::take(&mut self.hist),
                 },
-                );
-            }
+            );
         }
     }
 }
@@ -241,6 +328,7 @@ impl Process<ClusterMsg> for RawZkClientProc {
                     );
                 }
                 RawState::SetupOwn => {
+                    self.awaiting = None;
                     self.state = RawState::Barrier;
                     ctx.send(
                         self.controller,
@@ -253,28 +341,29 @@ impl Process<ClusterMsg> for RawZkClientProc {
                     );
                 }
                 RawState::Running => {
-                    if self.awaiting != Some(req_id) {
+                    // Match the completion against the pipeline window by
+                    // request id (the live client matches by xid too):
+                    // simulated link jitter may reorder two responses in
+                    // flight, and a response for a timed-out request is
+                    // simply gone from the window.
+                    let Some(pos) = self.inflight.iter().position(|f| f.req_id == req_id) else {
                         return;
-                    }
+                    };
+                    let entry = self.inflight.remove(pos).expect("position is in bounds");
                     if matches!(resp, ZkResponse::Error(_)) {
                         self.errors += 1;
                     }
-                    // For Delete, only count the delete half.
-                    let count = match self.op {
-                        RawOp::Delete => self.delete_create_half, // just sent back to create-half = delete completed
-                        _ => true,
-                    };
-                    if count {
+                    if entry.counts {
                         self.done_ops += 1;
-                        self.hist.record(ctx.now().since(self.op_started));
+                        self.hist.record(ctx.now().since(entry.started));
                     }
-                    self.issue_next(ctx);
+                    self.fill_window(ctx);
                 }
                 RawState::Barrier | RawState::Finished => {}
             },
             ClusterMsg::StartPhase { .. } => {
                 self.state = RawState::Running;
-                self.issue_next(ctx);
+                self.fill_window(ctx);
             }
             other => panic!("raw client got {other:?}"),
         }
@@ -289,16 +378,30 @@ impl Process<ClusterMsg> for RawZkClientProc {
         }
         let req_id = token - T_REQ_TIMEOUT_BASE;
         if self.awaiting == Some(req_id) {
-            // Timed out: retry the whole stage (measured ops count an
-            // error and move on).
+            // A setup stage timed out: retry it (measured ops are handled
+            // through the window below).
             self.awaiting = None;
             match self.state {
                 RawState::Connecting => self.send_req(ctx, ZkRequest::Connect, false),
-                RawState::SetupBench | RawState::SetupOwn | RawState::Running => {
+                RawState::SetupBench | RawState::SetupOwn => {
                     self.errors += 1;
-                    self.issue_next(ctx);
+                    self.fill_window(ctx);
                 }
                 _ => {}
+            }
+            return;
+        }
+        if matches!(self.state, RawState::Running) {
+            if let Some(pos) = self.inflight.iter().position(|f| f.req_id == req_id) {
+                // A measured request timed out: drop it from the window,
+                // count the error, and issue a replacement so the session
+                // still performs `items` measured ops.
+                let entry = self.inflight.remove(pos).expect("position is in bounds");
+                self.errors += 1;
+                if entry.counts {
+                    self.issued -= 1;
+                }
+                self.fill_window(ctx);
             }
         }
     }
@@ -397,7 +500,12 @@ impl DufsClientProc {
         ctx.set_timer(REQ_TIMEOUT + delay, T_REQ_TIMEOUT_BASE + self.next_req);
         ctx.send_after(
             self.zk_server,
-            ClusterMsg::ZkReq { client: self.id, req_id: self.next_req, session: self.session, req },
+            ClusterMsg::ZkReq {
+                client: self.id,
+                req_id: self.next_req,
+                session: self.session,
+                req,
+            },
             delay,
         );
     }
@@ -411,7 +519,12 @@ impl DufsClientProc {
                 ctx.set_timer(REQ_TIMEOUT + delay, T_REQ_TIMEOUT_BASE + self.next_req);
                 ctx.send_after(
                     self.backend_nodes[backend],
-                    ClusterMsg::BeReq { client: self.id, req_id: self.next_req, req, deep_path: true },
+                    ClusterMsg::BeReq {
+                        client: self.id,
+                        req_id: self.next_req,
+                        req,
+                        deep_path: true,
+                    },
                     delay,
                 );
             }

@@ -141,7 +141,12 @@ mod tests {
                     hist.record(SimDuration::from_micros(100 * (idx as u64 + 1)));
                     ctx.send(
                         self.controller,
-                        ClusterMsg::PhaseDone { client: 0, ops: self.ops, errors: idx as u64, hist },
+                        ClusterMsg::PhaseDone {
+                            client: 0,
+                            ops: self.ops,
+                            errors: idx as u64,
+                            hist,
+                        },
                     );
                 }
             }

@@ -27,5 +27,8 @@ pub mod scenario;
 pub mod servers;
 pub mod workload;
 
-pub use scenario::{run_mdtest, run_mdtest_report, run_zk_raw, run_zk_raw_detailed, run_zk_raw_observers, MdtestConfig, MdtestReport, MdtestSystem, PhaseResult, RawOp};
+pub use scenario::{
+    run_mdtest, run_mdtest_report, run_zk_raw, run_zk_raw_detailed, run_zk_raw_observers,
+    run_zk_raw_tuned, MdtestConfig, MdtestReport, MdtestSystem, PhaseResult, RawOp, RawTuning,
+};
 pub use workload::{Phase, WorkloadSpec};

@@ -1,8 +1,8 @@
 //! The unified message type of the simulated testbed.
 
 use dufs_coord::{CoordMsg, ZkRequest, ZkResponse};
-use dufs_simnet::LatencyHist;
 use dufs_core::plan::{BackendReq, BackendResp};
+use dufs_simnet::LatencyHist;
 use dufs_zab::PeerId;
 
 use crate::workload::NativeOp;
@@ -126,7 +126,11 @@ pub fn wire_size(msg: &ClusterMsg) -> usize {
         ClusterMsg::CoordPeer { msg, .. } => {
             64 + match msg {
                 CoordMsg::Zab(dufs_zab::ZabMsg::SyncLog { entries, .. }) => 128 * entries.len(),
-                CoordMsg::Zab(dufs_zab::ZabMsg::Propose { .. }) => 160,
+                // Group-commit batches pay the bandwidth term per carried
+                // transaction (a batch of one costs exactly what a single
+                // Propose always did).
+                CoordMsg::Zab(dufs_zab::ZabMsg::Propose { txns, .. }) => 160 * txns.len(),
+                CoordMsg::Zab(dufs_zab::ZabMsg::Inform { txns, .. }) => 32 * txns.len(),
                 CoordMsg::Forward { .. } => 160,
                 _ => 32,
             }

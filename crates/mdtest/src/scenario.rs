@@ -9,11 +9,11 @@
 use rand::rngs::StdRng;
 
 use dufs_backendfs::ParallelFs;
-use dufs_simnet::{LatencyModel, NodeId, Sim, SimDuration, SimTime, GigEModel};
-use dufs_zab::{EnsembleConfig, PeerId};
+use dufs_simnet::{GigEModel, LatencyModel, NodeId, Sim, SimDuration, SimTime};
+use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
 
-use crate::clients::{DufsClientProc, NativeClientProc, NodeCpu, RawZkClientProc};
 pub use crate::clients::RawOp;
+use crate::clients::{DufsClientProc, NativeClientProc, NodeCpu, RawZkClientProc};
 use crate::controller::ControllerProc;
 use crate::costs;
 use crate::msg::{wire_size, ClusterMsg};
@@ -73,6 +73,9 @@ pub struct MdtestConfig {
     /// virtual time, restarting it `down_ms` later (paper §IV-I: the
     /// service rides out server failures as long as a quorum survives).
     pub crash_coord: Option<CoordCrash>,
+    /// ZAB group-commit tuning for the coordination ensemble. The default
+    /// (`max_batch == 1`) is the configuration the paper measured.
+    pub zab: ZabConfig,
 }
 
 /// A scheduled coordination-server crash/restart.
@@ -87,9 +90,28 @@ pub struct CoordCrash {
 }
 
 impl MdtestConfig {
-    /// A fault-free configuration.
+    /// A fault-free configuration with the paper's write path (no
+    /// batching).
     pub fn new(system: MdtestSystem, spec: WorkloadSpec, seed: u64) -> Self {
-        MdtestConfig { system, spec, seed, crash_coord: None }
+        MdtestConfig { system, spec, seed, crash_coord: None, zab: ZabConfig::default() }
+    }
+}
+
+/// Write-path tuning for a raw coordination run: server-side group commit
+/// plus client-side session pipelining. [`RawTuning::default`] reproduces
+/// the paper's Fig 7 configuration exactly (batch 1, depth 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawTuning {
+    /// Group-commit configuration for every coordination server.
+    pub zab: ZabConfig,
+    /// Outstanding requests per client session (`zoo_acreate`-style);
+    /// 1 is the paper's synchronous closed loop.
+    pub depth: usize,
+}
+
+impl Default for RawTuning {
+    fn default() -> Self {
+        RawTuning { zab: ZabConfig::default(), depth: 1 }
     }
 }
 
@@ -119,13 +141,7 @@ struct TestbedLatency {
 }
 
 impl LatencyModel for TestbedLatency {
-    fn sample(
-        &self,
-        rng: &mut StdRng,
-        src: NodeId,
-        dst: NodeId,
-        size_bytes: usize,
-    ) -> SimDuration {
+    fn sample(&self, rng: &mut StdRng, src: NodeId, dst: NodeId, size_bytes: usize) -> SimDuration {
         let ps = self.phys.get(src.index()).copied().unwrap_or(u32::MAX);
         let pd = self.phys.get(dst.index()).copied().unwrap_or(u32::MAX - 1);
         if ps == pd {
@@ -170,7 +186,24 @@ pub fn run_zk_raw_observers(
     items: usize,
     seed: u64,
 ) -> f64 {
-    run_zk_raw_capture(voters, observers, processes, op, items, seed).0
+    run_zk_raw_capture(voters, observers, processes, op, items, seed, RawTuning::default()).0
+}
+
+/// As [`run_zk_raw_observers`] with explicit write-path tuning (group
+/// commit × pipeline depth). `RawTuning::default()` runs the *identical*
+/// simulation the untuned entry points do.
+pub fn run_zk_raw_tuned(
+    voters: usize,
+    observers: usize,
+    processes: usize,
+    op: RawOp,
+    items: usize,
+    seed: u64,
+    tuning: RawTuning,
+) -> RawRunResult {
+    let (ops_per_sec, mean, p99) =
+        run_zk_raw_capture(voters, observers, processes, op, items, seed, tuning);
+    RawRunResult { ops_per_sec, mean_latency_us: mean, p99_latency_us: p99 }
 }
 
 fn run_zk_raw_capture(
@@ -180,12 +213,13 @@ fn run_zk_raw_capture(
     op: RawOp,
     items: usize,
     seed: u64,
+    tuning: RawTuning,
 ) -> (f64, f64, f64) {
     let zk_servers = voters + observers;
     assert!(voters >= 1 && processes >= 1);
     let n_nodes = zk_servers + 1 + processes; // servers, controller, clients
-    // Physical placement: coordination server i on client node i (§V-A:
-    // ZooKeeper servers run along with the clients).
+                                              // Physical placement: coordination server i on client node i (§V-A:
+                                              // ZooKeeper servers run along with the clients).
     let mut phys = Vec::with_capacity(n_nodes);
     for i in 0..zk_servers {
         phys.push((i % costs::CLIENT_NODES) as u32);
@@ -195,14 +229,18 @@ fn run_zk_raw_capture(
         phys.push((p % costs::CLIENT_NODES) as u32);
     }
 
-    let mut sim: Sim<ClusterMsg> =
-        Sim::new(seed, TestbedLatency { phys, net: GigEModel::gige() });
+    let mut sim: Sim<ClusterMsg> = Sim::new(seed, TestbedLatency { phys, net: GigEModel::gige() });
     sim.set_message_sizer(wire_size);
 
     let ensemble = EnsembleConfig::with_observers(voters, observers);
     let peer_nodes: Vec<NodeId> = (0..zk_servers as u32).map(NodeId).collect();
     for i in 0..zk_servers {
-        sim.add_node(CoordServerProc::new(PeerId(i as u32), ensemble.clone(), peer_nodes.clone()));
+        sim.add_node(CoordServerProc::new_with_config(
+            PeerId(i as u32),
+            ensemble.clone(),
+            peer_nodes.clone(),
+            tuning.zab,
+        ));
     }
     let ctrl = NodeId(zk_servers as u32);
     let client_ids: Vec<NodeId> =
@@ -213,14 +251,17 @@ fn run_zk_raw_capture(
         (0..costs::CLIENT_NODES).map(|_| NodeCpu::new(costs::NODE_CORES)).collect();
     for (p, &node) in client_ids.iter().enumerate() {
         let server = NodeId((p % zk_servers) as u32);
-        let added = sim.add_node(RawZkClientProc::new(
-            node.0 as u64,
-            server,
-            ctrl,
-            cpus[p % costs::CLIENT_NODES].clone(),
-            op,
-            items,
-        ));
+        let added = sim.add_node(
+            RawZkClientProc::new(
+                node.0 as u64,
+                server,
+                ctrl,
+                cpus[p % costs::CLIENT_NODES].clone(),
+                op,
+                items,
+            )
+            .with_depth(tuning.depth),
+        );
         assert_eq!(added, node);
     }
 
@@ -256,7 +297,7 @@ pub fn run_zk_raw_detailed(
     // same run the plain variant would do; the helper exists to keep the
     // common path's signature simple).
     let (ops_per_sec, mean, p99) =
-        run_zk_raw_capture(voters, observers, processes, op, items, seed);
+        run_zk_raw_capture(voters, observers, processes, op, items, seed, RawTuning::default());
     RawRunResult { ops_per_sec, mean_latency_us: mean, p99_latency_us: p99 }
 }
 
@@ -313,7 +354,12 @@ pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
     let ensemble = EnsembleConfig::of_size(zk_servers.max(1));
     let peer_nodes: Vec<NodeId> = (0..zk_servers as u32).map(NodeId).collect();
     for i in 0..zk_servers {
-        sim.add_node(CoordServerProc::new(PeerId(i as u32), ensemble.clone(), peer_nodes.clone()));
+        sim.add_node(CoordServerProc::new_with_config(
+            PeerId(i as u32),
+            ensemble.clone(),
+            peer_nodes.clone(),
+            cfg.zab,
+        ));
     }
     // Back-end mounts.
     let backend_nodes: Vec<NodeId> = (0..n_backends)
@@ -326,9 +372,8 @@ pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
         .collect();
     // Controller.
     let ctrl = NodeId((zk_servers + n_backends) as u32);
-    let client_ids: Vec<NodeId> = (0..spec.processes)
-        .map(|p| NodeId((zk_servers + n_backends + 1 + p) as u32))
-        .collect();
+    let client_ids: Vec<NodeId> =
+        (0..spec.processes).map(|p| NodeId((zk_servers + n_backends + 1 + p) as u32)).collect();
     sim.add_node(ControllerProc::new(client_ids.clone(), spec.phases.len()));
 
     // Client processes.
@@ -421,6 +466,39 @@ mod tests {
     }
 
     #[test]
+    fn tuned_defaults_reproduce_the_untuned_run_exactly() {
+        // The tuned entry point with batch 1 / depth 1 must be the *same*
+        // simulation as the paper-parity path — bit-identical throughput,
+        // not merely close (runs are deterministic per seed).
+        let base = run_zk_raw(3, 24, RawOp::Create, 30, 17);
+        let tuned = run_zk_raw_tuned(3, 0, 24, RawOp::Create, 30, 17, RawTuning::default());
+        assert_eq!(base, tuned.ops_per_sec, "batch 1 / depth 1 must be the paper's write path");
+    }
+
+    #[test]
+    fn group_commit_and_pipelining_raise_write_throughput() {
+        // The gain grows with ensemble size (group commit amortizes the
+        // per-transaction follower fan-out), so measure where the paper's
+        // write path is at its worst: 8 voters.
+        let base = run_zk_raw(8, 24, RawOp::Create, 30, 17);
+        let tuned = run_zk_raw_tuned(
+            8,
+            0,
+            24,
+            RawOp::Create,
+            30,
+            17,
+            RawTuning { zab: ZabConfig::batched(32, 1), depth: 8 },
+        );
+        assert!(
+            tuned.ops_per_sec > base * 1.5,
+            "batched+pipelined writes must beat the synchronous loop: {} vs {}",
+            tuned.ops_per_sec,
+            base
+        );
+    }
+
+    #[test]
     fn raw_get_scales_with_servers_and_create_does_not() {
         let get1 = run_zk_raw(1, 32, RawOp::Get, 40, 1);
         let get4 = run_zk_raw(4, 32, RawOp::Get, 40, 1);
@@ -438,6 +516,7 @@ mod tests {
             spec: small_spec(16),
             seed: 3,
             crash_coord: None,
+            zab: Default::default(),
         };
         let res = run_mdtest(&cfg);
         assert_eq!(res.len(), 6);
@@ -463,6 +542,7 @@ mod tests {
             spec: small_spec(12),
             seed: 9,
             crash_coord: Some(CoordCrash { server: 2, at_ms: 2_000, down_ms: 5_000 }),
+            zab: Default::default(),
         };
         let report = run_mdtest_report(&cfg);
         assert_eq!(report.phases.len(), 6);
@@ -484,6 +564,7 @@ mod tests {
             spec: small_spec(16),
             seed: 5,
             crash_coord: None,
+            zab: Default::default(),
         };
         let res = run_mdtest(&cfg);
         assert_eq!(res.len(), 6);

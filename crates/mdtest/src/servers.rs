@@ -1,13 +1,13 @@
 //! Simulated server processes: coordination servers and back-end
 //! metadata/IO servers.
 
+use dufs_backendfs::{MetaOpKind, ParallelFs};
 use dufs_coord::server::{CoordServer, CoordTimer, ServerIn, ServerOut};
 use dufs_coord::ZkRequest;
 use dufs_core::plan::BackendReq;
 use dufs_core::services::apply_backend_req;
 use dufs_simnet::{Ctx, NodeId, Process, ServiceQueue, SimDuration, TimerToken};
-use dufs_zab::{EnsembleConfig, PeerId};
-use dufs_backendfs::{MetaOpKind, ParallelFs};
+use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
 
 use crate::costs;
 use crate::msg::ClusterMsg;
@@ -32,7 +32,18 @@ impl CoordServerProc {
     /// Build server `peer` of `ensemble`; `peer_nodes[i]` must be the sim
     /// node hosting peer `i`.
     pub fn new(peer: PeerId, ensemble: EnsembleConfig, peer_nodes: Vec<NodeId>) -> Self {
-        let (server, startup) = CoordServer::new(peer, ensemble);
+        Self::new_with_config(peer, ensemble, peer_nodes, ZabConfig::default())
+    }
+
+    /// As [`CoordServerProc::new`] with explicit ZAB group-commit tuning
+    /// (the default reproduces the paper's one-round-per-write broadcast).
+    pub fn new_with_config(
+        peer: PeerId,
+        ensemble: EnsembleConfig,
+        peer_nodes: Vec<NodeId>,
+        zab: ZabConfig,
+    ) -> Self {
+        let (server, startup) = CoordServer::new_with_config(peer, ensemble, zab);
         CoordServerProc {
             server,
             peer_nodes,
@@ -62,15 +73,28 @@ impl CoordServerProc {
 
     /// Execute server outputs, sending network messages after `delay`
     /// (the request's residual service time).
-    fn dispatch(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, outs: Vec<ServerOut>, delay: SimDuration) {
+    fn dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_, ClusterMsg>,
+        outs: Vec<ServerOut>,
+        delay: SimDuration,
+    ) {
         for o in outs {
             match o {
                 ServerOut::Client { client, req_id, resp } => {
-                    ctx.send_after(NodeId(client as u32), ClusterMsg::ZkResp { client, req_id, resp }, delay);
+                    ctx.send_after(
+                        NodeId(client as u32),
+                        ClusterMsg::ZkResp { client, req_id, resp },
+                        delay,
+                    );
                 }
                 ServerOut::Peer { to, msg } => {
                     let node = self.peer_nodes[to.0 as usize];
-                    ctx.send_after(node, ClusterMsg::CoordPeer { from: self.server.id(), msg }, delay);
+                    ctx.send_after(
+                        node,
+                        ClusterMsg::CoordPeer { from: self.server.id(), msg },
+                        delay,
+                    );
                 }
                 ServerOut::Timer { timer, after_ms } => {
                     let token = self.timers.len() as TimerToken;
@@ -92,8 +116,7 @@ impl CoordServerProc {
         outs: Vec<ServerOut>,
         base_cost_us: f64,
     ) {
-        let peer_sends =
-            outs.iter().filter(|o| matches!(o, ServerOut::Peer { .. })).count() as f64;
+        let peer_sends = outs.iter().filter(|o| matches!(o, ServerOut::Peer { .. })).count() as f64;
         let cost = costs::us(base_cost_us + peer_sends * costs::ZK_PEER_MSG_US);
         let done = self.queue.complete_at(ctx.now(), cost);
         let delay = done.since(ctx.now());
@@ -175,7 +198,11 @@ impl BackendProc {
     /// Wrap a functional filesystem instance.
     pub fn new(fs: ParallelFs) -> Self {
         let width = fs.profile().mds_parallelism;
-        BackendProc { fs, queue: ServiceQueue::new(width), dir_locks: std::collections::HashMap::new() }
+        BackendProc {
+            fs,
+            queue: ServiceQueue::new(width),
+            dir_locks: std::collections::HashMap::new(),
+        }
     }
 
     fn parent_of(path: &str) -> String {
@@ -253,14 +280,20 @@ impl Process<ClusterMsg> for BackendProc {
                 };
                 let done = self.queue.complete_at(start, service);
                 let resp = apply_backend_req(&mut self.fs, req, done.as_nanos());
-                ctx.send_after(from, ClusterMsg::BeResp { client, req_id, resp }, done.since(ctx.now()));
+                ctx.send_after(
+                    from,
+                    ClusterMsg::BeResp { client, req_id, resp },
+                    done.since(ctx.now()),
+                );
             }
             ClusterMsg::NativeReq { client, req_id, op } => {
                 let kind = Self::kind_of_native(&op);
                 let load = self.queue.in_flight(ctx.now());
                 let service = self.fs.profile().service_time(kind, load);
                 let start = match &op {
-                    NativeOp::Mkdir(p) | NativeOp::Rmdir(p) | NativeOp::Create(p)
+                    NativeOp::Mkdir(p)
+                    | NativeOp::Rmdir(p)
+                    | NativeOp::Create(p)
                     | NativeOp::Unlink(p) => self.mutation_start(ctx.now(), p),
                     _ => ctx.now(),
                 };
@@ -268,14 +301,21 @@ impl Process<ClusterMsg> for BackendProc {
                 let t = done.as_nanos();
                 let ok = match &op {
                     NativeOp::Mkdir(p) => {
-                        matches!(self.fs.mkdir(p, 0o755, t), Ok(()) | Err(dufs_backendfs::FsError::Exists))
+                        matches!(
+                            self.fs.mkdir(p, 0o755, t),
+                            Ok(()) | Err(dufs_backendfs::FsError::Exists)
+                        )
                     }
                     NativeOp::Rmdir(p) => self.fs.rmdir(p, t).is_ok(),
                     NativeOp::Create(p) => self.fs.create(p, 0o644, t).is_ok(),
                     NativeOp::Unlink(p) => self.fs.unlink(p, t).is_ok(),
                     NativeOp::StatDir(p) | NativeOp::StatFile(p) => self.fs.stat(p).is_ok(),
                 };
-                ctx.send_after(from, ClusterMsg::NativeResp { client, req_id, ok }, done.since(ctx.now()));
+                ctx.send_after(
+                    from,
+                    ClusterMsg::NativeResp { client, req_id, ok },
+                    done.since(ctx.now()),
+                );
             }
             other => panic!("backend got unexpected message {other:?}"),
         }

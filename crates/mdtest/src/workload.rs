@@ -162,9 +162,7 @@ impl WorkloadSpec {
     /// The operations process `proc` performs in `phase`, in order.
     pub fn ops_for(&self, proc: usize, phase: Phase) -> Vec<NativeOp> {
         match phase {
-            Phase::DirCreate => {
-                self.dir_paths(proc).into_iter().map(NativeOp::Mkdir).collect()
-            }
+            Phase::DirCreate => self.dir_paths(proc).into_iter().map(NativeOp::Mkdir).collect(),
             Phase::DirStat => self.dir_paths(proc).into_iter().map(NativeOp::StatDir).collect(),
             Phase::DirRemove => {
                 let mut v: Vec<NativeOp> =
@@ -172,15 +170,9 @@ impl WorkloadSpec {
                 v.reverse(); // children before parents
                 v
             }
-            Phase::FileCreate => {
-                self.file_paths(proc).into_iter().map(NativeOp::Create).collect()
-            }
-            Phase::FileStat => {
-                self.file_paths(proc).into_iter().map(NativeOp::StatFile).collect()
-            }
-            Phase::FileRemove => {
-                self.file_paths(proc).into_iter().map(NativeOp::Unlink).collect()
-            }
+            Phase::FileCreate => self.file_paths(proc).into_iter().map(NativeOp::Create).collect(),
+            Phase::FileStat => self.file_paths(proc).into_iter().map(NativeOp::StatFile).collect(),
+            Phase::FileRemove => self.file_paths(proc).into_iter().map(NativeOp::Unlink).collect(),
         }
     }
 
@@ -202,7 +194,14 @@ mod tests {
     use super::*;
 
     fn spec() -> WorkloadSpec {
-        WorkloadSpec { processes: 4, fanout: 10, dirs_per_proc: 25, files_per_proc: 30, phases: Phase::ALL.to_vec(), shared_dir: false }
+        WorkloadSpec {
+            processes: 4,
+            fanout: 10,
+            dirs_per_proc: 25,
+            files_per_proc: 30,
+            phases: Phase::ALL.to_vec(),
+            shared_dir: false,
+        }
     }
 
     #[test]
@@ -217,8 +216,10 @@ mod tests {
             assert!(d.starts_with(parent.as_str()), "{d} under {parent}");
         }
         // Fan-out: d0 has children d1..=d10 (10 children max).
-        let children_of_d0 =
-            dirs.iter().filter(|d| d.starts_with("/mdtest/p0/d0/") && d.matches('/').count() == 4).count();
+        let children_of_d0 = dirs
+            .iter()
+            .filter(|d| d.starts_with("/mdtest/p0/d0/") && d.matches('/').count() == 4)
+            .count();
         assert!(children_of_d0 <= 10);
     }
 

@@ -20,13 +20,7 @@ use rand::RngExt;
 /// `dst`.
 pub trait LatencyModel {
     /// Sample a delivery latency. `rng` is the simulator's deterministic RNG.
-    fn sample(
-        &self,
-        rng: &mut StdRng,
-        src: NodeId,
-        dst: NodeId,
-        size_bytes: usize,
-    ) -> SimDuration;
+    fn sample(&self, rng: &mut StdRng, src: NodeId, dst: NodeId, size_bytes: usize) -> SimDuration;
 }
 
 /// A constant latency for every message — useful in unit tests where exact
@@ -178,8 +172,7 @@ mod tests {
         let m = GigEModel::default();
         let mut rng = StdRng::seed_from_u64(5);
         let n = 20_000;
-        let sum: u64 =
-            (0..n).map(|_| m.sample(&mut rng, NodeId(0), NodeId(1), 0).as_nanos()).sum();
+        let sum: u64 = (0..n).map(|_| m.sample(&mut rng, NodeId(0), NodeId(1), 0).as_nanos()).sum();
         let mean = sum as f64 / n as f64;
         let expect = (m.base + m.jitter_mean).as_nanos() as f64;
         assert!((mean - expect).abs() < 1_500.0, "mean={mean} expect={expect}");

@@ -166,8 +166,7 @@ impl<M: 'static> Sim<M> {
 
     fn start_node(&mut self, id: NodeId) {
         let slot = &mut self.nodes[id.index()];
-        let mut ctx =
-            Ctx { kernel: &mut self.kernel, self_id: id, self_epoch: slot.epoch };
+        let mut ctx = Ctx { kernel: &mut self.kernel, self_id: id, self_epoch: slot.epoch };
         slot.proc.on_start(&mut ctx);
     }
 

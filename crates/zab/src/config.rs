@@ -11,6 +11,41 @@ impl std::fmt::Display for PeerId {
     }
 }
 
+/// Tuning knobs for the broadcast phase: **group commit** in the write
+/// path. The leader coalesces up to `max_batch` submitted transactions into
+/// a single `Propose` sharing one contiguous zxid range and one quorum
+/// ACK/COMMIT round; a partially filled batch is flushed `flush_ms` after
+/// its first transaction arrives (Nagle-style).
+///
+/// The default (`max_batch == 1`) reproduces classic one-round-per-
+/// transaction ZAB exactly — the configuration the paper measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZabConfig {
+    /// Maximum transactions coalesced into one proposal. Must be ≥ 1;
+    /// 1 disables batching (no flush timer is ever armed).
+    pub max_batch: usize,
+    /// Flush delay in (virtual) milliseconds for a partially filled batch,
+    /// counted from the batch's first transaction.
+    pub flush_ms: u64,
+}
+
+impl Default for ZabConfig {
+    fn default() -> Self {
+        ZabConfig { max_batch: 1, flush_ms: 2 }
+    }
+}
+
+impl ZabConfig {
+    /// A batching configuration.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn batched(max_batch: usize, flush_ms: u64) -> Self {
+        assert!(max_batch >= 1, "a batch holds at least one transaction");
+        ZabConfig { max_batch, flush_ms }
+    }
+}
+
 /// Static membership of a replication ensemble: voting members plus
 /// optional non-voting **observers** (ZooKeeper's read-scaling mechanism:
 /// an observer receives the committed stream and serves reads, but never

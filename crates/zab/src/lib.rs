@@ -40,7 +40,7 @@ pub mod msg;
 pub mod peer;
 pub mod zxid;
 
-pub use config::{EnsembleConfig, PeerId};
+pub use config::{EnsembleConfig, PeerId, ZabConfig};
 pub use msg::{ZabAction, ZabMsg, ZabTimer};
 pub use peer::{Role, ZabPeer};
 pub use zxid::Zxid;

@@ -72,16 +72,21 @@ pub enum ZabMsg<T> {
         /// The epoch whose sync is acknowledged.
         epoch: u32,
     },
-    /// Leader → follower: replicate one transaction.
+    /// Leader → follower: replicate a **batch** of transactions sharing one
+    /// contiguous zxid range and one quorum ACK/COMMIT round (group
+    /// commit). `zxid` identifies the first transaction; entry `i` carries
+    /// id `(zxid.epoch, zxid.counter + i)`. A batch of one is classic
+    /// per-transaction ZAB.
     Propose {
-        /// Transaction id.
+        /// Id of the first transaction in the batch.
         zxid: Zxid,
-        /// Payload.
-        txn: T,
+        /// Payloads, in zxid order. Never empty.
+        txns: Vec<T>,
     },
-    /// Follower → leader: transaction logged.
+    /// Follower → leader: batch logged. Acknowledges the batch's *last*
+    /// zxid — logging is atomic per batch, so one ack covers the range.
     Ack {
-        /// Acknowledged transaction id.
+        /// Acknowledged transaction id (last of its batch).
         zxid: Zxid,
     },
     /// Leader → follower: deliver everything up to `zxid`.
@@ -89,15 +94,16 @@ pub enum ZabMsg<T> {
         /// Commit watermark.
         zxid: Zxid,
     },
-    /// Leader → observer: a committed transaction (ZooKeeper's INFORM).
+    /// Leader → observer: committed transactions (ZooKeeper's INFORM).
     /// Observers skip the propose/ack round entirely — one message per
     /// commit instead of three, keeping the leader's write-path cost flat
-    /// as observers are added.
+    /// as observers are added. Batched like [`ZabMsg::Propose`]: `zxid` is
+    /// the first id of a contiguous committed range.
     Inform {
-        /// The transaction's id.
+        /// Id of the first committed transaction in the batch.
         zxid: Zxid,
-        /// The committed transaction.
-        txn: T,
+        /// The committed transactions, in zxid order. Never empty.
+        txns: Vec<T>,
     },
     /// Leader heartbeat, carrying the leader's epoch (so a follower synced
     /// under an older regime of the same leader detects it must resync) and
@@ -128,6 +134,10 @@ pub enum ZabTimer {
     LeaderPing(u64),
     /// While Following: expect leader traffic before this fires.
     FollowerWatchdog(u64),
+    /// While Leading with group commit enabled: flush a partially filled
+    /// proposal batch (the Nagle timer of [`crate::config::ZabConfig`]).
+    /// One-shot, armed when a batch's first transaction is buffered.
+    BatchFlush(u64),
 }
 
 /// Outputs of the state machine; the hosting runtime executes them.

@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
 
-use crate::config::{EnsembleConfig, PeerId};
+use crate::config::{EnsembleConfig, PeerId, ZabConfig};
 use crate::msg::{Vote, ZabAction, ZabMsg, ZabTimer};
 use crate::zxid::Zxid;
 
@@ -53,7 +53,7 @@ pub struct NotLeader {
 }
 
 #[derive(Debug)]
-struct LeaderState {
+struct LeaderState<T> {
     epoch: u32,
     next_counter: u32,
     /// Ack sets per outstanding proposal (leader's own ack is implicit).
@@ -66,6 +66,10 @@ struct LeaderState {
     /// Pongs received in the current heartbeat window.
     pongs: HashSet<PeerId>,
     quorum_miss_windows: u32,
+    /// Submitted-but-unproposed transactions awaiting group commit. No
+    /// zxids are minted until flush, so losing the buffer on leadership
+    /// loss is safe: the transactions were never acknowledged to anyone.
+    buffer: Vec<T>,
 }
 
 /// The ZAB state machine for one ensemble member. `T` is the replicated
@@ -74,6 +78,9 @@ struct LeaderState {
 pub struct ZabPeer<T> {
     id: PeerId,
     config: EnsembleConfig,
+    /// Group-commit tuning (batch bound + flush timer). Default is
+    /// batch-of-one: classic per-transaction rounds.
+    zcfg: ZabConfig,
 
     // -- durable state (survives crashes) --
     log: Vec<(Zxid, T)>,
@@ -89,7 +96,7 @@ pub struct ZabPeer<T> {
     round: u64,
     my_vote: Vote,
     votes: HashMap<PeerId, Vote>,
-    leader_state: Option<LeaderState>,
+    leader_state: Option<LeaderState<T>>,
     heard_from_leader: bool,
     /// Index into `log` of the next entry to deliver to the state machine.
     applied_idx: usize,
@@ -110,17 +117,30 @@ pub struct ZabPeer<T> {
     election_gen: u64,
     ping_gen: u64,
     watchdog_gen: u64,
+    batch_gen: u64,
 }
 
 impl<T: Clone> ZabPeer<T> {
     /// Create a peer and return its startup actions (its first election
-    /// round, or immediate leadership for a single-peer ensemble).
+    /// round, or immediate leadership for a single-peer ensemble). Uses the
+    /// default [`ZabConfig`]: batch-of-one, i.e. classic ZAB.
     pub fn new(id: PeerId, config: EnsembleConfig) -> (Self, Vec<ZabAction<T>>) {
+        Self::new_with_config(id, config, ZabConfig::default())
+    }
+
+    /// Create a peer with explicit group-commit tuning.
+    pub fn new_with_config(
+        id: PeerId,
+        config: EnsembleConfig,
+        zcfg: ZabConfig,
+    ) -> (Self, Vec<ZabAction<T>>) {
         assert!(config.is_member(id), "peer must be an ensemble member");
+        assert!(zcfg.max_batch >= 1, "a batch holds at least one transaction");
         let is_observer = config.is_observer(id);
         let mut peer = ZabPeer {
             id,
             config,
+            zcfg,
             log: Vec::new(),
             committed: Zxid::ZERO,
             accepted_epoch: 0,
@@ -139,6 +159,7 @@ impl<T: Clone> ZabPeer<T> {
             election_gen: 0,
             ping_gen: 0,
             watchdog_gen: 0,
+            batch_gen: 0,
         };
         let mut out = Vec::new();
         peer.start_election(&mut out);
@@ -228,27 +249,65 @@ impl<T: Clone> ZabPeer<T> {
 
     /// Submit a transaction for replication. Only the established leader
     /// accepts; everyone else reports a forwarding hint.
+    ///
+    /// With group commit enabled (`max_batch > 1`), the transaction is
+    /// buffered; the batch is proposed when full or when the flush timer
+    /// fires. No zxid exists until then, so a buffered transaction lost to
+    /// a crash was never promised to anyone. With the default batch-of-one
+    /// the proposal goes out immediately, exactly as classic ZAB.
     pub fn propose(&mut self, txn: T) -> Result<Vec<ZabAction<T>>, NotLeader> {
         if !self.is_established_leader() {
             return Err(NotLeader { leader_hint: self.leader_hint() });
         }
         let mut out = Vec::new();
         let ls = self.leader_state.as_mut().expect("leading implies leader state");
-        ls.next_counter += 1;
-        let zxid = Zxid::new(ls.epoch, ls.next_counter);
-        self.log.push((zxid, txn.clone()));
-        ls.acks.insert(zxid, HashSet::new());
-        let mut targets: Vec<PeerId> = ls.synced.iter().copied().filter(|&f| f != self.id).collect();
+        ls.buffer.push(txn);
+        if ls.buffer.len() >= self.zcfg.max_batch {
+            self.flush_batch(&mut out);
+        } else if ls.buffer.len() == 1 {
+            // First transaction of a fresh batch: arm the Nagle timer.
+            self.batch_gen += 1;
+            out.push(ZabAction::SetTimer {
+                timer: ZabTimer::BatchFlush(self.batch_gen),
+                after_ms: self.zcfg.flush_ms,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Propose the buffered batch: mint a contiguous zxid range, log every
+    /// transaction atomically (so sync points always fall on batch
+    /// boundaries), and run ONE quorum round for the whole range — the ack
+    /// set is keyed by the batch's last zxid and a follower ack of that
+    /// zxid covers the range.
+    fn flush_batch(&mut self, out: &mut Vec<ZabAction<T>>) {
+        self.batch_gen += 1; // invalidate any pending flush timer
+        let Some(ls) = self.leader_state.as_mut() else { return };
+        if ls.buffer.is_empty() {
+            return;
+        }
+        let txns = std::mem::take(&mut ls.buffer);
+        let first = Zxid::new(ls.epoch, ls.next_counter + 1);
+        for t in &txns {
+            ls.next_counter += 1;
+            self.log.push((Zxid::new(ls.epoch, ls.next_counter), t.clone()));
+        }
+        let last = Zxid::new(ls.epoch, ls.next_counter);
+        ls.acks.insert(last, HashSet::new());
+        let mut targets: Vec<PeerId> =
+            ls.synced.iter().copied().filter(|&f| f != self.id).collect();
         targets.sort_unstable(); // deterministic send order
         for f in targets {
             if self.config.is_observer(f) {
                 continue; // observers get one INFORM at commit time instead
             }
-            out.push(ZabAction::Send { to: f, msg: ZabMsg::Propose { zxid, txn: txn.clone() } });
+            out.push(ZabAction::Send {
+                to: f,
+                msg: ZabMsg::Propose { zxid: first, txns: txns.clone() },
+            });
         }
         // Single-server ensembles (and quorums of one) commit immediately.
-        self.try_advance_commit(&mut out);
-        Ok(out)
+        self.try_advance_commit(out);
     }
 
     /// Handle a message from `from`.
@@ -265,10 +324,10 @@ impl<T: Clone> ZabPeer<T> {
                 self.on_sync_log(from, epoch, snapshot, entries, commit_to, reset, &mut out)
             }
             ZabMsg::AckSync { epoch } => self.on_ack_sync(from, epoch, &mut out),
-            ZabMsg::Propose { zxid, txn } => self.on_propose(from, zxid, txn, &mut out),
+            ZabMsg::Propose { zxid, txns } => self.on_propose(from, zxid, txns, &mut out),
             ZabMsg::Ack { zxid } => self.on_ack(from, zxid, &mut out),
             ZabMsg::Commit { zxid } => self.on_commit(from, zxid, &mut out),
-            ZabMsg::Inform { zxid, txn } => self.on_inform(from, zxid, txn, &mut out),
+            ZabMsg::Inform { zxid, txns } => self.on_inform(from, zxid, txns, &mut out),
             ZabMsg::Ping { epoch, commit_to } => {
                 if let Role::Following { leader, synced } = self.role {
                     if leader == from {
@@ -290,7 +349,10 @@ impl<T: Clone> ZabPeer<T> {
                             }
                             out.push(ZabAction::Send {
                                 to: from,
-                                msg: ZabMsg::FollowerInfo { last_zxid: self.last_zxid(), accepted_epoch: self.accepted_epoch },
+                                msg: ZabMsg::FollowerInfo {
+                                    last_zxid: self.last_zxid(),
+                                    accepted_epoch: self.accepted_epoch,
+                                },
                             });
                         } else if commit_to > self.committed {
                             if commit_to <= self.last_zxid() {
@@ -305,7 +367,10 @@ impl<T: Clone> ZabPeer<T> {
                                 self.role = Role::Following { leader, synced: false };
                                 out.push(ZabAction::Send {
                                     to: from,
-                                    msg: ZabMsg::FollowerInfo { last_zxid: self.last_zxid(), accepted_epoch: self.accepted_epoch },
+                                    msg: ZabMsg::FollowerInfo {
+                                        last_zxid: self.last_zxid(),
+                                        accepted_epoch: self.accepted_epoch,
+                                    },
                                 });
                             }
                         }
@@ -348,11 +413,10 @@ impl<T: Clone> ZabPeer<T> {
                     let quorum = self.config.quorum();
                     let config = &self.config;
                     let ls = self.leader_state.as_mut().expect("leader state");
-                    let live =
-                        ls.pongs.iter().filter(|p| config.contains(**p)).count() + 1; // + self
-                    // Both established and prospective leaders abdicate
-                    // after sustained quorum loss — a prospective leader
-                    // that never gathers followers must not squat forever.
+                    let live = ls.pongs.iter().filter(|p| config.contains(**p)).count() + 1; // + self
+                                                                                             // Both established and prospective leaders abdicate
+                                                                                             // after sustained quorum loss — a prospective leader
+                                                                                             // that never gathers followers must not squat forever.
                     if self.config.len() > 1 {
                         if live < quorum {
                             ls.quorum_miss_windows += 1;
@@ -388,6 +452,14 @@ impl<T: Clone> ZabPeer<T> {
                         self.distrust_ttl = 4;
                         self.start_election(&mut out);
                     }
+                }
+            }
+            ZabTimer::BatchFlush(gen) => {
+                // One-shot Nagle flush; a stale generation means the batch
+                // it was armed for already went out (filled up or an even
+                // earlier fire flushed it).
+                if gen == self.batch_gen && self.is_established_leader() {
+                    self.flush_batch(&mut out);
                 }
             }
         }
@@ -455,7 +527,8 @@ impl<T: Clone> ZabPeer<T> {
         self.leader_state = None;
         self.heard_from_leader = false;
         self.round += 1;
-        self.my_vote = Vote { candidate: self.id, candidate_zxid: self.last_zxid(), round: self.round };
+        self.my_vote =
+            Vote { candidate: self.id, candidate_zxid: self.last_zxid(), round: self.round };
         self.votes.clear();
         out.push(ZabAction::StartedElection);
         if self.is_observer {
@@ -500,7 +573,10 @@ impl<T: Clone> ZabPeer<T> {
             if self.leader_hint().is_some() {
                 out.push(ZabAction::Send {
                     to: from,
-                    msg: ZabMsg::Notification { vote: self.my_vote, established: self.leader_hint() },
+                    msg: ZabMsg::Notification {
+                        vote: self.my_vote,
+                        established: self.leader_hint(),
+                    },
                 });
             }
             return;
@@ -523,7 +599,9 @@ impl<T: Clone> ZabPeer<T> {
                         let support = self
                             .votes
                             .values()
-                            .filter(|v| v.candidate == self.my_vote.candidate && v.round == self.round)
+                            .filter(|v| {
+                                v.candidate == self.my_vote.candidate && v.round == self.round
+                            })
                             .count();
                         if self.my_vote.candidate == self.id && self.config.is_quorum(support) {
                             self.become_leader(out);
@@ -587,7 +665,10 @@ impl<T: Clone> ZabPeer<T> {
                 // Tell the asker who leads.
                 out.push(ZabAction::Send {
                     to: from,
-                    msg: ZabMsg::Notification { vote: self.my_vote, established: self.leader_hint() },
+                    msg: ZabMsg::Notification {
+                        vote: self.my_vote,
+                        established: self.leader_hint(),
+                    },
                 });
             }
         }
@@ -622,6 +703,7 @@ impl<T: Clone> ZabPeer<T> {
             sync_points: HashMap::new(),
             pongs: HashSet::new(),
             quorum_miss_windows: 0,
+            buffer: Vec::new(),
         });
         if self.config.is_quorum(1) {
             self.establish(out);
@@ -647,7 +729,13 @@ impl<T: Clone> ZabPeer<T> {
         self.leader_state = None;
         self.heard_from_leader = true;
         self.my_vote = Vote { candidate: leader, candidate_zxid: Zxid::ZERO, round: self.round };
-        out.push(ZabAction::Send { to: leader, msg: ZabMsg::FollowerInfo { last_zxid: self.last_zxid(), accepted_epoch: self.accepted_epoch } });
+        out.push(ZabAction::Send {
+            to: leader,
+            msg: ZabMsg::FollowerInfo {
+                last_zxid: self.last_zxid(),
+                accepted_epoch: self.accepted_epoch,
+            },
+        });
         self.arm_watchdog(out);
     }
 
@@ -796,8 +884,7 @@ impl<T: Clone> ZabPeer<T> {
                 ackers.insert(from);
             }
         }
-        let synced_voters =
-            ls.synced.iter().filter(|p| self.config.contains(**p)).count();
+        let synced_voters = ls.synced.iter().filter(|p| self.config.contains(**p)).count();
         if !established && synced_voters >= quorum {
             self.establish(out);
         }
@@ -808,19 +895,23 @@ impl<T: Clone> ZabPeer<T> {
     // Broadcast
     // ------------------------------------------------------------------
 
-    fn on_propose(&mut self, from: PeerId, zxid: Zxid, txn: T, out: &mut Vec<ZabAction<T>>) {
+    fn on_propose(&mut self, from: PeerId, zxid: Zxid, txns: Vec<T>, out: &mut Vec<ZabAction<T>>) {
         let Role::Following { leader, synced } = self.role else { return };
-        if leader != from || !synced {
+        if leader != from || !synced || txns.is_empty() {
             return;
         }
         self.heard_from_leader = true;
         let expected = self.last_zxid();
-        if zxid <= expected {
-            return; // duplicate
+        let last = Zxid::new(zxid.epoch(), zxid.counter() + txns.len() as u32 - 1);
+        if last <= expected {
+            return; // duplicate batch
         }
-        // Continuity: within an epoch, counters must advance by one; the
-        // first proposal we see from a newer epoch must be that epoch's
-        // counter 1 (anything else means we missed its earlier entries).
+        // Continuity, checked on the batch's FIRST zxid: within an epoch,
+        // counters must advance by one; the first proposal we see from a
+        // newer epoch must be that epoch's counter 1 (anything else means
+        // we missed its earlier entries). Batches are appended atomically,
+        // so our tail is always batch-aligned and a partially overlapping
+        // batch fails this check into the resync path.
         let continuous = if zxid.epoch() == expected.epoch() {
             expected == Zxid::ZERO || zxid.counter() == expected.counter() + 1
         } else {
@@ -829,11 +920,20 @@ impl<T: Clone> ZabPeer<T> {
         if !continuous || zxid.epoch() != self.accepted_epoch {
             // Gap, or traffic from an epoch we never promised: resync.
             self.role = Role::Following { leader, synced: false };
-            out.push(ZabAction::Send { to: leader, msg: ZabMsg::FollowerInfo { last_zxid: expected, accepted_epoch: self.accepted_epoch } });
+            out.push(ZabAction::Send {
+                to: leader,
+                msg: ZabMsg::FollowerInfo {
+                    last_zxid: expected,
+                    accepted_epoch: self.accepted_epoch,
+                },
+            });
             return;
         }
-        self.log.push((zxid, txn));
-        out.push(ZabAction::Send { to: from, msg: ZabMsg::Ack { zxid } });
+        for (i, t) in txns.into_iter().enumerate() {
+            self.log.push((Zxid::new(zxid.epoch(), zxid.counter() + i as u32), t));
+        }
+        // One ack (of the batch's last zxid) covers the whole range.
+        out.push(ZabAction::Send { to: from, msg: ZabMsg::Ack { zxid: last } });
     }
 
     fn on_ack(&mut self, from: PeerId, zxid: Zxid, out: &mut Vec<ZabAction<T>>) {
@@ -872,19 +972,24 @@ impl<T: Clone> ZabPeer<T> {
             let mut targets: Vec<PeerId> =
                 ls.synced.iter().copied().filter(|&p| p != self.id).collect();
             targets.sort_unstable(); // deterministic send order
-            // Newly committed entries, for observer INFORMs.
+                                     // Newly committed entries, for observer INFORMs.
             let informed: Vec<(Zxid, T)> = self
                 .log
                 .iter()
                 .filter(|(z, _)| *z > old_commit && *z <= new_commit)
                 .cloned()
                 .collect();
+            // Newly committed entries are contiguous within the leader's
+            // epoch (establishment committed everything earlier before any
+            // observer synced), so one batched INFORM covers them all.
+            let inform_first = informed.first().map(|(z, _)| *z);
+            let inform_txns: Vec<T> = informed.into_iter().map(|(_, t)| t).collect();
             for p in targets {
                 if self.config.is_observer(p) {
-                    for (zxid, txn) in &informed {
+                    if let Some(first) = inform_first {
                         out.push(ZabAction::Send {
                             to: p,
-                            msg: ZabMsg::Inform { zxid: *zxid, txn: txn.clone() },
+                            msg: ZabMsg::Inform { zxid: first, txns: inform_txns.clone() },
                         });
                     }
                 } else {
@@ -906,7 +1011,10 @@ impl<T: Clone> ZabPeer<T> {
             self.role = Role::Following { leader, synced: false };
             out.push(ZabAction::Send {
                 to: leader,
-                msg: ZabMsg::FollowerInfo { last_zxid: self.last_zxid(), accepted_epoch: self.accepted_epoch },
+                msg: ZabMsg::FollowerInfo {
+                    last_zxid: self.last_zxid(),
+                    accepted_epoch: self.accepted_epoch,
+                },
             });
             return;
         }
@@ -916,30 +1024,55 @@ impl<T: Clone> ZabPeer<T> {
         }
     }
 
-    /// Observer-side INFORM: append the committed entry and deliver it.
-    /// Continuity rules mirror `on_propose`; a gap triggers resync.
-    fn on_inform(&mut self, from: PeerId, zxid: Zxid, txn: T, out: &mut Vec<ZabAction<T>>) {
+    /// Observer-side INFORM: append the committed batch and deliver it.
+    /// Continuity rules mirror `on_propose`; a gap triggers resync. Unlike
+    /// proposals, an INFORM range can reach back before our sync point
+    /// (sync ships the leader's *log*, including then-uncommitted entries,
+    /// while informs start after the old commit watermark), so the prefix
+    /// we already hold is trimmed rather than treated as a gap.
+    fn on_inform(
+        &mut self,
+        from: PeerId,
+        zxid: Zxid,
+        mut txns: Vec<T>,
+        out: &mut Vec<ZabAction<T>>,
+    ) {
         let Role::Following { leader, synced } = self.role else { return };
-        if leader != from || !synced || !self.is_observer {
+        if leader != from || !synced || !self.is_observer || txns.is_empty() {
             return;
         }
         self.heard_from_leader = true;
         let expected = self.last_zxid();
-        if zxid <= expected {
-            return; // duplicate
+        let last = Zxid::new(zxid.epoch(), zxid.counter() + txns.len() as u32 - 1);
+        if last <= expected {
+            return; // everything already held: duplicate
         }
-        let continuous = if zxid.epoch() == expected.epoch() {
-            expected == Zxid::ZERO || zxid.counter() == expected.counter() + 1
+        let mut first = zxid;
+        if zxid.epoch() == expected.epoch() && zxid <= expected {
+            let skip = (expected.counter() - zxid.counter() + 1) as usize;
+            txns.drain(..skip);
+            first = Zxid::new(expected.epoch(), expected.counter() + 1);
+        }
+        let continuous = if first.epoch() == expected.epoch() {
+            expected == Zxid::ZERO || first.counter() == expected.counter() + 1
         } else {
-            zxid.counter() == 1
+            first.counter() == 1
         };
-        if !continuous || zxid.epoch() != self.accepted_epoch {
+        if !continuous || first.epoch() != self.accepted_epoch {
             self.role = Role::Following { leader, synced: false };
-            out.push(ZabAction::Send { to: leader, msg: ZabMsg::FollowerInfo { last_zxid: expected, accepted_epoch: self.accepted_epoch } });
+            out.push(ZabAction::Send {
+                to: leader,
+                msg: ZabMsg::FollowerInfo {
+                    last_zxid: expected,
+                    accepted_epoch: self.accepted_epoch,
+                },
+            });
             return;
         }
-        self.log.push((zxid, txn));
-        self.committed = zxid;
+        for (i, t) in txns.into_iter().enumerate() {
+            self.log.push((Zxid::new(first.epoch(), first.counter() + i as u32), t));
+        }
+        self.committed = last;
         self.deliver_pending(out);
     }
 
@@ -1003,9 +1136,9 @@ mod tests {
     #[test]
     fn adopts_better_vote() {
         let (mut p, _) = ZabPeer::<u32>::new(PeerId(0), EnsembleConfig::of_size(3));
-        let better =
-            Vote { candidate: PeerId(2), candidate_zxid: Zxid::new(1, 5), round: 1 };
-        let acts = p.on_message(PeerId(2), ZabMsg::Notification { vote: better, established: None });
+        let better = Vote { candidate: PeerId(2), candidate_zxid: Zxid::new(1, 5), round: 1 };
+        let acts =
+            p.on_message(PeerId(2), ZabMsg::Notification { vote: better, established: None });
         // Re-broadcasts the adopted vote.
         let rebroadcast = acts.iter().any(|a| {
             matches!(a, ZabAction::Send { msg: ZabMsg::Notification { vote, .. }, .. }
@@ -1034,7 +1167,9 @@ mod tests {
         let (mut leader, _) = single();
         // A notification arrives from a peer outside the ensemble: ignored.
         let v = Vote { candidate: PeerId(5), candidate_zxid: Zxid::ZERO, round: 1 };
-        assert!(leader.on_message(PeerId(5), ZabMsg::Notification { vote: v, established: None }).is_empty());
+        assert!(leader
+            .on_message(PeerId(5), ZabMsg::Notification { vote: v, established: None })
+            .is_empty());
     }
 
     #[test]
@@ -1066,14 +1201,20 @@ mod tests {
         assert_eq!(f.role(), Role::Following { leader, synced: false });
         f.on_message(
             leader,
-            ZabMsg::SyncLog { epoch: 1, snapshot: None, entries: vec![], commit_to: Zxid::ZERO, reset: false },
+            ZabMsg::SyncLog {
+                epoch: 1,
+                snapshot: None,
+                entries: vec![],
+                commit_to: Zxid::ZERO,
+                reset: false,
+            },
         );
         assert_eq!(f.role(), Role::Following { leader, synced: true });
 
-        let acts = f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 1), txn: 10 });
+        let acts = f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 1), txns: vec![10] });
         assert!(acts.iter().any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::Ack { .. }, .. })));
         // A gap (skip 1:2, get 1:3) triggers a resync request.
-        let acts = f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 3), txn: 30 });
+        let acts = f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 3), txns: vec![30] });
         assert!(acts
             .iter()
             .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })));
@@ -1089,10 +1230,16 @@ mod tests {
         f.on_message(PeerId(1), ZabMsg::Notification { vote: v, established: Some(leader) });
         f.on_message(
             leader,
-            ZabMsg::SyncLog { epoch: 1, snapshot: None, entries: vec![], commit_to: Zxid::ZERO, reset: false },
+            ZabMsg::SyncLog {
+                epoch: 1,
+                snapshot: None,
+                entries: vec![],
+                commit_to: Zxid::ZERO,
+                reset: false,
+            },
         );
-        f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 1), txn: 10 });
-        f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 2), txn: 20 });
+        f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 1), txns: vec![10] });
+        f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 2), txns: vec![20] });
         let acts = f.on_message(leader, ZabMsg::Commit { zxid: Zxid::new(1, 2) });
         let delivered: Vec<u32> = acts
             .iter()
@@ -1113,7 +1260,13 @@ mod tests {
         f.on_message(PeerId(1), ZabMsg::Notification { vote: v, established: Some(leader) });
         f.on_message(
             leader,
-            ZabMsg::SyncLog { epoch: 1, snapshot: None, entries: vec![], commit_to: Zxid::ZERO, reset: false },
+            ZabMsg::SyncLog {
+                epoch: 1,
+                snapshot: None,
+                entries: vec![],
+                commit_to: Zxid::ZERO,
+                reset: false,
+            },
         );
         // Generations: join armed gen 1, sync armed gen 2. A stale fire
         // (the duplicate from the join) must be a no-op.
@@ -1121,9 +1274,10 @@ mod tests {
         // First live watchdog: we heard from the leader (the sync); rearm
         // as gen 3.
         let acts = f.on_timer(ZabTimer::FollowerWatchdog(2));
-        assert!(acts
-            .iter()
-            .any(|a| matches!(a, ZabAction::SetTimer { timer: ZabTimer::FollowerWatchdog(3), .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ZabAction::SetTimer { timer: ZabTimer::FollowerWatchdog(3), .. }
+        )));
         // Second live watchdog with silence: election.
         let acts = f.on_timer(ZabTimer::FollowerWatchdog(3));
         assert!(acts.iter().any(|a| matches!(a, ZabAction::StartedElection)));
@@ -1143,7 +1297,8 @@ mod tests {
         // A voter in a Looking state must not tally the observer's probe.
         let (mut voter, _) = ZabPeer::<u32>::new(PeerId(0), EnsembleConfig::with_observers(3, 1));
         let probe = Vote { candidate: PeerId(3), candidate_zxid: Zxid::ZERO, round: 1 };
-        let acts = voter.on_message(PeerId(3), ZabMsg::Notification { vote: probe, established: None });
+        let acts =
+            voter.on_message(PeerId(3), ZabMsg::Notification { vote: probe, established: None });
         assert_eq!(voter.role(), Role::Looking, "a probe is not a vote");
         assert!(acts.is_empty(), "unsettled voters stay silent to observers");
     }
@@ -1164,9 +1319,15 @@ mod tests {
             panic!("expected a status reply, got {reply:?}");
         };
         // Observer joins and syncs.
-        let acts = obs.on_message(PeerId(0), ZabMsg::Notification { vote: *vote, established: *established });
-        assert!(acts.iter().any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })));
-        let fi_reply = leader.on_message(PeerId(1), ZabMsg::FollowerInfo { last_zxid: Zxid::ZERO, accepted_epoch: 0 });
+        let acts = obs
+            .on_message(PeerId(0), ZabMsg::Notification { vote: *vote, established: *established });
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })));
+        let fi_reply = leader.on_message(
+            PeerId(1),
+            ZabMsg::FollowerInfo { last_zxid: Zxid::ZERO, accepted_epoch: 0 },
+        );
         let ZabAction::Send { msg: sync, .. } = &fi_reply[0] else { panic!() };
         obs.on_message(PeerId(0), sync.clone());
         assert_eq!(obs.role(), Role::Following { leader: PeerId(0), synced: true });
@@ -1282,7 +1443,10 @@ mod tests {
         // Rebuild as 3-peer: craft state by hand is messy; instead verify the
         // sync decision logic via a 1-peer leader answering FollowerInfo.
         // (Membership checks are on notifications, not FollowerInfo.)
-        let acts = l.on_message(PeerId(1), ZabMsg::FollowerInfo { last_zxid: Zxid::new(256, 1), accepted_epoch: 256 });
+        let acts = l.on_message(
+            PeerId(1),
+            ZabMsg::FollowerInfo { last_zxid: Zxid::new(256, 1), accepted_epoch: 256 },
+        );
         match &acts[0] {
             ZabAction::Send { msg: ZabMsg::SyncLog { entries, reset, commit_to, .. }, .. } => {
                 assert!(!reset);
@@ -1292,7 +1456,10 @@ mod tests {
             other => panic!("expected SyncLog, got {other:?}"),
         }
         // A follower claiming a zxid we never issued gets a full reset.
-        let acts = l.on_message(PeerId(1), ZabMsg::FollowerInfo { last_zxid: Zxid::new(9, 9), accepted_epoch: 9 });
+        let acts = l.on_message(
+            PeerId(1),
+            ZabMsg::FollowerInfo { last_zxid: Zxid::new(9, 9), accepted_epoch: 9 },
+        );
         match &acts[0] {
             ZabAction::Send { msg: ZabMsg::SyncLog { entries, reset, .. }, .. } => {
                 assert!(reset);
@@ -1300,5 +1467,275 @@ mod tests {
             }
             other => panic!("expected SyncLog, got {other:?}"),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Group commit
+    // ------------------------------------------------------------------
+
+    /// Attach a pseudo-follower to a single-voter leader so the broadcast
+    /// traffic becomes visible (membership is only checked on votes; the
+    /// quorum of one still commits without the extra peer's acks).
+    fn attach_follower(l: &mut P, f: PeerId) {
+        l.on_message(f, ZabMsg::FollowerInfo { last_zxid: l.last_zxid(), accepted_epoch: 0 });
+        l.on_message(f, ZabMsg::AckSync { epoch: l.epoch() });
+    }
+
+    #[test]
+    fn leader_coalesces_full_batch_into_one_propose() {
+        let cfg = EnsembleConfig::of_size(1);
+        let (mut l, _) = ZabPeer::new_with_config(PeerId(0), cfg, ZabConfig::batched(3, 5));
+        attach_follower(&mut l, PeerId(1));
+
+        // First txn arms the flush timer; nothing is proposed or minted.
+        let acts = l.propose(1).unwrap();
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ZabAction::SetTimer { timer: ZabTimer::BatchFlush(_), after_ms: 5 }
+        )));
+        assert!(!acts.iter().any(|a| matches!(a, ZabAction::Send { .. })));
+        assert_eq!(l.log_len(), 0, "no zxid exists before flush");
+        // Second txn just buffers.
+        assert!(l.propose(2).unwrap().is_empty());
+        // Third fills the batch: ONE Propose carrying the whole range.
+        let acts = l.propose(3).unwrap();
+        let (first, txns) = acts
+            .iter()
+            .find_map(|a| match a {
+                ZabAction::Send { msg: ZabMsg::Propose { zxid, txns }, .. } => {
+                    Some((*zxid, txns.clone()))
+                }
+                _ => None,
+            })
+            .expect("batch proposed");
+        assert_eq!(first, Zxid::new(256, 1));
+        assert_eq!(txns, vec![1, 2, 3]);
+        // Quorum of one: the whole batch commits and delivers in order.
+        assert_eq!(l.committed(), Zxid::new(256, 3));
+        let delivered: Vec<u32> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ZabAction::Deliver { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![1, 2, 3]);
+        // The now-stale flush timer fire is a no-op.
+        assert!(l.on_timer(ZabTimer::BatchFlush(1)).is_empty());
+    }
+
+    #[test]
+    fn flush_timer_proposes_partial_batch() {
+        let cfg = EnsembleConfig::of_size(1);
+        let (mut l, _) = ZabPeer::new_with_config(PeerId(0), cfg, ZabConfig::batched(8, 2));
+        let acts = l.propose(7).unwrap();
+        let armed_gen = acts
+            .iter()
+            .find_map(|a| match a {
+                ZabAction::SetTimer { timer: ZabTimer::BatchFlush(g), .. } => Some(*g),
+                _ => None,
+            })
+            .expect("flush timer armed");
+        assert_eq!(l.committed(), Zxid::ZERO, "nothing minted while buffered");
+        let acts = l.on_timer(ZabTimer::BatchFlush(armed_gen));
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Deliver { txn: 7, .. })));
+        assert_eq!(l.committed(), Zxid::new(256, 1));
+        // Re-firing the consumed generation does nothing.
+        assert!(l.on_timer(ZabTimer::BatchFlush(armed_gen)).is_empty());
+    }
+
+    #[test]
+    fn default_config_proposes_immediately_as_before() {
+        let (mut l, _) = single();
+        attach_follower(&mut l, PeerId(1));
+        let acts = l.propose(42).unwrap();
+        // Batch-of-one: no flush timer, an immediate single-entry Propose.
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, ZabAction::SetTimer { timer: ZabTimer::BatchFlush(_), .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ZabAction::Send { msg: ZabMsg::Propose { zxid, txns }, .. }
+                if *zxid == Zxid::new(256, 1) && txns.len() == 1
+        )));
+        assert_eq!(l.committed(), Zxid::new(256, 1));
+    }
+
+    #[test]
+    fn follower_logs_batch_atomically_and_acks_last() {
+        let cfg = EnsembleConfig::of_size(3);
+        let (mut f, _) = ZabPeer::<u32>::new(PeerId(0), cfg);
+        let leader = PeerId(2);
+        let v = Vote { candidate: leader, candidate_zxid: Zxid::ZERO, round: 1 };
+        f.on_message(PeerId(1), ZabMsg::Notification { vote: v, established: Some(leader) });
+        f.on_message(
+            leader,
+            ZabMsg::SyncLog {
+                epoch: 1,
+                snapshot: None,
+                entries: vec![],
+                commit_to: Zxid::ZERO,
+                reset: false,
+            },
+        );
+
+        let batch = ZabMsg::Propose { zxid: Zxid::new(1, 1), txns: vec![10, 20, 30] };
+        let acts = f.on_message(leader, batch.clone());
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                ZabAction::Send { msg: ZabMsg::Ack { zxid }, .. } if *zxid == Zxid::new(1, 3)
+            )),
+            "one ack, for the batch's last zxid: {acts:?}"
+        );
+        assert_eq!(f.log_len(), 3);
+        // A replayed duplicate of the whole batch is ignored.
+        assert!(f.on_message(leader, batch).is_empty());
+        // Commit of the batch tail delivers the range in order.
+        let acts = f.on_message(leader, ZabMsg::Commit { zxid: Zxid::new(1, 3) });
+        let delivered: Vec<u32> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ZabAction::Deliver { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![10, 20, 30]);
+        // A batch starting past our tail (missed 1:4) forces a resync.
+        let acts =
+            f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 5), txns: vec![50, 60] });
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })));
+        assert_eq!(f.role(), Role::Following { leader, synced: false });
+    }
+
+    #[test]
+    fn observer_receives_one_batched_inform() {
+        let cfg = EnsembleConfig::with_observers(1, 1);
+        let (mut l, _) = ZabPeer::new_with_config(PeerId(0), cfg.clone(), ZabConfig::batched(4, 2));
+        let (mut obs, _) = ZabPeer::<u32>::new(PeerId(1), cfg);
+        // Observer handshake (as in observer_joins_and_receives_informs).
+        let probe = Vote { candidate: PeerId(1), candidate_zxid: Zxid::ZERO, round: 1 };
+        let reply =
+            l.on_message(PeerId(1), ZabMsg::Notification { vote: probe, established: None });
+        let ZabAction::Send { msg: ZabMsg::Notification { vote, established }, .. } = &reply[0]
+        else {
+            panic!("expected a status reply");
+        };
+        obs.on_message(PeerId(0), ZabMsg::Notification { vote: *vote, established: *established });
+        let fi_reply = l.on_message(
+            PeerId(1),
+            ZabMsg::FollowerInfo { last_zxid: Zxid::ZERO, accepted_epoch: 0 },
+        );
+        let ZabAction::Send { msg: sync, .. } = &fi_reply[0] else { panic!() };
+        obs.on_message(PeerId(0), sync.clone());
+        l.on_message(PeerId(1), ZabMsg::AckSync { epoch: l.epoch() });
+
+        // Three buffered txns flushed by timer: ONE INFORM with the range.
+        l.propose(1).unwrap();
+        l.propose(2).unwrap();
+        l.propose(3).unwrap();
+        let acts = l.on_timer(ZabTimer::BatchFlush(1));
+        let informs: Vec<_> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ZabAction::Send { to: PeerId(1), msg: ZabMsg::Inform { zxid, txns } } => {
+                    Some((*zxid, txns.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(informs.len(), 1, "one INFORM per commit round: {acts:?}");
+        assert_eq!(informs[0].0, Zxid::new(256, 1));
+        assert_eq!(informs[0].1, vec![1, 2, 3]);
+        // The observer applies the whole range in order.
+        let acts = l_inform_to(&mut obs, informs[0].clone());
+        let delivered: Vec<u32> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ZabAction::Deliver { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![1, 2, 3]);
+        assert_eq!(obs.committed(), Zxid::new(256, 3));
+    }
+
+    fn l_inform_to(obs: &mut P, (zxid, txns): (Zxid, Vec<u32>)) -> Vec<ZabAction<u32>> {
+        obs.on_message(PeerId(0), ZabMsg::Inform { zxid, txns })
+    }
+
+    #[test]
+    fn inform_overlapping_sync_point_is_trimmed_not_resynced() {
+        // An observer that synced while entries 1:1..1:2 were still
+        // uncommitted on the leader later receives an INFORM range starting
+        // back at 1:1. It must append only the unseen tail.
+        let cfg = EnsembleConfig::with_observers(1, 1);
+        let (mut obs, _) = ZabPeer::<u32>::new(PeerId(1), cfg);
+        let leader = PeerId(0);
+        let v = Vote { candidate: leader, candidate_zxid: Zxid::ZERO, round: 1 };
+        obs.on_message(leader, ZabMsg::Notification { vote: v, established: Some(leader) });
+        obs.on_message(
+            leader,
+            ZabMsg::SyncLog {
+                epoch: 256,
+                snapshot: None,
+                entries: vec![(Zxid::new(256, 1), 10), (Zxid::new(256, 2), 20)],
+                commit_to: Zxid::new(256, 2),
+                reset: false,
+            },
+        );
+        assert_eq!(obs.committed(), Zxid::new(256, 2));
+        let acts = obs.on_message(
+            leader,
+            ZabMsg::Inform { zxid: Zxid::new(256, 1), txns: vec![10, 20, 30, 40] },
+        );
+        assert!(
+            !acts
+                .iter()
+                .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })),
+            "overlap is not a gap: {acts:?}"
+        );
+        let delivered: Vec<u32> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ZabAction::Deliver { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![30, 40], "already-held prefix skipped");
+        assert_eq!(obs.committed(), Zxid::new(256, 4));
+        assert_eq!(obs.log_len(), 4);
+    }
+
+    #[test]
+    fn buffered_txns_die_with_leadership_not_with_acked_state() {
+        let cfg = EnsembleConfig::of_size(1);
+        let (mut l, _) = ZabPeer::new_with_config(PeerId(0), cfg, ZabConfig::batched(8, 2));
+        l.propose(1).unwrap();
+        l.propose(2).unwrap();
+        assert_eq!(l.log_len(), 0, "buffered txns have no zxids");
+        l.on_crash();
+        assert_eq!(l.log_len(), 0, "nothing durable was lost — nothing was promised");
+        assert_eq!(l.committed(), Zxid::ZERO);
+        let _ = l.on_restart();
+        assert!(l.is_established_leader());
+        // The old regime's flush timer (gen 1, armed by propose(1)) fires
+        // into the new regime: nothing is buffered, nothing happens.
+        let acts = l.on_timer(ZabTimer::BatchFlush(1));
+        assert!(acts.is_empty(), "old regime's flush timer is dead");
+        // The new regime starts minting from its own epoch, counter 1.
+        let acts = l.propose(3).unwrap();
+        let gen = acts
+            .iter()
+            .find_map(|a| match a {
+                ZabAction::SetTimer { timer: ZabTimer::BatchFlush(g), .. } => Some(*g),
+                _ => None,
+            })
+            .expect("fresh batch arms a flush timer");
+        let acts = l.on_timer(ZabTimer::BatchFlush(gen));
+        assert!(acts.iter().any(|a| matches!(a, ZabAction::Deliver { txn: 3, .. })));
+        assert_eq!(l.committed(), Zxid::new(512, 1));
     }
 }

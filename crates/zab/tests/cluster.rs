@@ -16,7 +16,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use dufs_zab::{EnsembleConfig, PeerId, ZabAction, ZabMsg, ZabPeer, ZabTimer, Zxid};
+use dufs_zab::{EnsembleConfig, PeerId, ZabAction, ZabConfig, ZabMsg, ZabPeer, ZabTimer, Zxid};
 
 type Txn = u64;
 
@@ -48,6 +48,10 @@ impl Cluster {
     }
 
     fn with_observers(n: usize, o: usize, seed: u64) -> Self {
+        Self::with_config(n, o, seed, ZabConfig::default())
+    }
+
+    fn with_config(n: usize, o: usize, seed: u64, zcfg: ZabConfig) -> Self {
         let total = n + o;
         let cfg = EnsembleConfig::with_observers(n, o);
         let n = total;
@@ -65,7 +69,7 @@ impl Cluster {
             applied: vec![Vec::new(); n],
         };
         for i in 0..n {
-            let (peer, acts) = ZabPeer::new(PeerId(i as u32), cfg.clone());
+            let (peer, acts) = ZabPeer::new_with_config(PeerId(i as u32), cfg.clone(), zcfg);
             c.peers.push(peer);
             c.handle_actions(PeerId(i as u32), acts);
         }
@@ -398,12 +402,21 @@ fn run_fault_scenario(seed: u64) {
     {
         let n = 3 + (seed as usize % 2) * 2; // 3 or 5 peers
         let quorum = n / 2 + 1;
-        let mut c = Cluster::new(n, 1000 + seed);
+        // Mix write-path configurations across seeds: a third of the sweep
+        // runs the classic one-txn-per-proposal protocol, the rest group
+        // commit with different batch/flush shapes — every fault pattern is
+        // exercised against both.
+        let zcfg = match seed % 3 {
+            0 => ZabConfig::default(),
+            1 => ZabConfig::batched(4, 3),
+            _ => ZabConfig::batched(16, 8),
+        };
+        let mut c = Cluster::with_config(n, 0, 1000 + seed, zcfg);
         c.run_until(SETTLE_MS);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut next_txn = 0u64;
         for _ in 0..120 {
-            match rng.random_range(0..10u32) {
+            match rng.random_range(0..12u32) {
                 0 => {
                     // Crash someone while keeping a quorum.
                     let alive: Vec<usize> = (0..n).filter(|&i| c.alive[i]).collect();
@@ -416,6 +429,27 @@ fn run_fault_scenario(seed: u64) {
                     let dead: Vec<usize> = (0..n).filter(|&i| !c.alive[i]).collect();
                     if let Some(&p) = dead.first() {
                         c.restart(p);
+                    }
+                }
+                2 => {
+                    // Burst: several proposals land in the same batch window
+                    // (no time passes between them), then sometimes crash
+                    // the leader *mid-batch* — buffered or partially-acked
+                    // transactions must die with the regime, never surface
+                    // as a half-applied batch on any replica.
+                    let burst = rng.random_range(2..6u32);
+                    for _ in 0..burst {
+                        if c.try_propose(next_txn) {
+                            next_txn += 1;
+                        }
+                    }
+                    if rng.random_range(0..3u32) == 0 {
+                        if let Some(l) = c.established_leader() {
+                            let alive = (0..n).filter(|&i| c.alive[i]).count();
+                            if alive > quorum {
+                                c.crash(l);
+                            }
+                        }
                     }
                 }
                 _ => {
@@ -436,19 +470,70 @@ fn run_fault_scenario(seed: u64) {
         if std::env::var("ZAB_TRACE").is_ok() {
             eprintln!("seed {seed}: roles at end:");
             for (i, p) in c.peers.iter().enumerate() {
-                eprintln!("  peer {i}: {:?} e{} z{} applied={} committed={}", p.role(), p.epoch(), p.last_zxid(), c.applied[i].len(), p.committed());
+                eprintln!(
+                    "  peer {i}: {:?} e{} z{} applied={} committed={}",
+                    p.role(),
+                    p.epoch(),
+                    p.last_zxid(),
+                    c.applied[i].len(),
+                    p.committed()
+                );
             }
         }
         c.assert_agreement();
         c.assert_alive_converged();
         c.assert_single_leader();
-        // No duplicates or reordering: applied txns are unique.
+        // No duplicates or reordering: applied txns are unique and in
+        // proposal order (gaps are fine — transactions buffered or
+        // partially acked when a leader died are allowed to vanish, but
+        // never to come back out of order).
         let vals: Vec<Txn> = c.applied[0].iter().map(|(_, t)| *t).collect();
-        let mut dedup = vals.clone();
-        dedup.sort_unstable();
-        dedup.dedup();
-        assert_eq!(dedup.len(), vals.len(), "seed {seed}: duplicate delivery");
+        assert!(
+            vals.windows(2).all(|w| w[0] < w[1]),
+            "seed {seed}: duplicate or reordered delivery"
+        );
     }
+}
+
+#[test]
+fn batched_replication_commits_everything_in_order() {
+    // Back-to-back proposals under group commit: batches form (the burst
+    // outruns the 3 ms flush timer), and every transaction still commits
+    // exactly once, in proposal order, on every replica.
+    let mut c = Cluster::with_config(3, 0, 77, ZabConfig::batched(8, 3));
+    c.run_until(SETTLE_MS);
+    let mut proposed = 0u64;
+    for round in 0..40u64 {
+        for _ in 0..(1 + round % 5) {
+            assert!(c.try_propose(proposed));
+            proposed += 1;
+        }
+        c.run_until(c.tick + 4);
+    }
+    c.run_until(c.tick + SETTLE_MS);
+    c.assert_agreement();
+    c.assert_alive_converged();
+    let vals: Vec<Txn> = c.applied[0].iter().map(|(_, t)| *t).collect();
+    assert_eq!(vals, (0..proposed).collect::<Vec<_>>(), "commit order == proposal order");
+}
+
+#[test]
+fn batched_observers_receive_grouped_informs() {
+    // Observers under group commit: the committed stream reaches them
+    // batched, complete and in order.
+    let mut c = Cluster::with_config(3, 1, 31, ZabConfig::batched(8, 3));
+    c.run_until(SETTLE_MS);
+    let leader = c.assert_single_leader();
+    assert!(leader < 3, "an observer must never lead");
+    for i in 0..60u64 {
+        assert!(c.try_propose(i));
+        if i % 6 == 5 {
+            c.run_until(c.tick + 4);
+        }
+    }
+    c.run_until(c.tick + SETTLE_MS);
+    c.assert_alive_converged();
+    assert_eq!(c.applied[3].len(), 60, "observer applied the full batched stream");
 }
 
 #[test]

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use dufs_zab::{PeerId, Zxid};
 use dufs_zab::msg::Vote;
+use dufs_zab::{PeerId, Zxid};
 
 proptest! {
     /// Zxid ordering is exactly lexicographic on (epoch, counter), and the

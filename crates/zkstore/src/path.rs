@@ -76,7 +76,8 @@ pub fn is_self_or_descendant(candidate: &str, ancestor: &str) -> bool {
         return true;
     }
     candidate == ancestor
-        || (candidate.starts_with(ancestor) && candidate.as_bytes().get(ancestor.len()) == Some(&b'/'))
+        || (candidate.starts_with(ancestor)
+            && candidate.as_bytes().get(ancestor.len()) == Some(&b'/'))
 }
 
 #[cfg(test)]

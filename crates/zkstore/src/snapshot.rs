@@ -81,9 +81,7 @@ pub fn decode(blob: &[u8]) -> ZkResult<DataTree> {
         if b.remaining() < plen {
             return Err(ZkError::InvalidPath);
         }
-        let path = std::str::from_utf8(&b[..plen])
-            .map_err(|_| ZkError::InvalidPath)?
-            .to_string();
+        let path = std::str::from_utf8(&b[..plen]).map_err(|_| ZkError::InvalidPath)?.to_string();
         b.advance(plen);
         if b.remaining() < 4 {
             return Err(ZkError::InvalidPath);

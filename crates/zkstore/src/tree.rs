@@ -205,13 +205,7 @@ impl DataTree {
     /// children (snapshot blobs are path-sorted, which guarantees this).
     /// Parent `num_children`/child indexes are rebuilt; the node's `Stat`
     /// is installed verbatim except `num_children`.
-    pub fn restore_node(
-        &mut self,
-        p: &str,
-        data: Bytes,
-        stat: Stat,
-        cseq: u64,
-    ) -> ZkResult<()> {
+    pub fn restore_node(&mut self, p: &str, data: Bytes, stat: Stat, cseq: u64) -> ZkResult<()> {
         path::validate(p)?;
         if p == path::ROOT {
             // Root stat fields (cversion/pzxid) are restored in place.
@@ -284,7 +278,8 @@ impl DataTree {
         time_ns: u64,
     ) -> ZkResult<(String, Vec<ChangeEvent>)> {
         let mut events = Vec::new();
-        let actual = self.create_inner(p, data, mode, session, zxid, time_ns, &mut events, &mut Vec::new())?;
+        let actual =
+            self.create_inner(p, data, mode, session, zxid, time_ns, &mut events, &mut Vec::new())?;
         self.note_zxid(zxid);
         Ok((actual, events))
     }
@@ -314,7 +309,8 @@ impl DataTree {
         time_ns: u64,
     ) -> ZkResult<(Stat, Vec<ChangeEvent>)> {
         let mut events = Vec::new();
-        let stat = self.set_data_inner(p, data, version, zxid, time_ns, &mut events, &mut Vec::new())?;
+        let stat =
+            self.set_data_inner(p, data, version, zxid, time_ns, &mut events, &mut Vec::new())?;
         self.note_zxid(zxid);
         Ok((stat, events))
     }
@@ -334,15 +330,34 @@ impl DataTree {
         for (i, op) in ops.iter().enumerate() {
             let r = match op {
                 MultiOp::Create { path: p, data, mode } => self
-                    .create_inner(p, data.clone(), *mode, session, zxid, time_ns, &mut events, &mut undo)
+                    .create_inner(
+                        p,
+                        data.clone(),
+                        *mode,
+                        session,
+                        zxid,
+                        time_ns,
+                        &mut events,
+                        &mut undo,
+                    )
                     .map(MultiResult::Created),
-                MultiOp::Delete { path: p, version } => {
-                    self.delete_inner(p, *version, zxid, &mut events, &mut undo).map(|()| MultiResult::Deleted)
-                }
+                MultiOp::Delete { path: p, version } => self
+                    .delete_inner(p, *version, zxid, &mut events, &mut undo)
+                    .map(|()| MultiResult::Deleted),
                 MultiOp::SetData { path: p, data, version } => self
-                    .set_data_inner(p, data.clone(), *version, zxid, time_ns, &mut events, &mut undo)
+                    .set_data_inner(
+                        p,
+                        data.clone(),
+                        *version,
+                        zxid,
+                        time_ns,
+                        &mut events,
+                        &mut undo,
+                    )
                     .map(MultiResult::Set),
-                MultiOp::Check { path: p, version } => self.check_inner(p, *version).map(|()| MultiResult::Checked),
+                MultiOp::Check { path: p, version } => {
+                    self.check_inner(p, *version).map(|()| MultiResult::Checked)
+                }
             };
             match r {
                 Ok(res) => results.push(res),
@@ -411,8 +426,12 @@ impl DataTree {
         if parent.stat.ephemeral_owner != 0 {
             return Err(ZkError::NoChildrenForEphemerals);
         }
-        let parent_before =
-            Undo::ParentStat { path: parent_path.clone(), cversion: parent.stat.cversion, pzxid: parent.stat.pzxid, cseq: parent.cseq };
+        let parent_before = Undo::ParentStat {
+            path: parent_path.clone(),
+            cversion: parent.stat.cversion,
+            pzxid: parent.stat.pzxid,
+            cseq: parent.cseq,
+        };
 
         let actual_name = if mode.is_sequential() {
             let n = format!("{name}{:010}", parent.cseq);
@@ -448,10 +467,8 @@ impl DataTree {
             num_children: 0,
         };
         self.approx_bytes += memory::znode_bytes(&actual_path, actual_name.len(), data.len());
-        self.nodes.insert(
-            actual_path.clone(),
-            Znode { data, stat, children: BTreeSet::new(), cseq: 0 },
-        );
+        self.nodes
+            .insert(actual_path.clone(), Znode { data, stat, children: BTreeSet::new(), cseq: 0 });
         if owner != 0 {
             self.ephemerals.entry(session).or_default().insert(actual_path.clone());
         }
@@ -490,14 +507,20 @@ impl DataTree {
         let name = path::basename(p).to_string();
 
         let parent = self.nodes.get_mut(&parent_path).expect("parent exists");
-        undo.push(Undo::ParentStat { path: parent_path.clone(), cversion: parent.stat.cversion, pzxid: parent.stat.pzxid, cseq: parent.cseq });
+        undo.push(Undo::ParentStat {
+            path: parent_path.clone(),
+            cversion: parent.stat.cversion,
+            pzxid: parent.stat.pzxid,
+            cseq: parent.cseq,
+        });
         parent.children.remove(&name);
         parent.stat.cversion += 1;
         parent.stat.pzxid = zxid;
         parent.stat.num_children -= 1;
 
         let node = self.nodes.remove(p).expect("checked above");
-        self.approx_bytes = self.approx_bytes.saturating_sub(memory::znode_bytes(p, name.len(), node.data.len()));
+        self.approx_bytes =
+            self.approx_bytes.saturating_sub(memory::znode_bytes(p, name.len(), node.data.len()));
         if node.stat.ephemeral_owner != 0 {
             if let Some(set) = self.ephemerals.get_mut(&node.stat.ephemeral_owner) {
                 set.remove(p);
@@ -557,11 +580,14 @@ impl DataTree {
         for u in undo.into_iter().rev() {
             match u {
                 Undo::Create { actual_path } => {
-                    let node = self.nodes.remove(&actual_path).expect("rollback: created node present");
+                    let node =
+                        self.nodes.remove(&actual_path).expect("rollback: created node present");
                     let name = path::basename(&actual_path).to_string();
-                    self.approx_bytes = self
-                        .approx_bytes
-                        .saturating_sub(memory::znode_bytes(&actual_path, name.len(), node.data.len()));
+                    self.approx_bytes = self.approx_bytes.saturating_sub(memory::znode_bytes(
+                        &actual_path,
+                        name.len(),
+                        node.data.len(),
+                    ));
                     if node.stat.ephemeral_owner != 0 {
                         if let Some(set) = self.ephemerals.get_mut(&node.stat.ephemeral_owner) {
                             set.remove(&actual_path);
@@ -579,7 +605,10 @@ impl DataTree {
                     let name = path::basename(&p).to_string();
                     self.approx_bytes += memory::znode_bytes(&p, name.len(), node.data.len());
                     if node.stat.ephemeral_owner != 0 {
-                        self.ephemerals.entry(node.stat.ephemeral_owner).or_default().insert(p.clone());
+                        self.ephemerals
+                            .entry(node.stat.ephemeral_owner)
+                            .or_default()
+                            .insert(p.clone());
                     }
                     let parent_path = path::parent(&p).expect("non-root").to_string();
                     let parent = self.nodes.get_mut(&parent_path).expect("parent exists");
@@ -589,7 +618,8 @@ impl DataTree {
                 }
                 Undo::SetData { path: p, data, stat } => {
                     let node = self.nodes.get_mut(&p).expect("rollback: node present");
-                    self.approx_bytes = (self.approx_bytes + data.len()).saturating_sub(node.data.len());
+                    self.approx_bytes =
+                        (self.approx_bytes + data.len()).saturating_sub(node.data.len());
                     node.data = data;
                     node.stat = stat;
                 }
@@ -620,7 +650,10 @@ mod tests {
         let mut t = tree();
         let (p, ev) = t.create("/a", b("hello"), CreateMode::Persistent, 0, 1, 100).unwrap();
         assert_eq!(p, "/a");
-        assert_eq!(ev, vec![ChangeEvent::Created("/a".into()), ChangeEvent::ChildrenChanged("/".into())]);
+        assert_eq!(
+            ev,
+            vec![ChangeEvent::Created("/a".into()), ChangeEvent::ChildrenChanged("/".into())]
+        );
         let (data, stat) = t.get_data("/a").unwrap();
         assert_eq!(&data[..], b"hello");
         assert_eq!(stat.czxid, 1);
@@ -683,7 +716,10 @@ mod tests {
     fn root_is_protected() {
         let mut t = tree();
         assert_eq!(t.delete("/", None, 1, 0).unwrap_err(), ZkError::RootReadOnly);
-        assert_eq!(t.create("/", b(""), CreateMode::Persistent, 0, 1, 0).unwrap_err(), ZkError::NodeExists);
+        assert_eq!(
+            t.create("/", b(""), CreateMode::Persistent, 0, 1, 0).unwrap_err(),
+            ZkError::NodeExists
+        );
     }
 
     #[test]
@@ -714,8 +750,10 @@ mod tests {
     fn sequential_names_are_monotone() {
         let mut t = tree();
         t.create("/q", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
-        let (p1, _) = t.create("/q/item-", b(""), CreateMode::PersistentSequential, 0, 2, 0).unwrap();
-        let (p2, _) = t.create("/q/item-", b(""), CreateMode::PersistentSequential, 0, 3, 0).unwrap();
+        let (p1, _) =
+            t.create("/q/item-", b(""), CreateMode::PersistentSequential, 0, 2, 0).unwrap();
+        let (p2, _) =
+            t.create("/q/item-", b(""), CreateMode::PersistentSequential, 0, 3, 0).unwrap();
         assert_eq!(p1, "/q/item-0000000000");
         assert_eq!(p2, "/q/item-0000000001");
         assert!(p1 < p2);
@@ -789,7 +827,11 @@ mod tests {
         t.create("/q", b(""), CreateMode::Persistent, 0, 1, 0).unwrap();
         let before = t.get_children("/q").unwrap().1;
         let bad = vec![
-            MultiOp::Create { path: "/q/s-".into(), data: b(""), mode: CreateMode::PersistentSequential },
+            MultiOp::Create {
+                path: "/q/s-".into(),
+                data: b(""),
+                mode: CreateMode::PersistentSequential,
+            },
             MultiOp::Check { path: "/nope".into(), version: None },
         ];
         t.apply_multi(&bad, 0, 2, 0).unwrap_err();

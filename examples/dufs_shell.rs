@@ -83,13 +83,7 @@ fn main() {
             ("rmdir", [p]) => fs.rmdir(p).map_err(|e| e.to_string()),
             ("ls", ["-l", p]) => fs.readdir_plus(p).map_err(|e| e.to_string()).map(|entries| {
                 for (name, a) in entries {
-                    println!(
-                        "{}{:03o} {:>8}  {}",
-                        kind_char(a.kind),
-                        a.mode & 0o777,
-                        a.size,
-                        name
-                    );
+                    println!("{}{:03o} {:>8}  {}", kind_char(a.kind), a.mode & 0o777, a.size, name);
                 }
             }),
             ("ls", [p]) => fs.readdir(p).map_err(|e| e.to_string()).map(|names| {

@@ -72,15 +72,9 @@ fn main() {
     std::thread::sleep(Duration::from_secs(2));
     let statuses: Vec<_> = (0..3).map(|i| cluster.status(i)).collect();
     for (i, s) in statuses.iter().enumerate() {
-        println!(
-            "server {i}: alive={} nodes={} digest={:#018x}",
-            s.alive, s.node_count, s.digest
-        );
+        println!("server {i}: alive={} nodes={} digest={:#018x}", s.alive, s.node_count, s.digest);
     }
-    assert!(
-        statuses.windows(2).all(|w| w[0].digest == w[1].digest),
-        "replicas must converge"
-    );
+    assert!(statuses.windows(2).all(|w| w[0].digest == w[1].digest), "replicas must converge");
 
     // And the namespace holds everything that was ever acknowledged.
     let names = fs.readdir("/jobs").unwrap();

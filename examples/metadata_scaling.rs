@@ -42,12 +42,14 @@ fn main() {
             spec: spec(procs),
             seed: 2,
             crash_coord: None,
+            zab: Default::default(),
         });
         let dufs = run_mdtest(&MdtestConfig {
             system: MdtestSystem::DufsLustre { zk_servers: 8, backends: 2 },
             spec: spec(procs),
             seed: 2,
             crash_coord: None,
+            zab: Default::default(),
         });
         let pick = |rs: &[dufs_repro::mdtest::PhaseResult]| {
             rs.iter().find(|r| r.phase == Phase::DirCreate).map(|r| r.ops_per_sec).unwrap_or(0.0)

@@ -25,8 +25,7 @@ fn main() {
 
     // Two shared back-end mounts — the same physical filesystems seen by
     // every client, like mount points on a cluster node.
-    let mounts =
-        vec![ParallelFs::lustre().into_shared(), ParallelFs::lustre().into_shared()];
+    let mounts = vec![ParallelFs::lustre().into_shared(), ParallelFs::lustre().into_shared()];
 
     // Three DUFS clients on three threads, each with its own session and
     // client id, sharing the namespace.

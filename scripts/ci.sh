@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass before it lands.
+#
+#   scripts/ci.sh            # build + tests + clippy + fmt
+#
+# Tier-1 (the root-package tests) is `cargo test -q`; the workspace run
+# covers every crate's unit, integration and property tests. Clippy is
+# pinned to -D warnings so the tree stays lint-clean.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI green."

@@ -1,0 +1,100 @@
+//! Offline stand-in for `crossbeam`: the `channel` module surface this
+//! workspace uses (`bounded`/`unbounded` senders and receivers with
+//! timeout-aware receive), implemented over `std::sync::mpsc`, whose
+//! channels have been Sync-capable since Rust 1.72.
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half; clonable and shareable across threads.
+    pub struct Sender<T>(Inner<T>);
+
+    enum Inner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Inner::Unbounded(s) => Inner::Unbounded(s.clone()),
+                Inner::Bounded(s) => Inner::Bounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`; fails only when every receiver is gone. A bounded
+        /// channel blocks while full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Inner::Unbounded(s) => s.send(value),
+                Inner::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Block up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Inner::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// A channel buffering at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Inner::Bounded(tx)), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_fifo_across_threads() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn timeout_and_disconnect() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the deterministic-simulation surface this workspace
+//! uses: a seedable [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64)
+//! plus the [`RngExt`] convenience methods `random` / `random_range`.
+//! All streams are fully deterministic per seed, which is what the
+//! discrete-event simulator and the fault harnesses rely on.
+
+/// Core entropy source: a stream of u64s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, the
+            // standard recommendation for seeding xoshiro generators.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types samplable uniformly from the full bit stream.
+pub trait FromRng {
+    /// Draw one value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types samplable from a half-open range.
+pub trait UniformInt: Copy {
+    /// Draw uniformly from `[lo, hi)`. Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                // Modulo draw: a negligible bias is acceptable here — the
+                // workspace needs determinism, not cryptographic uniformity.
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// Draw a value of `T` from its natural distribution ([0,1) for f64).
+    fn random<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Draw uniformly from the half-open integer range.
+    fn random_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.random_range(0..u64::MAX)).collect();
+        assert_ne!(sa, sc, "different seeds give different streams");
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+            let v = r.random_range(5..100u64);
+            assert!((5..100).contains(&v));
+            let u = r.random_range(0..10u32);
+            assert!(u < 10);
+            let i = r.random_range(0..3usize);
+            assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn covers_full_small_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

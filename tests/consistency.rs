@@ -17,7 +17,6 @@ fn serial() -> std::sync::MutexGuard<'static, ()> {
     GATE.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-
 fn wait_converged(cluster: &ThreadCluster) {
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
@@ -48,6 +47,11 @@ fn fig1_race_resolves_identically_on_all_replicas() {
         // Client 2 renames /d1 -> /d2 while client 1 re-creates /d1.
         let h = std::thread::spawn(move || {
             let mut c2 = Dufs::new(2, zk2, LocalBackends::from_mounts(mounts2));
+            // A fresh session may land on a replica that has not yet applied
+            // the setup mkdir; per ZooKeeper semantics nothing is promised
+            // across sessions without a sync, so flush the replica up to the
+            // leader's commit point before racing the rename.
+            c2.coord_mut().sync().expect("sync");
             c2.rename("/d1", "/d2")
         });
         let mk = c1.mkdir("/d1", 0o755);

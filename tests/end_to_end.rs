@@ -18,7 +18,6 @@ fn serial() -> std::sync::MutexGuard<'static, ()> {
     GATE.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-
 fn cluster_and_mounts() -> (ThreadCluster, Vec<dufs_repro::backendfs::pfs::SharedPfs>) {
     let cluster = ThreadCluster::start(3);
     cluster.await_leader(Duration::from_secs(15)).expect("leader");
@@ -143,8 +142,7 @@ fn dufs_survives_follower_crash_mid_workload() {
     let victim = (0..3).find(|&i| i != leader).unwrap();
     let client_server = (0..3).find(|&i| i != leader && i != victim).unwrap();
 
-    let mut fs =
-        Dufs::new(1, cluster.client(client_server), LocalBackends::from_mounts(mounts));
+    let mut fs = Dufs::new(1, cluster.client(client_server), LocalBackends::from_mounts(mounts));
     fs.mkdir("/work", 0o755).unwrap();
     for i in 0..10 {
         fs.create(&format!("/work/pre{i}"), 0o644).unwrap();

@@ -7,9 +7,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use dufs_repro::coord::{ZkRequest, ZkResponse};
 use dufs_repro::core::services::{CoordService, LocalBackends, SoloCoord};
 use dufs_repro::core::vfs::Dufs;
-use dufs_repro::coord::{ZkRequest, ZkResponse};
 use dufs_repro::mdtest::scenario::{run_mdtest_report, MdtestConfig, MdtestSystem};
 use dufs_repro::mdtest::workload::{NativeOp, Phase, WorkloadSpec};
 
@@ -50,6 +50,7 @@ fn simulated_and_live_runs_produce_identical_namespaces() {
         spec: s.clone(),
         seed: 77,
         crash_coord: None,
+        zab: Default::default(),
     });
     assert!(report.phases.iter().all(|p| p.errors == 0));
 
@@ -108,6 +109,7 @@ fn simulated_runs_are_reproducible_across_invocations() {
         spec: spec(4),
         seed: 5,
         crash_coord: None,
+        zab: Default::default(),
     };
     let a = run_mdtest_report(&cfg);
     let b = run_mdtest_report(&cfg);
