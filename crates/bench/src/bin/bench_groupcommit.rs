@@ -100,7 +100,8 @@ fn main() {
         for &batch in &batches {
             let mut row = vec![format!("batch {batch}")];
             for &depth in &depths {
-                let tuning = RawTuning { zab: ZabConfig::batched(batch, 1), depth };
+                let tuning =
+                    RawTuning { zab: ZabConfig::batched(batch, 1), depth, ..RawTuning::default() };
                 let result = run_zk_raw_tuned(servers, 0, procs, RawOp::Create, items, 42, tuning);
                 if batch == 1 && depth == 1 {
                     baseline = result.ops_per_sec;

@@ -47,13 +47,7 @@ fn main() {
     let mut last = (0.0, 0.0, 0.0, 0.0);
     for &p in &procs {
         let run = |system, shared| {
-            file_create(&run_mdtest(&MdtestConfig {
-                system,
-                spec: spec(p, shared),
-                seed: 31,
-                crash_coord: None,
-                zab: Default::default(),
-            }))
+            file_create(&run_mdtest(&MdtestConfig::new(system, spec(p, shared), 31)))
         };
         let lu = run(MdtestSystem::BasicLustre, false);
         let ls = run(MdtestSystem::BasicLustre, true);

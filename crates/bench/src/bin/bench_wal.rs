@@ -1,0 +1,248 @@
+//! Write-ahead-log ablation — what durability costs, and how much of that
+//! cost group commit buys back.
+//!
+//! Two sweeps:
+//!
+//! 1. **Simulated testbed** (same harness as Fig 7): `zoo_create()` against
+//!    the paper's 8-server ensemble with every server behind a `dufs-wal` log, fsync
+//!    gating ACKs. Cells: the paper's in-memory baseline, naive
+//!    fsync-per-txn (batch 1), and group-commit batches that amortize one
+//!    flush across a whole ZAB batch. The in-memory batch-1 cell must be
+//!    *bit-identical* to `run_zk_raw` — durability is opt-in and does not
+//!    perturb the figures.
+//! 2. **Real filesystem**: `Wal` over `FileStorage` in a scratch
+//!    directory, sweeping fsync-batch size × segment size, timing appends
+//!    and cold-start recovery (`reopen`).
+//!
+//! Emits `results/BENCH_wal.json`. Run with `FULL=1` for the paper-scale
+//! 256-process sweep.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dufs_bench::{fmt_ops, full_scale, items_per_proc, Table};
+use dufs_mdtest::scenario::{run_zk_raw, run_zk_raw_tuned, RawOp, RawRunResult, RawTuning};
+use dufs_wal::{FileStorage, Wal, WalConfig};
+use dufs_zab::ZabConfig;
+
+const SERVERS: usize = 8;
+
+/// One cell of the simulated sweep.
+struct SimRun {
+    label: &'static str,
+    durable: bool,
+    batch: usize,
+    result: RawRunResult,
+}
+
+/// One cell of the real-filesystem sweep.
+struct FileRun {
+    fsync_batch: usize,
+    segment_bytes: usize,
+    appends_per_sec: f64,
+    syncs: u64,
+    segments: usize,
+    recovery_ms: f64,
+    recovered_entries: usize,
+}
+
+fn sim_sweep(procs: usize, items: usize) -> (f64, Vec<SimRun>) {
+    let cells: [(&'static str, bool, usize); 5] = [
+        ("in-memory (paper)", false, 1),
+        ("durable, fsync/txn", true, 1),
+        ("durable, batch 8", true, 8),
+        ("durable, batch 32", true, 32),
+        ("durable, batch 64", true, 64),
+    ];
+    let baseline = run_zk_raw(SERVERS, procs, RawOp::Create, items, 42);
+    let mut runs = Vec::new();
+    for (label, durable, batch) in cells {
+        let tuning = RawTuning { zab: ZabConfig::batched(batch, 1), depth: 1, durable };
+        let result = run_zk_raw_tuned(SERVERS, 0, procs, RawOp::Create, items, 42, tuning);
+        runs.push(SimRun { label, durable, batch, result });
+    }
+    // The durability layer must be invisible when off: the tuned batch-1
+    // in-memory run IS the figure-7 run.
+    let inmem = &runs[0].result;
+    assert_eq!(
+        inmem.ops_per_sec.to_bits(),
+        baseline.to_bits(),
+        "in-memory batch-1 run must be bit-identical to run_zk_raw"
+    );
+    (baseline, runs)
+}
+
+fn file_sweep(appends: usize) -> Vec<FileRun> {
+    let scratch = std::env::temp_dir().join(format!("dufs-bench-wal-{}", std::process::id()));
+    let payload = vec![0xabu8; 128];
+    let mut runs = Vec::new();
+    for &segment_bytes in &[64usize << 10, 1 << 20, 4 << 20] {
+        for &fsync_batch in &[1usize, 8, 32, 128] {
+            let dir = scratch.join(format!("s{segment_bytes}-b{fsync_batch}"));
+            std::fs::create_dir_all(&dir).expect("create scratch dir");
+            let storage = FileStorage::new(&dir).expect("open scratch dir");
+            let (mut wal, _) =
+                Wal::open(Box::new(storage), WalConfig { segment_bytes }).expect("open wal");
+
+            let start = Instant::now();
+            for i in 0..appends {
+                wal.append_txn(i as u64 + 1, &payload).expect("append");
+                if (i + 1) % fsync_batch == 0 {
+                    wal.sync().expect("sync");
+                }
+            }
+            wal.sync().expect("final sync");
+            let elapsed = start.elapsed().as_secs_f64();
+            let (syncs, segments) = (wal.sync_count(), wal.segment_count());
+
+            // Cold-start recovery: rescan everything from disk.
+            let storage = wal.into_storage();
+            let start = Instant::now();
+            let (_, rec) = Wal::open(storage, WalConfig { segment_bytes }).expect("recover wal");
+            let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(rec.entries.len(), appends, "recovery must see every synced txn");
+            assert!(!rec.torn_tail, "clean shutdown must not report a torn tail");
+
+            runs.push(FileRun {
+                fsync_batch,
+                segment_bytes,
+                appends_per_sec: appends as f64 / elapsed.max(f64::MIN_POSITIVE),
+                syncs,
+                segments,
+                recovery_ms,
+                recovered_entries: rec.entries.len(),
+            });
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    runs
+}
+
+fn write_json(
+    path: &str,
+    procs: usize,
+    items: usize,
+    appends: usize,
+    sim: &[SimRun],
+    recovered_ratio: f64,
+    files: &[FileRun],
+) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"benchmark\": \"wal\",");
+    let _ = writeln!(j, "  \"sim\": {{");
+    let _ = writeln!(j, "    \"op\": \"zoo_create\",");
+    let _ = writeln!(j, "    \"servers\": {SERVERS},");
+    let _ = writeln!(j, "    \"processes\": {procs},");
+    let _ = writeln!(j, "    \"items_per_proc\": {items},");
+    j.push_str("    \"runs\": [\n");
+    for (i, r) in sim.iter().enumerate() {
+        let _ = write!(
+            j,
+            "      {{\"label\": \"{}\", \"durable\": {}, \"batch\": {}, \
+             \"ops_per_sec\": {:.1}, \"mean_latency_us\": {:.1}, \"p99_latency_us\": {:.1}}}",
+            r.label,
+            r.durable,
+            r.batch,
+            r.result.ops_per_sec,
+            r.result.mean_latency_us,
+            r.result.p99_latency_us
+        );
+        j.push_str(if i + 1 < sim.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("    ],\n");
+    let _ = writeln!(j, "    \"group_commit_recovered_vs_naive_loss\": {recovered_ratio:.3}");
+    j.push_str("  },\n");
+    let _ = writeln!(j, "  \"file\": {{");
+    let _ = writeln!(j, "    \"appends\": {appends},");
+    let _ = writeln!(j, "    \"payload_bytes\": 128,");
+    j.push_str("    \"runs\": [\n");
+    for (i, r) in files.iter().enumerate() {
+        let _ = write!(
+            j,
+            "      {{\"fsync_batch\": {}, \"segment_bytes\": {}, \"appends_per_sec\": {:.1}, \
+             \"syncs\": {}, \"segments\": {}, \"recovery_ms\": {:.3}, \"recovered_entries\": {}}}",
+            r.fsync_batch,
+            r.segment_bytes,
+            r.appends_per_sec,
+            r.syncs,
+            r.segments,
+            r.recovery_ms,
+            r.recovered_entries
+        );
+        j.push_str(if i + 1 < files.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("    ]\n");
+    j.push_str("  }\n");
+    j.push_str("}\n");
+    if let Err(e) = std::fs::write(path, &j) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let procs = if full_scale() { 256 } else { 64 };
+    let items = items_per_proc();
+
+    println!(
+        "WAL ablation: zoo_create() over {SERVERS} durable servers, {} processes, {} scale\n",
+        procs,
+        if full_scale() { "FULL" } else { "quick" }
+    );
+
+    let (_, sim) = sim_sweep(procs, items);
+    let inmem = sim[0].result.ops_per_sec;
+    let naive = sim[1].result.ops_per_sec;
+    let best = sim
+        .iter()
+        .filter(|r| r.durable && r.batch > 1)
+        .map(|r| r.result.ops_per_sec)
+        .fold(0.0f64, f64::max);
+
+    let mut t = Table::new(vec!["configuration", "ops/sec", "vs in-memory", "mean lat"]);
+    for r in &sim {
+        t.row(vec![
+            r.label.to_string(),
+            fmt_ops(r.result.ops_per_sec),
+            format!("{:.2}x", r.result.ops_per_sec / inmem.max(f64::MIN_POSITIVE)),
+            format!("{:.0} us", r.result.mean_latency_us),
+        ]);
+    }
+    t.print();
+
+    // The headline claim: what fsync-per-txn loses, group commit wins back
+    // — with interest, because one flush now covers a whole ZAB batch.
+    let lost = inmem - naive;
+    let recovered = best - naive;
+    let ratio = recovered / lost.max(f64::MIN_POSITIVE);
+    println!(
+        "\nfsync-per-txn loses {} ops/sec; group commit recovers {} ({:.2}x the loss)",
+        fmt_ops(lost),
+        fmt_ops(recovered),
+        ratio
+    );
+    assert!(lost > 0.0, "fsync-per-txn must cost throughput, or the charge is not wired");
+    assert!(
+        ratio >= 2.0,
+        "group commit must recover >= 2x the throughput naive fsync loses (got {ratio:.2}x)"
+    );
+
+    let appends = if full_scale() { 20_000 } else { 2_000 };
+    println!("\nReal-filesystem sweep: {appends} x 128-byte appends per cell");
+    let files = file_sweep(appends);
+    let mut t = Table::new(vec!["segment", "fsync batch", "appends/sec", "syncs", "recovery"]);
+    for r in &files {
+        t.row(vec![
+            format!("{} KiB", r.segment_bytes >> 10),
+            r.fsync_batch.to_string(),
+            fmt_ops(r.appends_per_sec),
+            r.syncs.to_string(),
+            format!("{:.1} ms ({} segs)", r.recovery_ms, r.segments),
+        ]);
+    }
+    t.print();
+
+    write_json("results/BENCH_wal.json", procs, items, appends, &sim, ratio, &files);
+}

@@ -40,13 +40,7 @@ fn main() {
     for (_, sys) in &systems {
         let mut per_proc = Vec::new();
         for &p in &procs {
-            let cfg = MdtestConfig {
-                system: *sys,
-                spec: spec(p),
-                seed: 7,
-                crash_coord: None,
-                zab: Default::default(),
-            };
+            let cfg = MdtestConfig::new(*sys, spec(p), 7);
             per_proc.push(run_mdtest(&cfg));
         }
         results.push(per_proc);

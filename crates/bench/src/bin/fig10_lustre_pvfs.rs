@@ -44,13 +44,7 @@ fn main() {
     for (_, sys) in &systems {
         let mut per_proc = Vec::new();
         for &p in &procs {
-            let cfg = MdtestConfig {
-                system: *sys,
-                spec: spec(p),
-                seed: 13,
-                crash_coord: None,
-                zab: Default::default(),
-            };
+            let cfg = MdtestConfig::new(*sys, spec(p), 13);
             per_proc.push(run_mdtest(&cfg));
         }
         results.push(per_proc);

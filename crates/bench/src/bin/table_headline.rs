@@ -29,15 +29,7 @@ fn main() {
         if full_scale() { "FULL" } else { "quick" }
     );
 
-    let run = |system: MdtestSystem| {
-        run_mdtest(&MdtestConfig {
-            system,
-            spec: spec.clone(),
-            seed: 99,
-            crash_coord: None,
-            zab: Default::default(),
-        })
-    };
+    let run = |system: MdtestSystem| run_mdtest(&MdtestConfig::new(system, spec.clone(), 99));
     let lustre = run(MdtestSystem::BasicLustre);
     let pvfs = run(MdtestSystem::BasicPvfs2);
     let dufs_l = run(MdtestSystem::DufsLustre { zk_servers: 8, backends: 2 });

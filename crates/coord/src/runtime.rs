@@ -8,6 +8,7 @@
 //! different driver).
 
 use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -15,6 +16,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
+use dufs_wal::FileStorage;
 use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
 use dufs_zkstore::{CreateMode, MultiOp, MultiResult, Stat, ZkError};
 
@@ -90,6 +92,29 @@ impl ThreadCluster {
     /// Start `voters` + `observers` servers with explicit group-commit
     /// tuning.
     pub fn start_full(voters: usize, observers: usize, zab: ZabConfig) -> Self {
+        Self::start_inner(voters, observers, zab, None)
+    }
+
+    /// Start a *durable* ensemble: each server runs a file-backed
+    /// write-ahead log under `dir/server-<id>` and fsyncs every replicated
+    /// batch before acknowledging it. A server restarted after a crash —
+    /// or a whole ensemble started over an existing directory — recovers
+    /// its state from disk (newest valid checkpoint + log-tail replay).
+    pub fn start_durable(n: usize, dir: impl AsRef<Path>) -> Self {
+        Self::start_inner(n, 0, ZabConfig::default(), Some(dir.as_ref().to_path_buf()))
+    }
+
+    /// [`ThreadCluster::start_durable`] with explicit group-commit tuning.
+    pub fn start_durable_with_config(n: usize, zab: ZabConfig, dir: impl AsRef<Path>) -> Self {
+        Self::start_inner(n, 0, zab, Some(dir.as_ref().to_path_buf()))
+    }
+
+    fn start_inner(
+        voters: usize,
+        observers: usize,
+        zab: ZabConfig,
+        wal_dir: Option<PathBuf>,
+    ) -> Self {
         let n = voters + observers;
         let config = EnsembleConfig::with_observers(voters, observers);
         let mut senders = Vec::with_capacity(n);
@@ -105,10 +130,11 @@ impl ThreadCluster {
             let peers = senders.clone();
             let cfg = config.clone();
             let me = PeerId(i as u32);
+            let dir = wal_dir.as_ref().map(|d| d.join(format!("server-{i}")));
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("coord-{i}"))
-                    .spawn(move || server_thread(me, cfg, zab, rx, peers, epoch))
+                    .spawn(move || server_thread(me, cfg, zab, rx, peers, epoch, dir))
                     .expect("spawn server thread"),
             );
         }
@@ -211,8 +237,16 @@ fn server_thread(
     rx: Receiver<Envelope>,
     peers: Vec<Sender<Envelope>>,
     epoch: Instant,
+    wal_dir: Option<PathBuf>,
 ) {
-    let (mut server, init) = CoordServer::new_with_config(me, config, zab);
+    let (mut server, init) = match wal_dir {
+        Some(dir) => {
+            let storage = FileStorage::new(&dir).expect("open WAL directory");
+            CoordServer::new_durable(me, config, zab, Box::new(storage))
+                .expect("recover server state from its write-ahead log")
+        }
+        None => CoordServer::new_with_config(me, config, zab),
+    };
     let mut clients: HashMap<ClientId, Sender<ClientEvent>> = HashMap::new();
     let mut timers: Vec<(Instant, CoordTimer)> = Vec::new();
     let mut alive = true;

@@ -9,8 +9,11 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
+use dufs_wal::{LogStorage, Recovered, Wal, WalConfig, WalError, WalResult};
 use dufs_zab::{
-    EnsembleConfig, PeerId, Role, ZabAction, ZabConfig, ZabMsg, ZabPeer, ZabTimer, Zxid,
+    DurableState, EnsembleConfig, PeerId, PersistEvent, Role, ZabAction, ZabConfig, ZabMsg,
+    ZabPeer, ZabTimer, Zxid,
 };
 use dufs_zkstore::{snapshot, DataTree, ZkError};
 
@@ -141,6 +144,53 @@ struct Pending {
     req_id: u64,
 }
 
+/// Turn raw WAL recovery output into typed ZAB durable state: pick the
+/// newest snapshot that still zkstore-decodes (older checkpoints are kept
+/// as fallbacks exactly for this), then decode every log payload above its
+/// watermark. A CRC-valid record that fails the [`Txn`] codec is real
+/// corruption — recovery refuses rather than replaying a guessed history.
+fn decode_recovered(rec: &Recovered) -> WalResult<DurableState<Txn>> {
+    let mut snapshot = None;
+    for (zxid, blob) in &rec.snapshots {
+        if snapshot::decode(blob).is_ok() {
+            snapshot = Some((Zxid::from_u64(*zxid), blob.clone()));
+            break; // newest-first: take the first that decodes
+        }
+    }
+    let snap_zxid = snapshot.as_ref().map(|(z, _)| z.as_u64()).unwrap_or(0);
+    let mut log = Vec::with_capacity(rec.entries.len());
+    for (zxid, payload) in &rec.entries {
+        if *zxid <= snap_zxid {
+            continue;
+        }
+        let txn = Txn::decode(payload)
+            .map_err(|_| WalError::Corrupt(format!("undecodable txn at zxid {zxid:#x}")))?;
+        log.push((Zxid::from_u64(*zxid), txn));
+    }
+    Ok(DurableState { epoch: rec.epoch, snapshot, log })
+}
+
+/// Rebuild the origin-local tag and session counters from the recovered
+/// log, so a restarted server never re-mints an id visible in the surviving
+/// history. (Ids minted below the last checkpoint are no longer visible;
+/// their reuse is harmless for tags — the pending map is empty after a
+/// restart — and bounded for sessions by the checkpoint interval.)
+fn watermarks(me: PeerId, log: &[(Zxid, Txn)]) -> (u64, u64) {
+    let mut next_tag = 1u64;
+    let mut next_session = 1u64;
+    for (_, txn) in log {
+        if txn.origin == me {
+            next_tag = next_tag.max(txn.tag + 1);
+        }
+        if let TxnOp::CreateSession { session } = txn.op {
+            if session >> 40 == u64::from(me.0) {
+                next_session = next_session.max((session & ((1 << 40) - 1)) + 1);
+            }
+        }
+    }
+    (next_tag, next_session)
+}
+
 struct SessionInfo {
     client: ClientId,
     last_heard_ms: u64,
@@ -149,6 +199,8 @@ struct SessionInfo {
 /// One coordination server (one member of the ensemble).
 pub struct CoordServer {
     me: PeerId,
+    config: EnsembleConfig,
+    zcfg: ZabConfig,
     peer: ZabPeer<Txn>,
     tree: DataTree,
     watches: WatchManager<ClientId>,
@@ -163,6 +215,15 @@ pub struct CoordServer {
     last_applied: u64,
     /// Count of transactions applied (for perf accounting).
     applied_count: u64,
+    /// Durable write-ahead log; `None` runs the server purely in memory
+    /// (the pre-WAL behaviour, used by the simulator's baseline figures).
+    wal: Option<Wal>,
+    /// Set when a WAL write or fsync failed: the durable suffix is unknown,
+    /// so the server self-fences — it drops every input (and every output
+    /// of the failing event) until [`CoordServer::on_restart`] re-derives
+    /// its state from disk. Acting on an un-durable promise could ack a
+    /// transaction a crash then forgets.
+    fenced: bool,
 }
 
 impl CoordServer {
@@ -182,9 +243,11 @@ impl CoordServer {
         config: EnsembleConfig,
         zab: ZabConfig,
     ) -> (Self, Vec<ServerOut>) {
-        let (peer, zab_acts) = ZabPeer::new_with_config(me, config, zab);
+        let (peer, zab_acts) = ZabPeer::new_with_config(me, config.clone(), zab);
         let mut s = CoordServer {
             me,
+            config,
+            zcfg: zab,
             peer,
             tree: DataTree::new(),
             watches: WatchManager::new(),
@@ -195,11 +258,54 @@ impl CoordServer {
             next_session: 1,
             last_applied: 0,
             applied_count: 0,
+            wal: None,
+            fenced: false,
         };
         let mut out = Vec::new();
         s.absorb_zab(zab_acts, &mut out);
         out.push(ServerOut::Timer { timer: CoordTimer::SessionSweep, after_ms: SESSION_SWEEP_MS });
         (s, out)
+    }
+
+    /// Build a server backed by a write-ahead log: ZAB appends are fsynced
+    /// (one group fsync per batch) *before* the dependent protocol messages
+    /// go out, checkpoints mirror into the log directory, and a cold start
+    /// recovers from the newest decodable snapshot plus the log tail.
+    ///
+    /// If `storage` already holds a log (a previous incarnation's), the
+    /// server resumes from it.
+    pub fn new_durable(
+        me: PeerId,
+        config: EnsembleConfig,
+        zab: ZabConfig,
+        storage: Box<dyn LogStorage>,
+    ) -> WalResult<(Self, Vec<ServerOut>)> {
+        let (mut wal, rec) = Wal::open(storage, WalConfig::default())?;
+        let durable = decode_recovered(&rec)?;
+        let (next_tag, next_session) = watermarks(me, &durable.log);
+        let (peer, zab_acts) = ZabPeer::recover(me, config.clone(), zab, durable);
+        wal.sync()?; // recovery truncation + fresh tail segment are durable
+        let mut s = CoordServer {
+            me,
+            config,
+            zcfg: zab,
+            peer,
+            tree: DataTree::new(),
+            watches: WatchManager::new(),
+            pending: HashMap::new(),
+            next_tag,
+            pending_syncs: Vec::new(),
+            sessions: HashMap::new(),
+            next_session,
+            last_applied: 0,
+            applied_count: 0,
+            wal: Some(wal),
+            fenced: false,
+        };
+        let mut out = Vec::new();
+        s.absorb_zab(zab_acts, &mut out);
+        out.push(ServerOut::Timer { timer: CoordTimer::SessionSweep, after_ms: SESSION_SWEEP_MS });
+        Ok((s, out))
     }
 
     // ------------------------------------------------------------------
@@ -246,6 +352,28 @@ impl CoordServer {
     pub fn session_count(&self) -> usize {
         self.sessions.len()
     }
+    /// Whether this server runs with a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+    /// Whether the server has self-fenced after a WAL failure.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+    /// Total fsyncs the WAL has issued (0 without one). The simulator
+    /// charges `FSYNC` service time per increment of this counter.
+    pub fn wal_sync_count(&self) -> u64 {
+        self.wal.as_ref().map(|w| w.sync_count()).unwrap_or(0)
+    }
+    /// Total records the WAL has appended (0 without one).
+    pub fn wal_append_count(&self) -> u64 {
+        self.wal.as_ref().map(|w| w.append_count()).unwrap_or(0)
+    }
+    /// Live WAL segment count (0 without one; diagnostics — checkpointing
+    /// must keep this bounded).
+    pub fn wal_segment_count(&self) -> usize {
+        self.wal.as_ref().map(|w| w.segment_count()).unwrap_or(0)
+    }
 
     // ------------------------------------------------------------------
     // Event entry point
@@ -254,6 +382,11 @@ impl CoordServer {
     /// Feed one input event; returns the actions to execute. `now_ns` is
     /// the host's clock (virtual or real).
     pub fn handle(&mut self, now_ns: u64, input: ServerIn) -> Vec<ServerOut> {
+        if self.fenced {
+            // A WAL write failed earlier: the durable suffix is unknown, so
+            // the server behaves as crashed until restarted from disk.
+            return Vec::new();
+        }
         let mut out = Vec::new();
         match input {
             ServerIn::Client { client, req_id, session, req } => {
@@ -262,13 +395,23 @@ impl CoordServer {
             ServerIn::Peer { from, msg } => self.handle_peer(now_ns, from, msg, &mut out),
             ServerIn::Timer(t) => self.handle_timer(now_ns, t, &mut out),
         }
+        if self.fenced {
+            // The event that fenced us may have queued sends that promise
+            // un-durable state: drop everything it produced.
+            return Vec::new();
+        }
         out
     }
 
     /// Crash: volatile state (tree replica, watches, sessions, pending) is
-    /// lost; the ZAB log survives.
+    /// lost. In-memory mode the ZAB peer's log fields survive (ZooKeeper's
+    /// disk, abstracted); in durable mode the storage backend drops every
+    /// unsynced byte and recovery at restart comes from the log itself.
     pub fn on_crash(&mut self) {
         self.peer.on_crash();
+        if let Some(wal) = self.wal.as_mut() {
+            wal.crash();
+        }
         self.tree = DataTree::new();
         self.watches = WatchManager::new();
         self.pending.clear();
@@ -277,14 +420,50 @@ impl CoordServer {
         self.last_applied = 0;
     }
 
-    /// Restart after a crash: the ZAB layer replays the committed log into
-    /// a fresh tree and rejoins the ensemble.
+    /// Restart after a crash: replay the durable history into a fresh tree
+    /// and rejoin the ensemble. Durable servers re-derive *everything* from
+    /// their write-ahead log (cold start); in-memory servers replay the ZAB
+    /// peer's surviving fields.
     pub fn on_restart(&mut self, now_ns: u64) -> Vec<ServerOut> {
-        let mut out = Vec::new();
-        let acts = self.peer.on_restart();
         let _ = now_ns;
-        self.absorb_zab(acts, &mut out);
+        self.fenced = false;
+        let mut out = Vec::new();
+        if self.wal.is_some() {
+            let mut wal = self.wal.take().expect("checked");
+            match wal.reopen().and_then(|rec| {
+                wal.sync()?;
+                decode_recovered(&rec)
+            }) {
+                Ok(durable) => {
+                    let (next_tag, next_session) = watermarks(self.me, &durable.log);
+                    self.next_tag = next_tag;
+                    self.next_session = next_session;
+                    let (peer, acts) =
+                        ZabPeer::recover(self.me, self.config.clone(), self.zcfg, durable);
+                    self.peer = peer;
+                    self.wal = Some(wal);
+                    self.absorb_zab(acts, &mut out);
+                }
+                Err(_) => {
+                    // Storage is unreadable (or the recovery fsync failed):
+                    // stay fenced until the next restart attempt; serving
+                    // would risk a forked history. Crash the half-reopened
+                    // WAL so its buffered tail-segment header cannot leak
+                    // into a sealed segment later.
+                    wal.crash();
+                    self.wal = Some(wal);
+                    self.fenced = true;
+                    return Vec::new();
+                }
+            }
+        } else {
+            let acts = self.peer.on_restart();
+            self.absorb_zab(acts, &mut out);
+        }
         out.push(ServerOut::Timer { timer: CoordTimer::SessionSweep, after_ms: SESSION_SWEEP_MS });
+        if self.fenced {
+            return Vec::new();
+        }
         out
     }
 
@@ -625,9 +804,27 @@ impl CoordServer {
     // ZAB action absorption and transaction application
     // ------------------------------------------------------------------
 
+    /// Fence after a WAL failure: the durable suffix is unknown, so the
+    /// server treats itself as crashed on the spot — including the WAL,
+    /// whose buffered (never-synced) bytes must be discarded now. Leaving
+    /// them in flight would let a *later* crash smear them into a segment
+    /// that has since been sealed, turning a recoverable torn tail into
+    /// permanent corruption.
+    fn fence(&mut self) {
+        self.fenced = true;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.crash();
+        }
+    }
+
     fn absorb_zab(&mut self, acts: Vec<ZabAction<Txn>>, out: &mut Vec<ServerOut>) {
+        let mut unsynced = false;
         for a in acts {
+            if self.fenced {
+                return;
+            }
             match a {
+                ZabAction::Persist(ev) => unsynced |= self.persist(ev),
                 ZabAction::Send { to, msg } => {
                     out.push(ServerOut::Peer { to, msg: CoordMsg::Zab(msg) })
                 }
@@ -659,6 +856,49 @@ impl CoordServer {
                     }
                     self.pending_syncs.clear();
                 }
+            }
+        }
+        // Group fsync: ONE durability point per absorbed action batch. ZAB
+        // emits one `Persist` per proposal batch, so fsync frequency scales
+        // with batches, not transactions — this is where group commit
+        // recovers the throughput a per-transaction fsync would cost.
+        if unsynced && !self.fenced {
+            if let Some(wal) = self.wal.as_mut() {
+                if wal.sync().is_err() {
+                    self.fence();
+                }
+            }
+        }
+    }
+
+    /// Mirror one ZAB durability event into the WAL. Returns whether a
+    /// sync is still owed (resets sync internally). WAL failure ⇒ fence.
+    fn persist(&mut self, ev: PersistEvent<Txn>) -> bool {
+        let Some(wal) = self.wal.as_mut() else { return false };
+        let result: WalResult<bool> = (|| match ev {
+            PersistEvent::Append { entries } => {
+                for (zxid, txn) in &entries {
+                    wal.append_txn(zxid.as_u64(), &txn.encode())?;
+                }
+                Ok(!entries.is_empty())
+            }
+            PersistEvent::Epoch(epoch) => {
+                wal.append_epoch(epoch)?;
+                Ok(true)
+            }
+            PersistEvent::Reset { epoch, snapshot, entries } => {
+                let encoded: Vec<(u64, Bytes)> =
+                    entries.iter().map(|(z, t)| (z.as_u64(), t.encode())).collect();
+                let snap = snapshot.as_ref().map(|(z, b)| (z.as_u64(), &b[..]));
+                wal.reset(snap, &encoded, epoch)?;
+                Ok(false) // reset is durable on return
+            }
+        })();
+        match result {
+            Ok(owed) => owed,
+            Err(_) => {
+                self.fence();
+                false
             }
         }
     }
@@ -703,8 +943,16 @@ impl CoordServer {
         self.applied_count += 1;
         if self.applied_count.is_multiple_of(CHECKPOINT_EVERY) {
             // Fuzzy snapshot: checkpoint the applied state and let the
-            // replication layer drop the covered log prefix.
+            // replication layer drop the covered log prefix. In durable
+            // mode the checkpoint also lands on disk first, truncating the
+            // on-disk log it covers.
             let blob = snapshot::encode(&self.tree);
+            if let Some(wal) = self.wal.as_mut() {
+                if wal.checkpoint(zxid.as_u64(), &blob).is_err() {
+                    self.fence();
+                    return;
+                }
+            }
             self.peer.install_snapshot(zxid, blob);
         }
 

@@ -9,7 +9,7 @@
 use bytes::Bytes;
 
 use dufs_zab::PeerId;
-use dufs_zkstore::{CreateMode, MultiOp};
+use dufs_zkstore::{CreateMode, MultiOp, ZkError, ZkResult};
 
 /// The mutation kinds that get replicated.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +76,237 @@ pub struct Txn {
     pub time_ns: u64,
 }
 
+// ----------------------------------------------------------------------
+// Binary codec (for the write-ahead log)
+// ----------------------------------------------------------------------
+//
+// Little-endian, length-prefixed. The WAL frames each record with a CRC,
+// so this codec only needs to be unambiguous; still, every decode path is
+// bounds-checked and malformed input returns `ZkError::CorruptSnapshot`
+// (never a panic) so CRC-valid-but-impossible bytes fail recovery loudly.
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    buf.extend_from_slice(b);
+}
+
+fn put_version(buf: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        None => buf.push(0),
+        Some(v) => {
+            buf.push(1);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn mode_byte(m: CreateMode) -> u8 {
+    match m {
+        CreateMode::Persistent => 0,
+        CreateMode::Ephemeral => 1,
+        CreateMode::PersistentSequential => 2,
+        CreateMode::EphemeralSequential => 3,
+    }
+}
+
+struct Cursor<'a> {
+    raw: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> ZkResult<&'a [u8]> {
+        if self.raw.len() - self.pos < n {
+            return Err(ZkError::CorruptSnapshot);
+        }
+        let s = &self.raw[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> ZkResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> ZkResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> ZkResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> ZkResult<String> {
+        let n = self.u32()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).map_err(|_| ZkError::CorruptSnapshot)
+    }
+    fn bytes(&mut self) -> ZkResult<Bytes> {
+        let n = self.u32()? as usize;
+        Ok(Bytes::copy_from_slice(self.take(n)?))
+    }
+    fn version(&mut self) -> ZkResult<Option<u32>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            _ => Err(ZkError::CorruptSnapshot),
+        }
+    }
+    fn mode(&mut self) -> ZkResult<CreateMode> {
+        match self.u8()? {
+            0 => Ok(CreateMode::Persistent),
+            1 => Ok(CreateMode::Ephemeral),
+            2 => Ok(CreateMode::PersistentSequential),
+            3 => Ok(CreateMode::EphemeralSequential),
+            _ => Err(ZkError::CorruptSnapshot),
+        }
+    }
+}
+
+impl Txn {
+    /// Serialize for the write-ahead log.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&self.session.to_le_bytes());
+        buf.extend_from_slice(&self.origin.0.to_le_bytes());
+        buf.extend_from_slice(&self.tag.to_le_bytes());
+        buf.extend_from_slice(&self.time_ns.to_le_bytes());
+        match &self.op {
+            TxnOp::Create { path, data, mode } => {
+                buf.push(1);
+                put_str(&mut buf, path);
+                put_bytes(&mut buf, data);
+                buf.push(mode_byte(*mode));
+            }
+            TxnOp::Delete { path, version } => {
+                buf.push(2);
+                put_str(&mut buf, path);
+                put_version(&mut buf, *version);
+            }
+            TxnOp::SetData { path, data, version } => {
+                buf.push(3);
+                put_str(&mut buf, path);
+                put_bytes(&mut buf, data);
+                put_version(&mut buf, *version);
+            }
+            TxnOp::Multi { ops } => {
+                buf.push(4);
+                buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for op in ops {
+                    match op {
+                        MultiOp::Create { path, data, mode } => {
+                            buf.push(1);
+                            put_str(&mut buf, path);
+                            put_bytes(&mut buf, data);
+                            buf.push(mode_byte(*mode));
+                        }
+                        MultiOp::Delete { path, version } => {
+                            buf.push(2);
+                            put_str(&mut buf, path);
+                            put_version(&mut buf, *version);
+                        }
+                        MultiOp::SetData { path, data, version } => {
+                            buf.push(3);
+                            put_str(&mut buf, path);
+                            put_bytes(&mut buf, data);
+                            put_version(&mut buf, *version);
+                        }
+                        MultiOp::Check { path, version } => {
+                            buf.push(4);
+                            put_str(&mut buf, path);
+                            put_version(&mut buf, *version);
+                        }
+                    }
+                }
+            }
+            TxnOp::CreateSession { session } => {
+                buf.push(5);
+                buf.extend_from_slice(&session.to_le_bytes());
+            }
+            TxnOp::CloseSession { session } => {
+                buf.push(6);
+                buf.extend_from_slice(&session.to_le_bytes());
+            }
+            TxnOp::Noop => buf.push(7),
+        }
+        Bytes::from(buf)
+    }
+
+    /// Deserialize a WAL record payload. Malformed or trailing bytes are
+    /// [`ZkError::CorruptSnapshot`].
+    pub fn decode(raw: &[u8]) -> ZkResult<Txn> {
+        let mut c = Cursor { raw, pos: 0 };
+        let session = c.u64()?;
+        let origin = PeerId(c.u32()?);
+        let tag = c.u64()?;
+        let time_ns = c.u64()?;
+        let op = match c.u8()? {
+            1 => {
+                let path = c.str()?;
+                let data = c.bytes()?;
+                let mode = c.mode()?;
+                TxnOp::Create { path, data, mode }
+            }
+            2 => {
+                let path = c.str()?;
+                let version = c.version()?;
+                TxnOp::Delete { path, version }
+            }
+            3 => {
+                let path = c.str()?;
+                let data = c.bytes()?;
+                let version = c.version()?;
+                TxnOp::SetData { path, data, version }
+            }
+            4 => {
+                let n = c.u32()? as usize;
+                // Sanity-bound before allocating: each op costs ≥2 bytes.
+                if n > raw.len() {
+                    return Err(ZkError::CorruptSnapshot);
+                }
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(match c.u8()? {
+                        1 => {
+                            let path = c.str()?;
+                            let data = c.bytes()?;
+                            let mode = c.mode()?;
+                            MultiOp::Create { path, data, mode }
+                        }
+                        2 => {
+                            let path = c.str()?;
+                            let version = c.version()?;
+                            MultiOp::Delete { path, version }
+                        }
+                        3 => {
+                            let path = c.str()?;
+                            let data = c.bytes()?;
+                            let version = c.version()?;
+                            MultiOp::SetData { path, data, version }
+                        }
+                        4 => {
+                            let path = c.str()?;
+                            let version = c.version()?;
+                            MultiOp::Check { path, version }
+                        }
+                        _ => return Err(ZkError::CorruptSnapshot),
+                    });
+                }
+                TxnOp::Multi { ops }
+            }
+            5 => TxnOp::CreateSession { session: c.u64()? },
+            6 => TxnOp::CloseSession { session: c.u64()? },
+            7 => TxnOp::Noop,
+            _ => return Err(ZkError::CorruptSnapshot),
+        };
+        if c.pos != raw.len() {
+            return Err(ZkError::CorruptSnapshot);
+        }
+        Ok(Txn { session, op, origin, tag, time_ns })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +325,70 @@ mod tests {
             time_ns: 123,
         };
         assert_eq!(t.clone(), t);
+    }
+
+    fn roundtrip(t: &Txn) {
+        let enc = t.encode();
+        assert_eq!(&Txn::decode(&enc).expect("round trip"), t);
+    }
+
+    #[test]
+    fn codec_round_trips_every_op_kind() {
+        let base = |op| Txn { session: 0xdead_beef, op, origin: PeerId(3), tag: 42, time_ns: 7 };
+        roundtrip(&base(TxnOp::Create {
+            path: "/a/b".into(),
+            data: Bytes::from_static(b"payload"),
+            mode: CreateMode::EphemeralSequential,
+        }));
+        roundtrip(&base(TxnOp::Delete { path: "/x".into(), version: Some(9) }));
+        roundtrip(&base(TxnOp::Delete { path: "/x".into(), version: None }));
+        roundtrip(&base(TxnOp::SetData {
+            path: "/x".into(),
+            data: Bytes::new(),
+            version: Some(0),
+        }));
+        roundtrip(&base(TxnOp::Multi {
+            ops: vec![
+                MultiOp::Create {
+                    path: "/new".into(),
+                    data: Bytes::from_static(b"fid"),
+                    mode: CreateMode::Persistent,
+                },
+                MultiOp::Delete { path: "/old".into(), version: None },
+                MultiOp::SetData { path: "/s".into(), data: Bytes::new(), version: Some(2) },
+                MultiOp::Check { path: "/c".into(), version: Some(1) },
+            ],
+        }));
+        roundtrip(&base(TxnOp::CreateSession { session: 0xdead_beef }));
+        roundtrip(&base(TxnOp::CloseSession { session: 0xdead_beef }));
+        roundtrip(&base(TxnOp::Noop));
+    }
+
+    #[test]
+    fn codec_rejects_malformed_input() {
+        let t = Txn {
+            session: 1,
+            op: TxnOp::Create {
+                path: "/p".into(),
+                data: Bytes::from_static(b"d"),
+                mode: CreateMode::Persistent,
+            },
+            origin: PeerId(0),
+            tag: 1,
+            time_ns: 1,
+        };
+        let enc = t.encode();
+        // Every strict truncation fails (never panics).
+        for cut in 0..enc.len() {
+            assert_eq!(Txn::decode(&enc[..cut]), Err(ZkError::CorruptSnapshot), "cut={cut}");
+        }
+        // Trailing garbage fails.
+        let mut long = enc.to_vec();
+        long.push(0);
+        assert_eq!(Txn::decode(&long), Err(ZkError::CorruptSnapshot));
+        // A bad op tag fails.
+        let mut bad = enc.to_vec();
+        bad[28] = 99; // the op-tag byte (after session+origin+tag+time)
+        assert_eq!(Txn::decode(&bad), Err(ZkError::CorruptSnapshot));
     }
 }

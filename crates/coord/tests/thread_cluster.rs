@@ -257,3 +257,49 @@ fn leader_crash_fails_over_and_preserves_data() {
     assert!(c.exists("/post", false).unwrap().is_some());
     cluster.shutdown();
 }
+
+#[test]
+fn durable_ensemble_survives_whole_cluster_crash_and_cold_start() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join(format!("dufs-durable-tc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Act 1: a durable ensemble takes writes (each fsynced before its ack).
+    let cluster = ThreadCluster::start_durable(3, &dir);
+    cluster.await_leader(Duration::from_secs(10)).expect("leader");
+    let mut c = cluster.client(0);
+    for i in 0..40 {
+        c.create(&format!("/d{i}"), b("payload"), CreateMode::Persistent).unwrap();
+    }
+    await_converged(&cluster, &[0, 1, 2], Duration::from_secs(10));
+    let digest = cluster.status(0).digest;
+    assert_eq!(cluster.status(0).node_count, 40);
+
+    // Act 2: every server crashes at once — no survivor holds the state in
+    // memory — then all three restart and recover from their logs.
+    for i in 0..3 {
+        cluster.crash(i);
+    }
+    for i in 0..3 {
+        cluster.restart(i);
+    }
+    cluster.await_leader(Duration::from_secs(20)).expect("re-elected after total outage");
+    await_converged(&cluster, &[0, 1, 2], Duration::from_secs(15));
+    assert_eq!(cluster.status(0).digest, digest, "whole-cluster restart must restore the tree");
+
+    // Still a working ensemble.
+    let mut c = cluster.client(1);
+    c.create("/after-outage", b("new"), CreateMode::Persistent).unwrap();
+    cluster.shutdown();
+
+    // Act 3: a brand-new process generation (fresh ThreadCluster) over the
+    // same directory — cold start purely from disk.
+    let cluster = ThreadCluster::start_durable(3, &dir);
+    cluster.await_leader(Duration::from_secs(10)).expect("leader from cold start");
+    let mut c = cluster.client(2);
+    c.sync().unwrap();
+    assert_eq!(&c.get_data("/after-outage", false).unwrap().0[..], b"new");
+    assert_eq!(&c.get_data("/d7", false).unwrap().0[..], b"payload");
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

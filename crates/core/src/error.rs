@@ -63,6 +63,7 @@ impl From<ZkError> for DufsError {
             ZkError::NoChildrenForEphemerals => DufsError::NotDir,
             ZkError::SessionExpired | ZkError::ConnectionLoss => DufsError::CoordUnavailable,
             ZkError::RootReadOnly => DufsError::Access,
+            ZkError::CorruptSnapshot => DufsError::Io,
         }
     }
 }

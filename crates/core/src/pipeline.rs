@@ -9,7 +9,7 @@
 //!
 //! [`AsyncCoordService`] is that capability as a trait, implemented by the
 //! live threaded client ([`dufs_coord::ZkClient`]) and the in-process
-//! [`SoloCoord`](crate::services::SoloCoord). [`Pipeline`] is the
+//! [`SoloCoord`]. [`Pipeline`] is the
 //! depth-bounded driver on top: `submit` blocks only when the window is
 //! full, and completions surface strictly in submission order (a violation
 //! panics — FIFO is a protocol guarantee, not a best effort). Depth 1

@@ -11,6 +11,8 @@
 //!   --shared-dir       all file creates into one directory
 //!   --seed <N>         simulation seed                (default 1)
 //!   --crash <srv:ms:down_ms>  crash a coord server mid-run
+//!   --durable          write-ahead log on every coord server
+//!   --crash-all <ms:down_ms>  crash the WHOLE ensemble (needs --durable)
 //! ```
 //!
 //! Example:
@@ -19,14 +21,17 @@
 //!     --system dufs-lustre --procs 128 --items 60 --zk 8 --backends 4
 //! ```
 
-use dufs_mdtest::scenario::{run_mdtest_report, CoordCrash, MdtestConfig, MdtestSystem};
+use dufs_mdtest::scenario::{
+    run_mdtest_report, CoordCrash, CoordOutage, MdtestConfig, MdtestSystem,
+};
 use dufs_mdtest::workload::{Phase, WorkloadSpec};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mdtest_sim [--system lustre|pvfs2|dufs-lustre|dufs-pvfs2] \
          [--procs N] [--items N] [--zk N] [--backends N] [--shared-dir] \
-         [--seed N] [--crash srv:at_ms:down_ms]"
+         [--seed N] [--crash srv:at_ms:down_ms] [--durable] \
+         [--crash-all at_ms:down_ms]"
     );
     std::process::exit(2);
 }
@@ -40,6 +45,8 @@ fn main() {
     let mut shared = false;
     let mut seed = 1u64;
     let mut crash: Option<CoordCrash> = None;
+    let mut durable = false;
+    let mut crash_all: Option<CoordOutage> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -68,6 +75,15 @@ fn main() {
                     down_ms: parts[2],
                 });
             }
+            "--durable" => durable = true,
+            "--crash-all" => {
+                let spec = next(&mut i);
+                let parts: Vec<u64> = spec.split(':').filter_map(|s| s.parse().ok()).collect();
+                if parts.len() != 2 {
+                    usage();
+                }
+                crash_all = Some(CoordOutage { at_ms: parts[0], down_ms: parts[1] });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -79,6 +95,10 @@ fn main() {
 
     if procs == 0 || items == 0 || zk == 0 || backends == 0 {
         eprintln!("--procs/--items/--zk/--backends must be >= 1");
+        usage();
+    }
+    if crash_all.is_some() && !durable {
+        eprintln!("--crash-all kills every coordination server; recovery needs --durable");
         usage();
     }
 
@@ -102,7 +122,11 @@ fn main() {
         shared_dir: shared,
     };
 
-    println!("-- mdtest-sim: {} --", sys.label());
+    println!(
+        "-- mdtest-sim: {}{} --",
+        sys.label(),
+        if durable { " (durable: WAL + group fsync)" } else { "" }
+    );
     println!(
         "   {} processes over 8 client nodes, {} items/proc, tree fan-out {}, {} placement{}",
         procs,
@@ -113,14 +137,19 @@ fn main() {
             .map(|c| format!(", crash server {} @{}ms for {}ms", c.server, c.at_ms, c.down_ms))
             .unwrap_or_default()
     );
+    if let Some(o) = crash_all {
+        println!(
+            "   whole-ensemble outage @{}ms for {}ms; servers restart from their logs",
+            o.at_ms, o.down_ms
+        );
+    }
     println!();
 
     let report = run_mdtest_report(&MdtestConfig {
-        system: sys,
-        spec,
-        seed,
         crash_coord: crash,
-        zab: Default::default(),
+        durable,
+        crash_all_coord: crash_all,
+        ..MdtestConfig::new(sys, spec, seed)
     });
 
     println!("SUMMARY rate (of virtual testbed time): (ops/sec)");

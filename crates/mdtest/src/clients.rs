@@ -18,7 +18,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 
 use dufs_coord::{ZkRequest, ZkResponse};
-use dufs_core::fid::FidGenerator;
+use dufs_core::fid::{Fid, FidGenerator};
 use dufs_core::mapping::Md5Mapping;
 use dufs_core::plan::{MetaOp, OpExec, PlanStep, StepResponse};
 use dufs_simnet::{
@@ -454,6 +454,14 @@ pub struct DufsClientProc {
     pub hist: LatencyHist,
     op_started: SimTime,
     retry_connect: bool,
+    /// Retry timed-out ops from scratch instead of failing them (used for
+    /// whole-ensemble-outage runs: every workload op must eventually land
+    /// so the recovered namespace matches an uncrashed control run).
+    retry_ops: bool,
+    /// FID minted for the op in flight: a retry re-plans the *same* op and
+    /// must reuse it, or the retried create would write different znode
+    /// data than the control run.
+    op_fid: Option<Fid>,
 }
 
 impl DufsClientProc {
@@ -491,7 +499,19 @@ impl DufsClientProc {
             hist: LatencyHist::new(),
             op_started: SimTime::ZERO,
             retry_connect: false,
+            retry_ops: false,
+            op_fid: None,
         }
+    }
+
+    /// Retry timed-out operations until they complete (at-least-once
+    /// submission; the namespace stays exactly-once because replayed
+    /// creates hit `NodeExists` and replayed deletes hit `NoNode`). Off by
+    /// default — fault-free runs and single-server-crash runs keep the
+    /// fail-and-continue semantics the figures were calibrated with.
+    pub fn with_retry(mut self, retry: bool) -> Self {
+        self.retry_ops = retry;
+        self
     }
 
     fn send_zk(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, req: ZkRequest, delay: SimDuration) {
@@ -565,12 +585,22 @@ impl DufsClientProc {
             );
             return;
         }
-        let op = self.ops[self.op_idx].clone();
         self.op_idx += 1;
         self.op_started = ctx.now();
+        self.op_fid = None;
+        self.issue_op(ctx);
+    }
+
+    /// (Re)issue the current op (`ops[op_idx - 1]`) from its first plan
+    /// step. First issue mints a fresh FID on demand; a retry reuses the
+    /// cached one so both attempts describe the identical file.
+    fn issue_op(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+        let op = self.ops[self.op_idx - 1].clone();
         let delay = self.cpu.charge(ctx.now(), self.op_cpu_cost());
         let fids = &mut self.fids;
-        let (exec, step) = OpExec::start(op, || fids.next_fid(), &self.mapper);
+        let cached = &mut self.op_fid;
+        let (exec, step) =
+            OpExec::start(op, || *cached.get_or_insert_with(|| fids.next_fid()), &self.mapper);
         self.exec = Some(exec);
         self.dispatch_step(ctx, step, delay);
     }
@@ -685,6 +715,14 @@ impl Process<ClusterMsg> for DufsClientProc {
         if self.awaiting == Some(req_id) {
             self.awaiting = None;
             match self.state {
+                DufsState::Running if self.retry_ops && self.exec.is_some() => {
+                    // Outage mode: throw the half-done plan away and replay
+                    // the whole op (same FID). Whatever the lost attempt
+                    // already applied surfaces as NodeExists/NoNode, which
+                    // leaves the namespace exactly as if it ran once.
+                    self.exec = None;
+                    self.issue_op(ctx);
+                }
                 DufsState::Running if self.exec.is_some() => {
                     self.feed(
                         ctx,

@@ -39,6 +39,14 @@ pub const ZK_CLIENT_MSG_US: f64 = 4.0;
 pub const ZK_PIPELINE_WIDTH: usize = 1;
 /// Extra CPU per multi-op inside a transaction.
 pub const ZK_MULTI_PER_OP_US: f64 = 12.0;
+/// Service time of one write-ahead-log group fsync at a durable
+/// coordination server (§IV-I + the dufs-wal subsystem): the device flush
+/// a server must wait for before releasing ACKs. ~100 µs models the
+/// paper era's write-cache-backed disk arrays; what matters for the
+/// experiments is the *ratio* to `ZK_WRITE_BASE_US` — fsync-per-txn
+/// roughly halves write throughput, and group commit amortizes the same
+/// flush across a whole batch (see `bench_wal`).
+pub const FSYNC_US: f64 = 100.0;
 
 // ---------------- client-side (FUSE + DUFS + library) costs ----------------
 

@@ -29,6 +29,7 @@ pub mod workload;
 
 pub use scenario::{
     run_mdtest, run_mdtest_report, run_zk_raw, run_zk_raw_detailed, run_zk_raw_observers,
-    run_zk_raw_tuned, MdtestConfig, MdtestReport, MdtestSystem, PhaseResult, RawOp, RawTuning,
+    run_zk_raw_tuned, CoordCrash, CoordOutage, MdtestConfig, MdtestReport, MdtestSystem,
+    PhaseResult, RawOp, RawTuning,
 };
 pub use workload::{Phase, WorkloadSpec};

@@ -7,6 +7,7 @@ use dufs_coord::ZkRequest;
 use dufs_core::plan::BackendReq;
 use dufs_core::services::apply_backend_req;
 use dufs_simnet::{Ctx, NodeId, Process, ServiceQueue, SimDuration, TimerToken};
+use dufs_wal::MemStorage;
 use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
 
 use crate::costs;
@@ -26,6 +27,9 @@ pub struct CoordServerProc {
     queue: ServiceQueue,
     timers: Vec<CoordTimer>,
     startup: Option<Vec<ServerOut>>,
+    /// WAL fsyncs already charged on the pipeline (durable servers only):
+    /// each increment of `wal_sync_count()` past this costs `FSYNC_US`.
+    wal_synced: u64,
 }
 
 impl CoordServerProc {
@@ -50,6 +54,33 @@ impl CoordServerProc {
             queue: ServiceQueue::new(costs::ZK_PIPELINE_WIDTH),
             timers: Vec::new(),
             startup: Some(startup),
+            wal_synced: 0,
+        }
+    }
+
+    /// As [`CoordServerProc::new_with_config`] with a write-ahead log: the
+    /// server fsyncs every ZAB batch before its ACK leaves (charged as
+    /// `FSYNC_US` pipeline time per group fsync) and recovers its state
+    /// from the log after a crash instead of resyncing from a peer. The
+    /// log lives on deterministic in-memory storage so simulation runs
+    /// stay reproducible per seed.
+    pub fn new_durable_with_config(
+        peer: PeerId,
+        ensemble: EnsembleConfig,
+        peer_nodes: Vec<NodeId>,
+        zab: ZabConfig,
+    ) -> Self {
+        let (server, startup) =
+            CoordServer::new_durable(peer, ensemble, zab, Box::new(MemStorage::new()))
+                .expect("in-memory WAL storage cannot fail");
+        let wal_synced = server.wal_sync_count();
+        CoordServerProc {
+            server,
+            peer_nodes,
+            queue: ServiceQueue::new(costs::ZK_PIPELINE_WIDTH),
+            timers: Vec::new(),
+            startup: Some(startup),
+            wal_synced,
         }
     }
 
@@ -117,7 +148,12 @@ impl CoordServerProc {
         base_cost_us: f64,
     ) {
         let peer_sends = outs.iter().filter(|o| matches!(o, ServerOut::Peer { .. })).count() as f64;
-        let cost = costs::us(base_cost_us + peer_sends * costs::ZK_PEER_MSG_US);
+        // Durable servers block the pipeline for every WAL group fsync the
+        // event triggered (ACKs only left the server after the flush).
+        let syncs = self.server.wal_sync_count().saturating_sub(self.wal_synced) as f64;
+        self.wal_synced = self.server.wal_sync_count();
+        let cost =
+            costs::us(base_cost_us + peer_sends * costs::ZK_PEER_MSG_US + syncs * costs::FSYNC_US);
         let done = self.queue.complete_at(ctx.now(), cost);
         let delay = done.since(ctx.now());
         self.dispatch(ctx, outs, delay);
@@ -138,6 +174,9 @@ impl Process<ClusterMsg> for CoordServerProc {
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
         let outs = self.server.on_restart(ctx.now().as_nanos());
+        // Recovery replay (log scan + snapshot load) happens "during the
+        // restart"; its fsync is not charged against the serving pipeline.
+        self.wal_synced = self.server.wal_sync_count();
         self.dispatch(ctx, outs, SimDuration::ZERO);
     }
 

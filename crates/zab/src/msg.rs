@@ -140,6 +140,37 @@ pub enum ZabTimer {
     BatchFlush(u64),
 }
 
+/// A durable-log mutation the hosting runtime must persist. Emitted as
+/// [`ZabAction::Persist`] *before* any dependent [`ZabAction::Send`] in the
+/// same action batch: the host must make the event durable (append to its
+/// write-ahead log and fsync) before transmitting those later sends,
+/// because they acknowledge the logged state to other peers. A host without
+/// durability (pure simulation) may ignore these events entirely — the
+/// in-memory fields of the peer carry the same information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistEvent<T> {
+    /// Append these entries to the durable log, in order.
+    Append {
+        /// `(zxid, txn)` pairs, strictly ascending, contiguous with the
+        /// durable tail.
+        entries: Vec<(Zxid, T)>,
+    },
+    /// The accepted epoch advanced (a promise that must survive a crash —
+    /// otherwise a restarted peer could ack a stale leader's traffic).
+    Epoch(u32),
+    /// The history was replaced wholesale (divergent-tail resync / SNAP
+    /// sync): discard the durable log and snapshot, then store `snapshot`
+    /// (if any) followed by `entries`, under `epoch`.
+    Reset {
+        /// The regime whose history this is.
+        epoch: u32,
+        /// Checkpointed state machine the new history starts from.
+        snapshot: Option<(Zxid, Bytes)>,
+        /// The complete replacement log suffix.
+        entries: Vec<(Zxid, T)>,
+    },
+}
+
 /// Outputs of the state machine; the hosting runtime executes them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ZabAction<T> {
@@ -191,6 +222,9 @@ pub enum ZabAction<T> {
     },
     /// The peer lost its leader/leadership and re-entered election.
     StartedElection,
+    /// Make `0` durable before executing any later `Send` in this batch
+    /// (see [`PersistEvent`] for the ordering contract).
+    Persist(PersistEvent<T>),
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use bytes::Bytes;
 
 use crate::config::{EnsembleConfig, PeerId, ZabConfig};
-use crate::msg::{Vote, ZabAction, ZabMsg, ZabTimer};
+use crate::msg::{PersistEvent, Vote, ZabAction, ZabMsg, ZabTimer};
 use crate::zxid::Zxid;
 
 /// Default election retry period (milliseconds, virtual).
@@ -50,6 +50,21 @@ pub enum Role {
 pub struct NotLeader {
     /// Best current guess at who the leader is, for request forwarding.
     pub leader_hint: Option<PeerId>,
+}
+
+/// Durable state recovered from a write-ahead log, used by
+/// [`ZabPeer::recover`] to rebuild a peer after a whole-process crash. The
+/// commit watermark is deliberately absent: it need not be persisted —
+/// leader establishment re-commits the elected history (ZAB's guarantee
+/// that the winning quorum's log contains every committed entry).
+#[derive(Debug, Clone, Default)]
+pub struct DurableState<T> {
+    /// The highest epoch this peer promised ([`PersistEvent::Epoch`]).
+    pub epoch: u32,
+    /// The newest decodable checkpoint, if any.
+    pub snapshot: Option<(Zxid, Bytes)>,
+    /// Log entries above the snapshot watermark, strictly ascending.
+    pub log: Vec<(Zxid, T)>,
 }
 
 #[derive(Debug)]
@@ -162,6 +177,61 @@ impl<T: Clone> ZabPeer<T> {
             batch_gen: 0,
         };
         let mut out = Vec::new();
+        peer.start_election(&mut out);
+        (peer, out)
+    }
+
+    /// Rebuild a peer from write-ahead-log state after a whole-process
+    /// crash (cold start). The snapshot is restored into the state machine
+    /// and the log tail above it is *retained but not yet delivered*: the
+    /// commit watermark starts at the snapshot zxid, and the tail commits
+    /// through the normal path — leader establishment (if this peer wins
+    /// election, its whole history becomes committed) or follower sync.
+    /// Entries at or below the snapshot watermark are discarded.
+    pub fn recover(
+        id: PeerId,
+        config: EnsembleConfig,
+        zcfg: ZabConfig,
+        durable: DurableState<T>,
+    ) -> (Self, Vec<ZabAction<T>>) {
+        assert!(config.is_member(id), "peer must be an ensemble member");
+        assert!(zcfg.max_batch >= 1, "a batch holds at least one transaction");
+        let is_observer = config.is_observer(id);
+        let snap_zxid = durable.snapshot.as_ref().map(|(z, _)| *z).unwrap_or(Zxid::ZERO);
+        let mut log = durable.log;
+        log.retain(|(z, _)| *z > snap_zxid);
+        let mut peer = ZabPeer {
+            id,
+            config,
+            zcfg,
+            log,
+            committed: snap_zxid,
+            accepted_epoch: durable.epoch,
+            snapshot: durable.snapshot,
+            role: Role::Looking,
+            round: 0,
+            my_vote: Vote { candidate: id, candidate_zxid: Zxid::ZERO, round: 0 },
+            votes: HashMap::new(),
+            leader_state: None,
+            heard_from_leader: false,
+            applied_idx: 0,
+            distrusted: None,
+            distrust_ttl: 0,
+            max_seen_epoch: durable.epoch,
+            is_observer,
+            election_gen: 0,
+            ping_gen: 0,
+            watchdog_gen: 0,
+            batch_gen: 0,
+        };
+        let mut out = Vec::new();
+        match &peer.snapshot {
+            Some((z, blob)) => {
+                out.push(ZabAction::RestoreSnapshot { zxid: *z, blob: blob.clone() })
+            }
+            None => out.push(ZabAction::ResetState),
+        }
+        peer.deliver_pending(&mut out);
         peer.start_election(&mut out);
         (peer, out)
     }
@@ -288,12 +358,17 @@ impl<T: Clone> ZabPeer<T> {
         }
         let txns = std::mem::take(&mut ls.buffer);
         let first = Zxid::new(ls.epoch, ls.next_counter + 1);
+        let mut minted = Vec::with_capacity(txns.len());
         for t in &txns {
             ls.next_counter += 1;
-            self.log.push((Zxid::new(ls.epoch, ls.next_counter), t.clone()));
+            minted.push((Zxid::new(ls.epoch, ls.next_counter), t.clone()));
         }
+        self.log.extend(minted.iter().cloned());
         let last = Zxid::new(ls.epoch, ls.next_counter);
         ls.acks.insert(last, HashSet::new());
+        // The leader's own (implicit) ack is only valid once the batch is
+        // durable: persist before any Propose goes out or a commit forms.
+        out.push(ZabAction::Persist(PersistEvent::Append { entries: minted }));
         let mut targets: Vec<PeerId> =
             ls.synced.iter().copied().filter(|&f| f != self.id).collect();
         targets.sort_unstable(); // deterministic send order
@@ -692,6 +767,9 @@ impl<T: Clone> ZabPeer<T> {
         assert!(self.id.0 < 256, "peer ids must fit the epoch low byte");
         let epoch = (base << 8) | self.id.0;
         self.accepted_epoch = epoch;
+        // The epoch promise must survive a crash (a restarted leader must
+        // never mint zxids under an epoch it already used).
+        out.push(ZabAction::Persist(PersistEvent::Epoch(epoch)));
         self.role = Role::Leading { established: false };
         let mut synced = HashSet::new();
         synced.insert(self.id);
@@ -826,6 +904,7 @@ impl<T: Clone> ZabPeer<T> {
         if leader != from || epoch < self.accepted_epoch {
             return;
         }
+        let epoch_advanced = epoch != self.accepted_epoch;
         self.accepted_epoch = epoch;
         self.max_seen_epoch = self.max_seen_epoch.max(epoch);
         self.heard_from_leader = true;
@@ -845,9 +924,28 @@ impl<T: Clone> ZabPeer<T> {
                 }
             }
         }
+        let mut appended = Vec::new();
         for (z, t) in entries {
             if z > self.last_zxid() {
-                self.log.push((z, t));
+                self.log.push((z, t.clone()));
+                appended.push((z, t));
+            }
+        }
+        // Durability before the AckSync below: on reset the whole
+        // replacement history is re-logged under the new regime; otherwise
+        // the appended suffix (and the epoch promise, if it advanced).
+        if reset {
+            out.push(ZabAction::Persist(PersistEvent::Reset {
+                epoch,
+                snapshot: self.snapshot.clone(),
+                entries: self.log.clone(),
+            }));
+        } else {
+            if epoch_advanced {
+                out.push(ZabAction::Persist(PersistEvent::Epoch(epoch)));
+            }
+            if !appended.is_empty() {
+                out.push(ZabAction::Persist(PersistEvent::Append { entries: appended }));
             }
         }
         self.committed = self.committed.max(commit_to.min(self.last_zxid()));
@@ -929,9 +1027,14 @@ impl<T: Clone> ZabPeer<T> {
             });
             return;
         }
-        for (i, t) in txns.into_iter().enumerate() {
-            self.log.push((Zxid::new(zxid.epoch(), zxid.counter() + i as u32), t));
-        }
+        let appended: Vec<(Zxid, T)> = txns
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (Zxid::new(zxid.epoch(), zxid.counter() + i as u32), t))
+            .collect();
+        self.log.extend(appended.iter().cloned());
+        // Persist-before-ack: the ack promises this batch survives a crash.
+        out.push(ZabAction::Persist(PersistEvent::Append { entries: appended }));
         // One ack (of the batch's last zxid) covers the whole range.
         out.push(ZabAction::Send { to: from, msg: ZabMsg::Ack { zxid: last } });
     }
@@ -1069,9 +1172,13 @@ impl<T: Clone> ZabPeer<T> {
             });
             return;
         }
-        for (i, t) in txns.into_iter().enumerate() {
-            self.log.push((Zxid::new(first.epoch(), first.counter() + i as u32), t));
-        }
+        let appended: Vec<(Zxid, T)> = txns
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (Zxid::new(first.epoch(), first.counter() + i as u32), t))
+            .collect();
+        self.log.extend(appended.iter().cloned());
+        out.push(ZabAction::Persist(PersistEvent::Append { entries: appended }));
         self.committed = last;
         self.deliver_pending(out);
     }

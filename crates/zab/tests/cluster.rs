@@ -117,6 +117,9 @@ impl Cluster {
                 ZabAction::BecameLeader { .. }
                 | ZabAction::BecameFollower { .. }
                 | ZabAction::StartedElection => {}
+                // Purely in-memory harness: the peer's own fields already
+                // carry the durable state (no WAL to mirror it into).
+                ZabAction::Persist(_) => {}
             }
         }
     }

@@ -31,6 +31,10 @@ pub enum ZkError {
     ConnectionLoss,
     /// The root znode cannot be deleted or replaced.
     RootReadOnly,
+    /// A snapshot blob (or replayed log record) failed validation — bad
+    /// magic, truncation, codec damage or digest mismatch. Recovery must
+    /// fall back to an older checkpoint rather than load a wrong tree.
+    CorruptSnapshot,
 }
 
 impl fmt::Display for ZkError {
@@ -45,6 +49,7 @@ impl fmt::Display for ZkError {
             ZkError::SessionExpired => "session expired",
             ZkError::ConnectionLoss => "connection loss",
             ZkError::RootReadOnly => "root is read-only",
+            ZkError::CorruptSnapshot => "corrupt snapshot",
         };
         f.write_str(s)
     }

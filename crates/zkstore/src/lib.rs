@@ -32,6 +32,6 @@ pub mod path;
 pub mod snapshot;
 pub mod tree;
 
-pub use error::ZkError;
+pub use error::{ZkError, ZkResult};
 pub use multi::{MultiOp, MultiResult};
 pub use tree::{ChangeEvent, CreateMode, DataTree, Stat};

@@ -57,17 +57,17 @@ pub fn encode(tree: &DataTree) -> Bytes {
 }
 
 /// Reconstruct a tree from a snapshot blob. Fails with
-/// [`ZkError::InvalidPath`]-class errors mapped to `CorruptSnapshot` if the
-/// blob is malformed or its digest does not match.
+/// [`ZkError::CorruptSnapshot`] if the blob is malformed, a node fails to
+/// restore, or the content digest in the trailer does not match.
 pub fn decode(blob: &[u8]) -> ZkResult<DataTree> {
     let mut b = blob;
     if b.remaining() < 8 + 2 + 8 + 8 || &b[..8] != MAGIC {
-        return Err(ZkError::InvalidPath);
+        return Err(ZkError::CorruptSnapshot);
     }
     b.advance(8);
     let version = b.get_u16_le();
     if version != VERSION {
-        return Err(ZkError::InvalidPath);
+        return Err(ZkError::CorruptSnapshot);
     }
     let last_zxid = b.get_u64_le();
     let count = b.get_u64_le() as usize;
@@ -75,20 +75,21 @@ pub fn decode(blob: &[u8]) -> ZkResult<DataTree> {
     let mut tree = DataTree::new();
     for _ in 0..count {
         if b.remaining() < 4 {
-            return Err(ZkError::InvalidPath);
+            return Err(ZkError::CorruptSnapshot);
         }
         let plen = b.get_u32_le() as usize;
         if b.remaining() < plen {
-            return Err(ZkError::InvalidPath);
+            return Err(ZkError::CorruptSnapshot);
         }
-        let path = std::str::from_utf8(&b[..plen]).map_err(|_| ZkError::InvalidPath)?.to_string();
+        let path =
+            std::str::from_utf8(&b[..plen]).map_err(|_| ZkError::CorruptSnapshot)?.to_string();
         b.advance(plen);
         if b.remaining() < 4 {
-            return Err(ZkError::InvalidPath);
+            return Err(ZkError::CorruptSnapshot);
         }
         let dlen = b.get_u32_le() as usize;
         if b.remaining() < dlen + 8 * 7 + 4 * 2 {
-            return Err(ZkError::InvalidPath);
+            return Err(ZkError::CorruptSnapshot);
         }
         let data = Bytes::copy_from_slice(&b[..dlen]);
         b.advance(dlen);
@@ -105,15 +106,15 @@ pub fn decode(blob: &[u8]) -> ZkResult<DataTree> {
             num_children: 0, // recomputed by restore_node
         };
         let cseq = b.get_u64_le();
-        tree.restore_node(&path, data, stat, cseq)?;
+        tree.restore_node(&path, data, stat, cseq).map_err(|_| ZkError::CorruptSnapshot)?;
     }
     if b.remaining() < 8 {
-        return Err(ZkError::InvalidPath);
+        return Err(ZkError::CorruptSnapshot);
     }
     let want_digest = b.get_u64_le();
     tree.set_last_zxid(last_zxid);
     if tree.digest() != want_digest {
-        return Err(ZkError::InvalidPath);
+        return Err(ZkError::CorruptSnapshot);
     }
     Ok(tree)
 }

@@ -37,20 +37,12 @@ fn main() {
     println!("mdtest directory creation (ops/sec):");
     println!("{:>10} {:>14} {:>14}", "procs", "Basic Lustre", "DUFS 2xLustre");
     for procs in [16usize, 64] {
-        let lustre = run_mdtest(&MdtestConfig {
-            system: MdtestSystem::BasicLustre,
-            spec: spec(procs),
-            seed: 2,
-            crash_coord: None,
-            zab: Default::default(),
-        });
-        let dufs = run_mdtest(&MdtestConfig {
-            system: MdtestSystem::DufsLustre { zk_servers: 8, backends: 2 },
-            spec: spec(procs),
-            seed: 2,
-            crash_coord: None,
-            zab: Default::default(),
-        });
+        let lustre = run_mdtest(&MdtestConfig::new(MdtestSystem::BasicLustre, spec(procs), 2));
+        let dufs = run_mdtest(&MdtestConfig::new(
+            MdtestSystem::DufsLustre { zk_servers: 8, backends: 2 },
+            spec(procs),
+            2,
+        ));
         let pick = |rs: &[dufs_repro::mdtest::PhaseResult]| {
             rs.iter().find(|r| r.phase == Phase::DirCreate).map(|r| r.ops_per_sec).unwrap_or(0.0)
         };

@@ -19,8 +19,18 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# The WAL corruption/recovery suite re-runs in release: torn-tail and
+# fault-injection proptests exercise different code paths once the
+# optimizer folds the framing code, and the 200-seed sweeps are slow
+# enough in debug that they'd otherwise get trimmed.
+echo "==> cargo test -q --release -p dufs-wal -p dufs-coord"
+cargo test -q --release -p dufs-wal -p dufs-coord
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

@@ -219,7 +219,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -244,7 +244,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// Result of [`vec`].
+    /// Result of [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -11,5 +11,6 @@ pub use dufs_coord as coord;
 pub use dufs_core as core;
 pub use dufs_mdtest as mdtest;
 pub use dufs_simnet as simnet;
+pub use dufs_wal as wal;
 pub use dufs_zab as zab;
 pub use dufs_zkstore as zkstore;

@@ -45,13 +45,11 @@ fn simulated_and_live_runs_produce_identical_namespaces() {
     let s = spec(processes);
 
     // --- Simulated run.
-    let report = run_mdtest_report(&MdtestConfig {
-        system: MdtestSystem::DufsLustre { zk_servers, backends: n_backends },
-        spec: s.clone(),
-        seed: 77,
-        crash_coord: None,
-        zab: Default::default(),
-    });
+    let report = run_mdtest_report(&MdtestConfig::new(
+        MdtestSystem::DufsLustre { zk_servers, backends: n_backends },
+        s.clone(),
+        77,
+    ));
     assert!(report.phases.iter().all(|p| p.errors == 0));
 
     // --- Live replay: same per-process op streams, same client ids (the
@@ -104,13 +102,8 @@ fn simulated_and_live_runs_produce_identical_namespaces() {
 
 #[test]
 fn simulated_runs_are_reproducible_across_invocations() {
-    let cfg = MdtestConfig {
-        system: MdtestSystem::DufsLustre { zk_servers: 3, backends: 2 },
-        spec: spec(4),
-        seed: 5,
-        crash_coord: None,
-        zab: Default::default(),
-    };
+    let cfg =
+        MdtestConfig::new(MdtestSystem::DufsLustre { zk_servers: 3, backends: 2 }, spec(4), 5);
     let a = run_mdtest_report(&cfg);
     let b = run_mdtest_report(&cfg);
     assert_eq!(a.namespace_digest, b.namespace_digest);
