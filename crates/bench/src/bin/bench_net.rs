@@ -1,0 +1,160 @@
+//! dufs-net loopback microbenchmark: framed-transport round-trip throughput
+//! swept over message size × pipeline depth.
+//!
+//! An echo server built from [`Listener::spawn_accept`] reflects every frame
+//! back on the same connection; the client keeps a window of `depth` frames
+//! in flight (send one for every receive), which is exactly the shape of the
+//! coordination client's depth-K session pipelining. The sweep shows the two
+//! levers the transport design banks on:
+//!
+//! * **depth** amortises per-round-trip latency — the depth-32 cell must
+//!   beat depth-1 on small frames by a comfortable factor, or the
+//!   pipelining plumbing is broken;
+//! * **size** amortises per-frame overhead (8-byte header + CRC32) —
+//!   bytes/sec keeps climbing with frame size.
+//!
+//! Emits `results/BENCH_net.json`. `FULL=1` runs 10x the per-cell message
+//! count.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dufs_bench::{fmt_ops, full_scale, Table};
+use dufs_net::{connect, EndpointKind, Hello, Listener, NetConfig, NetStats};
+
+/// One (size, depth) cell of the sweep.
+struct Cell {
+    msg_bytes: usize,
+    depth: usize,
+    msgs: usize,
+    msgs_per_sec: f64,
+    mib_per_sec: f64,
+    rtt_us: f64,
+}
+
+/// Echo server: every inbound frame is sent straight back on the same
+/// connection, one service thread per accepted conn.
+fn spawn_echo_server() -> (dufs_net::AcceptHandle, std::net::SocketAddr) {
+    let listener = Listener::bind("127.0.0.1:0".parse().unwrap()).expect("bind echo server");
+    let addr = listener.local_addr();
+    let stats = NetStats::default();
+    let accept = listener.spawn_accept(
+        Hello { kind: EndpointKind::Server, id: 0 },
+        NetConfig::default(),
+        stats,
+        |conn, inbound| {
+            std::thread::spawn(move || {
+                while let Ok(msg) = inbound.recv() {
+                    if conn.send(msg).is_err() {
+                        break;
+                    }
+                }
+            });
+        },
+    );
+    (accept, addr)
+}
+
+/// Ping-pong `msgs` frames of `msg_bytes` keeping `depth` in flight.
+fn run_cell(addr: std::net::SocketAddr, msg_bytes: usize, depth: usize, msgs: usize) -> Cell {
+    let stats = NetStats::default();
+    let (conn, inbound) =
+        connect(addr, Hello { kind: EndpointKind::Client, id: 1 }, &NetConfig::default(), &stats)
+            .expect("connect to echo server");
+
+    let payload = vec![0x5au8; msg_bytes];
+    let start = Instant::now();
+    let mut sent = 0usize;
+    let mut recvd = 0usize;
+    while sent < depth.min(msgs) {
+        conn.send(payload.clone()).expect("prime window");
+        sent += 1;
+    }
+    while recvd < msgs {
+        let echo = inbound.recv().expect("echo frame");
+        assert_eq!(echo.len(), msg_bytes, "echo changed the frame length");
+        recvd += 1;
+        if sent < msgs {
+            conn.send(payload.clone()).expect("refill window");
+            sent += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+    Cell {
+        msg_bytes,
+        depth,
+        msgs,
+        msgs_per_sec: msgs as f64 / elapsed,
+        mib_per_sec: (msgs * msg_bytes) as f64 / elapsed / (1 << 20) as f64,
+        rtt_us: elapsed / msgs as f64 * 1e6 * depth as f64,
+    }
+}
+
+fn write_json(path: &str, cells: &[Cell], pipelining_gain: f64) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"benchmark\": \"net\",");
+    let _ = writeln!(j, "  \"transport\": \"dufs-net loopback echo, CRC32-framed\",");
+    let _ = writeln!(j, "  \"pipelining_gain_64b\": {pipelining_gain:.2},");
+    j.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"msg_bytes\": {}, \"depth\": {}, \"msgs\": {}, \
+             \"msgs_per_sec\": {:.1}, \"mib_per_sec\": {:.2}, \"rtt_us\": {:.2}}}",
+            c.msg_bytes, c.depth, c.msgs, c.msgs_per_sec, c.mib_per_sec, c.rtt_us
+        );
+        j.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, &j) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let per_cell = if full_scale() { 50_000 } else { 5_000 };
+    let sizes = [64usize, 1024, 16 << 10, 64 << 10];
+    let depths = [1usize, 8, 32];
+
+    println!(
+        "dufs-net loopback sweep: {} msgs/cell, sizes {:?} B, depths {:?}\n",
+        per_cell, sizes, depths
+    );
+
+    let (accept, addr) = spawn_echo_server();
+    let mut cells = Vec::new();
+    for &size in &sizes {
+        // Cap the biggest frames so a cell stays well under a second.
+        let msgs = if size >= 16 << 10 { per_cell / 5 } else { per_cell };
+        for &depth in &depths {
+            cells.push(run_cell(addr, size, depth, msgs));
+        }
+    }
+    drop(accept);
+
+    let mut t = Table::new(vec!["msg size", "depth", "msgs/sec", "MiB/sec", "RTT"]);
+    for c in &cells {
+        t.row(vec![
+            format!("{} B", c.msg_bytes),
+            c.depth.to_string(),
+            fmt_ops(c.msgs_per_sec),
+            format!("{:.1}", c.mib_per_sec),
+            format!("{:.1} us", c.rtt_us),
+        ]);
+    }
+    t.print();
+
+    // Headline: depth-32 pipelining must clearly beat stop-and-wait on small
+    // frames — that amortisation is why the client sessions pipeline at all.
+    let d1 = cells.iter().find(|c| c.msg_bytes == 64 && c.depth == 1).unwrap().msgs_per_sec;
+    let d32 = cells.iter().find(|c| c.msg_bytes == 64 && c.depth == 32).unwrap().msgs_per_sec;
+    let gain = d32 / d1.max(f64::MIN_POSITIVE);
+    println!("\n64-byte frames: depth 32 moves {:.2}x the messages of depth 1", gain);
+    assert!(gain >= 1.5, "pipelining must amortise round trips (depth-32 only {gain:.2}x depth-1)");
+
+    write_json("results/BENCH_net.json", &cells, gain);
+}

@@ -28,11 +28,15 @@
 pub mod api;
 pub mod runtime;
 pub mod server;
+pub mod tcp;
 pub mod txn;
 pub mod watch;
+pub mod wire;
 
 pub use api::{ZkRequest, ZkResponse};
-pub use runtime::{ThreadCluster, ZkClient};
+pub use runtime::{ChannelTransport, ClientTransport, ThreadCluster, ZkClient};
 pub use server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
+pub use tcp::{remote_status, TcpCluster, TcpTransport, TcpZkClient};
 pub use txn::{Txn, TxnOp};
 pub use watch::{WatchKind, WatchNotification};
+pub use wire::{ClientFrame, ServerFrame};

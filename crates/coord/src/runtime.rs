@@ -24,6 +24,12 @@ use crate::api::{ZkRequest, ZkResponse};
 use crate::server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
 use crate::watch::WatchNotification;
 
+/// Multiplier applied to every protocol timer by the live runtimes (threaded
+/// and TCP). The state machines are tuned for a quiet network; on a loaded CI
+/// machine, scheduling jitter of hundreds of ms would otherwise trip
+/// watchdogs and flap elections. Relative timing is preserved.
+pub(crate) const TIME_DILATION: u64 = 3;
+
 /// Events delivered to a client handle.
 #[derive(Debug, Clone)]
 pub enum ClientEvent {
@@ -61,6 +67,41 @@ enum Envelope {
     Crash,
     Restart,
     Shutdown,
+}
+
+/// How a [`ZkClient`] session reaches its server: an in-process channel
+/// ([`ChannelTransport`], the [`ThreadCluster`] runtime) or a TCP
+/// connection ([`crate::tcp::TcpTransport`]). The client logic — request
+/// ids, pipelining, retry policy — is transport-agnostic.
+pub trait ClientTransport {
+    /// Queue one request. An error means the link is down *right now*
+    /// (dead server / dropped socket); the request was not delivered.
+    fn send(&mut self, req_id: u64, session: u64, req: ZkRequest) -> Result<(), ZkError>;
+
+    /// Await the next event from the server, up to `timeout`. `None` means
+    /// nothing arrived (timeout or a link failure — the next `send` will
+    /// surface the error / trigger a reconnect).
+    fn recv(&mut self, timeout: Duration) -> Option<ClientEvent>;
+}
+
+/// In-process transport: one crossbeam channel pair to a
+/// [`ThreadCluster`] server thread.
+pub struct ChannelTransport {
+    client: ClientId,
+    server: Sender<Envelope>,
+    events: Receiver<ClientEvent>,
+}
+
+impl ClientTransport for ChannelTransport {
+    fn send(&mut self, req_id: u64, session: u64, req: ZkRequest) -> Result<(), ZkError> {
+        self.server
+            .send(Envelope::Client { client: self.client, req_id, session, req })
+            .map_err(|_| ZkError::ConnectionLoss)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Option<ClientEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
 }
 
 /// A coordination ensemble running on OS threads.
@@ -163,26 +204,8 @@ impl ThreadCluster {
         let (tx, rx) = unbounded();
         let server = self.senders[server_idx].clone();
         server.send(Envelope::Register { client: id, events: tx }).expect("server alive");
-        let mut c = ZkClient {
-            id,
-            session: 0,
-            server,
-            events: rx,
-            next_req: 1,
-            timeout: Duration::from_secs(5),
-            watches: VecDeque::new(),
-        };
-        // Establish a session; retry through elections (up to ~30 s).
-        for _ in 0..300 {
-            match c.raw_request(ZkRequest::Connect) {
-                ZkResponse::Connected { session } => {
-                    c.session = session;
-                    return c;
-                }
-                _ => std::thread::sleep(Duration::from_millis(100)),
-            }
-        }
-        panic!("ensemble failed to accept a session");
+        let transport = ChannelTransport { client: id, server, events: rx };
+        ZkClient::establish(transport).expect("ensemble failed to accept a session")
     }
 
     /// Probe one server's status.
@@ -271,12 +294,6 @@ fn server_thread(
                     }
                 }
                 ServerOut::Timer { timer, after_ms } => {
-                    // Dilate protocol timers: the state machines are tuned
-                    // for a quiet network; on a loaded CI machine, thread
-                    // scheduling jitter of hundreds of ms would otherwise
-                    // trip watchdogs and flap elections. Relative timing is
-                    // preserved.
-                    const TIME_DILATION: u64 = 3;
                     timers.push((
                         Instant::now() + Duration::from_millis(after_ms * TIME_DILATION),
                         timer,
@@ -364,18 +381,41 @@ fn server_thread(
     }
 }
 
-/// Synchronous client handle — the `zoo_*` API surface.
-pub struct ZkClient {
-    id: ClientId,
+/// Synchronous client handle — the `zoo_*` API surface. Generic over its
+/// [`ClientTransport`]: the default reaches a [`ThreadCluster`] server over
+/// an in-process channel; [`crate::tcp::TcpZkClient`] is the same client
+/// over a real socket.
+pub struct ZkClient<T: ClientTransport = ChannelTransport> {
+    transport: T,
     session: u64,
-    server: Sender<Envelope>,
-    events: Receiver<ClientEvent>,
     next_req: u64,
     timeout: Duration,
     watches: VecDeque<WatchNotification>,
 }
 
-impl ZkClient {
+impl<T: ClientTransport> ZkClient<T> {
+    /// Wrap a transport and establish a session, retrying through
+    /// elections and reconnects (up to ~30 s).
+    pub fn establish(transport: T) -> Result<Self, ZkError> {
+        let mut c = ZkClient {
+            transport,
+            session: 0,
+            next_req: 1,
+            timeout: Duration::from_secs(5),
+            watches: VecDeque::new(),
+        };
+        for _ in 0..300 {
+            match c.raw_request(ZkRequest::Connect) {
+                ZkResponse::Connected { session } => {
+                    c.session = session;
+                    return Ok(c);
+                }
+                _ => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+        Err(ZkError::ConnectionLoss)
+    }
+
     /// This client's session id.
     pub fn session(&self) -> u64 {
         self.session
@@ -386,15 +426,16 @@ impl ZkClient {
         self.timeout = t;
     }
 
+    /// The underlying transport (diagnostics — e.g. TCP counters).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
     fn raw_request(&mut self, req: ZkRequest) -> ZkResponse {
         let req_id = self.next_req;
         self.next_req += 1;
-        if self
-            .server
-            .send(Envelope::Client { client: self.id, req_id, session: self.session, req })
-            .is_err()
-        {
-            return ZkResponse::Error(ZkError::ConnectionLoss);
+        if let Err(e) = self.transport.send(req_id, self.session, req) {
+            return ZkResponse::Error(e);
         }
         let deadline = Instant::now() + self.timeout;
         loop {
@@ -402,11 +443,11 @@ impl ZkClient {
             if left.is_zero() {
                 return ZkResponse::Error(ZkError::ConnectionLoss);
             }
-            match self.events.recv_timeout(left) {
-                Ok(ClientEvent::Resp { req_id: rid, resp }) if rid == req_id => return resp,
-                Ok(ClientEvent::Resp { .. }) => {} // stale response from a timed-out request
-                Ok(ClientEvent::Watch(n)) => self.watches.push_back(n),
-                Err(_) => return ZkResponse::Error(ZkError::ConnectionLoss),
+            match self.transport.recv(left) {
+                Some(ClientEvent::Resp { req_id: rid, resp }) if rid == req_id => return resp,
+                Some(ClientEvent::Resp { .. }) => {} // stale response from a timed-out request
+                Some(ClientEvent::Watch(n)) => self.watches.push_back(n),
+                None => return ZkResponse::Error(ZkError::ConnectionLoss),
             }
         }
     }
@@ -423,12 +464,7 @@ impl ZkClient {
     pub fn submit(&mut self, req: ZkRequest) -> u64 {
         let req_id = self.next_req;
         self.next_req += 1;
-        let _ = self.server.send(Envelope::Client {
-            client: self.id,
-            req_id,
-            session: self.session,
-            req,
-        });
+        let _ = self.transport.send(req_id, self.session, req);
         req_id
     }
 
@@ -442,26 +478,29 @@ impl ZkClient {
             if left.is_zero() {
                 return None;
             }
-            match self.events.recv_timeout(left) {
-                Ok(ClientEvent::Resp { req_id, resp }) => return Some((req_id, resp)),
-                Ok(ClientEvent::Watch(n)) => self.watches.push_back(n),
-                Err(_) => return None,
+            match self.transport.recv(left) {
+                Some(ClientEvent::Resp { req_id, resp }) => return Some((req_id, resp)),
+                Some(ClientEvent::Watch(n)) => self.watches.push_back(n),
+                None => return None,
             }
         }
     }
 
-    /// Issue a request, retrying on `ConnectionLoss` (elections in
-    /// progress). Idempotence caveats are the caller's concern, as with
-    /// real ZooKeeper.
+    /// Issue a request, retrying on the transient transport errors —
+    /// `ConnectionLoss` (elections in progress) and `Net` (a dropped
+    /// socket; the transport reconnects underneath). Idempotence caveats
+    /// are the caller's concern, as with real ZooKeeper.
     pub fn request(&mut self, req: ZkRequest) -> ZkResponse {
+        let mut last = ZkError::ConnectionLoss;
         for attempt in 0..8 {
             let resp = self.raw_request(req.clone());
-            if resp.err() != Some(ZkError::ConnectionLoss) {
-                return resp;
+            match resp.err() {
+                Some(e @ (ZkError::ConnectionLoss | ZkError::Net)) => last = e,
+                _ => return resp,
             }
             std::thread::sleep(Duration::from_millis(50 << attempt.min(4)));
         }
-        ZkResponse::Error(ZkError::ConnectionLoss)
+        ZkResponse::Error(last)
     }
 
     /// `zoo_create`: returns the actual created path.
@@ -564,8 +603,8 @@ impl ZkClient {
 
     /// Pop a pending watch notification, if one arrived.
     pub fn take_watch(&mut self) -> Option<WatchNotification> {
-        // Drain anything sitting in the channel first.
-        while let Ok(ev) = self.events.try_recv() {
+        // Drain anything sitting in the transport first.
+        while let Some(ev) = self.transport.recv(Duration::ZERO) {
             match ev {
                 ClientEvent::Watch(n) => self.watches.push_back(n),
                 ClientEvent::Resp { .. } => {}
@@ -585,10 +624,10 @@ impl ZkClient {
             if left.is_zero() {
                 return None;
             }
-            match self.events.recv_timeout(left) {
-                Ok(ClientEvent::Watch(n)) => return Some(n),
-                Ok(ClientEvent::Resp { .. }) => {}
-                Err(_) => return None,
+            match self.transport.recv(left) {
+                Some(ClientEvent::Watch(n)) => return Some(n),
+                Some(ClientEvent::Resp { .. }) => {}
+                None => return None,
             }
         }
     }

@@ -1,0 +1,734 @@
+//! TCP runtime: socket-backed ensembles and client sessions.
+//!
+//! The same [`CoordServer`] state machine that [`crate::runtime`] hosts on
+//! crossbeam channels, hosted here on real sockets via `dufs-net`:
+//!
+//! * [`TcpServer`] — one coordination server listening on a TCP address.
+//!   Inbound connections are demultiplexed by their handshake
+//!   [`Hello::kind`]: peers feed [`CoordMsg`] frames into the event loop,
+//!   clients speak [`ClientFrame`]/[`ServerFrame`], admin connections may
+//!   probe [`ClientFrame::Status`]. Outbound peer traffic rides per-peer
+//!   dial-out links that reconnect with exponential backoff and *drop*
+//!   messages while the remote is unreachable — ZAB's sync protocol is
+//!   built to recover from exactly that.
+//! * [`TcpCluster`] — a whole loopback ensemble of [`TcpServer`]s, a
+//!   drop-in sibling of [`crate::runtime::ThreadCluster`] for tests.
+//! * [`TcpTransport`] / [`TcpZkClient`] — the [`ZkClient`] session API over
+//!   a socket, with failover across server addresses and [`ZkError::Net`]
+//!   surfaced to the retry layer.
+//! * [`remote_status`] — a one-shot out-of-process status probe, used by
+//!   the kill-9 recovery harness to interrogate `coord_server` processes.
+//!
+//! Unlike the threaded runtime there are no `Crash`/`Restart` envelopes:
+//! the failure model here is the real one (kill the process; the WAL
+//! directory is the durable identity, the socket address is not).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use dufs_net::{
+    connect, AcceptHandle, Backoff, Conn, EndpointKind, Hello, Listener, NetConfig, NetStats,
+    NetStatsSnapshot, Wire,
+};
+use dufs_wal::FileStorage;
+use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
+use dufs_zkstore::ZkError;
+
+use crate::api::ZkRequest;
+use crate::runtime::{ClientEvent, ClientTransport, ServerStatus, ZkClient, TIME_DILATION};
+use crate::server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
+use crate::wire::{ClientFrame, ServerFrame};
+
+/// Everything a [`TcpServer`] needs to know at spawn time.
+#[derive(Debug, Clone)]
+pub struct TcpServerConfig {
+    /// This server's peer id (an index into `peer_addrs`).
+    pub me: PeerId,
+    /// Every ensemble member's address, indexed by peer id.
+    pub peer_addrs: Vec<SocketAddr>,
+    /// The first `voters` members vote; the rest are observers.
+    pub voters: usize,
+    /// Group-commit / snapshot-chunk tuning.
+    pub zab: ZabConfig,
+    /// Transport tuning (heartbeats, reconnect backoff).
+    pub net: NetConfig,
+    /// When set, run durably: WAL + checkpoints under this directory.
+    pub wal_dir: Option<PathBuf>,
+}
+
+impl TcpServerConfig {
+    /// A volatile (non-durable) member `me` of the ensemble at
+    /// `peer_addrs`, all voting, default tuning.
+    pub fn new(me: PeerId, peer_addrs: Vec<SocketAddr>) -> Self {
+        let voters = peer_addrs.len();
+        TcpServerConfig {
+            me,
+            peer_addrs,
+            voters,
+            zab: ZabConfig::default(),
+            net: NetConfig::default(),
+            wal_dir: None,
+        }
+    }
+}
+
+/// Events feeding a TCP server's single-threaded event loop.
+enum TcpEnvelope {
+    /// A decoded message from an ensemble peer.
+    Peer {
+        /// Sending peer.
+        from: PeerId,
+        /// The message.
+        msg: CoordMsg,
+    },
+    /// A new client/admin connection was accepted; the loop owns the
+    /// write half from now on.
+    ClientConn {
+        /// Loop-assigned connection id (doubles as the [`ClientId`]).
+        conn_id: ClientId,
+        /// The write half.
+        conn: Conn,
+    },
+    /// A decoded frame from a connected client.
+    Client {
+        /// The connection it arrived on.
+        conn_id: ClientId,
+        /// The frame.
+        frame: ClientFrame,
+    },
+    /// A client connection died; forget its write half.
+    ClientGone {
+        /// The dead connection.
+        conn_id: ClientId,
+    },
+    /// Stop the loop.
+    Shutdown,
+}
+
+/// Outbound link to one ensemble peer: a queue drained by a thread that
+/// (re)dials with backoff and drops traffic while the remote is down.
+struct PeerLink {
+    tx: Sender<CoordMsg>,
+}
+
+fn spawn_peer_link(
+    me: PeerId,
+    to: PeerId,
+    addr: SocketAddr,
+    net: NetConfig,
+    stats: NetStats,
+) -> PeerLink {
+    let (tx, rx) = unbounded::<CoordMsg>();
+    std::thread::Builder::new()
+        .name(format!("peer-link-{}-{}", me.0, to.0))
+        .spawn(move || {
+            let hello = Hello { kind: EndpointKind::Peer, id: me.0 as u64 };
+            let mut conn: Option<Conn> = None;
+            let mut backoff = Backoff::new(&net);
+            let mut retry_at = Instant::now();
+            let mut ever_connected = false;
+            while let Ok(msg) = rx.recv() {
+                if conn.is_none() && Instant::now() >= retry_at {
+                    match connect(addr, hello, &net, &stats) {
+                        Ok((c, inbound)) => {
+                            // Peers answer on their own dial-out link, never
+                            // on this one; drain so the reader thread stays
+                            // unblocked and the channel stays empty.
+                            std::thread::spawn(move || while inbound.recv().is_ok() {});
+                            if ever_connected {
+                                stats.on_reconnect();
+                            }
+                            ever_connected = true;
+                            backoff.reset();
+                            conn = Some(c);
+                        }
+                        Err(_) => retry_at = Instant::now() + backoff.next_delay(),
+                    }
+                }
+                // Down and backing off: the message is simply dropped.
+                if let Some(c) = &conn {
+                    if c.send(msg.to_wire()).is_err() {
+                        // Link died under us: drop this message and redial
+                        // on the next one. ZAB resynchronizes through lossy
+                        // links by design.
+                        conn = None;
+                        retry_at = Instant::now();
+                    }
+                }
+            }
+        })
+        .expect("spawn peer link thread");
+    PeerLink { tx }
+}
+
+/// One coordination server bound to a TCP address. Used in-process by
+/// [`TcpCluster`] and as the whole body of the `coord_server` binary.
+pub struct TcpServer {
+    env_tx: Sender<TcpEnvelope>,
+    accept: Option<AcceptHandle>,
+    join: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+    stats: NetStats,
+}
+
+impl TcpServer {
+    /// Start serving on `listener` (already bound — bind to port 0 first
+    /// when the ensemble's addresses must be known before any member
+    /// starts). Panics on WAL recovery failure, like the threaded runtime.
+    pub fn spawn(listener: Listener, cfg: TcpServerConfig) -> TcpServer {
+        let addr = listener.local_addr();
+        let n = cfg.peer_addrs.len();
+        assert!(cfg.voters >= 1 && cfg.voters <= n, "voters out of range");
+        assert!((cfg.me.0 as usize) < n, "me out of range");
+        let stats = NetStats::new();
+        let (env_tx, env_rx) = unbounded::<TcpEnvelope>();
+
+        // Outbound links to every other member.
+        let mut links: Vec<Option<PeerLink>> = Vec::with_capacity(n);
+        for (i, a) in cfg.peer_addrs.iter().enumerate() {
+            links.push(if i == cfg.me.0 as usize {
+                None
+            } else {
+                Some(spawn_peer_link(cfg.me, PeerId(i as u32), *a, cfg.net, stats.clone()))
+            });
+        }
+
+        // Accept loop: demux on the remote's handshake.
+        let next_conn = Arc::new(AtomicU64::new(1));
+        let my_hello = Hello { kind: EndpointKind::Server, id: cfg.me.0 as u64 };
+        let acc_tx = env_tx.clone();
+        let accept = listener.spawn_accept(my_hello, cfg.net, stats.clone(), move |conn, rx| {
+            match conn.remote().kind {
+                EndpointKind::Peer => {
+                    let from = PeerId(conn.remote().id as u32);
+                    let tx = acc_tx.clone();
+                    std::thread::spawn(move || {
+                        let _keep_writer = conn; // heartbeats flow back while we read
+                        while let Ok(payload) = rx.recv() {
+                            // A frame passed CRC but not the codec: the peer
+                            // speaks something we don't. Drop the link; it
+                            // will redial.
+                            let Ok(msg) = CoordMsg::from_wire(&payload) else { break };
+                            if tx.send(TcpEnvelope::Peer { from, msg }).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                EndpointKind::Client | EndpointKind::Admin => {
+                    let conn_id = next_conn.fetch_add(1, Ordering::Relaxed);
+                    let tx = acc_tx.clone();
+                    if tx.send(TcpEnvelope::ClientConn { conn_id, conn }).is_err() {
+                        return;
+                    }
+                    std::thread::spawn(move || {
+                        while let Ok(payload) = rx.recv() {
+                            let Ok(frame) = ClientFrame::from_wire(&payload) else { break };
+                            if tx.send(TcpEnvelope::Client { conn_id, frame }).is_err() {
+                                break;
+                            }
+                        }
+                        let _ = tx.send(TcpEnvelope::ClientGone { conn_id });
+                    });
+                }
+                EndpointKind::Server => {} // nobody dials in as a server
+            }
+        });
+
+        // The state machine is built inside its thread (a durable server
+        // holds a `Box<dyn LogStorage>`, which is not `Send`), recovered
+        // from disk when durable.
+        let ensemble = EnsembleConfig::with_observers(cfg.voters, n - cfg.voters);
+        let (me, zab, wal_dir) = (cfg.me, cfg.zab, cfg.wal_dir);
+        let join = std::thread::Builder::new()
+            .name(format!("tcp-coord-{}", me.0))
+            .spawn(move || {
+                let (server, init) = match &wal_dir {
+                    Some(dir) => {
+                        let storage = FileStorage::new(dir).expect("open WAL directory");
+                        CoordServer::new_durable(me, ensemble, zab, Box::new(storage))
+                            .expect("recover server state from its write-ahead log")
+                    }
+                    None => CoordServer::new_with_config(me, ensemble, zab),
+                };
+                tcp_server_loop(server, init, env_rx, links)
+            })
+            .expect("spawn tcp server loop");
+
+        TcpServer { env_tx, accept: Some(accept), join: Some(join), addr, stats }
+    }
+
+    /// The bound listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This server's transport counters (all its connections share them).
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Block the calling thread until the event loop exits (the
+    /// `coord_server` binary's main thread parks here).
+    pub fn run(mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Stop accepting, stop the event loop, join it.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.env_tx.send(TcpEnvelope::Shutdown);
+        if let Some(accept) = self.accept.take() {
+            accept.stop();
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn tcp_server_loop(
+    mut server: CoordServer,
+    init: Vec<ServerOut>,
+    env_rx: Receiver<TcpEnvelope>,
+    links: Vec<Option<PeerLink>>,
+) {
+    let epoch = Instant::now();
+    let mut conns: HashMap<ClientId, Conn> = HashMap::new();
+    let mut timers: Vec<(Instant, CoordTimer)> = Vec::new();
+
+    let now_ns = |epoch: &Instant| epoch.elapsed().as_nanos() as u64;
+
+    let exec = |outs: Vec<ServerOut>,
+                conns: &mut HashMap<ClientId, Conn>,
+                timers: &mut Vec<(Instant, CoordTimer)>,
+                links: &[Option<PeerLink>]| {
+        for o in outs {
+            match o {
+                ServerOut::Client { client, req_id, resp } => {
+                    if let Some(c) = conns.get(&client) {
+                        let _ = c.send(ServerFrame::Resp { req_id, resp }.to_wire());
+                    }
+                }
+                ServerOut::Peer { to, msg } => {
+                    if let Some(Some(link)) = links.get(to.0 as usize) {
+                        let _ = link.tx.send(msg);
+                    }
+                }
+                ServerOut::Timer { timer, after_ms } => {
+                    timers.push((
+                        Instant::now() + Duration::from_millis(after_ms * TIME_DILATION),
+                        timer,
+                    ));
+                }
+                ServerOut::Watch { client, note } => {
+                    if let Some(c) = conns.get(&client) {
+                        let _ = c.send(ServerFrame::Watch(note).to_wire());
+                    }
+                }
+            }
+        }
+    };
+
+    exec(init, &mut conns, &mut timers, &links);
+
+    loop {
+        // Fire due timers.
+        let now = Instant::now();
+        let mut due = Vec::new();
+        timers.retain(|&(at, t)| {
+            if at <= now {
+                due.push(t);
+                false
+            } else {
+                true
+            }
+        });
+        for t in due {
+            let outs = server.handle(now_ns(&epoch), ServerIn::Timer(t));
+            exec(outs, &mut conns, &mut timers, &links);
+        }
+        // Wait for traffic or the next timer.
+        let next_deadline = timers.iter().map(|&(at, _)| at).min();
+        let wait = next_deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50))
+            .min(Duration::from_millis(50));
+        match env_rx.recv_timeout(wait) {
+            Ok(TcpEnvelope::Shutdown) => return,
+            Ok(TcpEnvelope::ClientConn { conn_id, conn }) => {
+                conns.insert(conn_id, conn);
+            }
+            Ok(TcpEnvelope::ClientGone { conn_id }) => {
+                conns.remove(&conn_id);
+            }
+            Ok(TcpEnvelope::Client { conn_id, frame }) => match frame {
+                ClientFrame::Request { req_id, session, req } => {
+                    let input = ServerIn::Client { client: conn_id, req_id, session, req };
+                    let outs = server.handle(now_ns(&epoch), input);
+                    exec(outs, &mut conns, &mut timers, &links);
+                }
+                ClientFrame::Status { req_id } => {
+                    let status = ServerStatus {
+                        is_leader: server.is_leader(),
+                        last_applied: server.last_applied(),
+                        node_count: server.tree().node_count(),
+                        digest: server.tree().digest(),
+                        alive: true,
+                    };
+                    if let Some(c) = conns.get(&conn_id) {
+                        let _ = c.send(ServerFrame::Status { req_id, status }.to_wire());
+                    }
+                }
+            },
+            Ok(TcpEnvelope::Peer { from, msg }) => {
+                let outs = server.handle(now_ns(&epoch), ServerIn::Peer { from, msg });
+                exec(outs, &mut conns, &mut timers, &links);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// A whole coordination ensemble on loopback sockets — the TCP sibling of
+/// [`crate::runtime::ThreadCluster`], same probe/client surface.
+pub struct TcpCluster {
+    servers: Vec<TcpServer>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl TcpCluster {
+    /// Start an ensemble of `n` voting servers on ephemeral loopback ports.
+    pub fn start(n: usize) -> Self {
+        Self::start_full(n, 0, ZabConfig::default(), None)
+    }
+
+    /// Start an ensemble with explicit group-commit tuning.
+    pub fn start_with_config(n: usize, zab: ZabConfig) -> Self {
+        Self::start_full(n, 0, zab, None)
+    }
+
+    /// Start a durable ensemble: WAL + checkpoints under
+    /// `dir/server-<id>`, recovered on restart over the same directory.
+    pub fn start_durable(n: usize, dir: impl AsRef<std::path::Path>) -> Self {
+        Self::start_full(n, 0, ZabConfig::default(), Some(dir.as_ref().to_path_buf()))
+    }
+
+    /// Start `voters` + `observers` servers, optionally durable.
+    pub fn start_full(
+        voters: usize,
+        observers: usize,
+        zab: ZabConfig,
+        wal_dir: Option<PathBuf>,
+    ) -> Self {
+        let n = voters + observers;
+        // Bind every listener first so each member knows the full address
+        // list before any of them starts dialing.
+        let listeners: Vec<Listener> = (0..n)
+            .map(|_| Listener::bind("127.0.0.1:0".parse().unwrap()).expect("bind loopback"))
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr()).collect();
+        let servers = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| {
+                TcpServer::spawn(
+                    l,
+                    TcpServerConfig {
+                        me: PeerId(i as u32),
+                        peer_addrs: addrs.clone(),
+                        voters,
+                        zab,
+                        net: NetConfig::default(),
+                        wal_dir: wal_dir.as_ref().map(|d| d.join(format!("server-{i}"))),
+                    },
+                )
+            })
+            .collect();
+        TcpCluster { servers, addrs }
+    }
+
+    /// Ensemble size.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The members' socket addresses, indexed by peer id.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Open a session against server `server_idx` over TCP.
+    pub fn client(&self, server_idx: usize) -> TcpZkClient {
+        let transport = TcpTransport::new(vec![self.addrs[server_idx]]);
+        ZkClient::establish(transport).expect("ensemble failed to accept a session")
+    }
+
+    /// Open a session that fails over across every member, starting at
+    /// `server_idx`.
+    pub fn client_with_failover(&self, server_idx: usize) -> TcpZkClient {
+        let mut addrs = self.addrs.clone();
+        let k = server_idx % addrs.len();
+        addrs.rotate_left(k);
+        let transport = TcpTransport::new(addrs);
+        ZkClient::establish(transport).expect("ensemble failed to accept a session")
+    }
+
+    /// Probe one server's status over an admin connection.
+    pub fn status(&self, server_idx: usize) -> ServerStatus {
+        for _ in 0..3 {
+            if let Some(s) = remote_status(self.addrs[server_idx], Duration::from_secs(5)) {
+                return s;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("server {server_idx} did not answer a status probe");
+    }
+
+    /// This server's transport counters.
+    pub fn net_stats(&self, server_idx: usize) -> NetStatsSnapshot {
+        self.servers[server_idx].stats()
+    }
+
+    /// Index of the established leader, if any.
+    pub fn leader_index(&self) -> Option<usize> {
+        (0..self.len()).find(|&i| self.status(i).is_leader)
+    }
+
+    /// Wait (up to `timeout`) for a leader to be established.
+    pub fn await_leader(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if let Some(l) = self.leader_index() {
+                return Some(l);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        None
+    }
+
+    /// Stop every server and join their threads.
+    pub fn shutdown(self) {
+        for s in self.servers {
+            s.shutdown();
+        }
+    }
+}
+
+/// One-shot status probe of a (possibly out-of-process) server: dial as an
+/// admin endpoint, ask, hang up. `None` on dial failure, timeout, or a
+/// garbled reply — the caller treats all three as "not answering".
+pub fn remote_status(addr: SocketAddr, timeout: Duration) -> Option<ServerStatus> {
+    let stats = NetStats::new();
+    let net = NetConfig::default();
+    let hello = Hello { kind: EndpointKind::Admin, id: 0 };
+    let (conn, rx) = connect(addr, hello, &net, &stats).ok()?;
+    conn.send(ClientFrame::Status { req_id: 1 }.to_wire()).ok()?;
+    let deadline = Instant::now() + timeout;
+    loop {
+        let left = deadline.checked_duration_since(Instant::now())?;
+        let payload = rx.recv_timeout(left).ok()?;
+        if let Ok(ServerFrame::Status { status, .. }) = ServerFrame::from_wire(&payload) {
+            return Some(status);
+        }
+    }
+}
+
+/// TCP client transport: one live connection at a time, chosen from a
+/// failover list. A send on a dead link fails with [`ZkError::Net`] and the
+/// next send redials (possibly a different address);
+/// [`ZkClient::request`]'s retry loop turns that into the same
+/// at-least-once semantics the channel transport has through elections.
+pub struct TcpTransport {
+    addrs: Vec<SocketAddr>,
+    cursor: usize,
+    net: NetConfig,
+    stats: NetStats,
+    link: Option<(Conn, Receiver<Vec<u8>>)>,
+    ever_connected: bool,
+}
+
+impl TcpTransport {
+    /// A transport failing over across `addrs` (tried in order), default
+    /// tuning. Panics if `addrs` is empty.
+    pub fn new(addrs: Vec<SocketAddr>) -> Self {
+        Self::with_config(addrs, NetConfig::default())
+    }
+
+    /// [`TcpTransport::new`] with explicit transport tuning.
+    pub fn with_config(addrs: Vec<SocketAddr>, net: NetConfig) -> Self {
+        assert!(!addrs.is_empty(), "need at least one server address");
+        TcpTransport {
+            addrs,
+            cursor: 0,
+            net,
+            stats: NetStats::new(),
+            link: None,
+            ever_connected: false,
+        }
+    }
+
+    /// This session's transport counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The address of the live connection, if any.
+    pub fn connected_addr(&self) -> Option<SocketAddr> {
+        self.link.as_ref().and_then(|(c, _)| c.peer_addr())
+    }
+
+    fn ensure_link(&mut self) -> Result<(), ZkError> {
+        if self.link.is_some() {
+            return Ok(());
+        }
+        let hello = Hello { kind: EndpointKind::Client, id: 0 };
+        for _ in 0..self.addrs.len() {
+            let addr = self.addrs[self.cursor % self.addrs.len()];
+            match connect(addr, hello, &self.net, &self.stats) {
+                Ok(pair) => {
+                    if self.ever_connected {
+                        self.stats.on_reconnect();
+                    }
+                    self.ever_connected = true;
+                    self.link = Some(pair);
+                    return Ok(());
+                }
+                Err(_) => self.cursor = (self.cursor + 1) % self.addrs.len(),
+            }
+        }
+        Err(ZkError::Net)
+    }
+}
+
+impl ClientTransport for TcpTransport {
+    fn send(&mut self, req_id: u64, session: u64, req: ZkRequest) -> Result<(), ZkError> {
+        self.ensure_link()?;
+        let payload = ClientFrame::Request { req_id, session, req }.to_wire();
+        let (conn, _) = self.link.as_ref().expect("link just ensured");
+        if conn.send(payload).is_err() {
+            // Dead socket: drop it and advance the failover cursor so the
+            // retry doesn't hammer the same dead address first.
+            self.link = None;
+            self.cursor = (self.cursor + 1) % self.addrs.len();
+            return Err(ZkError::Net);
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Option<ClientEvent> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let (_, rx) = self.link.as_ref()?;
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(payload) => match ServerFrame::from_wire(&payload) {
+                    Ok(ServerFrame::Resp { req_id, resp }) => {
+                        return Some(ClientEvent::Resp { req_id, resp })
+                    }
+                    Ok(ServerFrame::Watch(n)) => return Some(ClientEvent::Watch(n)),
+                    Ok(ServerFrame::Status { .. }) => {} // admin frame on a session: skip
+                    Err(_) => {
+                        // CRC-valid but undecodable: protocol confusion,
+                        // the link is not trustworthy.
+                        self.link = None;
+                        return None;
+                    }
+                },
+                Err(RecvTimeoutError::Timeout) => return None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.link = None;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// The synchronous ZooKeeper-style client over a real socket.
+pub type TcpZkClient = ZkClient<TcpTransport>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dufs_zkstore::CreateMode;
+
+    #[test]
+    fn tcp_ensemble_elects_and_serves() {
+        let cluster = TcpCluster::start(3);
+        let leader = cluster.await_leader(Duration::from_secs(20)).expect("leader");
+        let mut c = cluster.client(leader);
+        c.create("/tcp", Bytes::from_static(b"hello"), CreateMode::Persistent).unwrap();
+        let (data, _) = c.get_data("/tcp", false).unwrap();
+        assert_eq!(&data[..], b"hello");
+        // A follower serves the same data after sync.
+        let follower = (0..3).find(|&i| i != leader).unwrap();
+        let mut f = cluster.client(follower);
+        f.sync().unwrap();
+        let (data, _) = f.get_data("/tcp", false).unwrap();
+        assert_eq!(&data[..], b"hello");
+        // Sockets actually carried traffic.
+        assert!(cluster.net_stats(leader).frames_recv > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn remote_status_probe_answers() {
+        let cluster = TcpCluster::start(1);
+        cluster.await_leader(Duration::from_secs(20)).expect("leader");
+        let s = remote_status(cluster.addrs()[0], Duration::from_secs(5)).expect("status");
+        assert!(s.alive);
+        assert!(s.is_leader);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn client_fails_over_when_its_server_dies() {
+        let cluster = TcpCluster::start(3);
+        cluster.await_leader(Duration::from_secs(20)).expect("leader");
+        let mut c = cluster.client_with_failover(0);
+        c.create("/f", Bytes::new(), CreateMode::Persistent).unwrap();
+        // Kill the member the client is talking to; the session must carry
+        // on against another member.
+        let mut servers = cluster.servers;
+        let first = servers.remove(0);
+        first.shutdown();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match c.exists("/f", false) {
+                Ok(Some(_)) => break,
+                _ => assert!(Instant::now() < deadline, "failover never succeeded"),
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        assert!(c.transport().stats().conns_opened >= 2, "must have redialed");
+        for s in servers {
+            s.shutdown();
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Out-of-process crash recovery: real `coord_server` processes, real
+//! `SIGKILL`, no in-process shortcuts. The harness
+//!
+//! 1. computes a control digest by running an idempotent workload against
+//!    an uncrashed in-process ensemble,
+//! 2. spawns three `coord_server` children (durable, loopback),
+//! 3. kills one member with `SIGKILL` mid-workload and keeps writing
+//!    through the survivors,
+//! 4. kills the *entire* ensemble, respawns all three over the same WAL
+//!    directories — on fresh ports, because the durable identity is the
+//!    directory, not the address — and
+//! 5. asserts that acknowledged data survived and that, after an
+//!    idempotent repair pass, the recovered namespace digest equals the
+//!    uncrashed control.
+//!
+//! Every workload op treats `NodeExists`/`NoNode` as success, so
+//! at-least-once retries through kills cannot diverge the final tree.
+
+#![cfg(unix)]
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use dufs_coord::tcp::{remote_status, TcpCluster, TcpTransport, TcpZkClient};
+use dufs_coord::ZkClient;
+use dufs_zkstore::{CreateMode, ZkError};
+
+const DIRS: usize = 3;
+const FILES: usize = 4;
+const CANARY: &[u8] = b"acked-before-any-kill";
+
+// ------------------------------------------------------------ process tools
+
+/// `n` distinct free loopback ports (held simultaneously while probing so
+/// they cannot collide with each other).
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let held: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("probe port")).collect();
+    held.iter().map(|l| l.local_addr().unwrap()).collect()
+}
+
+fn spawn_member(me: usize, addrs: &[SocketAddr], wal_root: &Path) -> Child {
+    let peers = addrs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+    Command::new(env!("CARGO_BIN_EXE_coord_server"))
+        .arg("--me")
+        .arg(me.to_string())
+        .arg("--peers")
+        .arg(peers)
+        .arg("--wal-dir")
+        .arg(wal_root.join(format!("server-{me}")))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coord_server")
+}
+
+/// SIGKILL — no shutdown hooks, no flushes, the real failure mode.
+fn kill9(child: &mut Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+fn await_leader(addrs: &[SocketAddr], timeout: Duration) -> usize {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        for (i, a) in addrs.iter().enumerate() {
+            if let Some(s) = remote_status(*a, Duration::from_secs(2)) {
+                if s.is_leader {
+                    return i;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("no leader within {timeout:?} among {addrs:?}");
+}
+
+fn session(addrs: &[SocketAddr]) -> TcpZkClient {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match ZkClient::establish(TcpTransport::new(addrs.to_vec())) {
+            Ok(c) => return c,
+            Err(_) => {
+                assert!(Instant::now() < deadline, "could not open a session");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- idempotent workload
+
+/// Retry `f` through transport-level failures until the op lands (or a
+/// real application error surfaces). This is the harness's outer retry
+/// loop — [`ZkClient::request`]'s 8 internal attempts are not enough to
+/// bridge a whole-ensemble respawn.
+fn until_ok(mut f: impl FnMut() -> Result<(), ZkError>) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match f() {
+            Ok(()) => return,
+            Err(ZkError::ConnectionLoss | ZkError::Net | ZkError::SessionExpired) => {
+                assert!(Instant::now() < deadline, "op never landed");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("workload op failed: {e:?}"),
+        }
+    }
+}
+
+fn idem_create(c: &mut TcpZkClient, path: &str, data: &[u8]) {
+    let data = Bytes::copy_from_slice(data);
+    until_ok(|| match c.create(path, data.clone(), CreateMode::Persistent) {
+        Ok(_) | Err(ZkError::NodeExists) => Ok(()),
+        Err(e) => Err(e),
+    });
+}
+
+fn idem_set(c: &mut TcpZkClient, path: &str, data: &[u8]) {
+    let data = Bytes::copy_from_slice(data);
+    until_ok(|| match c.set_data(path, data.clone(), None) {
+        Ok(_) => Ok(()),
+        Err(e) => Err(e),
+    });
+}
+
+fn idem_delete(c: &mut TcpZkClient, path: &str) {
+    until_ok(|| match c.delete(path, None) {
+        Ok(()) | Err(ZkError::NoNode) => Ok(()),
+        Err(e) => Err(e),
+    });
+}
+
+/// First half: directory tree + canary. Runs before any kill.
+fn phase1(c: &mut TcpZkClient) {
+    for d in 0..DIRS {
+        idem_create(c, &format!("/d{d}"), b"");
+    }
+    idem_create(c, "/canary", CANARY);
+}
+
+/// Second half: file churn. Runs while members are being killed, and again
+/// as the post-recovery repair pass.
+fn phase2(c: &mut TcpZkClient) {
+    for d in 0..DIRS {
+        for f in 0..FILES {
+            idem_create(c, &format!("/d{d}/f{f}"), format!("content-{d}-{f}").as_bytes());
+        }
+    }
+    for d in 0..DIRS {
+        idem_set(c, &format!("/d{d}/f0"), format!("v2-{d}").as_bytes());
+        idem_delete(c, &format!("/d{d}/f1"));
+    }
+}
+
+/// Wait until every replica reports the same internal tree digest — the
+/// replication-consistency check *within* one ensemble.
+fn await_convergence(c: &mut TcpZkClient, addrs: &[SocketAddr]) {
+    until_ok(|| c.sync().map(|_| ()));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s: Vec<_> =
+            addrs.iter().filter_map(|a| remote_status(*a, Duration::from_secs(2))).collect();
+        if s.len() == addrs.len() && s.iter().all(|x| x.digest == s[0].digest) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "replicas never converged: {s:?}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Client-side digest over (path, data) of the whole namespace, read through
+/// an ordinary session. Unlike the server's internal tree digest this
+/// ignores stat counters (`version`, `cversion`), which is the point: under
+/// at-least-once delivery a retried `set_data` bumps `version` twice, so
+/// counter-inclusive digests are not comparable across *separate runs* —
+/// only the acked contents are.
+fn content_digest(c: &mut TcpZkClient) -> u64 {
+    fn eat(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let mut acc: u64 = 0;
+    let mut count: u64 = 0;
+    let mut stack = vec![String::from("/")];
+    while let Some(path) = stack.pop() {
+        let mut got = None;
+        until_ok(|| {
+            got = Some(c.get_data(&path, false)?);
+            Ok(())
+        });
+        let (data, _) = got.unwrap();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        eat(&mut h, path.as_bytes());
+        eat(&mut h, &data);
+        acc = acc.wrapping_add(h);
+        count += 1;
+
+        let mut kids = None;
+        until_ok(|| {
+            kids = Some(c.get_children(&path, false)?.0);
+            Ok(())
+        });
+        for k in kids.unwrap() {
+            stack.push(if path == "/" { format!("/{k}") } else { format!("{path}/{k}") });
+        }
+    }
+    acc.wrapping_add(count)
+}
+
+// ------------------------------------------------------------------ the test
+
+#[test]
+fn kill9_one_member_then_whole_ensemble_and_recover() {
+    // 1. Uncrashed control, same ops, in-process.
+    let control = TcpCluster::start(3);
+    control.await_leader(Duration::from_secs(20)).expect("control leader");
+    let control_digest = {
+        let mut c = control.client_with_failover(0);
+        phase1(&mut c);
+        phase2(&mut c);
+        await_convergence(&mut c, control.addrs());
+        content_digest(&mut c)
+    };
+    control.shutdown();
+
+    // 2. The real thing: three OS processes, durable.
+    let wal_root = std::env::temp_dir().join(format!("dufs-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let addrs = free_addrs(3);
+    let mut procs: Vec<Child> = (0..3).map(|i| spawn_member(i, &addrs, &wal_root)).collect();
+    await_leader(&addrs, Duration::from_secs(60));
+
+    let mut c = session(&addrs);
+    phase1(&mut c);
+    until_ok(|| c.sync().map(|_| ())); // canary is acked + synced from here on
+
+    // 3. SIGKILL one member mid-workload; the survivors must keep serving.
+    kill9(&mut procs[0]);
+    phase2(&mut c);
+    let survivor = remote_status(addrs[1], Duration::from_secs(5))
+        .or_else(|| remote_status(addrs[2], Duration::from_secs(5)))
+        .expect("survivors answer");
+    assert!(survivor.alive);
+
+    // 4. SIGKILL the whole ensemble. Nothing is left running.
+    for p in procs.iter_mut() {
+        kill9(p);
+    }
+    for a in &addrs {
+        assert!(
+            remote_status(*a, Duration::from_millis(500)).is_none(),
+            "a killed server answered a probe"
+        );
+    }
+
+    // 5. Respawn ALL members over the same WAL directories, fresh ports.
+    let addrs2 = free_addrs(3);
+    let mut procs: Vec<Child> = (0..3).map(|i| spawn_member(i, &addrs2, &wal_root)).collect();
+    await_leader(&addrs2, Duration::from_secs(60));
+
+    let mut c2 = session(&addrs2);
+    // Acked-before-kill data must have survived bit-exactly.
+    let (data, _) = loop {
+        match c2.get_data("/canary", false) {
+            Ok(v) => break v,
+            Err(ZkError::ConnectionLoss | ZkError::Net) => {
+                std::thread::sleep(Duration::from_millis(100))
+            }
+            Err(e) => panic!("canary lost after kill -9 recovery: {e:?}"),
+        }
+    };
+    assert_eq!(&data[..], CANARY, "canary data corrupted by recovery");
+
+    // Repair pass (covers ops in flight at kill time). All replicas must
+    // re-converge on one internal digest, and the namespace *contents* must
+    // equal the uncrashed control's.
+    phase1(&mut c2);
+    phase2(&mut c2);
+    await_convergence(&mut c2, &addrs2);
+    let recovered = content_digest(&mut c2);
+    assert_eq!(recovered, control_digest, "recovered namespace differs from the uncrashed control");
+
+    for p in procs.iter_mut() {
+        kill9(p);
+    }
+    let _ = std::fs::remove_dir_all(&wal_root);
+}

@@ -1,0 +1,372 @@
+//! Codec-robustness property tests for the coordination-layer wire
+//! messages — the companion of `crates/net/tests/prop_frame.rs`, one layer
+//! up: every message type that crosses a socket must round-trip bit-exactly
+//! through its codec, and corrupt bytes (truncations, bit flips, random
+//! garbage) must produce a `WireError`, never a panic and never a silently
+//! wrong value.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dufs_coord::runtime::ServerStatus;
+use dufs_coord::watch::WatchEventKind;
+use dufs_coord::wire::{get_zab_msg, put_zab_msg};
+use dufs_coord::{
+    ClientFrame, CoordMsg, ServerFrame, Txn, TxnOp, WatchNotification, ZkRequest, ZkResponse,
+};
+use dufs_net::{Wire, WireCursor};
+use dufs_zab::{PeerId, Vote, ZabMsg, Zxid};
+use dufs_zkstore::{CreateMode, MultiOp, MultiResult, Stat, ZkError};
+
+// ---------------------------------------------------------------- strategies
+
+fn arb_string() -> BoxedStrategy<String> {
+    collection::vec(any::<u8>(), 0..12)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + (b % 26)) as char).collect())
+        .boxed()
+}
+
+fn arb_bytes() -> BoxedStrategy<Bytes> {
+    collection::vec(any::<u8>(), 0..32).prop_map(Bytes::from).boxed()
+}
+
+fn arb_zxid() -> BoxedStrategy<Zxid> {
+    (any::<u32>(), any::<u32>()).prop_map(|(e, c)| Zxid::new(e, c)).boxed()
+}
+
+fn arb_peer() -> BoxedStrategy<PeerId> {
+    any::<u32>().prop_map(PeerId).boxed()
+}
+
+fn arb_mode() -> BoxedStrategy<CreateMode> {
+    prop_oneof![
+        Just(CreateMode::Persistent),
+        Just(CreateMode::Ephemeral),
+        Just(CreateMode::PersistentSequential),
+        Just(CreateMode::EphemeralSequential),
+    ]
+    .boxed()
+}
+
+fn arb_version() -> BoxedStrategy<Option<u32>> {
+    option::of(any::<u32>()).boxed()
+}
+
+fn arb_stat() -> BoxedStrategy<Stat> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u32>(), any::<u32>()),
+    )
+        .prop_map(|((czxid, mzxid, pzxid, ctime_ns, mtime_ns), rest)| {
+            let (version, cversion, ephemeral_owner, data_length, num_children) = rest;
+            Stat {
+                czxid,
+                mzxid,
+                pzxid,
+                ctime_ns,
+                mtime_ns,
+                version,
+                cversion,
+                ephemeral_owner,
+                data_length,
+                num_children,
+            }
+        })
+        .boxed()
+}
+
+fn arb_zk_error() -> BoxedStrategy<ZkError> {
+    prop_oneof![
+        Just(ZkError::NoNode),
+        Just(ZkError::NodeExists),
+        Just(ZkError::NotEmpty),
+        Just(ZkError::BadVersion),
+        Just(ZkError::NoChildrenForEphemerals),
+        Just(ZkError::InvalidPath),
+        Just(ZkError::SessionExpired),
+        Just(ZkError::ConnectionLoss),
+        Just(ZkError::RootReadOnly),
+        Just(ZkError::CorruptSnapshot),
+        Just(ZkError::Net),
+    ]
+    .boxed()
+}
+
+fn arb_multi_op() -> BoxedStrategy<MultiOp> {
+    prop_oneof![
+        (arb_string(), arb_bytes(), arb_mode()).prop_map(|(path, data, mode)| MultiOp::Create {
+            path,
+            data,
+            mode
+        }),
+        (arb_string(), arb_version()).prop_map(|(path, version)| MultiOp::Delete { path, version }),
+        (arb_string(), arb_bytes(), arb_version())
+            .prop_map(|(path, data, version)| MultiOp::SetData { path, data, version }),
+        (arb_string(), arb_version()).prop_map(|(path, version)| MultiOp::Check { path, version }),
+    ]
+    .boxed()
+}
+
+fn arb_multi_result() -> BoxedStrategy<MultiResult> {
+    prop_oneof![
+        arb_string().prop_map(MultiResult::Created),
+        Just(MultiResult::Deleted),
+        arb_stat().prop_map(MultiResult::Set),
+        Just(MultiResult::Checked),
+    ]
+    .boxed()
+}
+
+fn arb_txn_op() -> BoxedStrategy<TxnOp> {
+    prop_oneof![
+        (arb_string(), arb_bytes(), arb_mode()).prop_map(|(path, data, mode)| TxnOp::Create {
+            path,
+            data,
+            mode
+        }),
+        (arb_string(), arb_version()).prop_map(|(path, version)| TxnOp::Delete { path, version }),
+        (arb_string(), arb_bytes(), arb_version())
+            .prop_map(|(path, data, version)| TxnOp::SetData { path, data, version }),
+        collection::vec(arb_multi_op(), 0..4).prop_map(|ops| TxnOp::Multi { ops }),
+        any::<u64>().prop_map(|session| TxnOp::CreateSession { session }),
+        any::<u64>().prop_map(|session| TxnOp::CloseSession { session }),
+        Just(TxnOp::Noop),
+    ]
+    .boxed()
+}
+
+fn arb_txn() -> BoxedStrategy<Txn> {
+    (any::<u64>(), arb_txn_op(), arb_peer(), any::<u64>(), any::<u64>())
+        .prop_map(|(session, op, origin, tag, time_ns)| Txn { session, op, origin, tag, time_ns })
+        .boxed()
+}
+
+fn arb_entries() -> BoxedStrategy<Vec<(Zxid, Txn)>> {
+    collection::vec((arb_zxid(), arb_txn()), 0..4).boxed()
+}
+
+fn arb_vote() -> BoxedStrategy<Vote> {
+    (arb_peer(), arb_zxid(), any::<u64>())
+        .prop_map(|(candidate, candidate_zxid, round)| Vote { candidate, candidate_zxid, round })
+        .boxed()
+}
+
+fn arb_zab_msg() -> BoxedStrategy<ZabMsg<Txn>> {
+    prop_oneof![
+        (arb_vote(), option::of(arb_peer()))
+            .prop_map(|(vote, established)| ZabMsg::Notification { vote, established }),
+        (arb_zxid(), any::<u32>()).prop_map(|(last_zxid, accepted_epoch)| ZabMsg::FollowerInfo {
+            last_zxid,
+            accepted_epoch
+        }),
+        (
+            any::<u32>(),
+            option::of((arb_zxid(), arb_bytes())),
+            arb_entries(),
+            arb_zxid(),
+            any::<bool>(),
+            any::<u32>(),
+        )
+            .prop_map(|(epoch, snapshot, entries, commit_to, reset, snap_chunks)| {
+                ZabMsg::SyncLog { epoch, snapshot, entries, commit_to, reset, snap_chunks }
+            }),
+        (any::<u32>(), arb_zxid(), (any::<u32>(), any::<u32>(), any::<u32>()), arb_bytes())
+            .prop_map(|(epoch, zxid, (seq, total, crc), data)| ZabMsg::SnapChunk {
+                epoch,
+                zxid,
+                seq,
+                total,
+                crc,
+                data
+            }),
+        any::<u32>().prop_map(|epoch| ZabMsg::AckSync { epoch }),
+        (arb_zxid(), collection::vec(arb_txn(), 0..4))
+            .prop_map(|(zxid, txns)| ZabMsg::Propose { zxid, txns }),
+        arb_zxid().prop_map(|zxid| ZabMsg::Ack { zxid }),
+        arb_zxid().prop_map(|zxid| ZabMsg::Commit { zxid }),
+        (arb_zxid(), collection::vec(arb_txn(), 0..4))
+            .prop_map(|(zxid, txns)| ZabMsg::Inform { zxid, txns }),
+        (any::<u32>(), arb_zxid()).prop_map(|(epoch, commit_to)| ZabMsg::Ping { epoch, commit_to }),
+        Just(ZabMsg::Pong),
+    ]
+    .boxed()
+}
+
+fn arb_coord_msg() -> BoxedStrategy<CoordMsg> {
+    prop_oneof![
+        arb_zab_msg().prop_map(CoordMsg::Zab),
+        (any::<u64>(), arb_txn_op(), arb_peer(), any::<u64>())
+            .prop_map(|(session, op, origin, tag)| CoordMsg::Forward { session, op, origin, tag }),
+        any::<u64>().prop_map(|tag| CoordMsg::SyncRequest { tag }),
+        (any::<u64>(), any::<u64>()).prop_map(|(tag, zxid)| CoordMsg::SyncReply { tag, zxid }),
+        any::<u64>().prop_map(|tag| CoordMsg::ForwardReject { tag }),
+    ]
+    .boxed()
+}
+
+fn arb_zk_request() -> BoxedStrategy<ZkRequest> {
+    prop_oneof![
+        Just(ZkRequest::Connect),
+        Just(ZkRequest::CloseSession),
+        (arb_string(), arb_bytes(), arb_mode()).prop_map(|(path, data, mode)| ZkRequest::Create {
+            path,
+            data,
+            mode
+        }),
+        (arb_string(), arb_version())
+            .prop_map(|(path, version)| ZkRequest::Delete { path, version }),
+        (arb_string(), arb_bytes(), arb_version())
+            .prop_map(|(path, data, version)| ZkRequest::SetData { path, data, version }),
+        (arb_string(), any::<bool>()).prop_map(|(path, watch)| ZkRequest::GetData { path, watch }),
+        (arb_string(), any::<bool>()).prop_map(|(path, watch)| ZkRequest::Exists { path, watch }),
+        (arb_string(), any::<bool>())
+            .prop_map(|(path, watch)| ZkRequest::GetChildren { path, watch }),
+        arb_string().prop_map(|path| ZkRequest::GetChildrenData { path }),
+        collection::vec(arb_multi_op(), 0..4).prop_map(|ops| ZkRequest::Multi { ops }),
+        Just(ZkRequest::Sync),
+        Just(ZkRequest::Ping),
+    ]
+    .boxed()
+}
+
+fn arb_zk_response() -> BoxedStrategy<ZkResponse> {
+    prop_oneof![
+        any::<u64>().prop_map(|session| ZkResponse::Connected { session }),
+        Just(ZkResponse::Closed),
+        arb_string().prop_map(|path| ZkResponse::Created { path }),
+        Just(ZkResponse::Deleted),
+        arb_stat().prop_map(ZkResponse::Stat),
+        (arb_bytes(), arb_stat()).prop_map(|(data, stat)| ZkResponse::Data { data, stat }),
+        option::of(arb_stat()).prop_map(ZkResponse::ExistsResult),
+        (collection::vec(arb_string(), 0..4), arb_stat())
+            .prop_map(|(names, stat)| ZkResponse::Children { names, stat }),
+        collection::vec((arb_string(), arb_bytes(), arb_stat()), 0..4)
+            .prop_map(|entries| ZkResponse::ChildrenData { entries }),
+        collection::vec(arb_multi_result(), 0..4).prop_map(ZkResponse::MultiResults),
+        any::<u64>().prop_map(|zxid| ZkResponse::Synced { zxid }),
+        any::<u64>().prop_map(|zxid| ZkResponse::Pong { zxid }),
+        arb_zk_error().prop_map(ZkResponse::Error),
+    ]
+    .boxed()
+}
+
+fn arb_watch() -> BoxedStrategy<WatchNotification> {
+    (
+        arb_string(),
+        prop_oneof![
+            Just(WatchEventKind::Created),
+            Just(WatchEventKind::Deleted),
+            Just(WatchEventKind::DataChanged),
+            Just(WatchEventKind::ChildrenChanged),
+        ],
+    )
+        .prop_map(|(path, event)| WatchNotification { path, event })
+        .boxed()
+}
+
+fn arb_server_status() -> BoxedStrategy<ServerStatus> {
+    (any::<bool>(), any::<u64>(), 0usize..100_000, any::<u64>(), any::<bool>())
+        .prop_map(|(is_leader, last_applied, node_count, digest, alive)| ServerStatus {
+            is_leader,
+            last_applied,
+            node_count,
+            digest,
+            alive,
+        })
+        .boxed()
+}
+
+fn arb_client_frame() -> BoxedStrategy<ClientFrame> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), arb_zk_request())
+            .prop_map(|(req_id, session, req)| ClientFrame::Request { req_id, session, req }),
+        any::<u64>().prop_map(|req_id| ClientFrame::Status { req_id }),
+    ]
+    .boxed()
+}
+
+fn arb_server_frame() -> BoxedStrategy<ServerFrame> {
+    prop_oneof![
+        (any::<u64>(), arb_zk_response())
+            .prop_map(|(req_id, resp)| ServerFrame::Resp { req_id, resp }),
+        arb_watch().prop_map(ServerFrame::Watch),
+        (any::<u64>(), arb_server_status())
+            .prop_map(|(req_id, status)| ServerFrame::Status { req_id, status }),
+    ]
+    .boxed()
+}
+
+// ---------------------------------------------------------------- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn zab_messages_round_trip(msg in arb_zab_msg()) {
+        let mut buf = Vec::new();
+        put_zab_msg(&msg, &mut buf);
+        let mut c = WireCursor::new(&buf);
+        let back = get_zab_msg(&mut c).expect("decode what we encoded");
+        prop_assert!(c.expect_end().is_ok());
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn coord_messages_round_trip(msg in arb_coord_msg()) {
+        prop_assert_eq!(CoordMsg::from_wire(&msg.to_wire()).expect("round trip"), msg);
+    }
+
+    #[test]
+    fn client_frames_round_trip(f in arb_client_frame()) {
+        prop_assert_eq!(ClientFrame::from_wire(&f.to_wire()).expect("round trip"), f);
+    }
+
+    #[test]
+    fn server_frames_round_trip(f in arb_server_frame()) {
+        prop_assert_eq!(ServerFrame::from_wire(&f.to_wire()).expect("round trip"), f);
+    }
+
+    #[test]
+    fn truncated_coord_messages_error_never_panic(
+        msg in arb_coord_msg(),
+        cut_ppm in 0u64..1_000_000,
+    ) {
+        let full = msg.to_wire();
+        let cut = (full.len() as u64 * cut_ppm / 1_000_000) as usize;
+        // A strict prefix must never decode: cut == len is excluded by
+        // ppm < 1M except for zero-length encodings, which cannot exist —
+        // every message starts with a tag byte.
+        prop_assert!(
+            CoordMsg::from_wire(&full[..cut]).is_err(),
+            "a strict prefix decoded successfully"
+        );
+    }
+
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        f in arb_server_frame(),
+        at_ppm in 0u64..1_000_000,
+        flip in 1u64..256,
+    ) {
+        let mut raw = f.to_wire();
+        let at = ((raw.len() as u64 - 1) * at_ppm / 1_000_000) as usize;
+        raw[at] ^= flip as u8;
+        // Without the framing layer's CRC a flip may decode into a
+        // *different valid* message — that is the frame codec's job to
+        // prevent. Here the law is only: no panic, no allocation blow-up.
+        let _ = ServerFrame::from_wire(&raw);
+    }
+
+    #[test]
+    fn garbage_never_panics_any_codec(
+        data in collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = CoordMsg::from_wire(&data);
+        let _ = ClientFrame::from_wire(&data);
+        let _ = ServerFrame::from_wire(&data);
+        let _ = ZkRequest::from_wire(&data);
+        let _ = ZkResponse::from_wire(&data);
+        let mut c = WireCursor::new(&data);
+        let _ = get_zab_msg(&mut c);
+    }
+}

@@ -1,0 +1,167 @@
+//! Runtime parity: the TCP runtime must be a drop-in behavioural sibling of
+//! the channel runtime. The same deterministic metadata workload is driven
+//! through a [`ThreadCluster`] and a [`TcpCluster`]; every replica of both
+//! ensembles must converge to the *same* namespace digest (the tree digest
+//! deliberately excludes zxids and timestamps, so cross-runtime equality is
+//! meaningful). The TCP run must additionally show real socket traffic in
+//! its [`NetStats`] counters — the satellite assertion that the bytes
+//! actually went over the wire.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use dufs_coord::runtime::{ServerStatus, ThreadCluster};
+use dufs_coord::tcp::TcpCluster;
+use dufs_coord::{ClientTransport, ZkClient, ZkRequest, ZkResponse};
+use dufs_zkstore::{CreateMode, MultiOp, ZkError};
+
+const DIRS: usize = 3;
+const FILES: usize = 6;
+
+/// A deterministic, idempotent namespace churn: mkdir tree, create files,
+/// overwrite half, delete a quarter, one atomic rename. Safe to re-run
+/// (NodeExists / NoNode are successes), so at-least-once retries through
+/// connection loss cannot diverge the final tree.
+fn workload<T: ClientTransport>(c: &mut ZkClient<T>) {
+    for d in 0..DIRS {
+        match c.create(&format!("/d{d}"), Bytes::new(), CreateMode::Persistent) {
+            Ok(_) | Err(ZkError::NodeExists) => {}
+            Err(e) => panic!("mkdir /d{d}: {e:?}"),
+        }
+        for f in 0..FILES {
+            let path = format!("/d{d}/f{f}");
+            match c.create(
+                &path,
+                Bytes::from(format!("content-{d}-{f}").into_bytes()),
+                CreateMode::Persistent,
+            ) {
+                Ok(_) | Err(ZkError::NodeExists) => {}
+                Err(e) => panic!("create {path}: {e:?}"),
+            }
+        }
+    }
+    for d in 0..DIRS {
+        for f in (0..FILES).step_by(2) {
+            let path = format!("/d{d}/f{f}");
+            c.set_data(&path, Bytes::from(format!("v2-{d}-{f}").into_bytes()), None)
+                .unwrap_or_else(|e| panic!("set {path}: {e:?}"));
+        }
+    }
+    for d in 0..DIRS {
+        let path = format!("/d{d}/f1");
+        match c.delete(&path, None) {
+            Ok(()) | Err(ZkError::NoNode) => {}
+            Err(e) => panic!("delete {path}: {e:?}"),
+        }
+    }
+    // Atomic rename (the paper's §III hazard): if it already ran, the
+    // delete leg fails with NoNode and the whole multi is a no-op.
+    match c.multi(vec![
+        MultiOp::Delete { path: "/d0/f3".into(), version: None },
+        MultiOp::Create {
+            path: "/d0/f3-renamed".into(),
+            data: Bytes::from_static(b"moved"),
+            mode: CreateMode::Persistent,
+        },
+    ]) {
+        Ok(_) | Err(_) => {} // idempotent either way
+    }
+    c.sync().expect("sync");
+}
+
+/// Wait until every member reports the same digest, and return it.
+fn converged_digest(status: impl Fn(usize) -> ServerStatus, n: usize) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s: Vec<ServerStatus> = (0..n).map(&status).collect();
+        if s.iter().all(|x| x.digest == s[0].digest && x.last_applied == s[0].last_applied) {
+            return s[0].digest;
+        }
+        assert!(Instant::now() < deadline, "replicas never converged: {s:?}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn thread_and_tcp_runtimes_agree_on_the_namespace_digest() {
+    // Channel runtime.
+    let tc = ThreadCluster::start(3);
+    let leader = tc.await_leader(Duration::from_secs(20)).expect("thread leader");
+    let mut c = tc.client(leader);
+    workload(&mut c);
+    let d_thread = converged_digest(|i| tc.status(i), 3);
+    tc.shutdown();
+
+    // TCP runtime, same workload.
+    let cluster = TcpCluster::start(3);
+    let leader = cluster.await_leader(Duration::from_secs(20)).expect("tcp leader");
+    let mut c = cluster.client(leader);
+    workload(&mut c);
+    let d_tcp = converged_digest(|i| cluster.status(i), 3);
+
+    assert_eq!(d_thread, d_tcp, "TCP runtime diverged from the channel runtime");
+
+    // The bytes really crossed sockets: every member moved frames, and the
+    // client session dialed at least once.
+    for i in 0..3 {
+        let s = cluster.net_stats(i);
+        assert!(s.frames_sent > 0 && s.frames_recv > 0, "server {i} moved no frames: {s:?}");
+        assert!(s.bytes_sent > 0 && s.bytes_recv > 0, "server {i} moved no bytes: {s:?}");
+    }
+    let cs = c.transport().stats();
+    assert!(cs.conns_opened >= 1 && cs.frames_sent > 0, "client session unused: {cs:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn tcp_sessions_preserve_depth_k_pipelining() {
+    let cluster = TcpCluster::start(3);
+    let leader = cluster.await_leader(Duration::from_secs(20)).expect("leader");
+    let mut c = cluster.client(leader);
+    // Submit a window of K creates without waiting, then drain completions:
+    // responses must come back in submission order with matching ids.
+    const K: usize = 32;
+    let ids: Vec<u64> = (0..K)
+        .map(|i| {
+            c.submit(ZkRequest::Create {
+                path: format!("/p{i:02}"),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            })
+        })
+        .collect();
+    for (i, want) in ids.iter().enumerate() {
+        let (got, resp) = c.next_completion().expect("completion");
+        assert_eq!(got, *want, "completion out of order at {i}");
+        assert!(
+            matches!(resp, ZkResponse::Created { .. }),
+            "pipelined create {i} failed: {resp:?}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn tcp_durable_cluster_recovers_after_clean_restart() {
+    let dir = std::env::temp_dir().join(format!("dufs-tcp-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let first = TcpCluster::start_durable(3, &dir);
+    let leader = first.await_leader(Duration::from_secs(20)).expect("leader");
+    let mut c = first.client(leader);
+    workload(&mut c);
+    let before = converged_digest(|i| first.status(i), 3);
+    first.shutdown();
+
+    // Same WAL directories, brand-new ports: the durable identity is the
+    // directory, not the address.
+    let second = TcpCluster::start_durable(3, &dir);
+    second.await_leader(Duration::from_secs(20)).expect("leader after restart");
+    let mut c = second.client(0);
+    c.sync().expect("sync");
+    let after = converged_digest(|i| second.status(i), 3);
+    assert_eq!(before, after, "restart over the same WAL dirs lost state");
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

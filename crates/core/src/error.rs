@@ -61,7 +61,9 @@ impl From<ZkError> for DufsError {
             ZkError::InvalidPath => DufsError::Inval,
             ZkError::BadVersion => DufsError::Io,
             ZkError::NoChildrenForEphemerals => DufsError::NotDir,
-            ZkError::SessionExpired | ZkError::ConnectionLoss => DufsError::CoordUnavailable,
+            ZkError::SessionExpired | ZkError::ConnectionLoss | ZkError::Net => {
+                DufsError::CoordUnavailable
+            }
             ZkError::RootReadOnly => DufsError::Access,
             ZkError::CorruptSnapshot => DufsError::Io,
         }

@@ -13,7 +13,15 @@
 //!   --crash <srv:ms:down_ms>  crash a coord server mid-run
 //!   --durable          write-ahead log on every coord server
 //!   --crash-all <ms:down_ms>  crash the WHOLE ensemble (needs --durable)
+//!   --live <thread|tcp>  drive a REAL cluster (wall-clock) instead of simnet
+//!   --net-stats        print per-endpoint transport counters (live tcp only)
 //! ```
+//!
+//! Live mode runs the same deterministic op streams against an actual
+//! in-process (`thread`) or loopback-socket (`tcp`) ensemble and reports
+//! wall-clock rates plus the converged namespace digest — `scripts/ci.sh`
+//! compares the digest across the two runtimes. Only the create/stat phases
+//! run live, so the digest covers a populated tree.
 //!
 //! Example:
 //! ```text
@@ -21,6 +29,11 @@
 //!     --system dufs-lustre --procs 128 --items 60 --zk 8 --backends 4
 //! ```
 
+use std::time::{Duration, Instant};
+
+use dufs_coord::runtime::{ServerStatus, ThreadCluster};
+use dufs_coord::tcp::TcpCluster;
+use dufs_mdtest::live::{run_live, LivePhase};
 use dufs_mdtest::scenario::{
     run_mdtest_report, CoordCrash, CoordOutage, MdtestConfig, MdtestSystem,
 };
@@ -31,9 +44,100 @@ fn usage() -> ! {
         "usage: mdtest_sim [--system lustre|pvfs2|dufs-lustre|dufs-pvfs2] \
          [--procs N] [--items N] [--zk N] [--backends N] [--shared-dir] \
          [--seed N] [--crash srv:at_ms:down_ms] [--durable] \
-         [--crash-all at_ms:down_ms]"
+         [--crash-all at_ms:down_ms] [--live thread|tcp] [--net-stats]"
     );
     std::process::exit(2);
+}
+
+/// Poll until every member reports one digest at one applied index.
+fn converged_digest(status: impl Fn(usize) -> ServerStatus, n: usize) -> ServerStatus {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut s: Vec<ServerStatus> = (0..n).map(&status).collect();
+        if s.iter().all(|x| x.digest == s[0].digest && x.last_applied == s[0].last_applied) {
+            return s.swap_remove(0);
+        }
+        if Instant::now() > deadline {
+            eprintln!("replicas never converged: {s:?}");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn print_live(phases: &[LivePhase]) {
+    println!("SUMMARY rate (wall clock): (ops/sec)");
+    println!("   {:<22} {:>12} {:>12}", "Operation", "ops/sec", "total ops");
+    for p in phases {
+        println!("   {:<22} {:>12.1} {:>12}", p.phase.label(), p.ops_per_sec, p.ops);
+    }
+}
+
+/// Live mode: the same WorkloadSpec op streams against a real ensemble.
+/// Create/stat phases only, so the final digest covers a populated tree.
+fn run_live_mode(mode: &str, spec: WorkloadSpec, zk: usize, durable: bool, net_stats: bool) {
+    let spec = WorkloadSpec {
+        phases: vec![Phase::DirCreate, Phase::DirStat, Phase::FileCreate, Phase::FileStat],
+        ..spec
+    };
+    let wal_dir = std::env::temp_dir().join(format!("dufs-mdtest-live-{}", std::process::id()));
+    match mode {
+        "thread" => {
+            let tc = if durable {
+                ThreadCluster::start_durable(zk, &wal_dir)
+            } else {
+                ThreadCluster::start(zk)
+            };
+            let leader = tc.await_leader(Duration::from_secs(30)).expect("no leader");
+            let (phases, _) = run_live(&spec, |_| tc.client(leader), |_| {});
+            print_live(&phases);
+            let s = converged_digest(|i| tc.status(i), zk);
+            println!(
+                "\nfinal namespace: {} znodes, replicated digest {:#018x}",
+                s.node_count, s.digest
+            );
+            tc.shutdown();
+        }
+        "tcp" => {
+            let cluster = if durable {
+                TcpCluster::start_durable(zk, &wal_dir)
+            } else {
+                TcpCluster::start(zk)
+            };
+            cluster.await_leader(Duration::from_secs(30)).expect("no leader");
+            let (phases, clients) =
+                run_live(&spec, |p| cluster.client_with_failover(p % zk), |_| {});
+            print_live(&phases);
+            let s = converged_digest(|i| cluster.status(i), zk);
+            println!(
+                "\nfinal namespace: {} znodes, replicated digest {:#018x}",
+                s.node_count, s.digest
+            );
+            if net_stats {
+                println!("\nNET STATS (per endpoint):");
+                let mut total = cluster.net_stats(0);
+                println!("   server 0: {total}");
+                for i in 1..zk {
+                    let s = cluster.net_stats(i);
+                    println!("   server {i}: {s}");
+                    total.absorb(&s);
+                }
+                let mut client_total = clients[0].transport().stats();
+                for c in &clients[1..] {
+                    client_total.absorb(&c.transport().stats());
+                }
+                println!("   clients ({}): {client_total}", clients.len());
+                total.absorb(&client_total);
+                println!("   TOTAL: {total}");
+            }
+            cluster.shutdown();
+        }
+        other => {
+            eprintln!("--live must be 'thread' or 'tcp', got {other:?}");
+            usage();
+        }
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
 }
 
 fn main() {
@@ -47,6 +151,8 @@ fn main() {
     let mut crash: Option<CoordCrash> = None;
     let mut durable = false;
     let mut crash_all: Option<CoordOutage> = None;
+    let mut live: Option<String> = None;
+    let mut net_stats = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -84,6 +190,8 @@ fn main() {
                 }
                 crash_all = Some(CoordOutage { at_ms: parts[0], down_ms: parts[1] });
             }
+            "--live" => live = Some(next(&mut i)),
+            "--net-stats" => net_stats = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -100,6 +208,35 @@ fn main() {
     if crash_all.is_some() && !durable {
         eprintln!("--crash-all kills every coordination server; recovery needs --durable");
         usage();
+    }
+    if net_stats && live.as_deref() != Some("tcp") {
+        eprintln!("--net-stats needs --live tcp (only sockets have transport counters)");
+        usage();
+    }
+
+    if let Some(mode) = live {
+        if crash.is_some() || crash_all.is_some() {
+            eprintln!(
+                "--crash/--crash-all are simulation-only; the live kill-9 harness is \
+                       crates/coord/tests/kill9_recovery.rs"
+            );
+            usage();
+        }
+        let spec = WorkloadSpec {
+            processes: procs,
+            fanout: 10,
+            dirs_per_proc: items,
+            files_per_proc: items,
+            phases: Phase::ALL.to_vec(),
+            shared_dir: shared,
+        };
+        println!(
+            "-- mdtest-live: {mode} runtime, {zk} coordination servers{} --",
+            if durable { " (durable)" } else { "" }
+        );
+        println!("   {procs} client sessions, {items} items/proc, create/stat phases\n");
+        run_live_mode(&mode, spec, zk, durable, net_stats);
+        return;
     }
 
     let sys = match system.as_str() {

@@ -22,11 +22,13 @@
 pub mod clients;
 pub mod controller;
 pub mod costs;
+pub mod live;
 pub mod msg;
 pub mod scenario;
 pub mod servers;
 pub mod workload;
 
+pub use live::{run_live, LivePhase};
 pub use scenario::{
     run_mdtest, run_mdtest_report, run_zk_raw, run_zk_raw_detailed, run_zk_raw_observers,
     run_zk_raw_tuned, CoordCrash, CoordOutage, MdtestConfig, MdtestReport, MdtestSystem,

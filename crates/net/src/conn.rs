@@ -1,0 +1,503 @@
+//! Blocking-socket connection management.
+//!
+//! Each established connection runs two threads:
+//!
+//! - a **writer** draining an unbounded channel of outbound frames,
+//!   injecting a heartbeat whenever the channel stays idle for a heartbeat
+//!   interval;
+//! - a **reader** decoding inbound frames into a channel for the owner,
+//!   consuming heartbeats, and declaring the peer dead after
+//!   `max_misses` consecutive silent read-timeout windows.
+//!
+//! Either side's exit shuts the socket down, which unblocks the other; the
+//! owner observes death as a disconnected inbound channel (reads) or a
+//! [`NetError::Closed`] from [`Conn::send`] (writes). Reconnecting is the
+//! owner's policy, assisted by [`Backoff`].
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::frame::{read_frame, write_frame, Frame, Hello, MAX_FRAME};
+use crate::stats::NetStats;
+use crate::NetError;
+
+/// Transport tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Idle interval after which the writer injects a heartbeat, and the
+    /// reader's per-wait timeout.
+    pub heartbeat_ms: u64,
+    /// Consecutive silent reader windows before the peer is declared dead.
+    pub max_misses: u32,
+    /// Per-frame payload cap (≤ [`MAX_FRAME`]).
+    pub max_frame: usize,
+    /// First reconnect delay.
+    pub reconnect_min_ms: u64,
+    /// Reconnect delay ceiling (exponential backoff saturates here).
+    pub reconnect_max_ms: u64,
+    /// Dial + handshake timeout.
+    pub connect_timeout_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            heartbeat_ms: 500,
+            max_misses: 4,
+            max_frame: MAX_FRAME,
+            reconnect_min_ms: 10,
+            reconnect_max_ms: 1_000,
+            connect_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// Exponential-backoff schedule for reconnect attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    cur_ms: u64,
+    min_ms: u64,
+    max_ms: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `reconnect_min_ms`, doubling to
+    /// `reconnect_max_ms`.
+    pub fn new(cfg: &NetConfig) -> Self {
+        Backoff {
+            cur_ms: cfg.reconnect_min_ms,
+            min_ms: cfg.reconnect_min_ms,
+            max_ms: cfg.reconnect_max_ms,
+        }
+    }
+
+    /// The delay to wait before the next attempt, advancing the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let d = Duration::from_millis(self.cur_ms);
+        self.cur_ms = (self.cur_ms * 2).min(self.max_ms);
+        d
+    }
+
+    /// Back to the initial delay (after a successful connect).
+    pub fn reset(&mut self) {
+        self.cur_ms = self.min_ms;
+    }
+}
+
+/// An established, handshaken connection. Dropping it closes the socket.
+pub struct Conn {
+    tx: Sender<Vec<u8>>,
+    remote: Hello,
+    peer_addr: Option<SocketAddr>,
+}
+
+impl Conn {
+    /// Queue one application frame for sending. Fails only when the
+    /// connection has died.
+    pub fn send(&self, payload: Vec<u8>) -> Result<(), NetError> {
+        self.tx.send(payload).map_err(|_| NetError::Closed)
+    }
+
+    /// The peer's handshake.
+    pub fn remote(&self) -> Hello {
+        self.remote
+    }
+
+    /// The peer's socket address, if still known.
+    pub fn peer_addr(&self) -> Option<SocketAddr> {
+        self.peer_addr
+    }
+
+    /// Wrap an already-handshaken stream in writer/reader threads.
+    /// `remote` is the peer's [`Hello`]. Returns the connection handle and
+    /// the inbound application-frame channel; the channel disconnects when
+    /// the connection dies.
+    pub fn spawn(
+        stream: TcpStream,
+        remote: Hello,
+        cfg: &NetConfig,
+        stats: NetStats,
+    ) -> std::io::Result<(Conn, Receiver<Vec<u8>>)> {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_millis(cfg.heartbeat_ms)))?;
+        let peer_addr = stream.peer_addr().ok();
+        let write_half = stream.try_clone()?;
+        let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+        let (in_tx, in_rx) = unbounded::<Vec<u8>>();
+
+        let heartbeat = Duration::from_millis(cfg.heartbeat_ms);
+        let wstats = stats.clone();
+        std::thread::Builder::new()
+            .name("net-writer".into())
+            .spawn(move || writer_loop(write_half, out_rx, heartbeat, wstats))?;
+
+        let rcfg = *cfg;
+        std::thread::Builder::new()
+            .name("net-reader".into())
+            .spawn(move || reader_loop(stream, in_tx, rcfg, stats))?;
+
+        Ok((Conn { tx: out_tx, remote, peer_addr }, in_rx))
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>, heartbeat: Duration, stats: NetStats) {
+    loop {
+        match rx.recv_timeout(heartbeat) {
+            Ok(frame) => {
+                if write_frame(&mut stream, &frame, &stats).is_err() {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if write_frame(&mut stream, &[], &stats).is_err() {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn reader_loop(mut stream: TcpStream, tx: Sender<Vec<u8>>, cfg: NetConfig, stats: NetStats) {
+    let mut misses = 0u32;
+    loop {
+        match read_frame(&mut stream, cfg.max_frame, cfg.max_misses, &stats) {
+            Ok(Frame::Msg(payload)) => {
+                misses = 0;
+                if tx.send(payload).is_err() {
+                    break; // owner gone
+                }
+            }
+            Ok(Frame::Heartbeat) => misses = 0,
+            Ok(Frame::Idle) => {
+                misses += 1;
+                stats.on_heartbeat_miss();
+                if misses >= cfg.max_misses {
+                    break; // peer is silent past its heartbeat budget: dead
+                }
+            }
+            Ok(Frame::Eof) | Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    // Dropping `tx` disconnects the owner's inbound channel.
+}
+
+fn handshake_deadline(stream: &TcpStream, cfg: &NetConfig) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(cfg.connect_timeout_ms)))
+}
+
+fn read_hello(
+    stream: &mut TcpStream,
+    cfg: &NetConfig,
+    stats: &NetStats,
+) -> Result<Hello, NetError> {
+    match read_frame(stream, cfg.max_frame, 0, stats)? {
+        Frame::Msg(payload) => {
+            Hello::decode(&payload).map_err(|_| NetError::Handshake("bad hello"))
+        }
+        Frame::Heartbeat => Err(NetError::Handshake("heartbeat before hello")),
+        Frame::Idle => Err(NetError::Handshake("handshake timed out")),
+        Frame::Eof => Err(NetError::Handshake("closed before hello")),
+    }
+}
+
+/// Dial `addr`, introduce ourselves as `hello`, and await the server's
+/// reply hello. Returns the connection and its inbound frame channel.
+pub fn connect(
+    addr: SocketAddr,
+    hello: Hello,
+    cfg: &NetConfig,
+    stats: &NetStats,
+) -> Result<(Conn, Receiver<Vec<u8>>), NetError> {
+    let attempt = || -> Result<(Conn, Receiver<Vec<u8>>), NetError> {
+        let mut stream =
+            TcpStream::connect_timeout(&addr, Duration::from_millis(cfg.connect_timeout_ms))?;
+        stream.set_nodelay(true).ok();
+        handshake_deadline(&stream, cfg)?;
+        write_frame(&mut stream, &hello.encode(), stats)?;
+        let remote = read_hello(&mut stream, cfg, stats)?;
+        let pair = Conn::spawn(stream, remote, cfg, stats.clone())?;
+        Ok(pair)
+    };
+    match attempt() {
+        Ok(pair) => {
+            stats.on_conn_opened();
+            Ok(pair)
+        }
+        Err(e) => {
+            stats.on_conn_failed();
+            Err(e)
+        }
+    }
+}
+
+/// Server side of the handshake on an accepted stream: read the peer's
+/// hello, answer with ours, and wrap the stream.
+pub fn accept_conn(
+    mut stream: TcpStream,
+    my_hello: Hello,
+    cfg: &NetConfig,
+    stats: &NetStats,
+) -> Result<(Conn, Receiver<Vec<u8>>), NetError> {
+    let attempt = || -> Result<(Conn, Receiver<Vec<u8>>), NetError> {
+        stream.set_nodelay(true).ok();
+        handshake_deadline(&stream, cfg)?;
+        let remote = read_hello(&mut stream, cfg, stats)?;
+        write_frame(&mut stream, &my_hello.encode(), stats)?;
+        let pair = Conn::spawn(stream, remote, cfg, stats.clone())?;
+        Ok(pair)
+    };
+    match attempt() {
+        Ok(pair) => {
+            stats.on_conn_opened();
+            Ok(pair)
+        }
+        Err(e) => {
+            stats.on_conn_failed();
+            Err(e)
+        }
+    }
+}
+
+/// A bound TCP listener, not yet accepting.
+#[derive(Debug)]
+pub struct Listener {
+    inner: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Listener {
+    /// Bind `addr` (use port 0 to let the OS pick).
+    pub fn bind(addr: SocketAddr) -> std::io::Result<Listener> {
+        let inner = TcpListener::bind(addr)?;
+        let addr = inner.local_addr()?;
+        Ok(Listener { inner, addr })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Start the accept loop on its own thread. Each accepted stream is
+    /// handshaken (introducing ourselves as `my_hello`) and handed to
+    /// `on_conn` with its inbound frame channel; streams that fail the
+    /// handshake are dropped. Returns a handle that stops the loop.
+    pub fn spawn_accept<F>(
+        self,
+        my_hello: Hello,
+        cfg: NetConfig,
+        stats: NetStats,
+        mut on_conn: F,
+    ) -> AcceptHandle
+    where
+        F: FnMut(Conn, Receiver<Vec<u8>>) + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let addr = self.addr;
+        let handle = std::thread::Builder::new()
+            .name("net-accept".into())
+            .spawn(move || {
+                for stream in self.inner.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Failed handshakes (wake-up dials, strangers) are dropped.
+                    if let Ok((conn, rx)) = accept_conn(stream, my_hello, &cfg, &stats) {
+                        on_conn(conn, rx);
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        AcceptHandle { stop, addr, handle: Some(handle) }
+    }
+}
+
+/// Stops a running accept loop when dropped or [`AcceptHandle::stop`]ped.
+#[derive(Debug)]
+pub struct AcceptHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AcceptHandle {
+    /// The listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join its thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(handle) = self.handle.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept with a throwaway dial; it fails the
+        // handshake and is dropped.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        let _ = handle.join();
+    }
+}
+
+impl Drop for AcceptHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> NetConfig {
+        NetConfig { heartbeat_ms: 50, ..NetConfig::default() }
+    }
+
+    #[test]
+    fn loopback_echo_round_trip() {
+        let cfg = fast_cfg();
+        let server_stats = NetStats::new();
+        let listener = Listener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr();
+        let accept = listener.spawn_accept(
+            Hello { kind: crate::EndpointKind::Server, id: 0 },
+            cfg,
+            server_stats.clone(),
+            |conn, rx| {
+                // Echo every inbound frame back.
+                std::thread::spawn(move || {
+                    while let Ok(frame) = rx.recv() {
+                        if conn.send(frame).is_err() {
+                            break;
+                        }
+                    }
+                });
+            },
+        );
+
+        let client_stats = NetStats::new();
+        let (conn, rx) =
+            connect(addr, Hello { kind: crate::EndpointKind::Client, id: 7 }, &cfg, &client_stats)
+                .unwrap();
+        assert_eq!(conn.remote().kind, crate::EndpointKind::Server);
+        for i in 0..10u32 {
+            conn.send(format!("msg-{i}").into_bytes()).unwrap();
+        }
+        for i in 0..10u32 {
+            let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(got, format!("msg-{i}").into_bytes());
+        }
+        let snap = client_stats.snapshot();
+        assert!(snap.frames_sent >= 10 && snap.frames_recv >= 10);
+        assert_eq!(snap.conns_opened, 1);
+        accept.stop();
+    }
+
+    #[test]
+    fn heartbeats_flow_on_an_idle_connection() {
+        let cfg = NetConfig { heartbeat_ms: 20, ..NetConfig::default() };
+        let server_stats = NetStats::new();
+        let listener = Listener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr();
+        let accept = listener.spawn_accept(
+            Hello { kind: crate::EndpointKind::Server, id: 0 },
+            cfg,
+            server_stats.clone(),
+            |conn, rx| {
+                std::thread::spawn(move || {
+                    let _conn = conn; // keep writer alive
+                    while rx.recv().is_ok() {}
+                });
+            },
+        );
+        let client_stats = NetStats::new();
+        let (_conn, _rx) =
+            connect(addr, Hello { kind: crate::EndpointKind::Client, id: 1 }, &cfg, &client_stats)
+                .unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(client_stats.snapshot().heartbeats_sent > 0, "idle writer heartbeats");
+        assert!(client_stats.snapshot().heartbeats_recv > 0, "server heartbeats received");
+        accept.stop();
+    }
+
+    #[test]
+    fn dead_peer_is_detected_and_channel_disconnects() {
+        let cfg = NetConfig { heartbeat_ms: 20, max_misses: 3, ..NetConfig::default() };
+        let stats = NetStats::new();
+        let listener = Listener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr();
+        let accept = listener.spawn_accept(
+            Hello { kind: crate::EndpointKind::Server, id: 0 },
+            cfg,
+            stats.clone(),
+            |conn, _rx| drop(conn), // server hangs up immediately
+        );
+        let (conn, rx) =
+            connect(addr, Hello { kind: crate::EndpointKind::Client, id: 1 }, &cfg, &stats)
+                .unwrap();
+        // The inbound channel must disconnect (not hang).
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            Err(RecvTimeoutError::Disconnected) => {}
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+        // Sends eventually fail once the writer notices.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if conn.send(b"x".to_vec()).is_err() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "send never failed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        accept.stop();
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let cfg = NetConfig { reconnect_min_ms: 10, reconnect_max_ms: 50, ..NetConfig::default() };
+        let mut b = Backoff::new(&cfg);
+        assert_eq!(b.next_delay(), Duration::from_millis(10));
+        assert_eq!(b.next_delay(), Duration::from_millis(20));
+        assert_eq!(b.next_delay(), Duration::from_millis(40));
+        assert_eq!(b.next_delay(), Duration::from_millis(50));
+        assert_eq!(b.next_delay(), Duration::from_millis(50));
+        b.reset();
+        assert_eq!(b.next_delay(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let cfg = fast_cfg();
+        let stats = NetStats::new();
+        let listener = Listener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr();
+        let accepted = Arc::new(AtomicBool::new(false));
+        let flag = accepted.clone();
+        let accept = listener.spawn_accept(
+            Hello { kind: crate::EndpointKind::Server, id: 0 },
+            cfg,
+            stats.clone(),
+            move |_conn, _rx| flag.store(true, Ordering::SeqCst),
+        );
+        // Speak a bogus version by hand.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut bad = Hello { kind: crate::EndpointKind::Client, id: 9 }.encode();
+        bad[8] = 0xEE; // version low byte
+        write_frame(&mut stream, &bad, &stats).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(!accepted.load(Ordering::SeqCst), "bad version must not be accepted");
+        accept.stop();
+    }
+}

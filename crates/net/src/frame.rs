@@ -1,0 +1,290 @@
+//! On-the-wire framing and the connection handshake.
+//!
+//! Every frame is `len: u32 | crc32: u32 | payload[len]`, little-endian,
+//! with the CRC computed over the payload — the WAL's record framing
+//! applied to the socket. A zero-length payload is a transport heartbeat
+//! (its CRC must be the CRC of the empty string, i.e. 0) and is consumed
+//! by the transport, never delivered to the application.
+//!
+//! The first frame in each direction is a [`Hello`]: magic, protocol
+//! version, endpoint kind, endpoint id. A version or magic mismatch aborts
+//! the connection before any application traffic flows.
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::stats::NetStats;
+use crate::wire::{WireCursor, WireError};
+use crate::{crc32, NetError};
+
+/// Hard cap on a frame payload (the WAL's `MAX_RECORD`): anything larger is
+/// framing corruption, not data.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Handshake magic.
+pub const MAGIC: &[u8; 8] = b"DUFSNET1";
+
+/// Protocol version this build speaks.
+pub const PROTO_VERSION: u16 = 1;
+
+/// What kind of endpoint a connection's initiator (or responder) is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointKind {
+    /// A coordination server's peer link (id = peer id).
+    Peer,
+    /// A client session connection (id = client-chosen connection id).
+    Client,
+    /// A diagnostics connection (status probes; id unused).
+    Admin,
+    /// A server answering any of the above (id = the server's peer id).
+    Server,
+}
+
+impl EndpointKind {
+    fn byte(self) -> u8 {
+        match self {
+            EndpointKind::Peer => 0,
+            EndpointKind::Client => 1,
+            EndpointKind::Admin => 2,
+            EndpointKind::Server => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(EndpointKind::Peer),
+            1 => Ok(EndpointKind::Client),
+            2 => Ok(EndpointKind::Admin),
+            3 => Ok(EndpointKind::Server),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// The handshake message: who is speaking, and in which protocol version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The sender's role on this connection.
+    pub kind: EndpointKind,
+    /// Role-specific identity (peer id for peers/servers, connection id
+    /// for clients).
+    pub id: u64,
+}
+
+impl Hello {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(19);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+        buf.push(self.kind.byte());
+        buf.extend_from_slice(&self.id.to_le_bytes());
+        buf
+    }
+
+    /// Decode a frame payload, verifying magic and version.
+    pub fn decode(raw: &[u8]) -> Result<Hello, WireError> {
+        let mut c = WireCursor::new(raw);
+        if c.take(8)? != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = c.u16()?;
+        if version != PROTO_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = EndpointKind::from_byte(c.u8()?)?;
+        let id = c.u64()?;
+        c.expect_end()?;
+        Ok(Hello { kind, id })
+    }
+}
+
+/// Write one frame (header + payload) and flush it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], stats: &NetStats) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut head = [0u8; 8];
+    head[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    if payload.is_empty() {
+        stats.on_heartbeat_sent();
+    } else {
+        stats.on_frame_sent(8 + payload.len() as u64);
+    }
+    Ok(())
+}
+
+/// Outcome of one [`read_frame`] call.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete, CRC-verified application payload.
+    Msg(Vec<u8>),
+    /// A transport heartbeat (consumed here; resets liveness).
+    Heartbeat,
+    /// The stream's read timeout elapsed between frames (no bytes read):
+    /// the caller counts this against its heartbeat-miss budget.
+    Idle,
+    /// Clean end of stream on a frame boundary.
+    Eof,
+}
+
+enum Fill {
+    Full,
+    Idle,
+    Eof,
+}
+
+/// Read exactly `buf.len()` bytes, tolerating up to `stall_tries` read
+/// timeouts *while mid-value* (a slow peer), but reporting a timeout with
+/// nothing read as `Idle` when `idle_ok` (a quiet peer — the caller's
+/// heartbeat accounting takes over). EOF mid-value is an error: the peer
+/// died inside a frame.
+fn fill(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    idle_ok: bool,
+    stall_tries: u32,
+) -> Result<Fill, NetError> {
+    let mut got = 0;
+    let mut stalls = 0u32;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && idle_ok { Ok(Fill::Eof) } else { Err(NetError::Closed) }
+            }
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if got == 0 && idle_ok {
+                    return Ok(Fill::Idle);
+                }
+                stalls += 1;
+                if stalls > stall_tries {
+                    return Err(NetError::Io(e));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// Read one frame. The stream's read timeout (if any) bounds each wait;
+/// `stall_tries` bounds how many consecutive timeouts are tolerated while
+/// a frame is partially read.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_frame: usize,
+    stall_tries: u32,
+    stats: &NetStats,
+) -> Result<Frame, NetError> {
+    let mut head = [0u8; 8];
+    match fill(r, &mut head, true, stall_tries)? {
+        Fill::Idle => return Ok(Frame::Idle),
+        Fill::Eof => return Ok(Frame::Eof),
+        Fill::Full => {}
+    }
+    let len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(head[4..].try_into().unwrap());
+    if len > max_frame {
+        return Err(NetError::Corrupt("frame length exceeds cap"));
+    }
+    if len == 0 {
+        if crc != 0 {
+            return Err(NetError::Corrupt("heartbeat with nonzero CRC"));
+        }
+        stats.on_heartbeat_recv();
+        return Ok(Frame::Heartbeat);
+    }
+    let mut payload = vec![0u8; len];
+    match fill(r, &mut payload, false, stall_tries)? {
+        Fill::Full => {}
+        _ => return Err(NetError::Closed),
+    }
+    if crc32(&payload) != crc {
+        return Err(NetError::Corrupt("frame CRC mismatch"));
+    }
+    stats.on_frame_recv(8 + len as u64);
+    Ok(Frame::Msg(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(payload: &[u8]) -> Frame {
+        let stats = NetStats::default();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload, &stats).unwrap();
+        read_frame(&mut buf.as_slice(), MAX_FRAME, 3, &stats).unwrap()
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        assert_eq!(round_trip(b"hello"), Frame::Msg(b"hello".to_vec()));
+        assert_eq!(round_trip(b""), Frame::Heartbeat);
+    }
+
+    #[test]
+    fn empty_stream_is_eof() {
+        let stats = NetStats::default();
+        assert_eq!(read_frame(&mut [].as_slice(), MAX_FRAME, 3, &stats).unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn corrupt_payload_is_detected() {
+        let stats = NetStats::default();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload", &stats).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        match read_frame(&mut buf.as_slice(), MAX_FRAME, 3, &stats) {
+            Err(NetError::Corrupt(_)) => {}
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let stats = NetStats::default();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        match read_frame(&mut buf.as_slice(), MAX_FRAME, 3, &stats) {
+            Err(NetError::Corrupt(_)) => {}
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let stats = NetStats::default();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"partial", &stats).unwrap();
+        buf.truncate(buf.len() - 3);
+        match read_frame(&mut buf.as_slice(), MAX_FRAME, 3, &stats) {
+            Err(NetError::Closed) => {}
+            other => panic!("expected closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_mismatches() {
+        let h = Hello { kind: EndpointKind::Peer, id: 42 };
+        let enc = h.encode();
+        assert_eq!(Hello::decode(&enc), Ok(h));
+        let mut bad_magic = enc.clone();
+        bad_magic[0] ^= 1;
+        assert_eq!(Hello::decode(&bad_magic), Err(WireError::BadMagic));
+        let mut bad_ver = enc.clone();
+        bad_ver[8] = 0xFF;
+        assert!(matches!(Hello::decode(&bad_ver), Err(WireError::BadVersion(_))));
+        for cut in 0..enc.len() {
+            assert!(Hello::decode(&enc[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

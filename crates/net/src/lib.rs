@@ -1,0 +1,99 @@
+//! `dufs-net` — the framed TCP transport under the coordination service.
+//!
+//! Everything above this crate (ZAB, the coord server, clients) exchanges
+//! *opaque byte payloads*; this crate moves them over blocking sockets:
+//!
+//! - [`wire`]: a bounds-checked binary codec ([`Wire`], [`WireCursor`]) the
+//!   upper layers implement for their message types. Decoding malformed
+//!   bytes returns [`WireError`], never panics.
+//! - [`frame`]: the on-the-wire framing — `len u32 | crc32 u32 | payload`,
+//!   little-endian, the same CRC discipline as the write-ahead log — plus
+//!   the versioned connection handshake ([`Hello`]).
+//! - [`conn`]: blocking-socket connection management: one writer and one
+//!   reader thread per connection, idle-time heartbeats with configurable
+//!   timeouts, an accept loop, and exponential-backoff reconnect
+//!   ([`Backoff`]).
+//! - [`stats`]: per-endpoint transport counters ([`NetStats`]).
+//!
+//! The crate knows nothing about ZAB or ZooKeeper semantics; it never
+//! inspects payloads beyond the heartbeat/app distinction (an empty payload
+//! is a transport heartbeat and is consumed here).
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod frame;
+pub mod stats;
+pub mod wire;
+
+pub use conn::{connect, AcceptHandle, Backoff, Conn, Listener, NetConfig};
+pub use frame::{read_frame, write_frame, EndpointKind, Frame, Hello, MAX_FRAME, PROTO_VERSION};
+pub use stats::{NetStats, NetStatsSnapshot};
+pub use wire::{put_blob, put_str, Wire, WireCursor, WireError};
+
+/// Transport-level failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// A frame or handshake failed structural validation (bad CRC,
+    /// oversized length, bad magic/version). The connection is unusable —
+    /// stream sync cannot be re-established after a damaged frame.
+    Corrupt(&'static str),
+    /// The peer spoke a different protocol or closed during the handshake.
+    Handshake(&'static str),
+    /// The connection is closed (peer gone or locally shut down).
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Corrupt(m) => write!(f, "corrupt frame: {m}"),
+            NetError::Handshake(m) => write!(f, "handshake failed: {m}"),
+            NetError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Standard IEEE CRC-32 (the WAL's framing checksum, reimplemented here so
+/// the transport has no dependency on the storage crate).
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -1,0 +1,213 @@
+//! Bounds-checked binary codec the upper layers implement for their
+//! message types. Little-endian, length-prefixed — the same discipline as
+//! the WAL's record codec, shared here so every wire message decodes with
+//! identical error behaviour: malformed bytes are a [`WireError`], never a
+//! panic, never a silent partial value.
+
+/// Structural decode failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value did.
+    Truncated,
+    /// An enum discriminant byte has no meaning.
+    BadTag(u8),
+    /// A magic prefix did not match.
+    BadMagic,
+    /// A protocol version this build does not speak.
+    BadVersion(u16),
+    /// Bytes left over after a complete value.
+    Trailing,
+    /// A field violated an invariant (non-UTF-8 string, oversized count).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated input"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            WireError::BadMagic => write!(f, "bad magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Trailing => write!(f, "trailing bytes after value"),
+            WireError::Invalid(m) => write!(f, "invalid field: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bounds-checked reader over a byte slice.
+#[derive(Debug)]
+pub struct WireCursor<'a> {
+    raw: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireCursor<'a> {
+    /// Start reading `raw` from the beginning.
+    pub fn new(raw: &'a [u8]) -> Self {
+        WireCursor { raw, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.raw.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.raw[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `0`/`1` boolean byte.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Read a `u32`-length-prefixed byte run. The length is validated
+    /// against the remaining input *before* any allocation, so a corrupt
+    /// length cannot cause an oversized allocation.
+    pub fn blob(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let s = self.blob()?;
+        String::from_utf8(s.to_vec()).map_err(|_| WireError::Invalid("non-UTF-8 string"))
+    }
+
+    /// Read a `u32` element count for a collection whose elements occupy at
+    /// least `min_elem_bytes` each, bounding the count by the remaining
+    /// input so a corrupt count cannot cause an oversized allocation.
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Invalid("collection count exceeds input"));
+        }
+        Ok(n)
+    }
+
+    /// Require that the input is fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Trailing);
+        }
+        Ok(())
+    }
+}
+
+/// Append a `u32`-length-prefixed byte run.
+pub fn put_blob(buf: &mut Vec<u8>, b: &[u8]) {
+    buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    buf.extend_from_slice(b);
+}
+
+/// Append a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_blob(buf, s.as_bytes());
+}
+
+/// A message type with a self-describing binary form. `wire_decode` must
+/// accept exactly what `wire_encode` produces and reject everything else
+/// with an error — the round-trip law the transport's property tests
+/// enforce for every implementor.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `buf`.
+    fn wire_encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode one value, advancing the cursor past it.
+    fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        self.wire_encode(&mut buf);
+        buf
+    }
+
+    /// Decode a complete buffer, rejecting trailing bytes.
+    fn from_wire(raw: &[u8]) -> Result<Self, WireError> {
+        let mut c = WireCursor::new(raw);
+        let v = Self::wire_decode(&mut c)?;
+        c.expect_end()?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_reads_are_bounds_checked() {
+        let mut c = WireCursor::new(&[1, 2, 3]);
+        assert_eq!(c.u8(), Ok(1));
+        assert_eq!(c.u32(), Err(WireError::Truncated));
+        assert_eq!(c.remaining(), 2);
+    }
+
+    #[test]
+    fn blob_length_is_validated_before_allocation() {
+        // Length claims 4 GiB; only 2 bytes follow.
+        let raw = [0xFF, 0xFF, 0xFF, 0xFF, 1, 2];
+        let mut c = WireCursor::new(&raw);
+        assert_eq!(c.blob(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn count_is_bounded_by_remaining_input() {
+        let mut raw = 1_000_000u32.to_le_bytes().to_vec();
+        raw.extend_from_slice(&[0; 8]);
+        let mut c = WireCursor::new(&raw);
+        assert_eq!(c.count(2), Err(WireError::Invalid("collection count exceeds input")));
+    }
+
+    #[test]
+    fn expect_end_rejects_trailing() {
+        let mut c = WireCursor::new(&[7, 8]);
+        assert_eq!(c.u8(), Ok(7));
+        assert_eq!(c.expect_end(), Err(WireError::Trailing));
+        assert_eq!(c.u8(), Ok(8));
+        assert_eq!(c.expect_end(), Ok(()));
+    }
+
+    #[test]
+    fn str_round_trips() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "héllo/ünicode");
+        let mut c = WireCursor::new(&buf);
+        assert_eq!(c.str().unwrap(), "héllo/ünicode");
+        c.expect_end().unwrap();
+    }
+}

@@ -27,11 +27,18 @@ pub struct ZabConfig {
     /// Flush delay in (virtual) milliseconds for a partially filled batch,
     /// counted from the batch's first transaction.
     pub flush_ms: u64,
+    /// SNAP-sync streaming threshold and chunk size: a snapshot blob
+    /// larger than this is shipped to a syncing follower as fixed-size
+    /// `SnapChunk` frames (each at most this many bytes) followed by a
+    /// digest check, instead of one monolithic `SyncLog` — so catch-up of
+    /// a large state doesn't stall the commit pipeline behind one giant
+    /// frame. `0` disables chunking entirely.
+    pub snap_chunk_bytes: usize,
 }
 
 impl Default for ZabConfig {
     fn default() -> Self {
-        ZabConfig { max_batch: 1, flush_ms: 2 }
+        ZabConfig { max_batch: 1, flush_ms: 2, snap_chunk_bytes: 256 << 10 }
     }
 }
 
@@ -42,7 +49,13 @@ impl ZabConfig {
     /// Panics if `max_batch` is zero.
     pub fn batched(max_batch: usize, flush_ms: u64) -> Self {
         assert!(max_batch >= 1, "a batch holds at least one transaction");
-        ZabConfig { max_batch, flush_ms }
+        ZabConfig { max_batch, flush_ms, ..ZabConfig::default() }
+    }
+
+    /// Override the SNAP-sync chunking threshold.
+    pub fn with_snap_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.snap_chunk_bytes = bytes;
+        self
     }
 }
 

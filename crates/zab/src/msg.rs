@@ -56,7 +56,9 @@ pub enum ZabMsg<T> {
     SyncLog {
         /// The leader's epoch.
         epoch: u32,
-        /// State-machine snapshot to install first, with its zxid.
+        /// State-machine snapshot to install first, with its zxid. `None`
+        /// when the snapshot was streamed ahead of this message as
+        /// [`ZabMsg::SnapChunk`] frames (see `snap_chunks`).
         snapshot: Option<(Zxid, Bytes)>,
         /// Entries to append after the snapshot/current position.
         entries: Vec<(Zxid, T)>,
@@ -64,6 +66,32 @@ pub enum ZabMsg<T> {
         commit_to: Zxid,
         /// Whether the follower must discard its log and state first.
         reset: bool,
+        /// Number of [`ZabMsg::SnapChunk`] frames that carried this sync's
+        /// snapshot ahead of this message (0 = inline or no snapshot). A
+        /// follower whose assembled chunk buffer doesn't match re-requests
+        /// the sync instead of applying a partial state.
+        snap_chunks: u32,
+    },
+    /// Leader → follower: one fixed-size chunk of a SNAP-sync snapshot too
+    /// large for a single [`ZabMsg::SyncLog`] — streaming catch-up keeps a
+    /// large transfer from occupying the link in one burst. Chunks arrive
+    /// in `seq` order (0-based). Every chunk carries the CRC32 of the
+    /// *complete* blob; the final chunk doubles as the digest frame — on
+    /// its arrival the follower verifies the assembled blob against `crc`
+    /// before the closing `SyncLog { snap_chunks > 0 }` consumes it.
+    SnapChunk {
+        /// The leader's epoch.
+        epoch: u32,
+        /// The snapshot's zxid watermark.
+        zxid: Zxid,
+        /// Chunk index, 0-based, strictly sequential.
+        seq: u32,
+        /// Total number of chunks in the transfer.
+        total: u32,
+        /// CRC32 of the complete assembled blob.
+        crc: u32,
+        /// This chunk's bytes.
+        data: Bytes,
     },
     /// Follower → leader: sync applied, ready for broadcast. Carries the
     /// epoch being acknowledged so a stale ack from the leader's previous

@@ -87,6 +87,27 @@ struct LeaderState<T> {
     buffer: Vec<T>,
 }
 
+/// In-progress assembly of a chunk-streamed SNAP transfer on a syncing
+/// follower (see [`ZabMsg::SnapChunk`]). Chunks must arrive strictly in
+/// order with consistent metadata; any deviation discards the buffer and
+/// re-requests the sync.
+#[derive(Debug)]
+struct PendingSnap {
+    epoch: u32,
+    zxid: Zxid,
+    total: u32,
+    /// CRC32 of the complete blob, checked once assembly finishes.
+    crc: u32,
+    next_seq: u32,
+    data: Vec<u8>,
+}
+
+impl PendingSnap {
+    fn complete(&self) -> bool {
+        self.next_seq == self.total
+    }
+}
+
 /// The ZAB state machine for one ensemble member. `T` is the replicated
 /// transaction type.
 #[derive(Debug)]
@@ -127,6 +148,9 @@ pub struct ZabPeer<T> {
     max_seen_epoch: u32,
     /// Observers replicate and serve reads but never vote, ack, or lead.
     is_observer: bool,
+    /// Follower-side assembly buffer for a chunked SNAP transfer
+    /// ([`ZabMsg::SnapChunk`]), consumed by the closing `SyncLog`.
+    pending_snap: Option<PendingSnap>,
     /// Timer generations (see [`ZabTimer`]): stale duplicate fires are
     /// ignored so only one live chain exists per timer kind.
     election_gen: u64,
@@ -171,6 +195,7 @@ impl<T: Clone> ZabPeer<T> {
             distrust_ttl: 0,
             max_seen_epoch: 0,
             is_observer,
+            pending_snap: None,
             election_gen: 0,
             ping_gen: 0,
             watchdog_gen: 0,
@@ -219,6 +244,7 @@ impl<T: Clone> ZabPeer<T> {
             distrust_ttl: 0,
             max_seen_epoch: durable.epoch,
             is_observer,
+            pending_snap: None,
             election_gen: 0,
             ping_gen: 0,
             watchdog_gen: 0,
@@ -395,8 +421,19 @@ impl<T: Clone> ZabPeer<T> {
             ZabMsg::FollowerInfo { last_zxid, accepted_epoch } => {
                 self.on_follower_info(from, last_zxid, accepted_epoch, &mut out)
             }
-            ZabMsg::SyncLog { epoch, snapshot, entries, commit_to, reset } => {
-                self.on_sync_log(from, epoch, snapshot, entries, commit_to, reset, &mut out)
+            ZabMsg::SyncLog { epoch, snapshot, entries, commit_to, reset, snap_chunks } => self
+                .on_sync_log(
+                    from,
+                    epoch,
+                    snapshot,
+                    entries,
+                    commit_to,
+                    reset,
+                    snap_chunks,
+                    &mut out,
+                ),
+            ZabMsg::SnapChunk { epoch, zxid, seq, total, crc, data } => {
+                self.on_snap_chunk(from, epoch, zxid, seq, total, crc, data, &mut out)
             }
             ZabMsg::AckSync { epoch } => self.on_ack_sync(from, epoch, &mut out),
             ZabMsg::Propose { zxid, txns } => self.on_propose(from, zxid, txns, &mut out),
@@ -601,6 +638,7 @@ impl<T: Clone> ZabPeer<T> {
         self.role = Role::Looking;
         self.leader_state = None;
         self.heard_from_leader = false;
+        self.pending_snap = None;
         self.round += 1;
         self.my_vote =
             Vote { candidate: self.id, candidate_zxid: self.last_zxid(), round: self.round };
@@ -879,9 +917,44 @@ impl<T: Clone> ZabPeer<T> {
         if let Some(ls) = self.leader_state.as_mut() {
             ls.sync_points.insert(from, my_last);
         }
+        // A snapshot blob above the chunking threshold is streamed ahead of
+        // the SyncLog as fixed-size SnapChunk frames; the SyncLog then
+        // carries `snap_chunks` instead of the inline blob, and the follower
+        // refuses to apply it unless the full verified stream arrived.
+        let mut snapshot = snapshot;
+        let mut snap_chunks = 0u32;
+        if let Some((snap_z, blob)) = &snapshot {
+            let cap = self.zcfg.snap_chunk_bytes;
+            if cap > 0 && blob.len() > cap {
+                let total = blob.len().div_ceil(cap) as u32;
+                let crc = dufs_net::crc32(blob);
+                for (seq, part) in blob.chunks(cap).enumerate() {
+                    out.push(ZabAction::Send {
+                        to: from,
+                        msg: ZabMsg::SnapChunk {
+                            epoch,
+                            zxid: *snap_z,
+                            seq: seq as u32,
+                            total,
+                            crc,
+                            data: Bytes::copy_from_slice(part),
+                        },
+                    });
+                }
+                snap_chunks = total;
+                snapshot = None;
+            }
+        }
         out.push(ZabAction::Send {
             to: from,
-            msg: ZabMsg::SyncLog { epoch, snapshot, entries, commit_to: self.committed, reset },
+            msg: ZabMsg::SyncLog {
+                epoch,
+                snapshot,
+                entries,
+                commit_to: self.committed,
+                reset,
+                snap_chunks,
+            },
         });
     }
 
@@ -898,12 +971,33 @@ impl<T: Clone> ZabPeer<T> {
         entries: Vec<(Zxid, T)>,
         commit_to: Zxid,
         reset: bool,
+        snap_chunks: u32,
         out: &mut Vec<ZabAction<T>>,
     ) {
         let Role::Following { leader, .. } = self.role else { return };
         if leader != from || epoch < self.accepted_epoch {
             return;
         }
+        // A chunk-streamed snapshot: substitute the assembled (and already
+        // CRC-verified) buffer for the missing inline blob. If the stream
+        // never completed — chunks lost on a flapping link, or we joined it
+        // mid-transfer — applying the SyncLog anyway would install a hole in
+        // our history, so re-request the whole sync instead of acking.
+        let snapshot = if snap_chunks > 0 {
+            debug_assert!(snapshot.is_none(), "chunked sync carries no inline snapshot");
+            match self.pending_snap.take() {
+                Some(p) if p.epoch == epoch && p.total == snap_chunks && p.complete() => {
+                    Some((p.zxid, Bytes::from(p.data)))
+                }
+                _ => {
+                    self.request_resync(from, out);
+                    return;
+                }
+            }
+        } else {
+            self.pending_snap = None; // any buffered stream is now stale
+            snapshot
+        };
         let epoch_advanced = epoch != self.accepted_epoch;
         self.accepted_epoch = epoch;
         self.max_seen_epoch = self.max_seen_epoch.max(epoch);
@@ -954,6 +1048,68 @@ impl<T: Clone> ZabPeer<T> {
         out.push(ZabAction::Send { to: from, msg: ZabMsg::AckSync { epoch } });
         out.push(ZabAction::BecameFollower { leader, epoch });
         self.arm_watchdog(out);
+    }
+
+    /// Follower side of a chunked SNAP transfer: chunks must arrive in
+    /// strict `seq` order with consistent metadata; the final chunk triggers
+    /// the whole-blob CRC check (the "digest frame"). Any gap, mismatch, or
+    /// digest failure discards the buffer and re-requests the sync — that
+    /// is also how a follower that joined mid-stream (first chunk seen has
+    /// `seq > 0`) recovers.
+    #[allow(clippy::too_many_arguments)]
+    fn on_snap_chunk(
+        &mut self,
+        from: PeerId,
+        epoch: u32,
+        zxid: Zxid,
+        seq: u32,
+        total: u32,
+        crc: u32,
+        data: Bytes,
+        out: &mut Vec<ZabAction<T>>,
+    ) {
+        let Role::Following { leader, .. } = self.role else { return };
+        if leader != from || epoch < self.accepted_epoch || total == 0 {
+            return;
+        }
+        self.heard_from_leader = true;
+        if seq == 0 {
+            self.pending_snap =
+                Some(PendingSnap { epoch, zxid, total, crc, next_seq: 0, data: Vec::new() });
+        }
+        let ok = match self.pending_snap.as_mut() {
+            Some(p)
+                if p.epoch == epoch
+                    && p.zxid == zxid
+                    && p.total == total
+                    && p.crc == crc
+                    && p.next_seq == seq =>
+            {
+                p.data.extend_from_slice(&data);
+                p.next_seq += 1;
+                // Final chunk doubles as the digest frame: verify the
+                // assembled blob before the closing SyncLog trusts it.
+                !p.complete() || dufs_net::crc32(&p.data) == crc
+            }
+            _ => false,
+        };
+        if !ok {
+            self.pending_snap = None;
+            self.request_resync(from, out);
+        }
+    }
+
+    /// Drop back to unsynced and re-run the FollowerInfo handshake with the
+    /// current leader (a sync transfer arrived damaged or incomplete).
+    fn request_resync(&mut self, leader: PeerId, out: &mut Vec<ZabAction<T>>) {
+        self.role = Role::Following { leader, synced: false };
+        out.push(ZabAction::Send {
+            to: leader,
+            msg: ZabMsg::FollowerInfo {
+                last_zxid: self.last_zxid(),
+                accepted_epoch: self.accepted_epoch,
+            },
+        });
     }
 
     fn on_ack_sync(&mut self, from: PeerId, epoch: u32, out: &mut Vec<ZabAction<T>>) {
@@ -1314,6 +1470,7 @@ mod tests {
                 entries: vec![],
                 commit_to: Zxid::ZERO,
                 reset: false,
+                snap_chunks: 0,
             },
         );
         assert_eq!(f.role(), Role::Following { leader, synced: true });
@@ -1343,6 +1500,7 @@ mod tests {
                 entries: vec![],
                 commit_to: Zxid::ZERO,
                 reset: false,
+                snap_chunks: 0,
             },
         );
         f.on_message(leader, ZabMsg::Propose { zxid: Zxid::new(1, 1), txns: vec![10] });
@@ -1373,6 +1531,7 @@ mod tests {
                 entries: vec![],
                 commit_to: Zxid::ZERO,
                 reset: false,
+                snap_chunks: 0,
             },
         );
         // Generations: join armed gen 1, sync armed gen 2. A stale fire
@@ -1514,6 +1673,7 @@ mod tests {
                 entries: vec![(Zxid::new(514, 8), 42)],
                 commit_to: Zxid::new(514, 8),
                 reset: true,
+                snap_chunks: 0,
             },
         );
         assert!(acts.iter().any(|a| matches!(
@@ -1528,6 +1688,193 @@ mod tests {
         let acts = f.on_restart();
         assert!(acts.iter().any(|a| matches!(a, ZabAction::RestoreSnapshot { .. })));
         assert!(acts.iter().any(|a| matches!(a, ZabAction::Deliver { txn: 42, .. })));
+    }
+
+    /// A follower of `leader` that has adopted it via an established hint
+    /// but not yet synced (for driving sync transfers by hand).
+    fn adopted_follower(leader: PeerId) -> P {
+        let (mut f, _) = ZabPeer::<u32>::new(PeerId(1), EnsembleConfig::of_size(3));
+        let v = Vote { candidate: leader, candidate_zxid: Zxid::ZERO, round: 1 };
+        f.on_message(PeerId(2), ZabMsg::Notification { vote: v, established: Some(leader) });
+        assert_eq!(f.role(), Role::Following { leader, synced: false });
+        f
+    }
+
+    #[test]
+    fn large_snapshot_streams_in_chunks_and_follower_assembles() {
+        use bytes::Bytes;
+        let zcfg = ZabConfig::default().with_snap_chunk_bytes(8);
+        let (mut l, _) = ZabPeer::new_with_config(PeerId(0), EnsembleConfig::of_size(1), zcfg);
+        for i in 0..5 {
+            l.propose(i).unwrap();
+        }
+        let blob: Vec<u8> = (0..20u8).collect(); // 20 bytes -> 3 chunks of <= 8
+        l.install_snapshot(Zxid::new(256, 3), Bytes::from(blob.clone()));
+        let acts = l.on_message(
+            PeerId(1),
+            ZabMsg::FollowerInfo { last_zxid: Zxid::ZERO, accepted_epoch: 0 },
+        );
+        let msgs: Vec<_> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ZabAction::Send { to: PeerId(1), msg } => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(msgs.len(), 4, "3 chunks + closing SyncLog: {msgs:?}");
+        for (i, m) in msgs[..3].iter().enumerate() {
+            match m {
+                ZabMsg::SnapChunk { seq, total, zxid, data, .. } => {
+                    assert_eq!(*seq, i as u32);
+                    assert_eq!(*total, 3);
+                    assert_eq!(*zxid, Zxid::new(256, 3));
+                    assert_eq!(data.len(), if i < 2 { 8 } else { 4 });
+                }
+                other => panic!("expected SnapChunk, got {other:?}"),
+            }
+        }
+        match &msgs[3] {
+            ZabMsg::SyncLog { snapshot, reset, snap_chunks, .. } => {
+                assert!(snapshot.is_none(), "blob travelled as chunks, not inline");
+                assert!(reset);
+                assert_eq!(*snap_chunks, 3);
+            }
+            other => panic!("expected closing SyncLog, got {other:?}"),
+        }
+
+        // The follower assembles the stream and installs the full blob.
+        let mut f = adopted_follower(PeerId(0));
+        let mut all = Vec::new();
+        for m in msgs {
+            all.extend(f.on_message(PeerId(0), m));
+        }
+        assert!(all.iter().any(|a| matches!(
+            a,
+            ZabAction::RestoreSnapshot { zxid, blob: b }
+                if *zxid == Zxid::new(256, 3) && b[..] == blob[..]
+        )));
+        assert!(all
+            .iter()
+            .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::AckSync { .. }, .. })));
+        assert_eq!(f.role(), Role::Following { leader: PeerId(0), synced: true });
+        assert_eq!(f.snapshot_zxid(), Zxid::new(256, 3));
+    }
+
+    #[test]
+    fn follower_joining_mid_stream_rerequests_sync() {
+        use bytes::Bytes;
+        let leader = PeerId(0);
+        let mut f = adopted_follower(leader);
+        let crc = dufs_net::crc32(&[1, 2, 3, 4]);
+        // First chunk seen is seq 1: the start of the stream was missed.
+        let acts = f.on_message(
+            leader,
+            ZabMsg::SnapChunk {
+                epoch: 256,
+                zxid: Zxid::new(256, 2),
+                seq: 1,
+                total: 2,
+                crc,
+                data: Bytes::from_static(&[3, 4]),
+            },
+        );
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })),
+            "mid-stream join must re-request the sync: {acts:?}"
+        );
+        // The leader re-sends from the top; this time the stream completes.
+        for (seq, part) in [&[1u8, 2][..], &[3, 4][..]].iter().enumerate() {
+            let acts = f.on_message(
+                leader,
+                ZabMsg::SnapChunk {
+                    epoch: 256,
+                    zxid: Zxid::new(256, 2),
+                    seq: seq as u32,
+                    total: 2,
+                    crc,
+                    data: Bytes::copy_from_slice(part),
+                },
+            );
+            assert!(acts.is_empty(), "clean chunks produce no actions: {acts:?}");
+        }
+        let acts = f.on_message(
+            leader,
+            ZabMsg::SyncLog {
+                epoch: 256,
+                snapshot: None,
+                entries: vec![],
+                commit_to: Zxid::new(256, 2),
+                reset: true,
+                snap_chunks: 2,
+            },
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            ZabAction::RestoreSnapshot { blob, .. } if blob[..] == [1, 2, 3, 4]
+        )));
+        assert_eq!(f.role(), Role::Following { leader, synced: true });
+    }
+
+    #[test]
+    fn corrupt_or_incomplete_chunk_stream_never_applies() {
+        use bytes::Bytes;
+        let leader = PeerId(0);
+        let mut f = adopted_follower(leader);
+        let crc = dufs_net::crc32(&[1, 2, 3, 4]);
+        f.on_message(
+            leader,
+            ZabMsg::SnapChunk {
+                epoch: 256,
+                zxid: Zxid::new(256, 2),
+                seq: 0,
+                total: 2,
+                crc,
+                data: Bytes::from_static(&[1, 2]),
+            },
+        );
+        // Final chunk carries damaged bytes: the digest check must reject
+        // the assembled blob and re-request the sync.
+        let acts = f.on_message(
+            leader,
+            ZabMsg::SnapChunk {
+                epoch: 256,
+                zxid: Zxid::new(256, 2),
+                seq: 1,
+                total: 2,
+                crc,
+                data: Bytes::from_static(&[3, 9]),
+            },
+        );
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })),
+            "digest mismatch must re-request: {acts:?}"
+        );
+        // The closing SyncLog finds no assembled snapshot: it must NOT be
+        // applied as a plain reset (that would install a hole); instead the
+        // follower stays unsynced and asks again.
+        let acts = f.on_message(
+            leader,
+            ZabMsg::SyncLog {
+                epoch: 256,
+                snapshot: None,
+                entries: vec![],
+                commit_to: Zxid::new(256, 2),
+                reset: true,
+                snap_chunks: 2,
+            },
+        );
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, ZabAction::ResetState | ZabAction::RestoreSnapshot { .. })));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::AckSync { .. }, .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ZabAction::Send { msg: ZabMsg::FollowerInfo { .. }, .. })));
+        assert_eq!(f.role(), Role::Following { leader, synced: false });
     }
 
     #[test]
@@ -1683,6 +2030,7 @@ mod tests {
                 entries: vec![],
                 commit_to: Zxid::ZERO,
                 reset: false,
+                snap_chunks: 0,
             },
         );
 
@@ -1791,6 +2139,7 @@ mod tests {
                 entries: vec![(Zxid::new(256, 1), 10), (Zxid::new(256, 2), 20)],
                 commit_to: Zxid::new(256, 2),
                 reset: false,
+                snap_chunks: 0,
             },
         );
         assert_eq!(obs.committed(), Zxid::new(256, 2));

@@ -35,6 +35,12 @@ pub enum ZkError {
     /// magic, truncation, codec damage or digest mismatch. Recovery must
     /// fall back to an older checkpoint rather than load a wrong tree.
     CorruptSnapshot,
+    /// The transport link to the server dropped mid-request (socket reset,
+    /// handshake failure, frame corruption). Like [`ZkError::ConnectionLoss`]
+    /// this is retryable — the client reconnects (possibly to another
+    /// server) and resubmits; the outcome of the in-flight request is
+    /// unknown, so resubmission must be idempotent-safe.
+    Net,
 }
 
 impl fmt::Display for ZkError {
@@ -50,6 +56,7 @@ impl fmt::Display for ZkError {
             ZkError::ConnectionLoss => "connection loss",
             ZkError::RootReadOnly => "root is read-only",
             ZkError::CorruptSnapshot => "corrupt snapshot",
+            ZkError::Net => "network error",
         };
         f.write_str(s)
     }

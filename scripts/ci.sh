@@ -22,9 +22,33 @@ cargo test -q --workspace
 # The WAL corruption/recovery suite re-runs in release: torn-tail and
 # fault-injection proptests exercise different code paths once the
 # optimizer folds the framing code, and the 200-seed sweeps are slow
-# enough in debug that they'd otherwise get trimmed.
-echo "==> cargo test -q --release -p dufs-wal -p dufs-coord"
+# enough in debug that they'd otherwise get trimmed. This also rebuilds
+# the coord_server binary in release and runs the socket-backed suites:
+# wire-codec proptests, the TCP e2e (ThreadCluster-vs-TcpCluster digest
+# parity + NetStats non-zero), and the out-of-process kill-9 recovery
+# harness (SIGKILL one member, then the whole ensemble; recovered
+# namespace must match an uncrashed control).
+echo "==> cargo build --release -p dufs-coord --bin coord_server"
+cargo build --release -p dufs-coord --bin coord_server
+echo "==> cargo test -q --release -p dufs-wal -p dufs-coord (incl. tcp_e2e + kill9_recovery)"
 cargo test -q --release -p dufs-wal -p dufs-coord
+
+# Cross-runtime mdtest digest parity on a live cluster: the same workload
+# through in-process channels and through durable loopback sockets must
+# converge on the identical namespace digest.
+echo "==> mdtest live digest parity (thread vs tcp --durable)"
+cargo build --release -p dufs-mdtest --bin mdtest_sim
+d_thread=$(target/release/mdtest_sim --live thread --procs 4 --items 10 --zk 3 | grep -o 'digest 0x[0-9a-f]*')
+d_tcp=$(target/release/mdtest_sim --live tcp --durable --net-stats --procs 4 --items 10 --zk 3 | tee /dev/stderr | grep -o 'digest 0x[0-9a-f]*')
+if [ "$d_thread" != "$d_tcp" ] || [ -z "$d_thread" ]; then
+    echo "FAIL: live mdtest digest mismatch (thread: ${d_thread:-none}, tcp: ${d_tcp:-none})" >&2
+    exit 1
+fi
+echo "    parity OK: $d_thread"
+
+# Loopback transport sweep (asserts the depth-K pipelining gain inside).
+echo "==> bench_net loopback sweep -> results/BENCH_net.json"
+cargo run --release -q -p dufs-bench --bin bench_net
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
