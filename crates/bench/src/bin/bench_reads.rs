@@ -1,0 +1,266 @@
+//! Follower read scale-out benchmark (the paper's Fig 7d property, measured
+//! on the real TCP runtime instead of the simulator).
+//!
+//! ZooKeeper-style ensembles serve reads from whichever replica a session
+//! is connected to; only writes funnel through the leader. So aggregate
+//! read throughput should *rise* with ensemble size when sessions spread
+//! across the members, while pinning every session to the leader gains
+//! nothing from extra servers. This sweep measures exactly that contrast:
+//! a fixed pool of reader sessions, each doing `get_data` round-robin over
+//! a preloaded namespace, in two placements —
+//!
+//! * **leader-only** — every session at the leader (the scale-out OFF
+//!   baseline);
+//! * **follower-local** — session `i` pinned to member `i % n`, reads
+//!   served replica-locally after one `sync` barrier
+//!   ([`ReadConsistency::SyncThenLocal`]) makes the preload visible.
+//!
+//! The measurement runs under write pressure (background sessions creating
+//! znodes through the leader for the whole read window), because that is
+//! where the architecture differs: each server is one event loop, so a read
+//! pinned to the leader waits in line behind proposal/ack/commit traffic,
+//! while a follower-local read only waits behind the (batched, cheap)
+//! commit application on its replica. Even on a single core — where no
+//! placement can mint extra CPU — that queueing asymmetry is real and is
+//! exactly the serialization the paper's read scale-out argument removes.
+//!
+//! The headline gate: at 5 servers, follower-local must beat leader-only.
+//! Emits `results/BENCH_reads.json`. `--smoke` shrinks the op counts (CI);
+//! `FULL=1` grows them 5x.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use dufs_bench::{fmt_ops, full_scale, Table};
+use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency, Watch, ZkRequest};
+use dufs_zkstore::CreateMode;
+
+const READERS: usize = 8;
+const WRITERS: usize = 2;
+const PRELOAD: usize = 64;
+
+struct Cell {
+    servers: usize,
+    mode: &'static str,
+    ops: u64,
+    ops_per_sec: f64,
+}
+
+/// One measured placement: `READERS` sessions, session `i` at
+/// `placement(i)`, each reading `ops_per_reader` times round-robin over the
+/// preloaded paths, while `WRITERS` background sessions keep the leader's
+/// event loop busy with creates. Returns aggregate *read* throughput.
+fn run_mode(
+    cluster: &dufs_coord::TcpCluster,
+    servers: usize,
+    leader: usize,
+    mode: &'static str,
+    placement: impl Fn(usize) -> usize,
+    paths: &[String],
+    ops_per_reader: usize,
+) -> Cell {
+    let mut sessions: Vec<_> = (0..READERS)
+        .map(|i| {
+            let mut c = cluster
+                .client(
+                    ClientOptions::at(placement(i))
+                        .with_consistency(ReadConsistency::SyncThenLocal),
+                )
+                .expect("reader session");
+            // One barrier up front: the replica is current w.r.t. the
+            // preload, after which every read is replica-local.
+            c.sync().expect("barrier");
+            c
+        })
+        .collect();
+
+    // Write pressure for the whole read window: pipelined sessions keep a
+    // deep backlog of creates queued at the leader (`submit` is the
+    // zoo_acreate-style async API, so each writer holds `DEPTH` proposals
+    // in flight, not one). All placements face the same churn; only where
+    // the readers queue differs.
+    const DEPTH: usize = 32;
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let stop = stop.clone();
+            let mut c = cluster.client(ClientOptions::at(leader)).expect("writer session");
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                let mut inflight = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    while inflight < DEPTH {
+                        c.submit(ZkRequest::Create {
+                            path: format!("/churn-{mode}-{w}-{i}"),
+                            data: Bytes::from_static(b"w"),
+                            mode: CreateMode::Persistent,
+                        });
+                        i += 1;
+                        inflight += 1;
+                    }
+                    c.next_completion().expect("churn ack");
+                    inflight -= 1;
+                }
+                while inflight > 0 && c.next_completion().is_some() {
+                    inflight -= 1;
+                }
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    let handles: Vec<_> = sessions
+        .drain(..)
+        .enumerate()
+        .map(|(i, mut c)| {
+            let paths: Vec<String> = paths.to_vec();
+            std::thread::spawn(move || {
+                for k in 0..ops_per_reader {
+                    let p = &paths[(i + k) % paths.len()];
+                    c.get_data(p, Watch::None).expect("read");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("reader thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    let ops = (READERS * ops_per_reader) as u64;
+    Cell { servers, mode, ops, ops_per_sec: ops as f64 / elapsed }
+}
+
+fn write_json(path: &str, ops_per_reader: usize, cells: &[Cell], gain5: f64) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"benchmark\": \"reads\",");
+    let _ = writeln!(
+        j,
+        "  \"workload\": \"{READERS} sessions x {ops_per_reader} get_data over {PRELOAD} znodes \
+         under {WRITERS}-session write churn, TCP runtime, SyncThenLocal\","
+    );
+    let _ = writeln!(j, "  \"readers\": {READERS},");
+    let _ = writeln!(j, "  \"writers\": {WRITERS},");
+    let _ = writeln!(j, "  \"ops_per_reader\": {ops_per_reader},");
+    let _ = writeln!(j, "  \"scaleout_gain_at_5\": {gain5:.2},");
+    j.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"servers\": {}, \"mode\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.1}}}",
+            c.servers, c.mode, c.ops, c.ops_per_sec
+        );
+        j.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, &j) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ops_per_reader = if smoke {
+        300
+    } else if full_scale() {
+        10_000
+    } else {
+        2_000
+    };
+    let trials = if smoke { 1 } else { 3 };
+    let ensembles = [1usize, 3, 5];
+
+    println!(
+        "follower read scale-out: {READERS} reader sessions x {ops_per_reader} reads under \
+         {WRITERS}-session write churn, ensembles {ensembles:?}, median of {trials}{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut cells = Vec::new();
+    for &n in &ensembles {
+        // A fresh ensemble per trial: the churn writers grow the namespace,
+        // so sharing one cluster across modes would hand the second mode a
+        // bigger tree than the first. Median-of-N because a shared box's
+        // scheduler noise swamps single trials (and a max would crown freak
+        // trials where the churn stalled and reads flew).
+        for mode in ["leader-only", "follower-local"] {
+            let mut samples: Vec<Cell> = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let cluster = ClusterBuilder::new().voters(n).tcp();
+                let leader = cluster
+                    .await_leader(std::time::Duration::from_secs(30))
+                    .expect("leader elected");
+
+                let mut w = cluster.client(ClientOptions::at(leader)).expect("preload session");
+                let paths: Vec<String> = (0..PRELOAD).map(|i| format!("/read/f{i:03}")).collect();
+                match w.create("/read", Bytes::new(), CreateMode::Persistent) {
+                    Ok(_) => {}
+                    Err(e) => panic!("preload mkdir: {e:?}"),
+                }
+                for p in &paths {
+                    w.create(
+                        p,
+                        Bytes::from(format!("data-{p}").into_bytes()),
+                        CreateMode::Persistent,
+                    )
+                    .expect("preload create");
+                }
+
+                let placement: Box<dyn Fn(usize) -> usize> = if mode == "leader-only" {
+                    Box::new(move |_| leader)
+                } else {
+                    Box::new(move |i| i % n)
+                };
+                let cell = run_mode(&cluster, n, leader, mode, placement, &paths, ops_per_reader);
+                cluster.shutdown();
+                samples.push(cell);
+            }
+            samples.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+            cells.push(samples.swap_remove(samples.len() / 2));
+        }
+    }
+
+    let mut t = Table::new(vec!["servers", "mode", "reads/sec"]);
+    for c in &cells {
+        t.row(vec![c.servers.to_string(), c.mode.to_string(), fmt_ops(c.ops_per_sec)]);
+    }
+    t.print();
+
+    let pick = |n: usize, m: &str| {
+        cells.iter().find(|c| c.servers == n && c.mode == m).unwrap().ops_per_sec
+    };
+    let gain5 = pick(5, "follower-local") / pick(5, "leader-only").max(f64::MIN_POSITIVE);
+    println!(
+        "\n5 servers: spreading sessions across followers moves {:.2}x the reads of \
+         pinning them all to the leader",
+        gain5
+    );
+    if smoke {
+        // Smoke is CI's plumbing check: every placement must complete reads
+        // on every ensemble size. The scale-out comparison needs the full
+        // op counts to rise above scheduler noise, so it only gates the
+        // full run (whose JSON is the checked-in artifact).
+        assert!(
+            cells.iter().all(|c| c.ops_per_sec > 0.0),
+            "smoke: some placement served no reads: {:?}",
+            cells.iter().map(|c| (c.servers, c.mode, c.ops_per_sec)).collect::<Vec<_>>()
+        );
+        println!("smoke OK (scale-out gate runs at full op counts)");
+    } else {
+        assert!(
+            gain5 > 1.0,
+            "follower-local reads at 5 servers must beat the leader-only baseline \
+             (got {gain5:.2}x)"
+        );
+        write_json("results/BENCH_reads.json", ops_per_reader, &cells, gain5);
+    }
+}

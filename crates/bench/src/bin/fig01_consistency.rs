@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use dufs_coord::ThreadCluster;
+use dufs_coord::{ClientOptions, ClusterBuilder};
 use dufs_zkstore::{CreateMode, DataTree, MultiOp};
 
 fn naive_apply(order: &[&str], tree: &mut DataTree) {
@@ -69,10 +69,10 @@ fn main() {
     // --- With the coordination service: the same two operations from two
     // clients connected to different servers; the leader totally orders
     // them and every replica applies the same sequence.
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
-    let mut c1 = cluster.client(0);
-    let mut c2 = cluster.client(1);
+    let mut c1 = cluster.client(ClientOptions::at(0)).unwrap();
+    let mut c2 = cluster.client(ClientOptions::at(1)).unwrap();
 
     let h1 = std::thread::spawn(move || {
         let _ = c1.create("/d1", Bytes::new(), CreateMode::Persistent);

@@ -6,6 +6,102 @@ use bytes::Bytes;
 
 use dufs_zkstore::{CreateMode, MultiOp, MultiResult, Stat, ZkError};
 
+/// Whether a read should leave a one-shot watch behind — the typed form of
+/// ZooKeeper's `watch` flag, taken by [`crate::ZkClient::get_data`],
+/// [`crate::ZkClient::exists`] and [`crate::ZkClient::get_children`] so
+/// read options compose with [`ReadConsistency`] instead of accumulating
+/// bare booleans. (On the wire it still travels as the classic one byte.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Watch {
+    /// Plain read; no watch registered.
+    #[default]
+    None,
+    /// Register a one-shot watch at the serving replica.
+    Set,
+}
+
+impl Watch {
+    /// The wire/bool form.
+    pub fn is_set(self) -> bool {
+        matches!(self, Watch::Set)
+    }
+}
+
+impl From<bool> for Watch {
+    fn from(set: bool) -> Self {
+        if set {
+            Watch::Set
+        } else {
+            Watch::None
+        }
+    }
+}
+
+/// How strongly a [`crate::ZkClient`]'s reads are ordered against writes.
+///
+/// Every replica serves reads from its own committed tree (the paper's read
+/// scale-out property, Fig 7d), which is *sequentially consistent*: a
+/// replica may lag the leader, so a freshly-acked write by *another* client
+/// — or by this client before a failover to a lagging replica — may not be
+/// visible yet. The levels trade read latency for recency:
+///
+/// | Level | Barrier | Guarantee |
+/// |-------|---------|-----------|
+/// | `Local` | never | sequential consistency only |
+/// | `SyncThenLocal` | after own writes / reconnects | read-your-writes |
+/// | `Linearizable` | before every read | real-time ordering |
+///
+/// The barrier is [`crate::ZkClient::sync`]: a no-op proposal through ZAB
+/// whose response proves this replica has applied everything committed
+/// before the barrier was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadConsistency {
+    /// Serve reads straight from the connected replica — fastest, may be
+    /// stale. ZooKeeper's default behaviour.
+    #[default]
+    Local,
+    /// `sync` before a read whenever this client has written (or switched
+    /// replica) since its last barrier: local reads, upgraded to
+    /// read-your-writes exactly when staleness could be observed.
+    SyncThenLocal,
+    /// `sync` before *every* read: each read reflects all writes committed
+    /// before it was issued, at one ZAB round of extra latency.
+    Linearizable,
+}
+
+/// Options for opening a client session against a cluster —
+/// `ThreadCluster::client` and `TcpCluster::client` take the same struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientOptions {
+    /// Index of the member the session first connects to.
+    pub server: usize,
+    /// Fail over to the other members when that server dies; `false` pins
+    /// the session (a dead server then surfaces as `ConnectionLoss`).
+    pub failover: bool,
+    /// Read-recency level for this session's read methods.
+    pub consistency: ReadConsistency,
+}
+
+impl ClientOptions {
+    /// A session pinned to member `server` with [`ReadConsistency::Local`]
+    /// reads — the common test shape.
+    pub fn at(server: usize) -> Self {
+        ClientOptions { server, ..Default::default() }
+    }
+
+    /// Enable failover across the whole ensemble (starting at `server`).
+    pub fn with_failover(mut self) -> Self {
+        self.failover = true;
+        self
+    }
+
+    /// Select the read-recency level.
+    pub fn with_consistency(mut self, consistency: ReadConsistency) -> Self {
+        self.consistency = consistency;
+        self
+    }
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ZkRequest {
@@ -73,8 +169,10 @@ pub enum ZkRequest {
         /// Operations, applied all-or-nothing.
         ops: Vec<MultiOp>,
     },
-    /// Flush this server up to the leader's current commit point, so a
-    /// subsequent local read observes everything committed before the sync.
+    /// Barrier: a no-op transaction proposed through ZAB. By total order,
+    /// when it applies at the serving replica, that replica has applied
+    /// everything committed before the barrier — so a subsequent local
+    /// read observes all of it.
     Sync,
     /// Session liveness ping (also returns the server's applied zxid, which
     /// doubles as a cheap progress probe in tests).
@@ -180,6 +278,20 @@ mod tests {
         }
         .is_read());
         assert!(!ZkRequest::Multi { ops: vec![] }.is_read());
+    }
+
+    #[test]
+    fn watch_and_options_compose() {
+        assert!(Watch::Set.is_set());
+        assert!(!Watch::None.is_set());
+        assert_eq!(Watch::from(true), Watch::Set);
+        assert_eq!(Watch::default(), Watch::None);
+        let opts =
+            ClientOptions::at(2).with_failover().with_consistency(ReadConsistency::SyncThenLocal);
+        assert_eq!(opts.server, 2);
+        assert!(opts.failover);
+        assert_eq!(opts.consistency, ReadConsistency::SyncThenLocal);
+        assert_eq!(ClientOptions::default().consistency, ReadConsistency::Local);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! One builder for every ensemble shape — the single entry point that
+//! replaced the six `start*` constructors that had accreted on
+//! [`ThreadCluster`] and [`crate::tcp::TcpCluster`].
+//!
+//! ```
+//! use dufs_coord::cluster::ClusterBuilder;
+//!
+//! let cluster = ClusterBuilder::new().voters(3).threads();
+//! # cluster.shutdown();
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use dufs_net::NetConfig;
+use dufs_zab::ZabConfig;
+
+use crate::runtime::ThreadCluster;
+use crate::tcp::TcpCluster;
+
+/// Builder for a coordination ensemble. Configure the membership and
+/// tuning, then pick a runtime with [`ClusterBuilder::threads`]
+/// (in-process, crossbeam channels) or [`ClusterBuilder::tcp`] (real
+/// sockets on localhost).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterBuilder {
+    voters: Option<usize>,
+    observers: usize,
+    zab: ZabConfig,
+    net: NetConfig,
+    wal_dir: Option<PathBuf>,
+}
+
+impl ClusterBuilder {
+    /// A builder for the default shape: 3 voters, no observers, default
+    /// group-commit tuning, volatile state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of voting servers (default 3).
+    pub fn voters(mut self, n: usize) -> Self {
+        self.voters = Some(n);
+        self
+    }
+
+    /// Number of non-voting read replicas, with ids
+    /// `voters..voters+observers` (default 0).
+    pub fn observers(mut self, n: usize) -> Self {
+        self.observers = n;
+        self
+    }
+
+    /// Group-commit tuning for the write path (default
+    /// [`ZabConfig::default`], i.e. no batching).
+    pub fn zab(mut self, zab: ZabConfig) -> Self {
+        self.zab = zab;
+        self
+    }
+
+    /// Socket tuning for the TCP runtime. Ignored by
+    /// [`ClusterBuilder::threads`], which has no sockets.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Make the ensemble durable: each server runs a file-backed
+    /// write-ahead log under `dir/server-<id>` and fsyncs every replicated
+    /// batch before acknowledging it. An ensemble started over an existing
+    /// directory recovers its state from disk (newest valid checkpoint +
+    /// log-tail replay).
+    pub fn durable(mut self, dir: impl AsRef<Path>) -> Self {
+        self.wal_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Start the ensemble on OS threads with in-process channel networking
+    /// — the runtime used by examples and functional tests.
+    pub fn threads(self) -> ThreadCluster {
+        ThreadCluster::start_inner(self.voters.unwrap_or(3), self.observers, self.zab, self.wal_dir)
+    }
+
+    /// Start the ensemble as TCP servers on ephemeral localhost ports —
+    /// real sockets, real framing, the runtime the network benchmarks use.
+    pub fn tcp(self) -> TcpCluster {
+        TcpCluster::start_inner(
+            self.voters.unwrap_or(3),
+            self.observers,
+            self.zab,
+            self.net,
+            self.wal_dir,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_three_volatile_voters() {
+        let b = ClusterBuilder::new();
+        assert_eq!(b.voters, None);
+        assert_eq!(b.observers, 0);
+        assert!(b.wal_dir.is_none());
+    }
+
+    #[test]
+    fn builder_composes() {
+        let b = ClusterBuilder::new()
+            .voters(5)
+            .observers(2)
+            .zab(ZabConfig::batched(8, 2))
+            .durable("/tmp/never-started");
+        assert_eq!(b.voters, Some(5));
+        assert_eq!(b.observers, 2);
+        assert_eq!(b.wal_dir.as_deref(), Some(Path::new("/tmp/never-started")));
+    }
+}

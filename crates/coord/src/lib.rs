@@ -26,6 +26,7 @@
 //! prototype uses.
 
 pub mod api;
+pub mod cluster;
 pub mod runtime;
 pub mod server;
 pub mod tcp;
@@ -33,7 +34,8 @@ pub mod txn;
 pub mod watch;
 pub mod wire;
 
-pub use api::{ZkRequest, ZkResponse};
+pub use api::{ClientOptions, ReadConsistency, Watch, ZkRequest, ZkResponse};
+pub use cluster::ClusterBuilder;
 pub use runtime::{ChannelTransport, ClientTransport, ThreadCluster, ZkClient};
 pub use server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
 pub use tcp::{remote_status, TcpCluster, TcpTransport, TcpZkClient};

@@ -20,7 +20,7 @@ use dufs_wal::FileStorage;
 use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
 use dufs_zkstore::{CreateMode, MultiOp, MultiResult, Stat, ZkError};
 
-use crate::api::{ZkRequest, ZkResponse};
+use crate::api::{ClientOptions, ReadConsistency, Watch, ZkRequest, ZkResponse};
 use crate::server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
 use crate::watch::WatchNotification;
 
@@ -51,6 +51,9 @@ pub struct ServerStatus {
     pub is_leader: bool,
     /// Raw zxid applied up to.
     pub last_applied: u64,
+    /// Raw zxid the replication layer has committed up to (may run ahead
+    /// of `last_applied` while deliveries drain).
+    pub committed: u64,
     /// Number of znodes in the local replica.
     pub node_count: usize,
     /// Content digest of the local replica.
@@ -82,25 +85,65 @@ pub trait ClientTransport {
     /// nothing arrived (timeout or a link failure — the next `send` will
     /// surface the error / trigger a reconnect).
     fn recv(&mut self, timeout: Duration) -> Option<ClientEvent>;
+
+    /// Called by [`ZkClient::request`]'s retry loop after a transient
+    /// failure, before the next attempt. Transports with a failover list
+    /// move to another server here; pinned transports do nothing.
+    fn on_retry(&mut self) {}
+
+    /// Monotone count of times this transport has switched or
+    /// re-established its server connection. A change means subsequent
+    /// requests may reach a *different* (possibly lagging) replica —
+    /// [`ReadConsistency::SyncThenLocal`] re-barriers on it.
+    fn reconnects(&self) -> u64 {
+        0
+    }
 }
 
-/// In-process transport: one crossbeam channel pair to a
-/// [`ThreadCluster`] server thread.
+/// In-process transport: crossbeam channels to [`ThreadCluster`] server
+/// threads. Holds every member's inbox; with failover enabled, a failed
+/// request re-registers the session's event channel at the next member.
 pub struct ChannelTransport {
     client: ClientId,
-    server: Sender<Envelope>,
+    servers: Vec<Sender<Envelope>>,
+    cursor: usize,
+    failover: bool,
+    events_tx: Sender<ClientEvent>,
     events: Receiver<ClientEvent>,
+    reconnects: u64,
+}
+
+impl ChannelTransport {
+    fn register(&self) {
+        let _ = self.servers[self.cursor]
+            .send(Envelope::Register { client: self.client, events: self.events_tx.clone() });
+    }
 }
 
 impl ClientTransport for ChannelTransport {
     fn send(&mut self, req_id: u64, session: u64, req: ZkRequest) -> Result<(), ZkError> {
-        self.server
+        self.servers[self.cursor]
             .send(Envelope::Client { client: self.client, req_id, session, req })
             .map_err(|_| ZkError::ConnectionLoss)
     }
 
     fn recv(&mut self, timeout: Duration) -> Option<ClientEvent> {
         self.events.recv_timeout(timeout).ok()
+    }
+
+    fn on_retry(&mut self) {
+        // A crashed thread-cluster server silently swallows requests (the
+        // channel stays open), so the only failover signal is the timeout
+        // that brought us here: move to the next member and re-register.
+        if self.failover && self.servers.len() > 1 {
+            self.cursor = (self.cursor + 1) % self.servers.len();
+            self.reconnects += 1;
+            self.register();
+        }
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 }
 
@@ -114,43 +157,21 @@ pub struct ThreadCluster {
 
 impl ThreadCluster {
     /// Start an ensemble of `n` voting servers.
+    #[deprecated(note = "use ClusterBuilder::new().voters(n).threads()")]
     pub fn start(n: usize) -> Self {
-        Self::start_with_observers(n, 0)
+        Self::start_inner(n, 0, ZabConfig::default(), None)
     }
 
-    /// Start `voters` voting servers plus `observers` non-voting read
-    /// replicas (ids `voters..voters+observers`).
-    pub fn start_with_observers(voters: usize, observers: usize) -> Self {
-        Self::start_full(voters, observers, ZabConfig::default())
-    }
-
-    /// Start an ensemble of `n` voting servers with explicit group-commit
-    /// tuning for the write path.
-    pub fn start_with_config(n: usize, zab: ZabConfig) -> Self {
-        Self::start_full(n, 0, zab)
-    }
-
-    /// Start `voters` + `observers` servers with explicit group-commit
-    /// tuning.
-    pub fn start_full(voters: usize, observers: usize, zab: ZabConfig) -> Self {
-        Self::start_inner(voters, observers, zab, None)
-    }
-
-    /// Start a *durable* ensemble: each server runs a file-backed
-    /// write-ahead log under `dir/server-<id>` and fsyncs every replicated
-    /// batch before acknowledging it. A server restarted after a crash —
-    /// or a whole ensemble started over an existing directory — recovers
-    /// its state from disk (newest valid checkpoint + log-tail replay).
+    /// Start a *durable* ensemble of `n` voting servers: each runs a
+    /// file-backed write-ahead log under `dir/server-<id>` and fsyncs every
+    /// replicated batch before acknowledging it. An ensemble restarted over
+    /// an existing directory recovers its state from disk.
+    #[deprecated(note = "use ClusterBuilder::new().voters(n).durable(dir).threads()")]
     pub fn start_durable(n: usize, dir: impl AsRef<Path>) -> Self {
         Self::start_inner(n, 0, ZabConfig::default(), Some(dir.as_ref().to_path_buf()))
     }
 
-    /// [`ThreadCluster::start_durable`] with explicit group-commit tuning.
-    pub fn start_durable_with_config(n: usize, zab: ZabConfig, dir: impl AsRef<Path>) -> Self {
-        Self::start_inner(n, 0, zab, Some(dir.as_ref().to_path_buf()))
-    }
-
-    fn start_inner(
+    pub(crate) fn start_inner(
         voters: usize,
         observers: usize,
         zab: ZabConfig,
@@ -197,15 +218,25 @@ impl ThreadCluster {
         self.epoch.elapsed().as_nanos() as u64
     }
 
-    /// Open a session against server `server_idx`. Retries while the
-    /// ensemble elects.
-    pub fn client(&self, server_idx: usize) -> ZkClient {
+    /// Open a session per `opts`: first connects to member `opts.server`,
+    /// optionally failing over across the ensemble, with reads served at
+    /// `opts.consistency`. Retries while the ensemble elects.
+    pub fn client(&self, opts: ClientOptions) -> Result<ZkClient, ZkError> {
         let id = self.next_client.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded();
-        let server = self.senders[server_idx].clone();
-        server.send(Envelope::Register { client: id, events: tx }).expect("server alive");
-        let transport = ChannelTransport { client: id, server, events: rx };
-        ZkClient::establish(transport).expect("ensemble failed to accept a session")
+        let transport = ChannelTransport {
+            client: id,
+            servers: self.senders.clone(),
+            cursor: opts.server % self.senders.len(),
+            failover: opts.failover,
+            events_tx: tx,
+            events: rx,
+            reconnects: 0,
+        };
+        transport.register();
+        let mut c = ZkClient::establish(transport)?;
+        c.set_consistency(opts.consistency);
+        Ok(c)
     }
 
     /// Probe one server's status.
@@ -357,6 +388,7 @@ fn server_thread(
                 let _ = reply.send(ServerStatus {
                     is_leader: alive && server.is_leader(),
                     last_applied: server.last_applied(),
+                    committed: server.committed(),
                     node_count: server.tree().node_count(),
                     digest: server.tree().digest(),
                     alive,
@@ -391,6 +423,13 @@ pub struct ZkClient<T: ClientTransport = ChannelTransport> {
     next_req: u64,
     timeout: Duration,
     watches: VecDeque<WatchNotification>,
+    consistency: ReadConsistency,
+    /// Written since the last `sync` barrier — a local read could miss our
+    /// own acked writes if the serving replica lags.
+    dirty: bool,
+    /// Transport reconnect count at the last barrier; a change means we may
+    /// now be talking to a different (possibly lagging) replica.
+    seen_reconnects: u64,
 }
 
 impl<T: ClientTransport> ZkClient<T> {
@@ -403,17 +442,34 @@ impl<T: ClientTransport> ZkClient<T> {
             next_req: 1,
             timeout: Duration::from_secs(5),
             watches: VecDeque::new(),
+            consistency: ReadConsistency::Local,
+            dirty: false,
+            seen_reconnects: 0,
         };
         for _ in 0..300 {
             match c.raw_request(ZkRequest::Connect) {
                 ZkResponse::Connected { session } => {
                     c.session = session;
+                    c.seen_reconnects = c.transport.reconnects();
                     return Ok(c);
                 }
-                _ => std::thread::sleep(Duration::from_millis(100)),
+                _ => {
+                    c.transport.on_retry();
+                    std::thread::sleep(Duration::from_millis(100));
+                }
             }
         }
         Err(ZkError::ConnectionLoss)
+    }
+
+    /// Change this session's read-recency level (see [`ReadConsistency`]).
+    pub fn set_consistency(&mut self, consistency: ReadConsistency) {
+        self.consistency = consistency;
+    }
+
+    /// The session's current read-recency level.
+    pub fn consistency(&self) -> ReadConsistency {
+        self.consistency
     }
 
     /// This client's session id.
@@ -462,6 +518,9 @@ impl<T: ClientTransport> ZkClient<T> {
     /// A session may keep any number of submissions outstanding
     /// (pipelining); callers bound the depth themselves.
     pub fn submit(&mut self, req: ZkRequest) -> u64 {
+        if !req.is_read() {
+            self.dirty = true;
+        }
         let req_id = self.next_req;
         self.next_req += 1;
         let _ = self.transport.send(req_id, self.session, req);
@@ -491,6 +550,11 @@ impl<T: ClientTransport> ZkClient<T> {
     /// socket; the transport reconnects underneath). Idempotence caveats
     /// are the caller's concern, as with real ZooKeeper.
     pub fn request(&mut self, req: ZkRequest) -> ZkResponse {
+        if !req.is_read() {
+            // Conservative: mark dirty before the send, so a write whose ack
+            // we lose still forces a barrier before the next local read.
+            self.dirty = true;
+        }
         let mut last = ZkError::ConnectionLoss;
         for attempt in 0..8 {
             let resp = self.raw_request(req.clone());
@@ -498,9 +562,41 @@ impl<T: ClientTransport> ZkClient<T> {
                 Some(e @ (ZkError::ConnectionLoss | ZkError::Net)) => last = e,
                 _ => return resp,
             }
+            self.transport.on_retry();
             std::thread::sleep(Duration::from_millis(50 << attempt.min(4)));
         }
         ZkResponse::Error(last)
+    }
+
+    /// Issue a read at this session's [`ReadConsistency`] level, inserting
+    /// a [`ZkClient::sync`] barrier when the level requires one. If the
+    /// transport fails over mid-read, the answer may have come from a
+    /// replica the barrier never covered — re-barrier and re-read.
+    fn read_request(&mut self, req: ZkRequest) -> ZkResponse {
+        if self.consistency == ReadConsistency::Local {
+            return self.request(req);
+        }
+        let mut resp = ZkResponse::Error(ZkError::ConnectionLoss);
+        for _ in 0..4 {
+            let need = match self.consistency {
+                ReadConsistency::Linearizable => true,
+                ReadConsistency::SyncThenLocal => {
+                    self.dirty || self.transport.reconnects() != self.seen_reconnects
+                }
+                ReadConsistency::Local => false,
+            };
+            if need {
+                if let Err(e) = self.sync() {
+                    return ZkResponse::Error(e);
+                }
+            }
+            let rc = self.transport.reconnects();
+            resp = self.request(req.clone());
+            if self.transport.reconnects() == rc {
+                return resp;
+            }
+        }
+        resp
     }
 
     /// `zoo_create`: returns the actual created path.
@@ -533,16 +629,16 @@ impl<T: ClientTransport> ZkClient<T> {
     }
 
     /// `zoo_get`.
-    pub fn get_data(&mut self, path: &str, watch: bool) -> Result<(Bytes, Stat), ZkError> {
-        match self.request(ZkRequest::GetData { path: path.into(), watch }) {
+    pub fn get_data(&mut self, path: &str, watch: Watch) -> Result<(Bytes, Stat), ZkError> {
+        match self.read_request(ZkRequest::GetData { path: path.into(), watch: watch.is_set() }) {
             ZkResponse::Data { data, stat } => Ok((data, stat)),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
     }
 
     /// `zoo_exists`.
-    pub fn exists(&mut self, path: &str, watch: bool) -> Result<Option<Stat>, ZkError> {
-        match self.request(ZkRequest::Exists { path: path.into(), watch }) {
+    pub fn exists(&mut self, path: &str, watch: Watch) -> Result<Option<Stat>, ZkError> {
+        match self.read_request(ZkRequest::Exists { path: path.into(), watch: watch.is_set() }) {
             ZkResponse::ExistsResult(s) => Ok(s),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
@@ -552,9 +648,10 @@ impl<T: ClientTransport> ZkClient<T> {
     pub fn get_children(
         &mut self,
         path: &str,
-        watch: bool,
+        watch: Watch,
     ) -> Result<(Vec<String>, Stat), ZkError> {
-        match self.request(ZkRequest::GetChildren { path: path.into(), watch }) {
+        match self.read_request(ZkRequest::GetChildren { path: path.into(), watch: watch.is_set() })
+        {
             ZkResponse::Children { names, stat } => Ok((names, stat)),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
@@ -563,7 +660,7 @@ impl<T: ClientTransport> ZkClient<T> {
     /// Batched listing: children plus each child's data and stat in one
     /// round trip (the primitive behind DUFS `readdir_plus`).
     pub fn get_children_data(&mut self, path: &str) -> Result<Vec<(String, Bytes, Stat)>, ZkError> {
-        match self.request(ZkRequest::GetChildrenData { path: path.into() }) {
+        match self.read_request(ZkRequest::GetChildrenData { path: path.into() }) {
             ZkResponse::ChildrenData { entries } => Ok(entries),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
@@ -577,10 +674,20 @@ impl<T: ClientTransport> ZkClient<T> {
         }
     }
 
-    /// Flush this client's server up to the leader's commit point.
+    /// Barrier: propose a no-op through ZAB and wait for the serving
+    /// replica to apply it. When it returns, that replica has applied every
+    /// write committed before the barrier was issued (total order), so
+    /// subsequent local reads observe them all.
     pub fn sync(&mut self) -> Result<u64, ZkError> {
         match self.request(ZkRequest::Sync) {
-            ZkResponse::Synced { zxid } => Ok(zxid),
+            ZkResponse::Synced { zxid } => {
+                // Reconnects only advance on send/on_retry, so reading the
+                // counter after the response still describes the replica
+                // that served it.
+                self.dirty = false;
+                self.seen_reconnects = self.transport.reconnects();
+                Ok(zxid)
+            }
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
     }

@@ -50,18 +50,6 @@ pub enum CoordMsg {
         /// Origin-local pending-request tag.
         tag: u64,
     },
-    /// Follower → leader: what is your commit watermark? (`sync`)
-    SyncRequest {
-        /// Requester-local tag.
-        tag: u64,
-    },
-    /// Leader → follower: commit watermark reply.
-    SyncReply {
-        /// Echoed tag.
-        tag: u64,
-        /// The leader's committed zxid (raw).
-        zxid: u64,
-    },
     /// Forward bounced: the receiver is not the leader and knows no better
     /// target. The origin fails the pending request so its client retries.
     ForwardReject {
@@ -207,8 +195,6 @@ pub struct CoordServer {
     /// Write requests originated here, awaiting commit.
     pending: HashMap<u64, Pending>,
     next_tag: u64,
-    /// Sync barriers awaiting local apply progress: (tag, target zxid).
-    pending_syncs: Vec<(u64, u64)>,
     /// Sessions whose clients are connected to this server.
     sessions: HashMap<u64, SessionInfo>,
     next_session: u64,
@@ -253,7 +239,6 @@ impl CoordServer {
             watches: WatchManager::new(),
             pending: HashMap::new(),
             next_tag: 1,
-            pending_syncs: Vec::new(),
             sessions: HashMap::new(),
             next_session: 1,
             last_applied: 0,
@@ -294,7 +279,6 @@ impl CoordServer {
             watches: WatchManager::new(),
             pending: HashMap::new(),
             next_tag,
-            pending_syncs: Vec::new(),
             sessions: HashMap::new(),
             next_session,
             last_applied: 0,
@@ -335,6 +319,11 @@ impl CoordServer {
     /// Raw zxid applied up to.
     pub fn last_applied(&self) -> u64 {
         self.last_applied
+    }
+    /// Raw zxid the replication layer has committed up to (may run ahead
+    /// of [`CoordServer::last_applied`] while deliveries drain).
+    pub fn committed(&self) -> u64 {
+        self.peer.committed().as_u64()
     }
     /// Number of transactions applied.
     pub fn applied_count(&self) -> u64 {
@@ -415,7 +404,6 @@ impl CoordServer {
         self.tree = DataTree::new();
         self.watches = WatchManager::new();
         self.pending.clear();
-        self.pending_syncs.clear();
         self.sessions.clear();
         self.last_applied = 0;
     }
@@ -550,24 +538,13 @@ impl CoordServer {
                     resp: ZkResponse::Pong { zxid: self.last_applied },
                 });
             }
-            // ---- sync: consult the leader's commit watermark ----
+            // ---- sync: a no-op barrier proposed through ZAB ----
+            // The barrier rides the write path (forwarded to the leader
+            // like any mutation) and its response fires in `apply`, once
+            // *this* replica has applied it — and, by total order,
+            // everything committed before it.
             ZkRequest::Sync => {
-                if self.is_leader() {
-                    out.push(ServerOut::Client {
-                        client,
-                        req_id,
-                        resp: ZkResponse::Synced { zxid: self.last_applied },
-                    });
-                } else if let Some(leader) = self.leader_hint() {
-                    let tag = self.alloc_tag(client, req_id);
-                    out.push(ServerOut::Peer { to: leader, msg: CoordMsg::SyncRequest { tag } });
-                } else {
-                    out.push(ServerOut::Client {
-                        client,
-                        req_id,
-                        resp: ZkResponse::Error(ZkError::ConnectionLoss),
-                    });
-                }
+                self.submit_write(now_ns, client, req_id, session, TxnOp::Noop, out);
             }
             // ---- session management (replicated mutations) ----
             ZkRequest::Connect => {
@@ -650,7 +627,14 @@ impl CoordServer {
     ) {
         let tag = self.alloc_tag(client, req_id);
         let txn = Txn { session, op, origin: self.me, tag, time_ns: now_ns };
-        match self.peer.propose(txn.clone()) {
+        // Sync barriers skip group-commit batching: a lone no-op waiting
+        // out the Nagle timer would add flush_ms to every barrier read.
+        let proposed = if matches!(txn.op, TxnOp::Noop) {
+            self.peer.propose_urgent(txn.clone())
+        } else {
+            self.peer.propose(txn.clone())
+        };
+        match proposed {
             Ok(acts) => self.absorb_zab(acts, out),
             Err(e) => {
                 if let Some(leader) = e.leader_hint {
@@ -682,7 +666,14 @@ impl CoordServer {
             }
             CoordMsg::Forward { session, op, origin, tag } => {
                 let txn = Txn { session, op: op.clone(), origin, tag, time_ns: now_ns };
-                match self.peer.propose(txn) {
+                // Forwarded sync barriers flush immediately, same as local
+                // ones in `submit_write`.
+                let proposed = if matches!(txn.op, TxnOp::Noop) {
+                    self.peer.propose_urgent(txn)
+                } else {
+                    self.peer.propose(txn)
+                };
+                match proposed {
                     Ok(acts) => self.absorb_zab(acts, out),
                     Err(e) => {
                         // Not the leader (anymore): pass it along if we know
@@ -705,15 +696,6 @@ impl CoordServer {
                     }
                 }
             }
-            CoordMsg::SyncRequest { tag } => {
-                if self.is_leader() {
-                    out.push(ServerOut::Peer {
-                        to: from,
-                        msg: CoordMsg::SyncReply { tag, zxid: self.peer.committed().as_u64() },
-                    });
-                }
-                // Non-leaders ignore; the requester's client retries.
-            }
             CoordMsg::ForwardReject { tag } => {
                 if let Some(p) = self.pending.remove(&tag) {
                     if p.client != 0 {
@@ -723,19 +705,6 @@ impl CoordServer {
                             resp: ZkResponse::Error(ZkError::ConnectionLoss),
                         });
                     }
-                }
-            }
-            CoordMsg::SyncReply { tag, zxid } => {
-                if self.last_applied >= zxid {
-                    if let Some(p) = self.pending.remove(&tag) {
-                        out.push(ServerOut::Client {
-                            client: p.client,
-                            req_id: p.req_id,
-                            resp: ZkResponse::Synced { zxid: self.last_applied },
-                        });
-                    }
-                } else {
-                    self.pending_syncs.push((tag, zxid));
                 }
             }
         }
@@ -854,7 +823,6 @@ impl CoordServer {
                             });
                         }
                     }
-                    self.pending_syncs.clear();
                 }
             }
         }
@@ -937,7 +905,10 @@ impl CoordServer {
                 }
                 (ZkResponse::Closed, ev)
             }
-            TxnOp::Noop => (ZkResponse::Error(ZkError::ConnectionLoss), Vec::new()),
+            // A sync barrier: nothing to mutate. The response below (at
+            // the origin) proves this replica has applied everything
+            // committed before the barrier.
+            TxnOp::Noop => (ZkResponse::Synced { zxid: z }, Vec::new()),
         };
         self.last_applied = z;
         self.applied_count += 1;
@@ -964,26 +935,6 @@ impl CoordServer {
         if txn.origin == self.me {
             if let Some(p) = self.pending.remove(&txn.tag) {
                 out.push(ServerOut::Client { client: p.client, req_id: p.req_id, resp });
-            }
-        }
-        // Flush sync barriers now satisfied.
-        let applied = self.last_applied;
-        let mut fire = Vec::new();
-        self.pending_syncs.retain(|&(tag, target)| {
-            if applied >= target {
-                fire.push(tag);
-                false
-            } else {
-                true
-            }
-        });
-        for tag in fire {
-            if let Some(p) = self.pending.remove(&tag) {
-                out.push(ServerOut::Client {
-                    client: p.client,
-                    req_id: p.req_id,
-                    resp: ZkResponse::Synced { zxid: applied },
-                });
             }
         }
     }
@@ -1151,6 +1102,55 @@ mod tests {
             ZkResponse::Synced { zxid } => assert_eq!(zxid, s.last_applied()),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn sync_barrier_flushes_group_commit_buffer() {
+        let (mut s, _) = CoordServer::new_with_config(
+            PeerId(0),
+            EnsembleConfig::of_size(1),
+            ZabConfig::batched(8, 50),
+        );
+        assert!(s.is_leader());
+        // A create buffered behind the Nagle timer has no response yet...
+        let out = s.handle(
+            1_000_000,
+            ServerIn::Client {
+                client: 1,
+                req_id: 1,
+                session: 0,
+                req: ZkRequest::Create {
+                    path: "/b".into(),
+                    data: Bytes::new(),
+                    mode: CreateMode::Persistent,
+                },
+            },
+        );
+        assert!(
+            !out.iter().any(|o| matches!(o, ServerOut::Client { .. })),
+            "create still buffered"
+        );
+        // ...until a sync barrier urgently flushes the batch: the create
+        // commits first (total order), then the barrier answers.
+        let out = s.handle(
+            2_000_000,
+            ServerIn::Client { client: 1, req_id: 2, session: 0, req: ZkRequest::Sync },
+        );
+        let resps: Vec<(u64, ZkResponse)> = out
+            .iter()
+            .filter_map(|o| match o {
+                ServerOut::Client { req_id, resp, .. } => Some((*req_id, resp.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resps.len(), 2);
+        assert_eq!(resps[0], (1, ZkResponse::Created { path: "/b".into() }));
+        let (rid, ZkResponse::Synced { zxid }) = resps[1].clone() else {
+            panic!("expected Synced, got {:?}", resps[1]);
+        };
+        assert_eq!(rid, 2);
+        assert_eq!(zxid, s.last_applied(), "the barrier is the newest applied txn");
+        assert_eq!(s.committed(), s.last_applied());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use dufs_wal::FileStorage;
 use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
 use dufs_zkstore::ZkError;
 
-use crate::api::ZkRequest;
+use crate::api::{ClientOptions, ZkRequest};
 use crate::runtime::{ClientEvent, ClientTransport, ServerStatus, ZkClient, TIME_DILATION};
 use crate::server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
 use crate::wire::{ClientFrame, ServerFrame};
@@ -390,6 +390,7 @@ fn tcp_server_loop(
                     let status = ServerStatus {
                         is_leader: server.is_leader(),
                         last_applied: server.last_applied(),
+                        committed: server.committed(),
                         node_count: server.tree().node_count(),
                         digest: server.tree().digest(),
                         alive: true,
@@ -410,34 +411,39 @@ fn tcp_server_loop(
 }
 
 /// A whole coordination ensemble on loopback sockets — the TCP sibling of
-/// [`crate::runtime::ThreadCluster`], same probe/client surface.
+/// [`crate::runtime::ThreadCluster`], same probe/client surface. Members
+/// can be individually [`TcpCluster::stop`]ped (the real failure model:
+/// the process goes away, the address stays in everyone's member list).
 pub struct TcpCluster {
-    servers: Vec<TcpServer>,
+    servers: Vec<Option<TcpServer>>,
     addrs: Vec<SocketAddr>,
 }
 
 impl TcpCluster {
     /// Start an ensemble of `n` voting servers on ephemeral loopback ports.
+    #[deprecated(note = "use ClusterBuilder::new().voters(n).tcp()")]
     pub fn start(n: usize) -> Self {
-        Self::start_full(n, 0, ZabConfig::default(), None)
-    }
-
-    /// Start an ensemble with explicit group-commit tuning.
-    pub fn start_with_config(n: usize, zab: ZabConfig) -> Self {
-        Self::start_full(n, 0, zab, None)
+        Self::start_inner(n, 0, ZabConfig::default(), NetConfig::default(), None)
     }
 
     /// Start a durable ensemble: WAL + checkpoints under
     /// `dir/server-<id>`, recovered on restart over the same directory.
+    #[deprecated(note = "use ClusterBuilder::new().voters(n).durable(dir).tcp()")]
     pub fn start_durable(n: usize, dir: impl AsRef<std::path::Path>) -> Self {
-        Self::start_full(n, 0, ZabConfig::default(), Some(dir.as_ref().to_path_buf()))
+        Self::start_inner(
+            n,
+            0,
+            ZabConfig::default(),
+            NetConfig::default(),
+            Some(dir.as_ref().to_path_buf()),
+        )
     }
 
-    /// Start `voters` + `observers` servers, optionally durable.
-    pub fn start_full(
+    pub(crate) fn start_inner(
         voters: usize,
         observers: usize,
         zab: ZabConfig,
+        net: NetConfig,
         wal_dir: Option<PathBuf>,
     ) -> Self {
         let n = voters + observers;
@@ -451,23 +457,23 @@ impl TcpCluster {
             .into_iter()
             .enumerate()
             .map(|(i, l)| {
-                TcpServer::spawn(
+                Some(TcpServer::spawn(
                     l,
                     TcpServerConfig {
                         me: PeerId(i as u32),
                         peer_addrs: addrs.clone(),
                         voters,
                         zab,
-                        net: NetConfig::default(),
+                        net,
                         wal_dir: wal_dir.as_ref().map(|d| d.join(format!("server-{i}"))),
                     },
-                )
+                ))
             })
             .collect();
         TcpCluster { servers, addrs }
     }
 
-    /// Ensemble size.
+    /// Ensemble size (stopped members included).
     pub fn len(&self) -> usize {
         self.servers.len()
     }
@@ -482,26 +488,37 @@ impl TcpCluster {
         &self.addrs
     }
 
-    /// Open a session against server `server_idx` over TCP.
-    pub fn client(&self, server_idx: usize) -> TcpZkClient {
-        let transport = TcpTransport::new(vec![self.addrs[server_idx]]);
-        ZkClient::establish(transport).expect("ensemble failed to accept a session")
+    /// Stop one member — close its listener and join its threads, leaving
+    /// its address dead. Clients pinned to it see `ConnectionLoss`;
+    /// failover clients move on. Idempotent.
+    pub fn stop(&mut self, server_idx: usize) {
+        if let Some(s) = self.servers[server_idx].take() {
+            s.shutdown();
+        }
     }
 
-    /// Open a session that fails over across every member, starting at
-    /// `server_idx`.
-    pub fn client_with_failover(&self, server_idx: usize) -> TcpZkClient {
-        let mut addrs = self.addrs.clone();
-        let k = server_idx % addrs.len();
-        addrs.rotate_left(k);
-        let transport = TcpTransport::new(addrs);
-        ZkClient::establish(transport).expect("ensemble failed to accept a session")
+    /// Open a session per `opts`: first connects to member `opts.server`,
+    /// optionally failing over across the whole address list, with reads
+    /// served at `opts.consistency`.
+    pub fn client(&self, opts: ClientOptions) -> Result<TcpZkClient, ZkError> {
+        let addrs = if opts.failover {
+            let mut addrs = self.addrs.clone();
+            let k = opts.server % addrs.len();
+            addrs.rotate_left(k);
+            addrs
+        } else {
+            vec![self.addrs[opts.server]]
+        };
+        let mut c = ZkClient::establish(TcpTransport::new(addrs))?;
+        c.set_consistency(opts.consistency);
+        Ok(c)
     }
 
-    /// Probe one server's status over an admin connection.
+    /// Probe one server's status over an admin connection. Panics if it
+    /// never answers (use [`TcpCluster::try_status`] for stopped members).
     pub fn status(&self, server_idx: usize) -> ServerStatus {
         for _ in 0..3 {
-            if let Some(s) = remote_status(self.addrs[server_idx], Duration::from_secs(5)) {
+            if let Some(s) = self.try_status(server_idx) {
                 return s;
             }
             std::thread::sleep(Duration::from_millis(50));
@@ -509,14 +526,22 @@ impl TcpCluster {
         panic!("server {server_idx} did not answer a status probe");
     }
 
-    /// This server's transport counters.
-    pub fn net_stats(&self, server_idx: usize) -> NetStatsSnapshot {
-        self.servers[server_idx].stats()
+    /// [`TcpCluster::status`], but `None` when the member doesn't answer
+    /// (e.g. it was [`TcpCluster::stop`]ped).
+    pub fn try_status(&self, server_idx: usize) -> Option<ServerStatus> {
+        self.servers[server_idx].as_ref()?;
+        remote_status(self.addrs[server_idx], Duration::from_secs(5))
     }
 
-    /// Index of the established leader, if any.
+    /// This server's transport counters. Panics if the member was stopped.
+    pub fn net_stats(&self, server_idx: usize) -> NetStatsSnapshot {
+        self.servers[server_idx].as_ref().expect("member stopped").stats()
+    }
+
+    /// Index of the established leader, if any. Stopped / unresponsive
+    /// members are skipped.
     pub fn leader_index(&self) -> Option<usize> {
-        (0..self.len()).find(|&i| self.status(i).is_leader)
+        (0..self.len()).find(|&i| self.try_status(i).is_some_and(|s| s.is_leader))
     }
 
     /// Wait (up to `timeout`) for a leader to be established.
@@ -533,7 +558,7 @@ impl TcpCluster {
 
     /// Stop every server and join their threads.
     pub fn shutdown(self) {
-        for s in self.servers {
+        for s in self.servers.into_iter().flatten() {
             s.shutdown();
         }
     }
@@ -667,6 +692,22 @@ impl ClientTransport for TcpTransport {
             }
         }
     }
+
+    fn on_retry(&mut self) {
+        // A server that accepted our dial but stopped answering (e.g. it is
+        // partitioned from the leader) never breaks the socket, so the only
+        // failover signal is the timeout that brought us here. Pinned
+        // clients keep their link — redialing the same address buys
+        // nothing.
+        if self.addrs.len() > 1 {
+            self.link = None;
+            self.cursor = (self.cursor + 1) % self.addrs.len();
+        }
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.stats.snapshot().reconnects
+    }
 }
 
 /// The synchronous ZooKeeper-style client over a real socket.
@@ -675,22 +716,24 @@ pub type TcpZkClient = ZkClient<TcpTransport>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::Watch;
+    use crate::cluster::ClusterBuilder;
     use bytes::Bytes;
     use dufs_zkstore::CreateMode;
 
     #[test]
     fn tcp_ensemble_elects_and_serves() {
-        let cluster = TcpCluster::start(3);
+        let cluster = ClusterBuilder::new().voters(3).tcp();
         let leader = cluster.await_leader(Duration::from_secs(20)).expect("leader");
-        let mut c = cluster.client(leader);
+        let mut c = cluster.client(ClientOptions::at(leader)).unwrap();
         c.create("/tcp", Bytes::from_static(b"hello"), CreateMode::Persistent).unwrap();
-        let (data, _) = c.get_data("/tcp", false).unwrap();
+        let (data, _) = c.get_data("/tcp", Watch::None).unwrap();
         assert_eq!(&data[..], b"hello");
         // A follower serves the same data after sync.
         let follower = (0..3).find(|&i| i != leader).unwrap();
-        let mut f = cluster.client(follower);
+        let mut f = cluster.client(ClientOptions::at(follower)).unwrap();
         f.sync().unwrap();
-        let (data, _) = f.get_data("/tcp", false).unwrap();
+        let (data, _) = f.get_data("/tcp", Watch::None).unwrap();
         assert_eq!(&data[..], b"hello");
         // Sockets actually carried traffic.
         assert!(cluster.net_stats(leader).frames_recv > 0);
@@ -699,36 +742,33 @@ mod tests {
 
     #[test]
     fn remote_status_probe_answers() {
-        let cluster = TcpCluster::start(1);
+        let cluster = ClusterBuilder::new().voters(1).tcp();
         cluster.await_leader(Duration::from_secs(20)).expect("leader");
         let s = remote_status(cluster.addrs()[0], Duration::from_secs(5)).expect("status");
         assert!(s.alive);
         assert!(s.is_leader);
+        assert!(s.committed >= s.last_applied, "commit point can't trail the applied point");
         cluster.shutdown();
     }
 
     #[test]
     fn client_fails_over_when_its_server_dies() {
-        let cluster = TcpCluster::start(3);
+        let mut cluster = ClusterBuilder::new().voters(3).tcp();
         cluster.await_leader(Duration::from_secs(20)).expect("leader");
-        let mut c = cluster.client_with_failover(0);
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         c.create("/f", Bytes::new(), CreateMode::Persistent).unwrap();
         // Kill the member the client is talking to; the session must carry
         // on against another member.
-        let mut servers = cluster.servers;
-        let first = servers.remove(0);
-        first.shutdown();
+        cluster.stop(0);
         let deadline = Instant::now() + Duration::from_secs(30);
         loop {
-            match c.exists("/f", false) {
+            match c.exists("/f", Watch::None) {
                 Ok(Some(_)) => break,
                 _ => assert!(Instant::now() < deadline, "failover never succeeded"),
             }
             std::thread::sleep(Duration::from_millis(100));
         }
         assert!(c.transport().stats().conns_opened >= 2, "must have redialed");
-        for s in servers {
-            s.shutdown();
-        }
+        cluster.shutdown();
     }
 }

@@ -411,15 +411,9 @@ impl Wire for CoordMsg {
                     },
                 );
             }
-            CoordMsg::SyncRequest { tag } => {
-                buf.push(3);
-                buf.extend_from_slice(&tag.to_le_bytes());
-            }
-            CoordMsg::SyncReply { tag, zxid } => {
-                buf.push(4);
-                buf.extend_from_slice(&tag.to_le_bytes());
-                buf.extend_from_slice(&zxid.to_le_bytes());
-            }
+            // Tags 3/4 were SyncRequest/SyncReply, retired when `sync`
+            // became a no-op proposal riding the Forward path; kept
+            // unassigned so old frames fail loudly as BadTag.
             CoordMsg::ForwardReject { tag } => {
                 buf.push(5);
                 buf.extend_from_slice(&tag.to_le_bytes());
@@ -434,8 +428,6 @@ impl Wire for CoordMsg {
                 let t = get_txn(c)?;
                 CoordMsg::Forward { session: t.session, op: t.op, origin: t.origin, tag: t.tag }
             }
-            3 => CoordMsg::SyncRequest { tag: c.u64()? },
-            4 => CoordMsg::SyncReply { tag: c.u64()?, zxid: c.u64()? },
             5 => CoordMsg::ForwardReject { tag: c.u64()? },
             t => return Err(WireError::BadTag(t)),
         })
@@ -675,6 +667,7 @@ impl Wire for ServerStatus {
     fn wire_encode(&self, buf: &mut Vec<u8>) {
         buf.push(self.is_leader as u8);
         buf.extend_from_slice(&self.last_applied.to_le_bytes());
+        buf.extend_from_slice(&self.committed.to_le_bytes());
         buf.extend_from_slice(&(self.node_count as u64).to_le_bytes());
         buf.extend_from_slice(&self.digest.to_le_bytes());
         buf.push(self.alive as u8);
@@ -684,6 +677,7 @@ impl Wire for ServerStatus {
         Ok(ServerStatus {
             is_leader: c.bool()?,
             last_applied: c.u64()?,
+            committed: c.u64()?,
             node_count: c.u64()? as usize,
             digest: c.u64()?,
             alive: c.bool()?,
@@ -873,6 +867,7 @@ mod tests {
             status: ServerStatus {
                 is_leader: true,
                 last_applied: 9,
+                committed: 9,
                 node_count: 4,
                 digest: 0xABCD,
                 alive: true,

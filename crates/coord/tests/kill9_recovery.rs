@@ -25,8 +25,8 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
-use dufs_coord::tcp::{remote_status, TcpCluster, TcpTransport, TcpZkClient};
-use dufs_coord::ZkClient;
+use dufs_coord::tcp::{remote_status, TcpTransport, TcpZkClient};
+use dufs_coord::{ClientOptions, ClusterBuilder, Watch, ZkClient};
 use dufs_zkstore::{CreateMode, ZkError};
 
 const DIRS: usize = 3;
@@ -192,7 +192,7 @@ fn content_digest(c: &mut TcpZkClient) -> u64 {
     while let Some(path) = stack.pop() {
         let mut got = None;
         until_ok(|| {
-            got = Some(c.get_data(&path, false)?);
+            got = Some(c.get_data(&path, Watch::None)?);
             Ok(())
         });
         let (data, _) = got.unwrap();
@@ -204,7 +204,7 @@ fn content_digest(c: &mut TcpZkClient) -> u64 {
 
         let mut kids = None;
         until_ok(|| {
-            kids = Some(c.get_children(&path, false)?.0);
+            kids = Some(c.get_children(&path, Watch::None)?.0);
             Ok(())
         });
         for k in kids.unwrap() {
@@ -219,10 +219,10 @@ fn content_digest(c: &mut TcpZkClient) -> u64 {
 #[test]
 fn kill9_one_member_then_whole_ensemble_and_recover() {
     // 1. Uncrashed control, same ops, in-process.
-    let control = TcpCluster::start(3);
+    let control = ClusterBuilder::new().voters(3).tcp();
     control.await_leader(Duration::from_secs(20)).expect("control leader");
     let control_digest = {
-        let mut c = control.client_with_failover(0);
+        let mut c = control.client(ClientOptions::at(0).with_failover()).unwrap();
         phase1(&mut c);
         phase2(&mut c);
         await_convergence(&mut c, control.addrs());
@@ -268,7 +268,7 @@ fn kill9_one_member_then_whole_ensemble_and_recover() {
     let mut c2 = session(&addrs2);
     // Acked-before-kill data must have survived bit-exactly.
     let (data, _) = loop {
-        match c2.get_data("/canary", false) {
+        match c2.get_data("/canary", Watch::None) {
             Ok(v) => break v,
             Err(ZkError::ConnectionLoss | ZkError::Net) => {
                 std::thread::sleep(Duration::from_millis(100))

@@ -197,8 +197,6 @@ fn arb_coord_msg() -> BoxedStrategy<CoordMsg> {
         arb_zab_msg().prop_map(CoordMsg::Zab),
         (any::<u64>(), arb_txn_op(), arb_peer(), any::<u64>())
             .prop_map(|(session, op, origin, tag)| CoordMsg::Forward { session, op, origin, tag }),
-        any::<u64>().prop_map(|tag| CoordMsg::SyncRequest { tag }),
-        (any::<u64>(), any::<u64>()).prop_map(|(tag, zxid)| CoordMsg::SyncReply { tag, zxid }),
         any::<u64>().prop_map(|tag| CoordMsg::ForwardReject { tag }),
     ]
     .boxed()
@@ -265,10 +263,11 @@ fn arb_watch() -> BoxedStrategy<WatchNotification> {
 }
 
 fn arb_server_status() -> BoxedStrategy<ServerStatus> {
-    (any::<bool>(), any::<u64>(), 0usize..100_000, any::<u64>(), any::<bool>())
-        .prop_map(|(is_leader, last_applied, node_count, digest, alive)| ServerStatus {
+    (any::<bool>(), any::<u64>(), any::<u64>(), 0usize..100_000, any::<u64>(), any::<bool>())
+        .prop_map(|(is_leader, last_applied, committed, node_count, digest, alive)| ServerStatus {
             is_leader,
             last_applied,
+            committed,
             node_count,
             digest,
             alive,

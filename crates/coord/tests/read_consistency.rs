@@ -1,0 +1,175 @@
+//! Property: [`ReadConsistency::SyncThenLocal`] gives read-your-writes.
+//!
+//! A session that writes and then reads must observe its own acked writes —
+//! even while other clients mutate the namespace concurrently, and even
+//! when the server it was reading from dies and the session fails over to
+//! a replica that may lag the leader. The barrier that makes this true is
+//! the tentpole's no-op proposal through ZAB: `SyncThenLocal` inserts it
+//! exactly when staleness could be observed (after own writes, after a
+//! reconnect), so the property must hold on both the channel transport and
+//! the TCP transport.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency, Watch};
+use dufs_zkstore::CreateMode;
+
+/// Cluster tests use real-time election timers; running several ensembles
+/// concurrently on a loaded machine makes watchdogs flap. Serialize.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn payload(tag: u8, round: usize) -> Bytes {
+    Bytes::from(format!("payload-{tag}-{round}").into_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Channel transport: the reader session starts on an OBSERVER (the
+    /// replica most likely to lag), writes through it, has it crashed out
+    /// from under itself mid-round, and must still see every one of its own
+    /// acked writes after failing over — while a second session hammers the
+    /// namespace from another member.
+    #[test]
+    fn sync_then_local_reads_own_writes_across_thread_failover(
+        tags in proptest::collection::vec(any::<u8>(), 2..5),
+    ) {
+        let _g = serial();
+        let cluster = Arc::new(ClusterBuilder::new().voters(3).observers(1).threads());
+        cluster.await_leader(Duration::from_secs(15)).expect("leader");
+        let observer = 3;
+
+        let mut c = cluster
+            .client(
+                ClientOptions::at(observer)
+                    .with_failover()
+                    .with_consistency(ReadConsistency::SyncThenLocal),
+            )
+            .unwrap();
+        c.set_timeout(Duration::from_millis(500));
+
+        // Concurrent mutator: unrelated churn from another member, so the
+        // reader's barrier has real replication traffic to race against.
+        let stop = Arc::new(AtomicBool::new(false));
+        let mutator = {
+            let stop = stop.clone();
+            let cluster = cluster.clone();
+            std::thread::spawn(move || {
+                let mut m = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = m.create(
+                        &format!("/noise-{i}"),
+                        Bytes::from_static(b"n"),
+                        CreateMode::Persistent,
+                    );
+                    i += 1;
+                }
+            })
+        };
+
+        let mut written: Vec<(String, Bytes, u8)> = Vec::new();
+        for (round, &tag) in tags.iter().enumerate() {
+            let path = format!("/ryw-{round}");
+            let data = payload(tag, round);
+            c.create(&path, data.clone(), CreateMode::Persistent).unwrap();
+            written.push((path, data, tag));
+
+            // Every other round, kill the replica the session sits on: the
+            // read below must fail over and STILL see the write.
+            let crashed = round % 2 == 0;
+            if crashed {
+                cluster.crash(observer);
+            }
+            for (p, want, _) in &written {
+                let (got, _) = c.get_data(p, Watch::None).unwrap_or_else(|e| {
+                    panic!("own acked write {p} invisible after failover: {e:?}")
+                });
+                prop_assert_eq!(&got, want, "stale read of {}", p);
+            }
+            if crashed {
+                cluster.restart(observer);
+            }
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        mutator.join().expect("mutator");
+        Arc::try_unwrap(cluster).ok().expect("all handles dropped").shutdown();
+    }
+
+    /// TCP transport: same property over real sockets. A member is stopped
+    /// for good (kill-the-process failure model — no restart), so the
+    /// session's remaining reads all come from a replica the original
+    /// barrier never touched.
+    #[test]
+    fn sync_then_local_reads_own_writes_across_tcp_failover(
+        tags in proptest::collection::vec(any::<u8>(), 2..4),
+    ) {
+        let _g = serial();
+        let mut cluster = ClusterBuilder::new().voters(3).tcp();
+        let leader = cluster.await_leader(Duration::from_secs(20)).expect("leader");
+        let start = (0..3).find(|&i| i != leader).unwrap();
+
+        let mut c = cluster
+            .client(
+                ClientOptions::at(start)
+                    .with_failover()
+                    .with_consistency(ReadConsistency::SyncThenLocal),
+            )
+            .unwrap();
+        c.set_timeout(Duration::from_millis(500));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mutator = {
+            let stop = stop.clone();
+            let mut m = cluster.client(ClientOptions::at(leader).with_failover()).unwrap();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = m.create(
+                        &format!("/noise-{i}"),
+                        Bytes::from_static(b"n"),
+                        CreateMode::Persistent,
+                    );
+                    i += 1;
+                }
+            })
+        };
+
+        // Phase 1: write + read-back while the home server is alive.
+        let mut written: Vec<(String, Bytes)> = Vec::new();
+        for (round, &tag) in tags.iter().enumerate() {
+            let path = format!("/ryw-{round}");
+            let data = payload(tag, round);
+            c.create(&path, data.clone(), CreateMode::Persistent).unwrap();
+            let (got, _) = c.get_data(&path, Watch::None).unwrap();
+            prop_assert_eq!(&got, &data);
+            written.push((path, data));
+        }
+
+        // Phase 2: the home server dies for good; every prior acked write
+        // must be observed through whichever member the session lands on.
+        cluster.stop(start);
+        for (p, want) in &written {
+            let (got, _) = c.get_data(p, Watch::None).unwrap_or_else(|e| {
+                panic!("own acked write {p} invisible after tcp failover: {e:?}")
+            });
+            prop_assert_eq!(&got, want, "stale read of {} after failover", p);
+        }
+        // And the session still gives RYW for fresh writes post-failover.
+        c.create("/ryw-post", Bytes::from_static(b"post"), CreateMode::Persistent).unwrap();
+        let (got, _) = c.get_data("/ryw-post", Watch::None).unwrap();
+        prop_assert_eq!(&got[..], b"post");
+
+        stop.store(true, Ordering::Relaxed);
+        mutator.join().expect("mutator");
+        cluster.shutdown();
+    }
+}

@@ -11,9 +11,12 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
-use dufs_coord::runtime::{ServerStatus, ThreadCluster};
-use dufs_coord::tcp::TcpCluster;
-use dufs_coord::{ClientTransport, ZkClient, ZkRequest, ZkResponse};
+use dufs_coord::runtime::ServerStatus;
+
+use dufs_coord::{
+    ClientOptions, ClientTransport, ClusterBuilder, ReadConsistency, Watch, ZkClient, ZkRequest,
+    ZkResponse,
+};
 use dufs_zkstore::{CreateMode, MultiOp, ZkError};
 
 const DIRS: usize = 3;
@@ -86,17 +89,17 @@ fn converged_digest(status: impl Fn(usize) -> ServerStatus, n: usize) -> u64 {
 #[test]
 fn thread_and_tcp_runtimes_agree_on_the_namespace_digest() {
     // Channel runtime.
-    let tc = ThreadCluster::start(3);
+    let tc = ClusterBuilder::new().voters(3).threads();
     let leader = tc.await_leader(Duration::from_secs(20)).expect("thread leader");
-    let mut c = tc.client(leader);
+    let mut c = tc.client(ClientOptions::at(leader)).unwrap();
     workload(&mut c);
     let d_thread = converged_digest(|i| tc.status(i), 3);
     tc.shutdown();
 
     // TCP runtime, same workload.
-    let cluster = TcpCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).tcp();
     let leader = cluster.await_leader(Duration::from_secs(20)).expect("tcp leader");
-    let mut c = cluster.client(leader);
+    let mut c = cluster.client(ClientOptions::at(leader)).unwrap();
     workload(&mut c);
     let d_tcp = converged_digest(|i| cluster.status(i), 3);
 
@@ -116,9 +119,9 @@ fn thread_and_tcp_runtimes_agree_on_the_namespace_digest() {
 
 #[test]
 fn tcp_sessions_preserve_depth_k_pipelining() {
-    let cluster = TcpCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).tcp();
     let leader = cluster.await_leader(Duration::from_secs(20)).expect("leader");
-    let mut c = cluster.client(leader);
+    let mut c = cluster.client(ClientOptions::at(leader)).unwrap();
     // Submit a window of K creates without waiting, then drain completions:
     // responses must come back in submission order with matching ids.
     const K: usize = 32;
@@ -147,21 +150,61 @@ fn tcp_durable_cluster_recovers_after_clean_restart() {
     let dir = std::env::temp_dir().join(format!("dufs-tcp-durable-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    let first = TcpCluster::start_durable(3, &dir);
+    let first = ClusterBuilder::new().voters(3).durable(&dir).tcp();
     let leader = first.await_leader(Duration::from_secs(20)).expect("leader");
-    let mut c = first.client(leader);
+    let mut c = first.client(ClientOptions::at(leader)).unwrap();
     workload(&mut c);
     let before = converged_digest(|i| first.status(i), 3);
     first.shutdown();
 
     // Same WAL directories, brand-new ports: the durable identity is the
     // directory, not the address.
-    let second = TcpCluster::start_durable(3, &dir);
+    let second = ClusterBuilder::new().voters(3).durable(&dir).tcp();
     second.await_leader(Duration::from_secs(20)).expect("leader after restart");
-    let mut c = second.client(0);
+    let mut c = second.client(ClientOptions::at(0)).unwrap();
     c.sync().expect("sync");
     let after = converged_digest(|i| second.status(i), 3);
     assert_eq!(before, after, "restart over the same WAL dirs lost state");
     second.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole's parity claim: every member — leader, followers, and an
+/// observer — serves byte-identical data over TCP once a `SyncThenLocal`
+/// session has barriered, so spreading reads across the ensemble cannot
+/// change what a client observes.
+#[test]
+fn every_member_serves_identical_data_to_follower_readers() {
+    let cluster = ClusterBuilder::new().voters(3).observers(1).tcp();
+    let leader = cluster.await_leader(Duration::from_secs(20)).expect("leader");
+    let mut w = cluster.client(ClientOptions::at(leader)).unwrap();
+    let paths: Vec<String> = (0..16).map(|i| format!("/fan{i:02}")).collect();
+    for (i, p) in paths.iter().enumerate() {
+        w.create(p, Bytes::from(format!("payload-{i}").into_bytes()), CreateMode::Persistent)
+            .unwrap();
+    }
+
+    // One session per member, reads pinned there. The sync barrier inside
+    // the first read (SyncThenLocal re-barriers on a fresh session's
+    // reconnect bookkeeping being clean, so force one with sync()) makes
+    // the member current before it answers.
+    let mut views: Vec<Vec<(String, Vec<u8>)>> = Vec::new();
+    for m in 0..cluster.len() {
+        let mut r = cluster
+            .client(ClientOptions::at(m).with_consistency(ReadConsistency::SyncThenLocal))
+            .unwrap();
+        r.sync().expect("barrier");
+        let mut view = Vec::new();
+        for p in &paths {
+            let (data, _) = r
+                .get_data(p, Watch::None)
+                .unwrap_or_else(|e| panic!("member {m} missing {p} after a sync barrier: {e:?}"));
+            view.push((p.clone(), data.to_vec()));
+        }
+        views.push(view);
+    }
+    for (m, v) in views.iter().enumerate() {
+        assert_eq!(v, &views[0], "member {m} served different data than member 0");
+    }
+    cluster.shutdown();
 }

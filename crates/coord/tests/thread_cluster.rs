@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use bytes::Bytes;
-use dufs_coord::ThreadCluster;
+use dufs_coord::{ClientOptions, ClusterBuilder, ThreadCluster, Watch};
 use dufs_zkstore::{CreateMode, MultiOp, ZkError};
 
 fn b(s: &str) -> Bytes {
@@ -41,22 +41,22 @@ fn await_converged(cluster: &ThreadCluster, replicas: &[usize], timeout: Duratio
 #[test]
 fn three_server_ensemble_serves_clients() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
 
-    let mut c = cluster.client(0);
+    let mut c = cluster.client(ClientOptions::at(0)).unwrap();
     assert!(c.session() > 0);
     c.create("/app", b("root"), CreateMode::Persistent).unwrap();
     c.create("/app/cfg", b("v1"), CreateMode::Persistent).unwrap();
-    let (data, stat) = c.get_data("/app/cfg", false).unwrap();
+    let (data, stat) = c.get_data("/app/cfg", Watch::None).unwrap();
     assert_eq!(&data[..], b"v1");
     assert_eq!(stat.version, 0);
 
     // A client on a different server sees the same namespace (after sync to
     // defeat replication lag).
-    let mut c2 = cluster.client(2 % cluster.len());
+    let mut c2 = cluster.client(ClientOptions::at(2 % cluster.len())).unwrap();
     c2.sync().unwrap();
-    let (data, _) = c2.get_data("/app/cfg", false).unwrap();
+    let (data, _) = c2.get_data("/app/cfg", Watch::None).unwrap();
     assert_eq!(&data[..], b"v1");
 
     cluster.shutdown();
@@ -65,9 +65,9 @@ fn three_server_ensemble_serves_clients() {
 #[test]
 fn replicas_converge_to_identical_digests() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
-    let mut c = cluster.client(1);
+    let mut c = cluster.client(ClientOptions::at(1)).unwrap();
     for i in 0..50 {
         c.create(&format!("/n{i}"), b("x"), CreateMode::Persistent).unwrap();
     }
@@ -80,9 +80,9 @@ fn replicas_converge_to_identical_digests() {
 #[test]
 fn conditional_ops_and_errors() {
     let _g = serial();
-    let cluster = ThreadCluster::start(1);
+    let cluster = ClusterBuilder::new().voters(1).threads();
     cluster.await_leader(Duration::from_secs(5)).expect("leader");
-    let mut c = cluster.client(0);
+    let mut c = cluster.client(ClientOptions::at(0)).unwrap();
 
     c.create("/v", b("a"), CreateMode::Persistent).unwrap();
     let stat = c.set_data("/v", b("b"), Some(0)).unwrap();
@@ -90,7 +90,7 @@ fn conditional_ops_and_errors() {
     assert_eq!(c.set_data("/v", b("c"), Some(0)).unwrap_err(), ZkError::BadVersion);
     assert_eq!(c.delete("/v", Some(0)).unwrap_err(), ZkError::BadVersion);
     c.delete("/v", Some(1)).unwrap();
-    assert_eq!(c.get_data("/v", false).unwrap_err(), ZkError::NoNode);
+    assert_eq!(c.get_data("/v", Watch::None).unwrap_err(), ZkError::NoNode);
     assert_eq!(c.create("/x/y", b(""), CreateMode::Persistent).unwrap_err(), ZkError::NoNode);
     cluster.shutdown();
 }
@@ -98,9 +98,9 @@ fn conditional_ops_and_errors() {
 #[test]
 fn multi_rename_is_atomic_across_ensemble() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
-    let mut c = cluster.client(0);
+    let mut c = cluster.client(ClientOptions::at(0)).unwrap();
     c.create("/f", b("FID:1234"), CreateMode::Persistent).unwrap();
     // DUFS rename: new name + delete old, atomically.
     c.multi(vec![
@@ -108,10 +108,10 @@ fn multi_rename_is_atomic_across_ensemble() {
         MultiOp::Delete { path: "/f".into(), version: None },
     ])
     .unwrap();
-    let mut c2 = cluster.client(1);
+    let mut c2 = cluster.client(ClientOptions::at(1)).unwrap();
     c2.sync().unwrap();
-    assert!(c2.exists("/f", false).unwrap().is_none());
-    let (data, _) = c2.get_data("/g", false).unwrap();
+    assert!(c2.exists("/f", Watch::None).unwrap().is_none());
+    let (data, _) = c2.get_data("/g", Watch::None).unwrap();
     assert_eq!(&data[..], b"FID:1234");
     cluster.shutdown();
 }
@@ -119,10 +119,10 @@ fn multi_rename_is_atomic_across_ensemble() {
 #[test]
 fn sequential_znodes_order_across_clients() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
-    let mut a = cluster.client(0);
-    let mut bb = cluster.client(1);
+    let mut a = cluster.client(ClientOptions::at(0)).unwrap();
+    let mut bb = cluster.client(ClientOptions::at(1)).unwrap();
     a.create("/q", b(""), CreateMode::Persistent).unwrap();
     let p1 = a.create("/q/n-", b(""), CreateMode::PersistentSequential).unwrap();
     let p2 = bb.create("/q/n-", b(""), CreateMode::PersistentSequential).unwrap();
@@ -134,13 +134,13 @@ fn sequential_znodes_order_across_clients() {
 #[test]
 fn watches_fire_across_clients() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
-    let mut watcher = cluster.client(0);
-    let mut mutator = cluster.client(0); // same server: watch + change visible there
+    let mut watcher = cluster.client(ClientOptions::at(0)).unwrap();
+    let mut mutator = cluster.client(ClientOptions::at(0)).unwrap(); // same server: watch + change visible there
 
     watcher.create("/watched", b("v0"), CreateMode::Persistent).unwrap();
-    watcher.get_data("/watched", true).unwrap();
+    watcher.get_data("/watched", Watch::Set).unwrap();
     mutator.set_data("/watched", b("v1"), None).unwrap();
 
     let note = watcher.await_watch(Duration::from_secs(5)).expect("watch fired");
@@ -151,32 +151,32 @@ fn watches_fire_across_clients() {
 #[test]
 fn ephemerals_vanish_when_session_closes() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
-    let ephemeral_owner = cluster.client(1);
-    let mut observer = cluster.client(0);
+    let ephemeral_owner = cluster.client(ClientOptions::at(1)).unwrap();
+    let mut observer = cluster.client(ClientOptions::at(0)).unwrap();
 
     let mut owner = ephemeral_owner;
     owner.create("/locks", b(""), CreateMode::Persistent).unwrap();
     owner.create("/locks/holder", b(""), CreateMode::Ephemeral).unwrap();
     observer.sync().unwrap();
-    assert!(observer.exists("/locks/holder", false).unwrap().is_some());
+    assert!(observer.exists("/locks/holder", Watch::None).unwrap().is_some());
 
     owner.close().unwrap();
     observer.sync().unwrap();
-    assert!(observer.exists("/locks/holder", false).unwrap().is_none());
+    assert!(observer.exists("/locks/holder", Watch::None).unwrap().is_none());
     cluster.shutdown();
 }
 
 #[test]
 fn follower_crash_does_not_lose_service_and_restarts_catch_up() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     let leader = cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let follower = (0..3).find(|&i| i != leader).unwrap();
     let surviving = (0..3).find(|&i| i != leader && i != follower).unwrap();
 
-    let mut c = cluster.client(surviving);
+    let mut c = cluster.client(ClientOptions::at(surviving)).unwrap();
     c.create("/pre", b(""), CreateMode::Persistent).unwrap();
     cluster.crash(follower);
     for i in 0..10 {
@@ -193,22 +193,22 @@ fn follower_crash_does_not_lose_service_and_restarts_catch_up() {
 fn observers_serve_reads_in_the_live_runtime() {
     let _g = serial();
     // 3 voters + 1 observer (server index 3).
-    let cluster = ThreadCluster::start_with_observers(3, 1);
+    let cluster = ClusterBuilder::new().voters(3).observers(1).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let leader = cluster.leader_index().unwrap();
     assert!(leader < 3, "observers never lead");
 
-    let mut writer = cluster.client(0);
+    let mut writer = cluster.client(ClientOptions::at(0)).unwrap();
     writer.create("/from-voter", b("v"), CreateMode::Persistent).unwrap();
 
     // A client connected to the OBSERVER: reads locally, writes forwarded.
-    let mut via_obs = cluster.client(3);
+    let mut via_obs = cluster.client(ClientOptions::at(3)).unwrap();
     via_obs.sync().unwrap();
-    let (data, _) = via_obs.get_data("/from-voter", false).unwrap();
+    let (data, _) = via_obs.get_data("/from-voter", Watch::None).unwrap();
     assert_eq!(&data[..], b"v");
     via_obs.create("/from-observer", b("o"), CreateMode::Persistent).unwrap();
     writer.sync().unwrap();
-    assert!(writer.exists("/from-observer", false).unwrap().is_some());
+    assert!(writer.exists("/from-observer", Watch::None).unwrap().is_some());
 
     // The observer replica converges with the voters.
     await_converged(&cluster, &[0, 3], Duration::from_secs(10));
@@ -216,18 +216,18 @@ fn observers_serve_reads_in_the_live_runtime() {
     // Killing the observer must not affect writes at all.
     cluster.crash(3);
     writer.create("/while-obs-down", b(""), CreateMode::Persistent).unwrap();
-    assert!(writer.exists("/while-obs-down", false).unwrap().is_some());
+    assert!(writer.exists("/while-obs-down", Watch::None).unwrap().is_some());
     cluster.shutdown();
 }
 
 #[test]
 fn leader_crash_fails_over_and_preserves_data() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     let leader = cluster.await_leader(Duration::from_secs(10)).expect("leader");
     let other = (0..3).find(|&i| i != leader).unwrap();
 
-    let mut c = cluster.client(other);
+    let mut c = cluster.client(ClientOptions::at(other)).unwrap();
     c.set_timeout(Duration::from_secs(2));
     for i in 0..10 {
         c.create(&format!("/pre{i}"), b(""), CreateMode::Persistent).unwrap();
@@ -249,12 +249,12 @@ fn leader_crash_fails_over_and_preserves_data() {
     // …and the pre-crash data plus new writes must survive.
     for i in 0..10 {
         assert!(
-            c.exists(&format!("/pre{i}"), false).unwrap().is_some(),
+            c.exists(&format!("/pre{i}"), Watch::None).unwrap().is_some(),
             "/pre{i} lost in failover"
         );
     }
     c.create("/post", b(""), CreateMode::Persistent).unwrap();
-    assert!(c.exists("/post", false).unwrap().is_some());
+    assert!(c.exists("/post", Watch::None).unwrap().is_some());
     cluster.shutdown();
 }
 
@@ -265,9 +265,9 @@ fn durable_ensemble_survives_whole_cluster_crash_and_cold_start() {
     let _ = std::fs::remove_dir_all(&dir);
 
     // Act 1: a durable ensemble takes writes (each fsynced before its ack).
-    let cluster = ThreadCluster::start_durable(3, &dir);
+    let cluster = ClusterBuilder::new().voters(3).durable(&dir).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader");
-    let mut c = cluster.client(0);
+    let mut c = cluster.client(ClientOptions::at(0)).unwrap();
     for i in 0..40 {
         c.create(&format!("/d{i}"), b("payload"), CreateMode::Persistent).unwrap();
     }
@@ -288,18 +288,18 @@ fn durable_ensemble_survives_whole_cluster_crash_and_cold_start() {
     assert_eq!(cluster.status(0).digest, digest, "whole-cluster restart must restore the tree");
 
     // Still a working ensemble.
-    let mut c = cluster.client(1);
+    let mut c = cluster.client(ClientOptions::at(1)).unwrap();
     c.create("/after-outage", b("new"), CreateMode::Persistent).unwrap();
     cluster.shutdown();
 
     // Act 3: a brand-new process generation (fresh ThreadCluster) over the
     // same directory — cold start purely from disk.
-    let cluster = ThreadCluster::start_durable(3, &dir);
+    let cluster = ClusterBuilder::new().voters(3).durable(&dir).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader from cold start");
-    let mut c = cluster.client(2);
+    let mut c = cluster.client(ClientOptions::at(2)).unwrap();
     c.sync().unwrap();
-    assert_eq!(&c.get_data("/after-outage", false).unwrap().0[..], b"new");
-    assert_eq!(&c.get_data("/d7", false).unwrap().0[..], b"payload");
+    assert_eq!(&c.get_data("/after-outage", Watch::None).unwrap().0[..], b"new");
+    assert_eq!(&c.get_data("/d7", Watch::None).unwrap().0[..], b"payload");
     cluster.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

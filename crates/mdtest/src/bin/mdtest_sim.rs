@@ -15,6 +15,10 @@
 //!   --crash-all <ms:down_ms>  crash the WHOLE ensemble (needs --durable)
 //!   --live <thread|tcp>  drive a REAL cluster (wall-clock) instead of simnet
 //!   --net-stats        print per-endpoint transport counters (live tcp only)
+//!   --read-from <leader|spread>  live sessions: all at the leader, or spread
+//!                      round-robin across every member (default leader)
+//!   --consistency <local|sync|linear>  live read recency (default sync:
+//!                      read-your-writes via a ZAB no-op barrier)
 //! ```
 //!
 //! Live mode runs the same deterministic op streams against an actual
@@ -31,8 +35,8 @@
 
 use std::time::{Duration, Instant};
 
-use dufs_coord::runtime::{ServerStatus, ThreadCluster};
-use dufs_coord::tcp::TcpCluster;
+use dufs_coord::runtime::ServerStatus;
+use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency};
 use dufs_mdtest::live::{run_live, LivePhase};
 use dufs_mdtest::scenario::{
     run_mdtest_report, CoordCrash, CoordOutage, MdtestConfig, MdtestSystem,
@@ -44,7 +48,8 @@ fn usage() -> ! {
         "usage: mdtest_sim [--system lustre|pvfs2|dufs-lustre|dufs-pvfs2] \
          [--procs N] [--items N] [--zk N] [--backends N] [--shared-dir] \
          [--seed N] [--crash srv:at_ms:down_ms] [--durable] \
-         [--crash-all at_ms:down_ms] [--live thread|tcp] [--net-stats]"
+         [--crash-all at_ms:down_ms] [--live thread|tcp] [--net-stats] \
+         [--read-from leader|spread] [--consistency local|sync|linear]"
     );
     std::process::exit(2);
 }
@@ -75,21 +80,37 @@ fn print_live(phases: &[LivePhase]) {
 
 /// Live mode: the same WorkloadSpec op streams against a real ensemble.
 /// Create/stat phases only, so the final digest covers a populated tree.
-fn run_live_mode(mode: &str, spec: WorkloadSpec, zk: usize, durable: bool, net_stats: bool) {
+fn run_live_mode(
+    mode: &str,
+    spec: WorkloadSpec,
+    zk: usize,
+    durable: bool,
+    net_stats: bool,
+    spread: bool,
+    consistency: ReadConsistency,
+) {
     let spec = WorkloadSpec {
         phases: vec![Phase::DirCreate, Phase::DirStat, Phase::FileCreate, Phase::FileStat],
         ..spec
     };
     let wal_dir = std::env::temp_dir().join(format!("dufs-mdtest-live-{}", std::process::id()));
+    // Each process stats only paths it created itself in an earlier, synced
+    // phase, so any read-your-writes level lets us insist the stats hit.
+    let strict_stats = consistency != ReadConsistency::Local;
     match mode {
         "thread" => {
-            let tc = if durable {
-                ThreadCluster::start_durable(zk, &wal_dir)
-            } else {
-                ThreadCluster::start(zk)
-            };
+            let mut b = ClusterBuilder::new().voters(zk);
+            if durable {
+                b = b.durable(&wal_dir);
+            }
+            let tc = b.threads();
             let leader = tc.await_leader(Duration::from_secs(30)).expect("no leader");
-            let (phases, _) = run_live(&spec, |_| tc.client(leader), |_| {});
+            let opts_for = |p: usize| {
+                ClientOptions::at(if spread { p % zk } else { leader })
+                    .with_consistency(consistency)
+            };
+            let (phases, _) =
+                run_live(&spec, |p| tc.client(opts_for(p)).expect("session"), |_| {}, strict_stats);
             print_live(&phases);
             let s = converged_digest(|i| tc.status(i), zk);
             println!(
@@ -99,14 +120,23 @@ fn run_live_mode(mode: &str, spec: WorkloadSpec, zk: usize, durable: bool, net_s
             tc.shutdown();
         }
         "tcp" => {
-            let cluster = if durable {
-                TcpCluster::start_durable(zk, &wal_dir)
-            } else {
-                TcpCluster::start(zk)
+            let mut b = ClusterBuilder::new().voters(zk);
+            if durable {
+                b = b.durable(&wal_dir);
+            }
+            let cluster = b.tcp();
+            let leader = cluster.await_leader(Duration::from_secs(30)).expect("no leader");
+            let opts_for = |p: usize| {
+                ClientOptions::at(if spread { p % zk } else { leader })
+                    .with_failover()
+                    .with_consistency(consistency)
             };
-            cluster.await_leader(Duration::from_secs(30)).expect("no leader");
-            let (phases, clients) =
-                run_live(&spec, |p| cluster.client_with_failover(p % zk), |_| {});
+            let (phases, clients) = run_live(
+                &spec,
+                |p| cluster.client(opts_for(p)).expect("session"),
+                |_| {},
+                strict_stats,
+            );
             print_live(&phases);
             let s = converged_digest(|i| cluster.status(i), zk);
             println!(
@@ -153,6 +183,8 @@ fn main() {
     let mut crash_all: Option<CoordOutage> = None;
     let mut live: Option<String> = None;
     let mut net_stats = false;
+    let mut read_from = "leader".to_string();
+    let mut consistency = ReadConsistency::SyncThenLocal;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -192,6 +224,24 @@ fn main() {
             }
             "--live" => live = Some(next(&mut i)),
             "--net-stats" => net_stats = true,
+            "--read-from" => {
+                read_from = next(&mut i);
+                if read_from != "leader" && read_from != "spread" {
+                    eprintln!("--read-from must be 'leader' or 'spread', got {read_from:?}");
+                    usage();
+                }
+            }
+            "--consistency" => {
+                consistency = match next(&mut i).as_str() {
+                    "local" => ReadConsistency::Local,
+                    "sync" => ReadConsistency::SyncThenLocal,
+                    "linear" => ReadConsistency::Linearizable,
+                    other => {
+                        eprintln!("--consistency must be local|sync|linear, got {other:?}");
+                        usage();
+                    }
+                };
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -234,8 +284,11 @@ fn main() {
             "-- mdtest-live: {mode} runtime, {zk} coordination servers{} --",
             if durable { " (durable)" } else { "" }
         );
-        println!("   {procs} client sessions, {items} items/proc, create/stat phases\n");
-        run_live_mode(&mode, spec, zk, durable, net_stats);
+        println!(
+            "   {procs} client sessions at the {read_from} ({consistency:?} reads), \
+             {items} items/proc, create/stat phases\n"
+        );
+        run_live_mode(&mode, spec, zk, durable, net_stats, read_from == "spread", consistency);
         return;
     }
 

@@ -371,6 +371,21 @@ impl<T: Clone> ZabPeer<T> {
         Ok(out)
     }
 
+    /// [`ZabPeer::propose`], but the batch — this transaction plus anything
+    /// already buffered — is flushed immediately instead of waiting for the
+    /// Nagle timer. Used for `sync` barriers, where group-commit latency
+    /// would defeat the point of the barrier.
+    pub fn propose_urgent(&mut self, txn: T) -> Result<Vec<ZabAction<T>>, NotLeader> {
+        if !self.is_established_leader() {
+            return Err(NotLeader { leader_hint: self.leader_hint() });
+        }
+        let mut out = Vec::new();
+        let ls = self.leader_state.as_mut().expect("leading implies leader state");
+        ls.buffer.push(txn);
+        self.flush_batch(&mut out);
+        Ok(out)
+    }
+
     /// Propose the buffered batch: mint a contiguous zxid range, log every
     /// transaction atomically (so sync points always fall on batch
     /// boundaries), and run ONE quorum round for the whole range — the ack
@@ -1996,6 +2011,31 @@ mod tests {
         assert_eq!(l.committed(), Zxid::new(256, 1));
         // Re-firing the consumed generation does nothing.
         assert!(l.on_timer(ZabTimer::BatchFlush(armed_gen)).is_empty());
+    }
+
+    #[test]
+    fn urgent_propose_flushes_past_the_nagle_timer() {
+        let cfg = EnsembleConfig::of_size(1);
+        let (mut l, _) = ZabPeer::new_with_config(PeerId(0), cfg, ZabConfig::batched(8, 50));
+        // A buffered transaction is waiting on the flush timer...
+        let acts = l.propose(1).unwrap();
+        assert!(!acts.iter().any(|a| matches!(a, ZabAction::Send { .. })));
+        assert_eq!(l.committed(), Zxid::ZERO);
+        // ...and an urgent proposal flushes it together with itself, now.
+        let acts = l.propose_urgent(2).unwrap();
+        let delivered: Vec<u32> = acts
+            .iter()
+            .filter_map(|a| match a {
+                ZabAction::Deliver { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![1, 2], "urgent flush carries the buffered prefix");
+        assert_eq!(l.committed(), Zxid::new(256, 2));
+        // A non-leader still reports the forwarding hint.
+        let cfg = EnsembleConfig::of_size(3);
+        let (mut f, _) = ZabPeer::<u32>::new(PeerId(1), cfg);
+        assert!(f.propose_urgent(9).is_err());
     }
 
     #[test]

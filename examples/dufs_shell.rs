@@ -20,7 +20,7 @@ use std::io::{BufRead, Write};
 use std::time::Duration;
 
 use dufs_repro::backendfs::ParallelFs;
-use dufs_repro::coord::ThreadCluster;
+use dufs_repro::coord::{ClientOptions, ClusterBuilder};
 use dufs_repro::core::services::LocalBackends;
 use dufs_repro::core::vfs::{Dufs, NodeKind};
 
@@ -54,10 +54,14 @@ fn help() {
 
 fn main() {
     println!("starting a 3-server coordination ensemble + 2 Lustre-profile mounts…");
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(10)).expect("leader elected");
     let mounts = vec![ParallelFs::lustre().into_shared(), ParallelFs::lustre().into_shared()];
-    let mut fs = Dufs::new(1, cluster.client(0), LocalBackends::from_mounts(mounts));
+    let mut fs = Dufs::new(
+        1,
+        cluster.client(ClientOptions::at(0)).unwrap(),
+        LocalBackends::from_mounts(mounts),
+    );
     println!("ready. type 'help' for commands.\n");
 
     let stdin = std::io::stdin();

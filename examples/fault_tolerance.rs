@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use dufs_repro::coord::ThreadCluster;
+use dufs_repro::coord::{ClientOptions, ClusterBuilder};
 use dufs_repro::core::services::LocalBackends;
 use dufs_repro::core::vfs::Dufs;
 
@@ -23,14 +23,18 @@ fn main() {
     // directory before acknowledging anything.
     let wal_dir = std::env::temp_dir().join(format!("dufs-fault-tolerance-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&wal_dir);
-    let cluster = ThreadCluster::start_durable(3, &wal_dir);
+    let cluster = ClusterBuilder::new().voters(3).durable(&wal_dir).threads();
     let leader = cluster.await_leader(Duration::from_secs(10)).expect("leader");
     println!("durable ensemble of 3 up (WAL at {}); leader = server {leader}", wal_dir.display());
 
     // A DUFS client connected to a server that will survive both crashes.
     let follower = (0..3).find(|&i| i != leader).unwrap();
     let survivor = (0..3).find(|&i| i != leader && i != follower).unwrap();
-    let mut fs = Dufs::new(7, cluster.client(survivor), LocalBackends::lustre(2));
+    let mut fs = Dufs::new(
+        7,
+        cluster.client(ClientOptions::at(survivor)).unwrap(),
+        LocalBackends::lustre(2),
+    );
     fs.coord_mut().set_timeout(Duration::from_secs(3));
 
     fs.mkdir("/jobs", 0o755).unwrap();

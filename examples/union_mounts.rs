@@ -13,13 +13,13 @@
 use std::time::Duration;
 
 use dufs_repro::backendfs::ParallelFs;
-use dufs_repro::coord::ThreadCluster;
+use dufs_repro::coord::{ClientOptions, ClusterBuilder};
 use dufs_repro::core::services::LocalBackends;
 use dufs_repro::core::vfs::Dufs;
 
 fn main() {
     // A real coordination ensemble on 3 OS threads.
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     let leader = cluster.await_leader(Duration::from_secs(10)).expect("leader elected");
     println!("coordination ensemble up; leader = server {leader}");
 
@@ -31,7 +31,7 @@ fn main() {
     // client id, sharing the namespace.
     let mut handles = Vec::new();
     for client_id in 0..3u64 {
-        let zk = cluster.client(client_id as usize % 3);
+        let zk = cluster.client(ClientOptions::at(client_id as usize % 3)).unwrap();
         let backends = LocalBackends::from_mounts(mounts.clone());
         handles.push(std::thread::spawn(move || {
             let mut fs = Dufs::new(client_id + 1, zk, backends);

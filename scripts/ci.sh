@@ -46,6 +46,26 @@ if [ "$d_thread" != "$d_tcp" ] || [ -z "$d_thread" ]; then
 fi
 echo "    parity OK: $d_thread"
 
+# Follower-read parity: the same workload again on TCP, but with each
+# mdtest process's session pinned to a DIFFERENT member (reads served
+# replica-locally under SyncThenLocal). Serving reads from followers must
+# not perturb the namespace: the digest must match the leader-only thread
+# run above.
+echo "==> mdtest live follower-read parity (tcp --read-from spread)"
+d_spread=$(target/release/mdtest_sim --live tcp --procs 4 --items 10 --zk 3 --read-from spread --consistency sync | grep -o 'digest 0x[0-9a-f]*')
+if [ "$d_spread" != "$d_thread" ] || [ -z "$d_spread" ]; then
+    echo "FAIL: follower-read digest mismatch (leader-only: ${d_thread:-none}, spread: ${d_spread:-none})" >&2
+    exit 1
+fi
+echo "    parity OK: $d_spread"
+
+# Follower read scale-out benchmark, smoke mode: exercises every
+# (ensemble, placement) cell end to end. The scale-out throughput gate
+# itself only runs at full op counts (`bench_reads` with no flags), where
+# the comparison clears scheduler noise.
+echo "==> bench_reads smoke"
+cargo run --release -q -p dufs-bench --bin bench_reads -- --smoke
+
 # Loopback transport sweep (asserts the depth-K pipelining gain inside).
 echo "==> bench_net loopback sweep -> results/BENCH_net.json"
 cargo run --release -q -p dufs-bench --bin bench_net

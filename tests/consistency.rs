@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use dufs_repro::backendfs::ParallelFs;
-use dufs_repro::coord::ThreadCluster;
+use dufs_repro::coord::{ClientOptions, ClusterBuilder, ThreadCluster};
 use dufs_repro::core::services::LocalBackends;
 use dufs_repro::core::vfs::Dufs;
 
@@ -35,12 +35,16 @@ fn fig1_race_resolves_identically_on_all_replicas() {
     // Repeat the race a few times: outcomes may differ run to run (either
     // order is legal) but replicas must always agree with each other.
     for round in 0..3 {
-        let cluster = ThreadCluster::start(3);
+        let cluster = ClusterBuilder::new().voters(3).threads();
         cluster.await_leader(Duration::from_secs(15)).expect("leader");
         let mounts = vec![ParallelFs::lustre().into_shared()];
 
-        let mut c1 = Dufs::new(1, cluster.client(0), LocalBackends::from_mounts(mounts.clone()));
-        let zk2 = cluster.client(1);
+        let mut c1 = Dufs::new(
+            1,
+            cluster.client(ClientOptions::at(0)).unwrap(),
+            LocalBackends::from_mounts(mounts.clone()),
+        );
+        let zk2 = cluster.client(ClientOptions::at(1)).unwrap();
         let mounts2 = mounts.clone();
 
         c1.mkdir("/d1", 0o755).unwrap();
@@ -63,7 +67,11 @@ fn fig1_race_resolves_identically_on_all_replicas() {
         // first, the mkdir may have recreated /d1; if the mkdir hit first,
         // it failed with Exists. Either way both ops got a definite result.
         assert!(mk.is_ok() || mv.is_ok(), "round {round}: at least one op succeeds");
-        let mut c3 = Dufs::new(3, cluster.client(2), LocalBackends::from_mounts(mounts));
+        let mut c3 = Dufs::new(
+            3,
+            cluster.client(ClientOptions::at(2)).unwrap(),
+            LocalBackends::from_mounts(mounts),
+        );
         c3.coord_mut().sync().unwrap();
         let listing = c3.readdir("/").unwrap();
         assert!(
@@ -77,17 +85,21 @@ fn fig1_race_resolves_identically_on_all_replicas() {
 #[test]
 fn concurrent_creates_in_one_directory_lose_nothing() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(15)).expect("leader");
     let mounts = vec![ParallelFs::lustre().into_shared(), ParallelFs::lustre().into_shared()];
 
-    let mut setup = Dufs::new(99, cluster.client(0), LocalBackends::from_mounts(mounts.clone()));
+    let mut setup = Dufs::new(
+        99,
+        cluster.client(ClientOptions::at(0)).unwrap(),
+        LocalBackends::from_mounts(mounts.clone()),
+    );
     setup.mkdir("/hot", 0o755).unwrap();
 
     // The workload §VI warns about: many clients creating in one directory.
     let mut handles = Vec::new();
     for c in 0..4u64 {
-        let zk = cluster.client((c % 3) as usize);
+        let zk = cluster.client(ClientOptions::at((c % 3) as usize)).unwrap();
         let m = mounts.clone();
         handles.push(std::thread::spawn(move || {
             let mut fs = Dufs::new(c + 1, zk, LocalBackends::from_mounts(m));
@@ -116,13 +128,13 @@ fn concurrent_creates_in_one_directory_lose_nothing() {
 #[test]
 fn interleaved_mutation_converges_across_replicas() {
     let _g = serial();
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(15)).expect("leader");
     let mounts = vec![ParallelFs::lustre().into_shared()];
 
     let mut handles = Vec::new();
     for c in 0..3u64 {
-        let zk = cluster.client(c as usize);
+        let zk = cluster.client(ClientOptions::at(c as usize)).unwrap();
         let m = mounts.clone();
         handles.push(std::thread::spawn(move || {
             let mut fs = Dufs::new(c + 1, zk, LocalBackends::from_mounts(m));

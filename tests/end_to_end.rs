@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use dufs_repro::backendfs::ParallelFs;
-use dufs_repro::coord::ThreadCluster;
+use dufs_repro::coord::{ClientOptions, ClusterBuilder, ThreadCluster};
 use dufs_repro::core::services::LocalBackends;
 use dufs_repro::core::vfs::{Dufs, NodeKind};
 use dufs_repro::core::DufsError;
@@ -19,7 +19,7 @@ fn serial() -> std::sync::MutexGuard<'static, ()> {
 }
 
 fn cluster_and_mounts() -> (ThreadCluster, Vec<dufs_repro::backendfs::pfs::SharedPfs>) {
-    let cluster = ThreadCluster::start(3);
+    let cluster = ClusterBuilder::new().voters(3).threads();
     cluster.await_leader(Duration::from_secs(15)).expect("leader");
     let mounts = vec![ParallelFs::lustre().into_shared(), ParallelFs::lustre().into_shared()];
     (cluster, mounts)
@@ -29,7 +29,11 @@ fn cluster_and_mounts() -> (ThreadCluster, Vec<dufs_repro::backendfs::pfs::Share
 fn posix_lifecycle_over_live_ensemble() {
     let _g = serial();
     let (cluster, mounts) = cluster_and_mounts();
-    let mut fs = Dufs::new(1, cluster.client(0), LocalBackends::from_mounts(mounts.clone()));
+    let mut fs = Dufs::new(
+        1,
+        cluster.client(ClientOptions::at(0)).unwrap(),
+        LocalBackends::from_mounts(mounts.clone()),
+    );
 
     fs.mkdir("/app", 0o755).unwrap();
     fs.mkdir("/app/data", 0o700).unwrap();
@@ -65,8 +69,16 @@ fn posix_lifecycle_over_live_ensemble() {
 fn two_clients_share_namespace_and_data() {
     let _g = serial();
     let (cluster, mounts) = cluster_and_mounts();
-    let mut a = Dufs::new(1, cluster.client(0), LocalBackends::from_mounts(mounts.clone()));
-    let mut b = Dufs::new(2, cluster.client(1), LocalBackends::from_mounts(mounts.clone()));
+    let mut a = Dufs::new(
+        1,
+        cluster.client(ClientOptions::at(0)).unwrap(),
+        LocalBackends::from_mounts(mounts.clone()),
+    );
+    let mut b = Dufs::new(
+        2,
+        cluster.client(ClientOptions::at(1)).unwrap(),
+        LocalBackends::from_mounts(mounts.clone()),
+    );
 
     a.mkdir("/shared", 0o755).unwrap();
     a.create("/shared/from-a", 0o644).unwrap();
@@ -88,8 +100,16 @@ fn two_clients_share_namespace_and_data() {
 fn rename_across_clients_is_atomic() {
     let _g = serial();
     let (cluster, mounts) = cluster_and_mounts();
-    let mut a = Dufs::new(1, cluster.client(0), LocalBackends::from_mounts(mounts.clone()));
-    let mut b = Dufs::new(2, cluster.client(2), LocalBackends::from_mounts(mounts.clone()));
+    let mut a = Dufs::new(
+        1,
+        cluster.client(ClientOptions::at(0)).unwrap(),
+        LocalBackends::from_mounts(mounts.clone()),
+    );
+    let mut b = Dufs::new(
+        2,
+        cluster.client(ClientOptions::at(2)).unwrap(),
+        LocalBackends::from_mounts(mounts.clone()),
+    );
 
     a.create("/doc", 0o644).unwrap();
     a.write("/doc", 0, b"contents").unwrap();
@@ -105,7 +125,11 @@ fn rename_across_clients_is_atomic() {
 fn directory_tree_rename_via_live_ensemble() {
     let _g = serial();
     let (cluster, mounts) = cluster_and_mounts();
-    let mut fs = Dufs::new(1, cluster.client(0), LocalBackends::from_mounts(mounts));
+    let mut fs = Dufs::new(
+        1,
+        cluster.client(ClientOptions::at(0)).unwrap(),
+        LocalBackends::from_mounts(mounts),
+    );
 
     fs.mkdir("/proj", 0o755).unwrap();
     fs.mkdir("/proj/src", 0o755).unwrap();
@@ -123,7 +147,11 @@ fn directory_tree_rename_via_live_ensemble() {
 fn files_distribute_across_both_mounts() {
     let _g = serial();
     let (cluster, mounts) = cluster_and_mounts();
-    let mut fs = Dufs::new(7, cluster.client(0), LocalBackends::from_mounts(mounts.clone()));
+    let mut fs = Dufs::new(
+        7,
+        cluster.client(ClientOptions::at(0)).unwrap(),
+        LocalBackends::from_mounts(mounts.clone()),
+    );
     fs.mkdir("/bulk", 0o755).unwrap();
     for i in 0..40 {
         fs.create(&format!("/bulk/f{i}"), 0o644).unwrap();
@@ -142,7 +170,11 @@ fn dufs_survives_follower_crash_mid_workload() {
     let victim = (0..3).find(|&i| i != leader).unwrap();
     let client_server = (0..3).find(|&i| i != leader && i != victim).unwrap();
 
-    let mut fs = Dufs::new(1, cluster.client(client_server), LocalBackends::from_mounts(mounts));
+    let mut fs = Dufs::new(
+        1,
+        cluster.client(ClientOptions::at(client_server)).unwrap(),
+        LocalBackends::from_mounts(mounts),
+    );
     fs.mkdir("/work", 0o755).unwrap();
     for i in 0..10 {
         fs.create(&format!("/work/pre{i}"), 0o644).unwrap();
