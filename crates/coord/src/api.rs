@@ -177,6 +177,36 @@ pub enum ZkRequest {
     /// Session liveness ping (also returns the server's applied zxid, which
     /// doubles as a cheap progress probe in tests).
     Ping,
+    /// Create with missing-ancestor materialization (`mkdir -p` semantics
+    /// for the parent chain). The sharded client uses this for every
+    /// create, since a shard owns a path without necessarily owning its
+    /// ancestors.
+    CreatePath {
+        /// Znode path.
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Create mode.
+        mode: CreateMode,
+    },
+    /// Phase one of cross-shard 2PC: validate and fence this shard's slice
+    /// of the transaction, durably parking the ops until a decision.
+    TxnPrepare {
+        /// Coordinator-chosen globally unique transaction id.
+        txn_id: u64,
+        /// This shard's slice of the transaction.
+        ops: Vec<MultiOp>,
+    },
+    /// Commit decision for a prepared transaction (idempotent).
+    TxnCommit {
+        /// Transaction id.
+        txn_id: u64,
+    },
+    /// Abort decision for a prepared transaction (idempotent).
+    TxnAbort {
+        /// Transaction id.
+        txn_id: u64,
+    },
 }
 
 impl ZkRequest {
@@ -246,6 +276,12 @@ pub enum ZkResponse {
         /// Applied zxid (raw form).
         zxid: u64,
     },
+    /// TxnPrepare succeeded: the ops validated and their paths are fenced.
+    Prepared,
+    /// TxnCommit succeeded (or the transaction was already decided).
+    Committed,
+    /// TxnAbort succeeded (or the transaction was already decided).
+    Aborted,
     /// The request failed.
     Error(ZkError),
 }

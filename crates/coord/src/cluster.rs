@@ -15,6 +15,7 @@ use dufs_net::NetConfig;
 use dufs_zab::ZabConfig;
 
 use crate::runtime::ThreadCluster;
+use crate::sharded::ShardedCluster;
 use crate::tcp::TcpCluster;
 
 /// Builder for a coordination ensemble. Configure the membership and
@@ -28,6 +29,7 @@ pub struct ClusterBuilder {
     zab: ZabConfig,
     net: NetConfig,
     wal_dir: Option<PathBuf>,
+    shards: usize,
 }
 
 impl ClusterBuilder {
@@ -90,6 +92,51 @@ impl ClusterBuilder {
             self.net,
             self.wal_dir,
         )
+    }
+
+    /// Number of independent shard ensembles for the sharded starters
+    /// (default 1). Each shard is a full ensemble of the configured shape;
+    /// a durable sharded cluster puts shard `k` under `dir/shard-<k>`.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "a sharded cluster needs at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Start `shards` thread-runtime ensembles behind one sharded
+    /// namespace (see [`crate::sharded`]).
+    pub fn sharded_threads(self) -> ShardedCluster<ThreadCluster> {
+        let shards = (0..self.shards.max(1))
+            .map(|k| {
+                ThreadCluster::start_inner(
+                    self.voters.unwrap_or(3),
+                    self.observers,
+                    self.zab,
+                    self.shard_wal_dir(k),
+                )
+            })
+            .collect();
+        ShardedCluster::from_shards(shards).expect("bootstrap shard config")
+    }
+
+    /// Start `shards` TCP ensembles behind one sharded namespace.
+    pub fn sharded_tcp(self) -> ShardedCluster<TcpCluster> {
+        let shards = (0..self.shards.max(1))
+            .map(|k| {
+                TcpCluster::start_inner(
+                    self.voters.unwrap_or(3),
+                    self.observers,
+                    self.zab,
+                    self.net,
+                    self.shard_wal_dir(k),
+                )
+            })
+            .collect();
+        ShardedCluster::from_shards(shards).expect("bootstrap shard config")
+    }
+
+    fn shard_wal_dir(&self, shard: usize) -> Option<PathBuf> {
+        self.wal_dir.as_ref().map(|d| d.join(format!("shard-{shard}")))
     }
 }
 

@@ -29,6 +29,8 @@ pub mod api;
 pub mod cluster;
 pub mod runtime;
 pub mod server;
+pub mod shard;
+pub mod sharded;
 pub mod tcp;
 pub mod txn;
 pub mod watch;
@@ -38,6 +40,8 @@ pub use api::{ClientOptions, ReadConsistency, Watch, ZkRequest, ZkResponse};
 pub use cluster::ClusterBuilder;
 pub use runtime::{ChannelTransport, ClientTransport, ThreadCluster, ZkClient};
 pub use server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
+pub use shard::{HashRing, ShardConfig, SHARD_CONFIG_PATH};
+pub use sharded::{ClusterHandle, ShardedClient, ShardedCluster};
 pub use tcp::{remote_status, TcpCluster, TcpTransport, TcpZkClient};
 pub use txn::{Txn, TxnOp};
 pub use watch::{WatchKind, WatchNotification};

@@ -8,7 +8,7 @@
 //! different driver).
 
 use std::collections::{HashMap, VecDeque};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -156,21 +156,6 @@ pub struct ThreadCluster {
 }
 
 impl ThreadCluster {
-    /// Start an ensemble of `n` voting servers.
-    #[deprecated(note = "use ClusterBuilder::new().voters(n).threads()")]
-    pub fn start(n: usize) -> Self {
-        Self::start_inner(n, 0, ZabConfig::default(), None)
-    }
-
-    /// Start a *durable* ensemble of `n` voting servers: each runs a
-    /// file-backed write-ahead log under `dir/server-<id>` and fsyncs every
-    /// replicated batch before acknowledging it. An ensemble restarted over
-    /// an existing directory recovers its state from disk.
-    #[deprecated(note = "use ClusterBuilder::new().voters(n).durable(dir).threads()")]
-    pub fn start_durable(n: usize, dir: impl AsRef<Path>) -> Self {
-        Self::start_inner(n, 0, ZabConfig::default(), Some(dir.as_ref().to_path_buf()))
-    }
-
     pub(crate) fn start_inner(
         voters: usize,
         observers: usize,
@@ -545,10 +530,12 @@ impl<T: ClientTransport> ZkClient<T> {
         }
     }
 
-    /// Issue a request, retrying on the transient transport errors —
-    /// `ConnectionLoss` (elections in progress) and `Net` (a dropped
-    /// socket; the transport reconnects underneath). Idempotence caveats
-    /// are the caller's concern, as with real ZooKeeper.
+    /// Issue a request, retrying on the transient errors —
+    /// `ConnectionLoss` (elections in progress), `Net` (a dropped socket;
+    /// the transport reconnects underneath) and `TxnBusy` (the path is
+    /// fenced by a prepared cross-shard transaction whose decision should
+    /// land within a round trip or two). Idempotence caveats are the
+    /// caller's concern, as with real ZooKeeper.
     pub fn request(&mut self, req: ZkRequest) -> ZkResponse {
         if !req.is_read() {
             // Conservative: mark dirty before the send, so a write whose ack
@@ -559,7 +546,7 @@ impl<T: ClientTransport> ZkClient<T> {
         for attempt in 0..8 {
             let resp = self.raw_request(req.clone());
             match resp.err() {
-                Some(e @ (ZkError::ConnectionLoss | ZkError::Net)) => last = e,
+                Some(e @ (ZkError::ConnectionLoss | ZkError::Net | ZkError::TxnBusy)) => last = e,
                 _ => return resp,
             }
             self.transport.on_retry();
@@ -674,6 +661,46 @@ impl<T: ClientTransport> ZkClient<T> {
         }
     }
 
+    /// Create with missing-ancestor materialization (`mkdir -p` for the
+    /// parent chain) — the create the sharded client routes everywhere,
+    /// since a shard owns a path without necessarily owning its ancestors.
+    pub fn create_path(
+        &mut self,
+        path: &str,
+        data: Bytes,
+        mode: CreateMode,
+    ) -> Result<String, ZkError> {
+        match self.request(ZkRequest::CreatePath { path: path.into(), data, mode }) {
+            ZkResponse::Created { path } => Ok(path),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// 2PC phase one: validate and fence this shard's slice of transaction
+    /// `txn_id`, parking the ops durably until a decision.
+    pub fn txn_prepare(&mut self, txn_id: u64, ops: Vec<MultiOp>) -> Result<(), ZkError> {
+        match self.request(ZkRequest::TxnPrepare { txn_id, ops }) {
+            ZkResponse::Prepared => Ok(()),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// 2PC decision: commit the prepared slice of `txn_id` (idempotent).
+    pub fn txn_commit(&mut self, txn_id: u64) -> Result<(), ZkError> {
+        match self.request(ZkRequest::TxnCommit { txn_id }) {
+            ZkResponse::Committed => Ok(()),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
+    /// 2PC decision: abort the prepared slice of `txn_id` (idempotent).
+    pub fn txn_abort(&mut self, txn_id: u64) -> Result<(), ZkError> {
+        match self.request(ZkRequest::TxnAbort { txn_id }) {
+            ZkResponse::Aborted => Ok(()),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
     /// Barrier: propose a no-op through ZAB and wait for the serving
     /// replica to apply it. When it returns, that replica has applied every
     /// write committed before the barrier was issued (total order), so
@@ -690,6 +717,13 @@ impl<T: ClientTransport> ZkClient<T> {
             }
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
+    }
+
+    /// Whether this session has written since its last `sync` barrier.
+    /// The sharded client uses this to barrier only the shards a write
+    /// actually touched.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
     }
 
     /// Liveness ping; returns the server's applied zxid.

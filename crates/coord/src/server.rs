@@ -15,7 +15,7 @@ use dufs_zab::{
     DurableState, EnsembleConfig, PeerId, PersistEvent, Role, ZabAction, ZabConfig, ZabMsg,
     ZabPeer, ZabTimer, Zxid,
 };
-use dufs_zkstore::{snapshot, DataTree, ZkError};
+use dufs_zkstore::{path as zkpath, snapshot, ChangeEvent, DataTree, MultiOp, ZkError};
 
 use crate::api::{ZkRequest, ZkResponse};
 use crate::txn::{Txn, TxnOp};
@@ -184,6 +184,54 @@ struct SessionInfo {
     last_heard_ms: u64,
 }
 
+/// A cross-shard transaction slice parked between prepare and decision.
+///
+/// This is the *in-memory index* only: the authoritative copy lives in the
+/// tree itself as a `/__txn/<id>` marker znode, so it rides through WAL
+/// replay, checkpoints and ZAB snapshot installs for free and is rebuilt
+/// from the tree by [`CoordServer::rebuild_txn_state`].
+struct PreparedTxn {
+    session: u64,
+    ops: Vec<MultiOp>,
+}
+
+/// Namespace prefix under which prepared-transaction markers live. Paths
+/// under it are infrastructure, not user namespace — the sharded content
+/// digest and mdtest walks exclude them.
+pub const TXN_PREFIX: &str = "/__txn";
+
+fn txn_marker_path(txn_id: u64) -> String {
+    format!("{TXN_PREFIX}/{txn_id:016x}")
+}
+
+fn op_path(op: &MultiOp) -> &str {
+    match op {
+        MultiOp::Create { path, .. }
+        | MultiOp::Delete { path, .. }
+        | MultiOp::SetData { path, .. }
+        | MultiOp::Check { path, .. } => path,
+    }
+}
+
+/// Whether `path` or any of its ancestors carries a fence owned by a
+/// transaction other than `exempt`. Creates must check the whole ancestor
+/// chain: materializing a node *under* a directory fenced for deletion
+/// would make the prepared delete fail at commit time.
+fn fenced_for_create(fences: &HashMap<String, u64>, path: &str, exempt: Option<u64>) -> bool {
+    let clashes = |p: &str| fences.get(p).is_some_and(|&o| Some(o) != exempt);
+    if clashes(path) {
+        return true;
+    }
+    let mut cur = path;
+    while let Some(par) = zkpath::parent(cur) {
+        if clashes(par) {
+            return true;
+        }
+        cur = par;
+    }
+    false
+}
+
 /// One coordination server (one member of the ensemble).
 pub struct CoordServer {
     me: PeerId,
@@ -201,6 +249,13 @@ pub struct CoordServer {
     last_applied: u64,
     /// Count of transactions applied (for perf accounting).
     applied_count: u64,
+    /// Prepared (undecided) cross-shard transactions, indexed by txn id —
+    /// an in-memory mirror of the `/__txn/*` marker znodes.
+    prepared_txns: HashMap<u64, PreparedTxn>,
+    /// Path → owning txn id for every path touched by a prepared
+    /// transaction. Normal writes against a fenced path are rejected with
+    /// [`ZkError::TxnBusy`] until the decision clears the fence.
+    txn_fences: HashMap<String, u64>,
     /// Durable write-ahead log; `None` runs the server purely in memory
     /// (the pre-WAL behaviour, used by the simulator's baseline figures).
     wal: Option<Wal>,
@@ -243,6 +298,8 @@ impl CoordServer {
             next_session: 1,
             last_applied: 0,
             applied_count: 0,
+            prepared_txns: HashMap::new(),
+            txn_fences: HashMap::new(),
             wal: None,
             fenced: false,
         };
@@ -283,6 +340,8 @@ impl CoordServer {
             next_session,
             last_applied: 0,
             applied_count: 0,
+            prepared_txns: HashMap::new(),
+            txn_fences: HashMap::new(),
             wal: Some(wal),
             fenced: false,
         };
@@ -345,6 +404,10 @@ impl CoordServer {
     pub fn is_durable(&self) -> bool {
         self.wal.is_some()
     }
+    /// Number of prepared (undecided) cross-shard transactions parked here.
+    pub fn prepared_txn_count(&self) -> usize {
+        self.prepared_txns.len()
+    }
     /// Whether the server has self-fenced after a WAL failure.
     pub fn is_fenced(&self) -> bool {
         self.fenced
@@ -405,6 +468,8 @@ impl CoordServer {
         self.watches = WatchManager::new();
         self.pending.clear();
         self.sessions.clear();
+        self.prepared_txns.clear();
+        self.txn_fences.clear();
         self.last_applied = 0;
     }
 
@@ -605,6 +670,40 @@ impl CoordServer {
             ZkRequest::Multi { ops } => {
                 self.submit_write(now_ns, client, req_id, session, TxnOp::Multi { ops }, out);
             }
+            ZkRequest::CreatePath { path, data, mode } => {
+                self.submit_write(
+                    now_ns,
+                    client,
+                    req_id,
+                    session,
+                    TxnOp::CreatePath { path, data, mode },
+                    out,
+                );
+            }
+            // ---- cross-shard 2PC (coordinator lives client-side) ----
+            ZkRequest::TxnPrepare { txn_id, ops } => {
+                self.submit_write(
+                    now_ns,
+                    client,
+                    req_id,
+                    session,
+                    TxnOp::Prepare2pc { txn_id, ops },
+                    out,
+                );
+            }
+            ZkRequest::TxnCommit { txn_id } => {
+                self.submit_write(
+                    now_ns,
+                    client,
+                    req_id,
+                    session,
+                    TxnOp::Commit2pc { txn_id },
+                    out,
+                );
+            }
+            ZkRequest::TxnAbort { txn_id } => {
+                self.submit_write(now_ns, client, req_id, session, TxnOp::Abort2pc { txn_id }, out);
+            }
         }
     }
 
@@ -803,12 +902,17 @@ impl CoordServer {
                 ZabAction::Deliver { zxid, txn } => self.apply(zxid, txn, out),
                 ZabAction::ResetState => {
                     self.tree = DataTree::new();
+                    self.prepared_txns.clear();
+                    self.txn_fences.clear();
                     self.last_applied = 0;
                 }
                 ZabAction::RestoreSnapshot { zxid, blob } => {
                     self.tree = snapshot::decode(&blob)
                         .expect("a replica only ships snapshots it produced");
                     self.last_applied = zxid.as_u64();
+                    // The snapshot may carry `/__txn/*` markers for
+                    // transactions prepared before it was cut.
+                    self.rebuild_txn_state();
                 }
                 ZabAction::BecameLeader { .. } | ZabAction::BecameFollower { .. } => {}
                 ZabAction::StartedElection => {
@@ -871,44 +975,271 @@ impl CoordServer {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Cross-shard 2PC participant
+    // ------------------------------------------------------------------
+
+    /// Whether a *normal* write conflicts with a prepared transaction's
+    /// fences. Returns the error to answer with, or `None` to proceed.
+    /// 2PC control ops are exempt (prepare does its own conflict check).
+    fn txn_fence_conflict(&self, op: &TxnOp) -> Option<ZkError> {
+        if self.txn_fences.is_empty() {
+            return None;
+        }
+        let busy = |p: &str| self.txn_fences.contains_key(p);
+        let hit = match op {
+            // Creates check the whole ancestor chain (see
+            // `fenced_for_create`): CreatePath materializes ancestors, and
+            // even a plain create must not add a child under a directory
+            // fenced for deletion.
+            TxnOp::Create { path, .. } | TxnOp::CreatePath { path, .. } => {
+                fenced_for_create(&self.txn_fences, path, None)
+            }
+            TxnOp::Delete { path, .. } | TxnOp::SetData { path, .. } => busy(path),
+            TxnOp::Multi { ops } => ops.iter().any(|op| match op {
+                MultiOp::Create { path, .. } => fenced_for_create(&self.txn_fences, path, None),
+                MultiOp::Delete { path, .. }
+                | MultiOp::SetData { path, .. }
+                | MultiOp::Check { path, .. } => busy(path),
+            }),
+            _ => false,
+        };
+        hit.then_some(ZkError::TxnBusy)
+    }
+
+    /// Phase one: validate this shard's slice against the current tree,
+    /// fence its paths, and park the ops in a `/__txn/<id>` marker znode.
+    /// The marker makes the prepared state part of the replicated tree, so
+    /// WAL replay, checkpoints and snapshot installs carry it implicitly.
+    fn apply_prepare(
+        &mut self,
+        txn_id: u64,
+        ops: &[MultiOp],
+        session: u64,
+        z: u64,
+        t: u64,
+    ) -> (ZkResponse, Vec<ChangeEvent>) {
+        if self.prepared_txns.contains_key(&txn_id) {
+            // Coordinator retry of an already-prepared slice.
+            return (ZkResponse::Prepared, Vec::new());
+        }
+        // Conflict with another undecided transaction?
+        for op in ops {
+            let clashed = match op {
+                MultiOp::Create { path, .. } => {
+                    fenced_for_create(&self.txn_fences, path, Some(txn_id))
+                }
+                _ => self.txn_fences.get(op_path(op)).is_some_and(|&o| o != txn_id),
+            };
+            if clashed {
+                return (ZkResponse::Error(ZkError::TxnBusy), Vec::new());
+            }
+        }
+        // Dry-run validation, mirroring what commit will do (creates get
+        // ancestor materialization there, so a missing parent is fine).
+        for op in ops {
+            let check = match op {
+                MultiOp::Create { path, .. } => match self.tree.exists(path) {
+                    Ok(Some(_)) => Err(ZkError::NodeExists),
+                    Ok(None) => Ok(()),
+                    Err(e) => Err(e),
+                },
+                MultiOp::Delete { path, version } => match self.tree.get_children(path) {
+                    Ok((names, _)) if !names.is_empty() => Err(ZkError::NotEmpty),
+                    Ok((_, stat)) => match version {
+                        Some(v) if *v != stat.version => Err(ZkError::BadVersion),
+                        _ => Ok(()),
+                    },
+                    Err(e) => Err(e),
+                },
+                MultiOp::SetData { path, version, .. } | MultiOp::Check { path, version } => {
+                    match self.tree.exists(path) {
+                        Ok(Some(stat)) => match version {
+                            Some(v) if *v != stat.version => Err(ZkError::BadVersion),
+                            _ => Ok(()),
+                        },
+                        Ok(None) => Err(ZkError::NoNode),
+                        Err(e) => Err(e),
+                    }
+                }
+            };
+            if let Err(e) = check {
+                return (ZkResponse::Error(e), Vec::new());
+            }
+        }
+        // Park the slice in the tree and index it.
+        let marker = Txn {
+            session,
+            op: TxnOp::Prepare2pc { txn_id, ops: ops.to_vec() },
+            origin: PeerId(0),
+            tag: 0,
+            time_ns: 0,
+        };
+        let events = match self.tree.create_path(
+            &txn_marker_path(txn_id),
+            marker.encode(),
+            dufs_zkstore::CreateMode::Persistent,
+            0,
+            z,
+            t,
+        ) {
+            Ok((_, ev)) => ev,
+            Err(e) => return (ZkResponse::Error(e), Vec::new()),
+        };
+        for op in ops {
+            self.txn_fences.insert(op_path(op).to_string(), txn_id);
+        }
+        self.prepared_txns.insert(txn_id, PreparedTxn { session, ops: ops.to_vec() });
+        (ZkResponse::Prepared, events)
+    }
+
+    /// Decision: apply the prepared slice. Unknown txn ids answer
+    /// `Committed` too — the coordinator's decision is final, a marker only
+    /// disappears *because* a decision already applied, so a retry after
+    /// recovery must see success, not an error.
+    fn apply_commit(&mut self, txn_id: u64, z: u64, t: u64) -> (ZkResponse, Vec<ChangeEvent>) {
+        let Some(p) = self.prepared_txns.remove(&txn_id) else {
+            return (ZkResponse::Committed, Vec::new());
+        };
+        self.drop_txn_fences(txn_id);
+        let mut events = Vec::new();
+        for op in &p.ops {
+            // Validated at prepare and fenced since, so these cannot fail;
+            // results are discarded (the coordinator already has them).
+            match op {
+                MultiOp::Create { path, data, mode } => {
+                    if let Ok((_, ev)) =
+                        self.tree.create_path(path, data.clone(), *mode, p.session, z, t)
+                    {
+                        events.extend(ev);
+                    }
+                }
+                MultiOp::Delete { path, version } => {
+                    if let Ok(ev) = self.tree.delete(path, *version, z, t) {
+                        events.extend(ev);
+                    }
+                }
+                MultiOp::SetData { path, data, version } => {
+                    if let Ok((_, ev)) = self.tree.set_data(path, data.clone(), *version, z, t) {
+                        events.extend(ev);
+                    }
+                }
+                MultiOp::Check { .. } => {}
+            }
+        }
+        if let Ok(ev) = self.tree.delete(&txn_marker_path(txn_id), None, z, t) {
+            events.extend(ev);
+        }
+        (ZkResponse::Committed, events)
+    }
+
+    /// Decision: discard the prepared slice. Idempotent like commit.
+    fn apply_abort(&mut self, txn_id: u64, z: u64, t: u64) -> (ZkResponse, Vec<ChangeEvent>) {
+        let Some(_) = self.prepared_txns.remove(&txn_id) else {
+            return (ZkResponse::Aborted, Vec::new());
+        };
+        self.drop_txn_fences(txn_id);
+        let mut events = Vec::new();
+        if let Ok(ev) = self.tree.delete(&txn_marker_path(txn_id), None, z, t) {
+            events.extend(ev);
+        }
+        (ZkResponse::Aborted, events)
+    }
+
+    fn drop_txn_fences(&mut self, txn_id: u64) {
+        self.txn_fences.retain(|_, &mut owner| owner != txn_id);
+    }
+
+    /// Re-derive the prepared-transaction index from the `/__txn/*` marker
+    /// znodes after the tree was replaced wholesale (snapshot install).
+    fn rebuild_txn_state(&mut self) {
+        self.prepared_txns.clear();
+        self.txn_fences.clear();
+        let Ok((names, _)) = self.tree.get_children(TXN_PREFIX) else { return };
+        for n in names {
+            let Ok((data, _)) = self.tree.get_data(&format!("{TXN_PREFIX}/{n}")) else { continue };
+            let Ok(marker) = Txn::decode(&data) else { continue };
+            if let TxnOp::Prepare2pc { txn_id, ops } = marker.op {
+                for op in &ops {
+                    self.txn_fences.insert(op_path(op).to_string(), txn_id);
+                }
+                self.prepared_txns.insert(txn_id, PreparedTxn { session: marker.session, ops });
+            }
+        }
+    }
+
     fn apply(&mut self, zxid: Zxid, txn: Txn, out: &mut Vec<ServerOut>) {
         let z = zxid.as_u64();
         let t = txn.time_ns;
-        let (resp, events) = match &txn.op {
-            TxnOp::Create { path, data, mode } => {
-                match self.tree.create(path, data.clone(), *mode, txn.session, z, t) {
-                    Ok((actual, ev)) => (ZkResponse::Created { path: actual }, ev),
+        let (resp, events) = if let Some(e) = self.txn_fence_conflict(&txn.op) {
+            // The op touches a path parked under a prepared (undecided)
+            // cross-shard transaction. Rejecting *at apply time* keeps the
+            // outcome identical on every replica; the client retries once
+            // the decision clears the fence.
+            (ZkResponse::Error(e), Vec::new())
+        } else {
+            match &txn.op {
+                TxnOp::Create { path, data, mode } => {
+                    match self.tree.create(path, data.clone(), *mode, txn.session, z, t) {
+                        Ok((actual, ev)) => (ZkResponse::Created { path: actual }, ev),
+                        Err(e) => (ZkResponse::Error(e), Vec::new()),
+                    }
+                }
+                TxnOp::CreatePath { path, data, mode } => {
+                    match self.tree.create_path(path, data.clone(), *mode, txn.session, z, t) {
+                        Ok((actual, ev)) => (ZkResponse::Created { path: actual }, ev),
+                        Err(e) => (ZkResponse::Error(e), Vec::new()),
+                    }
+                }
+                TxnOp::Delete { path, version } => match self.tree.delete(path, *version, z, t) {
+                    Ok(ev) => (ZkResponse::Deleted, ev),
                     Err(e) => (ZkResponse::Error(e), Vec::new()),
+                },
+                TxnOp::SetData { path, data, version } => {
+                    match self.tree.set_data(path, data.clone(), *version, z, t) {
+                        Ok((stat, ev)) => (ZkResponse::Stat(stat), ev),
+                        Err(e) => (ZkResponse::Error(e), Vec::new()),
+                    }
                 }
-            }
-            TxnOp::Delete { path, version } => match self.tree.delete(path, *version, z, t) {
-                Ok(ev) => (ZkResponse::Deleted, ev),
-                Err(e) => (ZkResponse::Error(e), Vec::new()),
-            },
-            TxnOp::SetData { path, data, version } => {
-                match self.tree.set_data(path, data.clone(), *version, z, t) {
-                    Ok((stat, ev)) => (ZkResponse::Stat(stat), ev),
-                    Err(e) => (ZkResponse::Error(e), Vec::new()),
+                TxnOp::Multi { ops } => match self.tree.apply_multi(ops, txn.session, z, t) {
+                    Ok((results, ev)) => (ZkResponse::MultiResults(results), ev),
+                    Err((_, e)) => (ZkResponse::Error(e), Vec::new()),
+                },
+                TxnOp::CreateSession { session } => {
+                    (ZkResponse::Connected { session: *session }, Vec::new())
                 }
-            }
-            TxnOp::Multi { ops } => match self.tree.apply_multi(ops, txn.session, z, t) {
-                Ok((results, ev)) => (ZkResponse::MultiResults(results), ev),
-                Err((_, e)) => (ZkResponse::Error(e), Vec::new()),
-            },
-            TxnOp::CreateSession { session } => {
-                (ZkResponse::Connected { session: *session }, Vec::new())
-            }
-            TxnOp::CloseSession { session } => {
-                let (_, ev) = self.tree.close_session(*session, z, t);
-                if let Some(info) = self.sessions.remove(session) {
-                    self.watches.drop_client(info.client);
+                TxnOp::CloseSession { session } => {
+                    let (_, mut ev) = self.tree.close_session(*session, z, t);
+                    // A dead coordinator must not leave its fences behind
+                    // forever: abort every transaction the session had
+                    // prepared but not yet decided. (Sorted for a
+                    // replica-deterministic event order.)
+                    let mut orphaned: Vec<u64> = self
+                        .prepared_txns
+                        .iter()
+                        .filter(|(_, p)| p.session == *session)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    orphaned.sort_unstable();
+                    for id in orphaned {
+                        let (_, e2) = self.apply_abort(id, z, t);
+                        ev.extend(e2);
+                    }
+                    if let Some(info) = self.sessions.remove(session) {
+                        self.watches.drop_client(info.client);
+                    }
+                    (ZkResponse::Closed, ev)
                 }
-                (ZkResponse::Closed, ev)
+                // A sync barrier: nothing to mutate. The response below (at
+                // the origin) proves this replica has applied everything
+                // committed before the barrier.
+                TxnOp::Noop => (ZkResponse::Synced { zxid: z }, Vec::new()),
+                TxnOp::Prepare2pc { txn_id, ops } => {
+                    self.apply_prepare(*txn_id, ops, txn.session, z, t)
+                }
+                TxnOp::Commit2pc { txn_id } => self.apply_commit(*txn_id, z, t),
+                TxnOp::Abort2pc { txn_id } => self.apply_abort(*txn_id, z, t),
             }
-            // A sync barrier: nothing to mutate. The response below (at
-            // the origin) proves this replica has applied everything
-            // committed before the barrier.
-            TxnOp::Noop => (ZkResponse::Synced { zxid: z }, Vec::new()),
         };
         self.last_applied = z;
         self.applied_count += 1;
@@ -1280,6 +1611,353 @@ mod tests {
         let _ = s.on_restart(9_000_000);
         assert_eq!(s.tree().digest(), digest, "restart replays the committed log");
         assert!(s.is_leader());
+    }
+
+    #[test]
+    fn prepare_commit_applies_and_clears_fences() {
+        use dufs_zkstore::MultiOp;
+        let mut s = single();
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create {
+                path: "/src".into(),
+                data: Bytes::from_static(b"fid"),
+                mode: CreateMode::Persistent,
+            },
+        );
+        let resp = req(
+            &mut s,
+            0,
+            ZkRequest::TxnPrepare {
+                txn_id: 7,
+                ops: vec![
+                    MultiOp::Delete { path: "/src".into(), version: None },
+                    MultiOp::Create {
+                        path: "/dst/deep/leaf".into(),
+                        data: Bytes::from_static(b"fid"),
+                        mode: CreateMode::Persistent,
+                    },
+                ],
+            },
+        );
+        assert_eq!(resp, ZkResponse::Prepared);
+        assert_eq!(s.prepared_txn_count(), 1);
+        // Fenced paths reject normal writes deterministically...
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Delete { path: "/src".into(), version: None }),
+            ZkResponse::Error(ZkError::TxnBusy)
+        );
+        // ...including creates *under* a path fenced for deletion.
+        assert_eq!(
+            req(
+                &mut s,
+                0,
+                ZkRequest::CreatePath {
+                    path: "/src/child".into(),
+                    data: Bytes::new(),
+                    mode: CreateMode::Persistent,
+                },
+            ),
+            ZkResponse::Error(ZkError::TxnBusy)
+        );
+        // A second transaction touching a fenced path cannot prepare.
+        assert_eq!(
+            req(
+                &mut s,
+                0,
+                ZkRequest::TxnPrepare {
+                    txn_id: 8,
+                    ops: vec![MultiOp::SetData {
+                        path: "/src".into(),
+                        data: Bytes::new(),
+                        version: None,
+                    }],
+                },
+            ),
+            ZkResponse::Error(ZkError::TxnBusy)
+        );
+        // Prepare retry is idempotent.
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::TxnPrepare { txn_id: 7, ops: vec![] }),
+            ZkResponse::Prepared
+        );
+        // Commit applies the slice, materializing ancestors for the create.
+        assert_eq!(req(&mut s, 0, ZkRequest::TxnCommit { txn_id: 7 }), ZkResponse::Committed);
+        assert_eq!(s.prepared_txn_count(), 0);
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/src".into(), watch: false }),
+            ZkResponse::ExistsResult(None)
+        );
+        assert!(matches!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/dst/deep/leaf".into(), watch: false }),
+            ZkResponse::ExistsResult(Some(_))
+        ));
+        // Marker gone; fences cleared.
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::GetChildren { path: TXN_PREFIX.into(), watch: false }),
+            ZkResponse::Children {
+                names: vec![],
+                stat: match req(
+                    &mut s,
+                    0,
+                    ZkRequest::Exists { path: TXN_PREFIX.into(), watch: false }
+                ) {
+                    ZkResponse::ExistsResult(Some(stat)) => stat,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        );
+        assert!(matches!(
+            req(&mut s, 0, ZkRequest::Delete { path: "/dst/deep/leaf".into(), version: None }),
+            ZkResponse::Deleted
+        ));
+        // Decision retry after the fact still reports success.
+        assert_eq!(req(&mut s, 0, ZkRequest::TxnCommit { txn_id: 7 }), ZkResponse::Committed);
+        assert_eq!(req(&mut s, 0, ZkRequest::TxnAbort { txn_id: 999 }), ZkResponse::Aborted);
+    }
+
+    #[test]
+    fn prepare_validates_against_the_current_tree() {
+        use dufs_zkstore::MultiOp;
+        let mut s = single();
+        // Delete of a missing node fails at prepare, leaving nothing fenced.
+        assert_eq!(
+            req(
+                &mut s,
+                0,
+                ZkRequest::TxnPrepare {
+                    txn_id: 1,
+                    ops: vec![MultiOp::Delete { path: "/missing".into(), version: None }],
+                },
+            ),
+            ZkResponse::Error(ZkError::NoNode)
+        );
+        assert_eq!(s.prepared_txn_count(), 0);
+        // Create of an existing node fails at prepare.
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create {
+                path: "/x".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            },
+        );
+        assert_eq!(
+            req(
+                &mut s,
+                0,
+                ZkRequest::TxnPrepare {
+                    txn_id: 2,
+                    ops: vec![MultiOp::Create {
+                        path: "/x".into(),
+                        data: Bytes::new(),
+                        mode: CreateMode::Persistent,
+                    }],
+                },
+            ),
+            ZkResponse::Error(ZkError::NodeExists)
+        );
+        // Stale version check fails at prepare.
+        assert_eq!(
+            req(
+                &mut s,
+                0,
+                ZkRequest::TxnPrepare {
+                    txn_id: 3,
+                    ops: vec![MultiOp::Check { path: "/x".into(), version: Some(5) }],
+                },
+            ),
+            ZkResponse::Error(ZkError::BadVersion)
+        );
+    }
+
+    #[test]
+    fn abort_discards_the_slice_and_unfences() {
+        use dufs_zkstore::MultiOp;
+        let mut s = single();
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create {
+                path: "/keep".into(),
+                data: Bytes::from_static(b"v"),
+                mode: CreateMode::Persistent,
+            },
+        );
+        assert_eq!(
+            req(
+                &mut s,
+                0,
+                ZkRequest::TxnPrepare {
+                    txn_id: 4,
+                    ops: vec![MultiOp::Delete { path: "/keep".into(), version: None }],
+                },
+            ),
+            ZkResponse::Prepared
+        );
+        assert_eq!(req(&mut s, 0, ZkRequest::TxnAbort { txn_id: 4 }), ZkResponse::Aborted);
+        assert!(matches!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/keep".into(), watch: false }),
+            ZkResponse::ExistsResult(Some(_))
+        ));
+        // Fence is gone: the path is writable again.
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Delete { path: "/keep".into(), version: None }),
+            ZkResponse::Deleted
+        );
+    }
+
+    #[test]
+    fn close_session_aborts_its_prepared_txns() {
+        use dufs_zkstore::MultiOp;
+        let mut s = single();
+        let ZkResponse::Connected { session } = req(&mut s, 0, ZkRequest::Connect) else {
+            panic!()
+        };
+        req(
+            &mut s,
+            session,
+            ZkRequest::Create {
+                path: "/f".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            },
+        );
+        assert_eq!(
+            req(
+                &mut s,
+                session,
+                ZkRequest::TxnPrepare {
+                    txn_id: 11,
+                    ops: vec![MultiOp::Delete { path: "/f".into(), version: None }],
+                },
+            ),
+            ZkResponse::Prepared
+        );
+        assert_eq!(req(&mut s, session, ZkRequest::CloseSession), ZkResponse::Closed);
+        assert_eq!(s.prepared_txn_count(), 0, "dead coordinator's txn aborted");
+        // The fence died with the session.
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Delete { path: "/f".into(), version: None }),
+            ZkResponse::Deleted
+        );
+    }
+
+    #[test]
+    fn prepared_txn_survives_crash_and_restart() {
+        use dufs_zkstore::MultiOp;
+        let mut s = single();
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create {
+                path: "/src".into(),
+                data: Bytes::from_static(b"fid"),
+                mode: CreateMode::Persistent,
+            },
+        );
+        assert_eq!(
+            req(
+                &mut s,
+                0,
+                ZkRequest::TxnPrepare {
+                    txn_id: 21,
+                    ops: vec![MultiOp::Delete { path: "/src".into(), version: None }],
+                },
+            ),
+            ZkResponse::Prepared
+        );
+        s.on_crash();
+        let _ = s.on_restart(5_000_000);
+        assert_eq!(s.prepared_txn_count(), 1, "log replay reinstates the prepared slice");
+        // Fences replayed too: the path is still parked...
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Delete { path: "/src".into(), version: None }),
+            ZkResponse::Error(ZkError::TxnBusy)
+        );
+        // ...until the (retried) decision lands.
+        assert_eq!(req(&mut s, 0, ZkRequest::TxnCommit { txn_id: 21 }), ZkResponse::Committed);
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/src".into(), watch: false }),
+            ZkResponse::ExistsResult(None)
+        );
+    }
+
+    #[test]
+    fn prepared_txn_survives_checkpoint_compaction() {
+        use dufs_zkstore::MultiOp;
+        let mut s = single();
+        req(
+            &mut s,
+            0,
+            ZkRequest::Create {
+                path: "/src".into(),
+                data: Bytes::from_static(b"fid"),
+                mode: CreateMode::Persistent,
+            },
+        );
+        assert_eq!(
+            req(
+                &mut s,
+                0,
+                ZkRequest::TxnPrepare {
+                    txn_id: 31,
+                    ops: vec![MultiOp::Delete { path: "/src".into(), version: None }],
+                },
+            ),
+            ZkResponse::Prepared
+        );
+        // Push the prepare below a checkpoint, so restart recovers it from
+        // the snapshot (marker znode), not from log replay.
+        for i in 0..super::CHECKPOINT_EVERY + 10 {
+            req(
+                &mut s,
+                0,
+                ZkRequest::Create {
+                    path: format!("/n{i}"),
+                    data: Bytes::new(),
+                    mode: CreateMode::Persistent,
+                },
+            );
+        }
+        assert!(s.snapshot_zxid() > 0);
+        s.on_crash();
+        let _ = s.on_restart(9_000_000);
+        assert_eq!(s.prepared_txn_count(), 1, "marker came back via the snapshot");
+        assert_eq!(
+            req(
+                &mut s,
+                0,
+                ZkRequest::SetData { path: "/src".into(), data: Bytes::new(), version: None }
+            ),
+            ZkResponse::Error(ZkError::TxnBusy)
+        );
+        assert_eq!(req(&mut s, 0, ZkRequest::TxnAbort { txn_id: 31 }), ZkResponse::Aborted);
+        assert!(matches!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/src".into(), watch: false }),
+            ZkResponse::ExistsResult(Some(_))
+        ));
+    }
+
+    #[test]
+    fn create_path_materializes_ancestors_through_the_full_path() {
+        let mut s = single();
+        let resp = req(
+            &mut s,
+            0,
+            ZkRequest::CreatePath {
+                path: "/a/b/c".into(),
+                data: Bytes::from_static(b"v"),
+                mode: CreateMode::Persistent,
+            },
+        );
+        assert_eq!(resp, ZkResponse::Created { path: "/a/b/c".into() });
+        assert!(matches!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/a/b".into(), watch: false }),
+            ZkResponse::ExistsResult(Some(_))
+        ));
     }
 
     #[test]

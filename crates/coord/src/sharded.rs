@@ -1,0 +1,772 @@
+//! The sharded namespace: N independent ensembles behind one client.
+//!
+//! This is the paper's thesis applied to the metadata service itself: where
+//! a single ZAB ensemble serializes every mutation through one leader, a
+//! [`ShardedCluster`] runs N ensembles side by side and a [`ShardedClient`]
+//! routes each operation to the shard that owns it via the consistent-hash
+//! ring in [`crate::shard`]. Single-path operations (the overwhelming
+//! majority of a filesystem workload) touch exactly one shard and proceed
+//! with zero cross-shard coordination — create throughput scales with the
+//! shard count while each shard individually keeps ZooKeeper's ordering
+//! guarantees.
+//!
+//! **What a shard owns.** Placement is by parent directory
+//! ([`HashRing::route_path`]), so all children of a directory — and the
+//! directory's child listing — live on one shard. Because a shard owns
+//! `/a/b/c` without necessarily owning `/a` or `/a/b`, sharded creates use
+//! the server-side `CreatePath` (`mkdir -p`) operation, which materializes
+//! missing ancestors on the owning shard on demand.
+//!
+//! **Cross-shard atomicity.** Multi-ops whose paths land on different
+//! shards run as a client-coordinated two-phase commit built on the
+//! servers' prepared-transaction support: each participant shard durably
+//! parks and fences its slice (`TxnPrepare`), then the coordinator issues
+//! the decision (`TxnCommit`/`TxnAbort`) to every participant. Prepared
+//! state lives in each shard's replicated tree (under `/__txn`), so it
+//! rides the WAL and survives `kill -9` of any member; decisions are
+//! idempotent and may be re-issued by *any* session, which is exactly what
+//! a client does when it crashes mid-decision and retries.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use dufs_coord::cluster::ClusterBuilder;
+//!
+//! let cluster = ClusterBuilder::new().voters(1).shards(2).sharded_threads();
+//! let mut client = cluster.client().unwrap();
+//! client.create("/dir/a", Bytes::from_static(b"a")).unwrap();
+//! client.create("/dir/b", Bytes::from_static(b"b")).unwrap();
+//! // Siblings colocate: one shard owns both, and the listing.
+//! assert_eq!(client.get_children("/dir").unwrap(), vec!["a", "b"]);
+//! cluster.shutdown();
+//! ```
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use dufs_zkstore::{path as zkpath, CreateMode, MultiOp, Stat, ZkError};
+
+use crate::api::{ClientOptions, ReadConsistency, Watch};
+use crate::runtime::{ClientTransport, ServerStatus, ThreadCluster, ZkClient};
+use crate::shard::{is_internal_path, HashRing, ShardConfig, DEFAULT_VNODES, SHARD_CONFIG_PATH};
+use crate::tcp::TcpCluster;
+use crate::watch::WatchKind;
+
+/// The ensemble operations [`ShardedCluster`] needs from a runtime, so one
+/// sharded implementation drives both the threaded and the TCP clusters.
+pub trait ClusterHandle: Sized {
+    /// The client transport this runtime hands out.
+    type Transport: ClientTransport;
+
+    /// Open a session against this ensemble.
+    fn client(&self, opts: ClientOptions) -> Result<ZkClient<Self::Transport>, ZkError>;
+    /// Block until the ensemble has an established leader.
+    fn await_leader(&self, timeout: Duration) -> Option<usize>;
+    /// Probe one member.
+    fn status(&self, server_idx: usize) -> ServerStatus;
+    /// Ensemble size.
+    fn members(&self) -> usize;
+    /// Tear the ensemble down.
+    fn shutdown(self);
+}
+
+impl ClusterHandle for ThreadCluster {
+    type Transport = crate::runtime::ChannelTransport;
+
+    fn client(&self, opts: ClientOptions) -> Result<ZkClient<Self::Transport>, ZkError> {
+        ThreadCluster::client(self, opts)
+    }
+    fn await_leader(&self, timeout: Duration) -> Option<usize> {
+        ThreadCluster::await_leader(self, timeout)
+    }
+    fn status(&self, server_idx: usize) -> ServerStatus {
+        ThreadCluster::status(self, server_idx)
+    }
+    fn members(&self) -> usize {
+        ThreadCluster::len(self)
+    }
+    fn shutdown(self) {
+        ThreadCluster::shutdown(self);
+    }
+}
+
+impl ClusterHandle for TcpCluster {
+    type Transport = crate::tcp::TcpTransport;
+
+    fn client(&self, opts: ClientOptions) -> Result<ZkClient<Self::Transport>, ZkError> {
+        TcpCluster::client(self, opts)
+    }
+    fn await_leader(&self, timeout: Duration) -> Option<usize> {
+        TcpCluster::await_leader(self, timeout)
+    }
+    fn status(&self, server_idx: usize) -> ServerStatus {
+        TcpCluster::status(self, server_idx)
+    }
+    fn members(&self) -> usize {
+        TcpCluster::len(self)
+    }
+    fn shutdown(self) {
+        TcpCluster::shutdown(self);
+    }
+}
+
+/// N independent ensembles plus the replicated shard-layout config that
+/// lets every client compute the same routing table.
+pub struct ShardedCluster<C: ClusterHandle> {
+    shards: Vec<C>,
+    config: ShardConfig,
+}
+
+impl<C: ClusterHandle> ShardedCluster<C> {
+    /// Wrap already-started ensembles as a sharded namespace: waits for a
+    /// leader in each shard, then writes the [`ShardConfig`] znode at
+    /// [`SHARD_CONFIG_PATH`] to **every** shard so any single shard can
+    /// bootstrap a client's routing table.
+    pub fn from_shards(shards: Vec<C>) -> Result<Self, ZkError> {
+        assert!(!shards.is_empty(), "a sharded cluster needs at least one shard");
+        let config = ShardConfig { epoch: 1, shards: shards.len() as u32, vnodes: DEFAULT_VNODES };
+        for shard in &shards {
+            shard.await_leader(Duration::from_secs(30)).ok_or(ZkError::ConnectionLoss)?;
+            let mut c = shard.client(ClientOptions::at(0).with_failover())?;
+            let payload = Bytes::from(config.encode());
+            match c.create(SHARD_CONFIG_PATH, payload.clone(), CreateMode::Persistent) {
+                Ok(_) => {}
+                // Restarted over a durable directory: refresh the config.
+                Err(ZkError::NodeExists) => {
+                    c.set_data(SHARD_CONFIG_PATH, payload, None)?;
+                }
+                Err(e) => return Err(e),
+            }
+            c.close()?;
+        }
+        Ok(ShardedCluster { shards, config })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The layout this cluster was bootstrapped with.
+    pub fn config(&self) -> ShardConfig {
+        self.config
+    }
+
+    /// Direct access to one shard's ensemble (probes, crash injection).
+    pub fn shard(&self, shard: usize) -> &C {
+        &self.shards[shard]
+    }
+
+    /// Mutable access to one shard's ensemble (e.g. [`TcpCluster::stop`]).
+    pub fn shard_mut(&mut self, shard: usize) -> &mut C {
+        &mut self.shards[shard]
+    }
+
+    /// Probe member `server_idx` of `shard`.
+    pub fn status(&self, shard: usize, server_idx: usize) -> ServerStatus {
+        self.shards[shard].status(server_idx)
+    }
+
+    /// Block until every shard has an established leader.
+    pub fn await_leaders(&self, timeout: Duration) -> bool {
+        self.shards.iter().all(|s| s.await_leader(timeout).is_some())
+    }
+
+    /// Open a routed client session: one inner session per shard, pinned to
+    /// each shard's member 0 with failover, plus the ring read back from
+    /// the config znode.
+    pub fn client(&self) -> Result<ShardedClient<C::Transport>, ZkError> {
+        self.client_with(ClientOptions::at(0).with_failover())
+    }
+
+    /// Open a routed client with explicit per-shard session options (server
+    /// index, failover, read consistency).
+    pub fn client_with(&self, opts: ClientOptions) -> Result<ShardedClient<C::Transport>, ZkError> {
+        let clients = self.shards.iter().map(|s| s.client(opts)).collect::<Result<Vec<_>, _>>()?;
+        ShardedClient::connect(clients)
+    }
+
+    /// Tear down every shard.
+    pub fn shutdown(self) {
+        for s in self.shards {
+            s.shutdown();
+        }
+    }
+}
+
+/// A routed session over a sharded namespace: one [`ZkClient`] per shard,
+/// a [`HashRing`] deciding which one each operation goes to, and a 2PC
+/// coordinator for the (rare) operations that span shards.
+pub struct ShardedClient<T: ClientTransport> {
+    clients: Vec<ZkClient<T>>,
+    ring: HashRing,
+    epoch: u64,
+    txn_seq: u64,
+}
+
+impl<T: ClientTransport> ShardedClient<T> {
+    /// Assemble a routed session from one established inner session per
+    /// shard. Reads the [`ShardConfig`] from shard 0 (leaving a data watch
+    /// so layout changes re-route this session) and checks it matches the
+    /// number of sessions supplied.
+    pub fn connect(mut clients: Vec<ZkClient<T>>) -> Result<Self, ZkError> {
+        assert!(!clients.is_empty(), "a sharded client needs at least one shard session");
+        let (raw, _) = clients[0].get_data(SHARD_CONFIG_PATH, Watch::Set)?;
+        let config = ShardConfig::decode(&raw)?;
+        if config.shards as usize != clients.len() {
+            return Err(ZkError::CorruptSnapshot);
+        }
+        Ok(ShardedClient { ring: config.ring(), epoch: config.epoch, txn_seq: 0, clients })
+    }
+
+    /// The routing table currently in force.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Layout epoch this session last adopted.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards this session is connected to.
+    pub fn shard_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The shard a single-path operation on `path` routes to.
+    pub fn route(&self, path: &str) -> usize {
+        self.ring.route_path(path) as usize
+    }
+
+    /// The shard that owns the child listing of directory `path`.
+    pub fn route_children(&self, path: &str) -> usize {
+        self.ring.route_children(path) as usize
+    }
+
+    /// Direct access to one shard's inner session (benchmarks pipeline on
+    /// these; tests drive 2PC steps through them).
+    pub fn shard_client(&mut self, shard: usize) -> &mut ZkClient<T> {
+        &mut self.clients[shard]
+    }
+
+    /// Adopt any shard-layout change published since the last call: if the
+    /// data watch this session left on [`SHARD_CONFIG_PATH`] has fired,
+    /// re-read the config (re-arming the watch) and rebuild the ring if the
+    /// epoch advanced. Layouts whose shard count differs from this
+    /// session's connection count are ignored — re-routing to shards we
+    /// hold no session for needs a reconnect, not a ring swap.
+    pub fn maybe_refresh(&mut self) -> Result<(), ZkError> {
+        let mut fired = false;
+        while let Some(n) = self.clients[0].take_watch() {
+            if n.path == SHARD_CONFIG_PATH {
+                fired = true;
+            }
+        }
+        if !fired {
+            return Ok(());
+        }
+        let (raw, _) = self.clients[0].get_data(SHARD_CONFIG_PATH, Watch::Set)?;
+        let config = ShardConfig::decode(&raw)?;
+        if config.epoch > self.epoch && config.shards as usize == self.clients.len() {
+            self.ring = config.ring();
+            self.epoch = config.epoch;
+        }
+        Ok(())
+    }
+
+    /// Create a persistent znode, materializing missing ancestors on the
+    /// owning shard (see the module docs for why sharded creates are
+    /// `mkdir -p`). Returns the created path.
+    pub fn create(&mut self, path: &str, data: Bytes) -> Result<String, ZkError> {
+        self.maybe_refresh()?;
+        let s = self.route(path);
+        self.clients[s].create_path(path, data, CreateMode::Persistent)
+    }
+
+    /// Delete a znode (optionally version-checked).
+    ///
+    /// A directory's node can exist in two places: the real node on its
+    /// owner shard and a lazily-materialized copy on its children-owner
+    /// shard (put there by `CreatePath` when children were created). Both
+    /// are removed; the children-owner copy goes first so a still-populated
+    /// directory correctly fails with [`ZkError::NotEmpty`] before anything
+    /// is touched. Once the children-owner copy is gone (or never existed),
+    /// the directory provably has no real children, so a `NotEmpty` from
+    /// the owner copy can only be empty ghost chains left under it by
+    /// deeper `mkdir -p` materialization — those are purged and the delete
+    /// retried.
+    pub fn delete(&mut self, path: &str, version: Option<u32>) -> Result<(), ZkError> {
+        self.maybe_refresh()?;
+        let owner = self.route(path);
+        let kids = self.route_children(path);
+        let mut removed_ghost = false;
+        if kids != owner {
+            match self.clients[kids].delete(path, None) {
+                Ok(()) => removed_ghost = true,
+                Err(ZkError::NoNode) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        match self.clients[owner].delete(path, version) {
+            Ok(()) => Ok(()),
+            // Directory that only ever existed as a materialized ancestor.
+            Err(ZkError::NoNode) if removed_ghost => Ok(()),
+            Err(ZkError::NotEmpty) if kids != owner => {
+                Self::purge_local_subtree(&mut self.clients[owner], path)?;
+                match self.clients[owner].delete(path, version) {
+                    // Ghost residue was all there was.
+                    Err(ZkError::NoNode) if removed_ghost => Ok(()),
+                    r => r,
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove everything under `path` on one shard, deepest first. Only
+    /// called when the children-owner shard has certified the directory is
+    /// logically empty, so the subtree is materialized-ghost residue.
+    fn purge_local_subtree(c: &mut ZkClient<T>, path: &str) -> Result<(), ZkError> {
+        let kids = match c.get_children(path, Watch::None) {
+            Ok((k, _)) => k,
+            Err(ZkError::NoNode) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        for k in kids {
+            let child = if path == "/" { format!("/{k}") } else { format!("{path}/{k}") };
+            Self::purge_local_subtree(c, &child)?;
+            match c.delete(&child, None) {
+                Ok(()) | Err(ZkError::NoNode) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace a znode's data (optionally version-checked).
+    pub fn set_data(
+        &mut self,
+        path: &str,
+        data: Bytes,
+        version: Option<u32>,
+    ) -> Result<Stat, ZkError> {
+        self.maybe_refresh()?;
+        let s = self.route(path);
+        self.clients[s].set_data(path, data, version)
+    }
+
+    /// Read a znode's data and stat.
+    pub fn get_data(&mut self, path: &str) -> Result<(Bytes, Stat), ZkError> {
+        self.maybe_refresh()?;
+        let s = self.route(path);
+        self.clients[s].get_data(path, Watch::None)
+    }
+
+    /// Stat a znode, `None` if absent.
+    pub fn exists(&mut self, path: &str) -> Result<Option<Stat>, ZkError> {
+        self.maybe_refresh()?;
+        let s = self.route(path);
+        self.clients[s].exists(path, Watch::None)
+    }
+
+    /// List a directory's children (sorted). The listing is a single-shard
+    /// read: placement by parent directory puts every child — and the
+    /// listing itself — on [`ShardedClient::route_children`]`(path)`.
+    pub fn get_children(&mut self, path: &str) -> Result<Vec<String>, ZkError> {
+        self.maybe_refresh()?;
+        let s = self.route_children(path);
+        match self.clients[s].get_children(path, Watch::None) {
+            Ok((kids, _)) => Ok(kids),
+            // The directory was never materialized on its children-owner
+            // shard because nothing was created under it there; if it
+            // exists on its *own* owner shard, it is simply empty.
+            Err(ZkError::NoNode) if self.exists_inner(path)? => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn exists_inner(&mut self, path: &str) -> Result<bool, ZkError> {
+        let s = self.route(path);
+        Ok(self.clients[s].exists(path, Watch::None)?.is_some())
+    }
+
+    /// Flush this session's view, barriering **only the shards this
+    /// session has written since its last sync** — the per-shard analogue
+    /// of [`ZkClient::sync`]. Returns the number of shards barriered.
+    pub fn sync(&mut self) -> Result<usize, ZkError> {
+        let mut barriered = 0;
+        for c in &mut self.clients {
+            if c.is_dirty() {
+                c.sync()?;
+                barriered += 1;
+            }
+        }
+        Ok(barriered)
+    }
+
+    /// Atomic multi-op over any mix of shards. Ops that all land on one
+    /// shard execute as that shard's native atomic multi; ops spanning
+    /// shards run as a two-phase commit (see [`ShardedClient::txn_2pc`]),
+    /// in which case partial per-op results are not reported.
+    pub fn multi(&mut self, ops: Vec<MultiOp>) -> Result<(), ZkError> {
+        self.maybe_refresh()?;
+        let slices = self.slice_by_shard(ops);
+        match slices.len() {
+            0 => Ok(()),
+            1 => {
+                let (s, ops) = slices.into_iter().next().expect("one slice");
+                self.clients[s].multi(ops).map(|_| ())
+            }
+            _ => self.txn_2pc(slices).map(|_| ()),
+        }
+    }
+
+    /// Atomically move `src` to `dst` (both leaves): check-and-delete the
+    /// source, create the destination with the source's data. Same-shard
+    /// renames are one native multi; cross-shard renames are a 2PC.
+    pub fn rename(&mut self, src: &str, dst: &str) -> Result<(), ZkError> {
+        self.maybe_refresh()?;
+        let (data, stat) = self.get_data(src)?;
+        let ops = vec![
+            MultiOp::Check { path: src.into(), version: Some(stat.version) },
+            MultiOp::Delete { path: src.into(), version: Some(stat.version) },
+            MultiOp::Create { path: dst.into(), data, mode: CreateMode::Persistent },
+        ];
+        self.multi(ops)
+    }
+
+    /// Group ops into per-shard slices (ascending shard id, op order
+    /// preserved within a shard). Every op routes like the single-path
+    /// operation it embeds: by the parent directory of its path.
+    fn slice_by_shard(&self, ops: Vec<MultiOp>) -> Vec<(usize, Vec<MultiOp>)> {
+        let mut slices: Vec<(usize, Vec<MultiOp>)> = Vec::new();
+        for op in ops {
+            let path = match &op {
+                MultiOp::Create { path, .. }
+                | MultiOp::Delete { path, .. }
+                | MultiOp::SetData { path, .. }
+                | MultiOp::Check { path, .. } => path.as_str(),
+            };
+            let s = self.route(path);
+            match slices.iter_mut().find(|(k, _)| *k == s) {
+                Some((_, v)) => v.push(op),
+                None => slices.push((s, vec![op])),
+            }
+        }
+        slices.sort_by_key(|&(s, _)| s);
+        slices
+    }
+
+    /// Mint a transaction id unique across concurrent sharded sessions
+    /// (folds the unique shard-0 session id into a per-session counter).
+    pub fn mint_txn_id(&mut self) -> u64 {
+        self.txn_seq += 1;
+        self.clients[0].session().wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.txn_seq)
+    }
+
+    /// Run a two-phase commit over per-shard op slices. Phase one prepares
+    /// each participant in ascending shard order (deterministic order keeps
+    /// concurrent coordinators from deadlocking on each other's fences); a
+    /// prepare rejection aborts every already-prepared participant and
+    /// surfaces the rejection. Phase two commits every participant —
+    /// decisions are idempotent, so a coordinator that dies here can (from
+    /// any session) re-issue [`ShardedClient::txn_commit_on`] with the same
+    /// id until every shard has applied it.
+    pub fn txn_2pc(&mut self, slices: Vec<(usize, Vec<MultiOp>)>) -> Result<u64, ZkError> {
+        let txn_id = self.mint_txn_id();
+        let mut prepared: Vec<usize> = Vec::new();
+        for (s, ops) in &slices {
+            match self.clients[*s].txn_prepare(txn_id, ops.clone()) {
+                Ok(()) => prepared.push(*s),
+                Err(e) => {
+                    for p in prepared {
+                        // Best effort; an unreachable shard aborts the
+                        // orphaned prepare itself when the session dies.
+                        let _ = self.clients[p].txn_abort(txn_id);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        for (s, _) in &slices {
+            self.clients[*s].txn_commit(txn_id)?;
+        }
+        Ok(txn_id)
+    }
+
+    /// 2PC step: prepare `ops` as transaction `txn_id` on one shard.
+    /// Exposed so crash tests can stop between phases.
+    pub fn txn_prepare_on(
+        &mut self,
+        shard: usize,
+        txn_id: u64,
+        ops: Vec<MultiOp>,
+    ) -> Result<(), ZkError> {
+        self.clients[shard].txn_prepare(txn_id, ops)
+    }
+
+    /// 2PC step: deliver the commit decision for `txn_id` to one shard.
+    pub fn txn_commit_on(&mut self, shard: usize, txn_id: u64) -> Result<(), ZkError> {
+        self.clients[shard].txn_commit(txn_id)
+    }
+
+    /// 2PC step: deliver the abort decision for `txn_id` to one shard.
+    pub fn txn_abort_on(&mut self, shard: usize, txn_id: u64) -> Result<(), ZkError> {
+        self.clients[shard].txn_abort(txn_id)
+    }
+
+    /// Content digest of the **logical** user namespace, independent of the
+    /// shard count it is spread over. A path logically exists if its node
+    /// is present on its owner shard, or if it is an ancestor of one that
+    /// is (ancestors may exist only as lazily-materialized copies). Each
+    /// logical node contributes `fnv(path, owner-shard data)` — empty data
+    /// when only materialized copies exist, which is exactly what a
+    /// single-shard `CreatePath` ancestor holds too. Coordination internals
+    /// (`/__shards`, `/__txn/...`) are excluded. Equal digests across
+    /// different shard counts certify the namespaces match.
+    pub fn user_digest(&mut self) -> Result<u64, ZkError> {
+        self.sync()?;
+        // Every path present on any shard (owner copies and ghosts alike).
+        let mut candidates: BTreeSet<String> = BTreeSet::new();
+        for s in 0..self.clients.len() {
+            let mut stack = vec!["/".to_string()];
+            while let Some(p) = stack.pop() {
+                let kids = match self.clients[s].get_children(&p, Watch::None) {
+                    Ok((k, _)) => k,
+                    Err(ZkError::NoNode) => continue,
+                    Err(e) => return Err(e),
+                };
+                for k in kids {
+                    let child = if p == "/" { format!("/{k}") } else { format!("{p}/{k}") };
+                    if is_internal_path(&child) {
+                        continue;
+                    }
+                    stack.push(child.clone());
+                    candidates.insert(child);
+                }
+            }
+        }
+        // Owner-verified live set, then close over ancestors: a directory
+        // with a live descendant exists even if only ghost-materialized.
+        let mut live: BTreeSet<String> = BTreeSet::new();
+        for p in &candidates {
+            let s = self.route(p);
+            if self.clients[s].exists(p, Watch::None)?.is_some() {
+                live.insert(p.clone());
+            }
+        }
+        let mut logical: BTreeSet<String> = BTreeSet::new();
+        for p in &live {
+            let mut cur = p.as_str();
+            while cur != "/" {
+                if !logical.insert(cur.to_string()) {
+                    break;
+                }
+                cur = zkpath::parent(cur).unwrap_or("/");
+            }
+        }
+        let mut digest = 0u64;
+        for p in &logical {
+            let s = self.route(p);
+            let data = match self.clients[s].get_data(p, Watch::None) {
+                Ok((d, _)) => d,
+                Err(ZkError::NoNode) => Bytes::new(),
+                Err(e) => return Err(e),
+            };
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in p.as_bytes().iter().chain([0u8].iter()).chain(data.iter()) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            digest = digest.wrapping_add(h);
+        }
+        Ok(digest)
+    }
+
+    /// Leave a one-shot watch of `kind` on `path`, routed to the shard the
+    /// corresponding read would hit.
+    pub fn watch(&mut self, path: &str, kind: WatchKind) -> Result<(), ZkError> {
+        self.maybe_refresh()?;
+        match kind {
+            WatchKind::Data => {
+                let s = self.route(path);
+                self.clients[s].get_data(path, Watch::Set).map(|_| ())
+            }
+            WatchKind::Exists => {
+                let s = self.route(path);
+                self.clients[s].exists(path, Watch::Set).map(|_| ())
+            }
+            WatchKind::Children => {
+                let s = self.route_children(path);
+                self.clients[s].get_children(path, Watch::Set).map(|_| ())
+            }
+        }
+    }
+
+    /// Drain one pending watch notification from any shard, if one is
+    /// queued ([`SHARD_CONFIG_PATH`] notifications are consumed internally
+    /// by [`ShardedClient::maybe_refresh`] and never surface here).
+    pub fn take_watch(&mut self) -> Option<crate::watch::WatchNotification> {
+        for c in &mut self.clients {
+            while let Some(n) = c.take_watch() {
+                if n.path != SHARD_CONFIG_PATH {
+                    return Some(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// Set the read-recency level on every inner session.
+    pub fn set_consistency(&mut self, consistency: ReadConsistency) {
+        for c in &mut self.clients {
+            c.set_consistency(consistency);
+        }
+    }
+
+    /// Close every inner session.
+    pub fn close(self) -> Result<(), ZkError> {
+        for c in self.clients {
+            c.close()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBuilder;
+
+    fn two_shards() -> ShardedCluster<ThreadCluster> {
+        ClusterBuilder::new().voters(1).shards(2).sharded_threads()
+    }
+
+    /// Find sibling paths under `base` that land on different shards.
+    fn cross_shard_pair(c: &ShardedClient<crate::runtime::ChannelTransport>) -> (String, String) {
+        let a = "/xsrc/file".to_string();
+        for i in 0..10_000 {
+            let b = format!("/xdst{i}/file");
+            if c.route(&b) != c.route(&a) {
+                return (a, b);
+            }
+        }
+        panic!("no cross-shard pair found");
+    }
+
+    #[test]
+    fn single_path_ops_route_and_round_trip() {
+        let cluster = two_shards();
+        let mut c = cluster.client().unwrap();
+        // Fan a few directories out; each sibling set is one shard.
+        for d in 0..8 {
+            for f in 0..4 {
+                let p = format!("/d{d}/f{f}");
+                c.create(&p, Bytes::from(p.clone().into_bytes())).unwrap();
+            }
+        }
+        for d in 0..8 {
+            let kids = c.get_children(&format!("/d{d}")).unwrap();
+            assert_eq!(kids, vec!["f0", "f1", "f2", "f3"]);
+        }
+        let (data, stat) = c.get_data("/d3/f2").unwrap();
+        assert_eq!(&data[..], b"/d3/f2");
+        c.set_data("/d3/f2", Bytes::from_static(b"new"), Some(stat.version)).unwrap();
+        assert_eq!(&c.get_data("/d3/f2").unwrap().0[..], b"new");
+        c.delete("/d3/f2", None).unwrap();
+        assert_eq!(c.exists("/d3/f2").unwrap(), None);
+        assert_eq!(c.get_children("/d3").unwrap(), vec!["f0", "f1", "f3"]);
+        c.close().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sync_barriers_only_dirty_shards() {
+        let cluster = two_shards();
+        let mut c = cluster.client().unwrap();
+        assert_eq!(c.sync().unwrap(), 0, "clean session barriers nothing");
+        c.create("/solo/a", Bytes::new()).unwrap();
+        assert_eq!(c.sync().unwrap(), 1, "one write dirties exactly one shard");
+        assert_eq!(c.sync().unwrap(), 0, "sync clears the dirty bits");
+        let (a, b) = cross_shard_pair(&c);
+        c.create(&a, Bytes::new()).unwrap();
+        c.create(&b, Bytes::new()).unwrap();
+        assert_eq!(c.sync().unwrap(), 2, "writes on two shards barrier both");
+        c.close().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cross_shard_rename_moves_the_data() {
+        let cluster = two_shards();
+        let mut c = cluster.client().unwrap();
+        let (src, dst) = cross_shard_pair(&c);
+        assert_ne!(c.route(&src), c.route(&dst), "pair must span shards");
+        c.create(&src, Bytes::from_static(b"payload")).unwrap();
+        c.rename(&src, &dst).unwrap();
+        assert_eq!(c.exists(&src).unwrap(), None);
+        assert_eq!(&c.get_data(&dst).unwrap().0[..], b"payload");
+        // Same-shard rename takes the native-multi path.
+        c.rename(&dst, &format!("{dst}2")).unwrap();
+        assert_eq!(c.exists(&dst).unwrap(), None);
+        assert_eq!(&c.get_data(&format!("{dst}2")).unwrap().0[..], b"payload");
+        c.close().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failed_prepare_aborts_the_whole_txn() {
+        let cluster = two_shards();
+        let mut c = cluster.client().unwrap();
+        let (a, b) = cross_shard_pair(&c);
+        c.create(&b, Bytes::new()).unwrap(); // make the Create on b collide
+        let err = c
+            .multi(vec![
+                MultiOp::Create {
+                    path: a.clone(),
+                    data: Bytes::new(),
+                    mode: CreateMode::Persistent,
+                },
+                MultiOp::Create {
+                    path: b.clone(),
+                    data: Bytes::new(),
+                    mode: CreateMode::Persistent,
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(err, ZkError::NodeExists);
+        // The aborted slice left no trace: a's shard applied nothing and
+        // nothing is fenced (a fresh create goes straight through).
+        assert_eq!(c.exists(&a).unwrap(), None);
+        c.create(&a, Bytes::new()).unwrap();
+        c.close().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn digests_agree_across_shard_counts() {
+        let spec: Vec<(String, Bytes)> = (0..6)
+            .flat_map(|d| {
+                (0..3).map(move |f| {
+                    let p = format!("/tree{d}/n{f}");
+                    (p.clone(), Bytes::from(p.into_bytes()))
+                })
+            })
+            .collect();
+        let mut digests = Vec::new();
+        for shards in [1usize, 2, 3] {
+            let cluster = ClusterBuilder::new().voters(1).shards(shards).sharded_threads();
+            let mut c = cluster.client().unwrap();
+            for (p, d) in &spec {
+                c.create(p, d.clone()).unwrap();
+            }
+            digests.push(c.user_digest().unwrap());
+            c.close().unwrap();
+            cluster.shutdown();
+        }
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[0], digests[2]);
+    }
+}

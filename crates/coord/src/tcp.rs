@@ -420,25 +420,6 @@ pub struct TcpCluster {
 }
 
 impl TcpCluster {
-    /// Start an ensemble of `n` voting servers on ephemeral loopback ports.
-    #[deprecated(note = "use ClusterBuilder::new().voters(n).tcp()")]
-    pub fn start(n: usize) -> Self {
-        Self::start_inner(n, 0, ZabConfig::default(), NetConfig::default(), None)
-    }
-
-    /// Start a durable ensemble: WAL + checkpoints under
-    /// `dir/server-<id>`, recovered on restart over the same directory.
-    #[deprecated(note = "use ClusterBuilder::new().voters(n).durable(dir).tcp()")]
-    pub fn start_durable(n: usize, dir: impl AsRef<std::path::Path>) -> Self {
-        Self::start_inner(
-            n,
-            0,
-            ZabConfig::default(),
-            NetConfig::default(),
-            Some(dir.as_ref().to_path_buf()),
-        )
-    }
-
     pub(crate) fn start_inner(
         voters: usize,
         observers: usize,

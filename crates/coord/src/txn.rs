@@ -57,6 +57,38 @@ pub enum TxnOp {
     },
     /// A leader-issued no-op used by `sync` barriers.
     Noop,
+    /// Create a znode, materializing any missing ancestors first. Sharded
+    /// deployments route creates by hash of the parent directory, so the
+    /// owning shard may never have seen the ancestor chain.
+    CreatePath {
+        /// Requested path.
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Create mode.
+        mode: CreateMode,
+    },
+    /// Phase one of a cross-shard transaction: validate `ops` against the
+    /// current tree, then fence their paths and persist the prepared ops
+    /// (as a `/__txn/<id>` marker znode) until a decision arrives.
+    Prepare2pc {
+        /// Coordinator-chosen globally unique transaction id.
+        txn_id: u64,
+        /// This shard's slice of the transaction.
+        ops: Vec<MultiOp>,
+    },
+    /// Decision record: apply the prepared ops of `txn_id` and drop its
+    /// fences. Idempotent — committing an unknown txn is a no-op success.
+    Commit2pc {
+        /// Transaction id.
+        txn_id: u64,
+    },
+    /// Decision record: discard the prepared ops of `txn_id` and drop its
+    /// fences. Idempotent like [`TxnOp::Commit2pc`].
+    Abort2pc {
+        /// Transaction id.
+        txn_id: u64,
+    },
 }
 
 /// One replicated transaction.
@@ -101,6 +133,36 @@ fn put_version(buf: &mut Vec<u8>, v: Option<u32>) {
         Some(v) => {
             buf.push(1);
             buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn put_multi_ops(buf: &mut Vec<u8>, ops: &[MultiOp]) {
+    buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            MultiOp::Create { path, data, mode } => {
+                buf.push(1);
+                put_str(buf, path);
+                put_bytes(buf, data);
+                buf.push(mode_byte(*mode));
+            }
+            MultiOp::Delete { path, version } => {
+                buf.push(2);
+                put_str(buf, path);
+                put_version(buf, *version);
+            }
+            MultiOp::SetData { path, data, version } => {
+                buf.push(3);
+                put_str(buf, path);
+                put_bytes(buf, data);
+                put_version(buf, *version);
+            }
+            MultiOp::Check { path, version } => {
+                buf.push(4);
+                put_str(buf, path);
+                put_version(buf, *version);
+            }
         }
     }
 }
@@ -162,6 +224,42 @@ impl<'a> Cursor<'a> {
             _ => Err(ZkError::CorruptSnapshot),
         }
     }
+    fn multi_ops(&mut self) -> ZkResult<Vec<MultiOp>> {
+        let n = self.u32()? as usize;
+        // Sanity-bound before allocating: each op costs ≥2 bytes.
+        if n > self.raw.len() {
+            return Err(ZkError::CorruptSnapshot);
+        }
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            ops.push(match self.u8()? {
+                1 => {
+                    let path = self.str()?;
+                    let data = self.bytes()?;
+                    let mode = self.mode()?;
+                    MultiOp::Create { path, data, mode }
+                }
+                2 => {
+                    let path = self.str()?;
+                    let version = self.version()?;
+                    MultiOp::Delete { path, version }
+                }
+                3 => {
+                    let path = self.str()?;
+                    let data = self.bytes()?;
+                    let version = self.version()?;
+                    MultiOp::SetData { path, data, version }
+                }
+                4 => {
+                    let path = self.str()?;
+                    let version = self.version()?;
+                    MultiOp::Check { path, version }
+                }
+                _ => return Err(ZkError::CorruptSnapshot),
+            });
+        }
+        Ok(ops)
+    }
 }
 
 impl Txn {
@@ -192,33 +290,7 @@ impl Txn {
             }
             TxnOp::Multi { ops } => {
                 buf.push(4);
-                buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
-                for op in ops {
-                    match op {
-                        MultiOp::Create { path, data, mode } => {
-                            buf.push(1);
-                            put_str(&mut buf, path);
-                            put_bytes(&mut buf, data);
-                            buf.push(mode_byte(*mode));
-                        }
-                        MultiOp::Delete { path, version } => {
-                            buf.push(2);
-                            put_str(&mut buf, path);
-                            put_version(&mut buf, *version);
-                        }
-                        MultiOp::SetData { path, data, version } => {
-                            buf.push(3);
-                            put_str(&mut buf, path);
-                            put_bytes(&mut buf, data);
-                            put_version(&mut buf, *version);
-                        }
-                        MultiOp::Check { path, version } => {
-                            buf.push(4);
-                            put_str(&mut buf, path);
-                            put_version(&mut buf, *version);
-                        }
-                    }
-                }
+                put_multi_ops(&mut buf, ops);
             }
             TxnOp::CreateSession { session } => {
                 buf.push(5);
@@ -229,6 +301,25 @@ impl Txn {
                 buf.extend_from_slice(&session.to_le_bytes());
             }
             TxnOp::Noop => buf.push(7),
+            TxnOp::CreatePath { path, data, mode } => {
+                buf.push(8);
+                put_str(&mut buf, path);
+                put_bytes(&mut buf, data);
+                buf.push(mode_byte(*mode));
+            }
+            TxnOp::Prepare2pc { txn_id, ops } => {
+                buf.push(9);
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+                put_multi_ops(&mut buf, ops);
+            }
+            TxnOp::Commit2pc { txn_id } => {
+                buf.push(10);
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+            }
+            TxnOp::Abort2pc { txn_id } => {
+                buf.push(11);
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+            }
         }
         Bytes::from(buf)
     }
@@ -259,45 +350,23 @@ impl Txn {
                 let version = c.version()?;
                 TxnOp::SetData { path, data, version }
             }
-            4 => {
-                let n = c.u32()? as usize;
-                // Sanity-bound before allocating: each op costs ≥2 bytes.
-                if n > raw.len() {
-                    return Err(ZkError::CorruptSnapshot);
-                }
-                let mut ops = Vec::with_capacity(n);
-                for _ in 0..n {
-                    ops.push(match c.u8()? {
-                        1 => {
-                            let path = c.str()?;
-                            let data = c.bytes()?;
-                            let mode = c.mode()?;
-                            MultiOp::Create { path, data, mode }
-                        }
-                        2 => {
-                            let path = c.str()?;
-                            let version = c.version()?;
-                            MultiOp::Delete { path, version }
-                        }
-                        3 => {
-                            let path = c.str()?;
-                            let data = c.bytes()?;
-                            let version = c.version()?;
-                            MultiOp::SetData { path, data, version }
-                        }
-                        4 => {
-                            let path = c.str()?;
-                            let version = c.version()?;
-                            MultiOp::Check { path, version }
-                        }
-                        _ => return Err(ZkError::CorruptSnapshot),
-                    });
-                }
-                TxnOp::Multi { ops }
-            }
+            4 => TxnOp::Multi { ops: c.multi_ops()? },
             5 => TxnOp::CreateSession { session: c.u64()? },
             6 => TxnOp::CloseSession { session: c.u64()? },
             7 => TxnOp::Noop,
+            8 => {
+                let path = c.str()?;
+                let data = c.bytes()?;
+                let mode = c.mode()?;
+                TxnOp::CreatePath { path, data, mode }
+            }
+            9 => {
+                let txn_id = c.u64()?;
+                let ops = c.multi_ops()?;
+                TxnOp::Prepare2pc { txn_id, ops }
+            }
+            10 => TxnOp::Commit2pc { txn_id: c.u64()? },
+            11 => TxnOp::Abort2pc { txn_id: c.u64()? },
             _ => return Err(ZkError::CorruptSnapshot),
         };
         if c.pos != raw.len() {
@@ -362,6 +431,21 @@ mod tests {
         roundtrip(&base(TxnOp::CreateSession { session: 0xdead_beef }));
         roundtrip(&base(TxnOp::CloseSession { session: 0xdead_beef }));
         roundtrip(&base(TxnOp::Noop));
+        roundtrip(&base(TxnOp::CreatePath {
+            path: "/deep/a/b".into(),
+            data: Bytes::from_static(b"v"),
+            mode: CreateMode::Persistent,
+        }));
+        roundtrip(&base(TxnOp::Prepare2pc {
+            txn_id: 0x0123_4567_89ab_cdef,
+            ops: vec![
+                MultiOp::Check { path: "/src".into(), version: Some(3) },
+                MultiOp::Delete { path: "/src".into(), version: Some(3) },
+            ],
+        }));
+        roundtrip(&base(TxnOp::Prepare2pc { txn_id: 1, ops: vec![] }));
+        roundtrip(&base(TxnOp::Commit2pc { txn_id: u64::MAX }));
+        roundtrip(&base(TxnOp::Abort2pc { txn_id: 0 }));
     }
 
     #[test]

@@ -113,6 +113,7 @@ fn err_byte(e: ZkError) -> u8 {
         ZkError::RootReadOnly => 9,
         ZkError::CorruptSnapshot => 10,
         ZkError::Net => 11,
+        ZkError::TxnBusy => 12,
     }
 }
 
@@ -129,6 +130,7 @@ fn err_from(b: u8) -> Result<ZkError, WireError> {
         9 => ZkError::RootReadOnly,
         10 => ZkError::CorruptSnapshot,
         11 => ZkError::Net,
+        12 => ZkError::TxnBusy,
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -488,6 +490,28 @@ impl Wire for ZkRequest {
             }
             ZkRequest::Sync => buf.push(11),
             ZkRequest::Ping => buf.push(12),
+            ZkRequest::CreatePath { path, data, mode } => {
+                buf.push(13);
+                put_str(buf, path);
+                put_blob(buf, data);
+                buf.push(mode_byte(*mode));
+            }
+            ZkRequest::TxnPrepare { txn_id, ops } => {
+                buf.push(14);
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+                buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for op in ops {
+                    put_multi_op(buf, op);
+                }
+            }
+            ZkRequest::TxnCommit { txn_id } => {
+                buf.push(15);
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+            }
+            ZkRequest::TxnAbort { txn_id } => {
+                buf.push(16);
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+            }
         }
     }
 
@@ -520,6 +544,22 @@ impl Wire for ZkRequest {
             }
             11 => ZkRequest::Sync,
             12 => ZkRequest::Ping,
+            13 => ZkRequest::CreatePath {
+                path: c.str()?,
+                data: Bytes::copy_from_slice(c.blob()?),
+                mode: mode_from(c.u8()?)?,
+            },
+            14 => {
+                let txn_id = c.u64()?;
+                let n = c.count(5)?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(get_multi_op(c)?);
+                }
+                ZkRequest::TxnPrepare { txn_id, ops }
+            }
+            15 => ZkRequest::TxnCommit { txn_id: c.u64()? },
+            16 => ZkRequest::TxnAbort { txn_id: c.u64()? },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -593,6 +633,9 @@ impl Wire for ZkResponse {
                 buf.push(13);
                 buf.push(err_byte(*e));
             }
+            ZkResponse::Prepared => buf.push(14),
+            ZkResponse::Committed => buf.push(15),
+            ZkResponse::Aborted => buf.push(16),
         }
     }
 
@@ -634,6 +677,9 @@ impl Wire for ZkResponse {
             11 => ZkResponse::Synced { zxid: c.u64()? },
             12 => ZkResponse::Pong { zxid: c.u64()? },
             13 => ZkResponse::Error(err_from(c.u8()?)?),
+            14 => ZkResponse::Prepared,
+            15 => ZkResponse::Committed,
+            16 => ZkResponse::Aborted,
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -873,6 +919,28 @@ mod tests {
                 alive: true,
             },
         });
+    }
+
+    #[test]
+    fn txn_2pc_frames_round_trip() {
+        rt(ZkRequest::CreatePath {
+            path: "/a/b/c".into(),
+            data: Bytes::from_static(b"v"),
+            mode: CreateMode::Persistent,
+        });
+        rt(ZkRequest::TxnPrepare {
+            txn_id: 0xfeed_f00d,
+            ops: vec![
+                MultiOp::Check { path: "/src".into(), version: Some(1) },
+                MultiOp::Delete { path: "/src".into(), version: Some(1) },
+            ],
+        });
+        rt(ZkRequest::TxnCommit { txn_id: 7 });
+        rt(ZkRequest::TxnAbort { txn_id: u64::MAX });
+        rt(ZkResponse::Prepared);
+        rt(ZkResponse::Committed);
+        rt(ZkResponse::Aborted);
+        rt(ZkResponse::Error(ZkError::TxnBusy));
     }
 
     #[test]

@@ -25,9 +25,11 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
+use dufs_coord::shard::{ShardConfig, DEFAULT_VNODES, SHARD_CONFIG_PATH};
+use dufs_coord::sharded::ShardedClient;
 use dufs_coord::tcp::{remote_status, TcpTransport, TcpZkClient};
 use dufs_coord::{ClientOptions, ClusterBuilder, Watch, ZkClient};
-use dufs_zkstore::{CreateMode, ZkError};
+use dufs_zkstore::{CreateMode, MultiOp, ZkError};
 
 const DIRS: usize = 3;
 const FILES: usize = 4;
@@ -286,6 +288,141 @@ fn kill9_one_member_then_whole_ensemble_and_recover() {
     await_convergence(&mut c2, &addrs2);
     let recovered = content_digest(&mut c2);
     assert_eq!(recovered, control_digest, "recovered namespace differs from the uncrashed control");
+
+    for p in procs.iter_mut() {
+        kill9(p);
+    }
+    let _ = std::fs::remove_dir_all(&wal_root);
+}
+
+// ----------------------------------------------- sharded 2PC kill -9 recovery
+
+/// Open one session per single-member shard and assemble a routed client.
+/// Writes the shard config first if asked (bootstrap vs reconnect).
+fn sharded_session(shard_addrs: &[SocketAddr], bootstrap: bool) -> ShardedClient<TcpTransport> {
+    let config = ShardConfig { epoch: 1, shards: shard_addrs.len() as u32, vnodes: DEFAULT_VNODES };
+    let mut sessions = Vec::new();
+    for a in shard_addrs {
+        let mut s = session(&[*a]);
+        if bootstrap {
+            idem_create(&mut s, SHARD_CONFIG_PATH, &config.encode());
+        }
+        sessions.push(s);
+    }
+    ShardedClient::connect(sessions).expect("assemble sharded client")
+}
+
+fn sharded_seed(c: &mut ShardedClient<TcpTransport>, src: &str) {
+    for d in 0..DIRS {
+        for f in 0..FILES {
+            let p = format!("/s{d}/f{f}");
+            until_ok(|| match c.create(&p, Bytes::copy_from_slice(p.as_bytes())) {
+                Ok(_) | Err(ZkError::NodeExists) => Ok(()),
+                Err(e) => Err(e),
+            });
+        }
+    }
+    until_ok(|| match c.create(src, Bytes::from_static(b"victim-payload")) {
+        Ok(_) | Err(ZkError::NodeExists) => Ok(()),
+        Err(e) => Err(e),
+    });
+}
+
+/// A `(src, dst)` pair on different shards — pure ring arithmetic, so the
+/// control and crash runs agree on it.
+fn sharded_pair(c: &ShardedClient<TcpTransport>) -> (String, String) {
+    let src = "/mv-src/victim".to_string();
+    for i in 0..10_000 {
+        let dst = format!("/mv-dst{i}/moved");
+        if c.route(&dst) != c.route(&src) {
+            return (src, dst);
+        }
+    }
+    panic!("no cross-shard pair");
+}
+
+/// `kill -9` one shard's (only, hence leader) member between the prepare
+/// and the commit of a cross-shard rename; respawn it over the same WAL on
+/// a fresh port; deliver the commit from a brand-new session; check the
+/// namespace digest against an uncrashed in-process control.
+#[test]
+fn sharded_rename_commit_survives_kill9_of_a_shard_leader() {
+    // 1. Uncrashed control: same workload, commit goes through undisturbed.
+    let control = ClusterBuilder::new().voters(1).shards(2).sharded_tcp();
+    assert!(control.await_leaders(Duration::from_secs(30)), "control leaders");
+    let control_digest = {
+        let mut c = control.client().unwrap();
+        let (src, dst) = sharded_pair(&c);
+        sharded_seed(&mut c, &src);
+        c.rename(&src, &dst).unwrap();
+        c.user_digest().unwrap()
+    };
+    control.shutdown();
+
+    // 2. Two single-member shard ensembles as real OS processes.
+    let wal_root = std::env::temp_dir().join(format!("dufs-2pc-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let addrs = free_addrs(2);
+    let mut procs: Vec<Child> = (0..2)
+        .map(|k| spawn_member(0, &addrs[k..=k], &wal_root.join(format!("shard-{k}"))))
+        .collect();
+    for a in &addrs {
+        await_leader(&[*a], Duration::from_secs(60));
+    }
+
+    let mut c = sharded_session(&addrs, true);
+    let (src, dst) = sharded_pair(&c);
+    sharded_seed(&mut c, &src);
+
+    // 3. Prepare both slices of the rename, then SIGKILL the destination
+    //    shard's member with the transaction undecided.
+    let (data, stat) = c.get_data(&src).unwrap();
+    let slices = vec![
+        (
+            c.route(&src),
+            vec![
+                MultiOp::Check { path: src.clone(), version: Some(stat.version) },
+                MultiOp::Delete { path: src.clone(), version: Some(stat.version) },
+            ],
+        ),
+        (
+            c.route(&dst),
+            vec![MultiOp::Create { path: dst.clone(), data, mode: CreateMode::Persistent }],
+        ),
+    ];
+    let txn_id = c.mint_txn_id();
+    for (s, ops) in &slices {
+        c.txn_prepare_on(*s, txn_id, ops.clone()).unwrap();
+    }
+    let dst_shard = c.route(&dst);
+    kill9(&mut procs[dst_shard]);
+    assert!(
+        remote_status(addrs[dst_shard], Duration::from_millis(500)).is_none(),
+        "killed shard answered a probe"
+    );
+
+    // 4. Respawn over the same WAL on a fresh port; the prepared slice and
+    //    its fence must have been recovered from the log.
+    let fresh = free_addrs(1);
+    let mut addrs2 = addrs.clone();
+    addrs2[dst_shard] = fresh[0];
+    procs[dst_shard] = spawn_member(0, &fresh, &wal_root.join(format!("shard-{dst_shard}")));
+    await_leader(&fresh, Duration::from_secs(60));
+
+    // 5. A brand-new session (never party to the prepare) delivers the
+    //    decision to both shards — by txn id alone.
+    let mut c2 = sharded_session(&addrs2, false);
+    for (s, _) in &slices {
+        until_ok(|| c2.txn_commit_on(*s, txn_id));
+    }
+    assert_eq!(c2.exists(&src).unwrap(), None, "rename source survived the commit");
+    assert_eq!(&c2.get_data(&dst).unwrap().0[..], b"victim-payload");
+
+    let recovered = c2.user_digest().unwrap();
+    assert_eq!(
+        recovered, control_digest,
+        "recovered sharded namespace differs from the uncrashed control"
+    );
 
     for p in procs.iter_mut() {
         kill9(p);

@@ -1,0 +1,103 @@
+//! Property tests for the consistent-hash ring that places the namespace
+//! across shards (`dufs_coord::shard`). Three properties carry the sharded
+//! design:
+//!
+//! 1. **Balance** — with virtual nodes, no shard owns much more than its
+//!    fair share of a realistic key population.
+//! 2. **Determinism** — placement is a pure function of the config; two
+//!    clients that read the same `ShardConfig` route identically.
+//! 3. **Minimal remap** — growing or shrinking the ring by one shard moves
+//!    only ~1/N of the keys; everything else stays put (the property that
+//!    makes online resharding tractable at all).
+
+use proptest::prelude::*;
+
+use dufs_coord::shard::{parent_dir, DEFAULT_VNODES};
+use dufs_coord::{HashRing, ShardConfig};
+
+/// A directory-shaped key population: `/dir<i>` parents, the shape the ring
+/// actually routes (placement is by parent directory).
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("/dir{i}")).collect()
+}
+
+#[test]
+fn balance_within_15_percent_over_1k_keys() {
+    // Shard counts of the bench sweep. At 1000 sampled keys the sampling
+    // noise alone is ~sqrt(1000/N)/(1000/N) per shard, so the 15% bound is
+    // meaningful up to a handful of shards and would need more keys beyond.
+    for shards in [2u32, 3, 4] {
+        let ring = HashRing::new(shards, DEFAULT_VNODES);
+        let keys = keys(1000);
+        let mut counts = vec![0usize; shards as usize];
+        for k in &keys {
+            counts[ring.route_key(k) as usize] += 1;
+        }
+        let fair = keys.len() as f64 / f64::from(shards);
+        for (shard, &c) in counts.iter().enumerate() {
+            let skew = (c as f64 - fair).abs() / fair;
+            assert!(
+                skew <= 0.15,
+                "shard {shard}/{shards} owns {c} of {} keys ({:.1}% off fair share)",
+                keys.len(),
+                skew * 100.0
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Placement is deterministic: independently built rings from the same
+    /// config agree on every key, and sibling paths colocate with their
+    /// parent's listing.
+    #[test]
+    fn placement_is_deterministic_and_parent_grouped(
+        shards in 1u32..9,
+        vnodes in 1u32..129,
+        dirs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..8).prop_map(|v| {
+                v.into_iter().map(|b| (b'a' + (b % 26)) as char).collect::<String>()
+            }),
+            1..20,
+        ),
+    ) {
+        let a = HashRing::new(shards, vnodes);
+        let b = ShardConfig { epoch: 1, shards, vnodes }.ring();
+        for d in &dirs {
+            let dir = format!("/{d}");
+            let child = format!("{dir}/leaf");
+            prop_assert_eq!(a.route_key(&dir), b.route_key(&dir));
+            // All single-path ops on a child route to the shard owning the
+            // parent's child listing.
+            prop_assert_eq!(a.route_path(&child), a.route_children(&dir));
+            prop_assert_eq!(parent_dir(&child), dir.as_str());
+        }
+    }
+
+    /// Adding one shard moves strictly fewer than 2/N of the keys, and
+    /// every key that moves lands on the new shard — nothing reshuffles
+    /// between surviving shards. Removing the top shard is the exact
+    /// mirror (the ring is a pure function of the shard count).
+    #[test]
+    fn join_and_leave_remap_is_minimal(n in 2u32..9) {
+        let before = HashRing::new(n, DEFAULT_VNODES);
+        let after = HashRing::new(n + 1, DEFAULT_VNODES);
+        let keys = keys(1000);
+        let mut moved = 0usize;
+        for k in &keys {
+            let (was, is) = (before.route_key(k), after.route_key(k));
+            if was != is {
+                moved += 1;
+                prop_assert_eq!(
+                    is, n,
+                    "key {} reshuffled between surviving shards {} -> {}", k, was, is
+                );
+            }
+        }
+        let bound = (2.0 / f64::from(n + 1)) * keys.len() as f64;
+        prop_assert!(
+            (moved as f64) < bound,
+            "{moved} of {} keys moved on join; bound {bound:.0}", keys.len()
+        );
+    }
+}

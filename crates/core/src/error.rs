@@ -66,6 +66,9 @@ impl From<ZkError> for DufsError {
             }
             ZkError::RootReadOnly => DufsError::Access,
             ZkError::CorruptSnapshot => DufsError::Io,
+            // A prepared cross-shard transaction fences the path; callers
+            // see a (transient) I/O error, like a held mandatory lock.
+            ZkError::TxnBusy => DufsError::Io,
         }
     }
 }

@@ -7,6 +7,8 @@
 //!   --procs <N>        client processes               (default 64)
 //!   --items <N>        dirs/files per process         (default 40)
 //!   --zk <N>           coordination servers (DUFS)    (default 8)
+//!   --shards <N>       independent coordination ensembles of --zk members
+//!                      each, namespace consistent-hashed across them
 //!   --backends <N>     merged back-end mounts (DUFS)  (default 2)
 //!   --shared-dir       all file creates into one directory
 //!   --seed <N>         simulation seed                (default 1)
@@ -37,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use dufs_coord::runtime::ServerStatus;
 use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency};
-use dufs_mdtest::live::{run_live, LivePhase};
+use dufs_mdtest::live::{run_live, run_live_sharded, LivePhase};
 use dufs_mdtest::scenario::{
     run_mdtest_report, CoordCrash, CoordOutage, MdtestConfig, MdtestSystem,
 };
@@ -46,8 +48,8 @@ use dufs_mdtest::workload::{Phase, WorkloadSpec};
 fn usage() -> ! {
     eprintln!(
         "usage: mdtest_sim [--system lustre|pvfs2|dufs-lustre|dufs-pvfs2] \
-         [--procs N] [--items N] [--zk N] [--backends N] [--shared-dir] \
-         [--seed N] [--crash srv:at_ms:down_ms] [--durable] \
+         [--procs N] [--items N] [--zk N] [--shards N] [--backends N] \
+         [--shared-dir] [--seed N] [--crash srv:at_ms:down_ms] [--durable] \
          [--crash-all at_ms:down_ms] [--live thread|tcp] [--net-stats] \
          [--read-from leader|spread] [--consistency local|sync|linear]"
     );
@@ -170,11 +172,79 @@ fn run_live_mode(
     let _ = std::fs::remove_dir_all(&wal_dir);
 }
 
+/// Live mode over a *sharded* namespace: one `ShardedClient` (a session
+/// per shard) per process. Prints the shard-count-independent logical
+/// content digest, which `scripts/ci.sh` compares across `--shards` values.
+fn run_live_sharded_mode(
+    mode: &str,
+    spec: WorkloadSpec,
+    zk: usize,
+    shards: usize,
+    durable: bool,
+    spread: bool,
+    consistency: ReadConsistency,
+) {
+    let spec = WorkloadSpec {
+        phases: vec![Phase::DirCreate, Phase::DirStat, Phase::FileCreate, Phase::FileStat],
+        ..spec
+    };
+    let wal_dir = std::env::temp_dir().join(format!("dufs-mdtest-live-{}", std::process::id()));
+    let strict_stats = consistency != ReadConsistency::Local;
+    let opts_for = |p: usize| {
+        ClientOptions::at(if spread { p % zk } else { 0 })
+            .with_failover()
+            .with_consistency(consistency)
+    };
+    let digest = match mode {
+        "thread" => {
+            let mut b = ClusterBuilder::new().voters(zk).shards(shards);
+            if durable {
+                b = b.durable(&wal_dir);
+            }
+            let cluster = b.sharded_threads();
+            let (phases, mut clients) = run_live_sharded(
+                &spec,
+                |p| cluster.client_with(opts_for(p)).expect("session"),
+                |_| {},
+                strict_stats,
+            );
+            print_live(&phases);
+            let digest = clients[0].user_digest().expect("digest");
+            cluster.shutdown();
+            digest
+        }
+        "tcp" => {
+            let mut b = ClusterBuilder::new().voters(zk).shards(shards);
+            if durable {
+                b = b.durable(&wal_dir);
+            }
+            let cluster = b.sharded_tcp();
+            let (phases, mut clients) = run_live_sharded(
+                &spec,
+                |p| cluster.client_with(opts_for(p)).expect("session"),
+                |_| {},
+                strict_stats,
+            );
+            print_live(&phases);
+            let digest = clients[0].user_digest().expect("digest");
+            cluster.shutdown();
+            digest
+        }
+        other => {
+            eprintln!("--live must be 'thread' or 'tcp', got {other:?}");
+            usage();
+        }
+    };
+    println!("\nfinal namespace ({shards} shards): content digest {digest:#018x}");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
 fn main() {
     let mut system = "dufs-lustre".to_string();
     let mut procs = 64usize;
     let mut items = 40usize;
     let mut zk = 8usize;
+    let mut shards: Option<usize> = None;
     let mut backends = 2usize;
     let mut shared = false;
     let mut seed = 1u64;
@@ -198,6 +268,7 @@ fn main() {
             "--procs" => procs = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--items" => items = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--zk" => zk = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--shards" => shards = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
             "--backends" => backends = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--shared-dir" => shared = true,
             "--seed" => seed = next(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -251,8 +322,12 @@ fn main() {
         i += 1;
     }
 
-    if procs == 0 || items == 0 || zk == 0 || backends == 0 {
-        eprintln!("--procs/--items/--zk/--backends must be >= 1");
+    if procs == 0 || items == 0 || zk == 0 || backends == 0 || shards == Some(0) {
+        eprintln!("--procs/--items/--zk/--shards/--backends must be >= 1");
+        usage();
+    }
+    if shards.is_some_and(|n| n > 1) && !system.starts_with("dufs") {
+        eprintln!("--shards needs a DUFS system (the basic baselines have no namespace)");
         usage();
     }
     if crash_all.is_some() && !durable {
@@ -261,6 +336,10 @@ fn main() {
     }
     if net_stats && live.as_deref() != Some("tcp") {
         eprintln!("--net-stats needs --live tcp (only sockets have transport counters)");
+        usage();
+    }
+    if net_stats && shards.is_some() {
+        eprintln!("--net-stats is not wired through sharded live runs yet");
         usage();
     }
 
@@ -280,6 +359,18 @@ fn main() {
             phases: Phase::ALL.to_vec(),
             shared_dir: shared,
         };
+        if let Some(n) = shards {
+            println!(
+                "-- mdtest-live: {mode} runtime, {n} shards x {zk} coordination servers{} --",
+                if durable { " (durable)" } else { "" }
+            );
+            println!(
+                "   {procs} routed client sessions ({consistency:?} reads), \
+                 {items} items/proc, create/stat phases\n"
+            );
+            run_live_sharded_mode(&mode, spec, zk, n, durable, read_from == "spread", consistency);
+            return;
+        }
         println!(
             "-- mdtest-live: {mode} runtime, {zk} coordination servers{} --",
             if durable { " (durable)" } else { "" }
@@ -312,9 +403,11 @@ fn main() {
         shared_dir: shared,
     };
 
+    let n_shards = shards.unwrap_or(1);
     println!(
-        "-- mdtest-sim: {}{} --",
+        "-- mdtest-sim: {}{}{} --",
         sys.label(),
+        if n_shards > 1 { format!(" x {n_shards} shards") } else { String::new() },
         if durable { " (durable: WAL + group fsync)" } else { "" }
     );
     println!(
@@ -339,6 +432,7 @@ fn main() {
         crash_coord: crash,
         durable,
         crash_all_coord: crash_all,
+        shards: n_shards,
         ..MdtestConfig::new(sys, spec, seed)
     });
 
@@ -361,6 +455,12 @@ fn main() {
         println!(
             "\nfinal namespace: {} znodes, replicated digest {:#018x}",
             report.namespace_nodes, report.namespace_digest
+        );
+    }
+    if report.logical_digest != 0 {
+        println!(
+            "logical content digest (shard-count independent) {:#018x}",
+            report.logical_digest
         );
     }
 }

@@ -17,7 +17,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 
-use dufs_coord::{ZkRequest, ZkResponse};
+use dufs_coord::{HashRing, ZkRequest, ZkResponse};
 use dufs_core::fid::{Fid, FidGenerator};
 use dufs_core::mapping::Md5Mapping;
 use dufs_core::plan::{MetaOp, OpExec, PlanStep, StepResponse};
@@ -426,6 +426,42 @@ enum DufsState {
     Finished,
 }
 
+/// State machine of a sharded delete. A directory's node can exist on two
+/// shards (real copy on its owner, a lazily-materialized copy on its
+/// children-owner), and deeper `mkdir -p` materialization can leave empty
+/// ghost *chains* under the real copy too. The ghost leg runs first: if the
+/// children-owner copy holds anything, the directory is genuinely
+/// non-empty and the op fails before anything moved. Once it is gone, a
+/// `NotEmpty` from the owner copy can only be ghost residue, which is
+/// purged (BFS listing, then deepest-first deletes) before the final
+/// retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SDel {
+    /// No sharded delete in flight.
+    Idle,
+    /// Awaiting the children-owner shard's delete of the ghost copy.
+    GhostLeg { path: String, version: Option<u32> },
+    /// Awaiting the owner shard's delete of the real copy.
+    OwnerLeg { path: String, version: Option<u32>, ghost_removed: bool },
+    /// Awaiting `GetChildren(expanding)` on the owner shard while walking
+    /// the ghost residue blocking the real copy.
+    PurgeExpand {
+        path: String,
+        version: Option<u32>,
+        owner: usize,
+        expanding: String,
+        /// Directories still to list.
+        expand: Vec<String>,
+        /// Everything discovered, BFS order (parents before children).
+        discovered: Vec<String>,
+    },
+    /// Awaiting one residue delete; `remaining` is deleted back to front
+    /// (deepest first), then the real copy is retried.
+    PurgeDelete { path: String, version: Option<u32>, owner: usize, remaining: Vec<String> },
+    /// Awaiting the post-purge retry of the owner copy's delete.
+    OwnerRetry,
+}
+
 /// A DUFS client process: runs the mdtest phases through the full DUFS op
 /// planner (FUSE → coordination service → deterministic mapping →
 /// back-end), with timing for every hop.
@@ -440,7 +476,19 @@ pub struct DufsClientProc {
     mapper: Md5Mapping,
     fids: FidGenerator,
     state: DufsState,
-    session: u64,
+    /// Sharded namespace: the routing ring (`None` = one unsharded
+    /// ensemble, the paper's deployment and the default).
+    ring: Option<HashRing>,
+    /// One coordination server per shard (the member this client talks
+    /// to). Empty when unsharded — `zk_server` is the single target.
+    shard_servers: Vec<NodeId>,
+    /// One session per shard (unsharded runs only use index 0).
+    sessions: Vec<u64>,
+    /// Which shard is being connected during startup.
+    connect_idx: usize,
+    /// Sharded delete in flight (see `ShardedClient::delete` for the
+    /// two-copy story this state machine mirrors).
+    sdel: SDel,
     next_req: u64,
     phase: usize,
     ops: Vec<MetaOp>,
@@ -487,7 +535,11 @@ impl DufsClientProc {
             mapper: Md5Mapping::new(n),
             fids: FidGenerator::new(id),
             state: DufsState::Connecting,
-            session: 0,
+            ring: None,
+            shard_servers: Vec::new(),
+            sessions: vec![0],
+            connect_idx: 0,
+            sdel: SDel::Idle,
             next_req: 0,
             phase: 0,
             ops: Vec::new(),
@@ -514,25 +566,123 @@ impl DufsClientProc {
         self
     }
 
-    fn send_zk(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, req: ZkRequest, delay: SimDuration) {
+    /// Route this client across a sharded namespace: `servers[s]` is the
+    /// coordination server of shard `s` this client talks to, `ring` the
+    /// routing table every client computes from the shared `ShardConfig`.
+    /// Creates become `CreatePath` (a shard owns a path without
+    /// necessarily owning its ancestors) and deletes clean up the
+    /// children-owner shard's materialized copy, mirroring the live
+    /// `ShardedClient` semantics.
+    ///
+    /// # Panics
+    /// Panics if `servers` does not match the ring's shard count.
+    pub fn with_shards(mut self, ring: HashRing, servers: Vec<NodeId>) -> Self {
+        assert_eq!(ring.shard_count() as usize, servers.len(), "one server per shard");
+        self.sessions = vec![0; servers.len()];
+        self.ring = Some(ring);
+        self.shard_servers = servers;
+        self
+    }
+
+    /// Mint FIDs under `id` instead of this client's node id. FIDs are
+    /// baked into znode data and pick the back-end server, so runs that
+    /// must build identical namespaces across different node layouts
+    /// (e.g. shard-count sweeps, where coordination servers shift every
+    /// node id) need a layout-independent FID identity.
+    pub fn with_fid_client(mut self, id: u64) -> Self {
+        self.fids = FidGenerator::new(id);
+        self
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shard_servers.len().max(1)
+    }
+
+    /// The shard a request routes to (always 0 when unsharded).
+    fn shard_of(&self, req: &ZkRequest) -> usize {
+        let Some(ring) = &self.ring else { return 0 };
+        match req {
+            ZkRequest::Create { path, .. }
+            | ZkRequest::CreatePath { path, .. }
+            | ZkRequest::Delete { path, .. }
+            | ZkRequest::SetData { path, .. }
+            | ZkRequest::GetData { path, .. }
+            | ZkRequest::Exists { path, .. } => ring.route_path(path) as usize,
+            ZkRequest::GetChildren { path, .. } | ZkRequest::GetChildrenData { path } => {
+                ring.route_children(path) as usize
+            }
+            _ => 0,
+        }
+    }
+
+    fn send_zk_shard(
+        &mut self,
+        ctx: &mut Ctx<'_, ClusterMsg>,
+        shard: usize,
+        req: ZkRequest,
+        delay: SimDuration,
+    ) {
         self.next_req += 1;
         self.awaiting = Some(self.next_req);
         ctx.set_timer(REQ_TIMEOUT + delay, T_REQ_TIMEOUT_BASE + self.next_req);
+        let target =
+            if self.shard_servers.is_empty() { self.zk_server } else { self.shard_servers[shard] };
         ctx.send_after(
-            self.zk_server,
+            target,
             ClusterMsg::ZkReq {
                 client: self.id,
                 req_id: self.next_req,
-                session: self.session,
+                session: self.sessions[shard],
                 req,
             },
             delay,
         );
     }
 
+    fn send_zk(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, req: ZkRequest, delay: SimDuration) {
+        let shard = self.shard_of(&req);
+        self.send_zk_shard(ctx, shard, req, delay);
+    }
+
+    /// An unmeasured setup create (`/mdtest`, the proc root). Sharded runs
+    /// use `CreatePath`: the owning shard materializes missing ancestors.
+    fn send_setup_create(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, path: String) {
+        let data = dufs_core::meta::NodeMeta::dir(0o755).encode();
+        let req = if self.ring.is_some() {
+            ZkRequest::CreatePath { path, data, mode: CreateMode::Persistent }
+        } else {
+            ZkRequest::Create { path, data, mode: CreateMode::Persistent }
+        };
+        self.send_zk(ctx, req, SimDuration::ZERO);
+    }
+
     fn dispatch_step(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, step: PlanStep, delay: SimDuration) {
         match step {
-            PlanStep::Zk(req) => self.send_zk(ctx, req, delay),
+            PlanStep::Zk(req) => {
+                let req = match (self.ring.is_some(), req) {
+                    // A sharded create must materialize ancestors the
+                    // owning shard has never seen (`mkdir -p`).
+                    (true, ZkRequest::Create { path, data, mode }) => {
+                        ZkRequest::CreatePath { path, data, mode }
+                    }
+                    (_, req) => req,
+                };
+                if let (Some(ring), ZkRequest::Delete { path, version }) = (&self.ring, &req) {
+                    let owner = ring.route_path(path) as usize;
+                    let kids = ring.route_children(path) as usize;
+                    if kids != owner {
+                        // Two-step sharded delete: the children-owner
+                        // shard's materialized copy first, so a populated
+                        // directory fails with NotEmpty before anything is
+                        // touched; the owner copy follows on its response.
+                        self.sdel = SDel::GhostLeg { path: path.clone(), version: *version };
+                        let ghost = ZkRequest::Delete { path: path.clone(), version: None };
+                        self.send_zk_shard(ctx, kids, ghost, delay);
+                        return;
+                    }
+                }
+                self.send_zk(ctx, req, delay);
+            }
             PlanStep::Backend { backend, req } => {
                 self.next_req += 1;
                 self.awaiting = Some(self.next_req);
@@ -591,10 +741,128 @@ impl DufsClientProc {
         self.issue_op(ctx);
     }
 
+    /// Handle one mid-flight leg of a sharded delete, if that is what
+    /// `resp` answers. Returns the response to feed the planner, or `None`
+    /// if another leg was just issued and the op is still in flight.
+    fn sharded_delete_leg(
+        &mut self,
+        ctx: &mut Ctx<'_, ClusterMsg>,
+        resp: ZkResponse,
+    ) -> Option<ZkResponse> {
+        use dufs_zkstore::ZkError;
+        match std::mem::replace(&mut self.sdel, SDel::Idle) {
+            SDel::Idle => Some(resp),
+            SDel::GhostLeg { path, version } => match resp {
+                ZkResponse::Deleted | ZkResponse::Error(ZkError::NoNode) => {
+                    let ghost_removed = matches!(resp, ZkResponse::Deleted);
+                    let owner =
+                        self.ring.as_ref().expect("sharded delete").route_path(&path) as usize;
+                    let req = ZkRequest::Delete { path: path.clone(), version };
+                    self.sdel = SDel::OwnerLeg { path, version, ghost_removed };
+                    self.send_zk_shard(ctx, owner, req, SimDuration::ZERO);
+                    None
+                }
+                // NotEmpty and friends fail the op before anything moved.
+                other => Some(other),
+            },
+            SDel::OwnerLeg { path, version, ghost_removed } => match resp {
+                // The directory only ever existed as a materialized copy;
+                // the ghost leg's removal completed the delete.
+                ZkResponse::Error(ZkError::NoNode) if ghost_removed => Some(ZkResponse::Deleted),
+                // The ghost leg certified the directory has no real
+                // children, so only materialized ghost chains (left by
+                // deeper `mkdir -p`s that executed on this shard) block
+                // the real copy. Walk and purge them, then retry.
+                ZkResponse::Error(ZkError::NotEmpty) => {
+                    let owner =
+                        self.ring.as_ref().expect("sharded delete").route_path(&path) as usize;
+                    let req = ZkRequest::GetChildren { path: path.clone(), watch: false };
+                    self.sdel = SDel::PurgeExpand {
+                        expanding: path.clone(),
+                        path,
+                        version,
+                        owner,
+                        expand: Vec::new(),
+                        discovered: Vec::new(),
+                    };
+                    self.send_zk_shard(ctx, owner, req, SimDuration::ZERO);
+                    None
+                }
+                other => Some(other),
+            },
+            SDel::PurgeExpand { path, version, owner, expanding, mut expand, mut discovered } => {
+                match resp {
+                    ZkResponse::Children { names, .. } => {
+                        for n in names {
+                            let child = if expanding == "/" {
+                                format!("/{n}")
+                            } else {
+                                format!("{expanding}/{n}")
+                            };
+                            expand.push(child.clone());
+                            discovered.push(child);
+                        }
+                    }
+                    ZkResponse::Error(ZkError::NoNode) => {}
+                    other => return Some(other),
+                }
+                if let Some(next) = expand.pop() {
+                    let req = ZkRequest::GetChildren { path: next.clone(), watch: false };
+                    self.sdel = SDel::PurgeExpand {
+                        path,
+                        version,
+                        owner,
+                        expanding: next,
+                        expand,
+                        discovered,
+                    };
+                    self.send_zk_shard(ctx, owner, req, SimDuration::ZERO);
+                    return None;
+                }
+                self.purge_delete_next(ctx, path, version, owner, discovered);
+                None
+            }
+            SDel::PurgeDelete { path, version, owner, remaining } => match resp {
+                ZkResponse::Deleted | ZkResponse::Error(ZkError::NoNode) => {
+                    self.purge_delete_next(ctx, path, version, owner, remaining);
+                    None
+                }
+                other => Some(other),
+            },
+            SDel::OwnerRetry => match resp {
+                // Everything — ghosts and real copy — is gone.
+                ZkResponse::Error(ZkError::NoNode) => Some(ZkResponse::Deleted),
+                other => Some(other),
+            },
+        }
+    }
+
+    /// Delete the next discovered ghost (deepest first); once all are
+    /// gone, retry the owner copy's delete.
+    fn purge_delete_next(
+        &mut self,
+        ctx: &mut Ctx<'_, ClusterMsg>,
+        path: String,
+        version: Option<u32>,
+        owner: usize,
+        mut remaining: Vec<String>,
+    ) {
+        if let Some(victim) = remaining.pop() {
+            let req = ZkRequest::Delete { path: victim, version: None };
+            self.sdel = SDel::PurgeDelete { path, version, owner, remaining };
+            self.send_zk_shard(ctx, owner, req, SimDuration::ZERO);
+        } else {
+            let req = ZkRequest::Delete { path, version };
+            self.sdel = SDel::OwnerRetry;
+            self.send_zk_shard(ctx, owner, req, SimDuration::ZERO);
+        }
+    }
+
     /// (Re)issue the current op (`ops[op_idx - 1]`) from its first plan
     /// step. First issue mints a fresh FID on demand; a retry reuses the
     /// cached one so both attempts describe the identical file.
     fn issue_op(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
+        self.sdel = SDel::Idle;
         let op = self.ops[self.op_idx - 1].clone();
         let delay = self.cpu.charge(ctx.now(), self.op_cpu_cost());
         let fids = &mut self.fids;
@@ -615,7 +883,7 @@ impl DufsClientProc {
 
 impl Process<ClusterMsg> for DufsClientProc {
     fn on_start(&mut self, ctx: &mut Ctx<'_, ClusterMsg>) {
-        self.send_zk(ctx, ZkRequest::Connect, SimDuration::ZERO);
+        self.send_zk_shard(ctx, 0, ZkRequest::Connect, SimDuration::ZERO);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, _from: NodeId, msg: ClusterMsg) {
@@ -624,17 +892,16 @@ impl Process<ClusterMsg> for DufsClientProc {
                 DufsState::Connecting => {
                     let _ = req_id;
                     if let ZkResponse::Connected { session } = resp {
-                        self.session = session;
+                        self.sessions[self.connect_idx] = session;
+                        self.connect_idx += 1;
+                        if self.connect_idx < self.shard_count() {
+                            // Sharded: one session per shard, opened in turn.
+                            let idx = self.connect_idx;
+                            self.send_zk_shard(ctx, idx, ZkRequest::Connect, SimDuration::ZERO);
+                            return;
+                        }
                         self.state = DufsState::SetupShared;
-                        self.send_zk(
-                            ctx,
-                            ZkRequest::Create {
-                                path: "/mdtest".into(),
-                                data: dufs_core::meta::NodeMeta::dir(0o755).encode(),
-                                mode: CreateMode::Persistent,
-                            },
-                            SimDuration::ZERO,
-                        );
+                        self.send_setup_create(ctx, "/mdtest".into());
                     } else {
                         self.retry_connect = true;
                         ctx.set_timer(SimDuration::from_millis(200), T_ISSUE);
@@ -643,15 +910,7 @@ impl Process<ClusterMsg> for DufsClientProc {
                 DufsState::SetupShared => {
                     // NodeExists is fine: 255 sibling processes race us.
                     self.state = DufsState::SetupRoot;
-                    self.send_zk(
-                        ctx,
-                        ZkRequest::Create {
-                            path: WorkloadSpec::proc_root(self.proc_idx),
-                            data: dufs_core::meta::NodeMeta::dir(0o755).encode(),
-                            mode: CreateMode::Persistent,
-                        },
-                        SimDuration::ZERO,
-                    );
+                    self.send_setup_create(ctx, WorkloadSpec::proc_root(self.proc_idx));
                 }
                 DufsState::SetupRoot => {
                     self.state = DufsState::Barrier;
@@ -667,7 +926,9 @@ impl Process<ClusterMsg> for DufsClientProc {
                 }
                 DufsState::Running => {
                     if self.awaiting == Some(req_id) {
-                        self.feed(ctx, StepResponse::Zk(resp));
+                        if let Some(resp) = self.sharded_delete_leg(ctx, resp) {
+                            self.feed(ctx, StepResponse::Zk(resp));
+                        }
                     }
                 }
                 DufsState::Barrier | DufsState::Finished => {}
@@ -704,7 +965,8 @@ impl Process<ClusterMsg> for DufsClientProc {
         if token == T_ISSUE {
             if self.retry_connect {
                 self.retry_connect = false;
-                self.send_zk(ctx, ZkRequest::Connect, SimDuration::ZERO);
+                let idx = self.connect_idx.min(self.shard_count() - 1);
+                self.send_zk_shard(ctx, idx, ZkRequest::Connect, SimDuration::ZERO);
             }
             return;
         }
@@ -724,18 +986,21 @@ impl Process<ClusterMsg> for DufsClientProc {
                     self.issue_op(ctx);
                 }
                 DufsState::Running if self.exec.is_some() => {
+                    self.sdel = SDel::Idle;
                     self.feed(
                         ctx,
                         StepResponse::Zk(ZkResponse::Error(dufs_zkstore::ZkError::ConnectionLoss)),
                     );
                 }
                 DufsState::Connecting => {
-                    self.send_zk(ctx, ZkRequest::Connect, SimDuration::ZERO);
+                    let idx = self.connect_idx.min(self.shard_count() - 1);
+                    self.send_zk_shard(ctx, idx, ZkRequest::Connect, SimDuration::ZERO);
                 }
                 DufsState::SetupShared | DufsState::SetupRoot => {
                     // Restart setup from the top; creates tolerate Exists.
                     self.state = DufsState::Connecting;
-                    self.send_zk(ctx, ZkRequest::Connect, SimDuration::ZERO);
+                    self.connect_idx = 0;
+                    self.send_zk_shard(ctx, 0, ZkRequest::Connect, SimDuration::ZERO);
                 }
                 _ => {}
             }

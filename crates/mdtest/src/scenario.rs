@@ -6,11 +6,17 @@
 //! ran "ZooKeeper server … along with the DUFS clients"), dedicated
 //! back-end metadata servers, and 1 GigE in between.
 
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
 use rand::rngs::StdRng;
 
 use dufs_backendfs::ParallelFs;
+use dufs_coord::shard::{is_internal_path, parent_dir, DEFAULT_VNODES};
+use dufs_coord::HashRing;
 use dufs_simnet::{GigEModel, LatencyModel, NodeId, Sim, SimDuration, SimTime};
 use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
+use dufs_zkstore::DataTree;
 
 pub use crate::clients::RawOp;
 use crate::clients::{DufsClientProc, NativeClientProc, NodeCpu, RawZkClientProc};
@@ -87,6 +93,12 @@ pub struct MdtestConfig {
     /// DUFS clients to retry-until-applied so the post-recovery namespace
     /// is comparable against an uncrashed control run.
     pub crash_all_coord: Option<CoordOutage>,
+    /// Partition the namespace across this many **independent** ZAB
+    /// ensembles (consistent-hash routing by parent directory), each of
+    /// `zk_servers` members. `1` (the default) is the paper's
+    /// single-ensemble deployment and runs the identical simulation it
+    /// always did, bit for bit.
+    pub shards: usize,
 }
 
 /// A scheduled coordination-server crash/restart.
@@ -122,6 +134,7 @@ impl MdtestConfig {
             zab: ZabConfig::default(),
             durable: false,
             crash_all_coord: None,
+            shards: 1,
         }
     }
 }
@@ -349,10 +362,17 @@ pub struct MdtestReport {
     /// Per-phase results.
     pub phases: Vec<PhaseResult>,
     /// Content digest of the final replicated namespace (0 for the native
-    /// baselines, which have no coordination service).
+    /// baselines, which have no coordination service). For sharded runs
+    /// this is the logical-namespace digest (see [`MdtestReport::logical_digest`]).
     pub namespace_digest: u64,
-    /// Number of znodes in the final namespace.
+    /// Number of znodes in the final namespace (logical count for sharded
+    /// runs).
     pub namespace_nodes: usize,
+    /// Shard-count-independent digest of the *logical* user namespace:
+    /// owner-verified paths closed over ancestors, coordination internals
+    /// excluded. Equal values across different `shards` settings certify
+    /// the runs built the same namespace. 0 for the native baselines.
+    pub logical_digest: u64,
 }
 
 /// As [`run_mdtest`], returning the post-run namespace as well.
@@ -365,11 +385,19 @@ pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
         MdtestSystem::DufsPvfs2 { zk_servers, backends } => (zk_servers, backends, true, true),
     };
     assert!(!dufs || zk_servers >= 1, "DUFS needs a coordination ensemble");
+    let shards = cfg.shards;
+    assert!(shards >= 1, "at least one shard");
+    assert!(shards == 1 || dufs, "sharding needs a coordination ensemble");
+    // Total coordination servers: `shards` independent ensembles of
+    // `zk_servers` members each, at node ids `shard * zk_servers + member`.
+    let n_coord = zk_servers * shards;
 
-    let n_nodes = zk_servers + n_backends + 1 + spec.processes;
+    let n_nodes = n_coord + n_backends + 1 + spec.processes;
     let mut phys = Vec::with_capacity(n_nodes);
-    for i in 0..zk_servers {
-        phys.push((i % costs::CLIENT_NODES) as u32);
+    for i in 0..n_coord {
+        // Member m of every shard is co-located with client node m (the
+        // paper's "ZooKeeper servers run along with the DUFS clients").
+        phys.push(((i % zk_servers) % costs::CLIENT_NODES) as u32);
     }
     for j in 0..n_backends {
         phys.push(100 + j as u32); // dedicated server nodes
@@ -383,30 +411,33 @@ pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
         Sim::new(cfg.seed, TestbedLatency { phys, net: GigEModel::gige() });
     sim.set_message_sizer(wire_size);
 
-    // Coordination servers first.
+    // Coordination servers first: one independent ensemble per shard.
     let ensemble = EnsembleConfig::of_size(zk_servers.max(1));
-    let peer_nodes: Vec<NodeId> = (0..zk_servers as u32).map(NodeId).collect();
-    for i in 0..zk_servers {
-        let (peer, ens, nodes) = (PeerId(i as u32), ensemble.clone(), peer_nodes.clone());
-        sim.add_node(if cfg.durable {
-            CoordServerProc::new_durable_with_config(peer, ens, nodes, cfg.zab)
-        } else {
-            CoordServerProc::new_with_config(peer, ens, nodes, cfg.zab)
-        });
+    for s in 0..shards {
+        let peer_nodes: Vec<NodeId> =
+            (0..zk_servers).map(|i| NodeId((s * zk_servers + i) as u32)).collect();
+        for i in 0..zk_servers {
+            let (peer, ens, nodes) = (PeerId(i as u32), ensemble.clone(), peer_nodes.clone());
+            sim.add_node(if cfg.durable {
+                CoordServerProc::new_durable_with_config(peer, ens, nodes, cfg.zab)
+            } else {
+                CoordServerProc::new_with_config(peer, ens, nodes, cfg.zab)
+            });
+        }
     }
     // Back-end mounts.
     let backend_nodes: Vec<NodeId> = (0..n_backends)
         .map(|j| {
             let fs = if pvfs { ParallelFs::pvfs2() } else { ParallelFs::lustre() };
             let id = sim.add_node(BackendProc::new(fs));
-            debug_assert_eq!(id, NodeId((zk_servers + j) as u32));
+            debug_assert_eq!(id, NodeId((n_coord + j) as u32));
             id
         })
         .collect();
     // Controller.
-    let ctrl = NodeId((zk_servers + n_backends) as u32);
+    let ctrl = NodeId((n_coord + n_backends) as u32);
     let client_ids: Vec<NodeId> =
-        (0..spec.processes).map(|p| NodeId((zk_servers + n_backends + 1 + p) as u32)).collect();
+        (0..spec.processes).map(|p| NodeId((n_coord + n_backends + 1 + p) as u32)).collect();
     sim.add_node(ControllerProc::new(client_ids.clone(), spec.phases.len()));
 
     // Client processes.
@@ -416,18 +447,29 @@ pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
         let cpu = cpus[p % costs::CLIENT_NODES].clone();
         if dufs {
             let server = NodeId((p % zk_servers) as u32);
-            let added = sim.add_node(
-                DufsClientProc::new(
-                    node.0 as u64,
-                    p,
-                    server,
-                    backend_nodes.clone(),
-                    ctrl,
-                    cpu,
-                    spec.clone(),
-                )
-                .with_retry(cfg.crash_all_coord.is_some()),
-            );
+            let mut client = DufsClientProc::new(
+                node.0 as u64,
+                p,
+                server,
+                backend_nodes.clone(),
+                ctrl,
+                cpu,
+                spec.clone(),
+            )
+            .with_retry(cfg.crash_all_coord.is_some());
+            if shards > 1 {
+                // One session per shard, each pinned to the same member
+                // index the unsharded client would use. FIDs are minted
+                // under the node id this client would have in the
+                // single-shard layout, so the shard sweep builds
+                // byte-identical file metadata.
+                let servers: Vec<NodeId> =
+                    (0..shards).map(|s| NodeId((s * zk_servers + p % zk_servers) as u32)).collect();
+                client = client
+                    .with_shards(HashRing::new(shards as u32, DEFAULT_VNODES), servers)
+                    .with_fid_client((zk_servers + n_backends + 1 + p) as u64);
+            }
+            let added = sim.add_node(client);
             assert_eq!(added, node);
         } else {
             let added = sim.add_node(NativeClientProc::new(
@@ -443,7 +485,7 @@ pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
     }
 
     if let Some(crash) = cfg.crash_coord {
-        assert!(dufs && crash.server < zk_servers, "crash target must be a coord server");
+        assert!(dufs && crash.server < n_coord, "crash target must be a coord server");
         let node = NodeId(crash.server as u32);
         sim.schedule_crash(node, SimTime::from_millis(crash.at_ms));
         sim.schedule_restart(node, SimTime::from_millis(crash.at_ms + crash.down_ms));
@@ -451,7 +493,7 @@ pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
     if let Some(outage) = cfg.crash_all_coord {
         assert!(dufs, "a whole-ensemble outage needs a coordination ensemble");
         assert!(cfg.durable, "nothing survives a whole-ensemble crash without write-ahead logs");
-        for i in 0..zk_servers {
+        for i in 0..n_coord {
             let node = NodeId(i as u32);
             sim.schedule_crash(node, SimTime::from_millis(outage.at_ms));
             sim.schedule_restart(node, SimTime::from_millis(outage.at_ms + outage.down_ms));
@@ -460,22 +502,38 @@ pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
     let ok = run_to_completion(&mut sim, ctrl, SimTime::from_secs(30_000));
     assert!(ok, "mdtest run did not complete ({:?})", cfg.system);
 
-    // Replication correctness under the measured load: every coordination
-    // replica must end bit-identical.
-    let (namespace_digest, namespace_nodes) = if dufs {
-        let digests: Vec<(u64, usize)> = (0..zk_servers)
-            .map(|i| {
-                let s = sim.node_ref::<CoordServerProc>(NodeId(i as u32)).server();
-                (s.tree().digest(), s.tree().node_count())
+    // Replication correctness under the measured load: every replica of
+    // every shard must end bit-identical to its ensemble peers.
+    let (namespace_digest, namespace_nodes, logical_digest) = if dufs {
+        for s in 0..shards {
+            let digests: Vec<(u64, usize)> = (0..zk_servers)
+                .map(|i| {
+                    let srv = sim
+                        .node_ref::<CoordServerProc>(NodeId((s * zk_servers + i) as u32))
+                        .server();
+                    (srv.tree().digest(), srv.tree().node_count())
+                })
+                .collect();
+            assert!(
+                digests.windows(2).all(|w| w[0].0 == w[1].0),
+                "shard {s} replicas diverged after the run: {digests:?}"
+            );
+        }
+        let trees: Vec<&DataTree> = (0..shards)
+            .map(|s| {
+                sim.node_ref::<CoordServerProc>(NodeId((s * zk_servers) as u32)).server().tree()
             })
             .collect();
-        assert!(
-            digests.windows(2).all(|w| w[0].0 == w[1].0),
-            "coordination replicas diverged after the run: {digests:?}"
-        );
-        digests[0]
+        let ring = HashRing::new(shards as u32, DEFAULT_VNODES);
+        let (logical, logical_nodes) = logical_namespace_digest(&trees, &ring);
+        if shards == 1 {
+            // Single ensemble: keep the historical raw-tree figures.
+            (trees[0].digest(), trees[0].node_count(), logical)
+        } else {
+            (logical, logical_nodes, logical)
+        }
     } else {
-        (0, 0)
+        (0, 0, 0)
     };
 
     let tallies = sim.node_ref::<ControllerProc>(ctrl).results.clone();
@@ -492,7 +550,57 @@ pub fn run_mdtest_report(cfg: &MdtestConfig) -> MdtestReport {
             p99_latency_us: t.latency.quantile(0.99).as_micros_f64(),
         })
         .collect();
-    MdtestReport { phases, namespace_digest, namespace_nodes }
+    MdtestReport { phases, namespace_digest, namespace_nodes, logical_digest }
+}
+
+/// Shard-count-independent digest of the logical user namespace held by
+/// `trees` (one fully-converged replica per shard), mirroring
+/// `ShardedClient::user_digest`: a path logically exists if it is present
+/// on its owner shard or is an ancestor of one that is (ancestors may
+/// exist only as lazily-materialized copies on other shards); each logical
+/// node contributes `fnv(path ++ 0x00 ++ owner-data)`; coordination
+/// internals are excluded. Returns `(digest, logical node count)`.
+fn logical_namespace_digest(trees: &[&DataTree], ring: &HashRing) -> (u64, usize) {
+    let mut candidates: BTreeSet<String> = BTreeSet::new();
+    for t in trees {
+        for p in t.subtree_paths("/").expect("root always exists") {
+            if p != "/" && !is_internal_path(&p) {
+                candidates.insert(p);
+            }
+        }
+    }
+    let mut live: BTreeSet<String> = BTreeSet::new();
+    for p in &candidates {
+        let owner = ring.route_path(p) as usize;
+        if trees[owner].get_data(p).is_ok() {
+            live.insert(p.clone());
+        }
+    }
+    let mut logical: BTreeSet<String> = BTreeSet::new();
+    for p in &live {
+        let mut cur = p.as_str();
+        while cur != "/" {
+            if !logical.insert(cur.to_string()) {
+                break;
+            }
+            cur = parent_dir(cur);
+        }
+    }
+    let mut digest = 0u64;
+    for p in &logical {
+        let owner = ring.route_path(p) as usize;
+        let data = match trees[owner].get_data(p) {
+            Ok((d, _)) => d,
+            Err(_) => Bytes::new(),
+        };
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in p.as_bytes().iter().chain([0u8].iter()).chain(data.iter()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        digest = digest.wrapping_add(h);
+    }
+    (digest, logical.len())
 }
 
 #[cfg(test)]
@@ -660,6 +768,56 @@ mod tests {
         assert_eq!(got.namespace_nodes, want.namespace_nodes);
         let ops = |r: &MdtestReport| -> u64 { r.phases.iter().map(|p| p.ops).sum() };
         assert_eq!(ops(&got), ops(&want), "every workload op completes despite the outage");
+    }
+
+    #[test]
+    fn sharded_sim_builds_the_same_logical_namespace() {
+        // The full 6-phase workload over 2 shards must complete with zero
+        // errors and tear the namespace back down to the same logical
+        // content a single-ensemble run ends with (routing, mkdir -p ghost
+        // materialization, and the two-leg sharded delete all cancel out).
+        let system = MdtestSystem::DufsLustre { zk_servers: 1, backends: 2 };
+        let base = run_mdtest_report(&MdtestConfig::new(system, small_spec(8), 11));
+        let sharded = run_mdtest_report(&MdtestConfig {
+            shards: 2,
+            ..MdtestConfig::new(system, small_spec(8), 11)
+        });
+        for r in base.phases.iter().chain(sharded.phases.iter()) {
+            assert_eq!(r.errors, 0, "{:?}: {} errors", r.phase, r.errors);
+        }
+        let ops = |r: &MdtestReport| -> u64 { r.phases.iter().map(|p| p.ops).sum() };
+        assert_eq!(ops(&sharded), ops(&base));
+        assert_eq!(
+            sharded.logical_digest, base.logical_digest,
+            "2-shard run diverged from the single-ensemble namespace"
+        );
+    }
+
+    #[test]
+    fn sharded_sim_logical_digest_is_shard_count_independent_with_live_tree() {
+        // Create/stat phases only, so the run *ends* with the namespace
+        // fully populated: the digest certifies every dir and file landed
+        // on its owner shard with the right data, across 1/2/4 shards.
+        let spec = WorkloadSpec {
+            phases: vec![Phase::DirCreate, Phase::DirStat, Phase::FileCreate, Phase::FileStat],
+            ..small_spec(8)
+        };
+        let system = MdtestSystem::DufsLustre { zk_servers: 1, backends: 2 };
+        let reports: Vec<MdtestReport> = [1usize, 2, 4]
+            .iter()
+            .map(|&shards| {
+                let cfg = MdtestConfig { shards, ..MdtestConfig::new(system, spec.clone(), 13) };
+                let r = run_mdtest_report(&cfg);
+                for p in &r.phases {
+                    assert_eq!(p.errors, 0, "shards={shards} {:?}: {} errors", p.phase, p.errors);
+                }
+                r
+            })
+            .collect();
+        assert_eq!(reports[0].logical_digest, reports[1].logical_digest);
+        assert_eq!(reports[0].logical_digest, reports[2].logical_digest);
+        // A populated tree: /mdtest + 8 proc roots + 8×12 dirs + 8×12 files.
+        assert_eq!(reports[1].namespace_nodes, 1 + 8 + 8 * 12 + 8 * 12);
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub enum ZkError {
     /// server) and resubmits; the outcome of the in-flight request is
     /// unknown, so resubmission must be idempotent-safe.
     Net,
+    /// The path is fenced by a prepared (undecided) cross-shard transaction.
+    /// Retryable: the fence clears as soon as the transaction's coordinator
+    /// delivers its commit/abort decision.
+    TxnBusy,
 }
 
 impl fmt::Display for ZkError {
@@ -57,6 +61,7 @@ impl fmt::Display for ZkError {
             ZkError::RootReadOnly => "root is read-only",
             ZkError::CorruptSnapshot => "corrupt snapshot",
             ZkError::Net => "network error",
+            ZkError::TxnBusy => "path fenced by a prepared transaction",
         };
         f.write_str(s)
     }

@@ -284,6 +284,52 @@ impl DataTree {
         Ok((actual, events))
     }
 
+    /// Create a znode, first materializing any missing ancestors as empty
+    /// persistent session-less nodes (`mkdir -p` for the parent chain).
+    ///
+    /// The sharded deployment needs this: a shard owns `/a/b/c` by hash of
+    /// its parent directory, so it may never have seen an explicit create
+    /// of `/a` or `/a/b`. Materialized ancestors carry this operation's
+    /// `zxid`/`time_ns` and stay behind even if the leaf create fails
+    /// (deterministic across replicas, and harmless for idempotent retry).
+    pub fn create_path(
+        &mut self,
+        p: &str,
+        data: Bytes,
+        mode: CreateMode,
+        session: u64,
+        zxid: u64,
+        time_ns: u64,
+    ) -> ZkResult<(String, Vec<ChangeEvent>)> {
+        path::validate(p)?;
+        if p == path::ROOT {
+            return Err(ZkError::NodeExists);
+        }
+        let mut events = Vec::new();
+        let mut missing: Vec<String> = Vec::new();
+        let mut cur = path::parent(p).ok_or(ZkError::InvalidPath)?;
+        while cur != path::ROOT && !self.nodes.contains_key(cur) {
+            missing.push(cur.to_string());
+            cur = path::parent(cur).ok_or(ZkError::InvalidPath)?;
+        }
+        for anc in missing.iter().rev() {
+            self.create_inner(
+                anc,
+                Bytes::new(),
+                CreateMode::Persistent,
+                0,
+                zxid,
+                time_ns,
+                &mut events,
+                &mut Vec::new(),
+            )?;
+        }
+        let actual =
+            self.create_inner(p, data, mode, session, zxid, time_ns, &mut events, &mut Vec::new())?;
+        self.note_zxid(zxid);
+        Ok((actual, events))
+    }
+
     /// Delete a znode (must be childless). `version` of `Some(v)` makes the
     /// delete conditional on the data version.
     pub fn delete(
@@ -669,6 +715,28 @@ mod tests {
         assert_eq!(
             t.create("/a/b", b(""), CreateMode::Persistent, 0, 1, 0).unwrap_err(),
             ZkError::NoNode
+        );
+    }
+
+    #[test]
+    fn create_path_materializes_missing_ancestors() {
+        let mut t = tree();
+        let (p, ev) = t.create_path("/a/b/c", b("x"), CreateMode::Persistent, 7, 5, 50).unwrap();
+        assert_eq!(p, "/a/b/c");
+        // Three creates, root-down, each with its parent's ChildrenChanged.
+        assert_eq!(ev.iter().filter(|e| matches!(e, ChangeEvent::Created(_))).count(), 3);
+        assert_eq!(t.get_data("/a").unwrap().0.len(), 0);
+        assert_eq!(t.get_data("/a/b").unwrap().0.len(), 0);
+        assert_eq!(&t.get_data("/a/b/c").unwrap().0[..], b"x");
+        assert_eq!(t.exists("/a").unwrap().unwrap().czxid, 5);
+        // Existing ancestors are untouched.
+        let (_, ev2) = t.create_path("/a/b/d", b("y"), CreateMode::Persistent, 7, 6, 60).unwrap();
+        assert_eq!(ev2.iter().filter(|e| matches!(e, ChangeEvent::Created(_))).count(), 1);
+        assert_eq!(t.exists("/a/b").unwrap().unwrap().czxid, 5);
+        // Leaf collision still reports NodeExists.
+        assert_eq!(
+            t.create_path("/a/b/c", b(""), CreateMode::Persistent, 7, 7, 70).unwrap_err(),
+            ZkError::NodeExists
         );
     }
 

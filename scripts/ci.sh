@@ -59,6 +59,25 @@ if [ "$d_spread" != "$d_thread" ] || [ -z "$d_spread" ]; then
 fi
 echo "    parity OK: $d_spread"
 
+# Sharded mdtest digest parity: the same live workload routed across two
+# independent single-voter ensembles by the consistent-hash ring must
+# build the same user-visible namespace as a 1-shard run (the digest is
+# the owner-verified logical namespace, shard config znodes excluded).
+echo "==> mdtest live sharded digest parity (--shards 2 vs --shards 1)"
+d_one=$(target/release/mdtest_sim --live thread --procs 4 --items 10 --zk 1 --shards 1 | grep -o 'digest 0x[0-9a-f]*')
+d_two=$(target/release/mdtest_sim --live thread --procs 4 --items 10 --zk 1 --shards 2 | grep -o 'digest 0x[0-9a-f]*')
+if [ "$d_two" != "$d_one" ] || [ -z "$d_one" ]; then
+    echo "FAIL: sharded digest mismatch (1 shard: ${d_one:-none}, 2 shards: ${d_two:-none})" >&2
+    exit 1
+fi
+echo "    parity OK: $d_one"
+
+# Namespace-sharding sweep, smoke mode: 1-vs-2-shard simulated runs must
+# agree on the logical namespace and run error-free. The scaling gate
+# itself only runs at full op counts (`FULL=1 bench_shards`).
+echo "==> bench_shards smoke"
+cargo run --release -q -p dufs-bench --bin bench_shards -- --smoke
+
 # Follower read scale-out benchmark, smoke mode: exercises every
 # (ensemble, placement) cell end to end. The scale-out throughput gate
 # itself only runs at full op counts (`bench_reads` with no flags), where
