@@ -196,6 +196,10 @@ pub enum ZkRequest {
         txn_id: u64,
         /// This shard's slice of the transaction.
         ops: Vec<MultiOp>,
+        /// Every shard participating in the transaction (ascending). Parked
+        /// with the slice so a recovery agent that finds the marker knows
+        /// which shards to drive the decision to.
+        participants: Vec<u32>,
     },
     /// Commit decision for a prepared transaction (idempotent).
     TxnCommit {
@@ -278,10 +282,14 @@ pub enum ZkResponse {
     },
     /// TxnPrepare succeeded: the ops validated and their paths are fenced.
     Prepared,
-    /// TxnCommit succeeded (or the transaction was already decided).
+    /// TxnCommit applied the prepared slice.
     Committed,
-    /// TxnAbort succeeded (or the transaction was already decided).
+    /// TxnAbort discarded the prepared slice.
     Aborted,
+    /// A decision arrived for a txn id this shard holds no prepared slice
+    /// for: it was already decided here (or never prepared). Distinguishable
+    /// from a real apply so recovery can tell "done" from "no-op".
+    TxnUnknown,
     /// The request failed.
     Error(ZkError),
 }

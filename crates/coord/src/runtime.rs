@@ -677,26 +677,38 @@ impl<T: ClientTransport> ZkClient<T> {
     }
 
     /// 2PC phase one: validate and fence this shard's slice of transaction
-    /// `txn_id`, parking the ops durably until a decision.
-    pub fn txn_prepare(&mut self, txn_id: u64, ops: Vec<MultiOp>) -> Result<(), ZkError> {
-        match self.request(ZkRequest::TxnPrepare { txn_id, ops }) {
+    /// `txn_id`, parking the ops (and the full participant list, for
+    /// recovery) durably until a decision.
+    pub fn txn_prepare(
+        &mut self,
+        txn_id: u64,
+        ops: Vec<MultiOp>,
+        participants: Vec<u32>,
+    ) -> Result<(), ZkError> {
+        match self.request(ZkRequest::TxnPrepare { txn_id, ops, participants }) {
             ZkResponse::Prepared => Ok(()),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
     }
 
-    /// 2PC decision: commit the prepared slice of `txn_id` (idempotent).
-    pub fn txn_commit(&mut self, txn_id: u64) -> Result<(), ZkError> {
+    /// 2PC decision: commit the prepared slice of `txn_id`. `Ok(true)`
+    /// means the slice applied now; `Ok(false)` means the shard held no
+    /// prepared slice under the id (already decided here). Safe to retry.
+    pub fn txn_commit(&mut self, txn_id: u64) -> Result<bool, ZkError> {
         match self.request(ZkRequest::TxnCommit { txn_id }) {
-            ZkResponse::Committed => Ok(()),
+            ZkResponse::Committed => Ok(true),
+            ZkResponse::TxnUnknown => Ok(false),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
     }
 
-    /// 2PC decision: abort the prepared slice of `txn_id` (idempotent).
-    pub fn txn_abort(&mut self, txn_id: u64) -> Result<(), ZkError> {
+    /// 2PC decision: abort the prepared slice of `txn_id`. `Ok(true)`
+    /// means a slice was discarded now; `Ok(false)` means nothing was
+    /// prepared under the id. Safe to retry.
+    pub fn txn_abort(&mut self, txn_id: u64) -> Result<bool, ZkError> {
         match self.request(ZkRequest::TxnAbort { txn_id }) {
-            ZkResponse::Aborted => Ok(()),
+            ZkResponse::Aborted => Ok(true),
+            ZkResponse::TxnUnknown => Ok(false),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
     }

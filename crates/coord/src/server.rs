@@ -193,6 +193,7 @@ struct SessionInfo {
 struct PreparedTxn {
     session: u64,
     ops: Vec<MultiOp>,
+    participants: Vec<u32>,
 }
 
 /// Namespace prefix under which prepared-transaction markers live. Paths
@@ -681,13 +682,13 @@ impl CoordServer {
                 );
             }
             // ---- cross-shard 2PC (coordinator lives client-side) ----
-            ZkRequest::TxnPrepare { txn_id, ops } => {
+            ZkRequest::TxnPrepare { txn_id, ops, participants } => {
                 self.submit_write(
                     now_ns,
                     client,
                     req_id,
                     session,
-                    TxnOp::Prepare2pc { txn_id, ops },
+                    TxnOp::Prepare2pc { txn_id, ops, participants },
                     out,
                 );
             }
@@ -1015,13 +1016,20 @@ impl CoordServer {
         &mut self,
         txn_id: u64,
         ops: &[MultiOp],
+        participants: &[u32],
         session: u64,
         z: u64,
         t: u64,
     ) -> (ZkResponse, Vec<ChangeEvent>) {
-        if self.prepared_txns.contains_key(&txn_id) {
-            // Coordinator retry of an already-prepared slice.
-            return (ZkResponse::Prepared, Vec::new());
+        if let Some(p) = self.prepared_txns.get(&txn_id) {
+            // Coordinator retry of an already-prepared slice — but only if
+            // it really is the same transaction. Answering `Prepared` for a
+            // different payload under a colliding id would commit another
+            // transaction's parked ops.
+            if p.ops == ops && p.participants == participants {
+                return (ZkResponse::Prepared, Vec::new());
+            }
+            return (ZkResponse::Error(ZkError::TxnBusy), Vec::new());
         }
         // Conflict with another undecided transaction?
         for op in ops {
@@ -1070,7 +1078,11 @@ impl CoordServer {
         // Park the slice in the tree and index it.
         let marker = Txn {
             session,
-            op: TxnOp::Prepare2pc { txn_id, ops: ops.to_vec() },
+            op: TxnOp::Prepare2pc {
+                txn_id,
+                ops: ops.to_vec(),
+                participants: participants.to_vec(),
+            },
             origin: PeerId(0),
             tag: 0,
             time_ns: 0,
@@ -1089,43 +1101,61 @@ impl CoordServer {
         for op in ops {
             self.txn_fences.insert(op_path(op).to_string(), txn_id);
         }
-        self.prepared_txns.insert(txn_id, PreparedTxn { session, ops: ops.to_vec() });
+        self.prepared_txns.insert(
+            txn_id,
+            PreparedTxn { session, ops: ops.to_vec(), participants: participants.to_vec() },
+        );
         (ZkResponse::Prepared, events)
     }
 
-    /// Decision: apply the prepared slice. Unknown txn ids answer
-    /// `Committed` too — the coordinator's decision is final, a marker only
-    /// disappears *because* a decision already applied, so a retry after
-    /// recovery must see success, not an error.
+    /// Decision: apply the prepared slice. A txn id with no prepared slice
+    /// answers [`ZkResponse::TxnUnknown`] — the slice was already decided
+    /// here (or never prepared). Surfacing that instead of a blanket
+    /// success lets a recovery agent tell "this shard applied the commit
+    /// now" from "this shard had nothing left to apply".
     fn apply_commit(&mut self, txn_id: u64, z: u64, t: u64) -> (ZkResponse, Vec<ChangeEvent>) {
         let Some(p) = self.prepared_txns.remove(&txn_id) else {
-            return (ZkResponse::Committed, Vec::new());
+            return (ZkResponse::TxnUnknown, Vec::new());
         };
         self.drop_txn_fences(txn_id);
         let mut events = Vec::new();
         for op in &p.ops {
             // Validated at prepare and fenced since, so these cannot fail;
-            // results are discarded (the coordinator already has them).
-            match op {
+            // results are discarded (the coordinator already has them). A
+            // failure here means the fence invariant broke — make that
+            // loud in debug builds instead of silently diverging.
+            let failed = match op {
                 MultiOp::Create { path, data, mode } => {
-                    if let Ok((_, ev)) =
-                        self.tree.create_path(path, data.clone(), *mode, p.session, z, t)
-                    {
-                        events.extend(ev);
+                    match self.tree.create_path(path, data.clone(), *mode, p.session, z, t) {
+                        Ok((_, ev)) => {
+                            events.extend(ev);
+                            None
+                        }
+                        Err(e) => Some(e),
                     }
                 }
-                MultiOp::Delete { path, version } => {
-                    if let Ok(ev) = self.tree.delete(path, *version, z, t) {
+                MultiOp::Delete { path, version } => match self.tree.delete(path, *version, z, t) {
+                    Ok(ev) => {
                         events.extend(ev);
+                        None
                     }
-                }
+                    Err(e) => Some(e),
+                },
                 MultiOp::SetData { path, data, version } => {
-                    if let Ok((_, ev)) = self.tree.set_data(path, data.clone(), *version, z, t) {
-                        events.extend(ev);
+                    match self.tree.set_data(path, data.clone(), *version, z, t) {
+                        Ok((_, ev)) => {
+                            events.extend(ev);
+                            None
+                        }
+                        Err(e) => Some(e),
                     }
                 }
-                MultiOp::Check { .. } => {}
-            }
+                MultiOp::Check { .. } => None,
+            };
+            debug_assert!(
+                failed.is_none(),
+                "2PC commit op failed post-prepare (txn {txn_id:#x}, op {op:?}): {failed:?}"
+            );
         }
         if let Ok(ev) = self.tree.delete(&txn_marker_path(txn_id), None, z, t) {
             events.extend(ev);
@@ -1133,10 +1163,11 @@ impl CoordServer {
         (ZkResponse::Committed, events)
     }
 
-    /// Decision: discard the prepared slice. Idempotent like commit.
+    /// Decision: discard the prepared slice. Answers
+    /// [`ZkResponse::TxnUnknown`] when nothing is prepared under the id.
     fn apply_abort(&mut self, txn_id: u64, z: u64, t: u64) -> (ZkResponse, Vec<ChangeEvent>) {
         let Some(_) = self.prepared_txns.remove(&txn_id) else {
-            return (ZkResponse::Aborted, Vec::new());
+            return (ZkResponse::TxnUnknown, Vec::new());
         };
         self.drop_txn_fences(txn_id);
         let mut events = Vec::new();
@@ -1159,11 +1190,12 @@ impl CoordServer {
         for n in names {
             let Ok((data, _)) = self.tree.get_data(&format!("{TXN_PREFIX}/{n}")) else { continue };
             let Ok(marker) = Txn::decode(&data) else { continue };
-            if let TxnOp::Prepare2pc { txn_id, ops } = marker.op {
+            if let TxnOp::Prepare2pc { txn_id, ops, participants } = marker.op {
                 for op in &ops {
                     self.txn_fences.insert(op_path(op).to_string(), txn_id);
                 }
-                self.prepared_txns.insert(txn_id, PreparedTxn { session: marker.session, ops });
+                self.prepared_txns
+                    .insert(txn_id, PreparedTxn { session: marker.session, ops, participants });
             }
         }
     }
@@ -1209,22 +1241,14 @@ impl CoordServer {
                     (ZkResponse::Connected { session: *session }, Vec::new())
                 }
                 TxnOp::CloseSession { session } => {
-                    let (_, mut ev) = self.tree.close_session(*session, z, t);
-                    // A dead coordinator must not leave its fences behind
-                    // forever: abort every transaction the session had
-                    // prepared but not yet decided. (Sorted for a
-                    // replica-deterministic event order.)
-                    let mut orphaned: Vec<u64> = self
-                        .prepared_txns
-                        .iter()
-                        .filter(|(_, p)| p.session == *session)
-                        .map(|(&id, _)| id)
-                        .collect();
-                    orphaned.sort_unstable();
-                    for id in orphaned {
-                        let (_, e2) = self.apply_abort(id, z, t);
-                        ev.extend(e2);
-                    }
+                    let (_, ev) = self.tree.close_session(*session, z, t);
+                    // Transactions the session prepared but never decided
+                    // stay parked and fenced: this shard cannot know whether
+                    // the coordinator's commit already applied on another
+                    // participant, so a unilateral abort here could tear a
+                    // cross-shard transaction in half. The sharded client's
+                    // recovery sweep (`ShardedClient::recover_txns`) owns
+                    // resolving orphans via the durable decision record.
                     if let Some(info) = self.sessions.remove(session) {
                         self.watches.drop_client(info.client);
                     }
@@ -1234,8 +1258,8 @@ impl CoordServer {
                 // the origin) proves this replica has applied everything
                 // committed before the barrier.
                 TxnOp::Noop => (ZkResponse::Synced { zxid: z }, Vec::new()),
-                TxnOp::Prepare2pc { txn_id, ops } => {
-                    self.apply_prepare(*txn_id, ops, txn.session, z, t)
+                TxnOp::Prepare2pc { txn_id, ops, participants } => {
+                    self.apply_prepare(*txn_id, ops, participants, txn.session, z, t)
                 }
                 TxnOp::Commit2pc { txn_id } => self.apply_commit(*txn_id, z, t),
                 TxnOp::Abort2pc { txn_id } => self.apply_abort(*txn_id, z, t),
@@ -1626,20 +1650,18 @@ mod tests {
                 mode: CreateMode::Persistent,
             },
         );
+        let slice = vec![
+            MultiOp::Delete { path: "/src".into(), version: None },
+            MultiOp::Create {
+                path: "/dst/deep/leaf".into(),
+                data: Bytes::from_static(b"fid"),
+                mode: CreateMode::Persistent,
+            },
+        ];
         let resp = req(
             &mut s,
             0,
-            ZkRequest::TxnPrepare {
-                txn_id: 7,
-                ops: vec![
-                    MultiOp::Delete { path: "/src".into(), version: None },
-                    MultiOp::Create {
-                        path: "/dst/deep/leaf".into(),
-                        data: Bytes::from_static(b"fid"),
-                        mode: CreateMode::Persistent,
-                    },
-                ],
-            },
+            ZkRequest::TxnPrepare { txn_id: 7, ops: slice.clone(), participants: vec![0, 1] },
         );
         assert_eq!(resp, ZkResponse::Prepared);
         assert_eq!(s.prepared_txn_count(), 1);
@@ -1673,14 +1695,25 @@ mod tests {
                         data: Bytes::new(),
                         version: None,
                     }],
+                    participants: vec![0],
                 },
             ),
             ZkResponse::Error(ZkError::TxnBusy)
         );
-        // Prepare retry is idempotent.
+        // Prepare retry with the identical payload is idempotent...
         assert_eq!(
-            req(&mut s, 0, ZkRequest::TxnPrepare { txn_id: 7, ops: vec![] }),
+            req(
+                &mut s,
+                0,
+                ZkRequest::TxnPrepare { txn_id: 7, ops: slice.clone(), participants: vec![0, 1] }
+            ),
             ZkResponse::Prepared
+        );
+        // ...but a *different* payload under the same id (a txn-id
+        // collision) is rejected, not blindly acknowledged.
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::TxnPrepare { txn_id: 7, ops: vec![], participants: vec![] }),
+            ZkResponse::Error(ZkError::TxnBusy)
         );
         // Commit applies the slice, materializing ancestors for the create.
         assert_eq!(req(&mut s, 0, ZkRequest::TxnCommit { txn_id: 7 }), ZkResponse::Committed);
@@ -1712,9 +1745,10 @@ mod tests {
             req(&mut s, 0, ZkRequest::Delete { path: "/dst/deep/leaf".into(), version: None }),
             ZkResponse::Deleted
         ));
-        // Decision retry after the fact still reports success.
-        assert_eq!(req(&mut s, 0, ZkRequest::TxnCommit { txn_id: 7 }), ZkResponse::Committed);
-        assert_eq!(req(&mut s, 0, ZkRequest::TxnAbort { txn_id: 999 }), ZkResponse::Aborted);
+        // A decision retry after the slice is gone is distinguishable from
+        // a real apply: the shard reports it holds nothing under the id.
+        assert_eq!(req(&mut s, 0, ZkRequest::TxnCommit { txn_id: 7 }), ZkResponse::TxnUnknown);
+        assert_eq!(req(&mut s, 0, ZkRequest::TxnAbort { txn_id: 999 }), ZkResponse::TxnUnknown);
     }
 
     #[test]
@@ -1729,6 +1763,7 @@ mod tests {
                 ZkRequest::TxnPrepare {
                     txn_id: 1,
                     ops: vec![MultiOp::Delete { path: "/missing".into(), version: None }],
+                    participants: vec![0],
                 },
             ),
             ZkResponse::Error(ZkError::NoNode)
@@ -1755,6 +1790,7 @@ mod tests {
                         data: Bytes::new(),
                         mode: CreateMode::Persistent,
                     }],
+                    participants: vec![0],
                 },
             ),
             ZkResponse::Error(ZkError::NodeExists)
@@ -1767,6 +1803,7 @@ mod tests {
                 ZkRequest::TxnPrepare {
                     txn_id: 3,
                     ops: vec![MultiOp::Check { path: "/x".into(), version: Some(5) }],
+                    participants: vec![0],
                 },
             ),
             ZkResponse::Error(ZkError::BadVersion)
@@ -1793,6 +1830,7 @@ mod tests {
                 ZkRequest::TxnPrepare {
                     txn_id: 4,
                     ops: vec![MultiOp::Delete { path: "/keep".into(), version: None }],
+                    participants: vec![0],
                 },
             ),
             ZkResponse::Prepared
@@ -1810,7 +1848,7 @@ mod tests {
     }
 
     #[test]
-    fn close_session_aborts_its_prepared_txns() {
+    fn close_session_leaves_prepared_txns_parked() {
         use dufs_zkstore::MultiOp;
         let mut s = single();
         let ZkResponse::Connected { session } = req(&mut s, 0, ZkRequest::Connect) else {
@@ -1832,16 +1870,28 @@ mod tests {
                 ZkRequest::TxnPrepare {
                     txn_id: 11,
                     ops: vec![MultiOp::Delete { path: "/f".into(), version: None }],
+                    participants: vec![0],
                 },
             ),
             ZkResponse::Prepared
         );
+        // The coordinator's session dies with the transaction undecided.
+        // The shard must NOT abort unilaterally: the coordinator's commit
+        // may already have applied on another participant, and an abort
+        // here would tear the transaction in half. The slice stays parked
+        // and fenced until a recovery agent delivers the real decision.
         assert_eq!(req(&mut s, session, ZkRequest::CloseSession), ZkResponse::Closed);
-        assert_eq!(s.prepared_txn_count(), 0, "dead coordinator's txn aborted");
-        // The fence died with the session.
+        assert_eq!(s.prepared_txn_count(), 1, "prepared slice must survive session close");
         assert_eq!(
             req(&mut s, 0, ZkRequest::Delete { path: "/f".into(), version: None }),
-            ZkResponse::Deleted
+            ZkResponse::Error(ZkError::TxnBusy)
+        );
+        // A decision from a *different* session resolves it and lifts the
+        // fence.
+        assert_eq!(req(&mut s, 0, ZkRequest::TxnCommit { txn_id: 11 }), ZkResponse::Committed);
+        assert_eq!(
+            req(&mut s, 0, ZkRequest::Exists { path: "/f".into(), watch: false }),
+            ZkResponse::ExistsResult(None)
         );
     }
 
@@ -1865,6 +1915,7 @@ mod tests {
                 ZkRequest::TxnPrepare {
                     txn_id: 21,
                     ops: vec![MultiOp::Delete { path: "/src".into(), version: None }],
+                    participants: vec![0, 1],
                 },
             ),
             ZkResponse::Prepared
@@ -1905,6 +1956,7 @@ mod tests {
                 ZkRequest::TxnPrepare {
                     txn_id: 31,
                     ops: vec![MultiOp::Delete { path: "/src".into(), version: None }],
+                    participants: vec![0, 1],
                 },
             ),
             ZkResponse::Prepared

@@ -20,12 +20,22 @@
 //! **Cross-shard atomicity.** Multi-ops whose paths land on different
 //! shards run as a client-coordinated two-phase commit built on the
 //! servers' prepared-transaction support: each participant shard durably
-//! parks and fences its slice (`TxnPrepare`), then the coordinator issues
-//! the decision (`TxnCommit`/`TxnAbort`) to every participant. Prepared
-//! state lives in each shard's replicated tree (under `/__txn`), so it
-//! rides the WAL and survives `kill -9` of any member; decisions are
-//! idempotent and may be re-issued by *any* session, which is exactly what
-//! a client does when it crashes mid-decision and retries.
+//! parks and fences its slice (`TxnPrepare`, carrying the full participant
+//! list), then the coordinator durably records its verdict as a
+//! **decision record** znode (`/__txn/decided/<id>`, on the
+//! lowest-numbered participant) *before* issuing `TxnCommit` to anyone.
+//! Prepared state and decision records live in each shard's replicated
+//! tree, so they ride the WAL and survive `kill -9` of any member.
+//!
+//! A coordinator that dies mid-protocol leaves prepared slices parked and
+//! fenced — participants never abort unilaterally (not even when the
+//! coordinator's session closes), because a commit may already have
+//! applied elsewhere. Instead, any session can run
+//! [`ShardedClient::recover_txns`]: it finds orphaned prepares, reads the
+//! decision record (writing an abort record first-writer-wins if none
+//! exists — *presumed abort*), and drives that single verdict to every
+//! participant. Writes that hit an orphaned fence (`TxnBusy`) trigger the
+//! sweep automatically, and every cluster bootstrap runs one.
 //!
 //! ```
 //! use bytes::Bytes;
@@ -40,7 +50,7 @@
 //! cluster.shutdown();
 //! ```
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -49,9 +59,18 @@ use dufs_zkstore::{path as zkpath, CreateMode, MultiOp, Stat, ZkError};
 
 use crate::api::{ClientOptions, ReadConsistency, Watch};
 use crate::runtime::{ClientTransport, ServerStatus, ThreadCluster, ZkClient};
+use crate::server::TXN_PREFIX;
 use crate::shard::{is_internal_path, HashRing, ShardConfig, DEFAULT_VNODES, SHARD_CONFIG_PATH};
 use crate::tcp::TcpCluster;
-use crate::watch::WatchKind;
+use crate::txn::{Txn, TxnOp};
+use crate::watch::{WatchKind, WatchNotification};
+
+/// Path of the durable 2PC decision record for `txn_id`. It lives on the
+/// transaction's *decision shard* — its lowest-numbered participant — and
+/// holds a single verdict byte (`b'C'` commit, `b'A'` abort).
+pub fn txn_decision_path(txn_id: u64) -> String {
+    format!("{TXN_PREFIX}/decided/{txn_id:016x}")
+}
 
 /// The ensemble operations [`ShardedCluster`] needs from a runtime, so one
 /// sharded implementation drives both the threaded and the TCP clusters.
@@ -140,7 +159,14 @@ impl<C: ClusterHandle> ShardedCluster<C> {
             }
             c.close()?;
         }
-        Ok(ShardedCluster { shards, config })
+        let cluster = ShardedCluster { shards, config };
+        // A durable restart may have recovered prepared-but-undecided
+        // cross-shard transactions from the WAL (their coordinator is long
+        // gone). Resolve them now so no fence outlives the bootstrap.
+        let mut c = cluster.client()?;
+        c.recover_txns()?;
+        c.close()?;
+        Ok(cluster)
     }
 
     /// Number of shards.
@@ -202,7 +228,14 @@ pub struct ShardedClient<T: ClientTransport> {
     clients: Vec<ZkClient<T>>,
     ring: HashRing,
     epoch: u64,
+    /// High-entropy per-session nonce folded into every minted txn id.
+    txn_nonce: u64,
     txn_seq: u64,
+    /// User watch notifications drained off shard 0 while polling for
+    /// shard-config changes; surfaced by [`ShardedClient::take_watch`].
+    pending_watches: VecDeque<WatchNotification>,
+    /// The config watch on shard 0 has fired; re-read on the next op.
+    config_dirty: bool,
 }
 
 impl<T: ClientTransport> ShardedClient<T> {
@@ -217,7 +250,23 @@ impl<T: ClientTransport> ShardedClient<T> {
         if config.shards as usize != clients.len() {
             return Err(ZkError::CorruptSnapshot);
         }
-        Ok(ShardedClient { ring: config.ring(), epoch: config.epoch, txn_seq: 0, clients })
+        // OS-seeded nonce (RandomState) mixed over the session ids: txn
+        // ids must not collide across concurrent coordinators, and session
+        // ids alone are only unique per shard ensemble.
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        for c in &clients {
+            h.write_u64(c.session());
+        }
+        Ok(ShardedClient {
+            ring: config.ring(),
+            epoch: config.epoch,
+            txn_nonce: h.finish(),
+            txn_seq: 0,
+            pending_watches: VecDeque::new(),
+            config_dirty: false,
+            clients,
+        })
     }
 
     /// The routing table currently in force.
@@ -258,16 +307,14 @@ impl<T: ClientTransport> ShardedClient<T> {
     /// session's connection count are ignored — re-routing to shards we
     /// hold no session for needs a reconnect, not a ring swap.
     pub fn maybe_refresh(&mut self) -> Result<(), ZkError> {
-        let mut fired = false;
-        while let Some(n) = self.clients[0].take_watch() {
-            if n.path == SHARD_CONFIG_PATH {
-                fired = true;
-            }
-        }
-        if !fired {
+        self.poll_shard0();
+        if !self.config_dirty {
             return Ok(());
         }
         let (raw, _) = self.clients[0].get_data(SHARD_CONFIG_PATH, Watch::Set)?;
+        // Cleared only after the re-read succeeds, so a failed read leaves
+        // the refresh pending for the next operation.
+        self.config_dirty = false;
         let config = ShardConfig::decode(&raw)?;
         if config.epoch > self.epoch && config.shards as usize == self.clients.len() {
             self.ring = config.ring();
@@ -276,13 +323,47 @@ impl<T: ClientTransport> ShardedClient<T> {
         Ok(())
     }
 
+    /// Drain shard 0's notification queue, which multiplexes the internal
+    /// shard-config watch with the user's watches: config notes set the
+    /// refresh flag, everything else is buffered for
+    /// [`ShardedClient::take_watch`] — never discarded.
+    fn poll_shard0(&mut self) {
+        while let Some(n) = self.clients[0].take_watch() {
+            if n.path == SHARD_CONFIG_PATH {
+                self.config_dirty = true;
+            } else {
+                self.pending_watches.push_back(n);
+            }
+        }
+    }
+
+    /// Run `f`; on [`ZkError::TxnBusy`] — a fence left by a prepared
+    /// cross-shard transaction whose coordinator may be dead — resolve
+    /// outstanding transactions and retry once. (Wound-wait: a sweep can
+    /// abort a transaction whose coordinator is merely slow; that
+    /// coordinator then observes the recorded abort and fails cleanly.)
+    fn retry_after_recovery<R>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<R, ZkError>,
+    ) -> Result<R, ZkError> {
+        match f(self) {
+            Err(ZkError::TxnBusy) => {
+                self.recover_txns()?;
+                f(self)
+            }
+            r => r,
+        }
+    }
+
     /// Create a persistent znode, materializing missing ancestors on the
     /// owning shard (see the module docs for why sharded creates are
     /// `mkdir -p`). Returns the created path.
     pub fn create(&mut self, path: &str, data: Bytes) -> Result<String, ZkError> {
         self.maybe_refresh()?;
-        let s = self.route(path);
-        self.clients[s].create_path(path, data, CreateMode::Persistent)
+        self.retry_after_recovery(|c| {
+            let s = c.route(path);
+            c.clients[s].create_path(path, data.clone(), CreateMode::Persistent)
+        })
     }
 
     /// Delete a znode (optionally version-checked).
@@ -290,38 +371,49 @@ impl<T: ClientTransport> ShardedClient<T> {
     /// A directory's node can exist in two places: the real node on its
     /// owner shard and a lazily-materialized copy on its children-owner
     /// shard (put there by `CreatePath` when children were created). Both
-    /// are removed; the children-owner copy goes first so a still-populated
-    /// directory correctly fails with [`ZkError::NotEmpty`] before anything
-    /// is touched. Once the children-owner copy is gone (or never existed),
-    /// the directory provably has no real children, so a `NotEmpty` from
-    /// the owner copy can only be empty ghost chains left under it by
-    /// deeper `mkdir -p` materialization — those are purged and the delete
-    /// retried.
+    /// copies must go or neither: the two legs run as one 2PC, so a
+    /// version/emptiness failure on either shard rejects at prepare and
+    /// leaves the other copy untouched, and the fences block a racing
+    /// create from re-materializing children between the legs.
     pub fn delete(&mut self, path: &str, version: Option<u32>) -> Result<(), ZkError> {
         self.maybe_refresh()?;
+        self.retry_after_recovery(|c| c.delete_inner(path, version, true))
+    }
+
+    fn delete_inner(
+        &mut self,
+        path: &str,
+        version: Option<u32>,
+        may_purge: bool,
+    ) -> Result<(), ZkError> {
         let owner = self.route(path);
         let kids = self.route_children(path);
-        let mut removed_ghost = false;
-        if kids != owner {
-            match self.clients[kids].delete(path, None) {
-                Ok(()) => removed_ghost = true,
-                Err(ZkError::NoNode) => {}
-                Err(e) => return Err(e),
-            }
+        if kids == owner {
+            return self.clients[owner].delete(path, version);
         }
-        match self.clients[owner].delete(path, version) {
-            Ok(()) => Ok(()),
+        // The children-owner leg goes first in the prepare order so a
+        // still-populated directory fails `NotEmpty` before the owner copy
+        // is even examined.
+        let slices = vec![
+            (kids, vec![MultiOp::Delete { path: path.into(), version: None }]),
+            (owner, vec![MultiOp::Delete { path: path.into(), version }]),
+        ];
+        match self.txn_2pc_traced(slices) {
+            Ok(_) => Ok(()),
+            // No ghost was ever materialized on the children-owner shard;
+            // the node (if any) lives solely on its owner.
+            Err((s, ZkError::NoNode)) if s == kids => self.clients[owner].delete(path, version),
             // Directory that only ever existed as a materialized ancestor.
-            Err(ZkError::NoNode) if removed_ghost => Ok(()),
-            Err(ZkError::NotEmpty) if kids != owner => {
+            Err((s, ZkError::NoNode)) if s == owner => self.clients[kids].delete(path, None),
+            // The children-owner slice prepared, certifying the directory
+            // logically empty — a `NotEmpty` owner copy holds only ghost
+            // chains left by deeper `mkdir -p` materialization. Purge them
+            // and retry once.
+            Err((s, ZkError::NotEmpty)) if s == owner && may_purge => {
                 Self::purge_local_subtree(&mut self.clients[owner], path)?;
-                match self.clients[owner].delete(path, version) {
-                    // Ghost residue was all there was.
-                    Err(ZkError::NoNode) if removed_ghost => Ok(()),
-                    r => r,
-                }
+                self.delete_inner(path, version, false)
             }
-            Err(e) => Err(e),
+            Err((_, e)) => Err(e),
         }
     }
 
@@ -353,8 +445,10 @@ impl<T: ClientTransport> ShardedClient<T> {
         version: Option<u32>,
     ) -> Result<Stat, ZkError> {
         self.maybe_refresh()?;
-        let s = self.route(path);
-        self.clients[s].set_data(path, data, version)
+        self.retry_after_recovery(|c| {
+            let s = c.route(path);
+            c.clients[s].set_data(path, data.clone(), version)
+        })
     }
 
     /// Read a znode's data and stat.
@@ -417,9 +511,9 @@ impl<T: ClientTransport> ShardedClient<T> {
             0 => Ok(()),
             1 => {
                 let (s, ops) = slices.into_iter().next().expect("one slice");
-                self.clients[s].multi(ops).map(|_| ())
+                self.retry_after_recovery(|c| c.clients[s].multi(ops.clone()).map(|_| ()))
             }
-            _ => self.txn_2pc(slices).map(|_| ()),
+            _ => self.retry_after_recovery(|c| c.txn_2pc(slices.clone()).map(|_| ())),
         }
     }
 
@@ -459,62 +553,192 @@ impl<T: ClientTransport> ShardedClient<T> {
         slices
     }
 
-    /// Mint a transaction id unique across concurrent sharded sessions
-    /// (folds the unique shard-0 session id into a per-session counter).
+    /// Mint a transaction id unique across concurrent sharded sessions: an
+    /// OS-seeded per-session nonce (see [`ShardedClient::connect`]) mixed
+    /// with a per-session counter. Collisions would let one transaction's
+    /// decision apply another's parked ops, so session ids alone (unique
+    /// only per shard ensemble) are not enough.
     pub fn mint_txn_id(&mut self) -> u64 {
         self.txn_seq += 1;
-        self.clients[0].session().wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.txn_seq)
+        self.txn_nonce.wrapping_add(self.txn_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Run a two-phase commit over per-shard op slices. Phase one prepares
-    /// each participant in ascending shard order (deterministic order keeps
-    /// concurrent coordinators from deadlocking on each other's fences); a
-    /// prepare rejection aborts every already-prepared participant and
-    /// surfaces the rejection. Phase two commits every participant —
-    /// decisions are idempotent, so a coordinator that dies here can (from
-    /// any session) re-issue [`ShardedClient::txn_commit_on`] with the same
-    /// id until every shard has applied it.
+    /// Run a two-phase commit over per-shard op slices.
+    ///
+    /// Phase one prepares each participant (`slice_by_shard` hands the
+    /// slices over in ascending shard order, which keeps concurrent
+    /// coordinators from deadlocking on each other's fences); a prepare
+    /// rejection
+    /// aborts every already-prepared participant — safe and final, because
+    /// no commit decision record can exist yet. Once all participants are
+    /// prepared, the verdict is durably recorded on the decision shard
+    /// *before* any participant commits, so a coordinator crash at any
+    /// later point leaves enough state for [`ShardedClient::recover_txns`]
+    /// to finish the commit — never half of it. After every participant
+    /// acknowledges, the record is deleted (forgotten).
     pub fn txn_2pc(&mut self, slices: Vec<(usize, Vec<MultiOp>)>) -> Result<u64, ZkError> {
+        self.txn_2pc_traced(slices).map_err(|(_, e)| e)
+    }
+
+    /// [`ShardedClient::txn_2pc`] with the failing shard attached to the
+    /// error, so callers splitting one logical op across shards (delete's
+    /// two legs) can attribute a rejection to the copy that raised it.
+    fn txn_2pc_traced(
+        &mut self,
+        slices: Vec<(usize, Vec<MultiOp>)>,
+    ) -> Result<u64, (usize, ZkError)> {
         let txn_id = self.mint_txn_id();
+        let mut participants: Vec<u32> = slices.iter().map(|&(s, _)| s as u32).collect();
+        participants.sort_unstable();
         let mut prepared: Vec<usize> = Vec::new();
         for (s, ops) in &slices {
-            match self.clients[*s].txn_prepare(txn_id, ops.clone()) {
+            match self.clients[*s].txn_prepare(txn_id, ops.clone(), participants.clone()) {
                 Ok(()) => prepared.push(*s),
                 Err(e) => {
                     for p in prepared {
-                        // Best effort; an unreachable shard aborts the
-                        // orphaned prepare itself when the session dies.
                         let _ = self.clients[p].txn_abort(txn_id);
                     }
-                    return Err(e);
+                    return Err((*s, e));
                 }
             }
         }
-        for (s, _) in &slices {
-            self.clients[*s].txn_commit(txn_id)?;
+        let dshard = participants[0] as usize;
+        match self.record_decision(dshard, txn_id, b'C') {
+            Ok(b'C') => {}
+            Ok(_) => {
+                // A recovery sweep presumed this coordinator dead and
+                // recorded an abort first; honor it.
+                for (s, _) in &slices {
+                    let _ = self.clients[*s].txn_abort(txn_id);
+                }
+                return Err((dshard, ZkError::TxnBusy));
+            }
+            Err(e) => return Err((dshard, e)),
         }
+        for (s, _) in &slices {
+            self.clients[*s].txn_commit(txn_id).map_err(|e| (*s, e))?;
+        }
+        // Every participant applied; the record has served its purpose.
+        // (If this delete is lost, recovery re-reads the verdict and the
+        // commits no-op as `TxnUnknown` — stale records are garbage, not
+        // hazards.)
+        let _ = self.clients[dshard].delete(&txn_decision_path(txn_id), None);
         Ok(txn_id)
     }
 
-    /// 2PC step: prepare `ops` as transaction `txn_id` on one shard.
-    /// Exposed so crash tests can stop between phases.
+    /// Durably record `verdict` for `txn_id` on its decision shard, or
+    /// adopt the verdict already recorded by whoever won the race. The
+    /// record znode is the transaction's single linearization point: the
+    /// first writer decides, everyone else reads.
+    fn record_decision(&mut self, shard: usize, txn_id: u64, verdict: u8) -> Result<u8, ZkError> {
+        let path = txn_decision_path(txn_id);
+        let payload = Bytes::copy_from_slice(&[verdict]);
+        match self.clients[shard].create_path(&path, payload, CreateMode::Persistent) {
+            Ok(_) => Ok(verdict),
+            Err(ZkError::NodeExists) => {
+                // Barrier before reading back: the losing create proves the
+                // record exists at the leader, but a follower read could
+                // still miss it.
+                self.clients[shard].sync()?;
+                let (data, _) = self.clients[shard].get_data(&path, Watch::None)?;
+                Ok(*data.first().unwrap_or(&b'A'))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Resolve cross-shard transactions orphaned by dead coordinators:
+    /// scan every shard for prepared markers, and for each one read the
+    /// decision record on its decision shard — recording an abort
+    /// first-writer-wins if none exists (*presumed abort*: a missing
+    /// record proves no participant can have committed) — then drive that
+    /// verdict to all participants and drop the record. Returns how many
+    /// transactions were fully resolved.
+    ///
+    /// Any session may run this; writes that trip over an orphaned fence
+    /// invoke it automatically (see `retry_after_recovery`), and
+    /// [`ShardedCluster::from_shards`] runs one at bootstrap.
+    pub fn recover_txns(&mut self) -> Result<usize, ZkError> {
+        // Orphan candidates: txn id → participant shards, from the parked
+        // markers themselves.
+        let mut pending: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for s in 0..self.clients.len() {
+            let names = match self.clients[s].get_children(TXN_PREFIX, Watch::None) {
+                Ok((k, _)) => k,
+                Err(ZkError::NoNode) => continue,
+                Err(e) => return Err(e),
+            };
+            for n in names {
+                let Ok((data, _)) =
+                    self.clients[s].get_data(&format!("{TXN_PREFIX}/{n}"), Watch::None)
+                else {
+                    continue; // resolved (or decided) since the listing
+                };
+                let Ok(marker) = Txn::decode(&data) else {
+                    continue; // not a marker (e.g. the `decided` directory)
+                };
+                if let TxnOp::Prepare2pc { txn_id, participants, .. } = marker.op {
+                    pending.entry(txn_id).or_insert(participants);
+                }
+            }
+        }
+        let mut resolved = 0;
+        for (txn_id, participants) in pending {
+            let Some(&first) = participants.first() else { continue };
+            let dshard = first as usize;
+            if dshard >= self.clients.len() {
+                continue; // foreign layout; leave it for a matching client
+            }
+            let verdict = self.record_decision(dshard, txn_id, b'A')?;
+            let mut all_acked = true;
+            for &p in &participants {
+                let p = p as usize;
+                if p >= self.clients.len() {
+                    all_acked = false;
+                    continue;
+                }
+                let r = if verdict == b'C' {
+                    self.clients[p].txn_commit(txn_id)
+                } else {
+                    self.clients[p].txn_abort(txn_id)
+                };
+                if r.is_err() {
+                    all_acked = false;
+                }
+            }
+            // Forget the record only once every participant has resolved;
+            // otherwise leave it for the next sweep.
+            if all_acked {
+                let _ = self.clients[dshard].delete(&txn_decision_path(txn_id), None);
+                resolved += 1;
+            }
+        }
+        Ok(resolved)
+    }
+
+    /// 2PC step: prepare `ops` as transaction `txn_id` on one shard, with
+    /// the full participant list. Exposed so crash tests can stop between
+    /// phases.
     pub fn txn_prepare_on(
         &mut self,
         shard: usize,
         txn_id: u64,
         ops: Vec<MultiOp>,
+        participants: Vec<u32>,
     ) -> Result<(), ZkError> {
-        self.clients[shard].txn_prepare(txn_id, ops)
+        self.clients[shard].txn_prepare(txn_id, ops, participants)
     }
 
-    /// 2PC step: deliver the commit decision for `txn_id` to one shard.
+    /// 2PC step: deliver the commit decision for `txn_id` to one shard
+    /// (succeeds whether the slice applies now or was already decided).
     pub fn txn_commit_on(&mut self, shard: usize, txn_id: u64) -> Result<(), ZkError> {
-        self.clients[shard].txn_commit(txn_id)
+        self.clients[shard].txn_commit(txn_id).map(|_| ())
     }
 
-    /// 2PC step: deliver the abort decision for `txn_id` to one shard.
+    /// 2PC step: deliver the abort decision for `txn_id` to one shard
+    /// (succeeds whether a slice was discarded now or none was parked).
     pub fn txn_abort_on(&mut self, shard: usize, txn_id: u64) -> Result<(), ZkError> {
-        self.clients[shard].txn_abort(txn_id)
+        self.clients[shard].txn_abort(txn_id).map(|_| ())
     }
 
     /// Content digest of the **logical** user namespace, independent of the
@@ -607,9 +831,15 @@ impl<T: ClientTransport> ShardedClient<T> {
 
     /// Drain one pending watch notification from any shard, if one is
     /// queued ([`SHARD_CONFIG_PATH`] notifications are consumed internally
-    /// by [`ShardedClient::maybe_refresh`] and never surface here).
-    pub fn take_watch(&mut self) -> Option<crate::watch::WatchNotification> {
-        for c in &mut self.clients {
+    /// by [`ShardedClient::maybe_refresh`] and never surface here). Shard
+    /// 0 notifications that were drained while polling for config changes
+    /// are buffered, not lost — they surface here first.
+    pub fn take_watch(&mut self) -> Option<WatchNotification> {
+        self.poll_shard0();
+        if let Some(n) = self.pending_watches.pop_front() {
+            return Some(n);
+        }
+        for c in &mut self.clients[1..] {
             while let Some(n) = c.take_watch() {
                 if n.path != SHARD_CONFIG_PATH {
                     return Some(n);
@@ -742,6 +972,180 @@ mod tests {
         assert_eq!(c.exists(&a).unwrap(), None);
         c.create(&a, Bytes::new()).unwrap();
         c.close().unwrap();
+        cluster.shutdown();
+    }
+
+    /// Per-shard rename slices plus the sorted participant list — the raw
+    /// ingredients tests use to drive 2PC one step at a time.
+    fn rename_parts(
+        c: &mut ShardedClient<crate::runtime::ChannelTransport>,
+        src: &str,
+        dst: &str,
+    ) -> (Vec<(usize, Vec<MultiOp>)>, Vec<u32>) {
+        let (data, stat) = c.get_data(src).unwrap();
+        let slices = vec![
+            (
+                c.route(src),
+                vec![
+                    MultiOp::Check { path: src.into(), version: Some(stat.version) },
+                    MultiOp::Delete { path: src.into(), version: Some(stat.version) },
+                ],
+            ),
+            (
+                c.route(dst),
+                vec![MultiOp::Create { path: dst.into(), data, mode: CreateMode::Persistent }],
+            ),
+        ];
+        let mut participants: Vec<u32> = slices.iter().map(|&(s, _)| s as u32).collect();
+        participants.sort_unstable();
+        (slices, participants)
+    }
+
+    #[test]
+    fn watches_on_shard0_survive_refresh_polling() {
+        let cluster = two_shards();
+        let mut w = cluster.client().unwrap(); // watcher
+        let mut c = cluster.client().unwrap(); // mutator
+                                               // A path owned by shard 0, so its notification shares the session
+                                               // the internal config watch polls.
+        let p = (0..10_000)
+            .map(|i| format!("/w{i}/n"))
+            .find(|p| w.route(p) == 0)
+            .expect("no shard-0 path");
+        c.create(&p, Bytes::new()).unwrap();
+        w.watch(&p, WatchKind::Data).unwrap();
+        c.set_data(&p, Bytes::from_static(b"new"), None).unwrap();
+        // Every operation polls shard 0's queue (the old code discarded
+        // non-config notifications there); the watch must still surface.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let n = loop {
+            w.exists(&p).unwrap();
+            if let Some(n) = w.take_watch() {
+                break n;
+            }
+            assert!(std::time::Instant::now() < deadline, "watch notification was swallowed");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(n.path, p);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failed_cross_shard_delete_leaves_both_copies() {
+        let cluster = two_shards();
+        let mut c = cluster.client().unwrap();
+        // A directory whose node and child listing live on different shards.
+        let d = (0..10_000)
+            .map(|i| format!("/split{i}"))
+            .find(|d| c.route(d) != c.route_children(d))
+            .expect("no split directory");
+        c.create(&d, Bytes::from_static(b"dir")).unwrap();
+        let child = format!("{d}/f");
+        c.create(&child, Bytes::new()).unwrap(); // materializes the ghost copy
+        c.delete(&child, None).unwrap(); // ghost (now empty) stays behind
+                                         // A version-mismatched delete must fail without touching either
+                                         // copy — the old two-leg delete consumed the ghost before the
+                                         // owner-side version check ran.
+        assert_eq!(c.delete(&d, Some(99)).unwrap_err(), ZkError::BadVersion);
+        let kids = c.route_children(&d);
+        assert!(
+            c.shard_client(kids).exists(&d, Watch::None).unwrap().is_some(),
+            "failed delete consumed the children-owner copy"
+        );
+        assert_eq!(c.get_children(&d).unwrap(), Vec::<String>::new());
+        // The correct version still deletes both copies.
+        let ver = c.get_data(&d).unwrap().1.version;
+        c.delete(&d, Some(ver)).unwrap();
+        assert_eq!(c.exists(&d).unwrap(), None);
+        assert_eq!(
+            c.shard_client(kids).exists(&d, Watch::None).unwrap(),
+            None,
+            "ghost copy survived the delete"
+        );
+        c.close().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recovery_completes_a_half_committed_txn() {
+        let cluster = two_shards();
+        let mut c = cluster.client().unwrap();
+        let (src, dst) = cross_shard_pair(&c);
+        c.create(&src, Bytes::from_static(b"payload")).unwrap();
+        let (slices, participants) = rename_parts(&mut c, &src, &dst);
+        let txn_id = c.mint_txn_id();
+        for (s, ops) in &slices {
+            c.txn_prepare_on(*s, txn_id, ops.clone(), participants.clone()).unwrap();
+        }
+        // The coordinator recorded its commit verdict and reached only the
+        // source shard before dying — the reviewer's divergence scenario.
+        let dshard = participants[0] as usize;
+        c.shard_client(dshard)
+            .create_path(
+                &txn_decision_path(txn_id),
+                Bytes::from_static(b"C"),
+                CreateMode::Persistent,
+            )
+            .unwrap();
+        c.txn_commit_on(slices[0].0, txn_id).unwrap();
+        drop(c);
+        // A fresh session's sweep must FINISH the commit on the remaining
+        // shard — an abort there would half-apply the rename.
+        let mut c2 = cluster.client().unwrap();
+        assert_eq!(c2.recover_txns().unwrap(), 1);
+        assert_eq!(c2.exists(&src).unwrap(), None, "committed leg reverted");
+        assert_eq!(
+            &c2.get_data(&dst).unwrap().0[..],
+            b"payload",
+            "recovery aborted a committed txn"
+        );
+        // Fences lifted and the decision record forgotten.
+        c2.create(&src, Bytes::new()).unwrap();
+        let dp = txn_decision_path(txn_id);
+        assert_eq!(c2.shard_client(dshard).exists(&dp, Watch::None).unwrap(), None);
+        c2.close().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recovery_presumes_abort_without_a_decision_record() {
+        let cluster = two_shards();
+        let mut c = cluster.client().unwrap();
+        let (src, dst) = cross_shard_pair(&c);
+        c.create(&src, Bytes::from_static(b"payload")).unwrap();
+        let (slices, participants) = rename_parts(&mut c, &src, &dst);
+        let txn_id = c.mint_txn_id();
+        for (s, ops) in &slices {
+            c.txn_prepare_on(*s, txn_id, ops.clone(), participants.clone()).unwrap();
+        }
+        drop(c); // coordinator dies before recording any decision
+        let mut c2 = cluster.client().unwrap();
+        assert_eq!(c2.recover_txns().unwrap(), 1);
+        // No record ⇒ nothing can have committed ⇒ abort everywhere.
+        assert_eq!(&c2.get_data(&src).unwrap().0[..], b"payload");
+        assert_eq!(c2.exists(&dst).unwrap(), None);
+        c2.close().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn orphaned_fences_yield_to_new_writes() {
+        let cluster = two_shards();
+        let mut c = cluster.client().unwrap();
+        let (src, dst) = cross_shard_pair(&c);
+        c.create(&src, Bytes::from_static(b"payload")).unwrap();
+        let (slices, participants) = rename_parts(&mut c, &src, &dst);
+        let txn_id = c.mint_txn_id();
+        for (s, ops) in &slices {
+            c.txn_prepare_on(*s, txn_id, ops.clone(), participants.clone()).unwrap();
+        }
+        drop(c); // dead coordinator leaves both paths fenced
+                 // A plain write into the fence must recover and succeed on its
+                 // own — no explicit sweep, no waiting for session expiry.
+        let mut c2 = cluster.client().unwrap();
+        c2.set_data(&src, Bytes::from_static(b"overwritten"), None).unwrap();
+        c2.create(&dst, Bytes::new()).unwrap();
+        c2.close().unwrap();
         cluster.shutdown();
     }
 

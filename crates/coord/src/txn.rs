@@ -70,21 +70,27 @@ pub enum TxnOp {
     },
     /// Phase one of a cross-shard transaction: validate `ops` against the
     /// current tree, then fence their paths and persist the prepared ops
-    /// (as a `/__txn/<id>` marker znode) until a decision arrives.
+    /// (as a `/__txn/<id>` marker znode) until a decision arrives. The
+    /// participant list rides in the marker so a recovery agent that finds
+    /// an orphaned prepare knows every shard the decision must reach.
     Prepare2pc {
         /// Coordinator-chosen globally unique transaction id.
         txn_id: u64,
         /// This shard's slice of the transaction.
         ops: Vec<MultiOp>,
+        /// All participating shards (ascending shard ids).
+        participants: Vec<u32>,
     },
-    /// Decision record: apply the prepared ops of `txn_id` and drop its
-    /// fences. Idempotent — committing an unknown txn is a no-op success.
+    /// Decision: apply the prepared ops of `txn_id` and drop its fences.
+    /// A decision for an id with no prepared slice answers `TxnUnknown`
+    /// without mutating anything — the slice was already decided here.
     Commit2pc {
         /// Transaction id.
         txn_id: u64,
     },
-    /// Decision record: discard the prepared ops of `txn_id` and drop its
-    /// fences. Idempotent like [`TxnOp::Commit2pc`].
+    /// Decision: discard the prepared ops of `txn_id` and drop its fences.
+    /// Answers `TxnUnknown` like [`TxnOp::Commit2pc`] when nothing is
+    /// prepared under the id.
     Abort2pc {
         /// Transaction id.
         txn_id: u64,
@@ -307,10 +313,14 @@ impl Txn {
                 put_bytes(&mut buf, data);
                 buf.push(mode_byte(*mode));
             }
-            TxnOp::Prepare2pc { txn_id, ops } => {
+            TxnOp::Prepare2pc { txn_id, ops, participants } => {
                 buf.push(9);
                 buf.extend_from_slice(&txn_id.to_le_bytes());
                 put_multi_ops(&mut buf, ops);
+                buf.extend_from_slice(&(participants.len() as u32).to_le_bytes());
+                for p in participants {
+                    buf.extend_from_slice(&p.to_le_bytes());
+                }
             }
             TxnOp::Commit2pc { txn_id } => {
                 buf.push(10);
@@ -363,7 +373,15 @@ impl Txn {
             9 => {
                 let txn_id = c.u64()?;
                 let ops = c.multi_ops()?;
-                TxnOp::Prepare2pc { txn_id, ops }
+                let n = c.u32()? as usize;
+                if n > c.raw.len() {
+                    return Err(ZkError::CorruptSnapshot);
+                }
+                let mut participants = Vec::with_capacity(n);
+                for _ in 0..n {
+                    participants.push(c.u32()?);
+                }
+                TxnOp::Prepare2pc { txn_id, ops, participants }
             }
             10 => TxnOp::Commit2pc { txn_id: c.u64()? },
             11 => TxnOp::Abort2pc { txn_id: c.u64()? },
@@ -442,8 +460,9 @@ mod tests {
                 MultiOp::Check { path: "/src".into(), version: Some(3) },
                 MultiOp::Delete { path: "/src".into(), version: Some(3) },
             ],
+            participants: vec![0, 3],
         }));
-        roundtrip(&base(TxnOp::Prepare2pc { txn_id: 1, ops: vec![] }));
+        roundtrip(&base(TxnOp::Prepare2pc { txn_id: 1, ops: vec![], participants: vec![] }));
         roundtrip(&base(TxnOp::Commit2pc { txn_id: u64::MAX }));
         roundtrip(&base(TxnOp::Abort2pc { txn_id: 0 }));
     }

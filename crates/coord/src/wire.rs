@@ -496,12 +496,16 @@ impl Wire for ZkRequest {
                 put_blob(buf, data);
                 buf.push(mode_byte(*mode));
             }
-            ZkRequest::TxnPrepare { txn_id, ops } => {
+            ZkRequest::TxnPrepare { txn_id, ops, participants } => {
                 buf.push(14);
                 buf.extend_from_slice(&txn_id.to_le_bytes());
                 buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
                 for op in ops {
                     put_multi_op(buf, op);
+                }
+                buf.extend_from_slice(&(participants.len() as u32).to_le_bytes());
+                for p in participants {
+                    buf.extend_from_slice(&p.to_le_bytes());
                 }
             }
             ZkRequest::TxnCommit { txn_id } => {
@@ -556,7 +560,12 @@ impl Wire for ZkRequest {
                 for _ in 0..n {
                     ops.push(get_multi_op(c)?);
                 }
-                ZkRequest::TxnPrepare { txn_id, ops }
+                let m = c.count(4)?;
+                let mut participants = Vec::with_capacity(m);
+                for _ in 0..m {
+                    participants.push(c.u32()?);
+                }
+                ZkRequest::TxnPrepare { txn_id, ops, participants }
             }
             15 => ZkRequest::TxnCommit { txn_id: c.u64()? },
             16 => ZkRequest::TxnAbort { txn_id: c.u64()? },
@@ -636,6 +645,7 @@ impl Wire for ZkResponse {
             ZkResponse::Prepared => buf.push(14),
             ZkResponse::Committed => buf.push(15),
             ZkResponse::Aborted => buf.push(16),
+            ZkResponse::TxnUnknown => buf.push(17),
         }
     }
 
@@ -680,6 +690,7 @@ impl Wire for ZkResponse {
             14 => ZkResponse::Prepared,
             15 => ZkResponse::Committed,
             16 => ZkResponse::Aborted,
+            17 => ZkResponse::TxnUnknown,
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -934,12 +945,15 @@ mod tests {
                 MultiOp::Check { path: "/src".into(), version: Some(1) },
                 MultiOp::Delete { path: "/src".into(), version: Some(1) },
             ],
+            participants: vec![1, 2],
         });
+        rt(ZkRequest::TxnPrepare { txn_id: 1, ops: vec![], participants: vec![] });
         rt(ZkRequest::TxnCommit { txn_id: 7 });
         rt(ZkRequest::TxnAbort { txn_id: u64::MAX });
         rt(ZkResponse::Prepared);
         rt(ZkResponse::Committed);
         rt(ZkResponse::Aborted);
+        rt(ZkResponse::TxnUnknown);
         rt(ZkResponse::Error(ZkError::TxnBusy));
     }
 

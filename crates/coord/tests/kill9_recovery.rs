@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use dufs_coord::shard::{ShardConfig, DEFAULT_VNODES, SHARD_CONFIG_PATH};
-use dufs_coord::sharded::ShardedClient;
+use dufs_coord::sharded::{txn_decision_path, ShardedClient};
 use dufs_coord::tcp::{remote_status, TcpTransport, TcpZkClient};
 use dufs_coord::{ClientOptions, ClusterBuilder, Watch, ZkClient};
 use dufs_zkstore::{CreateMode, MultiOp, ZkError};
@@ -341,10 +341,11 @@ fn sharded_pair(c: &ShardedClient<TcpTransport>) -> (String, String) {
     panic!("no cross-shard pair");
 }
 
-/// `kill -9` one shard's (only, hence leader) member between the prepare
-/// and the commit of a cross-shard rename; respawn it over the same WAL on
-/// a fresh port; deliver the commit from a brand-new session; check the
-/// namespace digest against an uncrashed in-process control.
+/// `kill -9` one shard's (only, hence leader) member after the prepares
+/// and the coordinator's durable `C` record but before any commit lands;
+/// respawn it over the same WAL on a fresh port; let a brand-new session's
+/// recovery sweep finish the commit; check the namespace digest against an
+/// uncrashed in-process control.
 #[test]
 fn sharded_rename_commit_survives_kill9_of_a_shard_leader() {
     // 1. Uncrashed control: same workload, commit goes through undisturbed.
@@ -390,10 +391,17 @@ fn sharded_rename_commit_survives_kill9_of_a_shard_leader() {
             vec![MultiOp::Create { path: dst.clone(), data, mode: CreateMode::Persistent }],
         ),
     ];
+    let mut participants: Vec<u32> = slices.iter().map(|&(s, _)| s as u32).collect();
+    participants.sort_unstable();
     let txn_id = c.mint_txn_id();
     for (s, ops) in &slices {
-        c.txn_prepare_on(*s, txn_id, ops.clone()).unwrap();
+        c.txn_prepare_on(*s, txn_id, ops.clone(), participants.clone()).unwrap();
     }
+    // The coordinator durably records its commit verdict — this is the
+    // point of no return — and then "dies" along with the shard below.
+    c.shard_client(participants[0] as usize)
+        .create_path(&txn_decision_path(txn_id), Bytes::from_static(b"C"), CreateMode::Persistent)
+        .unwrap();
     let dst_shard = c.route(&dst);
     kill9(&mut procs[dst_shard]);
     assert!(
@@ -409,11 +417,19 @@ fn sharded_rename_commit_survives_kill9_of_a_shard_leader() {
     procs[dst_shard] = spawn_member(0, &fresh, &wal_root.join(format!("shard-{dst_shard}")));
     await_leader(&fresh, Duration::from_secs(60));
 
-    // 5. A brand-new session (never party to the prepare) delivers the
-    //    decision to both shards — by txn id alone.
+    // 5. A brand-new session (never party to the prepare) sweeps the
+    //    parked markers; the durable `C` record makes it finish the commit.
     let mut c2 = sharded_session(&addrs2, false);
-    for (s, _) in &slices {
-        until_ok(|| c2.txn_commit_on(*s, txn_id));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match c2.recover_txns() {
+            Ok(n) if n >= 1 => break,
+            Ok(_) | Err(ZkError::ConnectionLoss | ZkError::Net | ZkError::SessionExpired) => {
+                assert!(Instant::now() < deadline, "recovery sweep never resolved the txn");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("recovery sweep failed: {e:?}"),
+        }
     }
     assert_eq!(c2.exists(&src).unwrap(), None, "rename source survived the commit");
     assert_eq!(&c2.get_data(&dst).unwrap().0[..], b"victim-payload");

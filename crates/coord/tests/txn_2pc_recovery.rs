@@ -1,11 +1,13 @@
 //! Crash consistency of cross-shard two-phase commit on the thread
 //! runtime: a shard that is `kill -9`'d (crash + WAL recovery) **between
 //! prepare and decision** must come back with the prepared slice still
-//! parked and fenced, and the surviving decision — commit or abort, issued
-//! by a *fresh* session that was never party to the prepare — must land on
-//! both shards. The recovered namespace is checked against an uncrashed
-//! control running the same workload, via the shard-count-independent
-//! logical digest.
+//! parked and fenced, and a *fresh* session's `recover_txns` sweep — which
+//! was never party to the prepare — must drive the transaction to the same
+//! outcome on both shards. The commit case plants the coordinator's durable
+//! decision record first (the coordinator died just after recording `C`);
+//! the abort case leaves no record, so recovery must presume abort. The
+//! recovered namespace is checked against an uncrashed control running the
+//! same workload, via the shard-count-independent logical digest.
 //!
 //! The TCP sibling (real processes, real `SIGKILL`) lives in
 //! `kill9_recovery.rs`; this file exercises the same protocol states with
@@ -17,7 +19,7 @@ use std::time::Duration;
 use bytes::Bytes;
 
 use dufs_coord::runtime::ThreadCluster;
-use dufs_coord::sharded::{ShardedClient, ShardedCluster};
+use dufs_coord::sharded::{txn_decision_path, ShardedClient, ShardedCluster};
 use dufs_coord::{ClientTransport, ClusterBuilder};
 use dufs_zkstore::{CreateMode, MultiOp};
 
@@ -115,9 +117,10 @@ fn control_digest(decision: Decision) -> u64 {
     d
 }
 
-/// Prepare on both shards, crash the shard holding the *destination* slice
-/// (its single voter is its leader), restart it over the same WAL, then
-/// have a brand-new session deliver `decision` to both shards.
+/// Prepare on both shards — planting the durable `C` record first when the
+/// decision is `Commit` — then crash the shard holding the *destination*
+/// slice (its single voter is its leader), restart it over the same WAL,
+/// and let a brand-new session's recovery sweep finish the transaction.
 fn crash_mid_2pc(name: &str, decision: Decision) -> u64 {
     let wal = std::env::temp_dir().join(format!("dufs-2pc-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&wal);
@@ -127,12 +130,27 @@ fn crash_mid_2pc(name: &str, decision: Decision) -> u64 {
     let (src, dst) = cross_shard_pair(&c);
     seed(&mut c, &src);
     let slices = rename_slices(&mut c, &src, &dst);
+    let mut participants: Vec<u32> = slices.iter().map(|&(s, _)| s as u32).collect();
+    participants.sort_unstable();
     let txn_id = c.mint_txn_id();
     for (s, ops) in &slices {
-        c.txn_prepare_on(*s, txn_id, ops.clone()).unwrap();
+        c.txn_prepare_on(*s, txn_id, ops.clone(), participants.clone()).unwrap();
+    }
+    if decision == Decision::Commit {
+        // The coordinator got exactly as far as recording its verdict; the
+        // record rides the decision shard's WAL through the crash. For
+        // Abort there is nothing to write — no record *is* the abort.
+        c.shard_client(participants[0] as usize)
+            .create_path(
+                &txn_decision_path(txn_id),
+                Bytes::from_static(b"C"),
+                CreateMode::Persistent,
+            )
+            .unwrap();
     }
 
-    // kill -9 the destination shard's leader between prepare and decision.
+    // kill -9 the destination shard's leader between prepare and decision
+    // delivery.
     let dst_shard = c.route(&dst);
     cluster.shard(dst_shard).crash(0);
     cluster.shard(dst_shard).restart(0);
@@ -142,15 +160,10 @@ fn crash_mid_2pc(name: &str, decision: Decision) -> u64 {
     );
     drop(c); // the coordinator session is dead weight from here on
 
-    // A fresh session — decisions are by txn id, not by session — finishes
-    // the transaction on every participant.
+    // A fresh session — never party to the prepare — sweeps the parked
+    // markers and drives the recorded (or presumed) decision everywhere.
     let mut c2 = cluster.client().unwrap();
-    for (s, _) in &slices {
-        match decision {
-            Decision::Commit => c2.txn_commit_on(*s, txn_id).unwrap(),
-            Decision::Abort => c2.txn_abort_on(*s, txn_id).unwrap(),
-        }
-    }
+    assert_eq!(c2.recover_txns().unwrap(), 1, "sweep did not resolve the orphaned txn");
     probe(&mut c2, &src, &dst, decision);
 
     let d = c2.user_digest().unwrap();
