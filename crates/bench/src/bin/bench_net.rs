@@ -1,26 +1,40 @@
 //! dufs-net loopback microbenchmark: framed-transport round-trip throughput
-//! swept over message size × pipeline depth.
+//! swept over message size × pipeline depth, plus a connection-count axis
+//! exercising the readiness event loop at scale.
 //!
-//! An echo server built from [`Listener::spawn_accept`] reflects every frame
-//! back on the same connection; the client keeps a window of `depth` frames
-//! in flight (send one for every receive), which is exactly the shape of the
-//! coordination client's depth-K session pipelining. The sweep shows the two
-//! levers the transport design banks on:
+//! An echo server reflects every frame back on the same connection; the
+//! client keeps a window of `depth` frames in flight (send one for every
+//! receive), which is exactly the shape of the coordination client's
+//! depth-K session pipelining. The sweep shows the levers the transport
+//! design banks on:
 //!
 //! * **depth** amortises per-round-trip latency — the depth-32 cell must
 //!   beat depth-1 on small frames by a comfortable factor, or the
 //!   pipelining plumbing is broken;
 //! * **size** amortises per-frame overhead (8-byte header + CRC32) —
-//!   bytes/sec keeps climbing with frame size.
+//!   bytes/sec keeps climbing with frame size;
+//! * **sessions** proves the reactor scales by *registration*, not by
+//!   thread: 1 → 10 000 concurrent echo sessions must not grow the thread
+//!   count of this process (asserted from `/proc/self/status`).
 //!
-//! Emits `results/BENCH_net.json`. `FULL=1` runs 10x the per-cell message
-//! count.
+//! The 10 000-session cell runs its echo server in a child process
+//! (`bench_net --echo-server`) so each side stays under the file-descriptor
+//! limit; `bench_net --smoke` runs only the 1 000-session in-process cell
+//! as a fast CI gate. Emits `results/BENCH_net.json`. `FULL=1` runs 10x
+//! the per-cell message count.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::BufRead;
+use std::net::SocketAddr;
 use std::time::Instant;
 
+use crossbeam::channel::unbounded;
 use dufs_bench::{fmt_ops, full_scale, Table};
-use dufs_net::{connect, EndpointKind, Hello, Listener, NetConfig, NetStats};
+use dufs_net::{
+    connect, connect_demux, AcceptHandle, Conn, ConnEvent, EndpointKind, Hello, Listener,
+    NetConfig, NetStats,
+};
 
 /// One (size, depth) cell of the sweep.
 struct Cell {
@@ -32,31 +46,107 @@ struct Cell {
     rtt_us: f64,
 }
 
-/// Echo server: every inbound frame is sent straight back on the same
-/// connection, one service thread per accepted conn.
-fn spawn_echo_server() -> (dufs_net::AcceptHandle, std::net::SocketAddr) {
+/// One cell of the connection-count sweep.
+struct SessionCell {
+    sessions: usize,
+    msgs: usize,
+    msgs_per_sec: f64,
+    dial_ms: f64,
+    threads: u64,
+}
+
+/// Live thread count of this process, from `/proc/self/status`.
+fn thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap_or_default()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Echo server on the demux API: one forwarder thread serves *every*
+/// connection, so a socket costs a registration, never a thread.
+fn spawn_demux_echo() -> (AcceptHandle, SocketAddr) {
     let listener = Listener::bind("127.0.0.1:0".parse().unwrap()).expect("bind echo server");
     let addr = listener.local_addr();
-    let stats = NetStats::default();
-    let accept = listener.spawn_accept(
+    let (accept, events) = listener.spawn_accept_demux(
         Hello { kind: EndpointKind::Server, id: 0 },
         NetConfig::default(),
-        stats,
-        |conn, inbound| {
-            std::thread::spawn(move || {
-                while let Ok(msg) = inbound.recv() {
-                    if conn.send(msg).is_err() {
-                        break;
+        NetStats::default(),
+    );
+    std::thread::Builder::new()
+        .name("bench-echo".into())
+        .spawn(move || {
+            let mut conns: HashMap<u64, Conn> = HashMap::new();
+            while let Ok(ev) = events.recv() {
+                match ev {
+                    ConnEvent::Opened { id, conn } => {
+                        conns.insert(id, conn);
+                    }
+                    ConnEvent::Frame { id, payload } => {
+                        if let Some(c) = conns.get(&id) {
+                            let _ = c.send(payload);
+                        }
+                    }
+                    ConnEvent::Closed { id } => {
+                        conns.remove(&id);
                     }
                 }
-            });
-        },
-    );
+            }
+        })
+        .expect("spawn echo forwarder");
     (accept, addr)
 }
 
+/// `--echo-server` child mode: serve echoes until the parent closes our
+/// stdin (or kills us). The bound address is announced on stdout.
+fn run_echo_server_child() -> ! {
+    use std::io::Write as _;
+    let (accept, addr) = spawn_demux_echo();
+    let mut out = std::io::stdout();
+    writeln!(out, "ECHO_ADDR {addr}").expect("announce address");
+    out.flush().expect("flush address");
+    let mut parked = String::new();
+    let _ = std::io::stdin().read_line(&mut parked);
+    accept.stop();
+    std::process::exit(0);
+}
+
+/// An `--echo-server` child, killed on drop.
+struct ChildEcho(std::process::Child);
+
+impl Drop for ChildEcho {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawn the echo server as a separate process so the 10k-session cell
+/// splits its sockets across two fd tables.
+fn spawn_child_echo() -> (ChildEcho, SocketAddr) {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("--echo-server")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn --echo-server child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout).read_line(&mut line).expect("read ECHO_ADDR");
+    let addr = line
+        .trim()
+        .strip_prefix("ECHO_ADDR ")
+        .unwrap_or_else(|| panic!("bad child banner: {line:?}"))
+        .parse()
+        .expect("parse child address");
+    (ChildEcho(child), addr)
+}
+
 /// Ping-pong `msgs` frames of `msg_bytes` keeping `depth` in flight.
-fn run_cell(addr: std::net::SocketAddr, msg_bytes: usize, depth: usize, msgs: usize) -> Cell {
+fn run_cell(addr: SocketAddr, msg_bytes: usize, depth: usize, msgs: usize) -> Cell {
     let stats = NetStats::default();
     let (conn, inbound) =
         connect(addr, Hello { kind: EndpointKind::Client, id: 1 }, &NetConfig::default(), &stats)
@@ -91,11 +181,120 @@ fn run_cell(addr: std::net::SocketAddr, msg_bytes: usize, depth: usize, msgs: us
     }
 }
 
-fn write_json(path: &str, cells: &[Cell], pipelining_gain: f64) {
+/// Open `sessions` concurrent connections to `addr`, then drive `per`
+/// 64-byte echoes through every one of them (window ≤ 4 per session), all
+/// demultiplexed over a single event stream.
+fn run_session_cell(addr: SocketAddr, sessions: usize, per: usize) -> SessionCell {
+    let stats = NetStats::default();
+    let cfg = NetConfig::default();
+    let (tx, rx) = unbounded::<ConnEvent>();
+
+    let dial_start = Instant::now();
+    let mut conns: Vec<Conn> = Vec::with_capacity(sessions);
+    for s in 0..sessions {
+        let conn = connect_demux(
+            addr,
+            Hello { kind: EndpointKind::Client, id: s as u64 + 1 },
+            &cfg,
+            &stats,
+            s as u64,
+            tx.clone(),
+        )
+        .unwrap_or_else(|e| panic!("dial session {s}: {e}"));
+        conns.push(conn);
+    }
+    let dial_ms = dial_start.elapsed().as_secs_f64() * 1e3;
+
+    // The tentpole claim: sockets are registrations on a fixed reactor
+    // pool, so thread count must stay flat no matter how many sessions
+    // are live. A thread-per-connection regression fails loudly here.
+    let threads = thread_count();
+    assert!(
+        threads > 0 && (threads as usize) < 64,
+        "thread-per-connection regression: {threads} threads while {sessions} sessions are live"
+    );
+    // Registration is asynchronous (a command to the reactor thread), so
+    // give the gauge a moment to catch up with the last dials.
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while (stats.snapshot().conns_registered as usize) < sessions {
+        assert!(
+            Instant::now() < deadline,
+            "sessions never registered with the reactor pool: {:?}",
+            stats.snapshot()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    let payload = vec![0x5au8; 64];
+    let window = per.min(4);
+    let total = sessions * per;
+    let mut left: Vec<usize> = vec![per - window; sessions];
+    let start = Instant::now();
+    for c in &conns {
+        for _ in 0..window {
+            c.send(payload.clone()).expect("prime session window");
+        }
+    }
+    let mut recvd = 0usize;
+    while recvd < total {
+        match rx.recv().expect("session event stream") {
+            ConnEvent::Frame { id, payload: echo } => {
+                assert_eq!(echo.len(), 64, "echo changed the frame length");
+                recvd += 1;
+                let s = id as usize;
+                if left[s] > 0 {
+                    left[s] -= 1;
+                    conns[s].send(payload.clone()).expect("refill session window");
+                }
+            }
+            ConnEvent::Opened { .. } => {}
+            ConnEvent::Closed { id } => panic!("session {id} died mid-benchmark"),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+    SessionCell { sessions, msgs: total, msgs_per_sec: total as f64 / elapsed, dial_ms, threads }
+}
+
+/// Run one session-count cell end to end, picking an in-process echo
+/// server while both fd tables fit, a child process beyond that.
+fn session_cell(sessions: usize, per: usize) -> SessionCell {
+    // Both sides in one process cost 2 fds per session; stay well clear
+    // of the soft fd limit before splitting into a child process.
+    if sessions * 2 + 64 > 15_000 {
+        let (child, addr) = spawn_child_echo();
+        let cell = run_session_cell(addr, sessions, per);
+        drop(child);
+        cell
+    } else {
+        let (accept, addr) = spawn_demux_echo();
+        let cell = run_session_cell(addr, sessions, per);
+        accept.stop();
+        cell
+    }
+}
+
+/// `--smoke` CI gate: 1 000 concurrent sessions against an in-process
+/// echo server, with the flat-thread-count assertion. Seconds, not
+/// minutes — cheap enough for every CI run.
+fn run_smoke() {
+    let cell = session_cell(1_000, 4);
+    println!(
+        "smoke: {} sessions, {} msgs echoed at {} msgs/s, dial {:.0} ms, {} threads",
+        cell.sessions,
+        cell.msgs,
+        fmt_ops(cell.msgs_per_sec),
+        cell.dial_ms,
+        cell.threads
+    );
+}
+
+fn write_json(path: &str, cells: &[Cell], sessions: &[SessionCell], pipelining_gain: f64) {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"benchmark\": \"net\",");
     let _ = writeln!(j, "  \"transport\": \"dufs-net loopback echo, CRC32-framed\",");
+    let _ = writeln!(j, "  \"event_loop\": \"epoll edge-triggered reactor pool, writev flushes\",");
     let _ = writeln!(j, "  \"pipelining_gain_64b\": {pipelining_gain:.2},");
     j.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -107,6 +306,17 @@ fn write_json(path: &str, cells: &[Cell], pipelining_gain: f64) {
         );
         j.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
+    j.push_str("  ],\n");
+    j.push_str("  \"sessions\": [\n");
+    for (i, s) in sessions.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"sessions\": {}, \"msgs\": {}, \"msgs_per_sec\": {:.1}, \
+             \"dial_ms\": {:.1}, \"threads\": {}}}",
+            s.sessions, s.msgs, s.msgs_per_sec, s.dial_ms, s.threads
+        );
+        j.push_str(if i + 1 < sessions.len() { ",\n" } else { "\n" });
+    }
     j.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(path, &j) {
         eprintln!("could not write {path}: {e}");
@@ -116,6 +326,15 @@ fn write_json(path: &str, cells: &[Cell], pipelining_gain: f64) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--echo-server") {
+        run_echo_server_child();
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
+
     let per_cell = if full_scale() { 50_000 } else { 5_000 };
     let sizes = [64usize, 1024, 16 << 10, 64 << 10];
     let depths = [1usize, 8, 32];
@@ -125,7 +344,7 @@ fn main() {
         per_cell, sizes, depths
     );
 
-    let (accept, addr) = spawn_echo_server();
+    let (accept, addr) = spawn_demux_echo();
     let mut cells = Vec::new();
     for &size in &sizes {
         // Cap the biggest frames so a cell stays well under a second.
@@ -134,7 +353,7 @@ fn main() {
             cells.push(run_cell(addr, size, depth, msgs));
         }
     }
-    drop(accept);
+    accept.stop();
 
     let mut t = Table::new(vec!["msg size", "depth", "msgs/sec", "MiB/sec", "RTT"]);
     for c in &cells {
@@ -148,6 +367,28 @@ fn main() {
     }
     t.print();
 
+    // Connection-count axis: the same 64-byte echo spread across ever more
+    // concurrent sessions, all carried by the fixed reactor pool.
+    let session_counts = [1usize, 100, 1_000, 10_000];
+    println!("\nsession sweep: 64 B echoes across {session_counts:?} concurrent sessions\n");
+    let mut sess = Vec::new();
+    for &n in &session_counts {
+        let per = (per_cell / n).max(4);
+        sess.push(session_cell(n, per));
+    }
+
+    let mut st = Table::new(vec!["sessions", "msgs", "msgs/sec", "dial", "threads"]);
+    for s in &sess {
+        st.row(vec![
+            s.sessions.to_string(),
+            s.msgs.to_string(),
+            fmt_ops(s.msgs_per_sec),
+            format!("{:.0} ms", s.dial_ms),
+            s.threads.to_string(),
+        ]);
+    }
+    st.print();
+
     // Headline: depth-32 pipelining must clearly beat stop-and-wait on small
     // frames — that amortisation is why the client sessions pipeline at all.
     let d1 = cells.iter().find(|c| c.msg_bytes == 64 && c.depth == 1).unwrap().msgs_per_sec;
@@ -156,5 +397,15 @@ fn main() {
     println!("\n64-byte frames: depth 32 moves {:.2}x the messages of depth 1", gain);
     assert!(gain >= 1.5, "pipelining must amortise round trips (depth-32 only {gain:.2}x depth-1)");
 
-    write_json("results/BENCH_net.json", &cells, gain);
+    // And the scale headline: the last cell held 10k live sessions on a
+    // flat thread count — said out loud so regressions are legible.
+    let big = sess.last().unwrap();
+    println!(
+        "{} concurrent sessions on {} threads ({} msgs/s)",
+        big.sessions,
+        big.threads,
+        fmt_ops(big.msgs_per_sec)
+    );
+
+    write_json("results/BENCH_net.json", &cells, &sess, gain);
 }

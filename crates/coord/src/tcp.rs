@@ -26,16 +26,14 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use dufs_net::{
-    connect, AcceptHandle, Backoff, Conn, EndpointKind, Hello, Listener, NetConfig, NetStats,
-    NetStatsSnapshot, Wire,
+    connect, AcceptHandle, Backoff, Conn, ConnEvent, EndpointKind, Hello, Listener, NetConfig,
+    NetStats, NetStatsSnapshot, Wire,
 };
 use dufs_wal::FileStorage;
 use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
@@ -130,30 +128,30 @@ fn spawn_peer_link(
         .name(format!("peer-link-{}-{}", me.0, to.0))
         .spawn(move || {
             let hello = Hello { kind: EndpointKind::Peer, id: me.0 as u64 };
-            let mut conn: Option<Conn> = None;
+            // The inbound receiver is parked alongside the connection:
+            // peers answer on their own dial-out link, never on this one,
+            // and heartbeats are consumed inside the event loop, so the
+            // channel stays empty without a drain thread.
+            let mut conn: Option<(Conn, Receiver<Vec<u8>>)> = None;
             let mut backoff = Backoff::new(&net);
             let mut retry_at = Instant::now();
             let mut ever_connected = false;
             while let Ok(msg) = rx.recv() {
                 if conn.is_none() && Instant::now() >= retry_at {
                     match connect(addr, hello, &net, &stats) {
-                        Ok((c, inbound)) => {
-                            // Peers answer on their own dial-out link, never
-                            // on this one; drain so the reader thread stays
-                            // unblocked and the channel stays empty.
-                            std::thread::spawn(move || while inbound.recv().is_ok() {});
+                        Ok(pair) => {
                             if ever_connected {
                                 stats.on_reconnect();
                             }
                             ever_connected = true;
                             backoff.reset();
-                            conn = Some(c);
+                            conn = Some(pair);
                         }
                         Err(_) => retry_at = Instant::now() + backoff.next_delay(),
                     }
                 }
                 // Down and backing off: the message is simply dropped.
-                if let Some(c) = &conn {
+                if let Some((c, _)) = &conn {
                     if c.send(msg.to_wire()).is_err() {
                         // Link died under us: drop this message and redial
                         // on the next one. ZAB resynchronizes through lossy
@@ -200,47 +198,18 @@ impl TcpServer {
             });
         }
 
-        // Accept loop: demux on the remote's handshake.
-        let next_conn = Arc::new(AtomicU64::new(1));
+        // Accept loop: every inbound connection (any count) lands on one
+        // demultiplexed event stream; a single forwarder thread classifies
+        // by handshake kind and feeds the server loop. No per-connection
+        // threads exist anywhere on this path — the reactor pool carries
+        // the sockets.
         let my_hello = Hello { kind: EndpointKind::Server, id: cfg.me.0 as u64 };
+        let (accept, events) = listener.spawn_accept_demux(my_hello, cfg.net, stats.clone());
         let acc_tx = env_tx.clone();
-        let accept = listener.spawn_accept(my_hello, cfg.net, stats.clone(), move |conn, rx| {
-            match conn.remote().kind {
-                EndpointKind::Peer => {
-                    let from = PeerId(conn.remote().id as u32);
-                    let tx = acc_tx.clone();
-                    std::thread::spawn(move || {
-                        let _keep_writer = conn; // heartbeats flow back while we read
-                        while let Ok(payload) = rx.recv() {
-                            // A frame passed CRC but not the codec: the peer
-                            // speaks something we don't. Drop the link; it
-                            // will redial.
-                            let Ok(msg) = CoordMsg::from_wire(&payload) else { break };
-                            if tx.send(TcpEnvelope::Peer { from, msg }).is_err() {
-                                break;
-                            }
-                        }
-                    });
-                }
-                EndpointKind::Client | EndpointKind::Admin => {
-                    let conn_id = next_conn.fetch_add(1, Ordering::Relaxed);
-                    let tx = acc_tx.clone();
-                    if tx.send(TcpEnvelope::ClientConn { conn_id, conn }).is_err() {
-                        return;
-                    }
-                    std::thread::spawn(move || {
-                        while let Ok(payload) = rx.recv() {
-                            let Ok(frame) = ClientFrame::from_wire(&payload) else { break };
-                            if tx.send(TcpEnvelope::Client { conn_id, frame }).is_err() {
-                                break;
-                            }
-                        }
-                        let _ = tx.send(TcpEnvelope::ClientGone { conn_id });
-                    });
-                }
-                EndpointKind::Server => {} // nobody dials in as a server
-            }
-        });
+        std::thread::Builder::new()
+            .name(format!("tcp-demux-{}", cfg.me.0))
+            .spawn(move || demux_loop(events, acc_tx))
+            .expect("spawn demux forwarder");
 
         // The state machine is built inside its thread (a durable server
         // holds a `Box<dyn LogStorage>`, which is not `Send`), recovered
@@ -302,6 +271,67 @@ impl TcpServer {
 impl Drop for TcpServer {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+/// Translate the listener's demultiplexed [`ConnEvent`] stream into
+/// [`TcpEnvelope`]s for the server loop: peers feed [`CoordMsg`]s, clients
+/// and admins feed [`ClientFrame`]s. The write half of an inbound peer
+/// link is parked here (the event loop keeps its heartbeats flowing);
+/// client write halves are handed to the server loop, which owns them.
+fn demux_loop(events: Receiver<ConnEvent>, env_tx: Sender<TcpEnvelope>) {
+    enum Inbound {
+        Peer { from: PeerId, _conn: Conn },
+        Client,
+    }
+    let mut kinds: HashMap<u64, Inbound> = HashMap::new();
+    while let Ok(ev) = events.recv() {
+        match ev {
+            ConnEvent::Opened { id, conn } => match conn.remote().kind {
+                EndpointKind::Peer => {
+                    let from = PeerId(conn.remote().id as u32);
+                    kinds.insert(id, Inbound::Peer { from, _conn: conn });
+                }
+                EndpointKind::Client | EndpointKind::Admin => {
+                    kinds.insert(id, Inbound::Client);
+                    if env_tx.send(TcpEnvelope::ClientConn { conn_id: id, conn }).is_err() {
+                        return;
+                    }
+                }
+                EndpointKind::Server => {} // nobody dials in as a server; drop hangs up
+            },
+            ConnEvent::Frame { id, payload } => match kinds.get(&id) {
+                Some(Inbound::Peer { from, .. }) => {
+                    // A frame passed CRC but not the codec: the peer speaks
+                    // something we don't. Drop the link; it will redial.
+                    let Ok(msg) = CoordMsg::from_wire(&payload) else {
+                        kinds.remove(&id);
+                        continue;
+                    };
+                    if env_tx.send(TcpEnvelope::Peer { from: *from, msg }).is_err() {
+                        return;
+                    }
+                }
+                Some(Inbound::Client) => {
+                    let Ok(frame) = ClientFrame::from_wire(&payload) else {
+                        // Protocol confusion: forget the session and let the
+                        // server loop drop the write half.
+                        kinds.remove(&id);
+                        let _ = env_tx.send(TcpEnvelope::ClientGone { conn_id: id });
+                        continue;
+                    };
+                    if env_tx.send(TcpEnvelope::Client { conn_id: id, frame }).is_err() {
+                        return;
+                    }
+                }
+                None => {}
+            },
+            ConnEvent::Closed { id } => {
+                if let Some(Inbound::Client) = kinds.remove(&id) {
+                    let _ = env_tx.send(TcpEnvelope::ClientGone { conn_id: id });
+                }
+            }
+        }
     }
 }
 

@@ -111,9 +111,28 @@ fn thread_and_tcp_runtimes_agree_on_the_namespace_digest() {
         let s = cluster.net_stats(i);
         assert!(s.frames_sent > 0 && s.frames_recv > 0, "server {i} moved no frames: {s:?}");
         assert!(s.bytes_sent > 0 && s.bytes_recv > 0, "server {i} moved no bytes: {s:?}");
+        // ... and they moved through the readiness event loop: readiness
+        // wakeups were attributed, every send went out via a writev flush,
+        // and read buffers came from the reactor pool.
+        assert!(s.wakeups > 0, "server {i} saw no event-loop wakeups: {s:?}");
+        assert!(s.writev_batches > 0, "server {i} never flushed via writev: {s:?}");
+        // All post-handshake traffic leaves through flushes (only the
+        // dial-out hellos use the blocking path, one frame per peer link).
+        assert!(
+            s.frames_flushed + 2 >= s.frames_sent,
+            "server {i} frames must leave through flushes: {s:?}"
+        );
+        assert!(s.frames_per_flush() >= 1.0, "server {i} flushed empty batches: {s:?}");
+        assert!(s.pool_hits + s.pool_misses > 0, "server {i} never borrowed a read buffer: {s:?}");
+        // Inbound peer links plus whatever sessions are still parked on
+        // this member are live registrations; the gauge must not have
+        // leaked below zero (u64 underflow would make it enormous).
+        assert!(s.conns_registered < 10_000, "server {i} leaked the registration gauge: {s:?}");
     }
     let cs = c.transport().stats();
     assert!(cs.conns_opened >= 1 && cs.frames_sent > 0, "client session unused: {cs:?}");
+    assert!(cs.wakeups > 0 && cs.writev_batches > 0, "client bypassed the event loop: {cs:?}");
+    assert_eq!(cs.conns_registered, 1, "one live session must be registered: {cs:?}");
     cluster.shutdown();
 }
 

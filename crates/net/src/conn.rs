@@ -1,38 +1,42 @@
-//! Blocking-socket connection management.
+//! Connection management over the readiness event loop.
 //!
-//! Each established connection runs two threads:
+//! Connections no longer own threads. Every established socket is
+//! registered with the process-wide reactor pool (see the `reactor`
+//! module docs), which multiplexes reads, vectored write flushes,
+//! heartbeats, and liveness for all of them on a handful of event-loop
+//! threads. [`Conn::send`] enqueues onto a per-connection outbound queue
+//! and nudges the owning reactor; inbound frames arrive either on a
+//! dedicated channel per connection (the classic [`connect`] /
+//! [`Listener::spawn_accept`] shape) or demultiplexed onto one shared
+//! [`ConnEvent`] stream ([`connect_demux`] /
+//! [`Listener::spawn_accept_demux`]) so a single owner thread can service
+//! tens of thousands of sessions.
 //!
-//! - a **writer** draining an unbounded channel of outbound frames,
-//!   injecting a heartbeat whenever the channel stays idle for a heartbeat
-//!   interval;
-//! - a **reader** decoding inbound frames into a channel for the owner,
-//!   consuming heartbeats, and declaring the peer dead after
-//!   `max_misses` consecutive silent read-timeout windows.
-//!
-//! Either side's exit shuts the socket down, which unblocks the other; the
-//! owner observes death as a disconnected inbound channel (reads) or a
-//! [`NetError::Closed`] from [`Conn::send`] (writes). Reconnecting is the
-//! owner's policy, assisted by [`Backoff`].
+//! Death is observed exactly as before: the inbound channel disconnects
+//! (or a [`ConnEvent::Closed`] arrives), and [`Conn::send`] returns
+//! [`NetError::Closed`]. Reconnecting is the owner's policy, assisted by
+//! [`Backoff`].
 
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::frame::{read_frame, write_frame, Frame, Hello, MAX_FRAME};
+use crate::reactor::{self, ConnShared, Delivery, Phase, Tuning};
 use crate::stats::NetStats;
 use crate::NetError;
 
 /// Transport tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetConfig {
-    /// Idle interval after which the writer injects a heartbeat, and the
-    /// reader's per-wait timeout.
+    /// Idle interval after which a heartbeat is injected, and the width of
+    /// one inbound silence window.
     pub heartbeat_ms: u64,
-    /// Consecutive silent reader windows before the peer is declared dead.
+    /// Consecutive silent inbound windows before the peer is declared dead.
     pub max_misses: u32,
     /// Per-frame payload cap (≤ [`MAX_FRAME`]).
     pub max_frame: usize,
@@ -54,6 +58,14 @@ impl Default for NetConfig {
             reconnect_max_ms: 1_000,
             connect_timeout_ms: 2_000,
         }
+    }
+}
+
+fn tuning(cfg: &NetConfig) -> Tuning {
+    Tuning {
+        heartbeat: Duration::from_millis(cfg.heartbeat_ms),
+        max_misses: cfg.max_misses,
+        max_frame: cfg.max_frame,
     }
 }
 
@@ -89,9 +101,36 @@ impl Backoff {
     }
 }
 
-/// An established, handshaken connection. Dropping it closes the socket.
+/// One event on a demultiplexed connection stream
+/// ([`Listener::spawn_accept_demux`] / [`connect_demux`]).
+pub enum ConnEvent {
+    /// A new connection finished its handshake. The [`Conn`] is the
+    /// owner's to keep: dropping it closes the connection.
+    Opened {
+        /// The stream-local connection id tagging all later events.
+        id: u64,
+        /// The send handle for the new connection.
+        conn: Conn,
+    },
+    /// One inbound application frame.
+    Frame {
+        /// Which connection it arrived on.
+        id: u64,
+        /// The frame payload.
+        payload: Vec<u8>,
+    },
+    /// The connection died (peer gone, liveness expired, or locally
+    /// closed). Always follows `Opened` for accepted connections.
+    Closed {
+        /// Which connection died.
+        id: u64,
+    },
+}
+
+/// An established, handshaken connection. Dropping it flushes any queued
+/// frames and closes the socket.
 pub struct Conn {
-    tx: Sender<Vec<u8>>,
+    shared: Arc<ConnShared>,
     remote: Hello,
     peer_addr: Option<SocketAddr>,
 }
@@ -100,7 +139,7 @@ impl Conn {
     /// Queue one application frame for sending. Fails only when the
     /// connection has died.
     pub fn send(&self, payload: Vec<u8>) -> Result<(), NetError> {
-        self.tx.send(payload).map_err(|_| NetError::Closed)
+        self.shared.send(payload)
     }
 
     /// The peer's handshake.
@@ -113,7 +152,7 @@ impl Conn {
         self.peer_addr
     }
 
-    /// Wrap an already-handshaken stream in writer/reader threads.
+    /// Register an already-handshaken stream with the reactor pool.
     /// `remote` is the peer's [`Hello`]. Returns the connection handle and
     /// the inbound application-frame channel; the channel disconnects when
     /// the connection dies.
@@ -123,70 +162,26 @@ impl Conn {
         cfg: &NetConfig,
         stats: NetStats,
     ) -> std::io::Result<(Conn, Receiver<Vec<u8>>)> {
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(Duration::from_millis(cfg.heartbeat_ms)))?;
         let peer_addr = stream.peer_addr().ok();
-        let write_half = stream.try_clone()?;
-        let (out_tx, out_rx) = unbounded::<Vec<u8>>();
-        let (in_tx, in_rx) = unbounded::<Vec<u8>>();
+        let (tx, rx) = unbounded::<Vec<u8>>();
+        let shared =
+            reactor::register(stream, Delivery::Channel(tx), tuning(cfg), stats, Phase::Open)?;
+        Ok((Conn { shared, remote, peer_addr }, rx))
+    }
 
-        let heartbeat = Duration::from_millis(cfg.heartbeat_ms);
-        let wstats = stats.clone();
-        std::thread::Builder::new()
-            .name("net-writer".into())
-            .spawn(move || writer_loop(write_half, out_rx, heartbeat, wstats))?;
-
-        let rcfg = *cfg;
-        std::thread::Builder::new()
-            .name("net-reader".into())
-            .spawn(move || reader_loop(stream, in_tx, rcfg, stats))?;
-
-        Ok((Conn { tx: out_tx, remote, peer_addr }, in_rx))
+    pub(crate) fn from_parts(
+        shared: Arc<ConnShared>,
+        remote: Hello,
+        peer_addr: Option<SocketAddr>,
+    ) -> Conn {
+        Conn { shared, remote, peer_addr }
     }
 }
 
-fn writer_loop(mut stream: TcpStream, rx: Receiver<Vec<u8>>, heartbeat: Duration, stats: NetStats) {
-    loop {
-        match rx.recv_timeout(heartbeat) {
-            Ok(frame) => {
-                if write_frame(&mut stream, &frame, &stats).is_err() {
-                    break;
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if write_frame(&mut stream, &[], &stats).is_err() {
-                    break;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
+impl Drop for Conn {
+    fn drop(&mut self) {
+        self.shared.request_close();
     }
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-fn reader_loop(mut stream: TcpStream, tx: Sender<Vec<u8>>, cfg: NetConfig, stats: NetStats) {
-    let mut misses = 0u32;
-    loop {
-        match read_frame(&mut stream, cfg.max_frame, cfg.max_misses, &stats) {
-            Ok(Frame::Msg(payload)) => {
-                misses = 0;
-                if tx.send(payload).is_err() {
-                    break; // owner gone
-                }
-            }
-            Ok(Frame::Heartbeat) => misses = 0,
-            Ok(Frame::Idle) => {
-                misses += 1;
-                stats.on_heartbeat_miss();
-                if misses >= cfg.max_misses {
-                    break; // peer is silent past its heartbeat budget: dead
-                }
-            }
-            Ok(Frame::Eof) | Err(_) => break,
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-    // Dropping `tx` disconnects the owner's inbound channel.
 }
 
 fn handshake_deadline(stream: &TcpStream, cfg: &NetConfig) -> std::io::Result<()> {
@@ -208,6 +203,25 @@ fn read_hello(
     }
 }
 
+/// Dial `addr` and run the client half of the handshake (blocking, bounded
+/// by `connect_timeout_ms`), returning the handshaken stream and the
+/// server's hello.
+fn dial(
+    addr: SocketAddr,
+    hello: Hello,
+    cfg: &NetConfig,
+    stats: &NetStats,
+) -> Result<(TcpStream, Hello), NetError> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_millis(cfg.connect_timeout_ms))?;
+    stream.set_nodelay(true).ok();
+    handshake_deadline(&stream, cfg)?;
+    write_frame(&mut stream, &hello.encode(), stats)?;
+    let remote = read_hello(&mut stream, cfg, stats)?;
+    stream.set_read_timeout(None)?;
+    Ok((stream, remote))
+}
+
 /// Dial `addr`, introduce ourselves as `hello`, and await the server's
 /// reply hello. Returns the connection and its inbound frame channel.
 pub fn connect(
@@ -217,14 +231,8 @@ pub fn connect(
     stats: &NetStats,
 ) -> Result<(Conn, Receiver<Vec<u8>>), NetError> {
     let attempt = || -> Result<(Conn, Receiver<Vec<u8>>), NetError> {
-        let mut stream =
-            TcpStream::connect_timeout(&addr, Duration::from_millis(cfg.connect_timeout_ms))?;
-        stream.set_nodelay(true).ok();
-        handshake_deadline(&stream, cfg)?;
-        write_frame(&mut stream, &hello.encode(), stats)?;
-        let remote = read_hello(&mut stream, cfg, stats)?;
-        let pair = Conn::spawn(stream, remote, cfg, stats.clone())?;
-        Ok(pair)
+        let (stream, remote) = dial(addr, hello, cfg, stats)?;
+        Ok(Conn::spawn(stream, remote, cfg, stats.clone())?)
     };
     match attempt() {
         Ok(pair) => {
@@ -238,8 +246,46 @@ pub fn connect(
     }
 }
 
-/// Server side of the handshake on an accepted stream: read the peer's
-/// hello, answer with ours, and wrap the stream.
+/// Like [`connect`], but inbound traffic is demultiplexed onto `events`
+/// (tagged with `id`) instead of a dedicated channel, so one owner thread
+/// can drive many dialed connections. The returned [`Conn`] sends; a
+/// [`ConnEvent::Closed`] with this `id` reports its death.
+pub fn connect_demux(
+    addr: SocketAddr,
+    hello: Hello,
+    cfg: &NetConfig,
+    stats: &NetStats,
+    id: u64,
+    events: Sender<ConnEvent>,
+) -> Result<Conn, NetError> {
+    let attempt = || -> Result<Conn, NetError> {
+        let (stream, remote) = dial(addr, hello, cfg, stats)?;
+        let peer_addr = stream.peer_addr().ok();
+        let shared = reactor::register(
+            stream,
+            Delivery::Demux { id, tx: events },
+            tuning(cfg),
+            stats.clone(),
+            Phase::Open,
+        )?;
+        Ok(Conn { shared, remote, peer_addr })
+    };
+    match attempt() {
+        Ok(conn) => {
+            stats.on_conn_opened();
+            Ok(conn)
+        }
+        Err(e) => {
+            stats.on_conn_failed();
+            Err(e)
+        }
+    }
+}
+
+/// Server side of the handshake on an accepted stream, run blocking on the
+/// caller's thread: read the peer's hello, answer with ours, and register
+/// the stream. Prefer [`Listener::spawn_accept`], which handshakes inside
+/// the event loop instead.
 pub fn accept_conn(
     mut stream: TcpStream,
     my_hello: Hello,
@@ -251,8 +297,8 @@ pub fn accept_conn(
         handshake_deadline(&stream, cfg)?;
         let remote = read_hello(&mut stream, cfg, stats)?;
         write_frame(&mut stream, &my_hello.encode(), stats)?;
-        let pair = Conn::spawn(stream, remote, cfg, stats.clone())?;
-        Ok(pair)
+        stream.set_read_timeout(None)?;
+        Ok(Conn::spawn(stream, remote, cfg, stats.clone())?)
     };
     match attempt() {
         Ok(pair) => {
@@ -286,19 +332,68 @@ impl Listener {
         self.addr
     }
 
-    /// Start the accept loop on its own thread. Each accepted stream is
-    /// handshaken (introducing ourselves as `my_hello`) and handed to
-    /// `on_conn` with its inbound frame channel; streams that fail the
-    /// handshake are dropped. Returns a handle that stops the loop.
+    /// Start the accept loop on its own thread. Accepted streams are
+    /// handed straight to the reactor, which runs the handshake
+    /// (introducing ourselves as `my_hello`) inside the event loop and
+    /// then invokes `on_conn` with the connection and its inbound frame
+    /// channel. Streams that fail or time out the handshake are dropped
+    /// without ever reaching `on_conn`, which runs on a reactor thread
+    /// and must not block. Returns a handle that stops the loop.
     pub fn spawn_accept<F>(
         self,
         my_hello: Hello,
         cfg: NetConfig,
         stats: NetStats,
-        mut on_conn: F,
+        on_conn: F,
     ) -> AcceptHandle
     where
         F: FnMut(Conn, Receiver<Vec<u8>>) + Send + 'static,
+    {
+        let cb: reactor::OnConn = Arc::new(Mutex::new(on_conn));
+        self.spawn_accept_inner(cfg, move |stream, _id| {
+            let _ = reactor::register(
+                stream,
+                Delivery::Callback(cb.clone()),
+                tuning(&cfg),
+                stats.clone(),
+                Phase::Handshake {
+                    my_hello,
+                    deadline: Instant::now() + Duration::from_millis(cfg.connect_timeout_ms),
+                },
+            );
+        })
+    }
+
+    /// Start the accept loop with demultiplexed delivery: every accepted
+    /// connection's lifecycle and inbound frames arrive on the returned
+    /// [`ConnEvent`] receiver, tagged with a listener-local id (1, 2, …).
+    /// One owner thread can therefore service any number of sessions; no
+    /// per-connection threads or channels are created.
+    pub fn spawn_accept_demux(
+        self,
+        my_hello: Hello,
+        cfg: NetConfig,
+        stats: NetStats,
+    ) -> (AcceptHandle, Receiver<ConnEvent>) {
+        let (tx, rx) = unbounded::<ConnEvent>();
+        let handle = self.spawn_accept_inner(cfg, move |stream, id| {
+            let _ = reactor::register(
+                stream,
+                Delivery::Demux { id, tx: tx.clone() },
+                tuning(&cfg),
+                stats.clone(),
+                Phase::Handshake {
+                    my_hello,
+                    deadline: Instant::now() + Duration::from_millis(cfg.connect_timeout_ms),
+                },
+            );
+        });
+        (handle, rx)
+    }
+
+    fn spawn_accept_inner<F>(self, _cfg: NetConfig, mut adopt: F) -> AcceptHandle
+    where
+        F: FnMut(TcpStream, u64) + Send + 'static,
     {
         let stop = Arc::new(AtomicBool::new(false));
         let flag = stop.clone();
@@ -306,15 +401,14 @@ impl Listener {
         let handle = std::thread::Builder::new()
             .name("net-accept".into())
             .spawn(move || {
+                let mut next_id = 0u64;
                 for stream in self.inner.incoming() {
                     if flag.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    // Failed handshakes (wake-up dials, strangers) are dropped.
-                    if let Ok((conn, rx)) = accept_conn(stream, my_hello, &cfg, &stats) {
-                        on_conn(conn, rx);
-                    }
+                    next_id += 1;
+                    adopt(stream, next_id);
                 }
             })
             .expect("spawn accept thread");
@@ -344,8 +438,8 @@ impl AcceptHandle {
     fn stop_inner(&mut self) {
         let Some(handle) = self.handle.take() else { return };
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the blocking accept with a throwaway dial; it fails the
-        // handshake and is dropped.
+        // Unblock the blocking accept with a throwaway dial; it never
+        // completes a handshake and the reactor drops it.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         let _ = handle.join();
     }
@@ -360,6 +454,7 @@ impl Drop for AcceptHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::channel::RecvTimeoutError;
 
     fn fast_cfg() -> NetConfig {
         NetConfig { heartbeat_ms: 50, ..NetConfig::default() }
@@ -402,6 +497,66 @@ mod tests {
         let snap = client_stats.snapshot();
         assert!(snap.frames_sent >= 10 && snap.frames_recv >= 10);
         assert_eq!(snap.conns_opened, 1);
+        assert!(snap.wakeups > 0, "reactor wakeups must be attributed");
+        assert!(snap.writev_batches > 0, "sends must go through writev flushes");
+        accept.stop();
+    }
+
+    #[test]
+    fn demux_stream_carries_many_sessions() {
+        let cfg = fast_cfg();
+        let server_stats = NetStats::new();
+        let listener = Listener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr();
+        let (accept, events) = listener.spawn_accept_demux(
+            Hello { kind: crate::EndpointKind::Server, id: 0 },
+            cfg,
+            server_stats.clone(),
+        );
+        // Echo server: one thread, no per-connection state but a Conn map.
+        let echo = std::thread::spawn(move || {
+            let mut conns = std::collections::HashMap::new();
+            while let Ok(ev) = events.recv() {
+                match ev {
+                    ConnEvent::Opened { id, conn } => {
+                        conns.insert(id, conn);
+                    }
+                    ConnEvent::Frame { id, payload } => {
+                        if let Some(conn) = conns.get(&id) {
+                            let _ = conn.send(payload);
+                        }
+                    }
+                    ConnEvent::Closed { id } => {
+                        conns.remove(&id);
+                        if conns.is_empty() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        let client_stats = NetStats::new();
+        let mut sessions = Vec::new();
+        for i in 0..8u64 {
+            let (conn, rx) = connect(
+                addr,
+                Hello { kind: crate::EndpointKind::Client, id: i },
+                &cfg,
+                &client_stats,
+            )
+            .unwrap();
+            sessions.push((conn, rx));
+        }
+        for (i, (conn, _)) in sessions.iter().enumerate() {
+            conn.send(format!("ping-{i}").into_bytes()).unwrap();
+        }
+        for (i, (_, rx)) in sessions.iter().enumerate() {
+            let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(got, format!("ping-{i}").into_bytes());
+        }
+        assert_eq!(server_stats.snapshot().conns_opened, 8);
+        drop(sessions);
+        echo.join().unwrap();
         accept.stop();
     }
 
@@ -417,7 +572,7 @@ mod tests {
             server_stats.clone(),
             |conn, rx| {
                 std::thread::spawn(move || {
-                    let _conn = conn; // keep writer alive
+                    let _conn = conn; // keep the connection alive
                     while rx.recv().is_ok() {}
                 });
             },
@@ -427,7 +582,7 @@ mod tests {
             connect(addr, Hello { kind: crate::EndpointKind::Client, id: 1 }, &cfg, &client_stats)
                 .unwrap();
         std::thread::sleep(Duration::from_millis(200));
-        assert!(client_stats.snapshot().heartbeats_sent > 0, "idle writer heartbeats");
+        assert!(client_stats.snapshot().heartbeats_sent > 0, "idle conn heartbeats");
         assert!(client_stats.snapshot().heartbeats_recv > 0, "server heartbeats received");
         accept.stop();
     }
@@ -452,7 +607,7 @@ mod tests {
             Err(RecvTimeoutError::Disconnected) => {}
             other => panic!("expected disconnect, got {other:?}"),
         }
-        // Sends eventually fail once the writer notices.
+        // Sends eventually fail once the reactor notices.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
             if conn.send(b"x".to_vec()).is_err() {

@@ -98,12 +98,18 @@ impl Hello {
     }
 }
 
-/// Write one frame (header + payload) and flush it.
-pub fn write_frame(w: &mut impl Write, payload: &[u8], stats: &NetStats) -> std::io::Result<()> {
+/// The 8-byte frame header for `payload`: length then CRC32, little-endian.
+pub fn frame_head(payload: &[u8]) -> [u8; 8] {
     debug_assert!(payload.len() <= MAX_FRAME);
     let mut head = [0u8; 8];
     head[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     head[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    head
+}
+
+/// Write one frame (header + payload) and flush it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], stats: &NetStats) -> std::io::Result<()> {
+    let head = frame_head(payload);
     w.write_all(&head)?;
     w.write_all(payload)?;
     w.flush()?;
@@ -212,6 +218,95 @@ pub fn read_frame(
     Ok(Frame::Msg(payload))
 }
 
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// The blocking [`read_frame`] owns its stream and can simply block until a
+/// frame completes; a readiness loop instead receives arbitrary byte chunks
+/// — a frame may arrive one byte at a time, or several frames plus a
+/// partial one may land in a single read. `FrameDecoder` is the
+/// chunk-boundary-tolerant state machine: [`FrameDecoder::feed`] consumes a
+/// chunk, invokes the sink once per *completed* frame, and carries partial
+/// header/payload state across calls.
+///
+/// Validation is identical to [`read_frame`]: oversized lengths, CRC
+/// mismatches, and nonzero heartbeat CRCs are [`NetError::Corrupt`], and a
+/// corrupt stream cannot be resynchronized — the caller must drop the
+/// connection.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_frame: usize,
+    head: [u8; 8],
+    head_got: usize,
+    /// `Some` while mid-payload: expected CRC and the accumulating bytes
+    /// (capacity = the full expected length).
+    body: Option<(u32, Vec<u8>)>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame` as its payload cap.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder { max_frame, head: [0u8; 8], head_got: 0, body: None }
+    }
+
+    /// Whether the decoder is mid-frame (a partial header or payload is
+    /// buffered). EOF in this state means the peer died inside a frame.
+    pub fn mid_frame(&self) -> bool {
+        self.head_got > 0 || self.body.is_some()
+    }
+
+    /// Consume `chunk`, calling `sink` for each frame completed by it
+    /// ([`Frame::Msg`] or [`Frame::Heartbeat`]; never `Idle`/`Eof`).
+    pub fn feed<F>(&mut self, mut chunk: &[u8], sink: &mut F) -> Result<(), NetError>
+    where
+        F: FnMut(Frame),
+    {
+        while !chunk.is_empty() {
+            match &mut self.body {
+                None => {
+                    // Assemble the 8-byte header.
+                    let take = (8 - self.head_got).min(chunk.len());
+                    self.head[self.head_got..self.head_got + take].copy_from_slice(&chunk[..take]);
+                    self.head_got += take;
+                    chunk = &chunk[take..];
+                    if self.head_got < 8 {
+                        return Ok(());
+                    }
+                    self.head_got = 0;
+                    let len = u32::from_le_bytes(self.head[..4].try_into().unwrap()) as usize;
+                    let crc = u32::from_le_bytes(self.head[4..].try_into().unwrap());
+                    if len > self.max_frame {
+                        return Err(NetError::Corrupt("frame length exceeds cap"));
+                    }
+                    if len == 0 {
+                        if crc != 0 {
+                            return Err(NetError::Corrupt("heartbeat with nonzero CRC"));
+                        }
+                        sink(Frame::Heartbeat);
+                    } else {
+                        self.body = Some((crc, Vec::with_capacity(len)));
+                    }
+                }
+                Some((crc, payload)) => {
+                    let want = payload.capacity() - payload.len();
+                    let take = want.min(chunk.len());
+                    payload.extend_from_slice(&chunk[..take]);
+                    chunk = &chunk[take..];
+                    if payload.len() < payload.capacity() {
+                        return Ok(());
+                    }
+                    let (crc, payload) = (*crc, std::mem::take(payload));
+                    self.body = None;
+                    if crc32(&payload) != crc {
+                        return Err(NetError::Corrupt("frame CRC mismatch"));
+                    }
+                    sink(Frame::Msg(payload));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +365,55 @@ mod tests {
             Err(NetError::Closed) => {}
             other => panic!("expected closed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn decoder_reassembles_byte_at_a_time() {
+        let stats = NetStats::default();
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha", &stats).unwrap();
+        write_frame(&mut stream, b"", &stats).unwrap();
+        write_frame(&mut stream, b"beta", &stats).unwrap();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.feed(std::slice::from_ref(b), &mut |f| got.push(f)).unwrap();
+        }
+        assert_eq!(
+            got,
+            vec![Frame::Msg(b"alpha".to_vec()), Frame::Heartbeat, Frame::Msg(b"beta".to_vec())]
+        );
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn decoder_rejects_corruption_like_the_blocking_reader() {
+        let stats = NetStats::default();
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"payload", &stats).unwrap();
+        let last = stream.len() - 1;
+        stream[last] ^= 0x40;
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        match dec.feed(&stream, &mut |_| panic!("no frame should complete")) {
+            Err(NetError::Corrupt(_)) => {}
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // Oversized length dies on the header alone.
+        let mut head = Vec::new();
+        head.extend_from_slice(&u32::MAX.to_le_bytes());
+        head.extend_from_slice(&0u32.to_le_bytes());
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        assert!(matches!(dec.feed(&head, &mut |_| unreachable!()), Err(NetError::Corrupt(_))));
+    }
+
+    #[test]
+    fn decoder_tracks_mid_frame_state_for_eof_classification() {
+        let stats = NetStats::default();
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"partial", &stats).unwrap();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.feed(&stream[..stream.len() - 3], &mut |_| panic!("incomplete")).unwrap();
+        assert!(dec.mid_frame(), "a truncated frame leaves the decoder mid-frame");
     }
 
     #[test]

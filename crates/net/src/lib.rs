@@ -9,11 +9,15 @@
 //! - [`frame`]: the on-the-wire framing — `len u32 | crc32 u32 | payload`,
 //!   little-endian, the same CRC discipline as the write-ahead log — plus
 //!   the versioned connection handshake ([`Hello`]).
-//! - [`conn`]: blocking-socket connection management: one writer and one
-//!   reader thread per connection, idle-time heartbeats with configurable
-//!   timeouts, an accept loop, and exponential-backoff reconnect
-//!   ([`Backoff`]).
-//! - [`stats`]: per-endpoint transport counters ([`NetStats`]).
+//! - [`conn`]: connection management over a nonblocking readiness event
+//!   loop: a small fixed pool of epoll reactor threads multiplexes every
+//!   connection's reads, vectored (`writev`) write flushes, idle-time
+//!   heartbeats, and liveness, with per-connection channels or a
+//!   demultiplexed [`ConnEvent`] stream toward the owner, an accept loop,
+//!   and exponential-backoff reconnect ([`Backoff`]).
+//! - [`pool`]: the reactors' reusable read-buffer pool ([`pool::BufferPool`]).
+//! - [`stats`]: per-endpoint transport counters ([`NetStats`]), including
+//!   event-loop mechanics (wakeups, writev batching, pool hits).
 //!
 //! The crate knows nothing about ZAB or ZooKeeper semantics; it never
 //! inspects payloads beyond the heartbeat/app distinction (an empty payload
@@ -23,11 +27,19 @@
 
 pub mod conn;
 pub mod frame;
+pub mod pool;
+mod reactor;
 pub mod stats;
+mod sys;
 pub mod wire;
 
-pub use conn::{connect, AcceptHandle, Backoff, Conn, Listener, NetConfig};
-pub use frame::{read_frame, write_frame, EndpointKind, Frame, Hello, MAX_FRAME, PROTO_VERSION};
+pub use conn::{
+    connect, connect_demux, AcceptHandle, Backoff, Conn, ConnEvent, Listener, NetConfig,
+};
+pub use frame::{
+    frame_head, read_frame, write_frame, EndpointKind, Frame, FrameDecoder, Hello, MAX_FRAME,
+    PROTO_VERSION,
+};
 pub use stats::{NetStats, NetStatsSnapshot};
 pub use wire::{put_blob, put_str, Wire, WireCursor, WireError};
 

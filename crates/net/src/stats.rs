@@ -2,6 +2,12 @@
 //! `Arc`) by every connection of an endpoint — a server's listeners and
 //! peer links, or a client's session — and snapshotted for display or
 //! assertions.
+//!
+//! Beyond the frame/byte/heartbeat counters the blocking transport kept,
+//! the readiness event loop reports its own mechanics: reactor wakeups
+//! attributable to this endpoint's connections, `writev` flush batches and
+//! the frames they coalesced, read-buffer pool hits/misses, and a live
+//! gauge of registered connections.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -18,6 +24,12 @@ struct Counters {
     reconnects: AtomicU64,
     conns_opened: AtomicU64,
     conns_failed: AtomicU64,
+    wakeups: AtomicU64,
+    writev_batches: AtomicU64,
+    frames_flushed: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    conns_registered: AtomicU64,
 }
 
 /// Shared transport counters (clone = same counters).
@@ -71,6 +83,31 @@ impl NetStats {
         self.inner.conns_failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_wakeup(&self) {
+        self.inner.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_writev(&self, frames_completed: u64) {
+        self.inner.writev_batches.fetch_add(1, Ordering::Relaxed);
+        self.inner.frames_flushed.fetch_add(frames_completed, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_pool_hit(&self) {
+        self.inner.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_pool_miss(&self) {
+        self.inner.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_conn_registered(&self) {
+        self.inner.conns_registered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_conn_unregistered(&self) {
+        self.inner.conns_registered.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Read every counter at once.
     pub fn snapshot(&self) -> NetStatsSnapshot {
         let c = &*self.inner;
@@ -85,6 +122,12 @@ impl NetStats {
             reconnects: c.reconnects.load(Ordering::Relaxed),
             conns_opened: c.conns_opened.load(Ordering::Relaxed),
             conns_failed: c.conns_failed.load(Ordering::Relaxed),
+            wakeups: c.wakeups.load(Ordering::Relaxed),
+            writev_batches: c.writev_batches.load(Ordering::Relaxed),
+            frames_flushed: c.frames_flushed.load(Ordering::Relaxed),
+            pool_hits: c.pool_hits.load(Ordering::Relaxed),
+            pool_misses: c.pool_misses.load(Ordering::Relaxed),
+            conns_registered: c.conns_registered.load(Ordering::Relaxed),
         }
     }
 }
@@ -104,7 +147,7 @@ pub struct NetStatsSnapshot {
     pub heartbeats_sent: u64,
     /// Heartbeats read.
     pub heartbeats_recv: u64,
-    /// Read-timeout windows that passed with no traffic at all.
+    /// Heartbeat windows that passed with no traffic at all.
     pub heartbeat_misses: u64,
     /// Connections re-established after a loss.
     pub reconnects: u64,
@@ -112,6 +155,21 @@ pub struct NetStatsSnapshot {
     pub conns_opened: u64,
     /// Connection attempts that failed (dial or handshake).
     pub conns_failed: u64,
+    /// Event-loop dispatches on behalf of this endpoint's connections
+    /// (readiness events plus explicit send/flush wakes).
+    pub wakeups: u64,
+    /// `writev` syscalls that moved bytes for this endpoint.
+    pub writev_batches: u64,
+    /// Frames whose final byte left in one of those batches; divided by
+    /// `writev_batches` this is the mean frames-per-flush coalescing.
+    pub frames_flushed: u64,
+    /// Read-scratch buffers served from the reactor's pool.
+    pub pool_hits: u64,
+    /// Read-scratch buffers that had to be freshly allocated.
+    pub pool_misses: u64,
+    /// Connections currently registered with a reactor (a live gauge, not
+    /// a running total — `absorb` sums gauges across endpoints).
+    pub conns_registered: u64,
 }
 
 impl NetStatsSnapshot {
@@ -128,6 +186,21 @@ impl NetStatsSnapshot {
         self.reconnects += o.reconnects;
         self.conns_opened += o.conns_opened;
         self.conns_failed += o.conns_failed;
+        self.wakeups += o.wakeups;
+        self.writev_batches += o.writev_batches;
+        self.frames_flushed += o.frames_flushed;
+        self.pool_hits += o.pool_hits;
+        self.pool_misses += o.pool_misses;
+        self.conns_registered += o.conns_registered;
+    }
+
+    /// Mean frames coalesced per `writev` flush (0.0 before any flush).
+    pub fn frames_per_flush(&self) -> f64 {
+        if self.writev_batches == 0 {
+            0.0
+        } else {
+            self.frames_flushed as f64 / self.writev_batches as f64
+        }
     }
 }
 
@@ -136,7 +209,9 @@ impl std::fmt::Display for NetStatsSnapshot {
         write!(
             f,
             "frames {}/{} tx/rx, bytes {}/{}, heartbeats {}/{} (misses {}), \
-             conns {} (+{} failed), reconnects {}",
+             conns {} (+{} failed), reconnects {}, wakeups {}, \
+             writev {} batches / {} frames ({:.2}/flush), pool {}/{} hit/miss, \
+             registered {}",
             self.frames_sent,
             self.frames_recv,
             self.bytes_sent,
@@ -147,6 +222,13 @@ impl std::fmt::Display for NetStatsSnapshot {
             self.conns_opened,
             self.conns_failed,
             self.reconnects,
+            self.wakeups,
+            self.writev_batches,
+            self.frames_flushed,
+            self.frames_per_flush(),
+            self.pool_hits,
+            self.pool_misses,
+            self.conns_registered,
         )
     }
 }
@@ -170,5 +252,23 @@ mod tests {
         a.absorb(&NetStatsSnapshot { frames_sent: 2, bytes_recv: 5, ..Default::default() });
         assert_eq!(a.frames_sent, 3);
         assert_eq!(a.bytes_recv, 15);
+    }
+
+    #[test]
+    fn registered_gauge_rises_and_falls() {
+        let s = NetStats::new();
+        s.on_conn_registered();
+        s.on_conn_registered();
+        s.on_conn_unregistered();
+        assert_eq!(s.snapshot().conns_registered, 1);
+    }
+
+    #[test]
+    fn frames_per_flush_mean() {
+        let s = NetStats::new();
+        assert_eq!(s.snapshot().frames_per_flush(), 0.0);
+        s.on_writev(3);
+        s.on_writev(1);
+        assert_eq!(s.snapshot().frames_per_flush(), 2.0);
     }
 }

@@ -10,6 +10,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The session-count benches hold thousands of sockets at once (the 10k
+# cell splits ~10k fds into each of two processes). Raise the soft fd
+# limit to the hard limit up front, and fail early with a clear message
+# when even the 1k-session smoke gate could not run.
+ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+fd_soft=$(ulimit -n)
+if [ "$fd_soft" != "unlimited" ] && [ "$fd_soft" -lt 4096 ]; then
+    echo "FAIL: file-descriptor limit $fd_soft too small (need >= 4096 for the session benches)" >&2
+    exit 1
+fi
+echo "==> fd limit: $fd_soft"
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -85,7 +97,14 @@ cargo run --release -q -p dufs-bench --bin bench_shards -- --smoke
 echo "==> bench_reads smoke"
 cargo run --release -q -p dufs-bench --bin bench_reads -- --smoke
 
-# Loopback transport sweep (asserts the depth-K pipelining gain inside).
+# High-session-count transport gate, smoke mode: 1 000 concurrent demux
+# sessions through one in-process echo server, with the no-thread-per-
+# connection assertion (thread count must stay flat) inside the binary.
+echo "==> bench_net smoke (1k concurrent sessions)"
+cargo run --release -q -p dufs-bench --bin bench_net -- --smoke
+
+# Loopback transport sweep (asserts the depth-K pipelining gain inside,
+# and runs the full 1/100/1k/10k connection-count axis).
 echo "==> bench_net loopback sweep -> results/BENCH_net.json"
 cargo run --release -q -p dufs-bench --bin bench_net
 
