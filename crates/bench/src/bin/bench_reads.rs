@@ -24,6 +24,21 @@
 //! placement can mint extra CPU — that queueing asymmetry is real and is
 //! exactly the serialization the paper's read scale-out argument removes.
 //!
+//! A second sweep measures the **cache axis** (`dufs-cache`): the same
+//! follower-local placement with every reader session wrapped in a
+//! [`CachedClient`] —
+//!
+//! * **cached-cold** — each reader touches every preloaded path once, so
+//!   every read is a miss (cache overhead: watch install + lease license);
+//! * **cached-warm** — round-robin like the uncached modes, so after one
+//!   pass every read is a hit licensed by a staleness lease (server is only
+//!   contacted to renew the grant once per ttl);
+//! * **cached-warm-nolease** — leases off: hits trust watch freshness on
+//!   the unchanged connection (PR 5 trigger semantics).
+//!
+//! The cache gate: at 5 servers, cached-warm must move >= 2x the
+//! follower-local (uncached) reads. Emits `results/BENCH_cache.json`.
+//!
 //! The headline gate: at 5 servers, follower-local must beat leader-only.
 //! Emits `results/BENCH_reads.json`. `--smoke` shrinks the op counts (CI);
 //! `FULL=1` grows them 5x.
@@ -35,6 +50,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use dufs_bench::{fmt_ops, full_scale, Table};
+use dufs_cache::{CacheOptions, CacheStats, CachedClient};
 use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency, Watch, ZkRequest};
 use dufs_zkstore::CreateMode;
 
@@ -47,6 +63,59 @@ struct Cell {
     mode: &'static str,
     ops: u64,
     ops_per_sec: f64,
+    /// Aggregate cache counters (zero for the uncached modes).
+    cache: CacheStats,
+}
+
+/// Background write pressure for a read window: pipelined sessions keep a
+/// deep backlog of creates queued at the leader (`submit` is the
+/// zoo_acreate-style async API, so each writer holds `DEPTH` proposals in
+/// flight, not one). All placements face the same churn; only where the
+/// readers queue differs.
+struct Churn {
+    stop: Arc<AtomicBool>,
+    writers: Vec<std::thread::JoinHandle<()>>,
+}
+
+fn start_churn(cluster: &dufs_coord::TcpCluster, leader: usize, mode: &'static str) -> Churn {
+    const DEPTH: usize = 32;
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let stop = stop.clone();
+            let mut c = cluster.client(ClientOptions::at(leader)).expect("writer session");
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                let mut inflight = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    while inflight < DEPTH {
+                        c.submit(ZkRequest::Create {
+                            path: format!("/churn-{mode}-{w}-{i}"),
+                            data: Bytes::from_static(b"w"),
+                            mode: CreateMode::Persistent,
+                        });
+                        i += 1;
+                        inflight += 1;
+                    }
+                    c.next_completion().expect("churn ack");
+                    inflight -= 1;
+                }
+                while inflight > 0 && c.next_completion().is_some() {
+                    inflight -= 1;
+                }
+            })
+        })
+        .collect();
+    Churn { stop, writers }
+}
+
+impl Churn {
+    fn halt(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for w in self.writers {
+            w.join().expect("writer thread");
+        }
+    }
 }
 
 /// One measured placement: `READERS` sessions, session `i` at
@@ -77,39 +146,7 @@ fn run_mode(
         })
         .collect();
 
-    // Write pressure for the whole read window: pipelined sessions keep a
-    // deep backlog of creates queued at the leader (`submit` is the
-    // zoo_acreate-style async API, so each writer holds `DEPTH` proposals
-    // in flight, not one). All placements face the same churn; only where
-    // the readers queue differs.
-    const DEPTH: usize = 32;
-    let stop = Arc::new(AtomicBool::new(false));
-    let writers: Vec<_> = (0..WRITERS)
-        .map(|w| {
-            let stop = stop.clone();
-            let mut c = cluster.client(ClientOptions::at(leader)).expect("writer session");
-            std::thread::spawn(move || {
-                let mut i = 0u64;
-                let mut inflight = 0usize;
-                while !stop.load(Ordering::Relaxed) {
-                    while inflight < DEPTH {
-                        c.submit(ZkRequest::Create {
-                            path: format!("/churn-{mode}-{w}-{i}"),
-                            data: Bytes::from_static(b"w"),
-                            mode: CreateMode::Persistent,
-                        });
-                        i += 1;
-                        inflight += 1;
-                    }
-                    c.next_completion().expect("churn ack");
-                    inflight -= 1;
-                }
-                while inflight > 0 && c.next_completion().is_some() {
-                    inflight -= 1;
-                }
-            })
-        })
-        .collect();
+    let churn = start_churn(cluster, leader, mode);
 
     let start = Instant::now();
     let handles: Vec<_> = sessions
@@ -129,12 +166,75 @@ fn run_mode(
         h.join().expect("reader thread");
     }
     let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
-    stop.store(true, Ordering::Relaxed);
-    for w in writers {
-        w.join().expect("writer thread");
-    }
+    churn.halt();
     let ops = (READERS * ops_per_reader) as u64;
-    Cell { servers, mode, ops, ops_per_sec: ops as f64 / elapsed }
+    Cell { servers, mode, ops, ops_per_sec: ops as f64 / elapsed, cache: CacheStats::default() }
+}
+
+/// The cache-axis variant of [`run_mode`]: follower-local placement, every
+/// reader wrapped in a [`CachedClient`]. `cold` reads each preloaded path
+/// exactly once per reader (all misses); warm reads round-robin like the
+/// uncached modes, so everything after the first pass is a hit.
+fn run_cached_mode(
+    cluster: &dufs_coord::TcpCluster,
+    servers: usize,
+    leader: usize,
+    variant: (&'static str, CacheOptions, bool),
+    paths: &[String],
+    ops_per_reader: usize,
+) -> Cell {
+    let (mode, opts, cold) = variant;
+    let mut sessions: Vec<_> = (0..READERS)
+        .map(|i| {
+            let raw = cluster
+                .client(
+                    ClientOptions::at(i % servers).with_consistency(ReadConsistency::SyncThenLocal),
+                )
+                .expect("reader session");
+            let mut c = CachedClient::new(raw, opts);
+            c.sync().expect("barrier");
+            c
+        })
+        .collect();
+
+    let churn = start_churn(cluster, leader, mode);
+
+    let per_reader = if cold { paths.len() } else { ops_per_reader };
+    let start = Instant::now();
+    let handles: Vec<_> = sessions
+        .drain(..)
+        .enumerate()
+        .map(|(i, mut c)| {
+            let paths: Vec<String> = paths.to_vec();
+            std::thread::spawn(move || {
+                for k in 0..per_reader {
+                    let p = &paths[(i + k) % paths.len()];
+                    c.get_data(p).expect("read");
+                }
+                c
+            })
+        })
+        .collect();
+    let mut cache = CacheStats::default();
+    for h in handles {
+        cache.absorb(&h.join().expect("reader thread").stats());
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    churn.halt();
+    let ops = (READERS * per_reader) as u64;
+    Cell { servers, mode, ops, ops_per_sec: ops as f64 / elapsed, cache }
+}
+
+/// Boot-time namespace: `/read/f000..f063`, created through the leader.
+fn preload(cluster: &dufs_coord::TcpCluster, leader: usize) -> Vec<String> {
+    let mut w = cluster.client(ClientOptions::at(leader)).expect("preload session");
+    let paths: Vec<String> = (0..PRELOAD).map(|i| format!("/read/f{i:03}")).collect();
+    w.create("/read", Bytes::new(), CreateMode::Persistent).expect("preload mkdir");
+    for p in &paths {
+        w.create(p, Bytes::from(format!("data-{p}").into_bytes()), CreateMode::Persistent)
+            .expect("preload create");
+    }
+    paths
 }
 
 fn write_json(path: &str, ops_per_reader: usize, cells: &[Cell], gain5: f64) {
@@ -158,6 +258,52 @@ fn write_json(path: &str, ops_per_reader: usize, cells: &[Cell], gain5: f64) {
             c.servers, c.mode, c.ops, c.ops_per_sec
         );
         j.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, &j) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn write_cache_json(
+    path: &str,
+    ops_per_reader: usize,
+    baseline: &[Cell],
+    cache_cells: &[Cell],
+    cache_gain5: f64,
+) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"benchmark\": \"cache\",");
+    let _ = writeln!(
+        j,
+        "  \"workload\": \"{READERS} cached sessions reading {PRELOAD} znodes follower-local \
+         under {WRITERS}-session write churn, TCP runtime, SyncThenLocal\","
+    );
+    let _ = writeln!(j, "  \"readers\": {READERS},");
+    let _ = writeln!(j, "  \"writers\": {WRITERS},");
+    let _ = writeln!(j, "  \"ops_per_reader\": {ops_per_reader},");
+    let _ = writeln!(j, "  \"warm_gain_over_uncached_at_5\": {cache_gain5:.2},");
+    j.push_str("  \"cells\": [\n");
+    let rows: Vec<&Cell> =
+        baseline.iter().filter(|c| c.mode == "follower-local").chain(cache_cells.iter()).collect();
+    for (i, c) in rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"servers\": {}, \"mode\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.1}, \
+             \"hits\": {}, \"misses\": {}, \"lease_renewals\": {}, \"barriers_skipped\": {}}}",
+            c.servers,
+            c.mode,
+            c.ops,
+            c.ops_per_sec,
+            c.cache.hits,
+            c.cache.misses,
+            c.cache.lease_renewals,
+            c.cache.barriers_skipped
+        );
+        j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     j.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(path, &j) {
@@ -200,20 +346,7 @@ fn main() {
                     .await_leader(std::time::Duration::from_secs(30))
                     .expect("leader elected");
 
-                let mut w = cluster.client(ClientOptions::at(leader)).expect("preload session");
-                let paths: Vec<String> = (0..PRELOAD).map(|i| format!("/read/f{i:03}")).collect();
-                match w.create("/read", Bytes::new(), CreateMode::Persistent) {
-                    Ok(_) => {}
-                    Err(e) => panic!("preload mkdir: {e:?}"),
-                }
-                for p in &paths {
-                    w.create(
-                        p,
-                        Bytes::from(format!("data-{p}").into_bytes()),
-                        CreateMode::Persistent,
-                    )
-                    .expect("preload create");
-                }
+                let paths = preload(&cluster, leader);
 
                 let placement: Box<dyn Fn(usize) -> usize> = if mode == "leader-only" {
                     Box::new(move |_| leader)
@@ -229,11 +362,51 @@ fn main() {
         }
     }
 
+    // Cache axis: same follower-local spread, readers wrapped in the
+    // dufs-cache layer. The uncached follower-local rows above double as
+    // the baseline, so only the cached modes boot fresh ensembles here.
+    let lease_off = CacheOptions { lease: false, ..CacheOptions::default() };
+    let cache_modes: [(&'static str, CacheOptions, bool); 3] = [
+        ("cached-cold", CacheOptions::default(), true),
+        ("cached-warm", CacheOptions::default(), false),
+        ("cached-warm-nolease", lease_off, false),
+    ];
+    let mut cache_cells = Vec::new();
+    for &n in &ensembles {
+        for variant in cache_modes {
+            let mut samples: Vec<Cell> = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let cluster = ClusterBuilder::new().voters(n).tcp();
+                let leader = cluster
+                    .await_leader(std::time::Duration::from_secs(30))
+                    .expect("leader elected");
+                let paths = preload(&cluster, leader);
+                let cell = run_cached_mode(&cluster, n, leader, variant, &paths, ops_per_reader);
+                cluster.shutdown();
+                samples.push(cell);
+            }
+            samples.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+            cache_cells.push(samples.swap_remove(samples.len() / 2));
+        }
+    }
+
     let mut t = Table::new(vec!["servers", "mode", "reads/sec"]);
     for c in &cells {
         t.row(vec![c.servers.to_string(), c.mode.to_string(), fmt_ops(c.ops_per_sec)]);
     }
     t.print();
+
+    println!();
+    let mut ct = Table::new(vec!["servers", "mode", "reads/sec", "hit rate"]);
+    for c in &cache_cells {
+        ct.row(vec![
+            c.servers.to_string(),
+            c.mode.to_string(),
+            fmt_ops(c.ops_per_sec),
+            format!("{:.1}%", c.cache.hit_rate() * 100.0),
+        ]);
+    }
+    ct.print();
 
     let pick = |n: usize, m: &str| {
         cells.iter().find(|c| c.servers == n && c.mode == m).unwrap().ops_per_sec
@@ -244,6 +417,17 @@ fn main() {
          pinning them all to the leader",
         gain5
     );
+    let cpick =
+        |n: usize, m: &str| cache_cells.iter().find(|c| c.servers == n && c.mode == m).unwrap();
+    let cache_gain5 =
+        cpick(5, "cached-warm").ops_per_sec / pick(5, "follower-local").max(f64::MIN_POSITIVE);
+    println!(
+        "\n5 servers: warm cached reads move {:.2}x the uncached follower-local reads \
+         (warm hit rate {:.1}%)",
+        cache_gain5,
+        cpick(5, "cached-warm").cache.hit_rate() * 100.0
+    );
+
     if smoke {
         // Smoke is CI's plumbing check: every placement must complete reads
         // on every ensemble size. The scale-out comparison needs the full
@@ -254,13 +438,39 @@ fn main() {
             "smoke: some placement served no reads: {:?}",
             cells.iter().map(|c| (c.servers, c.mode, c.ops_per_sec)).collect::<Vec<_>>()
         );
-        println!("smoke OK (scale-out gate runs at full op counts)");
+        assert!(
+            cache_cells.iter().all(|c| c.ops_per_sec > 0.0),
+            "smoke: some cached mode served no reads: {:?}",
+            cache_cells.iter().map(|c| (c.servers, c.mode, c.ops_per_sec)).collect::<Vec<_>>()
+        );
+        // Warm runs must actually hit: a broken invalidation path that
+        // flushes on every read would still "pass" on throughput alone.
+        assert!(
+            cache_cells
+                .iter()
+                .filter(|c| c.mode.starts_with("cached-warm"))
+                .all(|c| c.cache.hits > 0),
+            "smoke: warm cached modes recorded no hits"
+        );
+        println!("smoke OK (scale-out + cache gates run at full op counts)");
     } else {
         assert!(
             gain5 > 1.0,
             "follower-local reads at 5 servers must beat the leader-only baseline \
              (got {gain5:.2}x)"
         );
+        assert!(
+            cache_gain5 >= 2.0,
+            "warm cached reads at 5 servers must move >= 2x the uncached follower-local \
+             rate (got {cache_gain5:.2}x)"
+        );
         write_json("results/BENCH_reads.json", ops_per_reader, &cells, gain5);
+        write_cache_json(
+            "results/BENCH_cache.json",
+            ops_per_reader,
+            &cells,
+            &cache_cells,
+            cache_gain5,
+        );
     }
 }

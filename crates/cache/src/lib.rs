@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # dufs-cache — leased client-side metadata cache
+//!
+//! The paper's related-work discussion (§VI) observes that parallel
+//! filesystems which cache metadata on clients "generally disable client
+//! caching during concurrent update workloads to avoid excessive
+//! consistency overhead". DUFS's coordination service changes the
+//! trade-off twice over:
+//!
+//! 1. **Watches instead of cache-coherence traffic** — every cached read
+//!    is installed together with a server-side one-shot watch, so foreign
+//!    mutations invalidate exactly the entries they touch, with no client
+//!    locks and no broadcast.
+//! 2. **Staleness leases instead of sync barriers** — a replica that can
+//!    prove its view is recent (see
+//!    [`dufs_coord::api::LeaseGrant`] for the quorum-evidence argument)
+//!    grants the client a short lease; while it holds, `SyncThenLocal`
+//!    reads skip the one-ZAB-round `sync` barrier entirely. Leases ride
+//!    the existing heartbeat path (piggybacked on idle TCP heartbeat
+//!    slots, or collected by explicit pings), and when no lease is
+//!    grantable everything degrades to the plain barrier protocol —
+//!    correctness never depends on clocks beyond the lease bound.
+//!
+//! Barriers that *are* issued coalesce: concurrent `sync`s arriving at one
+//! replica while a no-op proposal is already in flight all ride that one
+//! proposal ([`dufs_coord::runtime::ZkClient::sync_coalesced`]).
+//!
+//! The crate has three faces over one cache + stats core ([`MetaCache`],
+//! [`CacheStats`]):
+//!
+//! * [`CachedClient`] — wraps a live [`dufs_coord::runtime::ZkClient`]
+//!   (thread or TCP transport);
+//! * [`CachedShardedClient`] — wraps a
+//!   [`dufs_coord::sharded::ShardedClient`], with per-shard leases;
+//! * `dufs-core`'s `CachingCoord` reuses [`MetaCache`]/[`CacheStats`] at
+//!   the simulation level, so sim and live cache behaviour is
+//!   digest-comparable and reports one stats shape.
+
+pub mod client;
+pub mod meta;
+pub mod sharded;
+
+pub use client::{CacheOptions, CachedClient};
+pub use meta::{CacheStats, MetaCache};
+pub use sharded::CachedShardedClient;

@@ -102,6 +102,28 @@ impl ClientOptions {
     }
 }
 
+/// A staleness lease granted by a replica to a client session.
+///
+/// While a lease holds (and the session's connection is unchanged since the
+/// grant), the replica promises it is at most `LEASE_MS` behind the
+/// cluster's committed state: the grant is only issued while the replica
+/// holds evidence, younger than the lease window, that its leader still
+/// commanded a quorum — which bounds how much committed-but-unseen history
+/// can exist. A cached `SyncThenLocal` read may therefore skip its `sync`
+/// barrier for the lease's remaining `ttl_ms` and still never observe data
+/// staler than the lease bound. `epoch` pins the grant to one leader reign;
+/// clients discard grants across reconnects, and servers stop granting the
+/// instant their quorum evidence goes stale, so correctness never depends
+/// on clocks beyond the bound itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseGrant {
+    /// Remaining validity, in real (undilated) milliseconds, measured from
+    /// receipt. Conservatively decayed at every hop.
+    pub ttl_ms: u32,
+    /// ZAB epoch of the leader whose authority backs this grant.
+    pub epoch: u32,
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ZkRequest {
@@ -173,9 +195,19 @@ pub enum ZkRequest {
     /// when it applies at the serving replica, that replica has applied
     /// everything committed before the barrier — so a subsequent local
     /// read observes all of it.
-    Sync,
+    Sync {
+        /// Allow the server to satisfy this barrier by attaching it to a
+        /// barrier proposal that is already in flight on the same replica
+        /// (one no-op through ZAB answers every rider). Sound only while
+        /// the session's connection has not changed since its last write
+        /// ack: ack-implies-applied then guarantees the rider's own writes
+        /// predate any open barrier. After a reconnect the client must
+        /// send `coalesce: false` to force a fresh proposal.
+        coalesce: bool,
+    },
     /// Session liveness ping (also returns the server's applied zxid, which
-    /// doubles as a cheap progress probe in tests).
+    /// doubles as a cheap progress probe in tests, and — when the serving
+    /// replica holds fresh lease authority — a staleness lease grant).
     Ping,
     /// Create with missing-ancestor materialization (`mkdir -p` semantics
     /// for the parent chain). The sharded client uses this for every
@@ -274,11 +306,17 @@ pub enum ZkResponse {
     Synced {
         /// Applied zxid (raw form).
         zxid: u64,
+        /// Whether this barrier rode an already-open proposal instead of
+        /// paying for its own ZAB round (see [`ZkRequest::Sync`]).
+        coalesced: bool,
     },
     /// Ping reply with the server's applied zxid.
     Pong {
         /// Applied zxid (raw form).
         zxid: u64,
+        /// A staleness lease, when the serving replica holds fresh enough
+        /// evidence of the leader's authority to grant one.
+        lease: Option<LeaseGrant>,
     },
     /// TxnPrepare succeeded: the ops validated and their paths are fenced.
     Prepared,
@@ -314,7 +352,8 @@ mod tests {
         assert!(ZkRequest::Exists { path: "/a".into(), watch: true }.is_read());
         assert!(ZkRequest::GetChildren { path: "/a".into(), watch: false }.is_read());
         assert!(ZkRequest::Ping.is_read());
-        assert!(!ZkRequest::Sync.is_read(), "sync consults the leader");
+        assert!(!ZkRequest::Sync { coalesce: false }.is_read(), "sync consults the leader");
+        assert!(!ZkRequest::Sync { coalesce: true }.is_read(), "coalesced sync too");
         assert!(!ZkRequest::Create {
             path: "/a".into(),
             data: Bytes::new(),

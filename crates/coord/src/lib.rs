@@ -36,7 +36,7 @@ pub mod txn;
 pub mod watch;
 pub mod wire;
 
-pub use api::{ClientOptions, ReadConsistency, Watch, ZkRequest, ZkResponse};
+pub use api::{ClientOptions, LeaseGrant, ReadConsistency, Watch, ZkRequest, ZkResponse};
 pub use cluster::ClusterBuilder;
 pub use runtime::{ChannelTransport, ClientTransport, ThreadCluster, ZkClient};
 pub use server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};

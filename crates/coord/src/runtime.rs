@@ -98,6 +98,14 @@ pub trait ClientTransport {
     fn reconnects(&self) -> u64 {
         0
     }
+
+    /// Take the newest unsolicited lease grant the server pushed on this
+    /// connection (TCP piggybacks grants on idle heartbeat slots), with its
+    /// ttl already decayed to the call instant. Default: never (transports
+    /// without a push path renew via explicit [`ZkClient::ping_lease`]).
+    fn pushed_lease(&mut self) -> Option<crate::api::LeaseGrant> {
+        None
+    }
 }
 
 /// In-process transport: crossbeam channels to [`ThreadCluster`] server
@@ -117,6 +125,13 @@ impl ChannelTransport {
     fn register(&self) {
         let _ = self.servers[self.cursor]
             .send(Envelope::Register { client: self.client, events: self.events_tx.clone() });
+    }
+
+    /// Index of the ensemble member this session currently sends to (the
+    /// channel-transport analogue of [`crate::tcp::TcpTransport::connected_addr`]).
+    /// Failover tests use it to kill the member actually serving a session.
+    pub fn connected_index(&self) -> usize {
+        self.cursor
     }
 }
 
@@ -718,14 +733,35 @@ impl<T: ClientTransport> ZkClient<T> {
     /// write committed before the barrier was issued (total order), so
     /// subsequent local reads observe them all.
     pub fn sync(&mut self) -> Result<u64, ZkError> {
-        match self.request(ZkRequest::Sync) {
-            ZkResponse::Synced { zxid } => {
+        self.sync_with(false).map(|(zxid, _)| zxid)
+    }
+
+    /// Barrier that may ride another session's no-op proposal already in
+    /// flight at the serving replica (one ZAB round answers every rider).
+    /// Returns `(zxid, coalesced)`. Safe only on an unchanged connection —
+    /// this method enforces that: if the transport reconnected while a
+    /// coalesced barrier was in flight, the open barrier it rode may have
+    /// been proposed *before* this session's pre-reconnect writes
+    /// committed, so it silently re-issues a strict (uncoalesced) barrier
+    /// before trusting the result.
+    pub fn sync_coalesced(&mut self) -> Result<(u64, bool), ZkError> {
+        self.sync_with(self.transport.reconnects() == self.seen_reconnects)
+    }
+
+    fn sync_with(&mut self, coalesce: bool) -> Result<(u64, bool), ZkError> {
+        let before = self.transport.reconnects();
+        match self.request(ZkRequest::Sync { coalesce }) {
+            ZkResponse::Synced { zxid, coalesced } => {
                 // Reconnects only advance on send/on_retry, so reading the
                 // counter after the response still describes the replica
                 // that served it.
+                if coalesce && self.transport.reconnects() != before {
+                    // Mid-request reconnect: the ride is not trustworthy.
+                    return self.sync_with(false);
+                }
                 self.dirty = false;
                 self.seen_reconnects = self.transport.reconnects();
-                Ok(zxid)
+                Ok((zxid, coalesced))
             }
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
@@ -740,10 +776,30 @@ impl<T: ClientTransport> ZkClient<T> {
 
     /// Liveness ping; returns the server's applied zxid.
     pub fn ping(&mut self) -> Result<u64, ZkError> {
+        self.ping_lease().map(|(zxid, _)| zxid)
+    }
+
+    /// Liveness ping that also collects the replica's staleness lease, if
+    /// it can grant one right now (see [`crate::api::LeaseGrant`]). The
+    /// cache layer renews its lease through this.
+    pub fn ping_lease(&mut self) -> Result<(u64, Option<crate::api::LeaseGrant>), ZkError> {
         match self.request(ZkRequest::Ping) {
-            ZkResponse::Pong { zxid } => Ok(zxid),
+            ZkResponse::Pong { zxid, lease } => Ok((zxid, lease)),
             r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
         }
+    }
+
+    /// Take the newest lease grant the server pushed unsolicited on this
+    /// session's connection (TCP heartbeat piggyback), if any.
+    pub fn pushed_lease(&mut self) -> Option<crate::api::LeaseGrant> {
+        self.transport.pushed_lease()
+    }
+
+    /// Monotone transport reconnect counter (see
+    /// [`ClientTransport::reconnects`]); the cache layer invalidates
+    /// wholesale whenever it moves.
+    pub fn reconnects(&self) -> u64 {
+        self.transport.reconnects()
     }
 
     /// Close the session (deleting its ephemerals).

@@ -17,7 +17,7 @@ use dufs_zab::{
 };
 use dufs_zkstore::{path as zkpath, snapshot, ChangeEvent, DataTree, MultiOp, ZkError};
 
-use crate::api::{ZkRequest, ZkResponse};
+use crate::api::{LeaseGrant, ZkRequest, ZkResponse};
 use crate::txn::{Txn, TxnOp};
 use crate::watch::{WatchKind, WatchManager, WatchNotification};
 
@@ -33,6 +33,17 @@ pub const SESSION_SWEEP_MS: u64 = 5_000;
 /// many applied transactions (ZooKeeper's periodic fuzzy snapshot; keeps
 /// log memory bounded — the §VII memory concern).
 pub const CHECKPOINT_EVERY: u64 = 1_000;
+/// Staleness-lease window: a replica grants leases only while its quorum
+/// authority evidence is younger than this, so a leased client's cached
+/// read is never staler than `LEASE_MS` (plus the margin below). Sized to
+/// cover several leader ping rounds on both runtimes (100 virtual-ms sim
+/// pings, 300 real-ms dilated live pings) so healthy clusters renew
+/// continuously, while any partition stops grants within one window.
+pub const LEASE_MS: u64 = 2_000;
+/// Conservative haircut applied to every grant: covers message transit and
+/// clock-reading skew between the evidence instant and the client's receipt
+/// timestamp (each hop already decays the ttl by its own elapsed time).
+pub const LEASE_MARGIN_MS: u64 = 200;
 
 /// Messages between coordination servers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +66,18 @@ pub enum CoordMsg {
     ForwardReject {
         /// The origin's pending-request tag.
         tag: u64,
+    },
+    /// Leader → followers, alongside each heartbeat ping: lease authority.
+    /// "`age_ms` milliseconds ago I held evidence that a quorum still
+    /// followed me, and my committed watermark was `commit_to`." A follower
+    /// that has applied up to `commit_to` may anchor staleness leases at
+    /// (receipt time − `age_ms`): no rival leader can have committed
+    /// anything before that instant that this follower hasn't applied.
+    LeaseAuth {
+        /// The leader's committed zxid (raw) when the evidence was taken.
+        commit_to: u64,
+        /// Age of the leader's quorum evidence when this message was sent.
+        age_ms: u32,
     },
 }
 
@@ -130,6 +153,119 @@ pub enum ServerOut {
 struct Pending {
     client: ClientId,
     req_id: u64,
+}
+
+/// A [`CoordMsg::LeaseAuth`] observation parked until the local replica
+/// has applied up to its commit watermark.
+#[derive(Debug, Clone, Copy)]
+struct LeaseAuthObs {
+    receipt_ms: u64,
+    commit_to: u64,
+    age_ms: u32,
+}
+
+/// The staleness-lease clock: tracks how fresh this server's evidence of
+/// the current leader's authority is, on both sides of the protocol.
+///
+/// *Leader side* — every inbound `Pong`/`Ack`/`AckSync` from a voter proves
+/// that voter still followed this leader when it sent the message (it had
+/// not promised a higher epoch, so no rival leader was established before
+/// that instant). The (quorum−1)-th most recent distinct-voter proof,
+/// together with the leader itself, pins the last moment a full quorum
+/// provably followed — before which no other leader can have committed
+/// anything.
+///
+/// *Follower side* — the leader ships that evidence age with each ping
+/// ([`CoordMsg::LeaseAuth`]). An observation only becomes usable once the
+/// local replica has applied up to the watermark the leader had committed
+/// at evidence time: from then on, "nothing committed cluster-wide before
+/// (receipt − age) is missing from this replica" holds, and that instant
+/// anchors grants. A deposed leader keeps pinging its minority for a few
+/// windows before abdicating, which is exactly why naive ping receipt
+/// cannot anchor a lease — the quorum-evidence age is what expires.
+#[derive(Debug, Default)]
+struct LeaseClock {
+    /// Leader side: newest proof-of-followership per voter peer (ms).
+    evidence: HashMap<PeerId, u64>,
+    /// Follower side: observations awaiting the apply watermark.
+    pending_auth: Vec<LeaseAuthObs>,
+    /// Follower side: newest matured authority anchor (ms).
+    anchor_ms: Option<u64>,
+}
+
+impl LeaseClock {
+    /// Leader side: record proof that `from` still followed us at `now_ms`.
+    fn record_evidence(&mut self, from: PeerId, now_ms: u64) {
+        let e = self.evidence.entry(from).or_insert(now_ms);
+        *e = (*e).max(now_ms);
+    }
+
+    /// Leader side: age of the newest instant at which a full quorum
+    /// provably followed this leader. `None` until enough distinct voters
+    /// have reported since the last reset. A single-voter ensemble is its
+    /// own quorum: age 0.
+    fn evidence_age(
+        &self,
+        now_ms: u64,
+        me: PeerId,
+        voters: &[PeerId],
+        quorum: usize,
+    ) -> Option<u64> {
+        let needed = quorum.saturating_sub(1); // the leader vouches for itself
+        if needed == 0 {
+            return Some(0);
+        }
+        let mut times: Vec<u64> = voters
+            .iter()
+            .filter(|&&p| p != me)
+            .filter_map(|p| self.evidence.get(p).copied())
+            .collect();
+        if times.len() < needed {
+            return None;
+        }
+        times.sort_unstable_by(|a, b| b.cmp(a));
+        Some(now_ms.saturating_sub(times[needed - 1]))
+    }
+
+    /// Follower side: park a [`CoordMsg::LeaseAuth`] observation.
+    fn record_auth(&mut self, receipt_ms: u64, commit_to: u64, age_ms: u32) {
+        self.pending_auth.push(LeaseAuthObs { receipt_ms, commit_to, age_ms });
+        // Bounded: only the newest few matter (one per leader ping).
+        if self.pending_auth.len() > 16 {
+            self.pending_auth.remove(0);
+        }
+    }
+
+    /// Follower side: promote every observation whose commit watermark the
+    /// local replica has now applied into the grant anchor.
+    fn mature(&mut self, last_applied: u64) {
+        let mut anchor = self.anchor_ms;
+        self.pending_auth.retain(|o| {
+            if o.commit_to <= last_applied {
+                let a = o.receipt_ms.saturating_sub(o.age_ms as u64);
+                anchor = Some(anchor.map_or(a, |b| b.max(a)));
+                false
+            } else {
+                true
+            }
+        });
+        self.anchor_ms = anchor;
+    }
+
+    /// Remaining grantable ttl for an authority anchored at `anchor_ms`,
+    /// after the safety margin. `None` when the window is exhausted.
+    fn ttl_from_anchor(anchor_ms: u64, now_ms: u64) -> Option<u32> {
+        let age = now_ms.saturating_sub(anchor_ms);
+        let ttl = LEASE_MS.saturating_sub(age).saturating_sub(LEASE_MARGIN_MS);
+        (ttl > 0).then_some(ttl as u32)
+    }
+
+    /// Forget everything — leader change in progress, or crash.
+    fn reset(&mut self) {
+        self.evidence.clear();
+        self.pending_auth.clear();
+        self.anchor_ms = None;
+    }
 }
 
 /// Turn raw WAL recovery output into typed ZAB durable state: pick the
@@ -244,6 +380,20 @@ pub struct CoordServer {
     /// Write requests originated here, awaiting commit.
     pending: HashMap<u64, Pending>,
     next_tag: u64,
+    /// Tag of the newest sync barrier proposed here and not yet applied;
+    /// coalescible `Sync { coalesce: true }` requests ride it instead of
+    /// paying for their own ZAB round.
+    open_barrier: Option<u64>,
+    /// Barrier tag → clients riding that barrier (answered in `apply`).
+    barrier_riders: HashMap<u64, Vec<Pending>>,
+    /// Staleness-lease authority tracking (see [`LeaseClock`]).
+    lease: LeaseClock,
+    /// Wall-ish clock of the event being handled (ms), for lease ages.
+    now_ms: u64,
+    /// Barriers answered by riding another session's no-op proposal.
+    barriers_coalesced: u64,
+    /// Lease grants issued to clients (Pong piggyback and idle push).
+    leases_granted: u64,
     /// Sessions whose clients are connected to this server.
     sessions: HashMap<u64, SessionInfo>,
     next_session: u64,
@@ -295,6 +445,12 @@ impl CoordServer {
             watches: WatchManager::new(),
             pending: HashMap::new(),
             next_tag: 1,
+            open_barrier: None,
+            barrier_riders: HashMap::new(),
+            lease: LeaseClock::default(),
+            now_ms: 0,
+            barriers_coalesced: 0,
+            leases_granted: 0,
             sessions: HashMap::new(),
             next_session: 1,
             last_applied: 0,
@@ -337,6 +493,12 @@ impl CoordServer {
             watches: WatchManager::new(),
             pending: HashMap::new(),
             next_tag,
+            open_barrier: None,
+            barrier_riders: HashMap::new(),
+            lease: LeaseClock::default(),
+            now_ms: 0,
+            barriers_coalesced: 0,
+            leases_granted: 0,
             sessions: HashMap::new(),
             next_session,
             last_applied: 0,
@@ -413,6 +575,41 @@ impl CoordServer {
     pub fn is_fenced(&self) -> bool {
         self.fenced
     }
+    /// Barriers answered by riding another session's no-op proposal.
+    pub fn barriers_coalesced(&self) -> u64 {
+        self.barriers_coalesced
+    }
+    /// Lease grants issued to clients so far.
+    pub fn leases_granted(&self) -> u64 {
+        self.leases_granted
+    }
+
+    /// The staleness lease this server can currently grant, if any: a
+    /// leader grants from its own quorum evidence, a follower from the
+    /// newest matured [`CoordMsg::LeaseAuth`] anchor. `None` whenever the
+    /// authority window (minus margin) is exhausted — callers must then
+    /// fall back to the sync-barrier path. Hosting runtimes may call this
+    /// between events (e.g. to piggyback grants on idle heartbeat slots).
+    pub fn lease_grant(&mut self, now_ns: u64) -> Option<LeaseGrant> {
+        self.now_ms = self.now_ms.max(now_ns / 1_000_000);
+        let now_ms = self.now_ms;
+        let anchor = if self.peer.is_established_leader() {
+            let age = self.lease.evidence_age(
+                now_ms,
+                self.me,
+                self.config.peers(),
+                self.config.quorum(),
+            )?;
+            now_ms.saturating_sub(age)
+        } else if matches!(self.peer.role(), Role::Following { .. }) {
+            self.lease.anchor_ms?
+        } else {
+            return None;
+        };
+        let ttl_ms = LeaseClock::ttl_from_anchor(anchor, now_ms)?;
+        self.leases_granted += 1;
+        Some(LeaseGrant { ttl_ms, epoch: self.peer.epoch() })
+    }
     /// Total fsyncs the WAL has issued (0 without one). The simulator
     /// charges `FSYNC` service time per increment of this counter.
     pub fn wal_sync_count(&self) -> u64 {
@@ -440,6 +637,9 @@ impl CoordServer {
             // the server behaves as crashed until restarted from disk.
             return Vec::new();
         }
+        // Lease ages are measured on the host clock; `absorb_zab` (which
+        // has no clock argument) reads the event's timestamp from here.
+        self.now_ms = self.now_ms.max(now_ns / 1_000_000);
         let mut out = Vec::new();
         match input {
             ServerIn::Client { client, req_id, session, req } => {
@@ -468,6 +668,9 @@ impl CoordServer {
         self.tree = DataTree::new();
         self.watches = WatchManager::new();
         self.pending.clear();
+        self.open_barrier = None;
+        self.barrier_riders.clear();
+        self.lease.reset();
         self.sessions.clear();
         self.prepared_txns.clear();
         self.txn_fences.clear();
@@ -598,10 +801,11 @@ impl CoordServer {
                 out.push(ServerOut::Client { client, req_id, resp });
             }
             ZkRequest::Ping => {
+                let lease = self.lease_grant(now_ns);
                 out.push(ServerOut::Client {
                     client,
                     req_id,
-                    resp: ZkResponse::Pong { zxid: self.last_applied },
+                    resp: ZkResponse::Pong { zxid: self.last_applied, lease },
                 });
             }
             // ---- sync: a no-op barrier proposed through ZAB ----
@@ -609,8 +813,31 @@ impl CoordServer {
             // like any mutation) and its response fires in `apply`, once
             // *this* replica has applied it — and, by total order,
             // everything committed before it.
-            ZkRequest::Sync => {
-                self.submit_write(now_ns, client, req_id, session, TxnOp::Noop, out);
+            ZkRequest::Sync { coalesce } => {
+                if coalesce {
+                    // Ride a barrier already in flight on this replica: its
+                    // no-op was proposed after every write this session has
+                    // had acked on an unchanged connection (ack implies the
+                    // origin replica applied the write — and it could only
+                    // ack after proposing, hence before the open barrier).
+                    // The client guarantees the connection is unchanged by
+                    // sending `coalesce: false` after any reconnect.
+                    if let Some(tag) = self.open_barrier {
+                        if self.pending.contains_key(&tag) {
+                            self.barrier_riders
+                                .entry(tag)
+                                .or_default()
+                                .push(Pending { client, req_id });
+                            self.barriers_coalesced += 1;
+                            return;
+                        }
+                        self.open_barrier = None;
+                    }
+                }
+                let tag = self.submit_write(now_ns, client, req_id, session, TxnOp::Noop, out);
+                if tag.is_some() {
+                    self.open_barrier = tag;
+                }
             }
             // ---- session management (replicated mutations) ----
             ZkRequest::Connect => {
@@ -715,6 +942,9 @@ impl CoordServer {
         tag
     }
 
+    /// Propose a mutation (locally or via leader forward). Returns the
+    /// pending tag while the write is in flight, `None` if it failed on the
+    /// spot — sync coalescing tracks the returned tag as the open barrier.
     #[allow(clippy::too_many_arguments)]
     fn submit_write(
         &mut self,
@@ -724,7 +954,7 @@ impl CoordServer {
         session: u64,
         op: TxnOp,
         out: &mut Vec<ServerOut>,
-    ) {
+    ) -> Option<u64> {
         let tag = self.alloc_tag(client, req_id);
         let txn = Txn { session, op, origin: self.me, tag, time_ns: now_ns };
         // Sync barriers skip group-commit batching: a lone no-op waiting
@@ -735,13 +965,19 @@ impl CoordServer {
             self.peer.propose(txn.clone())
         };
         match proposed {
-            Ok(acts) => self.absorb_zab(acts, out),
+            Ok(acts) => {
+                self.absorb_zab(acts, out);
+                // The proposal may have applied synchronously (single-node
+                // ensembles): only report a tag that is still pending.
+                self.pending.contains_key(&tag).then_some(tag)
+            }
             Err(e) => {
                 if let Some(leader) = e.leader_hint {
                     out.push(ServerOut::Peer {
                         to: leader,
                         msg: CoordMsg::Forward { session, op: txn.op, origin: self.me, tag },
                     });
+                    Some(tag)
                 } else {
                     self.pending.remove(&tag);
                     out.push(ServerOut::Client {
@@ -749,6 +985,7 @@ impl CoordServer {
                         req_id,
                         resp: ZkResponse::Error(ZkError::ConnectionLoss),
                     });
+                    None
                 }
             }
         }
@@ -761,6 +998,16 @@ impl CoordServer {
     fn handle_peer(&mut self, now_ns: u64, from: PeerId, msg: CoordMsg, out: &mut Vec<ServerOut>) {
         match msg {
             CoordMsg::Zab(m) => {
+                // Lease authority evidence: a Pong/Ack/AckSync from a voter
+                // proves that voter still followed this leader when it sent
+                // the message — it had not promised a higher epoch, so no
+                // rival leader can have been established before now.
+                if self.peer.is_established_leader()
+                    && self.config.peers().contains(&from)
+                    && matches!(m, ZabMsg::Pong | ZabMsg::Ack { .. } | ZabMsg::AckSync { .. })
+                {
+                    self.lease.record_evidence(from, now_ns / 1_000_000);
+                }
                 let acts = self.peer.on_message(from, m);
                 self.absorb_zab(acts, out);
             }
@@ -805,6 +1052,29 @@ impl CoordServer {
                             resp: ZkResponse::Error(ZkError::ConnectionLoss),
                         });
                     }
+                }
+                // A bounced barrier takes its riders down with it; their
+                // clients retry (with a fresh, uncoalesced sync if they
+                // reconnected meanwhile).
+                if self.open_barrier == Some(tag) {
+                    self.open_barrier = None;
+                }
+                for p in self.barrier_riders.remove(&tag).unwrap_or_default() {
+                    out.push(ServerOut::Client {
+                        client: p.client,
+                        req_id: p.req_id,
+                        resp: ZkResponse::Error(ZkError::ConnectionLoss),
+                    });
+                }
+            }
+            CoordMsg::LeaseAuth { commit_to, age_ms } => {
+                // Only trust authority claims from the leader we currently
+                // follow; a deposed leader pinging its minority partition
+                // fails this check as soon as we learn of the new regime
+                // (and its claims expire on their own age regardless).
+                if !self.peer.is_established_leader() && self.peer.leader_hint() == Some(from) {
+                    self.lease.record_auth(now_ns / 1_000_000, commit_to, age_ms);
+                    self.lease.mature(self.last_applied);
                 }
             }
         }
@@ -895,7 +1165,29 @@ impl CoordServer {
             match a {
                 ZabAction::Persist(ev) => unsynced |= self.persist(ev),
                 ZabAction::Send { to, msg } => {
-                    out.push(ServerOut::Peer { to, msg: CoordMsg::Zab(msg) })
+                    // Ship lease authority alongside every heartbeat ping:
+                    // the follower can anchor staleness leases at (receipt −
+                    // age) once it has applied up to the ping's watermark.
+                    let auth = match &msg {
+                        ZabMsg::Ping { commit_to, .. } => self
+                            .lease
+                            .evidence_age(
+                                self.now_ms,
+                                self.me,
+                                self.config.peers(),
+                                self.config.quorum(),
+                            )
+                            .filter(|&age| age < LEASE_MS)
+                            .map(|age| CoordMsg::LeaseAuth {
+                                commit_to: commit_to.as_u64(),
+                                age_ms: age as u32,
+                            }),
+                        _ => None,
+                    };
+                    out.push(ServerOut::Peer { to, msg: CoordMsg::Zab(msg) });
+                    if let Some(auth) = auth {
+                        out.push(ServerOut::Peer { to, msg: auth });
+                    }
                 }
                 ZabAction::SetTimer { timer, after_ms } => {
                     out.push(ServerOut::Timer { timer: CoordTimer::Zab(timer), after_ms })
@@ -915,12 +1207,28 @@ impl CoordServer {
                     // transactions prepared before it was cut.
                     self.rebuild_txn_state();
                 }
-                ZabAction::BecameLeader { .. } | ZabAction::BecameFollower { .. } => {}
+                ZabAction::BecameLeader { .. } | ZabAction::BecameFollower { .. } => {
+                    // Authority derived under the previous regime is void:
+                    // a new leader must re-earn quorum evidence, a new
+                    // follower must hear fresh LeaseAuth from its leader.
+                    self.lease.reset();
+                }
                 ZabAction::StartedElection => {
+                    self.lease.reset();
+                    self.open_barrier = None;
                     // In-flight writes can no longer be tracked to a commit;
                     // fail them so clients retry against the new regime.
                     for (_, p) in self.pending.drain() {
                         if p.client != 0 {
+                            out.push(ServerOut::Client {
+                                client: p.client,
+                                req_id: p.req_id,
+                                resp: ZkResponse::Error(ZkError::ConnectionLoss),
+                            });
+                        }
+                    }
+                    for (_, riders) in self.barrier_riders.drain() {
+                        for p in riders {
                             out.push(ServerOut::Client {
                                 client: p.client,
                                 req_id: p.req_id,
@@ -1257,7 +1565,7 @@ impl CoordServer {
                 // A sync barrier: nothing to mutate. The response below (at
                 // the origin) proves this replica has applied everything
                 // committed before the barrier.
-                TxnOp::Noop => (ZkResponse::Synced { zxid: z }, Vec::new()),
+                TxnOp::Noop => (ZkResponse::Synced { zxid: z, coalesced: false }, Vec::new()),
                 TxnOp::Prepare2pc { txn_id, ops, participants } => {
                     self.apply_prepare(*txn_id, ops, participants, txn.session, z, t)
                 }
@@ -1267,6 +1575,9 @@ impl CoordServer {
         };
         self.last_applied = z;
         self.applied_count += 1;
+        // The apply watermark moved: lease-authority observations waiting
+        // on it may now anchor grants.
+        self.lease.mature(z);
         if self.applied_count.is_multiple_of(CHECKPOINT_EVERY) {
             // Fuzzy snapshot: checkpoint the applied state and let the
             // replication layer drop the covered log prefix. In durable
@@ -1290,6 +1601,18 @@ impl CoordServer {
         if txn.origin == self.me {
             if let Some(p) = self.pending.remove(&txn.tag) {
                 out.push(ServerOut::Client { client: p.client, req_id: p.req_id, resp });
+            }
+            // One applied no-op proves the barrier for every rider too —
+            // the whole point of coalescing: N sessions, one ZAB round.
+            for p in self.barrier_riders.remove(&txn.tag).unwrap_or_default() {
+                out.push(ServerOut::Client {
+                    client: p.client,
+                    req_id: p.req_id,
+                    resp: ZkResponse::Synced { zxid: z, coalesced: true },
+                });
+            }
+            if self.open_barrier == Some(txn.tag) {
+                self.open_barrier = None;
             }
         }
     }
@@ -1452,9 +1775,12 @@ mod tests {
                 mode: CreateMode::Persistent,
             },
         );
-        let resp = req(&mut s, 0, ZkRequest::Sync);
+        let resp = req(&mut s, 0, ZkRequest::Sync { coalesce: false });
         match resp {
-            ZkResponse::Synced { zxid } => assert_eq!(zxid, s.last_applied()),
+            ZkResponse::Synced { zxid, coalesced } => {
+                assert_eq!(zxid, s.last_applied());
+                assert!(!coalesced, "a lone barrier pays for its own proposal");
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -1489,7 +1815,12 @@ mod tests {
         // commits first (total order), then the barrier answers.
         let out = s.handle(
             2_000_000,
-            ServerIn::Client { client: 1, req_id: 2, session: 0, req: ZkRequest::Sync },
+            ServerIn::Client {
+                client: 1,
+                req_id: 2,
+                session: 0,
+                req: ZkRequest::Sync { coalesce: false },
+            },
         );
         let resps: Vec<(u64, ZkResponse)> = out
             .iter()
@@ -1500,7 +1831,7 @@ mod tests {
             .collect();
         assert_eq!(resps.len(), 2);
         assert_eq!(resps[0], (1, ZkResponse::Created { path: "/b".into() }));
-        let (rid, ZkResponse::Synced { zxid }) = resps[1].clone() else {
+        let (rid, ZkResponse::Synced { zxid, .. }) = resps[1].clone() else {
             panic!("expected Synced, got {:?}", resps[1]);
         };
         assert_eq!(rid, 2);
@@ -1511,7 +1842,7 @@ mod tests {
     #[test]
     fn ping_reports_progress() {
         let mut s = single();
-        let ZkResponse::Pong { zxid: z0 } = req(&mut s, 0, ZkRequest::Ping) else { panic!() };
+        let ZkResponse::Pong { zxid: z0, .. } = req(&mut s, 0, ZkRequest::Ping) else { panic!() };
         req(
             &mut s,
             0,
@@ -1521,7 +1852,7 @@ mod tests {
                 mode: CreateMode::Persistent,
             },
         );
-        let ZkResponse::Pong { zxid: z1 } = req(&mut s, 0, ZkRequest::Ping) else { panic!() };
+        let ZkResponse::Pong { zxid: z1, .. } = req(&mut s, 0, ZkRequest::Ping) else { panic!() };
         assert!(z1 > z0);
     }
 
@@ -2045,5 +2376,229 @@ mod tests {
             req(&mut s, 0, ZkRequest::Exists { path: "/old".into(), watch: false }),
             ZkResponse::ExistsResult(None)
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Leases and barrier coalescing
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn lease_clock_math() {
+        let voters = [PeerId(0), PeerId(1), PeerId(2)];
+        let mut lc = LeaseClock::default();
+        // Leader side: no evidence yet → no quorum instant.
+        assert_eq!(lc.evidence_age(1_000, PeerId(0), &voters, 2), None);
+        lc.record_evidence(PeerId(1), 900);
+        assert_eq!(lc.evidence_age(1_000, PeerId(0), &voters, 2), Some(100));
+        // Newer evidence from another voter tightens the age (quorum 2 needs
+        // only the newest other voter).
+        lc.record_evidence(PeerId(2), 950);
+        assert_eq!(lc.evidence_age(1_000, PeerId(0), &voters, 2), Some(50));
+        // Evidence is max-monotone: a reordered older proof can't widen it.
+        lc.record_evidence(PeerId(2), 800);
+        assert_eq!(lc.evidence_age(1_000, PeerId(0), &voters, 2), Some(50));
+        // A 5-voter quorum of 3 needs the 2nd-newest other voter.
+        let five = [PeerId(0), PeerId(1), PeerId(2), PeerId(3), PeerId(4)];
+        assert_eq!(lc.evidence_age(1_000, PeerId(0), &five, 3), Some(100));
+        // A sole voter is its own quorum.
+        assert_eq!(LeaseClock::default().evidence_age(5, PeerId(0), &[PeerId(0)], 1), Some(0));
+
+        // Follower side: an observation matures only once the local replica
+        // has applied the leader's commit watermark at evidence time.
+        let mut f = LeaseClock::default();
+        f.record_auth(1_000, 7, 40);
+        assert_eq!(f.anchor_ms, None);
+        f.mature(6);
+        assert_eq!(f.anchor_ms, None, "watermark not reached yet");
+        f.mature(7);
+        assert_eq!(f.anchor_ms, Some(960), "anchored at receipt − age");
+        // ttl decays from the anchor and keeps the safety margin.
+        assert_eq!(
+            LeaseClock::ttl_from_anchor(960, 1_000),
+            Some((LEASE_MS - 40 - LEASE_MARGIN_MS) as u32)
+        );
+        assert_eq!(LeaseClock::ttl_from_anchor(0, LEASE_MS), None, "exhausted authority");
+        f.reset();
+        assert_eq!(f.anchor_ms, None);
+        assert!(f.pending_auth.is_empty());
+    }
+
+    #[test]
+    fn single_node_leader_grants_lease_via_ping() {
+        let mut s = single();
+        let ZkResponse::Pong { lease, .. } = req(&mut s, 0, ZkRequest::Ping) else {
+            panic!("expected Pong");
+        };
+        let g = lease.expect("a sole voter is its own quorum");
+        assert_eq!(g.ttl_ms as u64, LEASE_MS - LEASE_MARGIN_MS);
+        assert_eq!(s.leases_granted(), 1);
+    }
+
+    /// Deterministic in-process message pump for a multi-server ensemble:
+    /// virtual clock, FIFO peer links, timers fired in due order. Messages
+    /// are always delivered before time advances, so elections converge and
+    /// leader pings keep follower watchdogs quiet — exactly the quiescent
+    /// steady state the lease protocol assumes.
+    struct Pump {
+        servers: Vec<CoordServer>,
+        inbox: std::collections::VecDeque<(usize, PeerId, CoordMsg)>,
+        timers: Vec<(u64, usize, CoordTimer)>,
+        resps: Vec<Vec<(ClientId, u64, ZkResponse)>>,
+        now_ms: u64,
+    }
+
+    impl Pump {
+        fn trio() -> Pump {
+            let n = 3;
+            let mut p = Pump {
+                servers: Vec::new(),
+                inbox: std::collections::VecDeque::new(),
+                timers: Vec::new(),
+                resps: vec![Vec::new(); n],
+                now_ms: 0,
+            };
+            for i in 0..n {
+                let (s, outs) = CoordServer::new(PeerId(i as u32), EnsembleConfig::of_size(n));
+                p.servers.push(s);
+                p.route(i, outs);
+            }
+            p
+        }
+
+        fn now_ns(&self) -> u64 {
+            self.now_ms * 1_000_000
+        }
+
+        fn route(&mut self, from: usize, outs: Vec<ServerOut>) {
+            for o in outs {
+                match o {
+                    ServerOut::Peer { to, msg } => {
+                        self.inbox.push_back((to.0 as usize, PeerId(from as u32), msg))
+                    }
+                    ServerOut::Timer { timer, after_ms } => {
+                        self.timers.push((self.now_ms + after_ms, from, timer))
+                    }
+                    ServerOut::Client { client, req_id, resp } => {
+                        self.resps[from].push((client, req_id, resp))
+                    }
+                    ServerOut::Watch { .. } => {}
+                }
+            }
+        }
+
+        /// Deliver one queued message, or fire the earliest timer.
+        fn step(&mut self) {
+            if let Some((to, from, msg)) = self.inbox.pop_front() {
+                let now = self.now_ns();
+                let outs = self.servers[to].handle(now, ServerIn::Peer { from, msg });
+                self.route(to, outs);
+                return;
+            }
+            let idx =
+                (0..self.timers.len()).min_by_key(|&i| self.timers[i].0).expect("no timers armed");
+            let (due, srv, t) = self.timers.remove(idx);
+            self.now_ms = self.now_ms.max(due);
+            let now = self.now_ns();
+            let outs = self.servers[srv].handle(now, ServerIn::Timer(t));
+            self.route(srv, outs);
+        }
+
+        /// Advance `ms` of virtual time, running everything due on the way.
+        fn run_ms(&mut self, ms: u64) {
+            let target = self.now_ms + ms;
+            let mut steps = 0u64;
+            loop {
+                if self.inbox.is_empty() && self.timers.iter().all(|&(due, ..)| due > target) {
+                    self.now_ms = target;
+                    return;
+                }
+                self.step();
+                steps += 1;
+                if steps > 500_000 {
+                    let msgs: Vec<_> = self.inbox.iter().collect();
+                    let roles: Vec<_> = self.servers.iter().map(|s| s.role()).collect();
+                    panic!(
+                        "pump live-locked: now={} roles={:?} inbox={:?} timers={:?}",
+                        self.now_ms,
+                        roles,
+                        msgs,
+                        &self.timers[..self.timers.len().min(8)]
+                    );
+                }
+            }
+        }
+
+        /// Deliver all in-flight messages without advancing time.
+        fn drain(&mut self) {
+            while !self.inbox.is_empty() {
+                self.step();
+            }
+        }
+
+        fn client(&mut self, srv: usize, client: ClientId, req_id: u64, req: ZkRequest) {
+            let now = self.now_ns();
+            let outs =
+                self.servers[srv].handle(now, ServerIn::Client { client, req_id, session: 0, req });
+            self.route(srv, outs);
+        }
+
+        fn leader(&self) -> usize {
+            self.servers.iter().position(|s| s.is_leader()).expect("an established leader")
+        }
+    }
+
+    #[test]
+    fn follower_lease_matures_and_expires_without_leader_contact() {
+        let mut p = Pump::trio();
+        p.run_ms(3_000); // elect + several ping rounds of LeaseAuth
+        let l = p.leader();
+        let f = (0..3).find(|&i| i != l).unwrap();
+        let now = p.now_ns();
+        let gf = p.servers[f].lease_grant(now).expect("follower grants under a live leader");
+        let gl = p.servers[l].lease_grant(now).expect("leader grants off quorum evidence");
+        assert!(gf.ttl_ms > 0 && (gf.ttl_ms as u64) <= LEASE_MS - LEASE_MARGIN_MS);
+        assert_eq!(gf.epoch, gl.epoch, "grants name the same leadership epoch");
+        // With no further traffic the authority ages out everywhere: a
+        // partitioned replica must stop granting within the lease bound.
+        let later = now + (LEASE_MS + 1_000) * 1_000_000;
+        assert!(p.servers[f].lease_grant(later).is_none(), "stale follower anchor");
+        assert!(p.servers[l].lease_grant(later).is_none(), "stale quorum evidence");
+    }
+
+    #[test]
+    fn coalesced_sync_riders_share_one_barrier() {
+        let mut p = Pump::trio();
+        p.run_ms(3_000);
+        let l = p.leader();
+        let applied_before = p.servers[l].applied_count();
+        // A strict barrier at a multi-node leader awaits quorum acks.
+        p.client(l, 1, 10, ZkRequest::Sync { coalesce: false });
+        assert!(p.resps[l].is_empty(), "barrier must not answer before quorum");
+        // A coalescing barrier arriving meanwhile rides it — no 2nd proposal.
+        p.client(l, 2, 20, ZkRequest::Sync { coalesce: true });
+        assert!(p.resps[l].is_empty());
+        assert_eq!(p.servers[l].barriers_coalesced(), 1);
+        p.drain();
+        let resps = std::mem::take(&mut p.resps[l]);
+        assert_eq!(resps.len(), 2, "owner and rider both answered");
+        let owner = resps.iter().find(|r| r.0 == 1).expect("owner resp").2.clone();
+        let rider = resps.iter().find(|r| r.0 == 2).expect("rider resp").2.clone();
+        let ZkResponse::Synced { zxid: z1, coalesced: false } = owner else {
+            panic!("owner got {owner:?}");
+        };
+        let ZkResponse::Synced { zxid: z2, coalesced: true } = rider else {
+            panic!("rider got {rider:?}");
+        };
+        assert_eq!(z1, z2, "both observe the same barrier point");
+        assert_eq!(p.servers[l].applied_count(), applied_before + 1, "exactly one no-op proposed");
+        // The barrier is closed: the next coalescing sync opens a fresh one.
+        p.client(l, 3, 30, ZkRequest::Sync { coalesce: true });
+        p.drain();
+        let resps = std::mem::take(&mut p.resps[l]);
+        assert!(
+            matches!(resps[..], [(3, 30, ZkResponse::Synced { coalesced: false, .. })]),
+            "no open barrier to ride → proposes its own: {resps:?}"
+        );
+        assert_eq!(p.servers[l].barriers_coalesced(), 1);
     }
 }

@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -39,7 +40,7 @@ use dufs_wal::FileStorage;
 use dufs_zab::{EnsembleConfig, PeerId, ZabConfig};
 use dufs_zkstore::ZkError;
 
-use crate::api::{ClientOptions, ZkRequest};
+use crate::api::{ClientOptions, LeaseGrant, ZkRequest};
 use crate::runtime::{ClientEvent, ClientTransport, ServerStatus, ZkClient, TIME_DILATION};
 use crate::server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};
 use crate::wire::{ClientFrame, ServerFrame};
@@ -344,6 +345,12 @@ fn tcp_server_loop(
     let epoch = Instant::now();
     let mut conns: HashMap<ClientId, Conn> = HashMap::new();
     let mut timers: Vec<(Instant, CoordTimer)> = Vec::new();
+    // The freshest lease this server can grant, refreshed every loop pass
+    // and shared with each client connection's idle source: when a conn's
+    // heartbeat slot comes up empty, the reactor piggybacks a Lease frame
+    // (ttl decayed by the slot's age) instead of the empty keepalive. A
+    // quiet cached client thus renews without spending a Ping round trip.
+    let lease_slot: Arc<StdMutex<Option<(Instant, LeaseGrant)>>> = Arc::new(StdMutex::new(None));
 
     let now_ns = |epoch: &Instant| epoch.elapsed().as_nanos() as u64;
 
@@ -405,6 +412,18 @@ fn tcp_server_loop(
         match env_rx.recv_timeout(wait) {
             Ok(TcpEnvelope::Shutdown) => return,
             Ok(TcpEnvelope::ClientConn { conn_id, conn }) => {
+                let slot = lease_slot.clone();
+                conn.set_idle_source(move || {
+                    let (at, g) = (*slot.lock().unwrap())?;
+                    let elapsed = at.elapsed().as_millis() as u64;
+                    (u64::from(g.ttl_ms) > elapsed).then(|| {
+                        ServerFrame::Lease(LeaseGrant {
+                            ttl_ms: g.ttl_ms - elapsed as u32,
+                            epoch: g.epoch,
+                        })
+                        .to_wire()
+                    })
+                });
                 conns.insert(conn_id, conn);
             }
             Ok(TcpEnvelope::ClientGone { conn_id }) => {
@@ -436,6 +455,14 @@ fn tcp_server_loop(
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
+        }
+        // Refresh the shared grant for the idle-piggyback sources. Only
+        // while clients are connected — `lease_grant` counts what it issues.
+        if !conns.is_empty() {
+            *lease_slot.lock().unwrap() =
+                server.lease_grant(now_ns(&epoch)).map(|g| (Instant::now(), g));
+        } else if lease_slot.lock().unwrap().is_some() {
+            *lease_slot.lock().unwrap() = None;
         }
     }
 }
@@ -606,6 +633,10 @@ pub struct TcpTransport {
     stats: NetStats,
     link: Option<(Conn, Receiver<Vec<u8>>)>,
     ever_connected: bool,
+    /// Newest unsolicited lease grant pushed by the server on the live
+    /// connection (heartbeat piggyback), with its receipt instant so the
+    /// ttl can be decayed when the client collects it.
+    pushed_lease: Option<(Instant, LeaseGrant)>,
 }
 
 impl TcpTransport {
@@ -625,6 +656,7 @@ impl TcpTransport {
             stats: NetStats::new(),
             link: None,
             ever_connected: false,
+            pushed_lease: None,
         }
     }
 
@@ -652,6 +684,9 @@ impl TcpTransport {
                     }
                     self.ever_connected = true;
                     self.link = Some(pair);
+                    // A grant pushed on the previous connection says nothing
+                    // about the replica behind this one.
+                    self.pushed_lease = None;
                     return Ok(());
                 }
                 Err(_) => self.cursor = (self.cursor + 1) % self.addrs.len(),
@@ -670,6 +705,7 @@ impl ClientTransport for TcpTransport {
             // Dead socket: drop it and advance the failover cursor so the
             // retry doesn't hammer the same dead address first.
             self.link = None;
+            self.pushed_lease = None;
             self.cursor = (self.cursor + 1) % self.addrs.len();
             return Err(ZkError::Net);
         }
@@ -687,17 +723,25 @@ impl ClientTransport for TcpTransport {
                         return Some(ClientEvent::Resp { req_id, resp })
                     }
                     Ok(ServerFrame::Watch(n)) => return Some(ClientEvent::Watch(n)),
+                    Ok(ServerFrame::Lease(g)) => {
+                        // Unsolicited lease push (heartbeat piggyback): park
+                        // it for `pushed_lease` and keep waiting for a real
+                        // event — it answers no request.
+                        self.pushed_lease = Some((Instant::now(), g));
+                    }
                     Ok(ServerFrame::Status { .. }) => {} // admin frame on a session: skip
                     Err(_) => {
                         // CRC-valid but undecodable: protocol confusion,
                         // the link is not trustworthy.
                         self.link = None;
+                        self.pushed_lease = None;
                         return None;
                     }
                 },
                 Err(RecvTimeoutError::Timeout) => return None,
                 Err(RecvTimeoutError::Disconnected) => {
                     self.link = None;
+                    self.pushed_lease = None;
                     return None;
                 }
             }
@@ -712,12 +756,26 @@ impl ClientTransport for TcpTransport {
         // nothing.
         if self.addrs.len() > 1 {
             self.link = None;
+            self.pushed_lease = None;
             self.cursor = (self.cursor + 1) % self.addrs.len();
         }
     }
 
     fn reconnects(&self) -> u64 {
         self.stats.snapshot().reconnects
+    }
+
+    fn pushed_lease(&mut self) -> Option<LeaseGrant> {
+        // Decay the parked grant's ttl by its time on the shelf, so the
+        // caller can treat receipt as "now". Taken, not peeked: the cache
+        // layer owns lease state; this is just the mailbox.
+        let (taken_at, mut g) = self.pushed_lease.take()?;
+        let elapsed = taken_at.elapsed().as_millis() as u64;
+        if u64::from(g.ttl_ms) <= elapsed {
+            return None;
+        }
+        g.ttl_ms -= elapsed as u32;
+        Some(g)
     }
 }
 

@@ -18,7 +18,7 @@ use dufs_net::{put_blob, put_str, Wire, WireCursor, WireError};
 use dufs_zab::{PeerId, Vote, ZabMsg, Zxid};
 use dufs_zkstore::{CreateMode, MultiOp, MultiResult, Stat, ZkError};
 
-use crate::api::{ZkRequest, ZkResponse};
+use crate::api::{LeaseGrant, ZkRequest, ZkResponse};
 use crate::runtime::ServerStatus;
 use crate::server::CoordMsg;
 use crate::txn::Txn;
@@ -79,6 +79,15 @@ fn get_stat(c: &mut WireCursor<'_>) -> Result<Stat, WireError> {
         data_length: c.u32()?,
         num_children: c.u32()?,
     })
+}
+
+fn put_lease_grant(buf: &mut Vec<u8>, g: &LeaseGrant) {
+    buf.extend_from_slice(&g.ttl_ms.to_le_bytes());
+    buf.extend_from_slice(&g.epoch.to_le_bytes());
+}
+
+fn get_lease_grant(c: &mut WireCursor<'_>) -> Result<LeaseGrant, WireError> {
+    Ok(LeaseGrant { ttl_ms: c.u32()?, epoch: c.u32()? })
 }
 
 fn mode_byte(m: CreateMode) -> u8 {
@@ -420,6 +429,11 @@ impl Wire for CoordMsg {
                 buf.push(5);
                 buf.extend_from_slice(&tag.to_le_bytes());
             }
+            CoordMsg::LeaseAuth { commit_to, age_ms } => {
+                buf.push(6);
+                buf.extend_from_slice(&commit_to.to_le_bytes());
+                buf.extend_from_slice(&age_ms.to_le_bytes());
+            }
         }
     }
 
@@ -431,6 +445,7 @@ impl Wire for CoordMsg {
                 CoordMsg::Forward { session: t.session, op: t.op, origin: t.origin, tag: t.tag }
             }
             5 => CoordMsg::ForwardReject { tag: c.u64()? },
+            6 => CoordMsg::LeaseAuth { commit_to: c.u64()?, age_ms: c.u32()? },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -488,7 +503,10 @@ impl Wire for ZkRequest {
                     put_multi_op(buf, op);
                 }
             }
-            ZkRequest::Sync => buf.push(11),
+            ZkRequest::Sync { coalesce } => {
+                buf.push(11);
+                buf.push(*coalesce as u8);
+            }
             ZkRequest::Ping => buf.push(12),
             ZkRequest::CreatePath { path, data, mode } => {
                 buf.push(13);
@@ -546,7 +564,7 @@ impl Wire for ZkRequest {
                 }
                 ZkRequest::Multi { ops }
             }
-            11 => ZkRequest::Sync,
+            11 => ZkRequest::Sync { coalesce: c.bool()? },
             12 => ZkRequest::Ping,
             13 => ZkRequest::CreatePath {
                 path: c.str()?,
@@ -630,13 +648,21 @@ impl Wire for ZkResponse {
                     put_multi_result(buf, r);
                 }
             }
-            ZkResponse::Synced { zxid } => {
+            ZkResponse::Synced { zxid, coalesced } => {
                 buf.push(11);
                 buf.extend_from_slice(&zxid.to_le_bytes());
+                buf.push(*coalesced as u8);
             }
-            ZkResponse::Pong { zxid } => {
+            ZkResponse::Pong { zxid, lease } => {
                 buf.push(12);
                 buf.extend_from_slice(&zxid.to_le_bytes());
+                match lease {
+                    Some(g) => {
+                        buf.push(1);
+                        put_lease_grant(buf, g);
+                    }
+                    None => buf.push(0),
+                }
             }
             ZkResponse::Error(e) => {
                 buf.push(13);
@@ -684,8 +710,11 @@ impl Wire for ZkResponse {
                 }
                 ZkResponse::MultiResults(rs)
             }
-            11 => ZkResponse::Synced { zxid: c.u64()? },
-            12 => ZkResponse::Pong { zxid: c.u64()? },
+            11 => ZkResponse::Synced { zxid: c.u64()?, coalesced: c.bool()? },
+            12 => ZkResponse::Pong {
+                zxid: c.u64()?,
+                lease: if c.bool()? { Some(get_lease_grant(c)?) } else { None },
+            },
             13 => ZkResponse::Error(err_from(c.u8()?)?),
             14 => ZkResponse::Prepared,
             15 => ZkResponse::Committed,
@@ -814,6 +843,10 @@ pub enum ServerFrame {
         /// The server's state snapshot.
         status: ServerStatus,
     },
+    /// Unsolicited staleness lease, piggybacked on the connection's idle
+    /// heartbeat slots (see [`crate::api::LeaseGrant`]). Keeps a quiet
+    /// cached client's lease fresh without it spending a Ping round trip.
+    Lease(LeaseGrant),
 }
 
 impl Wire for ServerFrame {
@@ -833,6 +866,10 @@ impl Wire for ServerFrame {
                 buf.extend_from_slice(&req_id.to_le_bytes());
                 status.wire_encode(buf);
             }
+            ServerFrame::Lease(g) => {
+                buf.push(4);
+                put_lease_grant(buf, g);
+            }
         }
     }
 
@@ -841,6 +878,7 @@ impl Wire for ServerFrame {
             1 => ServerFrame::Resp { req_id: c.u64()?, resp: ZkResponse::wire_decode(c)? },
             2 => ServerFrame::Watch(WatchNotification::wire_decode(c)?),
             3 => ServerFrame::Status { req_id: c.u64()?, status: ServerStatus::wire_decode(c)? },
+            4 => ServerFrame::Lease(get_lease_grant(c)?),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -918,7 +956,7 @@ mod tests {
 
     #[test]
     fn frames_round_trip() {
-        rt(ClientFrame::Request { req_id: 1, session: 2, req: ZkRequest::Sync });
+        rt(ClientFrame::Request { req_id: 1, session: 2, req: ZkRequest::Sync { coalesce: true } });
         rt(ServerFrame::Status {
             req_id: 3,
             status: ServerStatus {
@@ -930,6 +968,17 @@ mod tests {
                 alive: true,
             },
         });
+    }
+
+    #[test]
+    fn lease_frames_round_trip() {
+        rt(ZkRequest::Sync { coalesce: false });
+        rt(ZkResponse::Synced { zxid: 42, coalesced: true });
+        rt(ZkResponse::Synced { zxid: 0, coalesced: false });
+        rt(ZkResponse::Pong { zxid: 7, lease: None });
+        rt(ZkResponse::Pong { zxid: 7, lease: Some(LeaseGrant { ttl_ms: 1_500, epoch: 3 }) });
+        rt(ServerFrame::Lease(LeaseGrant { ttl_ms: u32::MAX, epoch: 0 }));
+        rt(CoordMsg::LeaseAuth { commit_to: 0xDEAD_BEEF, age_ms: 86 });
     }
 
     #[test]

@@ -12,7 +12,8 @@ use dufs_coord::runtime::ServerStatus;
 use dufs_coord::watch::WatchEventKind;
 use dufs_coord::wire::{get_zab_msg, put_zab_msg};
 use dufs_coord::{
-    ClientFrame, CoordMsg, ServerFrame, Txn, TxnOp, WatchNotification, ZkRequest, ZkResponse,
+    ClientFrame, CoordMsg, LeaseGrant, ServerFrame, Txn, TxnOp, WatchNotification, ZkRequest,
+    ZkResponse,
 };
 use dufs_net::{Wire, WireCursor};
 use dufs_zab::{PeerId, Vote, ZabMsg, Zxid};
@@ -198,8 +199,14 @@ fn arb_coord_msg() -> BoxedStrategy<CoordMsg> {
         (any::<u64>(), arb_txn_op(), arb_peer(), any::<u64>())
             .prop_map(|(session, op, origin, tag)| CoordMsg::Forward { session, op, origin, tag }),
         any::<u64>().prop_map(|tag| CoordMsg::ForwardReject { tag }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(commit_to, age_ms)| CoordMsg::LeaseAuth { commit_to, age_ms }),
     ]
     .boxed()
+}
+
+fn arb_lease_grant() -> BoxedStrategy<LeaseGrant> {
+    (any::<u32>(), any::<u32>()).prop_map(|(ttl_ms, epoch)| LeaseGrant { ttl_ms, epoch }).boxed()
 }
 
 fn arb_zk_request() -> BoxedStrategy<ZkRequest> {
@@ -221,7 +228,7 @@ fn arb_zk_request() -> BoxedStrategy<ZkRequest> {
             .prop_map(|(path, watch)| ZkRequest::GetChildren { path, watch }),
         arb_string().prop_map(|path| ZkRequest::GetChildrenData { path }),
         collection::vec(arb_multi_op(), 0..4).prop_map(|ops| ZkRequest::Multi { ops }),
-        Just(ZkRequest::Sync),
+        any::<bool>().prop_map(|coalesce| ZkRequest::Sync { coalesce }),
         Just(ZkRequest::Ping),
     ]
     .boxed()
@@ -241,8 +248,10 @@ fn arb_zk_response() -> BoxedStrategy<ZkResponse> {
         collection::vec((arb_string(), arb_bytes(), arb_stat()), 0..4)
             .prop_map(|entries| ZkResponse::ChildrenData { entries }),
         collection::vec(arb_multi_result(), 0..4).prop_map(ZkResponse::MultiResults),
-        any::<u64>().prop_map(|zxid| ZkResponse::Synced { zxid }),
-        any::<u64>().prop_map(|zxid| ZkResponse::Pong { zxid }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(zxid, coalesced)| ZkResponse::Synced { zxid, coalesced }),
+        (any::<u64>(), option::of(arb_lease_grant()))
+            .prop_map(|(zxid, lease)| ZkResponse::Pong { zxid, lease }),
         arb_zk_error().prop_map(ZkResponse::Error),
     ]
     .boxed()
@@ -291,6 +300,7 @@ fn arb_server_frame() -> BoxedStrategy<ServerFrame> {
         arb_watch().prop_map(ServerFrame::Watch),
         (any::<u64>(), arb_server_status())
             .prop_map(|(req_id, status)| ServerFrame::Status { req_id, status }),
+        arb_lease_grant().prop_map(ServerFrame::Lease),
     ]
     .boxed()
 }

@@ -136,6 +136,115 @@ fn thread_and_tcp_runtimes_agree_on_the_namespace_digest() {
     cluster.shutdown();
 }
 
+/// The same churn driven through the client-side metadata cache
+/// ([`dufs_cache::CachedClient`]) must leave an identical namespace — the
+/// cache may only change *who answers* a read, never what the tree holds —
+/// and the wrapper's cache/lease counters must show the machinery actually
+/// engaged over real sockets: warm hits, eviction by own mutations, lease
+/// renewals, and lease-licensed barrier skips.
+#[test]
+fn cached_tcp_sessions_keep_digest_parity_and_report_counters() {
+    use dufs_cache::{CacheOptions, CachedClient};
+
+    // Uncached reference run.
+    let cluster = ClusterBuilder::new().voters(3).tcp();
+    let leader = cluster.await_leader(Duration::from_secs(20)).expect("tcp leader");
+    let mut c = cluster.client(ClientOptions::at(leader)).unwrap();
+    workload(&mut c);
+    let d_plain = converged_digest(|i| cluster.status(i), 3);
+    cluster.shutdown();
+
+    // Cached run: same mutations through the invalidating wrappers, plus
+    // a read phase that exercises the cache (cold pass populates, second
+    // pass must hit).
+    let cluster = ClusterBuilder::new().voters(3).tcp();
+    let leader = cluster.await_leader(Duration::from_secs(20)).expect("tcp leader");
+    let mut r = CachedClient::new(
+        cluster
+            .client(ClientOptions::at(leader).with_consistency(ReadConsistency::SyncThenLocal))
+            .unwrap(),
+        CacheOptions::default(),
+    );
+    for d in 0..DIRS {
+        match r.create(&format!("/d{d}"), Bytes::new(), CreateMode::Persistent) {
+            Ok(_) | Err(ZkError::NodeExists) => {}
+            Err(e) => panic!("mkdir /d{d}: {e:?}"),
+        }
+        for f in 0..FILES {
+            let path = format!("/d{d}/f{f}");
+            match r.create(
+                &path,
+                Bytes::from(format!("content-{d}-{f}").into_bytes()),
+                CreateMode::Persistent,
+            ) {
+                Ok(_) | Err(ZkError::NodeExists) => {}
+                Err(e) => panic!("create {path}: {e:?}"),
+            }
+        }
+    }
+    // Dirty-session reads: every one must be licensed by a lease instead
+    // of a barrier once the first grant is adopted.
+    for pass in 0..2 {
+        for d in 0..DIRS {
+            for f in 0..FILES {
+                let path = format!("/d{d}/f{f}");
+                let (data, _) = r.get_data(&path).unwrap();
+                assert_eq!(
+                    &data[..],
+                    format!("content-{d}-{f}").as_bytes(),
+                    "wrong bytes on pass {pass}"
+                );
+            }
+        }
+    }
+    for d in 0..DIRS {
+        for f in (0..FILES).step_by(2) {
+            let path = format!("/d{d}/f{f}");
+            r.set_data(&path, Bytes::from(format!("v2-{d}-{f}").into_bytes()), None)
+                .unwrap_or_else(|e| panic!("set {path}: {e:?}"));
+            // The overwrite must have evicted the warm entry: the read-back
+            // may not serve the stale pass-one bytes.
+            let (data, _) = r.get_data(&path).unwrap();
+            assert_eq!(&data[..], format!("v2-{d}-{f}").as_bytes(), "cache hid own write");
+        }
+    }
+    for d in 0..DIRS {
+        let path = format!("/d{d}/f1");
+        match r.delete(&path, None) {
+            Ok(()) | Err(ZkError::NoNode) => {}
+            Err(e) => panic!("delete {path}: {e:?}"),
+        }
+    }
+    match r.multi(vec![
+        MultiOp::Delete { path: "/d0/f3".into(), version: None },
+        MultiOp::Create {
+            path: "/d0/f3-renamed".into(),
+            data: Bytes::from_static(b"moved"),
+            mode: CreateMode::Persistent,
+        },
+    ]) {
+        Ok(_) | Err(_) => {}
+    }
+    r.sync().expect("sync");
+    let d_cached = converged_digest(|i| cluster.status(i), 3);
+    assert_eq!(d_plain, d_cached, "cached session diverged the namespace");
+
+    let s = r.stats();
+    assert!(s.hits >= (DIRS * FILES) as u64, "second read pass must be warm: {s:?}");
+    assert!(s.misses >= (DIRS * FILES) as u64, "cold pass must have missed: {s:?}");
+    assert!(
+        s.local_invalidations >= (DIRS * FILES / 2) as u64,
+        "overwrites must evict warm entries: {s:?}"
+    );
+    assert!(s.lease_renewals >= 1, "no lease was ever adopted: {s:?}");
+    assert!(s.barriers_skipped >= 1, "dirty reads never rode a lease: {s:?}");
+    assert_eq!(s.reconnect_invalidations, 0, "healthy run must not reconnect: {s:?}");
+    // And the session still moved real bytes underneath the cache.
+    let cs = r.inner().transport().stats();
+    assert!(cs.conns_opened >= 1 && cs.frames_sent > 0, "cached session unused: {cs:?}");
+    cluster.shutdown();
+}
+
 #[test]
 fn tcp_sessions_preserve_depth_k_pipelining() {
     let cluster = ClusterBuilder::new().voters(3).tcp();

@@ -1,65 +1,43 @@
-//! Client-side metadata cache with watch-based invalidation.
+//! Client-side metadata cache with watch-based invalidation — the
+//! **simulation-level** face of `dufs-cache`.
 //!
 //! The paper's related-work discussion (§VI) notes that filesystems which
 //! cache directory entries on clients "generally disable client caching
 //! during concurrent update workload to avoid excessive consistency
 //! overhead". The coordination service gives DUFS a cheaper option: cache
 //! `zoo_get` results and let the server's **one-shot watches** invalidate
-//! them — no lease traffic, no cross-client locks, consistency preserved
-//! because any mutation fires the watch before a subsequent read could go
-//! stale (within ZooKeeper's usual single-client ordering guarantees).
+//! them — no cross-client locks, consistency preserved because any
+//! mutation fires the watch before a subsequent read could go stale
+//! (within ZooKeeper's usual single-client ordering guarantees).
 //!
 //! [`CachingCoord`] wraps any [`CoordService`]. Reads are answered from the
 //! cache when fresh; a miss issues the read **with a watch** and caches the
 //! result; watch notifications and the client's own mutations evict.
-//! Behaviour is measured by the `cache` criterion bench and the
-//! `bench_cache` ablation binary.
+//!
+//! The cache itself ([`dufs_cache::MetaCache`]) and the stats shape
+//! ([`CacheStats`]) are shared with the live wrappers
+//! (`dufs_cache::CachedClient` over thread/TCP transports), so sim and
+//! live cache behaviour stays digest-comparable and experiment tables
+//! line up field for field. The sim level has no transport, so the
+//! lease/barrier counters stay zero here.
 
-use std::collections::HashMap;
-
-use bytes::Bytes;
-
+use dufs_cache::MetaCache;
 use dufs_coord::{ZkRequest, ZkResponse};
-use dufs_zkstore::{MultiOp, Stat};
+use dufs_zkstore::MultiOp;
+
+pub use dufs_cache::CacheStats;
 
 use crate::services::CoordService;
-
-/// Cache statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Reads served from the cache.
-    pub hits: u64,
-    /// Reads that went to the coordination service.
-    pub misses: u64,
-    /// Entries evicted by watch notifications.
-    pub watch_invalidations: u64,
-    /// Entries evicted by this client's own mutations.
-    pub local_invalidations: u64,
-}
-
-impl CacheStats {
-    /// Hit fraction in `[0, 1]`.
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
 
 /// A caching wrapper around a coordination-service connection.
 pub struct CachingCoord<C> {
     inner: C,
-    data: HashMap<String, (Bytes, Stat)>,
-    capacity: usize,
-    stats: CacheStats,
+    cache: MetaCache,
 }
 
 impl<C: CoordService> CachingCoord<C> {
     /// Default capacity (entries).
-    pub const DEFAULT_CAPACITY: usize = 16_384;
+    pub const DEFAULT_CAPACITY: usize = MetaCache::DEFAULT_CAPACITY;
 
     /// Wrap `inner` with the default capacity.
     pub fn new(inner: C) -> Self {
@@ -68,23 +46,22 @@ impl<C: CoordService> CachingCoord<C> {
 
     /// Wrap `inner`, caching at most `capacity` entries.
     pub fn with_capacity(inner: C, capacity: usize) -> Self {
-        assert!(capacity >= 1);
-        CachingCoord { inner, data: HashMap::new(), capacity, stats: CacheStats::default() }
+        CachingCoord { inner, cache: MetaCache::with_capacity(capacity) }
     }
 
     /// Cache statistics so far.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.cache.stats()
     }
 
     /// Currently cached entries.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.cache.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.cache.is_empty()
     }
 
     /// The wrapped connection.
@@ -94,25 +71,8 @@ impl<C: CoordService> CachingCoord<C> {
 
     fn drain_invalidations(&mut self) {
         for note in self.inner.drain_watches() {
-            if self.data.remove(&note.path).is_some() {
-                self.stats.watch_invalidations += 1;
-            }
+            self.cache.invalidate_watch(&note);
         }
-    }
-
-    fn invalidate_local(&mut self, path: &str) {
-        if self.data.remove(path).is_some() {
-            self.stats.local_invalidations += 1;
-        }
-    }
-
-    fn insert(&mut self, path: String, data: Bytes, stat: Stat) {
-        if self.data.len() >= self.capacity {
-            // Simple full-flush eviction: correct (only drops cached reads)
-            // and adequate for metadata working sets.
-            self.data.clear();
-        }
-        self.data.insert(path, (data, stat));
     }
 
     fn invalidate_multi(&mut self, ops: &[MultiOp]) {
@@ -120,7 +80,7 @@ impl<C: CoordService> CachingCoord<C> {
             match op {
                 MultiOp::Create { path, .. }
                 | MultiOp::Delete { path, .. }
-                | MultiOp::SetData { path, .. } => self.invalidate_local(path),
+                | MultiOp::SetData { path, .. } => self.cache.invalidate_local(path),
                 MultiOp::Check { .. } => {}
             }
         }
@@ -134,17 +94,15 @@ impl<C: CoordService> CoordService for CachingCoord<C> {
         self.drain_invalidations();
         match req {
             ZkRequest::GetData { ref path, .. } => {
-                if let Some((data, stat)) = self.data.get(path) {
-                    self.stats.hits += 1;
-                    return ZkResponse::Data { data: data.clone(), stat: *stat };
+                if let Some((data, stat)) = self.cache.get_data(path) {
+                    return ZkResponse::Data { data, stat };
                 }
-                self.stats.misses += 1;
                 // Go to the service with a watch so mutation anywhere
                 // invalidates this entry.
                 let resp =
                     self.inner.request(ZkRequest::GetData { path: path.clone(), watch: true });
                 if let ZkResponse::Data { ref data, stat } = resp {
-                    self.insert(path.clone(), data.clone(), stat);
+                    self.cache.put_data(path, data.clone(), stat);
                 }
                 resp
             }
@@ -152,7 +110,7 @@ impl<C: CoordService> CoordService for CachingCoord<C> {
             ZkRequest::Create { ref path, .. }
             | ZkRequest::Delete { ref path, .. }
             | ZkRequest::SetData { ref path, .. } => {
-                self.invalidate_local(path);
+                self.cache.invalidate_local(path);
                 self.inner.request(req)
             }
             ZkRequest::Multi { ref ops } => {
@@ -176,6 +134,7 @@ impl<C: CoordService> CoordService for CachingCoord<C> {
 mod tests {
     use super::*;
     use crate::services::SoloCoord;
+    use bytes::Bytes;
     use dufs_zkstore::CreateMode;
 
     fn setup() -> CachingCoord<SoloCoord> {
@@ -205,6 +164,11 @@ mod tests {
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 4);
         assert!(s.hit_rate() > 0.7);
+        // The sim level has no transport: lease/barrier counters stay 0.
+        assert_eq!(s.lease_renewals, 0);
+        assert_eq!(s.barriers_skipped, 0);
+        assert_eq!(s.barriers_coalesced, 0);
+        assert_eq!(s.reconnect_invalidations, 0);
     }
 
     #[test]
@@ -306,5 +270,33 @@ mod tests {
         fs.rename("/d/f", "/d/g").unwrap();
         assert_eq!(fs.stat("/d/f").unwrap_err(), crate::error::DufsError::NoEnt);
         assert_eq!(fs.stat("/d/g").unwrap().size, 6);
+    }
+
+    /// Digest parity: running the same mutation workload over a cached and
+    /// an uncached connection must leave identical namespaces, and cached
+    /// reads must return exactly what the uncached service returns.
+    #[test]
+    fn cached_and_uncached_reads_agree() {
+        let mut cached = CachingCoord::new(SoloCoord::new());
+        let mut plain = SoloCoord::new();
+        let paths: Vec<String> = (0..32).map(|i| format!("/p{}", i % 8)).collect();
+        for (i, p) in paths.iter().enumerate() {
+            let data = Bytes::from(format!("v{i}").into_bytes());
+            let create = ZkRequest::Create {
+                path: p.clone(),
+                data: data.clone(),
+                mode: CreateMode::Persistent,
+            };
+            let set = ZkRequest::SetData { path: p.clone(), data, version: None };
+            cached.request(create.clone());
+            plain.request(create);
+            cached.request(set.clone());
+            plain.request(set);
+            // Interleave reads so the cache is live during the churn.
+            let a = cached.request(ZkRequest::GetData { path: p.clone(), watch: false });
+            let b = plain.request(ZkRequest::GetData { path: p.clone(), watch: false });
+            assert_eq!(a, b, "cached read diverged at {p}");
+        }
+        assert!(cached.stats().local_invalidations > 0);
     }
 }

@@ -21,6 +21,10 @@
 //!                      round-robin across every member (default leader)
 //!   --consistency <local|sync|linear>  live read recency (default sync:
 //!                      read-your-writes via a ZAB no-op barrier)
+//!   --cache            wrap every live session in the dufs-cache client
+//!                      cache (leases on); prints a CACHE STATS line
+//!   --no-lease         with --cache: disable staleness leases (strict
+//!                      PR 5 barrier semantics around the cache)
 //! ```
 //!
 //! Live mode runs the same deterministic op streams against an actual
@@ -37,9 +41,13 @@
 
 use std::time::{Duration, Instant};
 
+use dufs_cache::{CacheOptions, CacheStats};
 use dufs_coord::runtime::ServerStatus;
 use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency};
-use dufs_mdtest::live::{run_live, run_live_sharded, LivePhase};
+use dufs_mdtest::live::{
+    aggregate_cache_stats, run_live, run_live_cached, run_live_sharded, run_live_sharded_cached,
+    LivePhase,
+};
 use dufs_mdtest::scenario::{
     run_mdtest_report, CoordCrash, CoordOutage, MdtestConfig, MdtestSystem,
 };
@@ -51,7 +59,8 @@ fn usage() -> ! {
          [--procs N] [--items N] [--zk N] [--shards N] [--backends N] \
          [--shared-dir] [--seed N] [--crash srv:at_ms:down_ms] [--durable] \
          [--crash-all at_ms:down_ms] [--live thread|tcp] [--net-stats] \
-         [--read-from leader|spread] [--consistency local|sync|linear]"
+         [--read-from leader|spread] [--consistency local|sync|linear] \
+         [--cache] [--no-lease]"
     );
     std::process::exit(2);
 }
@@ -80,6 +89,34 @@ fn print_live(phases: &[LivePhase]) {
     }
 }
 
+/// One-line cache/lease counter summary over all sessions (the cache
+/// analogue of the NET STATS block).
+fn print_cache_stats(sessions: usize, s: &CacheStats) {
+    println!(
+        "\nCACHE STATS ({sessions} sessions): hits {} misses {} (hit rate {:.1}%) | \
+         invalidations: watch {} local {} reconnect {} | \
+         leases: renewals {} barriers skipped {} coalesced {}",
+        s.hits,
+        s.misses,
+        s.hit_rate() * 100.0,
+        s.watch_invalidations,
+        s.local_invalidations,
+        s.reconnect_invalidations,
+        s.lease_renewals,
+        s.barriers_skipped,
+        s.barriers_coalesced,
+    );
+}
+
+/// How live sessions attach to the ensemble: placement, read recency,
+/// and the optional client-cache wrap.
+#[derive(Clone, Copy)]
+struct Sessions {
+    spread: bool,
+    consistency: ReadConsistency,
+    cache: Option<CacheOptions>,
+}
+
 /// Live mode: the same WorkloadSpec op streams against a real ensemble.
 /// Create/stat phases only, so the final digest covers a populated tree.
 fn run_live_mode(
@@ -88,9 +125,9 @@ fn run_live_mode(
     zk: usize,
     durable: bool,
     net_stats: bool,
-    spread: bool,
-    consistency: ReadConsistency,
+    sess: Sessions,
 ) {
+    let Sessions { spread, consistency, cache } = sess;
     let spec = WorkloadSpec {
         phases: vec![Phase::DirCreate, Phase::DirStat, Phase::FileCreate, Phase::FileStat],
         ..spec
@@ -111,9 +148,26 @@ fn run_live_mode(
                 ClientOptions::at(if spread { p % zk } else { leader })
                     .with_consistency(consistency)
             };
-            let (phases, _) =
-                run_live(&spec, |p| tc.client(opts_for(p)).expect("session"), |_| {}, strict_stats);
-            print_live(&phases);
+            if let Some(co) = cache {
+                let (phases, clients) = run_live_cached(
+                    &spec,
+                    |p| tc.client(opts_for(p)).expect("session"),
+                    |_| {},
+                    strict_stats,
+                    co,
+                );
+                let stats: Vec<CacheStats> = clients.iter().map(|c| c.stats()).collect();
+                print_live(&phases);
+                print_cache_stats(clients.len(), &aggregate_cache_stats(&stats));
+            } else {
+                let (phases, _) = run_live(
+                    &spec,
+                    |p| tc.client(opts_for(p)).expect("session"),
+                    |_| {},
+                    strict_stats,
+                );
+                print_live(&phases);
+            }
             let s = converged_digest(|i| tc.status(i), zk);
             println!(
                 "\nfinal namespace: {} znodes, replicated digest {:#018x}",
@@ -133,13 +187,31 @@ fn run_live_mode(
                     .with_failover()
                     .with_consistency(consistency)
             };
-            let (phases, clients) = run_live(
-                &spec,
-                |p| cluster.client(opts_for(p)).expect("session"),
-                |_| {},
-                strict_stats,
-            );
-            print_live(&phases);
+            // Per-session transport snapshots for the NET STATS block,
+            // whichever wrapper served the run.
+            let client_net: Vec<_>;
+            if let Some(co) = cache {
+                let (phases, clients) = run_live_cached(
+                    &spec,
+                    |p| cluster.client(opts_for(p)).expect("session"),
+                    |_| {},
+                    strict_stats,
+                    co,
+                );
+                let stats: Vec<CacheStats> = clients.iter().map(|c| c.stats()).collect();
+                print_live(&phases);
+                print_cache_stats(clients.len(), &aggregate_cache_stats(&stats));
+                client_net = clients.iter().map(|c| c.inner().transport().stats()).collect();
+            } else {
+                let (phases, clients) = run_live(
+                    &spec,
+                    |p| cluster.client(opts_for(p)).expect("session"),
+                    |_| {},
+                    strict_stats,
+                );
+                print_live(&phases);
+                client_net = clients.iter().map(|c| c.transport().stats()).collect();
+            }
             let s = converged_digest(|i| cluster.status(i), zk);
             println!(
                 "\nfinal namespace: {} znodes, replicated digest {:#018x}",
@@ -154,11 +226,11 @@ fn run_live_mode(
                     println!("   server {i}: {s}");
                     total.absorb(&s);
                 }
-                let mut client_total = clients[0].transport().stats();
-                for c in &clients[1..] {
-                    client_total.absorb(&c.transport().stats());
+                let mut client_total = client_net[0];
+                for s in &client_net[1..] {
+                    client_total.absorb(s);
                 }
-                println!("   clients ({}): {client_total}", clients.len());
+                println!("   clients ({}): {client_total}", client_net.len());
                 total.absorb(&client_total);
                 println!("   TOTAL: {total}");
             }
@@ -181,9 +253,9 @@ fn run_live_sharded_mode(
     zk: usize,
     shards: usize,
     durable: bool,
-    spread: bool,
-    consistency: ReadConsistency,
+    sess: Sessions,
 ) {
+    let Sessions { spread, consistency, cache } = sess;
     let spec = WorkloadSpec {
         phases: vec![Phase::DirCreate, Phase::DirStat, Phase::FileCreate, Phase::FileStat],
         ..spec
@@ -195,40 +267,51 @@ fn run_live_sharded_mode(
             .with_failover()
             .with_consistency(consistency)
     };
+    // One shard-cluster run, cached or not, returning the logical digest
+    // (macro: the thread/tcp cluster types differ).
+    macro_rules! sharded_run {
+        ($cluster:expr) => {{
+            let cluster = $cluster;
+            let digest = if let Some(co) = cache {
+                let (phases, mut clients) = run_live_sharded_cached(
+                    &spec,
+                    |p| cluster.client_with(opts_for(p)).expect("session"),
+                    |_| {},
+                    strict_stats,
+                    co,
+                );
+                let stats: Vec<CacheStats> = clients.iter().map(|c| c.stats()).collect();
+                print_live(&phases);
+                print_cache_stats(clients.len(), &aggregate_cache_stats(&stats));
+                clients[0].user_digest().expect("digest")
+            } else {
+                let (phases, mut clients) = run_live_sharded(
+                    &spec,
+                    |p| cluster.client_with(opts_for(p)).expect("session"),
+                    |_| {},
+                    strict_stats,
+                );
+                print_live(&phases);
+                clients[0].user_digest().expect("digest")
+            };
+            cluster.shutdown();
+            digest
+        }};
+    }
     let digest = match mode {
         "thread" => {
             let mut b = ClusterBuilder::new().voters(zk).shards(shards);
             if durable {
                 b = b.durable(&wal_dir);
             }
-            let cluster = b.sharded_threads();
-            let (phases, mut clients) = run_live_sharded(
-                &spec,
-                |p| cluster.client_with(opts_for(p)).expect("session"),
-                |_| {},
-                strict_stats,
-            );
-            print_live(&phases);
-            let digest = clients[0].user_digest().expect("digest");
-            cluster.shutdown();
-            digest
+            sharded_run!(b.sharded_threads())
         }
         "tcp" => {
             let mut b = ClusterBuilder::new().voters(zk).shards(shards);
             if durable {
                 b = b.durable(&wal_dir);
             }
-            let cluster = b.sharded_tcp();
-            let (phases, mut clients) = run_live_sharded(
-                &spec,
-                |p| cluster.client_with(opts_for(p)).expect("session"),
-                |_| {},
-                strict_stats,
-            );
-            print_live(&phases);
-            let digest = clients[0].user_digest().expect("digest");
-            cluster.shutdown();
-            digest
+            sharded_run!(b.sharded_tcp())
         }
         other => {
             eprintln!("--live must be 'thread' or 'tcp', got {other:?}");
@@ -255,6 +338,8 @@ fn main() {
     let mut net_stats = false;
     let mut read_from = "leader".to_string();
     let mut consistency = ReadConsistency::SyncThenLocal;
+    let mut cache = false;
+    let mut no_lease = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -295,6 +380,8 @@ fn main() {
             }
             "--live" => live = Some(next(&mut i)),
             "--net-stats" => net_stats = true,
+            "--cache" => cache = true,
+            "--no-lease" => no_lease = true,
             "--read-from" => {
                 read_from = next(&mut i);
                 if read_from != "leader" && read_from != "spread" {
@@ -342,6 +429,15 @@ fn main() {
         eprintln!("--net-stats is not wired through sharded live runs yet");
         usage();
     }
+    if cache && live.is_none() {
+        eprintln!("--cache wraps live sessions; it needs --live thread|tcp");
+        usage();
+    }
+    if no_lease && !cache {
+        eprintln!("--no-lease only modifies --cache");
+        usage();
+    }
+    let cache_opts = cache.then_some(CacheOptions { lease: !no_lease, ..CacheOptions::default() });
 
     if let Some(mode) = live {
         if crash.is_some() || crash_all.is_some() {
@@ -365,10 +461,22 @@ fn main() {
                 if durable { " (durable)" } else { "" }
             );
             println!(
-                "   {procs} routed client sessions ({consistency:?} reads), \
-                 {items} items/proc, create/stat phases\n"
+                "   {procs} routed client sessions ({consistency:?} reads{}), \
+                 {items} items/proc, create/stat phases\n",
+                match cache_opts {
+                    Some(co) if co.lease => ", cached+leased",
+                    Some(_) => ", cached",
+                    None => "",
+                }
             );
-            run_live_sharded_mode(&mode, spec, zk, n, durable, read_from == "spread", consistency);
+            run_live_sharded_mode(
+                &mode,
+                spec,
+                zk,
+                n,
+                durable,
+                Sessions { spread: read_from == "spread", consistency, cache: cache_opts },
+            );
             return;
         }
         println!(
@@ -376,10 +484,22 @@ fn main() {
             if durable { " (durable)" } else { "" }
         );
         println!(
-            "   {procs} client sessions at the {read_from} ({consistency:?} reads), \
-             {items} items/proc, create/stat phases\n"
+            "   {procs} client sessions at the {read_from} ({consistency:?} reads{}), \
+             {items} items/proc, create/stat phases\n",
+            match cache_opts {
+                Some(co) if co.lease => ", cached+leased",
+                Some(_) => ", cached",
+                None => "",
+            }
         );
-        run_live_mode(&mode, spec, zk, durable, net_stats, read_from == "spread", consistency);
+        run_live_mode(
+            &mode,
+            spec,
+            zk,
+            durable,
+            net_stats,
+            Sessions { spread: read_from == "spread", consistency, cache: cache_opts },
+        );
         return;
     }
 

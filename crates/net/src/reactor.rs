@@ -111,6 +111,10 @@ impl OutFrame {
     }
 }
 
+/// A caller-installed source of piggyback payloads for otherwise-empty
+/// heartbeat slots (see [`ConnShared::set_idle_source`]).
+pub(crate) type IdleSource = Box<dyn Fn() -> Option<Vec<u8>> + Send>;
+
 /// The owner-facing half of a registered connection: enqueue frames, ask
 /// for closure, observe death. Shared between [`Conn`] handles and the
 /// reactor's connection state.
@@ -119,6 +123,7 @@ pub(crate) struct ConnShared {
     closed: AtomicBool,
     flush_queued: AtomicBool,
     out: Mutex<VecDeque<OutFrame>>,
+    idle_source: Mutex<Option<IdleSource>>,
     reactor: ReactorRef,
 }
 
@@ -126,6 +131,17 @@ impl ConnShared {
     /// Whether the reactor has torn this connection down.
     pub(crate) fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
+    }
+
+    /// Install (or clear) the idle-payload source. When this connection's
+    /// heartbeat interval elapses with nothing sent, the reactor asks the
+    /// source for a payload and sends it as a *real* frame in the empty
+    /// heartbeat's place — free piggyback bandwidth for small periodic
+    /// state (a coordination server rides its lease grants here). `None`
+    /// from the source falls back to the plain empty heartbeat. The source
+    /// runs on the reactor thread and must not block.
+    pub(crate) fn set_idle_source(&self, source: Option<IdleSource>) {
+        *self.idle_source.lock().unwrap() = source;
     }
 
     /// Queue one application frame and nudge the reactor. Fails once the
@@ -242,6 +258,7 @@ pub(crate) fn register(
         closed: AtomicBool::new(false),
         flush_queued: AtomicBool::new(false),
         out: Mutex::new(VecDeque::new()),
+        idle_source: Mutex::new(None),
         reactor: reactor.clone(),
     });
     reactor.send(Cmd::Register(Box::new(Registration {
@@ -463,12 +480,27 @@ impl Reactor {
                 continue;
             }
             if !st.closing && now.duration_since(st.last_tx) >= st.tuning.heartbeat {
-                let hb = frame_head(&[]);
-                st.shared.out.lock().unwrap().push_back(OutFrame {
-                    head: hb,
-                    payload: Vec::new(),
-                    off: 0,
-                });
+                // An otherwise-empty heartbeat slot can carry a payload from
+                // the owner's idle source (lease piggyback): same keepalive
+                // effect on the peer's liveness window, one real frame of
+                // free bandwidth. No payload (or no source) sends the
+                // classic empty heartbeat.
+                let payload = st
+                    .shared
+                    .idle_source
+                    .lock()
+                    .unwrap()
+                    .as_ref()
+                    .and_then(|src| src())
+                    .filter(|p| !p.is_empty());
+                let frame = match payload {
+                    Some(p) => {
+                        st.stats.on_idle_payload();
+                        OutFrame { head: frame_head(&p), payload: p, off: 0 }
+                    }
+                    None => OutFrame { head: frame_head(&[]), payload: Vec::new(), off: 0 },
+                };
+                st.shared.out.lock().unwrap().push_back(frame);
                 flush.push(token);
             }
             // At most ONE miss per tick pass, anchored to now: a miss means

@@ -790,7 +790,17 @@ impl<T: Clone> ZabPeer<T> {
                 }
             }
             Role::Following { .. } | Role::Leading { .. } => {
-                // Tell the asker who leads.
+                // Tell the asker who leads — but only an actual asker
+                // (`established: None`). A notification that itself asserts
+                // an established leader is another settled peer's view, not
+                // a question: answering it makes two settled peers echo
+                // hints at each other forever (fatal when the views
+                // disagree, e.g. a follower cycle with no live leader —
+                // that state must drain via the follower watchdog and a
+                // real election, not via hint ping-pong).
+                if established.is_some() {
+                    return;
+                }
                 out.push(ZabAction::Send {
                     to: from,
                     msg: ZabMsg::Notification {

@@ -71,6 +71,28 @@ if [ "$d_spread" != "$d_thread" ] || [ -z "$d_spread" ]; then
 fi
 echo "    parity OK: $d_spread"
 
+# Sim-level cache-on/off parity (CachingCoord over the sim coordinator):
+# the same mutation workload through a cached and an uncached connection
+# must agree read-for-read and leave identical namespaces. These run in
+# the workspace suite too; named here so the cache parity gate is
+# explicit and fails loudly on its own line.
+echo "==> sim cache parity (dufs-core cache:: tests)"
+cargo test -q --release -p dufs-core cache::
+
+# Client-cache digest parity: the same workload with every session wrapped
+# in the dufs-cache layer (leases on) must land on the identical digest —
+# on the thread runtime leader-pinned, and on TCP with sessions spread
+# across followers (the placement where stale cache entries would actually
+# diverge). A wrong invalidation rule shows up here as a digest mismatch.
+echo "==> mdtest live cache digest parity (--cache, thread + tcp spread)"
+d_cache_thread=$(target/release/mdtest_sim --live thread --procs 4 --items 10 --zk 3 --cache | grep -o 'digest 0x[0-9a-f]*')
+d_cache_tcp=$(target/release/mdtest_sim --live tcp --procs 4 --items 10 --zk 3 --cache --read-from spread --consistency sync | grep -o 'digest 0x[0-9a-f]*')
+if [ "$d_cache_thread" != "$d_thread" ] || [ "$d_cache_tcp" != "$d_thread" ] || [ -z "$d_cache_thread" ]; then
+    echo "FAIL: cached digest mismatch (uncached: ${d_thread:-none}, cached thread: ${d_cache_thread:-none}, cached tcp spread: ${d_cache_tcp:-none})" >&2
+    exit 1
+fi
+echo "    parity OK: $d_cache_thread"
+
 # Sharded mdtest digest parity: the same live workload routed across two
 # independent single-voter ensembles by the consistent-hash ring must
 # build the same user-visible namespace as a 1-shard run (the digest is
@@ -91,9 +113,11 @@ echo "==> bench_shards smoke"
 cargo run --release -q -p dufs-bench --bin bench_shards -- --smoke
 
 # Follower read scale-out benchmark, smoke mode: exercises every
-# (ensemble, placement) cell end to end. The scale-out throughput gate
-# itself only runs at full op counts (`bench_reads` with no flags), where
-# the comparison clears scheduler noise.
+# (ensemble, placement) cell end to end, including the cache axis
+# (cached-cold / cached-warm / cached-warm-nolease; warm cells must record
+# hits). The scale-out and >=2x warm-cache throughput gates only run at
+# full op counts (`bench_reads` with no flags), where the comparisons
+# clear scheduler noise.
 echo "==> bench_reads smoke"
 cargo run --release -q -p dufs-bench --bin bench_reads -- --smoke
 
