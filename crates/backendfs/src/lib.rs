@@ -25,6 +25,7 @@
 //! functional API directly.
 
 pub mod attr;
+pub mod engine;
 pub mod error;
 pub mod namespace;
 pub mod object;
@@ -32,6 +33,7 @@ pub mod pfs;
 pub mod timing;
 
 pub use attr::{FileAttr, FileKind};
+pub use engine::{MemEngine, StorageEngine, StripedStore};
 pub use error::{FsError, FsResult};
 pub use namespace::Namespace;
 pub use object::{ObjectId, ObjectStore};

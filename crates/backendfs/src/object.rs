@@ -6,8 +6,17 @@
 //! `read`/`write` pass through here), the store reports which targets a
 //! given byte range touches so the simulator can charge per-target service
 //! time and model parallel bandwidth.
+//!
+//! Storage itself lives behind the [`StorageEngine`](crate::StorageEngine)
+//! trait: this type is a thin adapter over a
+//! [`StripedStore<MemEngine>`](crate::StripedStore) that adds object-ID
+//! allocation and logical-size tracking (size is metadata — the engines
+//! only know which stripes exist). The durable file-backed engine and the
+//! networked `StoreClient` in `dufs-store` reuse the same striping layer.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use crate::engine::{MemEngine, StripedStore};
 
 /// Error for object-store operations on unknown objects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,11 +42,8 @@ impl std::fmt::Display for ObjectId {
 /// A striped object store with `n_targets` storage targets.
 #[derive(Debug, Clone)]
 pub struct ObjectStore {
-    stripe_size: usize,
-    n_targets: usize,
+    store: StripedStore<MemEngine>,
     next_id: u64,
-    /// Per-target stripe maps: `targets[t][(object, stripe_index)]`.
-    targets: Vec<HashMap<(ObjectId, u64), Vec<u8>>>,
     /// Logical sizes.
     sizes: BTreeMap<ObjectId, u64>,
 }
@@ -45,13 +51,9 @@ pub struct ObjectStore {
 impl ObjectStore {
     /// A store with `n_targets` targets and `stripe_size`-byte stripes.
     pub fn new(n_targets: usize, stripe_size: usize) -> Self {
-        assert!(n_targets >= 1, "need at least one storage target");
-        assert!(stripe_size >= 1, "stripe size must be positive");
         ObjectStore {
-            stripe_size,
-            n_targets,
+            store: StripedStore::in_memory(n_targets, stripe_size),
             next_id: 1,
-            targets: vec![HashMap::new(); n_targets],
             sizes: BTreeMap::new(),
         }
     }
@@ -63,7 +65,7 @@ impl ObjectStore {
 
     /// Number of storage targets.
     pub fn n_targets(&self) -> usize {
-        self.n_targets
+        self.store.n_targets()
     }
 
     /// Allocate a fresh, empty object.
@@ -84,46 +86,19 @@ impl ObjectStore {
         self.sizes.len()
     }
 
-    fn target_of(&self, stripe: u64) -> usize {
-        (stripe % self.n_targets as u64) as usize
-    }
-
     /// The distinct targets a `[offset, offset+len)` range touches
     /// (deduplicated, ascending). Used by the simulator for IO fan-out.
     pub fn targets_for_range(&self, offset: u64, len: usize) -> Vec<usize> {
-        if len == 0 {
-            return Vec::new();
-        }
-        let first = offset / self.stripe_size as u64;
-        let last = (offset + len as u64 - 1) / self.stripe_size as u64;
-        let span = (last - first + 1).min(self.n_targets as u64);
-        let mut out: Vec<usize> = (first..first + span).map(|s| self.target_of(s)).collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.store.targets_for_range(offset, len)
     }
 
     /// Write `data` at `offset`, extending the object as needed. Returns the
-    /// new logical size. `Err(())` if the object does not exist.
+    /// new logical size. `Err` if the object does not exist.
     pub fn write(&mut self, id: ObjectId, offset: u64, data: &[u8]) -> Result<u64, NoSuchObject> {
         if !self.sizes.contains_key(&id) {
             return Err(NoSuchObject);
         }
-        let ss = self.stripe_size as u64;
-        let mut pos = 0usize;
-        while pos < data.len() {
-            let abs = offset + pos as u64;
-            let stripe = abs / ss;
-            let within = (abs % ss) as usize;
-            let take = ((ss as usize) - within).min(data.len() - pos);
-            let t = self.target_of(stripe);
-            let chunk = self.targets[t].entry((id, stripe)).or_default();
-            if chunk.len() < within + take {
-                chunk.resize(within + take, 0);
-            }
-            chunk[within..within + take].copy_from_slice(&data[pos..pos + take]);
-            pos += take;
-        }
+        self.store.write(id.0 as u128, offset, data).expect("mem engine is infallible");
         let new_end = offset + data.len() as u64;
         let size = self.sizes.get_mut(&id).expect("checked");
         if new_end > *size {
@@ -132,35 +107,33 @@ impl ObjectStore {
         Ok(*size)
     }
 
-    /// Read up to `len` bytes at `offset`. Short reads happen at EOF; holes
-    /// read as zeros. `Err(())` if the object does not exist.
-    pub fn read(&self, id: ObjectId, offset: u64, len: usize) -> Result<Vec<u8>, NoSuchObject> {
+    /// Read into the front of `buf`, clamped at EOF. Returns how many bytes
+    /// were filled; holes read as zeros. This is the allocation-free path —
+    /// the caller brings (and reuses) the buffer.
+    pub fn read_into(
+        &mut self,
+        id: ObjectId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<usize, NoSuchObject> {
         let size = *self.sizes.get(&id).ok_or(NoSuchObject)?;
         if offset >= size {
-            return Ok(Vec::new());
+            return Ok(0);
         }
-        let len = len.min((size - offset) as usize);
-        let ss = self.stripe_size as u64;
+        let len = buf.len().min((size - offset) as usize);
+        self.store.read_into(id.0 as u128, offset, &mut buf[..len]).expect("mem engine");
+        Ok(len)
+    }
+
+    /// Read up to `len` bytes at `offset`, allocating the result. Short
+    /// reads happen at EOF; holes read as zeros. Prefer [`Self::read_into`]
+    /// when a reusable buffer is available.
+    pub fn read(&mut self, id: ObjectId, offset: u64, len: usize) -> Result<Vec<u8>, NoSuchObject> {
+        let size = *self.sizes.get(&id).ok_or(NoSuchObject)?;
+        let len = len.min(size.saturating_sub(offset) as usize);
         let mut out = vec![0u8; len];
-        let mut pos = 0usize;
-        while pos < len {
-            let abs = offset + pos as u64;
-            let stripe = abs / ss;
-            let within = (abs % ss) as usize;
-            let take = ((ss as usize) - within).min(len - pos);
-            let t = self.target_of(stripe);
-            if let Some(chunk) = self.targets[t].get(&(id, stripe)) {
-                // The stripe may be shorter than the requested offset when
-                // the logical size extends past sparsely written data
-                // (truncate-up holes): anything beyond the chunk reads as
-                // zeros.
-                if within < chunk.len() {
-                    let have = (chunk.len() - within).min(take);
-                    out[pos..pos + have].copy_from_slice(&chunk[within..within + have]);
-                }
-            }
-            pos += take;
-        }
+        let filled = self.read_into(id, offset, &mut out)?;
+        debug_assert_eq!(filled, len);
         Ok(out)
     }
 
@@ -168,19 +141,7 @@ impl ObjectStore {
     pub fn truncate(&mut self, id: ObjectId, new_size: u64) -> Result<(), NoSuchObject> {
         let size = *self.sizes.get(&id).ok_or(NoSuchObject)?;
         if new_size < size {
-            let ss = self.stripe_size as u64;
-            let keep_stripes = new_size.div_ceil(ss);
-            for t in &mut self.targets {
-                t.retain(|&(oid, stripe), _| oid != id || stripe < keep_stripes);
-            }
-            // Trim the now-final stripe.
-            if !new_size.is_multiple_of(ss) && new_size > 0 {
-                let stripe = new_size / ss;
-                let t = self.target_of(stripe);
-                if let Some(chunk) = self.targets[t].get_mut(&(id, stripe)) {
-                    chunk.truncate((new_size % ss) as usize);
-                }
-            }
+            self.store.truncate_data(id.0 as u128, new_size).expect("mem engine");
         }
         self.sizes.insert(id, new_size);
         Ok(())
@@ -189,15 +150,13 @@ impl ObjectStore {
     /// Delete an object and free its stripes.
     pub fn delete(&mut self, id: ObjectId) -> Result<(), NoSuchObject> {
         self.sizes.remove(&id).ok_or(NoSuchObject)?;
-        for t in &mut self.targets {
-            t.retain(|&(oid, _), _| oid != id);
-        }
+        self.store.delete(id.0 as u128).expect("mem engine");
         Ok(())
     }
 
     /// Bytes stored per target — for load-balance assertions.
     pub fn bytes_per_target(&self) -> Vec<usize> {
-        self.targets.iter().map(|t| t.values().map(Vec::len).sum()).collect()
+        self.store.bytes_per_target()
     }
 }
 
@@ -223,6 +182,19 @@ mod tests {
         assert_eq!(s.read(id, 2, 10).unwrap(), b"c");
         assert_eq!(s.read(id, 3, 10).unwrap(), b"");
         assert_eq!(s.read(id, 100, 10).unwrap(), b"");
+    }
+
+    #[test]
+    fn read_into_reuses_caller_buffer() {
+        let mut s = ObjectStore::new(2, 8);
+        let id = s.create();
+        s.write(id, 0, b"abcdefghij").unwrap();
+        let mut buf = [0xFFu8; 16];
+        assert_eq!(s.read_into(id, 0, &mut buf).unwrap(), 10);
+        assert_eq!(&buf[..10], b"abcdefghij");
+        assert_eq!(s.read_into(id, 4, &mut buf[..3]).unwrap(), 3);
+        assert_eq!(&buf[..3], b"efg");
+        assert_eq!(s.read_into(id, 100, &mut buf).unwrap(), 0);
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //!                      cache (leases on); prints a CACHE STATS line
 //!   --no-lease         with --cache: disable staleness leases (strict
 //!                      PR 5 barrier semantics around the cache)
+//!   --data <bytes>     mixed metadata+data run: every file create also
+//!                      stripes <bytes> of contents across the data
+//!                      targets, every file stat read-back-verifies the
+//!                      per-FID CRC; prints a `data digest` line that is
+//!                      identical across sim / --live thread / --live tcp
+//!   --stripe <bytes>   data stripe size                (default 65536)
+//!   --zipf <theta>     with --data: skew stat-phase re-reads by a
+//!                      Zipf(theta) file-popularity distribution
+//!                      (0 = uniform; 0.8-1.2 = realistic hot files)
 //! ```
 //!
 //! Live mode runs the same deterministic op streams against an actual
@@ -39,11 +48,17 @@
 //!     --system dufs-lustre --procs 128 --items 60 --zk 8 --backends 4
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dufs_backendfs::MemEngine;
 use dufs_cache::{CacheOptions, CacheStats};
 use dufs_coord::runtime::ServerStatus;
 use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency};
+use dufs_mdtest::data::{
+    expected_data_digest, read_back_digest, run_live_data, verify_file, write_all_files, DataSpec,
+    Zipf,
+};
 use dufs_mdtest::live::{
     aggregate_cache_stats, run_live, run_live_cached, run_live_sharded, run_live_sharded_cached,
     LivePhase,
@@ -52,6 +67,8 @@ use dufs_mdtest::scenario::{
     run_mdtest_report, CoordCrash, CoordOutage, MdtestConfig, MdtestSystem,
 };
 use dufs_mdtest::workload::{Phase, WorkloadSpec};
+use dufs_store::{FileEngine, FsyncPolicy, StoreClient, StoreServer};
+use parking_lot::Mutex;
 
 fn usage() -> ! {
     eprintln!(
@@ -60,7 +77,7 @@ fn usage() -> ! {
          [--shared-dir] [--seed N] [--crash srv:at_ms:down_ms] [--durable] \
          [--crash-all at_ms:down_ms] [--live thread|tcp] [--net-stats] \
          [--read-from leader|spread] [--consistency local|sync|linear] \
-         [--cache] [--no-lease]"
+         [--cache] [--no-lease] [--data BYTES] [--stripe BYTES] [--zipf THETA]"
     );
     std::process::exit(2);
 }
@@ -119,13 +136,20 @@ struct Sessions {
 
 /// Live mode: the same WorkloadSpec op streams against a real ensemble.
 /// Create/stat phases only, so the final digest covers a populated tree.
+/// With `data`, every process also drives the striped data path — shared
+/// in-memory targets on the `thread` runtime, real `StoreServer`s over
+/// durable `FileEngine` targets on `tcp` — and the read-back contents
+/// digest is printed and asserted against the spec-derived expectation.
+#[allow(clippy::too_many_arguments)]
 fn run_live_mode(
     mode: &str,
     spec: WorkloadSpec,
     zk: usize,
+    backends: usize,
     durable: bool,
     net_stats: bool,
     sess: Sessions,
+    data: Option<DataSpec>,
 ) {
     let Sessions { spread, consistency, cache } = sess;
     let spec = WorkloadSpec {
@@ -148,7 +172,28 @@ fn run_live_mode(
                 ClientOptions::at(if spread { p % zk } else { leader })
                     .with_consistency(consistency)
             };
-            if let Some(co) = cache {
+            if let Some(d) = data {
+                // Shared in-memory data targets: every process routes
+                // MD5(fid) mod N to the same engines, like live threads
+                // sharing one data-server fleet.
+                let engines: Vec<Arc<Mutex<MemEngine>>> =
+                    (0..backends).map(|_| Arc::new(Mutex::new(MemEngine::new()))).collect();
+                let (phases, digest) = run_live_data(
+                    &spec,
+                    &d,
+                    |p| tc.client(opts_for(p)).expect("session"),
+                    |_| StoreClient::local(&engines, d.stripe),
+                    |_| {},
+                    strict_stats,
+                );
+                print_live(&phases);
+                assert_eq!(
+                    digest,
+                    expected_data_digest(&spec, &d),
+                    "read-back contents digest drifted from the spec-derived value"
+                );
+                println!("\ndata digest {digest:#018x} ({backends} in-memory data targets)");
+            } else if let Some(co) = cache {
                 let (phases, clients) = run_live_cached(
                     &spec,
                     |p| tc.client(opts_for(p)).expect("session"),
@@ -190,7 +235,57 @@ fn run_live_mode(
             // Per-session transport snapshots for the NET STATS block,
             // whichever wrapper served the run.
             let client_net: Vec<_>;
-            if let Some(co) = cache {
+            if let Some(d) = data {
+                // Real data servers: one StoreServer per target over a
+                // durable FileEngine directory, group fsync — the full
+                // frame/demux/group-commit path under mixed load.
+                let data_dirs: Vec<std::path::PathBuf> = (0..backends)
+                    .map(|t| {
+                        let dir = std::env::temp_dir()
+                            .join(format!("dufs-store-live-{}-{t}", std::process::id()));
+                        let _ = std::fs::remove_dir_all(&dir);
+                        dir
+                    })
+                    .collect();
+                let servers: Vec<StoreServer> = data_dirs
+                    .iter()
+                    .enumerate()
+                    .map(|(t, dir)| {
+                        let engine =
+                            FileEngine::open(dir, FsyncPolicy::Group).expect("open target dir");
+                        StoreServer::spawn(
+                            "127.0.0.1:0".parse().unwrap(),
+                            engine,
+                            FsyncPolicy::Group,
+                            t as u64 + 1,
+                        )
+                        .expect("spawn store server")
+                    })
+                    .collect();
+                let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.addr()).collect();
+                let (phases, digest) = run_live_data(
+                    &spec,
+                    &d,
+                    |p| cluster.client(opts_for(p)).expect("session"),
+                    |p| StoreClient::tcp(&addrs, d.stripe, 1000 + p as u64).expect("store session"),
+                    |_| {},
+                    strict_stats,
+                );
+                print_live(&phases);
+                assert_eq!(
+                    digest,
+                    expected_data_digest(&spec, &d),
+                    "read-back contents digest drifted from the spec-derived value"
+                );
+                println!("\ndata digest {digest:#018x} ({backends} store servers, group fsync)");
+                for s in servers {
+                    s.stop();
+                }
+                for dir in &data_dirs {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                client_net = Vec::new();
+            } else if let Some(co) = cache {
                 let (phases, clients) = run_live_cached(
                     &spec,
                     |p| cluster.client(opts_for(p)).expect("session"),
@@ -340,6 +435,9 @@ fn main() {
     let mut consistency = ReadConsistency::SyncThenLocal;
     let mut cache = false;
     let mut no_lease = false;
+    let mut data_bytes: Option<usize> = None;
+    let mut stripe = 65536usize;
+    let mut zipf_theta: Option<f64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -382,6 +480,9 @@ fn main() {
             "--net-stats" => net_stats = true,
             "--cache" => cache = true,
             "--no-lease" => no_lease = true,
+            "--data" => data_bytes = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--stripe" => stripe = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--zipf" => zipf_theta = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
             "--read-from" => {
                 read_from = next(&mut i);
                 if read_from != "leader" && read_from != "spread" {
@@ -437,6 +538,35 @@ fn main() {
         eprintln!("--no-lease only modifies --cache");
         usage();
     }
+    if stripe == 0 {
+        eprintln!("--stripe must be >= 1");
+        usage();
+    }
+    if zipf_theta.is_some() && data_bytes.is_none() {
+        eprintln!("--zipf skews data re-reads; it needs --data");
+        usage();
+    }
+    if zipf_theta.is_some_and(|t| t.is_nan() || t < 0.0) {
+        eprintln!("--zipf theta must be a non-negative number");
+        usage();
+    }
+    if data_bytes.is_some() && shards.is_some() {
+        eprintln!("--data is not wired through sharded runs yet");
+        usage();
+    }
+    if data_bytes.is_some() && cache {
+        eprintln!("--cache caches metadata sessions; it is not wired through --data runs");
+        usage();
+    }
+    if data_bytes.is_some() && net_stats {
+        eprintln!("--net-stats is not wired through --data runs");
+        usage();
+    }
+    if data_bytes.is_some() && live.is_none() && !system.starts_with("dufs") {
+        eprintln!("--data drives the DUFS data path; use a dufs-* system (or --live)");
+        usage();
+    }
+    let data_spec = data_bytes.map(|bytes| DataSpec { bytes, stripe, zipf: zipf_theta });
     let cache_opts = cache.then_some(CacheOptions { lease: !no_lease, ..CacheOptions::default() });
 
     if let Some(mode) = live {
@@ -485,20 +615,31 @@ fn main() {
         );
         println!(
             "   {procs} client sessions at the {read_from} ({consistency:?} reads{}), \
-             {items} items/proc, create/stat phases\n",
+             {items} items/proc, create/stat phases",
             match cache_opts {
                 Some(co) if co.lease => ", cached+leased",
                 Some(_) => ", cached",
                 None => "",
             }
         );
+        if let Some(d) = data_spec {
+            println!(
+                "   mixed data path: {} bytes/file, {} byte stripes over {backends} targets{}",
+                d.bytes,
+                d.stripe,
+                d.zipf.map(|t| format!(", zipf({t}) re-reads")).unwrap_or_default()
+            );
+        }
+        println!();
         run_live_mode(
             &mode,
             spec,
             zk,
+            backends,
             durable,
             net_stats,
             Sessions { spread: read_from == "spread", consistency, cache: cache_opts },
+            data_spec,
         );
         return;
     }
@@ -553,7 +694,7 @@ fn main() {
         durable,
         crash_all_coord: crash_all,
         shards: n_shards,
-        ..MdtestConfig::new(sys, spec, seed)
+        ..MdtestConfig::new(sys, spec.clone(), seed)
     });
 
     println!("SUMMARY rate (of virtual testbed time): (ops/sec)");
@@ -581,6 +722,40 @@ fn main() {
         println!(
             "logical content digest (shard-count independent) {:#018x}",
             report.logical_digest
+        );
+    }
+
+    // Mixed-run data half: drive the same path-derived contents through a
+    // striped client over `backends` in-memory targets, read everything
+    // back, and print the contents digest — the value the live runners
+    // must reproduce byte-for-byte.
+    if let Some(d) = data_spec {
+        let engines: Vec<Arc<Mutex<MemEngine>>> =
+            (0..backends).map(|_| Arc::new(Mutex::new(MemEngine::new()))).collect();
+        let mut store = StoreClient::local(&engines, d.stripe);
+        for p in 0..spec.processes {
+            write_all_files(&mut store, &spec, &d, p);
+        }
+        let digest = read_back_digest(&mut store, &spec, &d);
+        assert_eq!(
+            digest,
+            expected_data_digest(&spec, &d),
+            "read-back contents digest drifted from the spec-derived value"
+        );
+        // Exercise the popularity skew in sim mode too: a zipf-sampled
+        // re-read pass per process, so the knob is live on every path.
+        if let Some(theta) = d.zipf {
+            for p in 0..spec.processes {
+                let files = spec.file_paths(p);
+                let mut z = Zipf::new(files.len(), theta, p as u64 + 1);
+                for _ in 0..files.len() {
+                    verify_file(&mut store, &files[z.sample()], d.bytes);
+                }
+            }
+        }
+        println!(
+            "data digest {digest:#018x} ({} bytes/file over {backends} in-memory data targets)",
+            d.bytes
         );
     }
 }

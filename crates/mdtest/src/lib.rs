@@ -22,6 +22,7 @@
 pub mod clients;
 pub mod controller;
 pub mod costs;
+pub mod data;
 pub mod live;
 pub mod msg;
 pub mod scenario;

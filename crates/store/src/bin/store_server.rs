@@ -1,0 +1,85 @@
+//! Standalone data server: one storage target, one process.
+//!
+//! ```text
+//! store_server --dir /data/target0 --listen 127.0.0.1:0 [--fsync group] [--id 1]
+//! ```
+//!
+//! Prints `READY <addr>` once serving (the kill -9 harness and scripts
+//! parse this line), then runs until killed. Restarting over the same
+//! `--dir` recovers the target: the extent log is replayed past the last
+//! checkpoint and any torn tail from a crash mid-write is discarded.
+
+use std::net::SocketAddr;
+use std::process::exit;
+
+use dufs_store::{FileEngine, FsyncPolicy, StoreServer};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: store_server --dir <target-dir> --listen <addr> \
+         [--fsync per-write|group|none] [--id <n>]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = None;
+    let mut listen = None;
+    let mut fsync = FsyncPolicy::Group;
+    let mut id = 1u64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--dir" => dir = Some(val(&mut i).to_string()),
+            "--listen" => listen = Some(val(&mut i).to_string()),
+            "--fsync" => match val(&mut i).parse() {
+                Ok(p) => fsync = p,
+                Err(e) => {
+                    eprintln!("store_server: {e}");
+                    exit(2);
+                }
+            },
+            "--id" => match val(&mut i).parse() {
+                Ok(n) => id = n,
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(dir), Some(listen)) = (dir, listen) else { usage() };
+    let addr: SocketAddr = match listen.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("store_server: bad --listen address '{listen}'");
+            exit(2);
+        }
+    };
+
+    let engine = match FileEngine::open(&dir, fsync) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("store_server: open {dir}: {e}");
+            exit(1);
+        }
+    };
+    let server = match StoreServer::spawn(addr, engine, fsync, id) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("store_server: bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    println!("READY {}", server.addr());
+
+    // Serve until killed; the harness SIGKILLs us mid-write on purpose.
+    loop {
+        std::thread::park();
+    }
+}

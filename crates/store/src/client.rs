@@ -1,0 +1,439 @@
+//! The client half of the data path.
+//!
+//! [`StoreClient`] turns byte-range I/O on a FID into per-target stripe
+//! requests, the way a Lustre client moves data against OSTs after the MDS
+//! hands it the object layout:
+//!
+//! * **Placement**: `MD5(fid) mod N` (the paper's mapping, via
+//!   [`Md5Mapping`]) picks the FID's *starting* target; stripe `s` then
+//!   lands on `(start + s) mod N` — round-robin exactly like
+//!   `backendfs::ObjectStore`, but rotated per FID so object 0-stripes
+//!   spread over all targets instead of piling onto target 0.
+//! * **Pipelining**: a striped transfer submits every chunk request to
+//!   every target *before* collecting any reply, so all N targets work the
+//!   transfer concurrently; per-target FIFO ordering makes matching
+//!   trivial and is cross-checked by the echoed `seq`.
+//!
+//! Targets are pluggable via [`StoreTarget`]: [`LocalTarget`] applies
+//! requests to a shared in-process engine (simulation, benches),
+//! [`TcpTarget`] speaks `StoreMsg` frames to a `store_server` process.
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+use dufs_backendfs::StorageEngine;
+use dufs_core::{BackendMapper, Fid, Md5Mapping};
+use dufs_net::{connect, Conn, EndpointKind, Hello, NetConfig, NetError, NetStats, Wire};
+use parking_lot::Mutex;
+
+use crate::msg::{StoreRep, StoreReq};
+use crate::server::apply_req;
+
+/// How long a [`TcpTarget`] waits for a reply before declaring the server
+/// gone. Generous: a group-commit batch under fsync pressure is slow, a
+/// dead server is detected by the transport long before this.
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Data-path client error.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Transport failure (server dead, connection torn).
+    Net(NetError),
+    /// The server answered [`StoreRep::Err`].
+    Remote(String),
+    /// A reply that violates the protocol (bad decode, seq mismatch).
+    Protocol(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Net(e) => write!(f, "store transport: {e}"),
+            StoreError::Remote(m) => write!(f, "store server error: {m}"),
+            StoreError::Protocol(m) => write!(f, "store protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<NetError> for StoreError {
+    fn from(e: NetError) -> Self {
+        StoreError::Net(e)
+    }
+}
+
+/// One storage target from the client's point of view: submit requests,
+/// collect replies in the same order.
+pub trait StoreTarget: Send {
+    /// Queue a request; must not block on the reply.
+    fn submit(&mut self, req: StoreReq) -> Result<(), StoreError>;
+    /// Next reply, FIFO with respect to submitted requests.
+    fn recv(&mut self) -> Result<StoreRep, StoreError>;
+}
+
+/// An in-process target over a shared engine. The mutex makes one target
+/// one unit of parallelism — exactly the contention profile a per-target
+/// server process has — so benches over [`LocalTarget`]s measure real
+/// fan-out.
+pub struct LocalTarget<E> {
+    engine: Arc<Mutex<E>>,
+    pending: VecDeque<StoreRep>,
+}
+
+impl<E: StorageEngine> LocalTarget<E> {
+    /// A target applying requests to `engine`.
+    pub fn new(engine: Arc<Mutex<E>>) -> Self {
+        LocalTarget { engine, pending: VecDeque::new() }
+    }
+}
+
+impl<E: StorageEngine> StoreTarget for LocalTarget<E> {
+    fn submit(&mut self, req: StoreReq) -> Result<(), StoreError> {
+        let rep = apply_req(&mut *self.engine.lock(), &req);
+        self.pending.push_back(rep);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<StoreRep, StoreError> {
+        self.pending
+            .pop_front()
+            .ok_or_else(|| StoreError::Protocol("recv with no request outstanding".into()))
+    }
+}
+
+/// A networked target: one pipelined `dufs-net` connection to a
+/// `store_server` process.
+pub struct TcpTarget {
+    conn: Conn,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl TcpTarget {
+    /// Dial a store server. `id` identifies this client in the handshake.
+    pub fn connect(addr: SocketAddr, id: u64) -> Result<Self, StoreError> {
+        let (conn, rx) = connect(
+            addr,
+            Hello { kind: EndpointKind::Client, id },
+            &NetConfig::default(),
+            &NetStats::default(),
+        )?;
+        Ok(TcpTarget { conn, rx })
+    }
+}
+
+impl StoreTarget for TcpTarget {
+    fn submit(&mut self, req: StoreReq) -> Result<(), StoreError> {
+        Ok(self.conn.send(req.to_wire())?)
+    }
+
+    fn recv(&mut self) -> Result<StoreRep, StoreError> {
+        let raw = self.rx.recv_timeout(RECV_TIMEOUT).map_err(|_| NetError::Closed)?;
+        StoreRep::from_wire(&raw).map_err(|e| StoreError::Protocol(e.to_string()))
+    }
+}
+
+/// Striping data-path client over `N` targets.
+pub struct StoreClient {
+    targets: Vec<Box<dyn StoreTarget>>,
+    stripe_size: usize,
+    mapping: Md5Mapping,
+    seq: u64,
+}
+
+impl StoreClient {
+    /// A client striping `stripe_size`-byte stripes over `targets`.
+    pub fn new(targets: Vec<Box<dyn StoreTarget>>, stripe_size: usize) -> Self {
+        assert!(!targets.is_empty(), "need at least one target");
+        assert!(stripe_size >= 1, "stripe size must be positive");
+        let n = targets.len();
+        StoreClient { targets, stripe_size, mapping: Md5Mapping::new(n), seq: 0 }
+    }
+
+    /// A client over in-process engines (they may be shared with other
+    /// clients — per-target mutexes arbitrate).
+    pub fn local<E: StorageEngine + 'static>(
+        engines: &[Arc<Mutex<E>>],
+        stripe_size: usize,
+    ) -> Self {
+        let targets = engines
+            .iter()
+            .map(|e| Box::new(LocalTarget::new(Arc::clone(e))) as Box<dyn StoreTarget>)
+            .collect();
+        Self::new(targets, stripe_size)
+    }
+
+    /// A client dialing one `store_server` per address.
+    pub fn tcp(addrs: &[SocketAddr], stripe_size: usize, id: u64) -> Result<Self, StoreError> {
+        let targets = addrs
+            .iter()
+            .map(|&a| Ok(Box::new(TcpTarget::connect(a, id)?) as Box<dyn StoreTarget>))
+            .collect::<Result<Vec<_>, StoreError>>()?;
+        Ok(Self::new(targets, stripe_size))
+    }
+
+    /// Number of storage targets.
+    pub fn n_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The configured stripe size in bytes.
+    pub fn stripe_size(&self) -> usize {
+        self.stripe_size
+    }
+
+    /// Which target stripe `stripe` of `fid` lives on: `MD5(fid) mod N`
+    /// picks the start, stripes walk round-robin from there.
+    pub fn target_of(&self, fid: Fid, stripe: u64) -> usize {
+        let start = self.mapping.backend_of(fid) as u64;
+        ((start + stripe) % self.targets.len() as u64) as usize
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Split `[offset, offset+len)` into per-stripe chunks:
+    /// `(target, stripe, within, range-in-buffer)`.
+    fn chunks(&self, fid: Fid, offset: u64, len: usize) -> Vec<(usize, u64, u32, Range<usize>)> {
+        let ss = self.stripe_size as u64;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = offset + pos as u64;
+            let stripe = abs / ss;
+            let within = (abs % ss) as u32;
+            let take = (self.stripe_size - within as usize).min(len - pos);
+            out.push((self.target_of(fid, stripe), stripe, within, pos..pos + take));
+            pos += take;
+        }
+        out
+    }
+
+    /// Collect one reply per expectation, per target in FIFO order, and
+    /// hand each to `sink`. `expect[t]` holds the seqs submitted to `t`.
+    fn collect(
+        &mut self,
+        expect: Vec<VecDeque<u64>>,
+        mut sink: impl FnMut(u64, StoreRep) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        for (t, mut seqs) in expect.into_iter().enumerate() {
+            while let Some(want) = seqs.pop_front() {
+                let rep = self.targets[t].recv()?;
+                if rep.seq() != want {
+                    return Err(StoreError::Protocol(format!(
+                        "target {t}: got seq {} want {want}",
+                        rep.seq()
+                    )));
+                }
+                if let StoreRep::Err { msg, .. } = rep {
+                    return Err(StoreError::Remote(msg));
+                }
+                sink(want, rep)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Striped write: submit every chunk to its target, then await all
+    /// acks. Under per-write/group fsync, returning `Ok` means durable.
+    pub fn write(&mut self, fid: Fid, offset: u64, data: &[u8]) -> Result<(), StoreError> {
+        let mut expect: Vec<VecDeque<u64>> = vec![VecDeque::new(); self.targets.len()];
+        for (t, stripe, within, range) in self.chunks(fid, offset, data.len()) {
+            let seq = self.next_seq();
+            self.targets[t].submit(StoreReq::Write {
+                seq,
+                obj: fid.0,
+                stripe,
+                within,
+                data: data[range].to_vec(),
+            })?;
+            expect[t].push_back(seq);
+        }
+        self.collect(expect, |_, rep| match rep {
+            StoreRep::Written { .. } => Ok(()),
+            other => Err(StoreError::Protocol(format!("want Written, got {other:?}"))),
+        })
+    }
+
+    /// Striped read into `out` (no allocation beyond reply frames): every
+    /// chunk request is in flight before the first reply is awaited.
+    /// Ranges no target stores come back as zeros; clamping to a file's
+    /// logical size is the metadata layer's job.
+    pub fn read_into(&mut self, fid: Fid, offset: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        let chunks = self.chunks(fid, offset, out.len());
+        let mut expect: Vec<VecDeque<u64>> = vec![VecDeque::new(); self.targets.len()];
+        let mut ranges: Vec<(u64, Range<usize>)> = Vec::with_capacity(chunks.len());
+        for (t, stripe, within, range) in chunks {
+            let seq = self.next_seq();
+            self.targets[t].submit(StoreReq::Read {
+                seq,
+                obj: fid.0,
+                stripe,
+                within,
+                len: range.len() as u32,
+            })?;
+            expect[t].push_back(seq);
+            ranges.push((seq, range));
+        }
+        let mut by_seq: std::collections::HashMap<u64, Range<usize>> = ranges.into_iter().collect();
+        let mut scatter: Vec<(Range<usize>, Vec<u8>)> = Vec::new();
+        self.collect(expect, |seq, rep| {
+            let StoreRep::Data { data, .. } = rep else {
+                return Err(StoreError::Protocol("want Data".into()));
+            };
+            let range = by_seq.remove(&seq).expect("collect checked seq");
+            if data.len() != range.len() {
+                return Err(StoreError::Protocol(format!(
+                    "read reply length {} want {}",
+                    data.len(),
+                    range.len()
+                )));
+            }
+            scatter.push((range, data));
+            Ok(())
+        })?;
+        for (range, data) in scatter {
+            out[range].copy_from_slice(&data);
+        }
+        Ok(())
+    }
+
+    /// The written extent of `fid`: max over targets of the per-target
+    /// EOF. 0 when nothing is stored. (Logical file size lives in the
+    /// metadata service; this is the data-side ground truth.)
+    pub fn written_extent(&mut self, fid: Fid) -> Result<u64, StoreError> {
+        let ss = self.stripe_size as u64;
+        let mut expect: Vec<VecDeque<u64>> = vec![VecDeque::new(); self.targets.len()];
+        for (t, exp) in expect.iter_mut().enumerate() {
+            let seq = self.seq + 1;
+            self.seq = seq;
+            self.targets[t].submit(StoreReq::Stat { seq, obj: fid.0 })?;
+            exp.push_back(seq);
+        }
+        let mut extent = 0u64;
+        self.collect(expect, |_, rep| {
+            let StoreRep::Statted { last_stripe, .. } = rep else {
+                return Err(StoreError::Protocol("want Statted".into()));
+            };
+            if let Some((stripe, len)) = last_stripe {
+                extent = extent.max(stripe * ss + len as u64);
+            }
+            Ok(())
+        })?;
+        Ok(extent)
+    }
+
+    /// Delete `fid`'s data on every target. Returns whether any target
+    /// stored it.
+    pub fn delete(&mut self, fid: Fid) -> Result<bool, StoreError> {
+        let mut expect: Vec<VecDeque<u64>> = vec![VecDeque::new(); self.targets.len()];
+        for (t, exp) in expect.iter_mut().enumerate() {
+            let seq = self.seq + 1;
+            self.seq = seq;
+            self.targets[t].submit(StoreReq::Delete { seq, obj: fid.0 })?;
+            exp.push_back(seq);
+        }
+        let mut existed = false;
+        self.collect(expect, |_, rep| {
+            let StoreRep::Deleted { existed: e, .. } = rep else {
+                return Err(StoreError::Protocol("want Deleted".into()));
+            };
+            existed |= e;
+            Ok(())
+        })?;
+        Ok(existed)
+    }
+
+    /// Durability barrier on every target: when it returns, everything
+    /// previously acked is on stable storage regardless of fsync policy.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        let mut expect: Vec<VecDeque<u64>> = vec![VecDeque::new(); self.targets.len()];
+        for (t, exp) in expect.iter_mut().enumerate() {
+            let seq = self.seq + 1;
+            self.seq = seq;
+            self.targets[t].submit(StoreReq::Sync { seq })?;
+            exp.push_back(seq);
+        }
+        self.collect(expect, |_, rep| match rep {
+            StoreRep::Synced { .. } => Ok(()),
+            other => Err(StoreError::Protocol(format!("want Synced, got {other:?}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufs_backendfs::MemEngine;
+
+    fn mem_client(n: usize, stripe: usize) -> StoreClient {
+        let engines: Vec<Arc<Mutex<MemEngine>>> =
+            (0..n).map(|_| Arc::new(Mutex::new(MemEngine::new()))).collect();
+        StoreClient::local(&engines, stripe)
+    }
+
+    #[test]
+    fn striped_write_read_roundtrip() {
+        let mut c = mem_client(4, 8);
+        let fid = Fid::new(1, 1);
+        let data: Vec<u8> = (0..100u8).collect();
+        c.write(fid, 0, &data).unwrap();
+        let mut back = vec![0u8; 100];
+        c.read_into(fid, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(c.written_extent(fid).unwrap(), 100);
+
+        let mut mid = vec![0u8; 10];
+        c.read_into(fid, 45, &mut mid).unwrap();
+        assert_eq!(mid, &data[45..55]);
+    }
+
+    #[test]
+    fn md5_start_rotates_round_robin() {
+        let c = mem_client(4, 8);
+        let fid = Fid::new(2, 9);
+        let start = c.target_of(fid, 0);
+        for s in 0..8 {
+            assert_eq!(c.target_of(fid, s), (start + s as usize) % 4);
+        }
+        // Different FIDs land on different starting targets eventually.
+        let starts: std::collections::HashSet<usize> =
+            (0..32).map(|i| c.target_of(Fid::new(3, i), 0)).collect();
+        assert!(starts.len() > 1, "MD5 placement should spread starts");
+    }
+
+    #[test]
+    fn holes_read_zero_and_extent_tracks_max() {
+        let mut c = mem_client(3, 16);
+        let fid = Fid::new(1, 2);
+        c.write(fid, 40, b"end").unwrap();
+        let mut buf = vec![0xAA; 43];
+        c.read_into(fid, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..40], &[0u8; 40]);
+        assert_eq!(&buf[40..], b"end");
+        assert_eq!(c.written_extent(fid).unwrap(), 43);
+    }
+
+    #[test]
+    fn delete_spans_targets() {
+        let mut c = mem_client(2, 4);
+        let fid = Fid::new(1, 3);
+        c.write(fid, 0, &[5u8; 64]).unwrap();
+        assert!(c.delete(fid).unwrap());
+        assert!(!c.delete(fid).unwrap());
+        assert_eq!(c.written_extent(fid).unwrap(), 0);
+    }
+
+    #[test]
+    fn sync_reaches_all_targets() {
+        let mut c = mem_client(3, 8);
+        c.write(Fid::new(1, 4), 0, b"x").unwrap();
+        c.sync().unwrap();
+    }
+}

@@ -1,0 +1,321 @@
+//! `StoreMsg` wire codecs — the request/reply vocabulary between
+//! [`StoreClient`](crate::StoreClient) and a store server, carried as
+//! `dufs-net` frame payloads.
+//!
+//! Every request carries a client-chosen `seq`; replies echo it. Requests
+//! on one connection are answered in order (the server applies a drained
+//! batch FIFO), so `seq` is a cross-check rather than a matching
+//! necessity — a mismatch means a protocol bug and fails loudly.
+
+use dufs_net::{put_blob, put_str, Wire, WireCursor, WireError};
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u128(buf: &mut Vec<u8>, v: u128) {
+    put_u64(buf, (v >> 64) as u64);
+    put_u64(buf, v as u64);
+}
+fn get_u128(c: &mut WireCursor<'_>) -> Result<u128, WireError> {
+    let hi = c.u64()? as u128;
+    let lo = c.u64()? as u128;
+    Ok((hi << 64) | lo)
+}
+
+/// A request to one storage target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreReq {
+    /// Store `data` at byte `within` of stripe `stripe` of object `obj`.
+    Write {
+        /// Client-chosen sequence number, echoed in the reply.
+        seq: u64,
+        /// Object (FID) the stripe belongs to.
+        obj: u128,
+        /// Global stripe index.
+        stripe: u64,
+        /// Byte offset inside the stripe chunk.
+        within: u32,
+        /// The bytes to store.
+        data: Vec<u8>,
+    },
+    /// Read `len` bytes at byte `within` of stripe `stripe` of `obj`.
+    Read {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Object (FID).
+        obj: u128,
+        /// Global stripe index.
+        stripe: u64,
+        /// Byte offset inside the stripe chunk.
+        within: u32,
+        /// Bytes to return (zero-filled where nothing is stored).
+        len: u32,
+    },
+    /// Report the highest stored stripe of `obj` on this target.
+    Stat {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Object (FID).
+        obj: u128,
+    },
+    /// Drop every stripe of `obj` on this target.
+    Delete {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Object (FID).
+        obj: u128,
+    },
+    /// Durability barrier: force everything acked so far to stable
+    /// storage (the explicit barrier under
+    /// [`FsyncPolicy::None`](crate::FsyncPolicy::None)).
+    Sync {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+}
+
+impl StoreReq {
+    /// The request's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            StoreReq::Write { seq, .. }
+            | StoreReq::Read { seq, .. }
+            | StoreReq::Stat { seq, .. }
+            | StoreReq::Delete { seq, .. }
+            | StoreReq::Sync { seq } => *seq,
+        }
+    }
+
+    /// Whether this request mutates the target (needs the group-commit
+    /// sync before its ack under
+    /// [`FsyncPolicy::Group`](crate::FsyncPolicy::Group)).
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, StoreReq::Write { .. } | StoreReq::Delete { .. })
+    }
+}
+
+/// A target's reply. Ordering matches the request order on the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreRep {
+    /// Write applied (and durable, under per-write/group fsync).
+    Written {
+        /// Echo of the request `seq`.
+        seq: u64,
+    },
+    /// Read result: exactly the requested length, zero-filled where the
+    /// target stores nothing.
+    Data {
+        /// Echo of the request `seq`.
+        seq: u64,
+        /// The bytes.
+        data: Vec<u8>,
+    },
+    /// Stat result.
+    Statted {
+        /// Echo of the request `seq`.
+        seq: u64,
+        /// Highest stored stripe and that chunk's length, if any.
+        last_stripe: Option<(u64, u32)>,
+    },
+    /// Delete applied.
+    Deleted {
+        /// Echo of the request `seq`.
+        seq: u64,
+        /// Whether the target stored anything for the object.
+        existed: bool,
+    },
+    /// Sync barrier reached: all prior acks are durable.
+    Synced {
+        /// Echo of the request `seq`.
+        seq: u64,
+    },
+    /// The request failed server-side (I/O error); message is diagnostic.
+    Err {
+        /// Echo of the request `seq`.
+        seq: u64,
+        /// Human-readable cause.
+        msg: String,
+    },
+}
+
+impl StoreRep {
+    /// The reply's echoed sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            StoreRep::Written { seq }
+            | StoreRep::Data { seq, .. }
+            | StoreRep::Statted { seq, .. }
+            | StoreRep::Deleted { seq, .. }
+            | StoreRep::Synced { seq }
+            | StoreRep::Err { seq, .. } => *seq,
+        }
+    }
+}
+
+impl Wire for StoreReq {
+    fn wire_encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            StoreReq::Write { seq, obj, stripe, within, data } => {
+                buf.push(1);
+                put_u64(buf, *seq);
+                put_u128(buf, *obj);
+                put_u64(buf, *stripe);
+                put_u32(buf, *within);
+                put_blob(buf, data);
+            }
+            StoreReq::Read { seq, obj, stripe, within, len } => {
+                buf.push(2);
+                put_u64(buf, *seq);
+                put_u128(buf, *obj);
+                put_u64(buf, *stripe);
+                put_u32(buf, *within);
+                put_u32(buf, *len);
+            }
+            StoreReq::Stat { seq, obj } => {
+                buf.push(3);
+                put_u64(buf, *seq);
+                put_u128(buf, *obj);
+            }
+            StoreReq::Delete { seq, obj } => {
+                buf.push(4);
+                put_u64(buf, *seq);
+                put_u128(buf, *obj);
+            }
+            StoreReq::Sync { seq } => {
+                buf.push(5);
+                put_u64(buf, *seq);
+            }
+        }
+    }
+
+    fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, WireError> {
+        Ok(match c.u8()? {
+            1 => StoreReq::Write {
+                seq: c.u64()?,
+                obj: get_u128(c)?,
+                stripe: c.u64()?,
+                within: c.u32()?,
+                data: c.blob()?.to_vec(),
+            },
+            2 => StoreReq::Read {
+                seq: c.u64()?,
+                obj: get_u128(c)?,
+                stripe: c.u64()?,
+                within: c.u32()?,
+                len: c.u32()?,
+            },
+            3 => StoreReq::Stat { seq: c.u64()?, obj: get_u128(c)? },
+            4 => StoreReq::Delete { seq: c.u64()?, obj: get_u128(c)? },
+            5 => StoreReq::Sync { seq: c.u64()? },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for StoreRep {
+    fn wire_encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            StoreRep::Written { seq } => {
+                buf.push(1);
+                put_u64(buf, *seq);
+            }
+            StoreRep::Data { seq, data } => {
+                buf.push(2);
+                put_u64(buf, *seq);
+                put_blob(buf, data);
+            }
+            StoreRep::Statted { seq, last_stripe } => {
+                buf.push(3);
+                put_u64(buf, *seq);
+                match last_stripe {
+                    Some((stripe, len)) => {
+                        buf.push(1);
+                        put_u64(buf, *stripe);
+                        put_u32(buf, *len);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            StoreRep::Deleted { seq, existed } => {
+                buf.push(4);
+                put_u64(buf, *seq);
+                buf.push(u8::from(*existed));
+            }
+            StoreRep::Synced { seq } => {
+                buf.push(5);
+                put_u64(buf, *seq);
+            }
+            StoreRep::Err { seq, msg } => {
+                buf.push(6);
+                put_u64(buf, *seq);
+                put_str(buf, msg);
+            }
+        }
+    }
+
+    fn wire_decode(c: &mut WireCursor<'_>) -> Result<Self, WireError> {
+        Ok(match c.u8()? {
+            1 => StoreRep::Written { seq: c.u64()? },
+            2 => StoreRep::Data { seq: c.u64()?, data: c.blob()?.to_vec() },
+            3 => StoreRep::Statted {
+                seq: c.u64()?,
+                last_stripe: if c.bool()? { Some((c.u64()?, c.u32()?)) } else { None },
+            },
+            4 => StoreRep::Deleted { seq: c.u64()?, existed: c.bool()? },
+            5 => StoreRep::Synced { seq: c.u64()? },
+            6 => StoreRep::Err { seq: c.u64()?, msg: c.str()? },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(m: StoreReq) {
+        assert_eq!(StoreReq::from_wire(&m.to_wire()).unwrap(), m);
+    }
+    fn round_trip_rep(m: StoreRep) {
+        assert_eq!(StoreRep::from_wire(&m.to_wire()).unwrap(), m);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(StoreReq::Write {
+            seq: 9,
+            obj: u128::MAX - 7,
+            stripe: 42,
+            within: 100,
+            data: vec![1, 2, 3],
+        });
+        round_trip_req(StoreReq::Read { seq: 0, obj: 1, stripe: 0, within: 0, len: 65536 });
+        round_trip_req(StoreReq::Stat { seq: 3, obj: 0 });
+        round_trip_req(StoreReq::Delete { seq: 4, obj: 77 });
+        round_trip_req(StoreReq::Sync { seq: u64::MAX });
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip_rep(StoreRep::Written { seq: 1 });
+        round_trip_rep(StoreRep::Data { seq: 2, data: vec![0; 100] });
+        round_trip_rep(StoreRep::Statted { seq: 3, last_stripe: Some((7, 1 << 20)) });
+        round_trip_rep(StoreRep::Statted { seq: 3, last_stripe: None });
+        round_trip_rep(StoreRep::Deleted { seq: 4, existed: true });
+        round_trip_rep(StoreRep::Synced { seq: 5 });
+        round_trip_rep(StoreRep::Err { seq: 6, msg: "disk on fire".into() });
+    }
+
+    #[test]
+    fn truncated_and_trailing_fail_loudly() {
+        let raw = StoreReq::Stat { seq: 3, obj: 12 }.to_wire();
+        assert!(StoreReq::from_wire(&raw[..raw.len() - 1]).is_err());
+        let mut long = raw.clone();
+        long.push(0);
+        assert!(StoreReq::from_wire(&long).is_err());
+        assert!(StoreRep::from_wire(&[99]).is_err());
+    }
+}

@@ -106,6 +106,41 @@ if [ "$d_two" != "$d_one" ] || [ -z "$d_one" ]; then
 fi
 echo "    parity OK: $d_one"
 
+# Data-path gate: the release store suite runs the torn-write/stripe-
+# layout proptests, the TCP e2e, and the out-of-process data-server
+# kill -9 harness (SIGKILL a store_server mid-write, restart over the
+# same target directory, every acked write must read back with its CRC
+# intact). Target directories live under $TMPDIR; clean them up even
+# when a step fails.
+trap 'rm -rf "${TMPDIR:-/tmp}"/dufs-store-* "${TMPDIR:-/tmp}"/dufs-bench-data-*' EXIT
+echo "==> cargo build --release -p dufs-store --bin store_server"
+cargo build --release -p dufs-store --bin store_server
+echo "==> cargo test -q --release -p dufs-store (incl. kill9_store)"
+cargo test -q --release -p dufs-store
+
+# Mixed metadata+data digest parity: with --data every file create also
+# stripes path-derived contents across the data targets and every stat
+# read-back-verifies the per-FID CRC. The read-back contents digest must
+# be identical on the simulated path (in-memory targets), the thread
+# runtime (shared in-memory targets), and real TCP store servers over
+# durable file-backed targets with group fsync.
+echo "==> mdtest mixed data digest parity (sim vs thread vs tcp)"
+dd_args="--procs 4 --items 8 --zk 3 --backends 3 --data 700 --stripe 256 --zipf 0.9"
+dd_sim=$(target/release/mdtest_sim $dd_args | grep -o 'data digest 0x[0-9a-f]*')
+dd_thread=$(target/release/mdtest_sim --live thread $dd_args | grep -o 'data digest 0x[0-9a-f]*')
+dd_tcp=$(target/release/mdtest_sim --live tcp $dd_args | grep -o 'data digest 0x[0-9a-f]*')
+if [ "$dd_sim" != "$dd_thread" ] || [ "$dd_sim" != "$dd_tcp" ] || [ -z "$dd_sim" ]; then
+    echo "FAIL: mixed data digest mismatch (sim: ${dd_sim:-none}, thread: ${dd_thread:-none}, tcp: ${dd_tcp:-none})" >&2
+    exit 1
+fi
+echo "    parity OK: $dd_sim"
+
+# Data-path bandwidth gate, smoke mode: parallel reads over file-backed
+# targets must scale >= 2x from 1 to 4 targets (asserted inside the
+# binary; the full sweep also writes results/BENCH_data.json).
+echo "==> bench_data smoke (1->4 target read scaling gate)"
+cargo run --release -q -p dufs-bench --bin bench_data -- --smoke
+
 # Namespace-sharding sweep, smoke mode: 1-vs-2-shard simulated runs must
 # agree on the logical namespace and run error-free. The scaling gate
 # itself only runs at full op counts (`FULL=1 bench_shards`).
