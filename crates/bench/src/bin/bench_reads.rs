@@ -25,8 +25,8 @@
 //! exactly the serialization the paper's read scale-out argument removes.
 //!
 //! A second sweep measures the **cache axis** (`dufs-cache`): the same
-//! follower-local placement with every reader session wrapped in a
-//! [`CachedClient`] —
+//! follower-local placement with every reader session built through
+//! [`CacheBuilder`] —
 //!
 //! * **cached-cold** — each reader touches every preloaded path once, so
 //!   every read is a miss (cache overhead: watch install + lease license);
@@ -34,7 +34,13 @@
 //!   pass every read is a hit licensed by a staleness lease (server is only
 //!   contacted to renew the grant once per ttl);
 //! * **cached-warm-nolease** — leases off: hits trust watch freshness on
-//!   the unchanged connection (PR 5 trigger semantics).
+//!   the unchanged connection (PR 5 trigger semantics);
+//! * **shared-warm** — all readers attach to ONE process-shared cache,
+//!   bulk-warmed by a single READDIRPLUS round trip before the clock
+//!   starts: the whole pool reads off entries one session installed;
+//! * **negative-hit** — readers hammer paths that do not exist: the first
+//!   `NoNode` per path per TTL is a server round trip, everything after
+//!   is served from the negative store.
 //!
 //! The cache gate: at 5 servers, cached-warm must move >= 2x the
 //! follower-local (uncached) reads. Emits `results/BENCH_cache.json`.
@@ -50,9 +56,9 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use dufs_bench::{fmt_ops, full_scale, Table};
-use dufs_cache::{CacheOptions, CacheStats, CachedClient};
+use dufs_cache::{CacheBuilder, CacheStats};
 use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency, Watch, ZkRequest};
-use dufs_zkstore::CreateMode;
+use dufs_zkstore::{CreateMode, ZkError};
 
 const READERS: usize = 8;
 const WRITERS: usize = 2;
@@ -171,19 +177,33 @@ fn run_mode(
     Cell { servers, mode, ops, ops_per_sec: ops as f64 / elapsed, cache: CacheStats::default() }
 }
 
+/// One cell of the cache axis.
+#[derive(Clone, Copy)]
+struct CacheVariant {
+    mode: &'static str,
+    builder: CacheBuilder,
+    /// Each reader touches every path exactly once (all misses).
+    cold: bool,
+    /// All readers attach to one process-shared cache, bulk-warmed by a
+    /// single `warm_children` round trip before the clock starts.
+    shared: bool,
+    /// Readers hammer paths that do not exist (negative-entry store).
+    negative: bool,
+}
+
 /// The cache-axis variant of [`run_mode`]: follower-local placement, every
-/// reader wrapped in a [`CachedClient`]. `cold` reads each preloaded path
-/// exactly once per reader (all misses); warm reads round-robin like the
-/// uncached modes, so everything after the first pass is a hit.
+/// reader wrapped in the `dufs-cache` layer — private per session or
+/// attached to one shared store, per the variant.
 fn run_cached_mode(
     cluster: &dufs_coord::TcpCluster,
     servers: usize,
     leader: usize,
-    variant: (&'static str, CacheOptions, bool),
+    variant: CacheVariant,
     paths: &[String],
     ops_per_reader: usize,
 ) -> Cell {
-    let (mode, opts, cold) = variant;
+    let CacheVariant { mode, builder, cold, shared, negative } = variant;
+    let store = shared.then(|| builder.shared());
     let mut sessions: Vec<_> = (0..READERS)
         .map(|i| {
             let raw = cluster
@@ -191,11 +211,24 @@ fn run_cached_mode(
                     ClientOptions::at(i % servers).with_consistency(ReadConsistency::SyncThenLocal),
                 )
                 .expect("reader session");
-            let mut c = CachedClient::new(raw, opts);
+            let mut c = match &store {
+                Some(s) => s.session(raw),
+                None => builder.session(raw),
+            };
             c.sync().expect("barrier");
             c
         })
         .collect();
+
+    if shared {
+        // One READDIRPLUS round trip stocks the store for the whole pool.
+        sessions[0].warm_children("/read").expect("bulk warm");
+    }
+    let paths: Vec<String> = if negative {
+        (0..PRELOAD).map(|i| format!("/read/missing{i:03}")).collect()
+    } else {
+        paths.to_vec()
+    };
 
     let churn = start_churn(cluster, leader, mode);
 
@@ -205,11 +238,15 @@ fn run_cached_mode(
         .drain(..)
         .enumerate()
         .map(|(i, mut c)| {
-            let paths: Vec<String> = paths.to_vec();
+            let paths: Vec<String> = paths.clone();
             std::thread::spawn(move || {
                 for k in 0..per_reader {
                     let p = &paths[(i + k) % paths.len()];
-                    c.get_data(p).expect("read");
+                    match c.get_data(p) {
+                        Ok(_) => assert!(!negative, "phantom znode {p}"),
+                        Err(ZkError::NoNode) if negative => {}
+                        Err(e) => panic!("read {p}: {e:?}"),
+                    }
                 }
                 c
             })
@@ -293,13 +330,16 @@ fn write_cache_json(
         let _ = write!(
             j,
             "    {{\"servers\": {}, \"mode\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.1}, \
-             \"hits\": {}, \"misses\": {}, \"lease_renewals\": {}, \"barriers_skipped\": {}}}",
+             \"hits\": {}, \"misses\": {}, \"negative_hits\": {}, \"bulk_warms\": {}, \
+             \"lease_renewals\": {}, \"barriers_skipped\": {}}}",
             c.servers,
             c.mode,
             c.ops,
             c.ops_per_sec,
             c.cache.hits,
             c.cache.misses,
+            c.cache.negative_hits,
+            c.cache.bulk_warms,
             c.cache.lease_renewals,
             c.cache.barriers_skipped
         );
@@ -365,11 +405,28 @@ fn main() {
     // Cache axis: same follower-local spread, readers wrapped in the
     // dufs-cache layer. The uncached follower-local rows above double as
     // the baseline, so only the cached modes boot fresh ensembles here.
-    let lease_off = CacheOptions { lease: false, ..CacheOptions::default() };
-    let cache_modes: [(&'static str, CacheOptions, bool); 3] = [
-        ("cached-cold", CacheOptions::default(), true),
-        ("cached-warm", CacheOptions::default(), false),
-        ("cached-warm-nolease", lease_off, false),
+    let v = |mode, builder, cold, shared, negative| CacheVariant {
+        mode,
+        builder,
+        cold,
+        shared,
+        negative,
+    };
+    let cache_modes: [CacheVariant; 5] = [
+        v("cached-cold", CacheBuilder::new(), true, false, false),
+        v("cached-warm", CacheBuilder::new(), false, false, false),
+        v("cached-warm-nolease", CacheBuilder::new().lease(false), false, false, false),
+        // The trust window for foreign-installed entries must outlive the
+        // read window, or the pool re-fetches mid-run and the cell stops
+        // measuring shared serving.
+        v(
+            "shared-warm",
+            CacheBuilder::new().shared_max_age(std::time::Duration::from_secs(120)),
+            false,
+            true,
+            false,
+        ),
+        v("negative-hit", CacheBuilder::new(), false, false, true),
     ];
     let mut cache_cells = Vec::new();
     for &n in &ensembles {
@@ -427,6 +484,11 @@ fn main() {
         cache_gain5,
         cpick(5, "cached-warm").cache.hit_rate() * 100.0
     );
+    // The aggregate counters of the new cells, through the one shared
+    // CacheStats formatter (same line mdtest_sim prints).
+    for mode in ["shared-warm", "negative-hit"] {
+        println!("{mode} @ 5 servers: {}", cpick(5, mode).cache);
+    }
 
     if smoke {
         // Smoke is CI's plumbing check: every placement must complete reads
@@ -451,6 +513,23 @@ fn main() {
                 .filter(|c| c.mode.starts_with("cached-warm"))
                 .all(|c| c.cache.hits > 0),
             "smoke: warm cached modes recorded no hits"
+        );
+        // The shared store must have been stocked by the one bulk warm and
+        // then actually served the pool...
+        assert!(
+            cache_cells
+                .iter()
+                .filter(|c| c.mode == "shared-warm")
+                .all(|c| c.cache.bulk_warms >= 1 && c.cache.hits > 0),
+            "smoke: shared-warm cells never warmed or never hit"
+        );
+        // ...and repeated reads of absent paths must ride negative entries.
+        assert!(
+            cache_cells
+                .iter()
+                .filter(|c| c.mode == "negative-hit")
+                .all(|c| c.cache.negative_hits > 0),
+            "smoke: negative-hit cells recorded no negative hits"
         );
         println!("smoke OK (scale-out + cache gates run at full op counts)");
     } else {

@@ -48,24 +48,136 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use dufs_coord::runtime::{ClientTransport, ZkClient};
+use dufs_coord::sharded::ShardedClient;
 use dufs_coord::{LeaseGrant, ReadConsistency, Watch};
 use dufs_zkstore::{CreateMode, MultiOp, MultiResult, Stat, ZkError};
 
-use crate::{CacheStats, MetaCache};
+use crate::meta::Lookup;
+use crate::shared::{CacheRef, SharedCache, DEFAULT_SHARED_MAX_AGE};
+use crate::{CacheStats, CachedShardedClient, MetaCache};
 
-/// Cache construction knobs.
+/// Cache construction knobs — one shape for private and shared caches.
+/// Prefer building through [`CacheBuilder`], which also mints the shared
+/// handle; the struct stays public (and `..Default::default()`-friendly)
+/// for call sites that configure a field or two inline.
 #[derive(Debug, Clone, Copy)]
 pub struct CacheOptions {
-    /// Maximum cached entries before a full flush.
+    /// Maximum cached entries before a full flush (spread across lock
+    /// shards for a shared cache).
     pub capacity: usize,
     /// Adopt staleness leases to skip `SyncThenLocal` barriers. Off, the
     /// wrapper still caches but barriers exactly like PR 5's client.
     pub lease: bool,
+    /// How long a cached absence (`exists == None`, `NoNode` on
+    /// `get_data`) may be served. `NoNode` installs no watch, so negative
+    /// entries are time-bounded for every reader and evicted early by any
+    /// observed mutation on the path or under its parent.
+    pub negative_ttl: Duration,
+    /// How long a shared-cache entry installed by *another* session may be
+    /// served (the installing session's watches do not arrive on this
+    /// session's transport). Irrelevant for a private cache.
+    pub shared_max_age: Duration,
 }
 
 impl Default for CacheOptions {
     fn default() -> Self {
-        CacheOptions { capacity: MetaCache::DEFAULT_CAPACITY, lease: true }
+        CacheOptions {
+            capacity: MetaCache::DEFAULT_CAPACITY,
+            lease: true,
+            negative_ttl: MetaCache::DEFAULT_NEGATIVE_TTL,
+            shared_max_age: DEFAULT_SHARED_MAX_AGE,
+        }
+    }
+}
+
+/// The one construction path for cached sessions — private or shared,
+/// plain or sharded:
+///
+/// ```ignore
+/// // One process-wide cache, many sessions:
+/// let shared = CacheBuilder::new().capacity(32_768).shared();
+/// let mut a = shared.session(cluster.client(opts)?);
+/// let mut b = shared.session(cluster.client(opts)?);
+///
+/// // A private per-session cache (PR 8 shape):
+/// let mut c = CacheBuilder::new().lease(false).session(cluster.client(opts)?);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheBuilder {
+    opts: CacheOptions,
+}
+
+impl CacheBuilder {
+    /// Builder with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maximum cached entries before a full flush.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.opts.capacity = capacity;
+        self
+    }
+
+    /// Enable or disable staleness-lease licensing.
+    pub fn lease(mut self, lease: bool) -> Self {
+        self.opts.lease = lease;
+        self
+    }
+
+    /// TTL for cached absences.
+    pub fn negative_ttl(mut self, ttl: Duration) -> Self {
+        self.opts.negative_ttl = ttl;
+        self
+    }
+
+    /// Trust window for entries installed by other sessions of a shared
+    /// cache.
+    pub fn shared_max_age(mut self, age: Duration) -> Self {
+        self.opts.shared_max_age = age;
+        self
+    }
+
+    /// The assembled options (for call sites that still take
+    /// [`CacheOptions`] directly).
+    pub fn options(self) -> CacheOptions {
+        self.opts
+    }
+
+    /// Mint a process-wide shared cache; attach sessions to it with
+    /// [`SharedCache::session`] / [`SharedCache::session_sharded`].
+    pub fn shared(self) -> SharedCache {
+        SharedCache::from_options(self.opts)
+    }
+
+    /// A cached session over a private cache.
+    pub fn session<T: ClientTransport>(self, inner: ZkClient<T>) -> CachedClient<T> {
+        CachedClient::new(inner, self.opts)
+    }
+
+    /// A cached sharded session over a private cache.
+    pub fn session_sharded<T: ClientTransport>(
+        self,
+        inner: ShardedClient<T>,
+    ) -> CachedShardedClient<T> {
+        CachedShardedClient::new(inner, self.opts)
+    }
+}
+
+impl SharedCache {
+    /// Attach a live session to this shared cache. The session licenses
+    /// its own hits (lease or barrier, per the builder's options), so the
+    /// staleness bound holds per reader even though the store is shared.
+    pub fn session<T: ClientTransport>(&self, inner: ZkClient<T>) -> CachedClient<T> {
+        CachedClient::attached(inner, CacheRef::attach(self), self.opts)
+    }
+
+    /// Attach a live sharded session to this shared cache.
+    pub fn session_sharded<T: ClientTransport>(
+        &self,
+        inner: ShardedClient<T>,
+    ) -> CachedShardedClient<T> {
+        CachedShardedClient::attached(inner, CacheRef::attach(self), self.opts)
     }
 }
 
@@ -101,7 +213,7 @@ impl LeaseState {
 /// methods mirror the inner client's.
 pub struct CachedClient<T: ClientTransport> {
     inner: ZkClient<T>,
-    cache: MetaCache,
+    cache: CacheRef,
     desired: ReadConsistency,
     use_lease: bool,
     lease: Option<LeaseState>,
@@ -117,7 +229,14 @@ impl<T: ClientTransport> CachedClient<T> {
     /// inner client is downgraded to `Local` so the wrapper owns barriers
     /// (unless `Linearizable`, which bypasses the cache and keeps the
     /// inner client's sync-every-read behaviour).
-    pub fn new(mut inner: ZkClient<T>, opts: CacheOptions) -> Self {
+    pub fn new(inner: ZkClient<T>, opts: CacheOptions) -> Self {
+        let cache = CacheRef::private(&opts);
+        Self::attached(inner, cache, opts)
+    }
+
+    /// Wrap a session around an already-built cache view (private or a
+    /// [`SharedCache`] attachment — see [`SharedCache::session`]).
+    pub(crate) fn attached(mut inner: ZkClient<T>, cache: CacheRef, opts: CacheOptions) -> Self {
         let desired = inner.consistency();
         if desired != ReadConsistency::Linearizable {
             inner.set_consistency(ReadConsistency::Local);
@@ -125,7 +244,7 @@ impl<T: ClientTransport> CachedClient<T> {
         let rc = inner.reconnects();
         CachedClient {
             inner,
-            cache: MetaCache::with_capacity(opts.capacity),
+            cache,
             desired,
             use_lease: opts.lease,
             lease: None,
@@ -191,8 +310,10 @@ impl<T: ClientTransport> CachedClient<T> {
             self.license_hit()?;
             self.maintain();
         }
-        if let Some(hit) = self.cache.get_data(path) {
-            return Ok(hit);
+        match self.cache.lookup_data(path) {
+            Lookup::Hit(hit) => return Ok(hit),
+            Lookup::Negative => return Err(ZkError::NoNode),
+            Lookup::Miss => {}
         }
         self.ensure_fresh()?;
         let rc = self.inner.reconnects();
@@ -203,8 +324,14 @@ impl<T: ClientTransport> CachedClient<T> {
                 }
                 Ok((data, stat))
             }
-            // NoNode leaves no watch behind on a get, so absence is only
-            // cacheable via `exists`.
+            // NoNode leaves no watch behind on a get, so the absence is
+            // cached as a TTL-bounded negative entry.
+            Err(ZkError::NoNode) => {
+                if self.inner.reconnects() == rc {
+                    self.cache.put_negative(path);
+                }
+                Err(ZkError::NoNode)
+            }
             Err(e) => Err(e),
         }
     }
@@ -220,13 +347,18 @@ impl<T: ClientTransport> CachedClient<T> {
             self.license_hit()?;
             self.maintain();
         }
-        if let Some(hit) = self.cache.get_exists(path) {
-            return Ok(hit);
+        match self.cache.lookup_exists(path) {
+            Lookup::Hit(stat) => return Ok(Some(stat)),
+            Lookup::Negative => return Ok(None),
+            Lookup::Miss => {}
         }
         self.ensure_fresh()?;
         let rc = self.inner.reconnects();
         let stat = self.inner.exists(path, Watch::Set)?;
         if self.inner.reconnects() == rc {
+            // Absence lands in the negative store: still evicted by the
+            // existence watch the read left behind, but TTL-bounded like
+            // every negative so shared readers age it out too.
             self.cache.put_exists(path, stat);
         }
         Ok(stat)
@@ -262,6 +394,34 @@ impl<T: ClientTransport> CachedClient<T> {
             self.ensure_fresh()?;
         }
         self.inner.get_children_data(path)
+    }
+
+    /// READDIRPLUS bulk warm: one round trip returns the listing with
+    /// every child's data and stat and leaves one-shot watches behind
+    /// (child watch on the parent, data watch on each child) — then the
+    /// whole result is installed into the cache, so subsequent
+    /// `get_children`/`get_data`/`exists` calls on the directory and its
+    /// children are hits. Replaces the N+1 list-then-get warm loop.
+    pub fn warm_children(&mut self, path: &str) -> Result<Vec<(String, Bytes, Stat)>, ZkError> {
+        if self.desired == ReadConsistency::Linearizable {
+            // Linearizable sessions bypass the cache; serve the listing
+            // without installing anything.
+            return self.inner.get_children_data(path);
+        }
+        self.maintain();
+        self.ensure_fresh()?;
+        let rc = self.inner.reconnects();
+        let (entries, stat) = self.inner.warm_children(path)?;
+        if self.inner.reconnects() == rc {
+            let names: Vec<String> = entries.iter().map(|(n, _, _)| n.clone()).collect();
+            self.cache.put_children(path, names, stat);
+            for (name, data, cstat) in &entries {
+                let child = if path == "/" { format!("/{name}") } else { format!("{path}/{name}") };
+                self.cache.put_data(&child, data.clone(), *cstat);
+            }
+            self.cache.stats_mut().bulk_warms += 1;
+        }
+        Ok(entries)
     }
 
     // ------------------------------------------------------------ mutations

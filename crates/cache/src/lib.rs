@@ -27,7 +27,7 @@
 //! proposal ([`dufs_coord::runtime::ZkClient::sync_coalesced`]).
 //!
 //! The crate has three faces over one cache + stats core ([`MetaCache`],
-//! [`CacheStats`]):
+//! [`CacheStats`], and the process-shared [`shared::SharedMetaCache`]):
 //!
 //! * [`CachedClient`] — wraps a live [`dufs_coord::runtime::ZkClient`]
 //!   (thread or TCP transport);
@@ -36,11 +36,20 @@
 //! * `dufs-core`'s `CachingCoord` reuses [`MetaCache`]/[`CacheStats`] at
 //!   the simulation level, so sim and live cache behaviour is
 //!   digest-comparable and reports one stats shape.
+//!
+//! Construction goes through [`CacheBuilder`]: `.session(client)` for the
+//! classic private per-session cache, `.shared()` for a process-wide
+//! [`SharedCache`] handle that many sessions attach to (see
+//! [`shared`] for the ownership/staleness argument). Negative entries
+//! (cached absences with a TTL) and the one-round-trip
+//! [`CachedClient::warm_children`] bulk warm ride on both shapes.
 
 pub mod client;
 pub mod meta;
 pub mod sharded;
+pub mod shared;
 
-pub use client::{CacheOptions, CachedClient};
+pub use client::{CacheBuilder, CacheOptions, CachedClient};
 pub use meta::{CacheStats, MetaCache};
 pub use sharded::CachedShardedClient;
+pub use shared::SharedCache;

@@ -4,9 +4,12 @@
 //! behaviour stays digest-comparable.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
+use dufs_coord::server::LEASE_MS;
 use dufs_coord::WatchNotification;
 use dufs_zkstore::Stat;
 
@@ -32,6 +35,15 @@ pub struct CacheStats {
     pub barriers_skipped: u64,
     /// Barriers that rode another session's in-flight no-op proposal.
     pub barriers_coalesced: u64,
+    /// Reads answered from a cached *absence* (`NoNode` without a round
+    /// trip). Every negative hit is also counted in `hits`.
+    pub negative_hits: u64,
+    /// Negative entries dropped because their TTL lapsed (the read that
+    /// found them expired is counted in `misses`).
+    pub negative_expiries: u64,
+    /// READDIRPLUS bulk warms issued (one round trip installing a whole
+    /// listing plus its watches).
+    pub bulk_warms: u64,
 }
 
 impl CacheStats {
@@ -55,12 +67,41 @@ impl CacheStats {
         self.lease_renewals += o.lease_renewals;
         self.barriers_skipped += o.barriers_skipped;
         self.barriers_coalesced += o.barriers_coalesced;
+        self.negative_hits += o.negative_hits;
+        self.negative_expiries += o.negative_expiries;
+        self.bulk_warms += o.bulk_warms;
+    }
+}
+
+/// One line with every counter — the single format `mdtest_sim`'s
+/// `CACHE STATS` report and `bench_reads` both print, so cache numbers
+/// read identically across harnesses.
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits {} misses {} (hit rate {:.1}%) | negative: hits {} expiries {} | \
+             invalidations: watch {} local {} reconnect {} | \
+             leases: renewals {} barriers skipped {} coalesced {} | bulk warms {}",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.negative_hits,
+            self.negative_expiries,
+            self.watch_invalidations,
+            self.local_invalidations,
+            self.reconnect_invalidations,
+            self.lease_renewals,
+            self.barriers_skipped,
+            self.barriers_coalesced,
+            self.bulk_warms,
+        )
     }
 }
 
 /// Parent directory of a znode path (`/a/b` → `/a`, `/a` → `/`); `None`
 /// for the root itself.
-fn parent(path: &str) -> Option<&str> {
+pub(crate) fn parent(path: &str) -> Option<&str> {
     if path == "/" {
         return None;
     }
@@ -88,18 +129,56 @@ fn parent(path: &str) -> Option<&str> {
 ///   not replay them;
 /// * inserting past `capacity` flushes the whole cache (correct — only
 ///   cached reads are dropped — and adequate for metadata working sets).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetaCache {
     data: HashMap<String, (Bytes, Stat)>,
     exists: HashMap<String, Option<Stat>>,
     children: HashMap<String, (Vec<String>, Stat)>,
+    /// Cached absences (`NoNode` on `get_data`), each stamped at install
+    /// time. A `NoNode` read leaves no watch behind, so unlike the three
+    /// positive kinds these entries are *time*-bounded: valid only for
+    /// [`MetaCache::negative_ttl`], and additionally evicted the moment any
+    /// mutation is observed on the path or under its parent.
+    neg: HashMap<String, Instant>,
     capacity: usize,
+    negative_ttl: Duration,
     stats: CacheStats,
 }
 
+impl Default for MetaCache {
+    fn default() -> Self {
+        MetaCache {
+            data: HashMap::new(),
+            exists: HashMap::new(),
+            children: HashMap::new(),
+            neg: HashMap::new(),
+            capacity: Self::DEFAULT_CAPACITY,
+            negative_ttl: Self::DEFAULT_NEGATIVE_TTL,
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+/// Outcome of a counting lookup that may be served by a negative entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup<T> {
+    /// A cached positive result.
+    Hit(T),
+    /// A valid cached absence: answer `NoNode` with no round trip.
+    Negative,
+    /// Nothing cached (an expired negative entry counts here, after being
+    /// dropped): go to the coordination service.
+    Miss,
+}
+
 impl MetaCache {
-    /// Default capacity (total entries across the three kinds).
+    /// Default capacity (total entries across all kinds).
     pub const DEFAULT_CAPACITY: usize = 16_384;
+
+    /// Default negative-entry TTL: the lease quantum. An unexpired lease
+    /// already licenses reads up to this staleness, so a cached absence no
+    /// older than it adds no new staleness class.
+    pub const DEFAULT_NEGATIVE_TTL: Duration = Duration::from_millis(LEASE_MS);
 
     /// Empty cache with the default capacity.
     pub fn new() -> Self {
@@ -110,6 +189,12 @@ impl MetaCache {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity >= 1);
         MetaCache { capacity, ..Default::default() }
+    }
+
+    /// Set the negative-entry TTL (builder-style).
+    pub fn with_negative_ttl(mut self, ttl: Duration) -> Self {
+        self.negative_ttl = ttl;
+        self
     }
 
     /// Counters so far.
@@ -123,9 +208,9 @@ impl MetaCache {
         &mut self.stats
     }
 
-    /// Total cached entries.
+    /// Total cached entries (negative entries included).
     pub fn len(&self) -> usize {
-        self.data.len() + self.exists.len() + self.children.len()
+        self.data.len() + self.exists.len() + self.children.len() + self.neg.len()
     }
 
     /// Whether nothing is cached.
@@ -181,9 +266,52 @@ impl MetaCache {
         }
     }
 
+    /// Counting `get_data` lookup that also consults the negative store:
+    /// a valid cached absence answers [`Lookup::Negative`] (counted as a
+    /// hit *and* a negative hit); an expired one is dropped and counted as
+    /// a miss plus a negative expiry.
+    pub fn lookup_data(&mut self, path: &str) -> Lookup<(Bytes, Stat)> {
+        if let Some(hit) = self.data.get(path).cloned() {
+            self.stats.hits += 1;
+            return Lookup::Hit(hit);
+        }
+        match self.neg.get(path) {
+            Some(at) if at.elapsed() < self.negative_ttl => {
+                self.stats.hits += 1;
+                self.stats.negative_hits += 1;
+                Lookup::Negative
+            }
+            Some(_) => {
+                self.neg.remove(path);
+                self.stats.negative_expiries += 1;
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+            None => {
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Whether a valid (unexpired) negative entry covers `path`. Counts
+    /// nothing — the licensing peek for absences.
+    pub fn has_negative(&self, path: &str) -> bool {
+        matches!(self.neg.get(path), Some(at) if at.elapsed() < self.negative_ttl)
+    }
+
+    /// Cache an observed absence (`NoNode`), valid for the negative TTL.
+    pub fn put_negative(&mut self, path: &str) {
+        self.make_room();
+        self.data.remove(path);
+        self.exists.remove(path);
+        self.neg.insert(path.into(), Instant::now());
+    }
+
     /// Install a `get_data` result (read issued with a watch).
     pub fn put_data(&mut self, path: &str, data: Bytes, stat: Stat) {
         self.make_room();
+        self.neg.remove(path);
         self.data.insert(path.into(), (data, stat));
         self.exists.insert(path.into(), Some(stat));
     }
@@ -192,6 +320,9 @@ impl MetaCache {
     /// cacheable because the existence watch fires on creation).
     pub fn put_exists(&mut self, path: &str, stat: Option<Stat>) {
         self.make_room();
+        if stat.is_some() {
+            self.neg.remove(path);
+        }
         self.exists.insert(path.into(), stat);
     }
 
@@ -206,6 +337,7 @@ impl MetaCache {
             self.data.clear();
             self.exists.clear();
             self.children.clear();
+            self.neg.clear();
         }
     }
 
@@ -213,10 +345,18 @@ impl MetaCache {
         let mut any = self.data.remove(path).is_some();
         any |= self.exists.remove(path).is_some();
         any |= self.children.remove(path).is_some();
+        any |= self.neg.remove(path).is_some();
         if let Some(dir) = parent(path) {
             any |= self.children.remove(dir).is_some();
         }
-        any
+        // Any observed mutation of `path` may be a create under it (a
+        // children-changed watch fires on the parent): drop every cached
+        // absence directly below it, so negative entries never outlive an
+        // *observed* create the way they are allowed to outlive an
+        // unobserved one.
+        let before = self.neg.len();
+        self.neg.retain(|p, _| parent(p) != Some(path));
+        any | (self.neg.len() != before)
     }
 
     /// Apply a server watch notification. The event kind is not consulted:
@@ -245,6 +385,7 @@ impl MetaCache {
         self.data.clear();
         self.exists.clear();
         self.children.clear();
+        self.neg.clear();
     }
 }
 
@@ -337,6 +478,9 @@ mod tests {
             lease_renewals: 4,
             barriers_skipped: 5,
             barriers_coalesced: 6,
+            negative_hits: 7,
+            negative_expiries: 8,
+            bulk_warms: 9,
         };
         a.absorb(&b);
         assert_eq!(a.hits, 11);
@@ -347,5 +491,54 @@ mod tests {
         assert_eq!(a.lease_renewals, 4);
         assert_eq!(a.barriers_skipped, 5);
         assert_eq!(a.barriers_coalesced, 6);
+        assert_eq!(a.negative_hits, 7);
+        assert_eq!(a.negative_expiries, 8);
+        assert_eq!(a.bulk_warms, 9);
+    }
+
+    #[test]
+    fn negative_entries_hit_then_expire() {
+        let mut c = MetaCache::new().with_negative_ttl(Duration::from_millis(40));
+        assert_eq!(c.lookup_data("/gone"), Lookup::Miss);
+        c.put_negative("/gone");
+        assert!(c.has_negative("/gone"));
+        assert_eq!(c.lookup_data("/gone"), Lookup::Negative);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.negative_hits), (1, 1, 1));
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!c.has_negative("/gone"), "TTL lapsed");
+        assert_eq!(c.lookup_data("/gone"), Lookup::Miss);
+        let s = c.stats();
+        assert_eq!(s.negative_expiries, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn observed_create_under_parent_drops_sibling_negatives() {
+        let mut c = MetaCache::new();
+        c.put_negative("/d/missing-a");
+        c.put_negative("/d/missing-b");
+        c.put_negative("/e/other");
+        // A children-changed watch on /d (some create happened under it).
+        c.invalidate_watch(&WatchNotification {
+            path: "/d".into(),
+            event: WatchEventKind::ChildrenChanged,
+        });
+        assert!(!c.has_negative("/d/missing-a"));
+        assert!(!c.has_negative("/d/missing-b"));
+        assert!(c.has_negative("/e/other"), "unrelated negatives survive");
+        assert_eq!(c.stats().watch_invalidations, 1);
+    }
+
+    #[test]
+    fn positive_results_and_own_mutations_override_negatives() {
+        let mut c = MetaCache::new();
+        c.put_negative("/f");
+        c.put_data("/f", Bytes::from_static(b"v"), stat());
+        assert!(!c.has_negative("/f"));
+        assert_eq!(c.lookup_data("/f"), Lookup::Hit((Bytes::from_static(b"v"), stat())));
+        c.put_negative("/g");
+        c.invalidate_local("/g");
+        assert!(!c.has_negative("/g"), "own create evicts the cached absence");
     }
 }

@@ -1,5 +1,5 @@
 //! [`CachedShardedClient`] — the cache and lease protocol over a
-//! [`ShardedClient`] (PR 6's namespace sharding). One [`MetaCache`] spans
+//! [`ShardedClient`] (PR 6's namespace sharding). One cache store spans
 //! all shards (entries are keyed by path; routing decides which shard
 //! validates them), while leases and barrier state are **per shard** — a
 //! lease speaks only for the replica that granted it.
@@ -25,7 +25,9 @@ use dufs_coord::{ReadConsistency, Watch};
 use dufs_zkstore::{MultiOp, Stat, ZkError};
 
 use crate::client::{CacheOptions, LeaseState};
-use crate::{CacheStats, MetaCache};
+use crate::meta::Lookup;
+use crate::shared::CacheRef;
+use crate::CacheStats;
 
 /// Per-shard lease/barrier bookkeeping.
 #[derive(Debug, Default, Clone, Copy)]
@@ -40,7 +42,7 @@ struct ShardFresh {
 /// A [`ShardedClient`] with the client-side metadata cache in front of it.
 pub struct CachedShardedClient<T: ClientTransport> {
     inner: ShardedClient<T>,
-    cache: MetaCache,
+    cache: CacheRef,
     desired: ReadConsistency,
     use_lease: bool,
     shards: HashMap<usize, ShardFresh>,
@@ -50,7 +52,18 @@ pub struct CachedShardedClient<T: ClientTransport> {
 impl<T: ClientTransport> CachedShardedClient<T> {
     /// Wrap a connected sharded session; see [`crate::CachedClient::new`]
     /// for the consistency-ownership contract.
-    pub fn new(mut inner: ShardedClient<T>, opts: CacheOptions) -> Self {
+    pub fn new(inner: ShardedClient<T>, opts: CacheOptions) -> Self {
+        let cache = CacheRef::private(&opts);
+        Self::attached(inner, cache, opts)
+    }
+
+    /// Wrap a sharded session around an already-built cache view (see
+    /// [`crate::SharedCache::session_sharded`]).
+    pub(crate) fn attached(
+        mut inner: ShardedClient<T>,
+        cache: CacheRef,
+        opts: CacheOptions,
+    ) -> Self {
         let desired = inner.shard_client(0).consistency();
         if desired != ReadConsistency::Linearizable {
             inner.set_consistency(ReadConsistency::Local);
@@ -61,14 +74,7 @@ impl<T: ClientTransport> CachedShardedClient<T> {
             shards.insert(s, ShardFresh { lease: None, barrier_rc: rc, cache_rc: rc });
         }
         let ring_epoch = inner.epoch();
-        CachedShardedClient {
-            inner,
-            cache: MetaCache::with_capacity(opts.capacity),
-            desired,
-            use_lease: opts.lease,
-            shards,
-            ring_epoch,
-        }
+        CachedShardedClient { inner, cache, desired, use_lease: opts.lease, shards, ring_epoch }
     }
 
     /// Counters (cache + lease + barrier, summed over shards).
@@ -114,16 +120,28 @@ impl<T: ClientTransport> CachedShardedClient<T> {
             self.maintain();
             self.check_shard(s);
         }
-        if let Some(hit) = self.cache.get_data(path) {
-            return Ok(hit);
+        match self.cache.lookup_data(path) {
+            Lookup::Hit(hit) => return Ok(hit),
+            Lookup::Negative => return Err(ZkError::NoNode),
+            Lookup::Miss => {}
         }
         self.ensure_fresh(s)?;
         let rc = self.inner.shard_client(s).reconnects();
-        let (data, stat) = self.inner.shard_client(s).get_data(path, Watch::Set)?;
-        if self.inner.shard_client(s).reconnects() == rc {
-            self.cache.put_data(path, data.clone(), stat);
+        match self.inner.shard_client(s).get_data(path, Watch::Set) {
+            Ok((data, stat)) => {
+                if self.inner.shard_client(s).reconnects() == rc {
+                    self.cache.put_data(path, data.clone(), stat);
+                }
+                Ok((data, stat))
+            }
+            Err(ZkError::NoNode) => {
+                if self.inner.shard_client(s).reconnects() == rc {
+                    self.cache.put_negative(path);
+                }
+                Err(ZkError::NoNode)
+            }
+            Err(e) => Err(e),
         }
-        Ok((data, stat))
     }
 
     /// Cached sharded `exists`.
@@ -139,8 +157,10 @@ impl<T: ClientTransport> CachedShardedClient<T> {
             self.maintain();
             self.check_shard(s);
         }
-        if let Some(hit) = self.cache.get_exists(path) {
-            return Ok(hit);
+        match self.cache.lookup_exists(path) {
+            Lookup::Hit(stat) => return Ok(Some(stat)),
+            Lookup::Negative => return Ok(None),
+            Lookup::Miss => {}
         }
         self.ensure_fresh(s)?;
         let rc = self.inner.shard_client(s).reconnects();
@@ -189,6 +209,40 @@ impl<T: ClientTransport> CachedShardedClient<T> {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// READDIRPLUS-style bulk warm through the children-owner shard: one
+    /// round trip returns names + data + stats and installs one-shot
+    /// watches server-side; everything is installed into the cache (see
+    /// [`crate::CachedClient::warm_children`]).
+    pub fn warm_children(&mut self, path: &str) -> Result<Vec<(String, Bytes, Stat)>, ZkError> {
+        if self.desired == ReadConsistency::Linearizable {
+            let names = self.inner.get_children(path)?;
+            let mut out = Vec::with_capacity(names.len());
+            for n in names {
+                let child = if path == "/" { format!("/{n}") } else { format!("{path}/{n}") };
+                if let Ok((d, s)) = self.inner.get_data(&child) {
+                    out.push((n, d, s));
+                }
+            }
+            return Ok(out);
+        }
+        self.maintain();
+        let s = self.inner.route_children(path);
+        self.check_shard(s);
+        self.ensure_fresh(s)?;
+        let rc = self.inner.shard_client(s).reconnects();
+        let (entries, stat) = self.inner.warm_children(path)?;
+        if self.inner.shard_client(s).reconnects() == rc {
+            let names: Vec<String> = entries.iter().map(|(n, _, _)| n.clone()).collect();
+            self.cache.put_children(path, names, stat);
+            for (name, data, cstat) in &entries {
+                let child = if path == "/" { format!("/{name}") } else { format!("{path}/{name}") };
+                self.cache.put_data(&child, data.clone(), *cstat);
+            }
+            self.cache.stats_mut().bulk_warms += 1;
+        }
+        Ok(entries)
     }
 
     // ------------------------------------------------------------ mutations

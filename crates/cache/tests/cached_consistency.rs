@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use proptest::prelude::*;
 
-use dufs_cache::{CacheOptions, CachedClient};
+use dufs_cache::{CacheBuilder, CacheOptions, CachedClient};
 use dufs_coord::server::{LEASE_MARGIN_MS, LEASE_MS};
 use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency};
 use dufs_zkstore::CreateMode;
@@ -51,7 +51,10 @@ proptest! {
         cluster.await_leader(Duration::from_secs(15)).expect("leader");
         let observer = 3;
 
-        let mut c = CachedClient::new(
+        // The reader runs over a process-shared cache — every consistency
+        // claim must hold unchanged when the store is shared.
+        let shared = CacheBuilder::new().shared();
+        let mut c = shared.session(
             cluster
                 .client(
                     ClientOptions::at(observer)
@@ -59,7 +62,6 @@ proptest! {
                         .with_consistency(ReadConsistency::SyncThenLocal),
                 )
                 .unwrap(),
-            CacheOptions::default(),
         );
         c.inner_mut().set_timeout(Duration::from_millis(500));
 
@@ -256,7 +258,9 @@ fn leased_reads_bounded_staleness_across_leader_change() {
         })
     };
 
-    let mut r = CachedClient::new(
+    // Shared store: the lease bound is licensed per attached session, so
+    // it must hold verbatim when the reader's cache is process-shared.
+    let mut r = CacheBuilder::new().shared().session(
         cluster
             .client(
                 ClientOptions::at(follower)
@@ -264,7 +268,6 @@ fn leased_reads_bounded_staleness_across_leader_change() {
                     .with_consistency(ReadConsistency::SyncThenLocal),
             )
             .unwrap(),
-        CacheOptions::default(),
     );
     r.inner_mut().set_timeout(Duration::from_millis(500));
 

@@ -186,6 +186,17 @@ pub enum ZkRequest {
         /// Znode path.
         path: String,
     },
+    /// READDIRPLUS-style bulk warm: like [`ZkRequest::GetChildrenData`] it
+    /// returns the children of a znode with each child's data and stat in
+    /// one round trip, but it *additionally* installs one-shot watches —
+    /// a child watch on the parent and a data watch on every child — so a
+    /// client cache can trust the whole listing without the N+1
+    /// `get_children`-then-`get_data` loop it would otherwise need to leave
+    /// watches behind.
+    WarmChildren {
+        /// Znode path of the directory to warm.
+        path: String,
+    },
     /// Atomic multi-op transaction.
     Multi {
         /// Operations, applied all-or-nothing.
@@ -255,6 +266,7 @@ impl ZkRequest {
                 | ZkRequest::Exists { .. }
                 | ZkRequest::GetChildren { .. }
                 | ZkRequest::GetChildrenData { .. }
+                | ZkRequest::WarmChildren { .. }
                 | ZkRequest::Ping
         )
     }
@@ -299,6 +311,16 @@ pub enum ZkResponse {
     ChildrenData {
         /// Sorted `(name, data, stat)` triples.
         entries: Vec<(String, Bytes, Stat)>,
+    },
+    /// WarmChildren result: the listing plus the parent's own stat (so a
+    /// cache can install the children entry alongside the child data).
+    /// Watches were installed server-side before this reply was sent.
+    /// Client-side, [`crate::WarmedDir`] names this payload shape.
+    WarmedChildren {
+        /// Sorted `(name, data, stat)` triples.
+        entries: Vec<(String, Bytes, Stat)>,
+        /// Parent stat.
+        stat: Stat,
     },
     /// Multi succeeded.
     MultiResults(Vec<MultiResult>),
@@ -351,6 +373,7 @@ mod tests {
         assert!(ZkRequest::GetData { path: "/a".into(), watch: false }.is_read());
         assert!(ZkRequest::Exists { path: "/a".into(), watch: true }.is_read());
         assert!(ZkRequest::GetChildren { path: "/a".into(), watch: false }.is_read());
+        assert!(ZkRequest::WarmChildren { path: "/a".into() }.is_read());
         assert!(ZkRequest::Ping.is_read());
         assert!(!ZkRequest::Sync { coalesce: false }.is_read(), "sync consults the leader");
         assert!(!ZkRequest::Sync { coalesce: true }.is_read(), "coalesced sync too");

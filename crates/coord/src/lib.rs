@@ -37,6 +37,10 @@ pub mod watch;
 pub mod wire;
 
 pub use api::{ClientOptions, LeaseGrant, ReadConsistency, Watch, ZkRequest, ZkResponse};
+
+/// What a `WarmChildren` round trip hands back: the sorted
+/// `(name, data, stat)` triples plus the parent directory's own stat.
+pub type WarmedDir = (Vec<(String, bytes::Bytes, dufs_zkstore::Stat)>, dufs_zkstore::Stat);
 pub use cluster::ClusterBuilder;
 pub use runtime::{ChannelTransport, ClientTransport, ThreadCluster, ZkClient};
 pub use server::{ClientId, CoordMsg, CoordServer, CoordTimer, ServerIn, ServerOut};

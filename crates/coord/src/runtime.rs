@@ -668,6 +668,18 @@ impl<T: ClientTransport> ZkClient<T> {
         }
     }
 
+    /// READDIRPLUS bulk warm: the [`ZkClient::get_children_data`] listing
+    /// plus the parent's stat, with one-shot watches installed server-side —
+    /// a child watch on the parent and a data watch on every returned child
+    /// — all in a single round trip. The caching layer builds its
+    /// `warm_children` on this instead of the N+1 list-then-get loop.
+    pub fn warm_children(&mut self, path: &str) -> Result<crate::WarmedDir, ZkError> {
+        match self.read_request(ZkRequest::WarmChildren { path: path.into() }) {
+            ZkResponse::WarmedChildren { entries, stat } => Ok((entries, stat)),
+            r => Err(r.err().unwrap_or(ZkError::ConnectionLoss)),
+        }
+    }
+
     /// Atomic multi-op transaction.
     pub fn multi(&mut self, ops: Vec<MultiOp>) -> Result<Vec<MultiResult>, ZkError> {
         match self.request(ZkRequest::Multi { ops }) {

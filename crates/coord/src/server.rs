@@ -800,6 +800,34 @@ impl CoordServer {
                 };
                 out.push(ServerOut::Client { client, req_id, resp });
             }
+            ZkRequest::WarmChildren { path } => {
+                // READDIRPLUS bulk warm: the GetChildrenData listing, plus the
+                // watches a caching client would otherwise need N+1 round
+                // trips to leave behind — a child watch on the parent and a
+                // data watch on every child that made it into the reply.
+                let resp = match self.tree.get_children(&path) {
+                    Ok((names, stat)) => {
+                        self.watches.register(&path, WatchKind::Children, client);
+                        let entries = names
+                            .into_iter()
+                            .filter_map(|n| {
+                                let child = if path == "/" {
+                                    format!("/{n}")
+                                } else {
+                                    format!("{path}/{n}")
+                                };
+                                self.tree.get_data(&child).ok().map(|(d, s)| {
+                                    self.watches.register(&child, WatchKind::Data, client);
+                                    (n, d, s)
+                                })
+                            })
+                            .collect();
+                        ZkResponse::WarmedChildren { entries, stat }
+                    }
+                    Err(e) => ZkResponse::Error(e),
+                };
+                out.push(ServerOut::Client { client, req_id, resp });
+            }
             ZkRequest::Ping => {
                 let lease = self.lease_grant(now_ns);
                 out.push(ServerOut::Client {
@@ -1759,6 +1787,75 @@ mod tests {
         }
         assert!(matches!(
             req(&mut s, 0, ZkRequest::GetChildrenData { path: "/missing".into() }),
+            ZkResponse::Error(ZkError::NoNode)
+        ));
+    }
+
+    #[test]
+    fn warm_children_lists_and_installs_watches() {
+        let mut s = single();
+        for path in ["/d", "/d/a", "/d/b"] {
+            req(
+                &mut s,
+                0,
+                ZkRequest::Create {
+                    path: path.into(),
+                    data: Bytes::from_static(b"p"),
+                    mode: CreateMode::Persistent,
+                },
+            );
+        }
+        match req(&mut s, 0, ZkRequest::WarmChildren { path: "/d".into() }) {
+            ZkResponse::WarmedChildren { entries, stat } => {
+                assert_eq!(
+                    entries.iter().map(|(n, _, _)| n.as_str()).collect::<Vec<_>>(),
+                    ["a", "b"]
+                );
+                assert!(entries.iter().all(|(_, d, _)| &d[..] == b"p"));
+                assert_eq!(stat.num_children, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // One round trip left a data watch on each child...
+        let out = s.handle(
+            2_000_000,
+            ServerIn::Client {
+                client: 2,
+                req_id: 1,
+                session: 0,
+                req: ZkRequest::SetData {
+                    path: "/d/a".into(),
+                    data: Bytes::from_static(b"x"),
+                    version: None,
+                },
+            },
+        );
+        assert!(
+            out.iter()
+                .any(|o| matches!(o, ServerOut::Watch { client: 1, note } if note.path == "/d/a")),
+            "data watch on a warmed child fires"
+        );
+        // ...and a child watch on the parent.
+        let out = s.handle(
+            3_000_000,
+            ServerIn::Client {
+                client: 2,
+                req_id: 2,
+                session: 0,
+                req: ZkRequest::Create {
+                    path: "/d/c".into(),
+                    data: Bytes::new(),
+                    mode: CreateMode::Persistent,
+                },
+            },
+        );
+        assert!(
+            out.iter()
+                .any(|o| matches!(o, ServerOut::Watch { client: 1, note } if note.path == "/d")),
+            "child watch on the warmed parent fires"
+        );
+        assert!(matches!(
+            req(&mut s, 0, ZkRequest::WarmChildren { path: "/missing".into() }),
             ZkResponse::Error(ZkError::NoNode)
         ));
     }

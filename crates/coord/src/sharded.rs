@@ -40,9 +40,10 @@
 //! ```
 //! use bytes::Bytes;
 //! use dufs_coord::cluster::ClusterBuilder;
+//! use dufs_coord::ClientOptions;
 //!
 //! let cluster = ClusterBuilder::new().voters(1).shards(2).sharded_threads();
-//! let mut client = cluster.client().unwrap();
+//! let mut client = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
 //! client.create("/dir/a", Bytes::from_static(b"a")).unwrap();
 //! client.create("/dir/b", Bytes::from_static(b"b")).unwrap();
 //! // Siblings colocate: one shard owns both, and the listing.
@@ -163,7 +164,7 @@ impl<C: ClusterHandle> ShardedCluster<C> {
         // A durable restart may have recovered prepared-but-undecided
         // cross-shard transactions from the WAL (their coordinator is long
         // gone). Resolve them now so no fence outlives the bootstrap.
-        let mut c = cluster.client()?;
+        let mut c = cluster.client(ClientOptions::at(0).with_failover())?;
         c.recover_txns()?;
         c.close()?;
         Ok(cluster)
@@ -199,18 +200,22 @@ impl<C: ClusterHandle> ShardedCluster<C> {
         self.shards.iter().all(|s| s.await_leader(timeout).is_some())
     }
 
-    /// Open a routed client session: one inner session per shard, pinned to
-    /// each shard's member 0 with failover, plus the ring read back from
-    /// the config znode.
-    pub fn client(&self) -> Result<ShardedClient<C::Transport>, ZkError> {
-        self.client_with(ClientOptions::at(0).with_failover())
-    }
-
-    /// Open a routed client with explicit per-shard session options (server
-    /// index, failover, read consistency).
-    pub fn client_with(&self, opts: ClientOptions) -> Result<ShardedClient<C::Transport>, ZkError> {
+    /// Open a routed client session: one inner session per shard, each
+    /// opened with `opts` (server index, failover, read consistency), plus
+    /// the ring read back from the config znode. Takes [`ClientOptions`]
+    /// like every other cluster handle ([`ClusterHandle::client`],
+    /// [`TcpCluster::client`], [`ThreadCluster::client`]); the old
+    /// zero-argument default was `ClientOptions::at(0).with_failover()`.
+    pub fn client(&self, opts: ClientOptions) -> Result<ShardedClient<C::Transport>, ZkError> {
         let clients = self.shards.iter().map(|s| s.client(opts)).collect::<Result<Vec<_>, _>>()?;
         ShardedClient::connect(clients)
+    }
+
+    /// Deprecated alias for [`ShardedCluster::client`] from when the
+    /// zero-argument `client()` existed alongside it.
+    #[deprecated(note = "use `client(opts)`; the signatures are identical now")]
+    pub fn client_with(&self, opts: ClientOptions) -> Result<ShardedClient<C::Transport>, ZkError> {
+        self.client(opts)
     }
 
     /// Tear down every shard.
@@ -477,6 +482,22 @@ impl<T: ClientTransport> ShardedClient<T> {
             // shard because nothing was created under it there; if it
             // exists on its *own* owner shard, it is simply empty.
             Err(ZkError::NoNode) if self.exists_inner(path)? => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// READDIRPLUS bulk warm, routed like [`ShardedClient::get_children`]:
+    /// the children listing with each child's data and stat plus the
+    /// parent's stat, leaving one-shot watches (child watch on the parent,
+    /// data watch on every child) behind in a single round trip to the
+    /// children-owner shard. A directory never materialized on that shard
+    /// warms to an empty listing if it exists on its own owner shard.
+    pub fn warm_children(&mut self, path: &str) -> Result<crate::WarmedDir, ZkError> {
+        self.maybe_refresh()?;
+        let s = self.route_children(path);
+        match self.clients[s].warm_children(path) {
+            Ok(r) => Ok(r),
+            Err(ZkError::NoNode) if self.exists_inner(path)? => Ok((Vec::new(), Stat::default())),
             Err(e) => Err(e),
         }
     }
@@ -889,7 +910,7 @@ mod tests {
     #[test]
     fn single_path_ops_route_and_round_trip() {
         let cluster = two_shards();
-        let mut c = cluster.client().unwrap();
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         // Fan a few directories out; each sibling set is one shard.
         for d in 0..8 {
             for f in 0..4 {
@@ -915,7 +936,7 @@ mod tests {
     #[test]
     fn sync_barriers_only_dirty_shards() {
         let cluster = two_shards();
-        let mut c = cluster.client().unwrap();
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         assert_eq!(c.sync().unwrap(), 0, "clean session barriers nothing");
         c.create("/solo/a", Bytes::new()).unwrap();
         assert_eq!(c.sync().unwrap(), 1, "one write dirties exactly one shard");
@@ -931,7 +952,7 @@ mod tests {
     #[test]
     fn cross_shard_rename_moves_the_data() {
         let cluster = two_shards();
-        let mut c = cluster.client().unwrap();
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         let (src, dst) = cross_shard_pair(&c);
         assert_ne!(c.route(&src), c.route(&dst), "pair must span shards");
         c.create(&src, Bytes::from_static(b"payload")).unwrap();
@@ -949,7 +970,7 @@ mod tests {
     #[test]
     fn failed_prepare_aborts_the_whole_txn() {
         let cluster = two_shards();
-        let mut c = cluster.client().unwrap();
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         let (a, b) = cross_shard_pair(&c);
         c.create(&b, Bytes::new()).unwrap(); // make the Create on b collide
         let err = c
@@ -1004,10 +1025,10 @@ mod tests {
     #[test]
     fn watches_on_shard0_survive_refresh_polling() {
         let cluster = two_shards();
-        let mut w = cluster.client().unwrap(); // watcher
-        let mut c = cluster.client().unwrap(); // mutator
-                                               // A path owned by shard 0, so its notification shares the session
-                                               // the internal config watch polls.
+        let mut w = cluster.client(ClientOptions::at(0).with_failover()).unwrap(); // watcher
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap(); // mutator
+                                                                                   // A path owned by shard 0, so its notification shares the session
+                                                                                   // the internal config watch polls.
         let p = (0..10_000)
             .map(|i| format!("/w{i}/n"))
             .find(|p| w.route(p) == 0)
@@ -1033,7 +1054,7 @@ mod tests {
     #[test]
     fn failed_cross_shard_delete_leaves_both_copies() {
         let cluster = two_shards();
-        let mut c = cluster.client().unwrap();
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         // A directory whose node and child listing live on different shards.
         let d = (0..10_000)
             .map(|i| format!("/split{i}"))
@@ -1069,7 +1090,7 @@ mod tests {
     #[test]
     fn recovery_completes_a_half_committed_txn() {
         let cluster = two_shards();
-        let mut c = cluster.client().unwrap();
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         let (src, dst) = cross_shard_pair(&c);
         c.create(&src, Bytes::from_static(b"payload")).unwrap();
         let (slices, participants) = rename_parts(&mut c, &src, &dst);
@@ -1091,7 +1112,7 @@ mod tests {
         drop(c);
         // A fresh session's sweep must FINISH the commit on the remaining
         // shard — an abort there would half-apply the rename.
-        let mut c2 = cluster.client().unwrap();
+        let mut c2 = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         assert_eq!(c2.recover_txns().unwrap(), 1);
         assert_eq!(c2.exists(&src).unwrap(), None, "committed leg reverted");
         assert_eq!(
@@ -1110,7 +1131,7 @@ mod tests {
     #[test]
     fn recovery_presumes_abort_without_a_decision_record() {
         let cluster = two_shards();
-        let mut c = cluster.client().unwrap();
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         let (src, dst) = cross_shard_pair(&c);
         c.create(&src, Bytes::from_static(b"payload")).unwrap();
         let (slices, participants) = rename_parts(&mut c, &src, &dst);
@@ -1119,7 +1140,7 @@ mod tests {
             c.txn_prepare_on(*s, txn_id, ops.clone(), participants.clone()).unwrap();
         }
         drop(c); // coordinator dies before recording any decision
-        let mut c2 = cluster.client().unwrap();
+        let mut c2 = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         assert_eq!(c2.recover_txns().unwrap(), 1);
         // No record ⇒ nothing can have committed ⇒ abort everywhere.
         assert_eq!(&c2.get_data(&src).unwrap().0[..], b"payload");
@@ -1131,7 +1152,7 @@ mod tests {
     #[test]
     fn orphaned_fences_yield_to_new_writes() {
         let cluster = two_shards();
-        let mut c = cluster.client().unwrap();
+        let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         let (src, dst) = cross_shard_pair(&c);
         c.create(&src, Bytes::from_static(b"payload")).unwrap();
         let (slices, participants) = rename_parts(&mut c, &src, &dst);
@@ -1142,7 +1163,7 @@ mod tests {
         drop(c); // dead coordinator leaves both paths fenced
                  // A plain write into the fence must recover and succeed on its
                  // own — no explicit sweep, no waiting for session expiry.
-        let mut c2 = cluster.client().unwrap();
+        let mut c2 = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
         c2.set_data(&src, Bytes::from_static(b"overwritten"), None).unwrap();
         c2.create(&dst, Bytes::new()).unwrap();
         c2.close().unwrap();
@@ -1162,7 +1183,7 @@ mod tests {
         let mut digests = Vec::new();
         for shards in [1usize, 2, 3] {
             let cluster = ClusterBuilder::new().voters(1).shards(shards).sharded_threads();
-            let mut c = cluster.client().unwrap();
+            let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
             for (p, d) in &spec {
                 c.create(p, d.clone()).unwrap();
             }

@@ -534,6 +534,10 @@ impl Wire for ZkRequest {
                 buf.push(16);
                 buf.extend_from_slice(&txn_id.to_le_bytes());
             }
+            ZkRequest::WarmChildren { path } => {
+                buf.push(17);
+                put_str(buf, path);
+            }
         }
     }
 
@@ -587,6 +591,7 @@ impl Wire for ZkRequest {
             }
             15 => ZkRequest::TxnCommit { txn_id: c.u64()? },
             16 => ZkRequest::TxnAbort { txn_id: c.u64()? },
+            17 => ZkRequest::WarmChildren { path: c.str()? },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -672,6 +677,16 @@ impl Wire for ZkResponse {
             ZkResponse::Committed => buf.push(15),
             ZkResponse::Aborted => buf.push(16),
             ZkResponse::TxnUnknown => buf.push(17),
+            ZkResponse::WarmedChildren { entries, stat } => {
+                buf.push(18);
+                buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (name, data, stat) in entries {
+                    put_str(buf, name);
+                    put_blob(buf, data);
+                    put_stat(buf, stat);
+                }
+                put_stat(buf, stat);
+            }
         }
     }
 
@@ -720,6 +735,16 @@ impl Wire for ZkResponse {
             15 => ZkResponse::Committed,
             16 => ZkResponse::Aborted,
             17 => ZkResponse::TxnUnknown,
+            18 => {
+                let n = c.count(8)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = c.str()?;
+                    let data = Bytes::copy_from_slice(c.blob()?);
+                    entries.push((name, data, get_stat(c)?));
+                }
+                ZkResponse::WarmedChildren { entries, stat: get_stat(c)? }
+            }
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -952,6 +977,19 @@ mod tests {
         });
         rt(ZkResponse::Error(ZkError::Net));
         rt(ZkResponse::ExistsResult(None));
+    }
+
+    #[test]
+    fn warm_children_round_trips() {
+        rt(ZkRequest::WarmChildren { path: "/dir".into() });
+        rt(ZkResponse::WarmedChildren { entries: vec![], stat: Stat::default() });
+        rt(ZkResponse::WarmedChildren {
+            entries: vec![
+                ("a".into(), Bytes::from_static(b"da"), Stat::default()),
+                ("b".into(), Bytes::new(), Stat::default()),
+            ],
+            stat: Stat::default(),
+        });
     }
 
     #[test]

@@ -352,7 +352,7 @@ fn sharded_rename_commit_survives_kill9_of_a_shard_leader() {
     let control = ClusterBuilder::new().voters(1).shards(2).sharded_tcp();
     assert!(control.await_leaders(Duration::from_secs(30)), "control leaders");
     let control_digest = {
-        let mut c = control.client().unwrap();
+        let mut c = control.client(ClientOptions::at(0).with_failover()).unwrap();
         let (src, dst) = sharded_pair(&c);
         sharded_seed(&mut c, &src);
         c.rename(&src, &dst).unwrap();

@@ -227,6 +227,7 @@ fn arb_zk_request() -> BoxedStrategy<ZkRequest> {
         (arb_string(), any::<bool>())
             .prop_map(|(path, watch)| ZkRequest::GetChildren { path, watch }),
         arb_string().prop_map(|path| ZkRequest::GetChildrenData { path }),
+        arb_string().prop_map(|path| ZkRequest::WarmChildren { path }),
         collection::vec(arb_multi_op(), 0..4).prop_map(|ops| ZkRequest::Multi { ops }),
         any::<bool>().prop_map(|coalesce| ZkRequest::Sync { coalesce }),
         Just(ZkRequest::Ping),
@@ -247,6 +248,8 @@ fn arb_zk_response() -> BoxedStrategy<ZkResponse> {
             .prop_map(|(names, stat)| ZkResponse::Children { names, stat }),
         collection::vec((arb_string(), arb_bytes(), arb_stat()), 0..4)
             .prop_map(|entries| ZkResponse::ChildrenData { entries }),
+        (collection::vec((arb_string(), arb_bytes(), arb_stat()), 0..4), arb_stat())
+            .prop_map(|(entries, stat)| ZkResponse::WarmedChildren { entries, stat }),
         collection::vec(arb_multi_result(), 0..4).prop_map(ZkResponse::MultiResults),
         (any::<u64>(), any::<bool>())
             .prop_map(|(zxid, coalesced)| ZkResponse::Synced { zxid, coalesced }),

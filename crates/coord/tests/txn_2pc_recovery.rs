@@ -20,7 +20,7 @@ use bytes::Bytes;
 
 use dufs_coord::runtime::ThreadCluster;
 use dufs_coord::sharded::{txn_decision_path, ShardedClient, ShardedCluster};
-use dufs_coord::{ClientTransport, ClusterBuilder};
+use dufs_coord::{ClientOptions, ClientTransport, ClusterBuilder};
 use dufs_zkstore::{CreateMode, MultiOp};
 
 const SHARDS: usize = 2;
@@ -105,7 +105,7 @@ fn probe<T: ClientTransport>(c: &mut ShardedClient<T>, src: &str, dst: &str, d: 
 /// happened"), then the same probe. Returns the logical-namespace digest.
 fn control_digest(decision: Decision) -> u64 {
     let cluster = start(None);
-    let mut c = cluster.client().unwrap();
+    let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
     let (src, dst) = cross_shard_pair(&c);
     seed(&mut c, &src);
     if decision == Decision::Commit {
@@ -126,7 +126,7 @@ fn crash_mid_2pc(name: &str, decision: Decision) -> u64 {
     let _ = std::fs::remove_dir_all(&wal);
     let cluster = start(Some(&wal));
 
-    let mut c = cluster.client().unwrap();
+    let mut c = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
     let (src, dst) = cross_shard_pair(&c);
     seed(&mut c, &src);
     let slices = rename_slices(&mut c, &src, &dst);
@@ -162,7 +162,7 @@ fn crash_mid_2pc(name: &str, decision: Decision) -> u64 {
 
     // A fresh session — never party to the prepare — sweeps the parked
     // markers and drives the recorded (or presumed) decision everywhere.
-    let mut c2 = cluster.client().unwrap();
+    let mut c2 = cluster.client(ClientOptions::at(0).with_failover()).unwrap();
     assert_eq!(c2.recover_txns().unwrap(), 1, "sweep did not resolve the orphaned txn");
     probe(&mut c2, &src, &dst, decision);
 

@@ -21,9 +21,10 @@
 //! line up field for field. The sim level has no transport, so the
 //! lease/barrier counters stay zero here.
 
+use dufs_cache::meta::Lookup;
 use dufs_cache::MetaCache;
 use dufs_coord::{ZkRequest, ZkResponse};
-use dufs_zkstore::MultiOp;
+use dufs_zkstore::{MultiOp, ZkError};
 
 pub use dufs_cache::CacheStats;
 
@@ -94,15 +95,42 @@ impl<C: CoordService> CoordService for CachingCoord<C> {
         self.drain_invalidations();
         match req {
             ZkRequest::GetData { ref path, .. } => {
-                if let Some((data, stat)) = self.cache.get_data(path) {
-                    return ZkResponse::Data { data, stat };
+                match self.cache.lookup_data(path) {
+                    Lookup::Hit((data, stat)) => return ZkResponse::Data { data, stat },
+                    Lookup::Negative => return ZkResponse::Error(ZkError::NoNode),
+                    Lookup::Miss => {}
                 }
                 // Go to the service with a watch so mutation anywhere
                 // invalidates this entry.
                 let resp =
                     self.inner.request(ZkRequest::GetData { path: path.clone(), watch: true });
-                if let ZkResponse::Data { ref data, stat } = resp {
-                    self.cache.put_data(path, data.clone(), stat);
+                match resp {
+                    ZkResponse::Data { ref data, stat } => {
+                        self.cache.put_data(path, data.clone(), stat)
+                    }
+                    // Absence is cacheable too: TTL-bounded (no watch guards
+                    // a node that does not exist) plus eviction on any
+                    // observed create under the parent.
+                    ZkResponse::Error(ZkError::NoNode) => self.cache.put_negative(path),
+                    _ => {}
+                }
+                resp
+            }
+            // READDIRPLUS-style bulk warm: the service answers children +
+            // data + stats in one request; install all of it so follow-up
+            // GetDatas under `path` are hits.
+            ZkRequest::WarmChildren { ref path } => {
+                let path = path.clone();
+                let resp = self.inner.request(req);
+                if let ZkResponse::WarmedChildren { ref entries, stat } = resp {
+                    let names: Vec<String> = entries.iter().map(|(n, _, _)| n.clone()).collect();
+                    self.cache.put_children(&path, names, stat);
+                    for (name, data, cstat) in entries {
+                        let child =
+                            if path == "/" { format!("/{name}") } else { format!("{path}/{name}") };
+                        self.cache.put_data(&child, data.clone(), *cstat);
+                    }
+                    self.cache.stats_mut().bulk_warms += 1;
                 }
                 resp
             }
@@ -270,6 +298,105 @@ mod tests {
         fs.rename("/d/f", "/d/g").unwrap();
         assert_eq!(fs.stat("/d/f").unwrap_err(), crate::error::DufsError::NoEnt);
         assert_eq!(fs.stat("/d/g").unwrap().size, 6);
+    }
+
+    #[test]
+    fn absent_nodes_are_negatively_cached_until_created() {
+        let mut c = setup();
+        // First read of a missing node goes to the service …
+        assert!(matches!(get(&mut c, "/ghost"), ZkResponse::Error(dufs_zkstore::ZkError::NoNode)));
+        // … repeats are answered from the negative store.
+        for _ in 0..3 {
+            assert!(matches!(
+                get(&mut c, "/ghost"),
+                ZkResponse::Error(dufs_zkstore::ZkError::NoNode)
+            ));
+        }
+        let s = c.stats();
+        assert_eq!(s.negative_hits, 3);
+        assert_eq!(s.misses, 1, "only /ghost's first read went to the service");
+        // Our own create overrides the cached absence immediately.
+        c.request(ZkRequest::Create {
+            path: "/ghost".into(),
+            data: Bytes::from_static(b"now"),
+            mode: CreateMode::Persistent,
+        });
+        match get(&mut c, "/ghost") {
+            ZkResponse::Data { data, .. } => assert_eq!(&data[..], b"now"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observed_create_under_parent_evicts_cached_absences() {
+        let mut c = setup();
+        c.request(ZkRequest::Create {
+            path: "/d".into(),
+            data: Bytes::new(),
+            mode: CreateMode::Persistent,
+        });
+        assert!(matches!(get(&mut c, "/d/a"), ZkResponse::Error(_)), "absence cached");
+        // Leave a children watch on the parent, then let a *foreign* create
+        // materialize the node. The fired watch names only the parent; the
+        // eviction must still reach the cached absence below it.
+        c.request(ZkRequest::GetChildren { path: "/d".into(), watch: true });
+        c.inner_mut().request(ZkRequest::Create {
+            path: "/d/a".into(),
+            data: Bytes::from_static(b"born"),
+            mode: CreateMode::Persistent,
+        });
+        match get(&mut c, "/d/a") {
+            ZkResponse::Data { data, .. } => assert_eq!(&data[..], b"born"),
+            other => panic!("negative entry outlived an observed create: {other:?}"),
+        }
+        assert_eq!(c.stats().negative_hits, 0, "absence was never served stale");
+    }
+
+    #[test]
+    fn warm_children_installs_children_and_data_in_one_request() {
+        let mut c = setup();
+        for n in ["/d", "/d/a", "/d/b", "/d/c"] {
+            c.request(ZkRequest::Create {
+                path: n.into(),
+                data: Bytes::from(format!("data{n}").into_bytes()),
+                mode: CreateMode::Persistent,
+            });
+        }
+        match c.request(ZkRequest::WarmChildren { path: "/d".into() }) {
+            ZkResponse::WarmedChildren { entries, .. } => {
+                assert_eq!(
+                    entries.iter().map(|(n, _, _)| n.as_str()).collect::<Vec<_>>(),
+                    vec!["a", "b", "c"]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Every child read after the warm is a pure cache hit.
+        let misses_before = c.stats().misses;
+        for n in ["/d/a", "/d/b", "/d/c"] {
+            match get(&mut c, n) {
+                ZkResponse::Data { data, .. } => {
+                    assert_eq!(&data[..], format!("data{n}").as_bytes())
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.bulk_warms, 1);
+        assert_eq!(s.misses, misses_before, "no child read went to the service");
+        assert_eq!(s.hits, 3);
+        // The warm's watches still guard the entries: a foreign write is
+        // observed on the next read.
+        c.inner_mut().request(ZkRequest::SetData {
+            path: "/d/a".into(),
+            data: Bytes::from_static(b"changed"),
+            version: None,
+        });
+        match get(&mut c, "/d/a") {
+            ZkResponse::Data { data, .. } => assert_eq!(&data[..], b"changed"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.stats().watch_invalidations >= 1);
     }
 
     /// Digest parity: running the same mutation workload over a cached and

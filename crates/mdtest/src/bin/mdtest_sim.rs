@@ -23,6 +23,8 @@
 //!                      read-your-writes via a ZAB no-op barrier)
 //!   --cache            wrap every live session in the dufs-cache client
 //!                      cache (leases on); prints a CACHE STATS line
+//!   --cache-shared     like --cache, but all sessions attach to ONE
+//!                      process-wide shared cache (implies --cache)
 //!   --no-lease         with --cache: disable staleness leases (strict
 //!                      PR 5 barrier semantics around the cache)
 //!   --data <bytes>     mixed metadata+data run: every file create also
@@ -52,17 +54,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dufs_backendfs::MemEngine;
-use dufs_cache::{CacheOptions, CacheStats};
+use dufs_cache::{CacheBuilder, CacheStats};
 use dufs_coord::runtime::ServerStatus;
 use dufs_coord::{ClientOptions, ClusterBuilder, ReadConsistency};
 use dufs_mdtest::data::{
     expected_data_digest, read_back_digest, run_live_data, verify_file, write_all_files, DataSpec,
     Zipf,
 };
-use dufs_mdtest::live::{
-    aggregate_cache_stats, run_live, run_live_cached, run_live_sharded, run_live_sharded_cached,
-    LivePhase,
-};
+use dufs_mdtest::live::{aggregate_cache_stats, run_live, LivePhase};
 use dufs_mdtest::scenario::{
     run_mdtest_report, CoordCrash, CoordOutage, MdtestConfig, MdtestSystem,
 };
@@ -77,7 +76,8 @@ fn usage() -> ! {
          [--shared-dir] [--seed N] [--crash srv:at_ms:down_ms] [--durable] \
          [--crash-all at_ms:down_ms] [--live thread|tcp] [--net-stats] \
          [--read-from leader|spread] [--consistency local|sync|linear] \
-         [--cache] [--no-lease] [--data BYTES] [--stripe BYTES] [--zipf THETA]"
+         [--cache] [--cache-shared] [--no-lease] [--data BYTES] [--stripe BYTES] \
+         [--zipf THETA]"
     );
     std::process::exit(2);
 }
@@ -107,31 +107,23 @@ fn print_live(phases: &[LivePhase]) {
 }
 
 /// One-line cache/lease counter summary over all sessions (the cache
-/// analogue of the NET STATS block).
-fn print_cache_stats(sessions: usize, s: &CacheStats) {
-    println!(
-        "\nCACHE STATS ({sessions} sessions): hits {} misses {} (hit rate {:.1}%) | \
-         invalidations: watch {} local {} reconnect {} | \
-         leases: renewals {} barriers skipped {} coalesced {}",
-        s.hits,
-        s.misses,
-        s.hit_rate() * 100.0,
-        s.watch_invalidations,
-        s.local_invalidations,
-        s.reconnect_invalidations,
-        s.lease_renewals,
-        s.barriers_skipped,
-        s.barriers_coalesced,
-    );
+/// analogue of the NET STATS block). The counters themselves are printed
+/// through [`CacheStats`]'s `Display`, the one formatter shared with
+/// `bench_reads` — one shape everywhere.
+fn print_cache_stats(sessions: usize, shared: bool, s: &CacheStats) {
+    let kind = if shared { "sessions, shared cache" } else { "sessions" };
+    println!("\nCACHE STATS ({sessions} {kind}): {s}");
 }
 
 /// How live sessions attach to the ensemble: placement, read recency,
-/// and the optional client-cache wrap.
+/// and the optional client-cache wrap (private per session, or all
+/// sessions attached to one process-wide shared cache).
 #[derive(Clone, Copy)]
 struct Sessions {
     spread: bool,
     consistency: ReadConsistency,
-    cache: Option<CacheOptions>,
+    cache: Option<CacheBuilder>,
+    cache_shared: bool,
 }
 
 /// Live mode: the same WorkloadSpec op streams against a real ensemble.
@@ -151,7 +143,7 @@ fn run_live_mode(
     sess: Sessions,
     data: Option<DataSpec>,
 ) {
-    let Sessions { spread, consistency, cache } = sess;
+    let Sessions { spread, consistency, cache, cache_shared } = sess;
     let spec = WorkloadSpec {
         phases: vec![Phase::DirCreate, Phase::DirStat, Phase::FileCreate, Phase::FileStat],
         ..spec
@@ -193,17 +185,25 @@ fn run_live_mode(
                     "read-back contents digest drifted from the spec-derived value"
                 );
                 println!("\ndata digest {digest:#018x} ({backends} in-memory data targets)");
-            } else if let Some(co) = cache {
-                let (phases, clients) = run_live_cached(
+            } else if let Some(builder) = cache {
+                // `--cache-shared`: every session attaches to ONE
+                // process-wide store; otherwise each gets a private cache.
+                let shared = cache_shared.then(|| builder.shared());
+                let (phases, clients) = run_live(
                     &spec,
-                    |p| tc.client(opts_for(p)).expect("session"),
+                    |p| {
+                        let inner = tc.client(opts_for(p)).expect("session");
+                        match &shared {
+                            Some(sc) => sc.session(inner),
+                            None => builder.session(inner),
+                        }
+                    },
                     |_| {},
                     strict_stats,
-                    co,
                 );
                 let stats: Vec<CacheStats> = clients.iter().map(|c| c.stats()).collect();
                 print_live(&phases);
-                print_cache_stats(clients.len(), &aggregate_cache_stats(&stats));
+                print_cache_stats(clients.len(), cache_shared, &aggregate_cache_stats(&stats));
             } else {
                 let (phases, _) = run_live(
                     &spec,
@@ -285,17 +285,23 @@ fn run_live_mode(
                     let _ = std::fs::remove_dir_all(dir);
                 }
                 client_net = Vec::new();
-            } else if let Some(co) = cache {
-                let (phases, clients) = run_live_cached(
+            } else if let Some(builder) = cache {
+                let shared = cache_shared.then(|| builder.shared());
+                let (phases, clients) = run_live(
                     &spec,
-                    |p| cluster.client(opts_for(p)).expect("session"),
+                    |p| {
+                        let inner = cluster.client(opts_for(p)).expect("session");
+                        match &shared {
+                            Some(sc) => sc.session(inner),
+                            None => builder.session(inner),
+                        }
+                    },
                     |_| {},
                     strict_stats,
-                    co,
                 );
                 let stats: Vec<CacheStats> = clients.iter().map(|c| c.stats()).collect();
                 print_live(&phases);
-                print_cache_stats(clients.len(), &aggregate_cache_stats(&stats));
+                print_cache_stats(clients.len(), cache_shared, &aggregate_cache_stats(&stats));
                 client_net = clients.iter().map(|c| c.inner().transport().stats()).collect();
             } else {
                 let (phases, clients) = run_live(
@@ -350,7 +356,7 @@ fn run_live_sharded_mode(
     durable: bool,
     sess: Sessions,
 ) {
-    let Sessions { spread, consistency, cache } = sess;
+    let Sessions { spread, consistency, cache, cache_shared } = sess;
     let spec = WorkloadSpec {
         phases: vec![Phase::DirCreate, Phase::DirStat, Phase::FileCreate, Phase::FileStat],
         ..spec
@@ -367,22 +373,28 @@ fn run_live_sharded_mode(
     macro_rules! sharded_run {
         ($cluster:expr) => {{
             let cluster = $cluster;
-            let digest = if let Some(co) = cache {
-                let (phases, mut clients) = run_live_sharded_cached(
+            let digest = if let Some(builder) = cache {
+                let shared = cache_shared.then(|| builder.shared());
+                let (phases, mut clients) = run_live(
                     &spec,
-                    |p| cluster.client_with(opts_for(p)).expect("session"),
+                    |p| {
+                        let inner = cluster.client(opts_for(p)).expect("session");
+                        match &shared {
+                            Some(sc) => sc.session_sharded(inner),
+                            None => builder.session_sharded(inner),
+                        }
+                    },
                     |_| {},
                     strict_stats,
-                    co,
                 );
                 let stats: Vec<CacheStats> = clients.iter().map(|c| c.stats()).collect();
                 print_live(&phases);
-                print_cache_stats(clients.len(), &aggregate_cache_stats(&stats));
+                print_cache_stats(clients.len(), cache_shared, &aggregate_cache_stats(&stats));
                 clients[0].user_digest().expect("digest")
             } else {
-                let (phases, mut clients) = run_live_sharded(
+                let (phases, mut clients) = run_live(
                     &spec,
-                    |p| cluster.client_with(opts_for(p)).expect("session"),
+                    |p| cluster.client(opts_for(p)).expect("session"),
                     |_| {},
                     strict_stats,
                 );
@@ -434,6 +446,7 @@ fn main() {
     let mut read_from = "leader".to_string();
     let mut consistency = ReadConsistency::SyncThenLocal;
     let mut cache = false;
+    let mut cache_shared = false;
     let mut no_lease = false;
     let mut data_bytes: Option<usize> = None;
     let mut stripe = 65536usize;
@@ -479,6 +492,10 @@ fn main() {
             "--live" => live = Some(next(&mut i)),
             "--net-stats" => net_stats = true,
             "--cache" => cache = true,
+            "--cache-shared" => {
+                cache = true;
+                cache_shared = true;
+            }
             "--no-lease" => no_lease = true,
             "--data" => data_bytes = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
             "--stripe" => stripe = next(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -567,7 +584,7 @@ fn main() {
         usage();
     }
     let data_spec = data_bytes.map(|bytes| DataSpec { bytes, stripe, zipf: zipf_theta });
-    let cache_opts = cache.then_some(CacheOptions { lease: !no_lease, ..CacheOptions::default() });
+    let cache_builder = cache.then(|| CacheBuilder::new().lease(!no_lease));
 
     if let Some(mode) = live {
         if crash.is_some() || crash_all.is_some() {
@@ -593,10 +610,11 @@ fn main() {
             println!(
                 "   {procs} routed client sessions ({consistency:?} reads{}), \
                  {items} items/proc, create/stat phases\n",
-                match cache_opts {
-                    Some(co) if co.lease => ", cached+leased",
-                    Some(_) => ", cached",
-                    None => "",
+                match (cache_builder, cache_shared) {
+                    (Some(_), true) => ", shared cache",
+                    (Some(b), false) if b.options().lease => ", cached+leased",
+                    (Some(_), false) => ", cached",
+                    (None, _) => "",
                 }
             );
             run_live_sharded_mode(
@@ -605,7 +623,12 @@ fn main() {
                 zk,
                 n,
                 durable,
-                Sessions { spread: read_from == "spread", consistency, cache: cache_opts },
+                Sessions {
+                    spread: read_from == "spread",
+                    consistency,
+                    cache: cache_builder,
+                    cache_shared,
+                },
             );
             return;
         }
@@ -616,10 +639,11 @@ fn main() {
         println!(
             "   {procs} client sessions at the {read_from} ({consistency:?} reads{}), \
              {items} items/proc, create/stat phases",
-            match cache_opts {
-                Some(co) if co.lease => ", cached+leased",
-                Some(_) => ", cached",
-                None => "",
+            match (cache_builder, cache_shared) {
+                (Some(_), true) => ", shared cache",
+                (Some(b), false) if b.options().lease => ", cached+leased",
+                (Some(_), false) => ", cached",
+                (None, _) => "",
             }
         );
         if let Some(d) = data_spec {
@@ -638,7 +662,12 @@ fn main() {
             backends,
             durable,
             net_stats,
-            Sessions { spread: read_from == "spread", consistency, cache: cache_opts },
+            Sessions {
+                spread: read_from == "spread",
+                consistency,
+                cache: cache_builder,
+                cache_shared,
+            },
             data_spec,
         );
         return;

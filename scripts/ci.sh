@@ -93,6 +93,21 @@ if [ "$d_cache_thread" != "$d_thread" ] || [ "$d_cache_tcp" != "$d_thread" ] || 
 fi
 echo "    parity OK: $d_cache_thread"
 
+# Shared-cache digest parity: the same workload again, but with every
+# session attached to ONE process-shared cache (--cache-shared). Entries
+# installed by one session are served to all of them, so a wrong
+# ownership/freshness rule in the shared store — or a missed cross-session
+# eviction — diverges the namespace here even when the private-cache run
+# above stays clean.
+echo "==> mdtest live shared-cache digest parity (--cache-shared, thread + tcp spread)"
+d_shared_thread=$(target/release/mdtest_sim --live thread --procs 4 --items 10 --zk 3 --cache-shared | grep -o 'digest 0x[0-9a-f]*')
+d_shared_tcp=$(target/release/mdtest_sim --live tcp --procs 4 --items 10 --zk 3 --cache-shared --read-from spread --consistency sync | grep -o 'digest 0x[0-9a-f]*')
+if [ "$d_shared_thread" != "$d_thread" ] || [ "$d_shared_tcp" != "$d_thread" ] || [ -z "$d_shared_thread" ]; then
+    echo "FAIL: shared-cache digest mismatch (uncached: ${d_thread:-none}, shared thread: ${d_shared_thread:-none}, shared tcp spread: ${d_shared_tcp:-none})" >&2
+    exit 1
+fi
+echo "    parity OK: $d_shared_thread"
+
 # Sharded mdtest digest parity: the same live workload routed across two
 # independent single-voter ensembles by the consistent-hash ring must
 # build the same user-visible namespace as a 1-shard run (the digest is
@@ -149,10 +164,11 @@ cargo run --release -q -p dufs-bench --bin bench_shards -- --smoke
 
 # Follower read scale-out benchmark, smoke mode: exercises every
 # (ensemble, placement) cell end to end, including the cache axis
-# (cached-cold / cached-warm / cached-warm-nolease; warm cells must record
-# hits). The scale-out and >=2x warm-cache throughput gates only run at
-# full op counts (`bench_reads` with no flags), where the comparisons
-# clear scheduler noise.
+# (cached-cold / cached-warm / cached-warm-nolease / shared-warm /
+# negative-hit; warm cells must record hits, shared cells a bulk warm,
+# negative cells negative hits). The scale-out and >=2x warm-cache
+# throughput gates only run at full op counts (`bench_reads` with no
+# flags), where the comparisons clear scheduler noise.
 echo "==> bench_reads smoke"
 cargo run --release -q -p dufs-bench --bin bench_reads -- --smoke
 
